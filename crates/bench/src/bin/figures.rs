@@ -1,0 +1,75 @@
+//! Regenerate every paper figure/scenario as a measured experiment.
+//!
+//! ```text
+//! cargo run -p df-bench --release --bin figures -- --all
+//! cargo run -p df-bench --release --bin figures -- E2 E10
+//! cargo run -p df-bench --release --bin figures -- --all --quick
+//! cargo run -p df-bench --release --bin figures -- --all --write EXPERIMENTS.md
+//! cargo run -p df-bench --release --bin figures -- --list
+//! ```
+
+use std::time::Instant;
+
+use df_bench::experiments::{all, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let run_all = args.iter().any(|a| a == "--all") || args.is_empty();
+    let write_path = args
+        .iter()
+        .position(|a| a == "--write")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let wanted: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| write_path.as_deref() != Some(a.as_str()))
+        .collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in all() {
+            println!("{id}");
+        }
+        return;
+    }
+    let known: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
+    for w in &wanted {
+        if !known.contains(&w.as_str()) {
+            eprintln!("unknown experiment '{w}' (try --list)");
+            std::process::exit(2);
+        }
+    }
+
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let mut sections = Vec::new();
+    for (id, run) in all() {
+        if !run_all && !wanted.iter().any(|w| w.as_str() == id) {
+            continue;
+        }
+        eprintln!("running {id} (rows={})...", scale.rows);
+        let t = Instant::now();
+        let report = run(scale);
+        eprintln!("  done in {:.2}s", t.elapsed().as_secs_f64());
+        println!("{report}");
+        sections.push(report.to_markdown());
+    }
+
+    if let Some(path) = write_path {
+        let header = format!(
+            "# EXPERIMENTS — paper vs measured\n\n\
+             Reproduction of every figure and quantitative scenario in \
+             *\"Data Flow Architectures for Data Processing on Modern \
+             Hardware\"* (Lerner & Alonso, ICDE 2024). Regenerate with:\n\n\
+             ```\ncargo run -p df-bench --release --bin figures -- --all --write EXPERIMENTS.md\n```\n\n\
+             Scale: {} fact rows, seed {}. Absolute numbers come from the \
+             fabric simulator calibrated in DESIGN.md; the *shape* (who \
+             wins, by what factor, where crossovers fall) is the claim \
+             under test.\n\n",
+            scale.rows, scale.seed
+        );
+        let body = sections.join("\n");
+        std::fs::write(&path, header + &body).expect("write EXPERIMENTS.md");
+        eprintln!("wrote {path}");
+    }
+}

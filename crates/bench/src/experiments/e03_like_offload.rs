@@ -1,0 +1,144 @@
+//! E3 — §3.3: LIKE / regex pushdown (the Amazon AQUA example).
+//!
+//! "Amazon AQUA, for instance, pushed down the LIKE predicate to process
+//! regular expressions as that has been proven to be more efficient on
+//! accelerators than on a CPU." We run the same LIKE query on the host and
+//! pushed down, verify identical results, and price both with the device
+//! profiles (the storage pattern matcher streams at 8 GB/s; a CPU core
+//! manages ~0.3 GB/s). The streaming regex engine itself (Thompson NFA, no
+//! backtracking — the construction hardware matchers use) is exercised for
+//! the same predicate.
+
+use df_core::kernel::regex::Regex;
+use df_core::session::Session;
+use df_fabric::{DeviceKind, DeviceProfile, OpClass};
+
+use crate::report::{fmt_util, ExpReport};
+use crate::workload;
+
+use super::Scale;
+
+/// Run E3.
+pub fn run(scale: Scale) -> ExpReport {
+    let mut report = ExpReport::new(
+        "E3",
+        "§3.3 — LIKE predicate pushdown (AQUA-style regex offload)",
+        "Pattern matching is far more efficient on accelerators than CPUs; \
+         pushing LIKE to storage both accelerates matching and removes the \
+         non-matching rows from the wire.",
+    )
+    .headers(&[
+        "pattern",
+        "matches",
+        "device",
+        "service rate",
+        "sim scan+match time",
+        "net bytes",
+    ]);
+
+    let session = Session::in_memory().expect("session");
+    let fact = workload::lineitem(scale.rows, scale.seed);
+    session
+        .create_table("lineitem", std::slice::from_ref(&fact))
+        .expect("load");
+
+    let cpu_profile = DeviceProfile::reference(DeviceKind::Cpu { cores: 8 });
+    let ssd_profile = DeviceProfile::reference(DeviceKind::SmartStorage);
+    let comment_bytes: u64 = fact
+        .column_by_name("l_comment")
+        .unwrap()
+        .byte_size() as u64;
+
+    for pattern in ["urgent%", "%urgent%", "%express%package%"] {
+        let query = format!(
+            "SELECT l_orderkey FROM lineitem WHERE l_comment LIKE '{pattern}'"
+        );
+        let logical = session.logical_plan(&query).expect("parse");
+        let variants = session.variants(&logical).expect("variants");
+        let host = variants
+            .iter()
+            .find(|v| v.plan.variant == "cpu-only")
+            .expect("cpu-only");
+        let pushed = variants
+            .iter()
+            .find(|v| v.plan.variant == "storage-pushdown")
+            .expect("storage-pushdown");
+        let host_result = session.execute_plan(&host.plan).expect("host");
+        let push_result = session.execute_plan(&pushed.plan).expect("pushed");
+        assert_eq!(
+            host_result.batch.canonical_rows(),
+            push_result.batch.canonical_rows(),
+            "pushdown changed LIKE results"
+        );
+        let matches = host_result.batch.rows();
+
+        for (label, profile, result) in [
+            ("cpu (8 cores)", &cpu_profile, &host_result),
+            ("smart storage", &ssd_profile, &push_result),
+        ] {
+            let service = profile
+                .service_time(OpClass::Regex, comment_bytes)
+                .expect("regex supported");
+            report.row(vec![
+                format!("LIKE '{pattern}'"),
+                matches.to_string(),
+                label.to_string(),
+                format!(
+                    "{:.1} GB/s",
+                    profile.rate(OpClass::Regex).unwrap().as_gbytes_per_sec()
+                ),
+                fmt_util::dur(service),
+                fmt_util::bytes(result.ledger.cross_device_bytes()),
+            ]);
+        }
+    }
+
+    // The regex engine behind accelerated matching: same semantics as LIKE
+    // for anchored-prefix patterns, linear-time on adversarial input.
+    let re = Regex::compile("urgent .* package").expect("compiles");
+    let comments = fact.column_by_name("l_comment").unwrap();
+    let re_matches = (0..fact.rows())
+        .filter(|&i| re.is_match(comments.str_at(i)))
+        .count();
+    report.observe(format!(
+        "NFA regex engine ({} states) found {re_matches} rows for \
+         'urgent .* package' with no backtracking — the streaming property \
+         in-path matchers need",
+        re.state_count()
+    ));
+
+    let cpu_rate = cpu_profile.rate(OpClass::Regex).unwrap().as_bytes_per_sec();
+    let ssd_rate = ssd_profile.rate(OpClass::Regex).unwrap().as_bytes_per_sec();
+    report.observe(format!(
+        "the storage matcher streams {} faster than 8 CPU cores (per the \
+         calibrated profiles, following [46]); pushdown additionally cuts \
+         wire bytes to the matching fraction",
+        fmt_util::factor(ssd_rate / cpu_rate)
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_wins_and_results_match() {
+        let report = run(Scale::quick());
+        // Rows alternate cpu / storage for each pattern; match counts equal.
+        assert_eq!(report.rows[0][1], report.rows[1][1]);
+        // Storage net bytes <= cpu net bytes for the selective pattern.
+        let parse_bytes = |s: &str| -> f64 {
+            let mut it = s.split_whitespace();
+            let v: f64 = it.next().unwrap().parse().unwrap();
+            match it.next() {
+                Some("MB") => v * 1e6,
+                Some("KB") => v * 1e3,
+                _ => v,
+            }
+        };
+        let cpu_net = parse_bytes(&report.rows[0][5]);
+        let ssd_net = parse_bytes(&report.rows[1][5]);
+        assert!(ssd_net < cpu_net, "pushdown should ship less: {ssd_net} vs {cpu_net}");
+    }
+}

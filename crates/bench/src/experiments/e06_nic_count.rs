@@ -1,0 +1,136 @@
+//! E6 — §4.4: a query that completes *on the NIC*.
+//!
+//! "A query returning only a COUNT can be executed directly on the NIC that
+//! simply counts the data as it arrives and discards it, providing the
+//! final results at the end" — potentially "without even involving the CPU
+//! or transferring data to the host memory."
+
+use df_net::nic::{NicKernel, NicPipeline};
+use df_storage::object::MemObjectStore;
+use df_storage::predicate::StoragePredicate;
+use df_storage::smart::{ScanRequest, SmartStorage};
+use df_storage::table::TableStore;
+use df_storage::zonemap::CmpOp;
+
+use df_fabric::flow::{FlowSim, PipelineSpec, StageSpec};
+use df_fabric::topology::{DisaggregatedConfig, Topology};
+use df_fabric::OpClass;
+
+use crate::report::{fmt_util, ExpReport};
+use crate::workload;
+
+use super::Scale;
+
+/// Run E6.
+pub fn run(scale: Scale) -> ExpReport {
+    let mut report = ExpReport::new(
+        "E6",
+        "§4.4 — COUNT executed entirely on the NIC",
+        "The NIC counts rows as they arrive and discards the data; the \
+         host CPU receives one number instead of the table.",
+    )
+    .headers(&[
+        "where counting runs",
+        "count",
+        "bytes into host memory",
+        "sim completion time",
+    ]);
+
+    let tables = TableStore::new(MemObjectStore::shared());
+    let fact = workload::lineitem(scale.rows, scale.seed);
+    tables.create_and_load("lineitem", &[fact]).expect("load");
+    let storage = SmartStorage::new(tables);
+
+    // The stream arriving at the compute node's NIC: a filtered scan.
+    let request = ScanRequest::full()
+        .filter(StoragePredicate::cmp("l_quantity", CmpOp::Ge, 25i64))
+        .project(&["l_orderkey", "l_quantity"]);
+    let (batches, _) = storage.scan("lineitem", &request).expect("scan");
+    let expected: usize = batches.iter().map(df_data::Batch::rows).sum();
+
+    // NIC path: the Count kernel absorbs everything.
+    let mut nic = NicPipeline::new(vec![NicKernel::Count {
+        output: "n".into(),
+    }])
+    .expect("nic program");
+    let mut host_bytes_nic = 0u64;
+    for batch in &batches {
+        for (_, out) in nic.push(batch.clone()).expect("count kernel") {
+            host_bytes_nic += out.byte_size() as u64;
+        }
+    }
+    let mut nic_count = 0i64;
+    for (_, out) in nic.finish().expect("finish") {
+        host_bytes_nic += out.byte_size() as u64;
+        nic_count = out.column(0).i64_values().unwrap()[0];
+    }
+    assert_eq!(nic_count as usize, expected, "NIC count is wrong");
+
+    // Host path: every batch crosses into host memory first.
+    let host_bytes_cpu: u64 = batches.iter().map(|b| b.byte_size() as u64).sum();
+    let host_count: usize = batches.iter().map(df_data::Batch::rows).sum();
+
+    // Simulated completion times for both placements.
+    let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+    let ssd = topo.expect_device("storage.ssd");
+    let cnic = topo.expect_device("compute0.nic");
+    let cpu = topo.expect_device("compute0.cpu");
+    let stream_bytes = host_bytes_cpu;
+    let sim_time = |stages: Vec<StageSpec>| {
+        let mut sim = FlowSim::new(Topology::disaggregated(
+            &DisaggregatedConfig::default(),
+        ));
+        sim.add_pipeline(PipelineSpec::new("count", stages, stream_bytes));
+        sim.run().pipelines[0].duration()
+    };
+    let nic_time = sim_time(vec![
+        StageSpec::new(ssd, OpClass::Filter, 0.5),
+        StageSpec::new(cnic, OpClass::Count, 0.0),
+    ]);
+    let cpu_time = sim_time(vec![
+        StageSpec::new(ssd, OpClass::Filter, 0.5),
+        StageSpec::new(cpu, OpClass::Count, 0.0),
+    ]);
+
+    report.row(vec![
+        "compute NIC (query ends in-path)".into(),
+        nic_count.to_string(),
+        fmt_util::bytes(host_bytes_nic),
+        fmt_util::dur(nic_time),
+    ]);
+    report.row(vec![
+        "host CPU (conventional)".into(),
+        host_count.to_string(),
+        fmt_util::bytes(host_bytes_cpu),
+        fmt_util::dur(cpu_time),
+    ]);
+
+    report.observe(format!(
+        "the NIC path delivered {} into host memory instead of {} — a {} \
+         reduction — and returned the identical count",
+        fmt_util::bytes(host_bytes_nic),
+        fmt_util::bytes(host_bytes_cpu),
+        fmt_util::factor(host_bytes_cpu as f64 / host_bytes_nic.max(1) as f64)
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nic_count_moves_almost_nothing_to_host() {
+        let report = run(Scale::quick());
+        assert_eq!(report.rows[0][1], report.rows[1][1], "counts differ");
+        // NIC row ships bytes in the tens, host row in the hundreds of KB.
+        assert!(report.rows[0][2].ends_with(" B"), "{:?}", report.rows[0]);
+        let nic_bytes: f64 = report.rows[0][2]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(nic_bytes < 200.0, "NIC shipped too much: {nic_bytes}");
+    }
+}

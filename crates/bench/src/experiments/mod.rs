@@ -1,0 +1,90 @@
+//! The per-figure experiments. Each module regenerates one figure or
+//! quantitative scenario from the paper as a measured table; the registry
+//! in [`all`] drives the `figures` binary.
+
+pub mod e01_conventional;
+pub mod e02_pushdown;
+pub mod e03_like_offload;
+pub mod e04_nic_pipeline;
+pub mod e05_scatter_join;
+pub mod e06_nic_count;
+pub mod e07_near_memory;
+pub mod e08_pointer_chase;
+pub mod e09_transpose;
+pub mod e10_full_pipeline;
+pub mod e11_interconnect;
+pub mod e12_flow_control;
+pub mod e13_scheduling;
+pub mod e14_bufferpool;
+
+use crate::report::ExpReport;
+
+/// Experiment scale: number of fact-table rows most experiments use.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Fact-table rows.
+    pub rows: usize,
+    /// Seed for all generators.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Quick scale for tests/CI.
+    pub fn quick() -> Scale {
+        Scale {
+            rows: 20_000,
+            seed: 42,
+        }
+    }
+
+    /// Full scale for the recorded EXPERIMENTS.md numbers.
+    pub fn full() -> Scale {
+        Scale {
+            rows: 400_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Signature every experiment runner implements.
+pub type ExperimentFn = fn(Scale) -> ExpReport;
+
+/// All experiments: `(id, runner)` in paper order.
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("E1", e01_conventional::run),
+        ("E2", e02_pushdown::run),
+        ("E3", e03_like_offload::run),
+        ("E4", e04_nic_pipeline::run),
+        ("E5", e05_scatter_join::run),
+        ("E6", e06_nic_count::run),
+        ("E7", e07_near_memory::run),
+        ("E8", e08_pointer_chase::run),
+        ("E9", e09_transpose::run),
+        ("E10", e10_full_pipeline::run),
+        ("E11", e11_interconnect::run),
+        ("E12", e12_flow_control::run),
+        ("E13", e13_scheduling::run),
+        ("E14", e14_bufferpool::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke: every experiment runs at quick scale and produces a table.
+    /// (Heavier shape assertions live in each module and tests/.)
+    #[test]
+    fn all_experiments_run() {
+        for (id, run) in all() {
+            let report = run(Scale::quick());
+            assert_eq!(report.id, id);
+            assert!(!report.rows.is_empty(), "{id} produced no rows");
+            assert!(
+                !report.observations.is_empty(),
+                "{id} recorded no observations"
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # df-bench — workloads and the paper-figure experiment harness
+//!
+//! The paper is a vision paper: its "evaluation" is six architectural
+//! figures plus quantitative scenarios in §3–§7. This crate regenerates
+//! every one of them as a measured experiment (see DESIGN.md's
+//! per-experiment index):
+//!
+//! | id  | paper source | module |
+//! |-----|--------------|--------|
+//! | E1  | Fig. 1, §2.1 | [`experiments::e01_conventional`] |
+//! | E2  | Fig. 2, §3   | [`experiments::e02_pushdown`] |
+//! | E3  | §3.3         | [`experiments::e03_like_offload`] |
+//! | E4  | Fig. 3, §4.3 | [`experiments::e04_nic_pipeline`] |
+//! | E5  | Fig. 4, §4.4 | [`experiments::e05_scatter_join`] |
+//! | E6  | §4.4         | [`experiments::e06_nic_count`] |
+//! | E7  | Fig. 5, §5   | [`experiments::e07_near_memory`] |
+//! | E8  | §5.4         | [`experiments::e08_pointer_chase`] |
+//! | E9  | §5.4         | [`experiments::e09_transpose`] |
+//! | E10 | Fig. 6, §7   | [`experiments::e10_full_pipeline`] |
+//! | E11 | §6.2         | [`experiments::e11_interconnect`] |
+//! | E12 | §7.1         | [`experiments::e12_flow_control`] |
+//! | E13 | §7.3         | [`experiments::e13_scheduling`] |
+//! | E14 | §7.4–7.5     | [`experiments::e14_bufferpool`] |
+//!
+//! `cargo run -p df-bench --release --bin figures -- --all` regenerates
+//! everything and prints the tables recorded in EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod report;
+pub mod workload;
+
+pub use report::{ExpReport, Row};

@@ -1,0 +1,151 @@
+//! Experiment reports: the structure EXPERIMENTS.md is generated from.
+
+use std::fmt;
+
+/// One table row: cells as strings (already formatted).
+pub type Row = Vec<String>;
+
+/// A regenerated figure/scenario.
+#[derive(Debug, Clone)]
+pub struct ExpReport {
+    /// Experiment id, e.g. `"E2"`.
+    pub id: String,
+    /// Title, e.g. `"Figure 2: storage pushdown"`.
+    pub title: String,
+    /// What the paper claims, verbatim or paraphrased.
+    pub paper_claim: String,
+    /// Column headers of the result table.
+    pub headers: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Measured observations ("who won, by what factor").
+    pub observations: Vec<String>,
+}
+
+impl ExpReport {
+    /// Start a report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        paper_claim: impl Into<String>,
+    ) -> ExpReport {
+        ExpReport {
+            id: id.into(),
+            title: title.into(),
+            paper_claim: paper_claim.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+            observations: Vec::new(),
+        }
+    }
+
+    /// Set the table headers.
+    pub fn headers(mut self, headers: &[&str]) -> Self {
+        self.headers = headers.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "ragged report row");
+        self.rows.push(cells);
+    }
+
+    /// Append an observation line.
+    pub fn observe(&mut self, text: impl Into<String>) {
+        self.observations.push(text.into());
+    }
+
+    /// Render as a markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("**Paper claim.** {}\n\n", self.paper_claim));
+        if !self.headers.is_empty() {
+            out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+            out.push_str(&format!(
+                "|{}\n",
+                "---|".repeat(self.headers.len())
+            ));
+            for row in &self.rows {
+                out.push_str(&format!("| {} |\n", row.join(" | ")));
+            }
+            out.push('\n');
+        }
+        if !self.observations.is_empty() {
+            out.push_str("**Measured.**\n");
+            for obs in &self.observations {
+                out.push_str(&format!("- {obs}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExpReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+/// Human formatting helpers shared by the experiments.
+pub mod fmt_util {
+    /// Bytes with a binary-ish unit.
+    pub fn bytes(b: u64) -> String {
+        if b >= 10_000_000 {
+            format!("{:.1} MB", b as f64 / 1e6)
+        } else if b >= 10_000 {
+            format!("{:.1} KB", b as f64 / 1e3)
+        } else {
+            format!("{b} B")
+        }
+    }
+
+    /// A ratio like `12.3x`.
+    pub fn factor(f: f64) -> String {
+        if f.is_infinite() {
+            "∞".to_string()
+        } else if f >= 100.0 {
+            format!("{f:.0}x")
+        } else {
+            format!("{f:.1}x")
+        }
+    }
+
+    /// Simulated duration, delegating to the sim display.
+    pub fn dur(d: df_sim::SimDuration) -> String {
+        d.to_string()
+    }
+
+    /// Wall-clock duration in ms.
+    pub fn wall(d: std::time::Duration) -> String {
+        format!("{:.2} ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut r = ExpReport::new("E0", "smoke", "claims things").headers(&["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.observe("it worked");
+        let md = r.to_markdown();
+        assert!(md.contains("## E0 — smoke"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("- it worked"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_util::bytes(500), "500 B");
+        assert_eq!(fmt_util::bytes(50_000), "50.0 KB");
+        assert_eq!(fmt_util::bytes(50_000_000), "50.0 MB");
+        assert_eq!(fmt_util::factor(3.15), "3.1x");
+        assert_eq!(fmt_util::factor(f64::INFINITY), "∞");
+    }
+}

@@ -1,0 +1,73 @@
+//! CRC32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Models the "decode (for error checking)" step the paper lists in the
+//! cloud storage path (§2.1): segment pages and wire frames carry a CRC that
+//! readers verify before use.
+
+/// Lazily built 256-entry CRC table for the reflected IEEE polynomial.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Streaming update: feed chunks with `state` starting at `0xFFFF_FFFF` and
+/// finish by XORing with `0xFFFF_FFFF`.
+pub fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    let t = table();
+    for &b in bytes {
+        state = (state >> 8) ^ t[((state ^ u32::from(b)) & 0xff) as usize];
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = crc32(data);
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(7) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0u8; 256];
+        let clean = crc32(&data);
+        data[100] ^= 0x04;
+        assert_ne!(crc32(&data), clean);
+    }
+}

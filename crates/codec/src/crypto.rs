@@ -1,0 +1,186 @@
+//! ChaCha20 stream cipher (RFC 8439 core), used for the "encryption on the
+//! data path" pipeline stage (§1, §2.2).
+//!
+//! This is a from-scratch, test-vector-verified implementation included so
+//! encryption can appear as a real, measurable pipeline operation. It is
+//! **not audited** and this repository makes no security claims — the point
+//! is the data-movement and compute cost of the stage, not confidentiality.
+
+/// A 256-bit key.
+#[derive(Clone, Copy)]
+pub struct Key(pub [u8; 32]);
+
+impl Key {
+    /// Derive a deterministic key from a seed (test/demo convenience).
+    pub fn from_seed(seed: u64) -> Key {
+        let mut k = [0u8; 32];
+        let mut state = seed;
+        for chunk in k.chunks_mut(8) {
+            // SplitMix64 expansion.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            chunk.copy_from_slice(&(z ^ (z >> 31)).to_le_bytes()[..chunk.len()]);
+        }
+        Key(k)
+    }
+}
+
+impl std::fmt::Debug for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Key(..)") // never print key material
+    }
+}
+
+/// A 96-bit nonce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nonce(pub [u8; 12]);
+
+impl Nonce {
+    /// A nonce from a message counter (unique per frame within a stream).
+    pub fn from_counter(counter: u64) -> Nonce {
+        let mut n = [0u8; 12];
+        n[..8].copy_from_slice(&counter.to_le_bytes());
+        Nonce(n)
+    }
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha20_block(key: &Key, counter: u32, nonce: &Nonce) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865; // "expa"
+    state[1] = 0x3320_646e; // "nd 3"
+    state[2] = 0x7962_2d32; // "2-by"
+    state[3] = 0x6b20_6574; // "te k"
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key.0[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] =
+            u32::from_le_bytes(nonce.0[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    let initial = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XOR `data` in place with the ChaCha20 keystream. Encryption and
+/// decryption are the same operation.
+pub fn apply_keystream(key: &Key, nonce: &Nonce, data: &mut [u8]) {
+    let mut counter = 1u32; // RFC 8439 starts payload at block 1
+    for chunk in data.chunks_mut(64) {
+        let block = chacha20_block(key, counter, nonce);
+        for (byte, ks) in chunk.iter_mut().zip(block.iter()) {
+            *byte ^= ks;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// Encrypt a copy of `data`.
+pub fn encrypt(key: &Key, nonce: &Nonce, data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    apply_keystream(key, nonce, &mut out);
+    out
+}
+
+/// Decrypt a copy of `data` (same as [`encrypt`]).
+pub fn decrypt(key: &Key, nonce: &Nonce, data: &[u8]) -> Vec<u8> {
+    encrypt(key, nonce, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector for the block function.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = Nonce([0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0]);
+        let block = chacha20_block(&Key(key), 1, &nonce);
+        assert_eq!(
+            &block[..16],
+            &[
+                0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd,
+                0x1f, 0xa3, 0x20, 0x71, 0xc4
+            ]
+        );
+    }
+
+    /// RFC 8439 §2.4.2 full encryption vector (first bytes).
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = Nonce([0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0]);
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could \
+offer you only one tip for the future, sunscreen would be it.";
+        let ct = encrypt(&Key(key), &nonce, plaintext);
+        assert_eq!(
+            &ct[..16],
+            &[
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07,
+                0x28, 0xdd, 0x0d, 0x69, 0x81
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = Key::from_seed(7);
+        let nonce = Nonce::from_counter(3);
+        let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let ct = encrypt(&key, &nonce, &data);
+        assert_ne!(ct, data);
+        assert_eq!(decrypt(&key, &nonce, &ct), data);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = Key::from_seed(7);
+        let data = vec![0u8; 64];
+        let a = encrypt(&key, &Nonce::from_counter(1), &data);
+        let b = encrypt(&key, &Nonce::from_counter(2), &data);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn key_debug_redacts() {
+        assert_eq!(format!("{:?}", Key::from_seed(1)), "Key(..)");
+    }
+}

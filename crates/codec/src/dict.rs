@@ -1,0 +1,129 @@
+//! Dictionary encoding for string columns.
+//!
+//! Low-cardinality string columns (status codes, regions, flags) encode as a
+//! dictionary of distinct values plus varint codes — the representation
+//! smart storage ships over the network when projection is pushed down.
+
+use std::collections::HashMap;
+
+use crate::varint;
+use crate::{CodecError, Result};
+
+/// Encode `values` as `ndict, dict entries (len-prefixed), n, codes...`.
+pub fn dict_encode<S: AsRef<str>>(values: &[S]) -> Vec<u8> {
+    let mut dict: Vec<&str> = Vec::new();
+    let mut index: HashMap<&str, u64> = HashMap::new();
+    let mut codes = Vec::with_capacity(values.len());
+    for v in values {
+        let s = v.as_ref();
+        let code = match index.get(s) {
+            Some(&c) => c,
+            None => {
+                let c = dict.len() as u64;
+                dict.push(s);
+                index.insert(s, c);
+                c
+            }
+        };
+        codes.push(code);
+    }
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, dict.len() as u64);
+    for entry in &dict {
+        varint::write_bytes(&mut out, entry.as_bytes());
+    }
+    varint::write_u64(&mut out, codes.len() as u64);
+    for c in codes {
+        varint::write_u64(&mut out, c);
+    }
+    out
+}
+
+/// Decode a dictionary stream produced by [`dict_encode`].
+pub fn dict_decode(buf: &[u8]) -> Result<Vec<String>> {
+    let mut pos = 0;
+    let ndict = varint::read_u64(buf, &mut pos)? as usize;
+    if ndict > buf.len() {
+        return Err(CodecError::Corrupt("dict size implausible".into()));
+    }
+    let mut dict = Vec::with_capacity(ndict);
+    for _ in 0..ndict {
+        let bytes = varint::read_bytes(buf, &mut pos)?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| CodecError::Corrupt("dict entry not utf8".into()))?;
+        dict.push(s.to_string());
+    }
+    let n = varint::read_u64(buf, &mut pos)? as usize;
+    if n > buf.len().saturating_mul(64) {
+        return Err(CodecError::Corrupt("code count implausible".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let code = varint::read_u64(buf, &mut pos)? as usize;
+        let entry = dict
+            .get(code)
+            .ok_or_else(|| CodecError::Corrupt(format!("code {code} out of dict")))?;
+        out.push(entry.clone());
+    }
+    if pos != buf.len() {
+        return Err(CodecError::Corrupt("trailing bytes after dict codes".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let values = vec!["eu", "us", "eu", "ap", "us", "eu", ""];
+        let decoded = dict_decode(&dict_encode(&values)).unwrap();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let values: Vec<&str> = vec![];
+        assert!(dict_decode(&dict_encode(&values)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compresses_low_cardinality() {
+        let values: Vec<String> =
+            (0..10_000).map(|i| format!("region-{}", i % 4)).collect();
+        let plain: usize = values.iter().map(|s| s.len() + 4).sum();
+        let enc = dict_encode(&values);
+        assert!(
+            enc.len() < plain / 4,
+            "dict {} not < plain/4 {}",
+            enc.len(),
+            plain / 4
+        );
+    }
+
+    #[test]
+    fn high_cardinality_still_roundtrips() {
+        let values: Vec<String> = (0..500).map(|i| format!("id-{i}")).collect();
+        assert_eq!(dict_decode(&dict_encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn out_of_range_code_errors() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 1); // one dict entry
+        varint::write_bytes(&mut buf, b"x");
+        varint::write_u64(&mut buf, 1); // one code
+        varint::write_u64(&mut buf, 5); // invalid
+        assert!(dict_decode(&buf).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_dict_errors() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 1);
+        varint::write_bytes(&mut buf, &[0xff, 0xfe]);
+        varint::write_u64(&mut buf, 0);
+        assert!(dict_decode(&buf).is_err());
+    }
+}

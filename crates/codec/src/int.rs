@@ -1,0 +1,206 @@
+//! Integer column codecs: run-length and delta encoding.
+//!
+//! These are the "keep data in memory compressed, decompress on demand"
+//! codecs (§5.4): cheap enough that a near-memory functional unit can decode
+//! at streaming rate, and effective on the sorted/clustered key columns the
+//! workloads produce.
+
+use crate::varint;
+use crate::{CodecError, Result};
+
+/// Encode `values` as (value, run-length) pairs, zigzag-varint packed.
+pub fn rle_encode(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, values.len() as u64);
+    let mut i = 0;
+    while i < values.len() {
+        let v = values[i];
+        let mut run = 1usize;
+        while i + run < values.len() && values[i + run] == v {
+            run += 1;
+        }
+        varint::write_i64(&mut out, v);
+        varint::write_u64(&mut out, run as u64);
+        i += run;
+    }
+    out
+}
+
+/// Decode an RLE stream produced by [`rle_encode`].
+pub fn rle_decode(buf: &[u8]) -> Result<Vec<i64>> {
+    let mut pos = 0;
+    let n = varint::read_u64(buf, &mut pos)? as usize;
+    // Cap allocation by the input size: each run needs >= 2 bytes.
+    if n > buf.len().saturating_mul(u32::MAX as usize) {
+        return Err(CodecError::Corrupt("rle length implausible".into()));
+    }
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    while out.len() < n {
+        let v = varint::read_i64(buf, &mut pos)?;
+        let run = varint::read_u64(buf, &mut pos)? as usize;
+        if run == 0 || out.len() + run > n {
+            return Err(CodecError::Corrupt("rle run overruns length".into()));
+        }
+        out.resize(out.len() + run, v);
+    }
+    if pos != buf.len() {
+        return Err(CodecError::Corrupt("trailing bytes after rle".into()));
+    }
+    Ok(out)
+}
+
+/// Encode `values` as a first value plus zigzag-varint deltas.
+pub fn delta_encode(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, values.len() as u64);
+    let mut prev = 0i64;
+    for &v in values {
+        varint::write_i64(&mut out, v.wrapping_sub(prev));
+        prev = v;
+    }
+    out
+}
+
+/// Decode a delta stream produced by [`delta_encode`].
+pub fn delta_decode(buf: &[u8]) -> Result<Vec<i64>> {
+    let mut pos = 0;
+    let n = varint::read_u64(buf, &mut pos)? as usize;
+    if n > buf.len() {
+        // Every delta takes at least one byte.
+        return Err(CodecError::Corrupt("delta length implausible".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    for _ in 0..n {
+        let d = varint::read_i64(buf, &mut pos)?;
+        prev = prev.wrapping_add(d);
+        out.push(prev);
+    }
+    if pos != buf.len() {
+        return Err(CodecError::Corrupt("trailing bytes after delta".into()));
+    }
+    Ok(out)
+}
+
+/// Pick the better of RLE/delta/plain for `values` by trial encoding,
+/// returning `(tag, bytes)`. Tags: 0 = plain LE, 1 = RLE, 2 = delta.
+pub fn encode_best(values: &[i64]) -> (u8, Vec<u8>) {
+    let plain_len = values.len() * 8;
+    let rle = rle_encode(values);
+    let delta = delta_encode(values);
+    if rle.len() <= delta.len() && rle.len() < plain_len {
+        (1, rle)
+    } else if delta.len() < plain_len {
+        (2, delta)
+    } else {
+        let mut out = Vec::with_capacity(plain_len + 10);
+        varint::write_u64(&mut out, values.len() as u64);
+        for &v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        (0, out)
+    }
+}
+
+/// Decode a `(tag, bytes)` pair produced by [`encode_best`].
+pub fn decode_tagged(tag: u8, buf: &[u8]) -> Result<Vec<i64>> {
+    match tag {
+        0 => {
+            let mut pos = 0;
+            let n = varint::read_u64(buf, &mut pos)? as usize;
+            if buf.len() - pos != n * 8 {
+                return Err(CodecError::Corrupt("plain int payload size".into()));
+            }
+            Ok(buf[pos..]
+                .chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                .collect())
+        }
+        1 => rle_decode(buf),
+        2 => delta_decode(buf),
+        other => Err(CodecError::Corrupt(format!("unknown int codec tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rle_roundtrip() {
+        let values = vec![5i64, 5, 5, -2, -2, 9, 9, 9, 9, 0];
+        assert_eq!(rle_decode(&rle_encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn rle_compresses_runs() {
+        let values = vec![42i64; 10_000];
+        let enc = rle_encode(&values);
+        assert!(enc.len() < 16, "RLE of constant run should be tiny, got {}", enc.len());
+    }
+
+    #[test]
+    fn rle_empty() {
+        assert_eq!(rle_decode(&rle_encode(&[])).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let values: Vec<i64> = (0..1000).map(|i| i * 3 + 7).collect();
+        assert_eq!(delta_decode(&delta_encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn delta_compresses_monotonic() {
+        let values: Vec<i64> = (1_000_000..1_010_000).collect();
+        let enc = delta_encode(&values);
+        // ~1.x bytes per value instead of 8.
+        assert!(enc.len() < values.len() * 2);
+    }
+
+    #[test]
+    fn delta_handles_extremes() {
+        let values = vec![i64::MIN, i64::MAX, 0, -1, i64::MAX];
+        assert_eq!(delta_decode(&delta_encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn best_picks_rle_for_runs() {
+        let values = vec![7i64; 1000];
+        let (tag, _) = encode_best(&values);
+        assert_eq!(tag, 1);
+    }
+
+    #[test]
+    fn best_picks_delta_for_sequences() {
+        let values: Vec<i64> = (0..1000).collect();
+        let (tag, _) = encode_best(&values);
+        assert_eq!(tag, 2);
+    }
+
+    #[test]
+    fn tagged_roundtrip_all_shapes() {
+        for values in [
+            vec![7i64; 100],
+            (0..100).collect::<Vec<i64>>(),
+            vec![i64::MIN, 5, i64::MAX, -9, 0],
+            vec![],
+        ] {
+            let (tag, bytes) = encode_best(&values);
+            assert_eq!(decode_tagged(tag, &bytes).unwrap(), values);
+        }
+    }
+
+    #[test]
+    fn corrupt_inputs_error_not_panic() {
+        assert!(rle_decode(&[0xff]).is_err());
+        assert!(delta_decode(&[5, 1]).is_err());
+        assert!(decode_tagged(9, &[]).is_err());
+        // Run overrunning declared length.
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 2);
+        varint::write_i64(&mut buf, 1);
+        varint::write_u64(&mut buf, 5); // run of 5 > declared 2
+        assert!(rle_decode(&buf).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! The movement ledger: the paper's first-class metric, measured exactly.
+//!
+//! Every batch that flows from one physical operator to another is charged
+//! to the (producer device, consumer device) edge. Mapping edges through
+//! the topology's routes gives bytes-per-link — what "optimizing data
+//! movement" (§1) actually means, and the number the optimizer's cost model
+//! is later validated against.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use df_fabric::{DeviceId, LinkId, Topology};
+
+/// Traffic on one producer→consumer edge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Payload bytes (in-memory size of the batches).
+    pub bytes: u64,
+    /// Batches moved.
+    pub batches: u64,
+    /// Rows moved.
+    pub rows: u64,
+}
+
+/// Byte accounting for one plan execution.
+#[derive(Debug, Clone, Default)]
+pub struct MovementLedger {
+    /// Cross-device edges.
+    edges: BTreeMap<(DeviceId, DeviceId), EdgeStats>,
+    /// Bytes moved between co-located (or unplaced) operators.
+    local: EdgeStats,
+}
+
+impl MovementLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        MovementLedger::default()
+    }
+
+    /// Charge one batch moving from `from` to `to`. Unplaced endpoints and
+    /// same-device moves count as local.
+    pub fn charge(
+        &mut self,
+        from: Option<DeviceId>,
+        to: Option<DeviceId>,
+        bytes: u64,
+        rows: u64,
+    ) {
+        let stats = match (from, to) {
+            (Some(f), Some(t)) if f != t => self.edges.entry((f, t)).or_default(),
+            _ => &mut self.local,
+        };
+        stats.bytes += bytes;
+        stats.batches += 1;
+        stats.rows += rows;
+    }
+
+    /// Cross-device edges in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (&(DeviceId, DeviceId), &EdgeStats)> {
+        self.edges.iter()
+    }
+
+    /// Total bytes that crossed between devices.
+    pub fn cross_device_bytes(&self) -> u64 {
+        self.edges.values().map(|e| e.bytes).sum()
+    }
+
+    /// Bytes moved between co-located operators (within one device).
+    pub fn local_bytes(&self) -> u64 {
+        self.local.bytes
+    }
+
+    /// Map edge traffic onto physical links via shortest routes. Edges
+    /// between unconnected devices are skipped (and reported by
+    /// [`MovementLedger::unroutable_bytes`]).
+    pub fn per_link(&self, topology: &Topology) -> BTreeMap<LinkId, u64> {
+        let mut out = BTreeMap::new();
+        for (&(from, to), stats) in &self.edges {
+            if let Some(route) = topology.route(from, to) {
+                for link in route.links {
+                    *out.entry(link).or_insert(0) += stats.bytes;
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes on edges with no route in the given topology (a placement bug
+    /// if non-zero).
+    pub fn unroutable_bytes(&self, topology: &Topology) -> u64 {
+        self.edges
+            .iter()
+            .filter(|(&(f, t), _)| topology.route(f, t).is_none())
+            .map(|(_, s)| s.bytes)
+            .sum()
+    }
+
+    /// Merge another ledger into this one (parallel workers).
+    pub fn merge(&mut self, other: &MovementLedger) {
+        for (&edge, stats) in &other.edges {
+            let e = self.edges.entry(edge).or_default();
+            e.bytes += stats.bytes;
+            e.batches += stats.batches;
+            e.rows += stats.rows;
+        }
+        self.local.bytes += other.local.bytes;
+        self.local.batches += other.local.batches;
+        self.local.rows += other.local.rows;
+    }
+}
+
+impl fmt::Display for MovementLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "local: {} bytes / {} rows", self.local.bytes, self.local.rows)?;
+        for ((from, to), stats) in &self.edges {
+            writeln!(
+                f,
+                "{from} -> {to}: {} bytes / {} rows / {} batches",
+                stats.bytes, stats.rows, stats.batches
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_fabric::topology::DisaggregatedConfig;
+
+    #[test]
+    fn local_vs_cross_device() {
+        let mut ledger = MovementLedger::new();
+        ledger.charge(None, None, 100, 10);
+        ledger.charge(Some(DeviceId(1)), Some(DeviceId(1)), 50, 5);
+        ledger.charge(Some(DeviceId(1)), Some(DeviceId(2)), 200, 20);
+        assert_eq!(ledger.local_bytes(), 150);
+        assert_eq!(ledger.cross_device_bytes(), 200);
+    }
+
+    #[test]
+    fn per_link_spreads_over_route() {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let ssd = topo.expect_device("storage.ssd");
+        let cpu = topo.expect_device("compute0.cpu");
+        let route = topo.route(ssd, cpu).unwrap();
+        let mut ledger = MovementLedger::new();
+        ledger.charge(Some(ssd), Some(cpu), 1000, 1);
+        let per_link = ledger.per_link(&topo);
+        assert_eq!(per_link.len(), route.links.len());
+        for &l in &route.links {
+            assert_eq!(per_link[&l], 1000);
+        }
+        assert_eq!(ledger.unroutable_bytes(&topo), 0);
+    }
+
+    #[test]
+    fn unroutable_detected() {
+        let mut topo = Topology::new();
+        let a = topo.add_device("a", df_fabric::DeviceKind::PlainNic);
+        let b = topo.add_device("b", df_fabric::DeviceKind::PlainNic);
+        let mut ledger = MovementLedger::new();
+        ledger.charge(Some(a), Some(b), 77, 1);
+        assert_eq!(ledger.unroutable_bytes(&topo), 77);
+        assert!(ledger.per_link(&topo).is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MovementLedger::new();
+        a.charge(Some(DeviceId(0)), Some(DeviceId(1)), 10, 1);
+        let mut b = MovementLedger::new();
+        b.charge(Some(DeviceId(0)), Some(DeviceId(1)), 20, 2);
+        b.charge(None, None, 5, 1);
+        a.merge(&b);
+        assert_eq!(a.cross_device_bytes(), 30);
+        assert_eq!(a.local_bytes(), 5);
+    }
+}

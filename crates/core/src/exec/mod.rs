@@ -1,0 +1,10 @@
+//! Executors: the push-based streaming engine (with movement ledger), the
+//! morsel-parallel driver, and the tuple-at-a-time Volcano baseline.
+
+pub mod ledger;
+pub mod parallel;
+pub mod push;
+pub mod volcano;
+
+pub use ledger::MovementLedger;
+pub use push::{execute, ExecEnv, ExecOutcome};

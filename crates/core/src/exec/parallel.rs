@@ -1,0 +1,429 @@
+//! Morsel-driven parallel execution.
+//!
+//! §1 closes with "massive amounts of parallelism in the form of processors
+//! rather than threads"; within one compute node the engine still wants
+//! classic morsel parallelism: the source is chopped into morsels that
+//! worker threads pull from a shared queue, each worker runs its own copy
+//! of the streaming pipeline (filters, projections, *partial* aggregation),
+//! and a final merge combines worker partials — the same partial/merge
+//! machinery the data-path offloads use, applied across cores.
+//!
+//! Supported plan shape: `[Limit]? [Aggregate(Final)]? (Filter|Project)*
+//! (StorageScan|Values)`. Other shapes return `Unsupported`, and callers
+//! fall back to the sequential executor.
+
+use crossbeam::channel::bounded;
+use df_data::{Batch, SchemaRef};
+
+use crate::error::{EngineError, Result};
+use crate::exec::ledger::MovementLedger;
+use crate::exec::push::{ExecEnv, ExecOutcome};
+use crate::expr::Expr;
+use crate::logical::AggCall;
+use crate::ops::{AggMode, FilterOp, HashAggOp, LimitOp, Operator, ProjectOp};
+use crate::physical::{PhysNode, PhysicalPlan};
+
+/// Rows per morsel handed to workers.
+pub const MORSEL_ROWS: usize = 4096;
+
+#[derive(Clone)]
+enum Stage {
+    Filter { predicate: Expr, use_kernel: bool },
+    Project { exprs: Vec<(Expr, String)>, schema: SchemaRef },
+}
+
+struct Shape<'a> {
+    leaf: &'a PhysNode,
+    /// Pipeline stages leaf-to-root order.
+    stages: Vec<Stage>,
+    agg: Option<(Vec<String>, Vec<AggCall>, SchemaRef)>,
+    limit: Option<u64>,
+}
+
+fn extract_shape(root: &PhysNode) -> Option<Shape<'_>> {
+    let mut node = root;
+    let mut limit = None;
+    if let PhysNode::Limit { input, n } = node {
+        limit = Some(*n);
+        node = input;
+    }
+    let mut agg = None;
+    if let PhysNode::Aggregate {
+        input,
+        group_by,
+        aggs,
+        mode: AggMode::Final,
+        final_schema,
+        ..
+    } = node
+    {
+        agg = Some((group_by.clone(), aggs.clone(), final_schema.clone()));
+        node = input;
+    }
+    let mut stages_rev = Vec::new();
+    loop {
+        match node {
+            PhysNode::Filter {
+                input,
+                predicate,
+                use_kernel,
+                ..
+            } => {
+                stages_rev.push(Stage::Filter {
+                    predicate: predicate.clone(),
+                    use_kernel: *use_kernel,
+                });
+                node = input;
+            }
+            PhysNode::Project {
+                input,
+                exprs,
+                schema,
+                ..
+            } => {
+                stages_rev.push(Stage::Project {
+                    exprs: exprs.clone(),
+                    schema: schema.clone(),
+                });
+                node = input;
+            }
+            PhysNode::StorageScan { .. } | PhysNode::Values { .. } => {
+                stages_rev.reverse();
+                return Some(Shape {
+                    leaf: node,
+                    stages: stages_rev,
+                    agg,
+                    limit,
+                });
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn build_stage_ops(stages: &[Stage], mut input_schema: SchemaRef) -> Result<Vec<Box<dyn Operator>>> {
+    let mut ops: Vec<Box<dyn Operator>> = Vec::with_capacity(stages.len());
+    for stage in stages {
+        match stage {
+            Stage::Filter {
+                predicate,
+                use_kernel,
+            } => {
+                let op = if *use_kernel {
+                    FilterOp::kernel(predicate, input_schema.clone())?
+                } else {
+                    FilterOp::host(predicate.clone(), input_schema.clone())
+                };
+                ops.push(Box::new(op));
+            }
+            Stage::Project { exprs, schema } => {
+                ops.push(Box::new(ProjectOp::new(exprs.clone(), schema.clone())));
+                input_schema = schema.clone();
+            }
+        }
+    }
+    Ok(ops)
+}
+
+fn run_chain(ops: &mut [Box<dyn Operator>], batch: Batch) -> Result<Vec<Batch>> {
+    let mut current = vec![batch];
+    for op in ops.iter_mut() {
+        let mut next = Vec::new();
+        for b in current {
+            next.extend(op.push(b)?);
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    Ok(current)
+}
+
+/// Execute a plan with `threads` workers. Returns
+/// `Err(EngineError::Plan(_))` when the shape is unsupported — callers
+/// should then use [`crate::exec::push::execute`].
+pub fn execute_parallel(
+    plan: &PhysicalPlan,
+    env: &ExecEnv,
+    threads: usize,
+) -> Result<ExecOutcome> {
+    let threads = threads.max(1);
+    let shape = extract_shape(&plan.root).ok_or_else(|| {
+        EngineError::Plan("plan shape not supported by the parallel executor".into())
+    })?;
+    let leaf_schema = shape.leaf.schema();
+
+    // Collect leaf batches (the storage scan still applies pushdown).
+    let mut ledger = MovementLedger::new();
+    let mut scan_stats = Vec::new();
+    let leaf_device = shape.leaf.device();
+    let source: Vec<Batch> = match shape.leaf {
+        PhysNode::Values { batches, .. } => batches.clone(),
+        PhysNode::StorageScan { table, request, .. } => {
+            let storage = env.storage.ok_or_else(|| {
+                EngineError::Internal("plan has StorageScan but env has no storage".into())
+            })?;
+            let (batches, stats) = storage.scan(table, request)?;
+            scan_stats.push(stats);
+            batches
+        }
+        _ => unreachable!("extract_shape only returns scan/values leaves"),
+    };
+    for b in &source {
+        ledger.charge(leaf_device, None, b.byte_size() as u64, b.rows() as u64);
+    }
+
+    let (tx, rx) = bounded::<Batch>(threads * 2);
+    let worker_results: Vec<Result<Vec<Batch>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let stages = shape.stages.clone();
+            let agg = shape.agg.clone();
+            let leaf_schema = leaf_schema.clone();
+            handles.push(scope.spawn(move || -> Result<Vec<Batch>> {
+                let mut ops = build_stage_ops(&stages, leaf_schema.clone())?;
+                let chain_out_schema = ops
+                    .last()
+                    .map(|op| op.schema())
+                    .unwrap_or(leaf_schema);
+                let mut partial = match &agg {
+                    Some((group_by, aggs, final_schema)) => Some(HashAggOp::new(
+                        group_by.clone(),
+                        aggs.clone(),
+                        AggMode::Partial {
+                            max_groups: 1 << 20,
+                        },
+                        &chain_out_schema,
+                        final_schema.clone(),
+                    )?),
+                    None => None,
+                };
+                let mut collected = Vec::new();
+                for batch in rx.iter() {
+                    let outs = run_chain(&mut ops, batch)?;
+                    for out in outs {
+                        match partial.as_mut() {
+                            Some(agg) => collected.extend(agg.push(out)?),
+                            None => collected.push(out),
+                        }
+                    }
+                }
+                for op in ops.iter_mut() {
+                    for out in op.finish()? {
+                        match partial.as_mut() {
+                            Some(agg) => collected.extend(agg.push(out)?),
+                            None => collected.push(out),
+                        }
+                    }
+                }
+                if let Some(agg) = partial.as_mut() {
+                    collected.extend(agg.finish()?);
+                }
+                Ok(collected)
+            }));
+        }
+        drop(rx);
+        // Feed morsels.
+        for batch in source {
+            for morsel in batch.split(MORSEL_ROWS) {
+                if tx.send(morsel).is_err() {
+                    break;
+                }
+            }
+        }
+        drop(tx);
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut partials = Vec::new();
+    for r in worker_results {
+        partials.extend(r?);
+    }
+
+    let mut batches = match &shape.agg {
+        None => partials,
+        Some((group_by, aggs, final_schema)) => {
+            if partials.is_empty() && !group_by.is_empty() {
+                Vec::new()
+            } else {
+                // Merge worker partials (positional layout).
+                let partial_layout =
+                    crate::ops::aggregate::partial_schema(group_by, aggs, &{
+                        // The chain output schema:
+                        let mut s = leaf_schema.clone();
+                        for stage in &shape.stages {
+                            if let Stage::Project { schema, .. } = stage {
+                                s = schema.clone();
+                            }
+                        }
+                        s.as_ref().clone()
+                    })?
+                    .into_ref();
+                let mut merge = HashAggOp::new(
+                    group_by.clone(),
+                    aggs.clone(),
+                    AggMode::Merge,
+                    &partial_layout,
+                    final_schema.clone(),
+                )?;
+                for p in partials {
+                    merge.push(p)?;
+                }
+                merge.finish()?
+            }
+        }
+    };
+
+    if let Some(n) = shape.limit {
+        let schema = batches
+            .first()
+            .map(|b| b.schema().clone())
+            .unwrap_or_else(|| plan.schema());
+        let mut limit = LimitOp::new(n, schema);
+        let mut limited = Vec::new();
+        for b in batches {
+            limited.extend(limit.push(b)?);
+            if limit.satisfied() {
+                break;
+            }
+        }
+        limited.extend(limit.finish()?);
+        batches = limited;
+    }
+
+    Ok(ExecOutcome {
+        batches,
+        ledger,
+        scan_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::push::execute as push_execute;
+    use crate::expr::{col, lit};
+    use crate::logical::{AggCall, AggFn, LogicalPlan};
+    use df_data::batch::batch_of;
+    use df_data::Column;
+
+    fn sample(n: usize) -> Batch {
+        batch_of(vec![
+            ("id", Column::from_i64((0..n as i64).collect())),
+            (
+                "grp",
+                Column::from_strs(&(0..n).map(|i| format!("g{}", i % 8)).collect::<Vec<_>>()),
+            ),
+            ("v", Column::from_f64((0..n).map(|i| (i % 100) as f64).collect())),
+        ])
+    }
+
+    fn values(n: usize) -> PhysNode {
+        let b = sample(n);
+        PhysNode::Values {
+            schema: b.schema().clone(),
+            batches: vec![b],
+            device: None,
+        }
+    }
+
+    fn agg_plan(n: usize) -> PhysicalPlan {
+        let calls = vec![
+            AggCall::count_star("n"),
+            AggCall::new(AggFn::Sum, "v", "s"),
+            AggCall::new(AggFn::Avg, "v", "a"),
+        ];
+        let logical = LogicalPlan::values(vec![sample(8)])
+            .unwrap()
+            .aggregate(vec!["grp".into()], calls.clone())
+            .unwrap();
+        PhysicalPlan::new(
+            PhysNode::Aggregate {
+                input: Box::new(PhysNode::Filter {
+                    input: Box::new(values(n)),
+                    predicate: col("v").lt(lit(50.0)),
+                    device: None,
+                    use_kernel: false,
+                }),
+                group_by: vec!["grp".into()],
+                aggs: calls,
+                mode: AggMode::Final,
+                final_schema: logical.schema(),
+                device: None,
+            },
+            "parallel-test",
+        )
+    }
+
+    #[test]
+    fn parallel_agg_matches_sequential() {
+        let plan = agg_plan(50_000);
+        let seq = push_execute(&plan, &ExecEnv::in_memory()).unwrap();
+        let par = execute_parallel(&plan, &ExecEnv::in_memory(), 4).unwrap();
+        assert_eq!(
+            seq.collect().unwrap().canonical_rows(),
+            par.collect().unwrap().canonical_rows()
+        );
+    }
+
+    #[test]
+    fn parallel_pipeline_without_agg_matches() {
+        let plan = PhysicalPlan::new(
+            PhysNode::Filter {
+                input: Box::new(values(10_000)),
+                predicate: col("id").between(100, 199),
+                device: None,
+                use_kernel: false,
+            },
+            "p",
+        );
+        let seq = push_execute(&plan, &ExecEnv::in_memory()).unwrap();
+        let par = execute_parallel(&plan, &ExecEnv::in_memory(), 3).unwrap();
+        assert_eq!(
+            seq.collect().unwrap().canonical_rows(),
+            par.collect().unwrap().canonical_rows()
+        );
+    }
+
+    #[test]
+    fn limit_applies_after_parallel_stage() {
+        let plan = PhysicalPlan::new(
+            PhysNode::Limit {
+                input: Box::new(values(10_000)),
+                n: 17,
+            },
+            "p",
+        );
+        let par = execute_parallel(&plan, &ExecEnv::in_memory(), 4).unwrap();
+        assert_eq!(par.rows(), 17);
+    }
+
+    #[test]
+    fn unsupported_shape_reports_cleanly() {
+        let plan = PhysicalPlan::new(
+            PhysNode::Sort {
+                input: Box::new(values(100)),
+                keys: vec![("id".into(), true)],
+                device: None,
+            },
+            "p",
+        );
+        assert!(matches!(
+            execute_parallel(&plan, &ExecEnv::in_memory(), 2),
+            Err(EngineError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn single_thread_degenerates_correctly() {
+        let plan = agg_plan(5_000);
+        let seq = push_execute(&plan, &ExecEnv::in_memory()).unwrap();
+        let par = execute_parallel(&plan, &ExecEnv::in_memory(), 1).unwrap();
+        assert_eq!(
+            seq.collect().unwrap().canonical_rows(),
+            par.collect().unwrap().canonical_rows()
+        );
+    }
+}

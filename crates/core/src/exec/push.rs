@@ -1,0 +1,635 @@
+//! The push-based streaming executor.
+//!
+//! Batches flow leaf-to-root through operator chains; nothing materializes
+//! between streaming operators. Pipeline breakers (final aggregation, sort,
+//! join build) buffer inside their operator. Every batch crossing a
+//! placement boundary is charged to the [`MovementLedger`].
+//!
+//! Positional partial-aggregate contract: a `Merge`-mode aggregate consumes
+//! batches laid out as group columns followed by one partial column per
+//! call (two for AVG: sum then count). Both the engine's own `Partial`
+//! stage and the storage server's pushed-down pre-aggregation produce this
+//! layout, so partials from any device merge interchangeably.
+
+use std::cell::RefCell;
+
+use df_data::Batch;
+use df_fabric::{DeviceId, Topology};
+use df_storage::smart::{ScanStats, SmartStorage};
+
+use crate::error::{EngineError, Result};
+use crate::exec::ledger::MovementLedger;
+use crate::ops::{
+    FilterOp, HashAggOp, HashJoinOp, LimitOp, Operator, ProjectOp, SortOp, TopKOp,
+};
+use crate::physical::{PhysNode, PhysicalPlan};
+
+/// Execution environment: where stored tables live and (optionally) the
+/// fabric for route validation.
+pub struct ExecEnv<'a> {
+    /// Smart-storage server for `StorageScan` nodes (None = plans must not
+    /// contain storage scans).
+    pub storage: Option<&'a SmartStorage>,
+    /// Fabric topology (used for ledger route reports; execution itself
+    /// never needs it).
+    pub topology: Option<&'a Topology>,
+    /// When set, batches crossing a device boundary are charged at their
+    /// *wire-encoded* size under these options (compression/encryption as
+    /// explicit data-path stages, §1) instead of their in-memory size.
+    pub wire: Option<df_codec::wire::WireOptions>,
+}
+
+impl<'a> ExecEnv<'a> {
+    /// An environment with no storage (Values-only plans).
+    pub fn in_memory() -> ExecEnv<'static> {
+        ExecEnv {
+            storage: None,
+            topology: None,
+            wire: None,
+        }
+    }
+}
+
+/// What one execution produced.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// Output batches in production order.
+    pub batches: Vec<Batch>,
+    /// Data-movement account.
+    pub ledger: MovementLedger,
+    /// Stats of every storage scan in the plan.
+    pub scan_stats: Vec<ScanStats>,
+}
+
+impl ExecOutcome {
+    /// Total output rows.
+    pub fn rows(&self) -> usize {
+        self.batches.iter().map(Batch::rows).sum()
+    }
+
+    /// Concatenate the output into one batch (empty-schema batch if none).
+    pub fn collect(&self) -> Result<Batch> {
+        if self.batches.is_empty() {
+            return Err(EngineError::Internal(
+                "no output batches; use batches directly for empty results".into(),
+            ));
+        }
+        Batch::concat(&self.batches).map_err(EngineError::from)
+    }
+}
+
+struct Ctx<'a, 'b> {
+    env: &'b ExecEnv<'a>,
+    ledger: &'b RefCell<MovementLedger>,
+    scan_stats: &'b RefCell<Vec<ScanStats>>,
+}
+
+/// Execute a physical plan.
+pub fn execute(plan: &PhysicalPlan, env: &ExecEnv) -> Result<ExecOutcome> {
+    let ledger = RefCell::new(MovementLedger::new());
+    let scan_stats = RefCell::new(Vec::new());
+    let mut batches = Vec::new();
+    {
+        let ctx = Ctx {
+            env,
+            ledger: &ledger,
+            scan_stats: &scan_stats,
+        };
+        stream_node(&plan.root, &ctx, None, &mut |b| {
+            batches.push(b);
+            Ok(())
+        })?;
+    }
+    Ok(ExecOutcome {
+        batches,
+        ledger: ledger.into_inner(),
+        scan_stats: scan_stats.into_inner(),
+    })
+}
+
+type Sink<'s> = dyn FnMut(Batch) -> Result<()> + 's;
+
+/// Charge a batch leaving `device` toward `parent` and forward it. When
+/// the environment carries wire options, cross-device moves are charged at
+/// the encoded frame size (what a NIC would actually put on the link).
+fn emit(
+    ctx: &Ctx,
+    device: Option<DeviceId>,
+    parent: Option<DeviceId>,
+    batch: Batch,
+    sink: &mut Sink,
+) -> Result<()> {
+    let crosses = matches!((device, parent), (Some(f), Some(t)) if f != t);
+    let bytes = match (&ctx.env.wire, crosses) {
+        (Some(opts), true) => df_codec::wire::wire_size(&batch, opts) as u64,
+        _ => batch.byte_size() as u64,
+    };
+    ctx.ledger
+        .borrow_mut()
+        .charge(device, parent, bytes, batch.rows() as u64);
+    sink(batch)
+}
+
+fn stream_node(
+    node: &PhysNode,
+    ctx: &Ctx,
+    parent: Option<DeviceId>,
+    sink: &mut Sink,
+) -> Result<()> {
+    match node {
+        PhysNode::StorageScan {
+            table,
+            request,
+            device,
+            ..
+        } => {
+            let storage = ctx.env.storage.ok_or_else(|| {
+                EngineError::Internal("plan has StorageScan but env has no storage".into())
+            })?;
+            let mut inner_err: Option<EngineError> = None;
+            let stats = storage
+                .scan_streaming(table, request, &mut |batch| {
+                    if inner_err.is_some() {
+                        return;
+                    }
+                    if let Err(e) = emit(ctx, *device, parent, batch, sink) {
+                        inner_err = Some(e);
+                    }
+                })
+                .map_err(EngineError::from)?;
+            ctx.scan_stats.borrow_mut().push(stats);
+            match inner_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        }
+        PhysNode::Values {
+            batches, device, ..
+        } => {
+            for batch in batches {
+                emit(ctx, *device, parent, batch.clone(), sink)?;
+            }
+            Ok(())
+        }
+        PhysNode::Filter {
+            input,
+            predicate,
+            device,
+            use_kernel,
+        } => {
+            let mut op = if *use_kernel {
+                FilterOp::kernel(predicate, input.schema())?
+            } else {
+                FilterOp::host(predicate.clone(), input.schema())
+            };
+            run_unary(node, input, &mut op, ctx, *device, parent, sink)
+        }
+        PhysNode::Project {
+            input,
+            exprs,
+            schema,
+            device,
+        } => {
+            let mut op = ProjectOp::new(exprs.clone(), schema.clone());
+            run_unary(node, input, &mut op, ctx, *device, parent, sink)
+        }
+        PhysNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+            mode,
+            final_schema,
+            device,
+        } => {
+            let mut op = HashAggOp::new(
+                group_by.clone(),
+                aggs.clone(),
+                *mode,
+                &input.schema(),
+                final_schema.clone(),
+            )?;
+            run_unary(node, input, &mut op, ctx, *device, parent, sink)
+        }
+        PhysNode::Sort {
+            input,
+            keys,
+            device,
+        } => {
+            let mut op = SortOp::new(keys.clone(), input.schema());
+            run_unary(node, input, &mut op, ctx, *device, parent, sink)
+        }
+        PhysNode::Limit { input, n } => {
+            let device = node.device();
+            let mut op = LimitOp::new(*n, input.schema());
+            run_unary(node, input, &mut op, ctx, device, parent, sink)
+        }
+        PhysNode::TopK {
+            input,
+            keys,
+            k,
+            device,
+        } => {
+            let mut op = TopKOp::new(keys.clone(), *k, input.schema());
+            run_unary(node, input, &mut op, ctx, *device, parent, sink)
+        }
+        PhysNode::HashJoin {
+            build,
+            probe,
+            on,
+            join_type,
+            schema,
+            device,
+        } => {
+            let mut op = HashJoinOp::with_type(
+                on.clone(),
+                *join_type,
+                build.schema(),
+                schema.clone(),
+            );
+            // Phase 1: drain the build side into the hash table.
+            stream_node(build, ctx, *device, &mut |batch| {
+                op.build(batch)
+            })?;
+            // Phase 2: stream probes through.
+            stream_node(probe, ctx, *device, &mut |batch| {
+                for out in op.push(batch)? {
+                    emit(ctx, *device, parent, out, sink)?;
+                }
+                Ok(())
+            })?;
+            for out in op.finish()? {
+                emit(ctx, *device, parent, out, sink)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Drive a unary operator: stream the child into it, forwarding outputs.
+fn run_unary(
+    _node: &PhysNode,
+    input: &PhysNode,
+    op: &mut dyn Operator,
+    ctx: &Ctx,
+    device: Option<DeviceId>,
+    parent: Option<DeviceId>,
+    sink: &mut Sink,
+) -> Result<()> {
+    stream_node(input, ctx, device, &mut |batch| {
+        for out in op.push(batch)? {
+            emit(ctx, device, parent, out, sink)?;
+        }
+        Ok(())
+    })?;
+    for out in op.finish()? {
+        emit(ctx, device, parent, out, sink)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::ops::AggMode;
+    use crate::logical::{AggCall, AggFn, LogicalPlan};
+    use df_data::batch::batch_of;
+    use df_data::{Column, Scalar};
+    use df_fabric::topology::DisaggregatedConfig;
+    use df_storage::object::MemObjectStore;
+    use df_storage::smart::{AggFunc, PreAggSpec, ScanRequest};
+    use df_storage::table::TableStore;
+
+    fn sample(n: usize) -> Batch {
+        batch_of(vec![
+            ("id", Column::from_i64((0..n as i64).collect())),
+            (
+                "grp",
+                Column::from_strs(&(0..n).map(|i| format!("g{}", i % 4)).collect::<Vec<_>>()),
+            ),
+            ("qty", Column::from_i64((0..n as i64).map(|i| i % 10).collect())),
+        ])
+    }
+
+    fn values_node(n: usize) -> PhysNode {
+        let batch = sample(n);
+        let schema = batch.schema().clone();
+        PhysNode::Values {
+            batches: batch.split(37),
+            schema,
+            device: None,
+        }
+    }
+
+    #[test]
+    fn filter_project_pipeline() {
+        let plan = PhysicalPlan::new(
+            PhysNode::Project {
+                exprs: vec![(col("qty").mul(lit(2)), "dq".into())],
+                schema: df_data::Schema::new(vec![df_data::Field::nullable(
+                    "dq",
+                    df_data::DataType::Int64,
+                )])
+                .into_ref(),
+                input: Box::new(PhysNode::Filter {
+                    input: Box::new(values_node(100)),
+                    predicate: col("qty").lt(lit(2)),
+                    device: None,
+                    use_kernel: false,
+                }),
+                device: None,
+            },
+            "test",
+        );
+        let out = execute(&plan, &ExecEnv::in_memory()).unwrap();
+        assert_eq!(out.rows(), 20);
+        let merged = out.collect().unwrap();
+        for r in 0..merged.rows() {
+            let v = merged.row(r)[0].as_int().unwrap();
+            assert!(v == 0 || v == 2);
+        }
+    }
+
+    #[test]
+    fn final_aggregate_over_values() {
+        let logical = LogicalPlan::values(vec![sample(100)])
+            .unwrap()
+            .aggregate(
+                vec!["grp".into()],
+                vec![
+                    AggCall::count_star("n"),
+                    AggCall::new(AggFn::Sum, "qty", "total"),
+                ],
+            )
+            .unwrap();
+        let plan = PhysicalPlan::new(
+            PhysNode::Aggregate {
+                input: Box::new(values_node(100)),
+                group_by: vec!["grp".into()],
+                aggs: vec![
+                    AggCall::count_star("n"),
+                    AggCall::new(AggFn::Sum, "qty", "total"),
+                ],
+                mode: AggMode::Final,
+                final_schema: logical.schema(),
+                device: None,
+            },
+            "test",
+        );
+        let out = execute(&plan, &ExecEnv::in_memory()).unwrap();
+        let merged = out.collect().unwrap();
+        assert_eq!(merged.rows(), 4);
+        let total: i64 = (0..4)
+            .map(|r| merged.row(r)[2].as_int().unwrap())
+            .sum();
+        let expect: i64 = (0..100i64).map(|i| i % 10).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn partial_then_merge_distributed_shape() {
+        // values -> Partial (on "nic") -> Merge (on cpu): the Figure 3 cascade.
+        let topo = df_fabric::Topology::disaggregated(&DisaggregatedConfig::default());
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let logical = LogicalPlan::values(vec![sample(1000)])
+            .unwrap()
+            .aggregate(
+                vec!["grp".into()],
+                vec![AggCall::new(AggFn::Avg, "qty", "avg_qty")],
+            )
+            .unwrap();
+        let aggs = vec![AggCall::new(AggFn::Avg, "qty", "avg_qty")];
+        let partial = PhysNode::Aggregate {
+            input: Box::new(values_node(1000)),
+            group_by: vec!["grp".into()],
+            aggs: aggs.clone(),
+            mode: AggMode::Partial { max_groups: 2 },
+            final_schema: logical.schema(),
+            device: Some(nic),
+        };
+        let plan = PhysicalPlan::new(
+            PhysNode::Aggregate {
+                input: Box::new(partial),
+                group_by: vec!["grp".into()],
+                aggs,
+                mode: AggMode::Merge,
+                final_schema: logical.schema(),
+                device: Some(cpu),
+            },
+            "nic-cascade",
+        );
+        let out = execute(&plan, &ExecEnv::in_memory()).unwrap();
+        let merged = out.collect().unwrap();
+        assert_eq!(merged.rows(), 4);
+        // Groups interleave qty values: g0/g2 average 4.0, g1/g3 average 5.0.
+        let mut avgs: Vec<f64> = (0..4)
+            .map(|r| match merged.row(r)[1] {
+                Scalar::Float(f) => f,
+                ref other => panic!("expected float, got {other:?}"),
+            })
+            .collect();
+        avgs.sort_by(f64::total_cmp);
+        assert_eq!(avgs, vec![4.0, 4.0, 5.0, 5.0]);
+        // Ledger saw traffic nic -> cpu.
+        let cross = out.ledger.cross_device_bytes();
+        assert!(cross > 0);
+    }
+
+    #[test]
+    fn join_over_values() {
+        let build = batch_of(vec![
+            ("gname", Column::from_strs(&["g0", "g1"])),
+            ("label", Column::from_strs(&["zero", "one"])),
+        ]);
+        let probe = sample(20);
+        let logical = LogicalPlan::values(vec![build.clone()])
+            .unwrap()
+            .join(
+                LogicalPlan::values(vec![probe.clone()]).unwrap(),
+                vec![("gname", "grp")],
+            )
+            .unwrap();
+        let plan = PhysicalPlan::new(
+            PhysNode::HashJoin {
+                build: Box::new(PhysNode::Values {
+                    schema: build.schema().clone(),
+                    batches: vec![build],
+                    device: None,
+                }),
+                probe: Box::new(PhysNode::Values {
+                    schema: probe.schema().clone(),
+                    batches: probe.split(7),
+                    device: None,
+                }),
+                on: vec![("gname".into(), "grp".into())],
+                join_type: crate::logical::JoinType::Inner,
+                schema: logical.schema(),
+                device: None,
+            },
+            "test",
+        );
+        let out = execute(&plan, &ExecEnv::in_memory()).unwrap();
+        // 20 rows, groups g0..g3 round-robin: g0 and g1 appear 5 times each.
+        assert_eq!(out.rows(), 10);
+    }
+
+    #[test]
+    fn storage_scan_with_pushdown_and_ledger() {
+        let topo = df_fabric::Topology::disaggregated(&DisaggregatedConfig::default());
+        let ssd = topo.expect_device("storage.ssd");
+        let cpu = topo.expect_device("compute0.cpu");
+        let ts = TableStore::new(MemObjectStore::shared());
+        ts.create("t", sample(1).schema()).unwrap();
+        ts.append("t", &[sample(10_000)], 100_000, 512).unwrap();
+        let storage = SmartStorage::new(ts);
+
+        let request = ScanRequest::full()
+            .filter(df_storage::predicate::StoragePredicate::cmp(
+                "qty",
+                df_storage::zonemap::CmpOp::Lt,
+                1i64,
+            ))
+            .project(&["id", "qty"]);
+        let schema = storage.output_schema("t", &request).unwrap();
+        let plan = PhysicalPlan::new(
+            PhysNode::Aggregate {
+                input: Box::new(PhysNode::StorageScan {
+                    table: "t".into(),
+                    request,
+                    schema: schema.clone(),
+                    device: Some(ssd),
+                }),
+                group_by: vec![],
+                aggs: vec![AggCall::count_star("n")],
+                mode: AggMode::Final,
+                final_schema: df_data::Schema::new(vec![df_data::Field::nullable(
+                    "n",
+                    df_data::DataType::Int64,
+                )])
+                .into_ref(),
+                device: Some(cpu),
+            },
+            "pushdown",
+        );
+        let env = ExecEnv {
+            storage: Some(&storage),
+            topology: Some(&topo),
+            wire: None,
+        };
+        let out = execute(&plan, &env).unwrap();
+        let merged = out.collect().unwrap();
+        assert_eq!(merged.row(0)[0], Scalar::Int(1000));
+        // Scan stats captured, pushdown reduced movement.
+        assert_eq!(out.scan_stats.len(), 1);
+        assert!(out.scan_stats[0].bytes_returned < out.scan_stats[0].bytes_scanned);
+        // The ledger charged the ssd->cpu edge with only the filtered bytes.
+        assert!(out.ledger.cross_device_bytes() > 0);
+        let per_link = out.ledger.per_link(&topo);
+        assert!(!per_link.is_empty());
+        assert_eq!(out.ledger.unroutable_bytes(&topo), 0);
+    }
+
+    #[test]
+    fn storage_preagg_merges_positionally() {
+        // Storage produces partials; a Merge aggregate combines them. AVG
+        // decomposes into (sum, count) at storage.
+        let ts = TableStore::new(MemObjectStore::shared());
+        ts.create("t", sample(1).schema()).unwrap();
+        ts.append("t", &[sample(1000)], 100_000, 128).unwrap();
+        let storage = SmartStorage::new(ts);
+        let request = ScanRequest::full().pre_aggregate(PreAggSpec {
+            group_by: vec!["grp".into()],
+            aggs: vec![
+                (AggFunc::Sum, "qty".into()),
+                (AggFunc::Count, "qty".into()),
+            ],
+            max_groups: 2, // force partial flushes at storage
+        });
+        let scan_schema = storage.output_schema("t", &request).unwrap();
+        let logical = LogicalPlan::values(vec![sample(8)])
+            .unwrap()
+            .aggregate(
+                vec!["grp".into()],
+                vec![AggCall::new(AggFn::Avg, "qty", "avg_qty")],
+            )
+            .unwrap();
+        let plan = PhysicalPlan::new(
+            PhysNode::Aggregate {
+                input: Box::new(PhysNode::StorageScan {
+                    table: "t".into(),
+                    request,
+                    schema: scan_schema,
+                    device: None,
+                }),
+                group_by: vec!["grp".into()],
+                aggs: vec![AggCall::new(AggFn::Avg, "qty", "avg_qty")],
+                mode: AggMode::Merge,
+                final_schema: logical.schema(),
+                device: None,
+            },
+            "storage-preagg",
+        );
+        let env = ExecEnv {
+            storage: Some(&storage),
+            topology: None,
+            wire: None,
+        };
+        let out = execute(&plan, &env).unwrap();
+        let merged = out.collect().unwrap();
+        assert_eq!(merged.rows(), 4);
+        let mut avgs: Vec<f64> = (0..4)
+            .map(|r| merged.row(r)[1].as_float_lossy().unwrap())
+            .collect();
+        avgs.sort_by(f64::total_cmp);
+        assert_eq!(avgs, vec![4.0, 4.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn limit_truncates_stream() {
+        let plan = PhysicalPlan::new(
+            PhysNode::Limit {
+                input: Box::new(values_node(100)),
+                n: 5,
+            },
+            "test",
+        );
+        let out = execute(&plan, &ExecEnv::in_memory()).unwrap();
+        assert_eq!(out.rows(), 5);
+    }
+
+    #[test]
+    fn kernel_filter_equals_host_filter_end_to_end() {
+        let mk = |use_kernel| {
+            PhysicalPlan::new(
+                PhysNode::Filter {
+                    input: Box::new(values_node(500)),
+                    predicate: col("qty").between(3, 6),
+                    device: None,
+                    use_kernel,
+                },
+                "test",
+            )
+        };
+        let host = execute(&mk(false), &ExecEnv::in_memory()).unwrap();
+        let kernel = execute(&mk(true), &ExecEnv::in_memory()).unwrap();
+        assert_eq!(
+            host.collect().unwrap().canonical_rows(),
+            kernel.collect().unwrap().canonical_rows()
+        );
+    }
+
+    #[test]
+    fn missing_storage_env_is_an_error() {
+        let plan = PhysicalPlan::new(
+            PhysNode::StorageScan {
+                table: "t".into(),
+                request: ScanRequest::full(),
+                schema: sample(1).schema().clone(),
+                device: None,
+            },
+            "test",
+        );
+        assert!(execute(&plan, &ExecEnv::in_memory()).is_err());
+    }
+}

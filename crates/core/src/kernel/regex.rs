@@ -1,0 +1,531 @@
+//! A streaming regular-expression engine (Thompson NFA).
+//!
+//! §3.3 cites hardware pattern matchers being far faster than CPUs for
+//! regex (the AQUA LIKE pushdown and \[46\]). Hardware matchers are
+//! NFA/DFA-based precisely because simulation advances one input character
+//! at a time with bounded state — no backtracking, no buffering — which is
+//! the streaming property in-path devices need. This engine is built the
+//! same way: compile to an NFA, simulate with a state set, O(states) work
+//! per input character.
+//!
+//! Syntax: literals, `.`, `*`, `+`, `?`, alternation `|`, groups `(...)`,
+//! character classes `[a-z]` / negated `[^...]`, anchors `^` `$`, and `\`
+//! escapes.
+
+use crate::error::{EngineError, Result};
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    states: Vec<State>,
+    start: usize,
+    source: String,
+    anchored_start: bool,
+    anchored_end: bool,
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    /// Consume one character matching the class, then go to `next`.
+    Char { class: CharClass, next: usize },
+    /// Fork without consuming.
+    Split { a: usize, b: usize },
+    /// Accept.
+    Match,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum CharClass {
+    /// One specific character.
+    Literal(char),
+    /// Any character (`.`).
+    Any,
+    /// A set of ranges; `negated` inverts membership.
+    Set {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+}
+
+impl CharClass {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharClass::Literal(l) => *l == c,
+            CharClass::Any => true,
+            CharClass::Set { ranges, negated } => {
+                let inside = ranges.iter().any(|(lo, hi)| *lo <= c && c <= *hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ parser
+
+/// Fragment under construction: entry state + dangling exits to patch.
+#[derive(Debug)]
+struct Frag {
+    start: usize,
+    /// Indices of states whose `next`/`b` must be patched to the successor.
+    outs: Vec<Out>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Out {
+    Next(usize),
+    SplitB(usize),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    states: Vec<State>,
+}
+
+impl Parser<'_> {
+    fn push(&mut self, state: State) -> usize {
+        self.states.push(state);
+        self.states.len() - 1
+    }
+
+    fn patch(&mut self, outs: &[Out], target: usize) {
+        for out in outs {
+            match out {
+                Out::Next(i) => match &mut self.states[*i] {
+                    State::Char { next, .. } => *next = target,
+                    State::Split { a, .. } => *a = target,
+                    State::Match => unreachable!(),
+                },
+                Out::SplitB(i) => match &mut self.states[*i] {
+                    State::Split { b, .. } => *b = target,
+                    _ => unreachable!(),
+                },
+            }
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn parse_alternation(&mut self) -> Result<Frag> {
+        let mut frag = self.parse_concat()?;
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            let rhs = self.parse_concat()?;
+            let split = self.push(State::Split {
+                a: frag.start,
+                b: rhs.start,
+            });
+            let mut outs = frag.outs;
+            outs.extend(rhs.outs);
+            frag = Frag { start: split, outs };
+        }
+        Ok(frag)
+    }
+
+    /// concat := repeat*
+    fn parse_concat(&mut self) -> Result<Frag> {
+        let mut current: Option<Frag> = None;
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let next = self.parse_repeat()?;
+            current = Some(match current {
+                None => next,
+                Some(prev) => {
+                    self.patch(&prev.outs, next.start);
+                    Frag {
+                        start: prev.start,
+                        outs: next.outs,
+                    }
+                }
+            });
+        }
+        Ok(current.unwrap_or_else(|| {
+            // Empty fragment: a split that immediately continues.
+            let s = self.push(State::Split { a: 0, b: 0 });
+            Frag {
+                start: s,
+                outs: vec![Out::Next(s), Out::SplitB(s)],
+            }
+        }))
+    }
+
+    /// repeat := atom ('*' | '+' | '?')?
+    fn parse_repeat(&mut self) -> Result<Frag> {
+        let atom = self.parse_atom()?;
+        match self.chars.peek() {
+            Some('*') => {
+                self.chars.next();
+                let split = self.push(State::Split {
+                    a: atom.start,
+                    b: 0,
+                });
+                self.patch(&atom.outs, split);
+                Ok(Frag {
+                    start: split,
+                    outs: vec![Out::SplitB(split)],
+                })
+            }
+            Some('+') => {
+                self.chars.next();
+                let split = self.push(State::Split {
+                    a: atom.start,
+                    b: 0,
+                });
+                self.patch(&atom.outs, split);
+                Ok(Frag {
+                    start: atom.start,
+                    outs: vec![Out::SplitB(split)],
+                })
+            }
+            Some('?') => {
+                self.chars.next();
+                let split = self.push(State::Split {
+                    a: atom.start,
+                    b: 0,
+                });
+                let mut outs = atom.outs;
+                outs.push(Out::SplitB(split));
+                Ok(Frag { start: split, outs })
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    /// atom := '(' alternation ')' | class | '.' | escaped | literal
+    fn parse_atom(&mut self) -> Result<Frag> {
+        let c = self
+            .chars
+            .next()
+            .ok_or_else(|| EngineError::Parse("unexpected end of pattern".into()))?;
+        match c {
+            '(' => {
+                let inner = self.parse_alternation()?;
+                if self.chars.next() != Some(')') {
+                    return Err(EngineError::Parse("unclosed group".into()));
+                }
+                Ok(inner)
+            }
+            '[' => {
+                let class = self.parse_class()?;
+                let s = self.push(State::Char { class, next: 0 });
+                Ok(Frag {
+                    start: s,
+                    outs: vec![Out::Next(s)],
+                })
+            }
+            '.' => {
+                let s = self.push(State::Char {
+                    class: CharClass::Any,
+                    next: 0,
+                });
+                Ok(Frag {
+                    start: s,
+                    outs: vec![Out::Next(s)],
+                })
+            }
+            '\\' => {
+                let escaped = self
+                    .chars
+                    .next()
+                    .ok_or_else(|| EngineError::Parse("dangling escape".into()))?;
+                let s = self.push(State::Char {
+                    class: CharClass::Literal(escaped),
+                    next: 0,
+                });
+                Ok(Frag {
+                    start: s,
+                    outs: vec![Out::Next(s)],
+                })
+            }
+            '*' | '+' | '?' => Err(EngineError::Parse(format!(
+                "repetition '{c}' with nothing to repeat"
+            ))),
+            literal => {
+                let s = self.push(State::Char {
+                    class: CharClass::Literal(literal),
+                    next: 0,
+                });
+                Ok(Frag {
+                    start: s,
+                    outs: vec![Out::Next(s)],
+                })
+            }
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<CharClass> {
+        let mut negated = false;
+        if self.chars.peek() == Some(&'^') {
+            self.chars.next();
+            negated = true;
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let c = self
+                .chars
+                .next()
+                .ok_or_else(|| EngineError::Parse("unclosed character class".into()))?;
+            if c == ']' {
+                if ranges.is_empty() {
+                    return Err(EngineError::Parse("empty character class".into()));
+                }
+                return Ok(CharClass::Set { ranges, negated });
+            }
+            let lo = if c == '\\' {
+                self.chars
+                    .next()
+                    .ok_or_else(|| EngineError::Parse("dangling escape in class".into()))?
+            } else {
+                c
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    Some(&']') | None => {
+                        // Trailing '-' is a literal.
+                        ranges.push((lo, lo));
+                        ranges.push(('-', '-'));
+                    }
+                    Some(_) => {
+                        let hi = self.chars.next().unwrap();
+                        if hi < lo {
+                            return Err(EngineError::Parse(format!(
+                                "inverted range {lo}-{hi}"
+                            )));
+                        }
+                        ranges.push((lo, hi));
+                    }
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Compile a pattern.
+    pub fn compile(pattern: &str) -> Result<Regex> {
+        let mut body = pattern;
+        let anchored_start = body.starts_with('^');
+        if anchored_start {
+            body = &body[1..];
+        }
+        let anchored_end = body.ends_with('$') && !body.ends_with("\\$");
+        if anchored_end {
+            body = &body[..body.len() - 1];
+        }
+        let mut parser = Parser {
+            chars: body.chars().peekable(),
+            states: Vec::new(),
+        };
+        let frag = parser.parse_alternation()?;
+        if parser.chars.next().is_some() {
+            return Err(EngineError::Parse("unbalanced ')'".into()));
+        }
+        let accept = parser.push(State::Match);
+        parser.patch(&frag.outs, accept);
+        Ok(Regex {
+            states: parser.states,
+            start: frag.start,
+            source: pattern.to_string(),
+            anchored_start,
+            anchored_end,
+        })
+    }
+
+    /// The original pattern.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Number of NFA states (proxy for device table size).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    fn add_state(&self, set: &mut Vec<bool>, list: &mut Vec<usize>, s: usize) {
+        if set[s] {
+            return;
+        }
+        set[s] = true;
+        if let State::Split { a, b } = self.states[s] {
+            self.add_state(set, list, a);
+            self.add_state(set, list, b);
+        } else {
+            list.push(s);
+        }
+    }
+
+    fn match_from(&self, input: &str) -> bool {
+        let n = self.states.len();
+        let mut current = Vec::new();
+        let mut set = vec![false; n];
+        self.add_state(&mut set, &mut current, self.start);
+        if !self.anchored_end && current.iter().any(|&s| matches!(self.states[s], State::Match)) {
+            return true;
+        }
+        let mut accepted_unanchored = current
+            .iter()
+            .any(|&s| matches!(self.states[s], State::Match));
+        for c in input.chars() {
+            let mut next = Vec::new();
+            let mut next_set = vec![false; n];
+            for &s in &current {
+                if let State::Char { class, next: nx } = &self.states[s] {
+                    if class.matches(c) {
+                        self.add_state(&mut next_set, &mut next, *nx);
+                    }
+                }
+            }
+            current = next;
+            let has_match = current
+                .iter()
+                .any(|&s| matches!(self.states[s], State::Match));
+            if has_match {
+                if !self.anchored_end {
+                    return true;
+                }
+                accepted_unanchored = true;
+            } else {
+                accepted_unanchored = false;
+            }
+            if current.is_empty() && !self.anchored_end {
+                return false;
+            }
+        }
+        if self.anchored_end {
+            current
+                .iter()
+                .any(|&s| matches!(self.states[s], State::Match))
+        } else {
+            accepted_unanchored
+        }
+    }
+
+    /// Whether the pattern matches anywhere in `input` (or per anchors).
+    pub fn is_match(&self, input: &str) -> bool {
+        if self.anchored_start {
+            return self.match_from(input);
+        }
+        // Unanchored: try every start offset. NFA simulation per offset
+        // keeps the engine simple; a production device compiles `.*` in.
+        let mut offsets: Vec<usize> = input.char_indices().map(|(i, _)| i).collect();
+        offsets.push(input.len());
+        offsets.into_iter().any(|o| self.match_from(&input[o..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, input: &str) -> bool {
+        Regex::compile(pattern).unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literals_and_dot() {
+        assert!(m("abc", "xxabcxx"));
+        assert!(!m("abc", "abx"));
+        assert!(m("a.c", "abc"));
+        assert!(m("a.c", "a0c"));
+        assert!(!m("a.c", "ac"));
+    }
+
+    #[test]
+    fn repetition() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("ab?c", "abbc"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "hotdog"));
+        assert!(m("gr(e|a)y", "grey"));
+        assert!(m("gr(e|a)y", "gray"));
+        assert!(!m("gr(e|a)y", "groy"));
+        assert!(m("(ab)+", "ababab"));
+        assert!(m("a(b|c)*d", "abcbcbd"));
+    }
+
+    #[test]
+    fn character_classes() {
+        assert!(m("[a-z]+", "hello"));
+        assert!(!m("^[a-z]+$", "Hello"));
+        assert!(m("[0-9][0-9]*", "x42y"));
+        assert!(m("[^0-9]", "a"));
+        assert!(!m("^[^0-9]+$", "a1b"));
+        assert!(m("[a\\-z]", "-"));
+        assert!(m("[abc-]", "-"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^abc", "abcdef"));
+        assert!(!m("^abc", "xabc"));
+        assert!(m("def$", "abcdef"));
+        assert!(!m("def$", "defabc"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("a\\.c", "a.c"));
+        assert!(!m("a\\.c", "abc"));
+        assert!(m("a\\*b", "a*b"));
+    }
+
+    #[test]
+    fn no_backtracking_blowup() {
+        // The classic (a*)*b killer: linear here because NFA simulation.
+        let pattern = "a*a*a*a*a*a*a*a*a*b";
+        let input = "a".repeat(200);
+        assert!(!m(pattern, &input));
+        assert!(m(pattern, &(input + "b")));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(m("", ""));
+        assert!(m("", "anything"));
+        assert!(m("a*", "zzz")); // matches empty prefix
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::compile("(abc").is_err());
+        assert!(Regex::compile("abc)").is_err());
+        assert!(Regex::compile("[abc").is_err());
+        assert!(Regex::compile("*a").is_err());
+        assert!(Regex::compile("[z-a]").is_err());
+        assert!(Regex::compile("a\\").is_err());
+    }
+
+    #[test]
+    fn like_equivalence_spot_check() {
+        // LIKE 'abc%' == regex ^abc.*  — the two pushdown languages agree.
+        use df_storage::pattern::like;
+        let inputs = ["abc", "abcdef", "xabc", "ab"];
+        for input in inputs {
+            assert_eq!(
+                like(input, "abc%"),
+                m("^abc", input),
+                "disagreement on {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_count_reported() {
+        let re = Regex::compile("a(b|c)*d").unwrap();
+        assert!(re.state_count() > 3);
+        assert_eq!(re.source(), "a(b|c)*d");
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # df-core — the data-flow query engine
+//!
+//! The paper's contribution (§7, "A New Query Processing Model"): a query
+//! engine whose plans are *pipelines of operators placed on devices along
+//! the data path*, executed push-based in a streaming fashion, with data
+//! movement as the first-class cost.
+//!
+//! Layered bottom-up:
+//!
+//! - [`expr`] — expressions with vectorized evaluation
+//! - [`kernel`] — the accelerator programming model (§7.2): a register-file
+//!   plus bytecode program compiled from expressions, the pushdown compiler
+//!   into the storage predicate language, and a regex engine
+//! - [`logical`] — logical plans and a builder API
+//! - [`ops`] — push-based physical operators (filter, project, aggregate,
+//!   hash join, sort, limit)
+//! - [`physical`] — physical plans: operator chains with device placement
+//! - [`exec`] — the push executor with its movement ledger, the
+//!   tuple-at-a-time Volcano baseline (§1's departure point), and the
+//!   morsel-parallel driver
+//! - [`optimizer`] — rewrites (predicate/projection pushdown), cardinality
+//!   estimation, and the movement-aware cost model that enumerates
+//!   placement alternatives and ranks plan variants (§7.3 requires several
+//!   data-path alternatives per query)
+//! - [`distributed`] — NIC-orchestrated distributed execution (Figure 4)
+//! - [`scheduler`] — interference-aware admission: plan-variant selection
+//!   and DMA rate limiting (§7.3)
+//! - [`sql`] — a SQL frontend for the examples
+//! - [`session`] — the top-level API tying tables, topology, optimizer and
+//!   executor together
+
+pub mod distributed;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod kernel;
+pub mod logical;
+pub mod ops;
+pub mod optimizer;
+pub mod physical;
+pub mod scheduler;
+pub mod session;
+pub mod sql;
+
+pub use error::{EngineError, Result};
+pub use expr::Expr;
+pub use logical::LogicalPlan;
+pub use session::Session;

@@ -1,0 +1,728 @@
+//! Hash aggregation in three modes: bounded partial (for in-path devices),
+//! final (full state on the compute node), and merge (combining partials
+//! produced upstream — by storage, a NIC stage, or a switch).
+//!
+//! The partial/merge split is what makes the §4.4 cascade work: every stage
+//! along the data path runs the *same* operator in `Partial` mode with a
+//! bounded table, and the last stage runs `Merge`. `AVG` decomposes into
+//! sum+count partials, which is why partial output schemas differ from
+//! final ones (see [`partial_schema`]).
+
+use std::collections::HashMap;
+
+use df_data::{Batch, Column, ColumnBuilder, DataType, Field, Scalar, Schema, SchemaRef};
+
+use crate::error::{EngineError, Result};
+use crate::logical::{AggCall, AggFn};
+use crate::ops::Operator;
+
+/// Operating mode of the hash aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggMode {
+    /// Bounded state: flush partial groups downstream when `max_groups` is
+    /// exceeded (in-path device discipline, §3.3).
+    Partial {
+        /// Group-table bound.
+        max_groups: usize,
+    },
+    /// Unbounded state over raw input rows; emits final values.
+    Final,
+    /// Unbounded state over *partial* batches; emits final values.
+    Merge,
+}
+
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    SumInt {
+        sum: i64,
+        seen: bool,
+    },
+    SumFloat {
+        sum: f64,
+        seen: bool,
+    },
+    MinMax {
+        current: Option<Scalar>,
+        is_min: bool,
+    },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
+}
+
+/// The partial-output schema for a set of aggregate calls: group columns,
+/// then per call either one column (`count_/sum_/min_/max_<alias>`) or two
+/// for AVG (`avgsum_<alias>`, `avgcnt_<alias>`).
+pub fn partial_schema(
+    group_by: &[String],
+    aggs: &[AggCall],
+    input: &Schema,
+) -> Result<Schema> {
+    let mut fields = Vec::new();
+    for g in group_by {
+        fields.push(input.field_by_name(g)?.clone());
+    }
+    for agg in aggs {
+        let input_type = match &agg.column {
+            Some(c) => Some(input.field_by_name(c)?.dtype),
+            None => None,
+        };
+        match agg.func {
+            AggFn::Avg => {
+                fields.push(Field::nullable(
+                    format!("avgsum_{}", agg.alias),
+                    DataType::Float64,
+                ));
+                fields.push(Field::nullable(
+                    format!("avgcnt_{}", agg.alias),
+                    DataType::Int64,
+                ));
+            }
+            _ => {
+                fields.push(Field::nullable(
+                    format!("{}_{}", agg.func.name(), agg.alias),
+                    agg.output_type(input_type)?,
+                ));
+            }
+        }
+    }
+    Ok(Schema::new(fields))
+}
+
+/// The hash aggregation operator.
+pub struct HashAggOp {
+    group_by: Vec<String>,
+    aggs: Vec<AggCall>,
+    mode: AggMode,
+    /// Output schema: partial layout for `Partial`, final for others.
+    out_schema: SchemaRef,
+    /// Sum column type per call (for final sum typing).
+    sum_is_float: Vec<bool>,
+    groups: HashMap<Vec<u8>, (Vec<Scalar>, Vec<Acc>)>,
+    flushes: u64,
+}
+
+impl HashAggOp {
+    /// Create an operator. `input_schema` is what `push` receives (raw rows
+    /// for Partial/Final, partial batches for Merge). `final_schema` is the
+    /// logical aggregate output schema.
+    pub fn new(
+        group_by: Vec<String>,
+        aggs: Vec<AggCall>,
+        mode: AggMode,
+        input_schema: &SchemaRef,
+        final_schema: SchemaRef,
+    ) -> Result<HashAggOp> {
+        let raw_input = input_schema.as_ref().clone();
+        let mut sum_is_float = Vec::with_capacity(aggs.len());
+        // In Merge mode the partial layout is positional: group columns,
+        // then one column per call (two for AVG).
+        let mut partial_col = group_by.len();
+        for agg in &aggs {
+            let is_float = match (&agg.func, &agg.column, mode) {
+                (AggFn::Sum, Some(c), AggMode::Partial { .. } | AggMode::Final) => {
+                    raw_input.field_by_name(c)?.dtype == DataType::Float64
+                }
+                (AggFn::Sum, _, AggMode::Merge) => {
+                    if partial_col >= raw_input.len() {
+                        return Err(EngineError::Internal(
+                            "partial schema narrower than aggregate calls".into(),
+                        ));
+                    }
+                    raw_input.field(partial_col).dtype == DataType::Float64
+                }
+                _ => false,
+            };
+            sum_is_float.push(is_float);
+            partial_col += if agg.func == AggFn::Avg { 2 } else { 1 };
+        }
+        let out_schema = match mode {
+            AggMode::Partial { .. } => {
+                partial_schema(&group_by, &aggs, &raw_input)?.into_ref()
+            }
+            AggMode::Final | AggMode::Merge => final_schema,
+        };
+        Ok(HashAggOp {
+            group_by,
+            aggs,
+            mode,
+            out_schema,
+            sum_is_float,
+            groups: HashMap::new(),
+            flushes: 0,
+        })
+    }
+
+    /// Number of bounded-state flushes that occurred (Partial mode).
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    fn fresh_accs(&self) -> Vec<Acc> {
+        self.aggs
+            .iter()
+            .zip(&self.sum_is_float)
+            .map(|(agg, &is_float)| match agg.func {
+                AggFn::Count => Acc::Count(0),
+                AggFn::Sum if is_float => Acc::SumFloat {
+                    sum: 0.0,
+                    seen: false,
+                },
+                AggFn::Sum => Acc::SumInt { sum: 0, seen: false },
+                AggFn::Min => Acc::MinMax {
+                    current: None,
+                    is_min: true,
+                },
+                AggFn::Max => Acc::MinMax {
+                    current: None,
+                    is_min: false,
+                },
+                AggFn::Avg => Acc::Avg { sum: 0.0, count: 0 },
+            })
+            .collect()
+    }
+
+    fn key_bytes(scalars: &[Scalar]) -> Vec<u8> {
+        let mut key = Vec::with_capacity(scalars.len() * 9);
+        for s in scalars {
+            match s {
+                Scalar::Null => key.push(0),
+                Scalar::Int(v) => {
+                    key.push(1);
+                    key.extend_from_slice(&v.to_le_bytes());
+                }
+                Scalar::Float(v) => {
+                    key.push(2);
+                    key.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                Scalar::Str(v) => {
+                    key.push(3);
+                    key.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    key.extend_from_slice(v.as_bytes());
+                }
+                Scalar::Bool(v) => key.extend_from_slice(&[4, *v as u8]),
+            }
+        }
+        key
+    }
+
+    fn consume_raw(&mut self, batch: &Batch) -> Result<Option<Batch>> {
+        let group_cols: Vec<&Column> = self
+            .group_by
+            .iter()
+            .map(|n| batch.column_by_name(n).map_err(EngineError::from))
+            .collect::<Result<Vec<_>>>()?;
+        let agg_cols: Vec<Option<&Column>> = self
+            .aggs
+            .iter()
+            .map(|a| match &a.column {
+                Some(c) => batch.column_by_name(c).map(Some).map_err(EngineError::from),
+                None => Ok(None),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let mut flushed: Option<Batch> = None;
+        for row in 0..batch.rows() {
+            let key_scalars: Vec<Scalar> =
+                group_cols.iter().map(|c| c.scalar_at(row)).collect();
+            let key = Self::key_bytes(&key_scalars);
+            if let AggMode::Partial { max_groups } = self.mode {
+                if !self.groups.contains_key(&key) && self.groups.len() >= max_groups {
+                    let batch = self.drain()?;
+                    self.flushes += 1;
+                    flushed = Some(match flushed {
+                        None => batch,
+                        Some(prev) => Batch::concat(&[prev, batch])?,
+                    });
+                }
+            }
+            let fresh = self.fresh_accs();
+            let entry = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| (key_scalars, fresh));
+            for ((acc, agg), col) in
+                entry.1.iter_mut().zip(self.aggs.iter()).zip(&agg_cols)
+            {
+                let value = match col {
+                    Some(c) => c.scalar_at(row),
+                    None => Scalar::Int(1), // COUNT(*): every row counts
+                };
+                update_raw(acc, agg.func, &value);
+            }
+        }
+        Ok(flushed)
+    }
+
+    fn consume_partial(&mut self, batch: &Batch) -> Result<()> {
+        // Column layout: groups, then partial columns per call.
+        let ngroups = self.group_by.len();
+        let mut col_idx = ngroups;
+        // Precompute per-call partial column indices.
+        let mut call_cols: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.aggs.len());
+        for agg in &self.aggs {
+            match agg.func {
+                AggFn::Avg => {
+                    call_cols.push((col_idx, Some(col_idx + 1)));
+                    col_idx += 2;
+                }
+                _ => {
+                    call_cols.push((col_idx, None));
+                    col_idx += 1;
+                }
+            }
+        }
+        if col_idx != batch.schema().len() {
+            return Err(EngineError::Internal(format!(
+                "partial batch has {} columns, expected {col_idx}",
+                batch.schema().len()
+            )));
+        }
+        for row in 0..batch.rows() {
+            let key_scalars: Vec<Scalar> = (0..ngroups)
+                .map(|c| batch.column(c).scalar_at(row))
+                .collect();
+            let key = Self::key_bytes(&key_scalars);
+            let fresh = self.fresh_accs();
+            let entry = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| (key_scalars, fresh));
+            for ((acc, _agg), (c0, c1)) in
+                entry.1.iter_mut().zip(self.aggs.iter()).zip(&call_cols)
+            {
+                let v0 = batch.column(*c0).scalar_at(row);
+                let v1 = c1.map(|c| batch.column(c).scalar_at(row));
+                merge_partial(acc, &v0, v1.as_ref());
+            }
+        }
+        Ok(())
+    }
+
+    fn drain(&mut self) -> Result<Batch> {
+        let mut entries: Vec<_> = std::mem::take(&mut self.groups).into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let emit_partial = matches!(self.mode, AggMode::Partial { .. });
+        let mut builders: Vec<ColumnBuilder> = self
+            .out_schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.dtype, entries.len()))
+            .collect();
+        for (_, (scalars, accs)) in entries {
+            let mut b = 0usize;
+            for s in &scalars {
+                builders[b].push(s.clone())?;
+                b += 1;
+            }
+            for acc in &accs {
+                if emit_partial {
+                    match acc {
+                        Acc::Avg { sum, count } => {
+                            builders[b].push(Scalar::Float(*sum))?;
+                            builders[b + 1].push(Scalar::Int(*count))?;
+                            b += 2;
+                        }
+                        other => {
+                            builders[b].push(finish_acc(other))?;
+                            b += 1;
+                        }
+                    }
+                } else {
+                    builders[b].push(finish_acc(acc))?;
+                    b += 1;
+                }
+            }
+        }
+        let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
+        Batch::new(self.out_schema.clone(), columns).map_err(EngineError::from)
+    }
+}
+
+fn update_raw(acc: &mut Acc, func: AggFn, value: &Scalar) {
+    match acc {
+        Acc::Count(n) => {
+            if !value.is_null() {
+                *n += 1;
+            }
+        }
+        Acc::SumInt { sum, seen } => {
+            if let Some(v) = value.as_int() {
+                *sum += v;
+                *seen = true;
+            }
+        }
+        Acc::SumFloat { sum, seen } => {
+            if let Some(v) = value.as_float_lossy() {
+                *sum += v;
+                *seen = true;
+            }
+        }
+        Acc::MinMax { current, is_min } => {
+            if value.is_null() {
+                return;
+            }
+            let better = match current {
+                None => true,
+                Some(c) => {
+                    let ord = value.total_cmp(c);
+                    (*is_min && ord == std::cmp::Ordering::Less)
+                        || (!*is_min && ord == std::cmp::Ordering::Greater)
+                }
+            };
+            if better {
+                *current = Some(value.clone());
+            }
+        }
+        Acc::Avg { sum, count } => {
+            if let Some(v) = value.as_float_lossy() {
+                *sum += v;
+                *count += 1;
+            }
+        }
+    }
+    debug_assert!(matches!(
+        (func, acc),
+        (AggFn::Count, Acc::Count(_))
+            | (AggFn::Sum, Acc::SumInt { .. })
+            | (AggFn::Sum, Acc::SumFloat { .. })
+            | (AggFn::Min, Acc::MinMax { .. })
+            | (AggFn::Max, Acc::MinMax { .. })
+            | (AggFn::Avg, Acc::Avg { .. })
+    ));
+}
+
+fn merge_partial(acc: &mut Acc, v0: &Scalar, v1: Option<&Scalar>) {
+    match acc {
+        Acc::Count(n) => {
+            if let Some(c) = v0.as_int() {
+                *n += c;
+            }
+        }
+        Acc::SumInt { sum, seen } => {
+            if let Some(v) = v0.as_int() {
+                *sum += v;
+                *seen = true;
+            }
+        }
+        Acc::SumFloat { sum, seen } => {
+            if let Some(v) = v0.as_float_lossy() {
+                *sum += v;
+                *seen = true;
+            }
+        }
+        Acc::MinMax { current, is_min } => {
+            if v0.is_null() {
+                return;
+            }
+            let better = match current {
+                None => true,
+                Some(c) => {
+                    let ord = v0.total_cmp(c);
+                    (*is_min && ord == std::cmp::Ordering::Less)
+                        || (!*is_min && ord == std::cmp::Ordering::Greater)
+                }
+            };
+            if better {
+                *current = Some(v0.clone());
+            }
+        }
+        Acc::Avg { sum, count } => {
+            if let Some(s) = v0.as_float_lossy() {
+                *sum += s;
+            }
+            if let Some(c) = v1.and_then(Scalar::as_int) {
+                *count += c;
+            }
+        }
+    }
+}
+
+fn finish_acc(acc: &Acc) -> Scalar {
+    match acc {
+        Acc::Count(n) => Scalar::Int(*n),
+        Acc::SumInt { sum, seen } => {
+            if *seen {
+                Scalar::Int(*sum)
+            } else {
+                Scalar::Null
+            }
+        }
+        Acc::SumFloat { sum, seen } => {
+            if *seen {
+                Scalar::Float(*sum)
+            } else {
+                Scalar::Null
+            }
+        }
+        Acc::MinMax { current, .. } => current.clone().unwrap_or(Scalar::Null),
+        Acc::Avg { sum, count } => {
+            if *count == 0 {
+                Scalar::Null
+            } else {
+                Scalar::Float(*sum / *count as f64)
+            }
+        }
+    }
+}
+
+impl Operator for HashAggOp {
+    fn schema(&self) -> SchemaRef {
+        self.out_schema.clone()
+    }
+
+    fn push(&mut self, batch: Batch) -> Result<Vec<Batch>> {
+        match self.mode {
+            AggMode::Partial { .. } | AggMode::Final => {
+                let flushed = self.consume_raw(&batch)?;
+                Ok(flushed.into_iter().collect())
+            }
+            AggMode::Merge => {
+                self.consume_partial(&batch)?;
+                Ok(vec![])
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        let out = self.drain()?;
+        // A global aggregate (no groups) over zero rows still yields one
+        // row of identity values under SQL.
+        if out.is_empty() && self.group_by.is_empty() {
+            let mut builders: Vec<ColumnBuilder> = self
+                .out_schema
+                .fields()
+                .iter()
+                .map(|f| ColumnBuilder::new(f.dtype, 1))
+                .collect();
+            let emit_partial = matches!(self.mode, AggMode::Partial { .. });
+            let mut b = 0usize;
+            for acc in self.fresh_accs() {
+                if emit_partial {
+                    if let Acc::Avg { .. } = acc {
+                        builders[b].push(Scalar::Float(0.0))?;
+                        builders[b + 1].push(Scalar::Int(0))?;
+                        b += 2;
+                        continue;
+                    }
+                }
+                builders[b].push(finish_acc(&acc))?;
+                b += 1;
+            }
+            let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
+            return Ok(vec![Batch::new(self.out_schema.clone(), columns)?]);
+        }
+        Ok(if out.is_empty() { vec![] } else { vec![out] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_data::batch::batch_of;
+
+    fn sample() -> Batch {
+        batch_of(vec![
+            (
+                "g",
+                Column::from_strs(&["a", "b", "a", "b", "a"]),
+            ),
+            (
+                "v",
+                Column::from_opt_i64(&[Some(1), Some(2), Some(3), None, Some(5)]),
+            ),
+            ("f", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0, 5.0])),
+        ])
+    }
+
+    fn calls() -> Vec<AggCall> {
+        vec![
+            AggCall::count_star("n"),
+            AggCall::new(AggFn::Count, "v", "nv"),
+            AggCall::new(AggFn::Sum, "v", "sv"),
+            AggCall::new(AggFn::Min, "v", "minv"),
+            AggCall::new(AggFn::Max, "v", "maxv"),
+            AggCall::new(AggFn::Avg, "f", "avgf"),
+        ]
+    }
+
+    fn final_schema(input: &Batch) -> SchemaRef {
+        // Build via the logical layer for consistency.
+        crate::logical::LogicalPlan::values(vec![input.clone()])
+            .unwrap()
+            .aggregate(vec!["g".into()], calls())
+            .unwrap()
+            .schema()
+    }
+
+    fn run_final(batch: Batch) -> Batch {
+        let schema = final_schema(&batch);
+        let mut op = HashAggOp::new(
+            vec!["g".into()],
+            calls(),
+            AggMode::Final,
+            batch.schema(),
+            schema,
+        )
+        .unwrap();
+        assert!(op.push(batch).unwrap().is_empty());
+        Batch::concat(&op.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn final_aggregation_values() {
+        let out = run_final(sample());
+        assert_eq!(out.rows(), 2);
+        // Groups in deterministic key order: a then b.
+        let a = out.row(0);
+        assert_eq!(a[0], Scalar::Str("a".into()));
+        assert_eq!(a[1], Scalar::Int(3)); // count(*)
+        assert_eq!(a[2], Scalar::Int(3)); // count(v)
+        assert_eq!(a[3], Scalar::Int(9)); // sum(v) = 1+3+5
+        assert_eq!(a[4], Scalar::Int(1)); // min
+        assert_eq!(a[5], Scalar::Int(5)); // max
+        assert_eq!(a[6], Scalar::Float(3.0)); // avg(f) = (1+3+5)/3
+        let b = out.row(1);
+        assert_eq!(b[1], Scalar::Int(2)); // count(*) counts the NULL row
+        assert_eq!(b[2], Scalar::Int(1)); // count(v) does not
+        assert_eq!(b[3], Scalar::Int(2)); // sum(v)
+    }
+
+    #[test]
+    fn partial_then_merge_equals_final() {
+        let batch = sample();
+        let schema = final_schema(&batch);
+        // Partial with tiny bound to force flushes.
+        let mut partial = HashAggOp::new(
+            vec!["g".into()],
+            calls(),
+            AggMode::Partial { max_groups: 1 },
+            batch.schema(),
+            schema.clone(),
+        )
+        .unwrap();
+        let mut partials = Vec::new();
+        for chunk in batch.split(2) {
+            partials.extend(partial.push(chunk).unwrap());
+        }
+        partials.extend(partial.finish().unwrap());
+        assert!(partial.flush_count() > 0, "bound should have flushed");
+
+        let partial_schema_ref = partial.schema();
+        let mut merge = HashAggOp::new(
+            vec!["g".into()],
+            calls(),
+            AggMode::Merge,
+            &partial_schema_ref,
+            schema,
+        )
+        .unwrap();
+        for p in partials {
+            assert!(merge.push(p).unwrap().is_empty());
+        }
+        let merged = Batch::concat(&merge.finish().unwrap()).unwrap();
+        let direct = run_final(sample());
+        assert_eq!(merged.canonical_rows(), direct.canonical_rows());
+    }
+
+    #[test]
+    fn global_aggregate_without_groups() {
+        let batch = sample();
+        let schema = crate::logical::LogicalPlan::values(vec![batch.clone()])
+            .unwrap()
+            .aggregate(vec![], vec![AggCall::count_star("n")])
+            .unwrap()
+            .schema();
+        let mut op = HashAggOp::new(
+            vec![],
+            vec![AggCall::count_star("n")],
+            AggMode::Final,
+            batch.schema(),
+            schema,
+        )
+        .unwrap();
+        op.push(batch).unwrap();
+        let out = Batch::concat(&op.finish().unwrap()).unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.row(0)[0], Scalar::Int(5));
+    }
+
+    #[test]
+    fn empty_input_global_aggregate_yields_identities() {
+        let batch = sample().slice(0, 0);
+        let schema = crate::logical::LogicalPlan::values(vec![sample()])
+            .unwrap()
+            .aggregate(
+                vec![],
+                vec![
+                    AggCall::count_star("n"),
+                    AggCall::new(AggFn::Sum, "v", "s"),
+                ],
+            )
+            .unwrap()
+            .schema();
+        let mut op = HashAggOp::new(
+            vec![],
+            vec![
+                AggCall::count_star("n"),
+                AggCall::new(AggFn::Sum, "v", "s"),
+            ],
+            AggMode::Final,
+            batch.schema(),
+            schema,
+        )
+        .unwrap();
+        op.push(batch).unwrap();
+        let out = Batch::concat(&op.finish().unwrap()).unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.row(0)[0], Scalar::Int(0));
+        assert_eq!(out.row(0)[1], Scalar::Null); // SUM of nothing is NULL
+    }
+
+    #[test]
+    fn empty_input_grouped_aggregate_yields_nothing() {
+        let batch = sample().slice(0, 0);
+        let schema = final_schema(&sample());
+        let mut op = HashAggOp::new(
+            vec!["g".into()],
+            calls(),
+            AggMode::Final,
+            batch.schema(),
+            schema,
+        )
+        .unwrap();
+        op.push(batch).unwrap();
+        assert!(op.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn null_group_keys_form_a_group() {
+        let batch = batch_of(vec![
+            ("g", Column::from_opt_i64(&[None, Some(1), None])),
+            ("v", Column::from_i64(vec![10, 20, 30])),
+        ]);
+        let schema = crate::logical::LogicalPlan::values(vec![batch.clone()])
+            .unwrap()
+            .aggregate(
+                vec!["g".into()],
+                vec![AggCall::new(AggFn::Sum, "v", "s")],
+            )
+            .unwrap()
+            .schema();
+        let mut op = HashAggOp::new(
+            vec!["g".into()],
+            vec![AggCall::new(AggFn::Sum, "v", "s")],
+            AggMode::Final,
+            batch.schema(),
+            schema,
+        )
+        .unwrap();
+        op.push(batch).unwrap();
+        let out = Batch::concat(&op.finish().unwrap()).unwrap();
+        assert_eq!(out.rows(), 2);
+        // NULL group sums 10 + 30.
+        let null_row = (0..2).find(|&r| out.row(r)[0].is_null()).unwrap();
+        assert_eq!(out.row(null_row)[1], Scalar::Int(40));
+    }
+}

@@ -1,0 +1,413 @@
+//! Hash join (inner equi-join), two-phase: build then probe.
+//!
+//! A pipeline breaker on the build side: the executor streams the build
+//! child into [`HashJoinOp::build`], then the probe child flows through
+//! `push` one batch at a time — the probe side never materializes.
+
+use std::collections::{HashMap, HashSet};
+
+use df_data::{Batch, Column, ColumnBuilder, Scalar, SchemaRef};
+
+use crate::error::{EngineError, Result};
+use crate::logical::JoinType;
+use crate::ops::Operator;
+
+/// Hash join operator.
+pub struct HashJoinOp {
+    on: Vec<(String, String)>,
+    join_type: JoinType,
+    /// Joined output schema (left fields then right, collisions prefixed).
+    schema: SchemaRef,
+    build_schema: SchemaRef,
+    /// key bytes -> rows as (batch, row) indices into `build_batches`.
+    table: HashMap<Vec<u8>, Vec<(u32, u32)>>,
+    build_batches: Vec<Batch>,
+    /// Build rows that matched at least one probe (LEFT join bookkeeping).
+    matched: HashSet<(u32, u32)>,
+    probe_rows: u64,
+    output_rows: u64,
+}
+
+impl HashJoinOp {
+    /// Create an inner join; `schema` is the joined output schema from the
+    /// logical plan, `build_schema` the left/build child's schema.
+    pub fn new(
+        on: Vec<(String, String)>,
+        build_schema: SchemaRef,
+        schema: SchemaRef,
+    ) -> HashJoinOp {
+        Self::with_type(on, JoinType::Inner, build_schema, schema)
+    }
+
+    /// Create a join with an explicit type.
+    pub fn with_type(
+        on: Vec<(String, String)>,
+        join_type: JoinType,
+        build_schema: SchemaRef,
+        schema: SchemaRef,
+    ) -> HashJoinOp {
+        HashJoinOp {
+            on,
+            join_type,
+            schema,
+            build_schema,
+            table: HashMap::new(),
+            build_batches: Vec::new(),
+            matched: HashSet::new(),
+            probe_rows: 0,
+            output_rows: 0,
+        }
+    }
+
+    fn key_of(columns: &[&Column], row: usize) -> Option<Vec<u8>> {
+        let mut key = Vec::with_capacity(columns.len() * 9);
+        for col in columns {
+            let s = col.scalar_at(row);
+            if s.is_null() {
+                return None; // SQL: NULL keys never join
+            }
+            match s {
+                Scalar::Int(v) => {
+                    key.push(1);
+                    key.extend_from_slice(&v.to_le_bytes());
+                }
+                Scalar::Float(v) => {
+                    key.push(2);
+                    key.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                Scalar::Str(v) => {
+                    key.push(3);
+                    key.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    key.extend_from_slice(v.as_bytes());
+                }
+                Scalar::Bool(v) => key.extend_from_slice(&[4, v as u8]),
+                Scalar::Null => unreachable!(),
+            }
+        }
+        Some(key)
+    }
+
+    /// Consume one build-side batch.
+    pub fn build(&mut self, batch: Batch) -> Result<()> {
+        let cols: Vec<&Column> = self
+            .on
+            .iter()
+            .map(|(l, _)| batch.column_by_name(l).map_err(EngineError::from))
+            .collect::<Result<Vec<_>>>()?;
+        let batch_idx = self.build_batches.len() as u32;
+        let mut keyed = Vec::with_capacity(batch.rows());
+        for row in 0..batch.rows() {
+            if let Some(key) = Self::key_of(&cols, row) {
+                keyed.push((key, row as u32));
+            }
+        }
+        for (key, row) in keyed {
+            self.table.entry(key).or_default().push((batch_idx, row));
+        }
+        self.build_batches.push(batch);
+        Ok(())
+    }
+
+    /// Rows currently in the build table.
+    pub fn build_rows(&self) -> usize {
+        self.table.values().map(Vec::len).sum()
+    }
+
+    /// Approximate bytes of build-side state (the "unbounded state" that
+    /// keeps joins off streaming devices).
+    pub fn build_state_bytes(&self) -> usize {
+        self.build_batches.iter().map(Batch::byte_size).sum()
+    }
+
+    /// Observed join selectivity (output rows per probe row).
+    pub fn observed_fanout(&self) -> f64 {
+        if self.probe_rows == 0 {
+            0.0
+        } else {
+            self.output_rows as f64 / self.probe_rows as f64
+        }
+    }
+}
+
+impl Operator for HashJoinOp {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    /// Probe with one batch.
+    fn push(&mut self, batch: Batch) -> Result<Vec<Batch>> {
+        self.probe_rows += batch.rows() as u64;
+        let cols: Vec<&Column> = self
+            .on
+            .iter()
+            .map(|(_, r)| batch.column_by_name(r).map_err(EngineError::from))
+            .collect::<Result<Vec<_>>>()?;
+        // Collect matching (build_batch, build_row, probe_row) triples.
+        let mut matches: Vec<(u32, u32, u32)> = Vec::new();
+        for row in 0..batch.rows() {
+            if let Some(key) = Self::key_of(&cols, row) {
+                if let Some(hits) = self.table.get(&key) {
+                    for &(bb, br) in hits {
+                        matches.push((bb, br, row as u32));
+                    }
+                }
+            }
+        }
+        if matches.is_empty() {
+            return Ok(vec![]);
+        }
+        self.output_rows += matches.len() as u64;
+        if self.join_type == JoinType::Left {
+            for &(bb, br, _) in &matches {
+                self.matched.insert((bb, br));
+            }
+        }
+        // Assemble output: left columns gathered from build batches,
+        // right columns gathered from the probe batch.
+        let nleft = self.build_schema.len();
+        let mut columns = Vec::with_capacity(self.schema.len());
+        for li in 0..nleft {
+            let dtype = self.build_schema.field(li).dtype;
+            let mut b = ColumnBuilder::new(dtype, matches.len());
+            for &(bb, br, _) in &matches {
+                b.push(self.build_batches[bb as usize].column(li).scalar_at(br as usize))?;
+            }
+            columns.push(b.finish());
+        }
+        let probe_indices: Vec<usize> = matches.iter().map(|&(_, _, pr)| pr as usize).collect();
+        let probe_gathered = batch.gather(&probe_indices);
+        columns.extend(probe_gathered.columns().iter().cloned());
+        Ok(vec![Batch::new(self.schema.clone(), columns)?])
+    }
+
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        if self.join_type != JoinType::Left {
+            return Ok(vec![]);
+        }
+        // Emit unmatched build rows with NULL probe-side columns.
+        let nleft = self.build_schema.len();
+        let mut unmatched: Vec<(u32, u32)> = Vec::new();
+        for (bb, batch) in self.build_batches.iter().enumerate() {
+            for br in 0..batch.rows() {
+                if !self.matched.contains(&(bb as u32, br as u32)) {
+                    unmatched.push((bb as u32, br as u32));
+                }
+            }
+        }
+        if unmatched.is_empty() {
+            return Ok(vec![]);
+        }
+        self.output_rows += unmatched.len() as u64;
+        let mut columns = Vec::with_capacity(self.schema.len());
+        for li in 0..nleft {
+            let dtype = self.build_schema.field(li).dtype;
+            let mut b = ColumnBuilder::new(dtype, unmatched.len());
+            for &(bb, br) in &unmatched {
+                b.push(self.build_batches[bb as usize].column(li).scalar_at(br as usize))?;
+            }
+            columns.push(b.finish());
+        }
+        for field in &self.schema.fields()[nleft..] {
+            columns.push(Column::nulls(field.dtype, unmatched.len()));
+        }
+        Ok(vec![Batch::new(self.schema.clone(), columns)?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::LogicalPlan;
+    use df_data::batch::batch_of;
+
+    fn build_side() -> Batch {
+        batch_of(vec![
+            ("id", Column::from_i64(vec![1, 2, 3])),
+            ("name", Column::from_strs(&["one", "two", "three"])),
+        ])
+    }
+
+    fn probe_side() -> Batch {
+        batch_of(vec![
+            ("fk", Column::from_opt_i64(&[Some(2), Some(2), Some(9), None, Some(1)])),
+            ("amount", Column::from_i64(vec![20, 21, 90, 0, 10])),
+        ])
+    }
+
+    fn join_op() -> HashJoinOp {
+        let plan = LogicalPlan::values(vec![build_side()])
+            .unwrap()
+            .join(
+                LogicalPlan::values(vec![probe_side()]).unwrap(),
+                vec![("id", "fk")],
+            )
+            .unwrap();
+        HashJoinOp::new(
+            vec![("id".into(), "fk".into())],
+            build_side().schema().clone(),
+            plan.schema(),
+        )
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let mut op = join_op();
+        op.build(build_side()).unwrap();
+        let out = op.push(probe_side()).unwrap();
+        let batch = &out[0];
+        // fk=2 matches twice, fk=1 once; fk=9 and NULL do not match.
+        assert_eq!(batch.rows(), 3);
+        let rows = batch.canonical_rows();
+        assert_eq!(rows[0][0], Scalar::Int(1));
+        assert_eq!(rows[0][1], Scalar::Str("one".into()));
+        assert_eq!(rows[0][3], Scalar::Int(10));
+        assert_eq!(rows[1][0], Scalar::Int(2));
+        assert_eq!(rows[2][0], Scalar::Int(2));
+    }
+
+    #[test]
+    fn duplicate_build_keys_fan_out() {
+        let mut op = join_op();
+        let dup = batch_of(vec![
+            ("id", Column::from_i64(vec![2, 2])),
+            ("name", Column::from_strs(&["x", "y"])),
+        ]);
+        op.build(dup).unwrap();
+        let probe = batch_of(vec![
+            ("fk", Column::from_i64(vec![2])),
+            ("amount", Column::from_i64(vec![7])),
+        ]);
+        let out = op.push(probe).unwrap();
+        assert_eq!(out[0].rows(), 2);
+        assert!((op.observed_fanout() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let mut op = join_op();
+        let build = batch_of(vec![
+            ("id", Column::from_opt_i64(&[None, Some(1)])),
+            ("name", Column::from_strs(&["n", "o"])),
+        ]);
+        op.build(build).unwrap();
+        assert_eq!(op.build_rows(), 1, "NULL build key must not enter table");
+        let probe = batch_of(vec![
+            ("fk", Column::from_opt_i64(&[None])),
+            ("amount", Column::from_i64(vec![5])),
+        ]);
+        assert!(op.push(probe).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_probe_result() {
+        let mut op = join_op();
+        op.build(build_side()).unwrap();
+        let probe = batch_of(vec![
+            ("fk", Column::from_i64(vec![100])),
+            ("amount", Column::from_i64(vec![1])),
+        ]);
+        assert!(op.push(probe).unwrap().is_empty());
+        assert!(op.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let build = batch_of(vec![
+            ("a", Column::from_i64(vec![1, 1, 2])),
+            ("b", Column::from_strs(&["x", "y", "x"])),
+        ]);
+        let probe = batch_of(vec![
+            ("pa", Column::from_i64(vec![1, 1, 2])),
+            ("pb", Column::from_strs(&["x", "z", "x"])),
+        ]);
+        let plan = LogicalPlan::values(vec![build.clone()])
+            .unwrap()
+            .join(
+                LogicalPlan::values(vec![probe.clone()]).unwrap(),
+                vec![("a", "pa"), ("b", "pb")],
+            )
+            .unwrap();
+        let mut op = HashJoinOp::new(
+            vec![("a".into(), "pa".into()), ("b".into(), "pb".into())],
+            build.schema().clone(),
+            plan.schema(),
+        );
+        op.build(build).unwrap();
+        let out = op.push(probe).unwrap();
+        // (1,x) and (2,x) match; (1,z) does not.
+        assert_eq!(out[0].rows(), 2);
+    }
+
+    #[test]
+    fn left_join_emits_unmatched_build_rows() {
+        use crate::logical::{JoinType, LogicalPlan};
+        let build = build_side(); // ids 1,2,3
+        let probe = batch_of(vec![
+            ("fk", Column::from_i64(vec![2, 2])),
+            ("amount", Column::from_i64(vec![20, 21])),
+        ]);
+        let plan = LogicalPlan::values(vec![build.clone()])
+            .unwrap()
+            .join_with(
+                LogicalPlan::values(vec![probe.clone()]).unwrap(),
+                vec![("id", "fk")],
+                JoinType::Left,
+            )
+            .unwrap();
+        let mut op = HashJoinOp::with_type(
+            vec![("id".into(), "fk".into())],
+            JoinType::Left,
+            build.schema().clone(),
+            plan.schema(),
+        );
+        op.build(build).unwrap();
+        let mut out = op.push(probe).unwrap();
+        out.extend(op.finish().unwrap());
+        let merged = Batch::concat(&out).unwrap();
+        // id=2 matched twice; ids 1 and 3 appear once with NULL probe side.
+        assert_eq!(merged.rows(), 4);
+        let rows = merged.canonical_rows();
+        assert_eq!(rows[0][0], Scalar::Int(1));
+        assert!(rows[0][2].is_null() && rows[0][3].is_null());
+        assert_eq!(rows[3][0], Scalar::Int(3));
+        assert!(rows[3][3].is_null());
+    }
+
+    #[test]
+    fn left_join_with_full_matches_equals_inner() {
+        use crate::logical::{JoinType, LogicalPlan};
+        let build = build_side();
+        let probe = batch_of(vec![
+            ("fk", Column::from_i64(vec![1, 2, 3])),
+            ("amount", Column::from_i64(vec![10, 20, 30])),
+        ]);
+        let plan = LogicalPlan::values(vec![build.clone()])
+            .unwrap()
+            .join_with(
+                LogicalPlan::values(vec![probe.clone()]).unwrap(),
+                vec![("id", "fk")],
+                JoinType::Left,
+            )
+            .unwrap();
+        let mut op = HashJoinOp::with_type(
+            vec![("id".into(), "fk".into())],
+            JoinType::Left,
+            build.schema().clone(),
+            plan.schema(),
+        );
+        op.build(build).unwrap();
+        let mut out = op.push(probe).unwrap();
+        out.extend(op.finish().unwrap());
+        let merged = Batch::concat(&out).unwrap();
+        assert_eq!(merged.rows(), 3);
+        assert_eq!(merged.canonical_rows().iter().filter(|r| r[3].is_null()).count(), 0);
+    }
+
+    #[test]
+    fn state_bytes_reported() {
+        let mut op = join_op();
+        assert_eq!(op.build_state_bytes(), 0);
+        op.build(build_side()).unwrap();
+        assert!(op.build_state_bytes() > 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! The limit operator — streaming with early termination.
+
+use df_data::{Batch, SchemaRef};
+
+use crate::error::Result;
+use crate::ops::Operator;
+
+/// Keep the first `n` rows.
+pub struct LimitOp {
+    n: u64,
+    seen: u64,
+    schema: SchemaRef,
+}
+
+impl LimitOp {
+    /// A limit of `n` rows.
+    pub fn new(n: u64, schema: SchemaRef) -> LimitOp {
+        LimitOp { n, seen: 0, schema }
+    }
+
+    /// Whether the limit is already satisfied — the executor uses this to
+    /// stop pulling/pushing upstream (early termination).
+    pub fn satisfied(&self) -> bool {
+        self.seen >= self.n
+    }
+}
+
+impl Operator for LimitOp {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn push(&mut self, batch: Batch) -> Result<Vec<Batch>> {
+        if self.satisfied() || batch.is_empty() {
+            return Ok(vec![]);
+        }
+        let left = (self.n - self.seen) as usize;
+        let take = left.min(batch.rows());
+        self.seen += take as u64;
+        Ok(vec![if take == batch.rows() {
+            batch
+        } else {
+            batch.slice(0, take)
+        }])
+    }
+
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        Ok(vec![])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_data::batch::batch_of;
+    use df_data::Column;
+
+    #[test]
+    fn truncates_at_limit() {
+        let b = batch_of(vec![("x", Column::from_i64((0..10).collect()))]);
+        let mut op = LimitOp::new(7, b.schema().clone());
+        let first = op.push(b.slice(0, 5)).unwrap();
+        assert_eq!(first[0].rows(), 5);
+        assert!(!op.satisfied());
+        let second = op.push(b.slice(5, 5)).unwrap();
+        assert_eq!(second[0].rows(), 2);
+        assert!(op.satisfied());
+        assert!(op.push(b.slice(0, 5)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_limit() {
+        let b = batch_of(vec![("x", Column::from_i64(vec![1]))]);
+        let mut op = LimitOp::new(0, b.schema().clone());
+        assert!(op.satisfied());
+        assert!(op.push(b).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! The projection operator: compute expressions as output columns.
+
+use df_data::{Batch, SchemaRef};
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::ops::Operator;
+
+/// Compute `(expr, name)` pairs per input batch.
+pub struct ProjectOp {
+    exprs: Vec<(Expr, String)>,
+    schema: SchemaRef,
+}
+
+impl ProjectOp {
+    /// A projection with a pre-computed output schema (from the logical
+    /// plan).
+    pub fn new(exprs: Vec<(Expr, String)>, schema: SchemaRef) -> ProjectOp {
+        debug_assert_eq!(exprs.len(), schema.len());
+        ProjectOp { exprs, schema }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn push(&mut self, batch: Batch) -> Result<Vec<Batch>> {
+        let columns = self
+            .exprs
+            .iter()
+            .map(|(e, _)| e.eval(&batch))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(vec![Batch::new(self.schema.clone(), columns)?])
+    }
+
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        Ok(vec![])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use df_data::batch::batch_of;
+    use df_data::{Column, DataType, Field, Scalar, Schema};
+
+    #[test]
+    fn computes_expressions() {
+        let b = batch_of(vec![
+            ("a", Column::from_i64(vec![1, 2, 3])),
+            ("f", Column::from_f64(vec![0.5, 1.0, 1.5])),
+        ]);
+        let schema = Schema::new(vec![
+            Field::nullable("twice", DataType::Int64),
+            Field::nullable("sum", DataType::Float64),
+        ])
+        .into_ref();
+        let mut op = ProjectOp::new(
+            vec![
+                (col("a").mul(lit(2)), "twice".into()),
+                (col("a").add(col("f")), "sum".into()),
+            ],
+            schema,
+        );
+        let out = op.push(b).unwrap();
+        assert_eq!(out[0].column(0).i64_values().unwrap(), &[2, 4, 6]);
+        assert_eq!(out[0].column(1).scalar_at(2), Scalar::Float(4.5));
+    }
+
+    #[test]
+    fn column_passthrough_preserves_data() {
+        let b = batch_of(vec![("a", Column::from_opt_i64(&[Some(1), None]))]);
+        let schema = Schema::new(vec![Field::nullable("a", DataType::Int64)]).into_ref();
+        let mut op = ProjectOp::new(vec![(col("a"), "a".into())], schema);
+        let out = op.push(b.clone()).unwrap();
+        assert_eq!(out[0].canonical_rows(), b.canonical_rows());
+    }
+}

@@ -1,0 +1,112 @@
+//! The sort operator — a full pipeline breaker.
+
+use df_data::sort::{sort_batch, SortKey};
+use df_data::{Batch, SchemaRef};
+
+use crate::error::{EngineError, Result};
+use crate::ops::Operator;
+
+/// Buffer everything, emit sorted at finish.
+pub struct SortOp {
+    keys: Vec<(String, bool)>,
+    schema: SchemaRef,
+    buffered: Vec<Batch>,
+}
+
+impl SortOp {
+    /// Sort by `(column, ascending)` keys.
+    pub fn new(keys: Vec<(String, bool)>, schema: SchemaRef) -> SortOp {
+        SortOp {
+            keys,
+            schema,
+            buffered: Vec::new(),
+        }
+    }
+
+    fn resolved_keys(&self) -> Result<Vec<SortKey>> {
+        self.keys
+            .iter()
+            .map(|(name, asc)| {
+                let idx = self.schema.index_of(name).map_err(EngineError::from)?;
+                Ok(SortKey {
+                    column: idx,
+                    ascending: *asc,
+                })
+            })
+            .collect()
+    }
+}
+
+impl Operator for SortOp {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn push(&mut self, batch: Batch) -> Result<Vec<Batch>> {
+        if !batch.is_empty() {
+            self.buffered.push(batch);
+        }
+        Ok(vec![])
+    }
+
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        if self.buffered.is_empty() {
+            return Ok(vec![]);
+        }
+        let merged = Batch::concat(&std::mem::take(&mut self.buffered))?;
+        let keys = self.resolved_keys()?;
+        Ok(vec![sort_batch(&merged, &keys)?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_data::batch::batch_of;
+    use df_data::{Column, Scalar};
+
+    #[test]
+    fn sorts_across_batches() {
+        let b1 = batch_of(vec![("x", Column::from_i64(vec![5, 1, 3]))]);
+        let b2 = batch_of(vec![("x", Column::from_i64(vec![4, 2]))]);
+        let mut op = SortOp::new(vec![("x".into(), true)], b1.schema().clone());
+        assert!(op.push(b1).unwrap().is_empty());
+        assert!(op.push(b2).unwrap().is_empty());
+        let out = op.finish().unwrap();
+        assert_eq!(out[0].column(0).i64_values().unwrap(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn descending_and_multi_key() {
+        let b = batch_of(vec![
+            ("g", Column::from_i64(vec![1, 2, 1, 2])),
+            ("v", Column::from_i64(vec![10, 20, 30, 40])),
+        ]);
+        let mut op = SortOp::new(
+            vec![("g".into(), true), ("v".into(), false)],
+            b.schema().clone(),
+        );
+        op.push(b).unwrap();
+        let out = op.finish().unwrap();
+        let rows: Vec<Vec<Scalar>> = (0..4).map(|i| out[0].row(i)).collect();
+        assert_eq!(rows[0], vec![Scalar::Int(1), Scalar::Int(30)]);
+        assert_eq!(rows[1], vec![Scalar::Int(1), Scalar::Int(10)]);
+        assert_eq!(rows[2], vec![Scalar::Int(2), Scalar::Int(40)]);
+    }
+
+    #[test]
+    fn empty_input_emits_nothing() {
+        let b = batch_of(vec![("x", Column::from_i64(vec![]))]);
+        let mut op = SortOp::new(vec![("x".into(), true)], b.schema().clone());
+        op.push(b).unwrap();
+        assert!(op.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_key_errors_at_finish() {
+        let b = batch_of(vec![("x", Column::from_i64(vec![1]))]);
+        let mut op = SortOp::new(vec![("ghost".into(), true)], b.schema().clone());
+        op.push(b).unwrap();
+        assert!(op.finish().is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Top-K: fused `Sort + Limit` with bounded state.
+//!
+//! A full sort is a pipeline breaker with unbounded state — exactly what
+//! in-path devices must avoid (§3.3). When a query only wants the first K
+//! ordered rows, the operator keeps a bounded candidate set instead, making
+//! ORDER-BY-LIMIT queries streamable (and, with small K, even
+//! accelerator-placeable in principle).
+
+use df_data::sort::{compare_rows, SortKey};
+use df_data::{Batch, SchemaRef};
+
+use crate::error::{EngineError, Result};
+use crate::ops::Operator;
+
+/// Keep the K smallest rows under the sort keys.
+pub struct TopKOp {
+    keys: Vec<(String, bool)>,
+    k: usize,
+    schema: SchemaRef,
+    /// Current best candidates, always <= k rows, kept sorted.
+    candidates: Option<Batch>,
+    rows_seen: u64,
+}
+
+impl TopKOp {
+    /// Top `k` rows ordered by `(column, ascending)` keys.
+    pub fn new(keys: Vec<(String, bool)>, k: u64, schema: SchemaRef) -> TopKOp {
+        TopKOp {
+            keys,
+            k: k as usize,
+            schema,
+            candidates: None,
+            rows_seen: 0,
+        }
+    }
+
+    fn resolved_keys(&self) -> Result<Vec<SortKey>> {
+        self.keys
+            .iter()
+            .map(|(name, asc)| {
+                let idx = self.schema.index_of(name).map_err(EngineError::from)?;
+                Ok(SortKey {
+                    column: idx,
+                    ascending: *asc,
+                })
+            })
+            .collect()
+    }
+
+    /// Rows the operator consumed (for bounded-state accounting).
+    pub fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    /// Bytes of candidate state held — bounded by K rows, however large the
+    /// input (contrast with a full sort's unbounded buffer).
+    pub fn state_bytes(&self) -> usize {
+        self.candidates.as_ref().map_or(0, Batch::byte_size)
+    }
+}
+
+impl Operator for TopKOp {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn push(&mut self, batch: Batch) -> Result<Vec<Batch>> {
+        if batch.is_empty() || self.k == 0 {
+            return Ok(vec![]);
+        }
+        self.rows_seen += batch.rows() as u64;
+        let keys = self.resolved_keys()?;
+        // Merge the incoming batch with the current candidates and keep the
+        // best k. Sorting (candidates + batch) is O((k + b) log(k + b)) per
+        // batch with state bounded by k rows.
+        let merged = match self.candidates.take() {
+            Some(current) => Batch::concat(&[current, batch])?,
+            None => batch,
+        };
+        let mut indices: Vec<usize> = (0..merged.rows()).collect();
+        indices.sort_by(|&a, &b| compare_rows(&merged, &keys, a, b));
+        indices.truncate(self.k);
+        self.candidates = Some(merged.gather(&indices));
+        Ok(vec![])
+    }
+
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        Ok(self.candidates.take().into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_data::batch::batch_of;
+    use df_data::{Column, Scalar};
+
+    fn sample(n: usize) -> Batch {
+        batch_of(vec![
+            (
+                "v",
+                Column::from_i64((0..n as i64).map(|i| (i * 37) % 1000).collect()),
+            ),
+            ("id", Column::from_i64((0..n as i64).collect())),
+        ])
+    }
+
+    fn run_topk(batch: Batch, keys: Vec<(String, bool)>, k: u64) -> Batch {
+        let mut op = TopKOp::new(keys, k, batch.schema().clone());
+        for chunk in batch.split(17) {
+            assert!(op.push(chunk).unwrap().is_empty());
+        }
+        let out = op.finish().unwrap();
+        Batch::concat(&out).unwrap()
+    }
+
+    #[test]
+    fn equals_sort_then_limit() {
+        let batch = sample(500);
+        let keys = vec![("v".to_string(), true), ("id".to_string(), true)];
+        let topk = run_topk(batch.clone(), keys.clone(), 10);
+        let sort_keys = [
+            df_data::sort::SortKey::asc(0),
+            df_data::sort::SortKey::asc(1),
+        ];
+        let full = df_data::sort::sort_batch(&batch, &sort_keys).unwrap();
+        let expect = full.slice(0, 10);
+        assert_eq!(topk.canonical_rows(), expect.canonical_rows());
+        // And in the same order, not just the same set.
+        for i in 0..10 {
+            assert_eq!(topk.row(i), expect.row(i));
+        }
+    }
+
+    #[test]
+    fn descending_keys() {
+        let batch = sample(100);
+        let topk = run_topk(batch, vec![("v".to_string(), false)], 3);
+        let values = topk.column(0).i64_values().unwrap();
+        assert!(values.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn state_is_bounded_by_k() {
+        let batch = sample(10_000);
+        let mut op = TopKOp::new(vec![("v".to_string(), true)], 5, batch.schema().clone());
+        let mut max_state = 0usize;
+        for chunk in batch.split(256) {
+            op.push(chunk).unwrap();
+            max_state = max_state.max(op.state_bytes());
+        }
+        assert_eq!(op.rows_seen(), 10_000);
+        // 5 rows of two i64 columns ≈ 80 bytes; allow slack for bitmaps.
+        assert!(max_state < 1024, "state grew to {max_state} bytes");
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_everything_sorted() {
+        let batch = sample(7);
+        let topk = run_topk(batch.clone(), vec![("v".to_string(), true)], 100);
+        assert_eq!(topk.rows(), 7);
+        assert_eq!(topk.canonical_rows(), batch.canonical_rows());
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let batch = sample(10);
+        let mut op = TopKOp::new(vec![("v".to_string(), true)], 0, batch.schema().clone());
+        op.push(batch).unwrap();
+        assert!(op.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn ties_resolve_deterministically() {
+        let batch = batch_of(vec![
+            ("v", Column::from_i64(vec![1, 1, 1, 1])),
+            ("id", Column::from_i64(vec![3, 0, 2, 1])),
+        ]);
+        let topk = run_topk(batch, vec![("v".to_string(), true), ("id".to_string(), true)], 2);
+        assert_eq!(topk.row(0)[1], Scalar::Int(0));
+        assert_eq!(topk.row(1)[1], Scalar::Int(1));
+    }
+}

@@ -1,0 +1,428 @@
+//! Logical rewrites: filter merging and projection pruning.
+//!
+//! These run before placement so every physical variant starts from the
+//! same minimal logical plan: adjacent filters merged into one conjunction
+//! (so pushdown can split it per-conjunct), and scans annotated with the
+//! exact column set the query needs (so storage-side projection has
+//! something to push).
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::logical::LogicalPlan;
+
+/// Apply all rewrites.
+pub fn rewrite(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let plan = merge_filters(plan);
+    prune(plan, None)
+}
+
+/// Collapse `Filter(Filter(x, a), b)` into `Filter(x, b AND a)`.
+pub fn merge_filters(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = merge_filters(*input);
+            if let LogicalPlan::Filter {
+                input: inner,
+                predicate: inner_pred,
+            } = input
+            {
+                LogicalPlan::Filter {
+                    input: inner,
+                    predicate: predicate.and(inner_pred),
+                }
+            } else {
+                LogicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                }
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(merge_filters(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(merge_filters(*input)),
+            group_by,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(merge_filters(*left)),
+            right: Box::new(merge_filters(*right)),
+            on,
+            join_type,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(merge_filters(*input)),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(merge_filters(*input)),
+            n,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Projection pruning: thread the set of required columns down the tree and
+/// narrow every `Scan` to exactly what is needed. `required = None` means
+/// "everything" (the root).
+fn prune(plan: LogicalPlan, required: Option<Vec<String>>) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Scan { table, schema, .. } => {
+            match required {
+                None => LogicalPlan::Scan {
+                    table,
+                    projection: None,
+                    schema,
+                },
+                Some(mut names) => {
+                    // A query that needs no columns (COUNT(*)) still needs
+                    // one to carry row counts: pick the narrowest.
+                    if names.is_empty() {
+                        if let Some(f) = schema
+                            .fields()
+                            .iter()
+                            .min_by_key(|f| f.dtype.fixed_width().unwrap_or(16))
+                        {
+                            names.push(f.name.clone());
+                        }
+                    }
+                    names.sort_by_key(|n| schema.index_of(n).unwrap_or(usize::MAX));
+                    names.dedup();
+                    // Keep only names that exist (validation happened at
+                    // plan build; unknown names here would be a bug).
+                    let idx: Vec<usize> = names
+                        .iter()
+                        .filter_map(|n| schema.index_of(n).ok())
+                        .collect();
+                    if idx.len() == schema.len() {
+                        LogicalPlan::Scan {
+                            table,
+                            projection: None,
+                            schema,
+                        }
+                    } else {
+                        let projected = schema.project(&idx).into_ref();
+                        LogicalPlan::Scan {
+                            table,
+                            projection: Some(
+                                idx.iter()
+                                    .map(|&i| schema.field(i).name.clone())
+                                    .collect(),
+                            ),
+                            schema: projected,
+                        }
+                    }
+                }
+            }
+        }
+        LogicalPlan::Values { batches, schema } => LogicalPlan::Values { batches, schema },
+        LogicalPlan::Filter { input, predicate } => {
+            let child_required = required.map(|mut r| {
+                r.extend(predicate.columns());
+                r
+            });
+            LogicalPlan::Filter {
+                input: Box::new(prune(*input, child_required)?),
+                predicate,
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            // Drop output expressions nobody upstream needs.
+            let kept: Vec<(Expr, String)> = match &required {
+                None => exprs,
+                Some(r) => {
+                    let kept: Vec<_> = exprs
+                        .into_iter()
+                        .filter(|(_, name)| r.contains(name))
+                        .collect();
+                    if kept.is_empty() {
+                        // Keep at least one column for a valid batch shape.
+                        return Err(crate::error::EngineError::Internal(
+                            "projection pruning removed every column".into(),
+                        ));
+                    }
+                    kept
+                }
+            };
+            let child_required: Vec<String> = kept
+                .iter()
+                .flat_map(|(e, _)| e.columns())
+                .collect();
+            let input = prune(*input, Some(child_required))?;
+            if kept.len() == schema.len() {
+                LogicalPlan::Project {
+                    input: Box::new(input),
+                    exprs: kept,
+                    schema,
+                }
+            } else {
+                input.project_exprs(kept)?
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => {
+            let mut child_required = group_by.clone();
+            child_required.extend(aggs.iter().filter_map(|a| a.column.clone()));
+            LogicalPlan::Aggregate {
+                input: Box::new(prune(*input, Some(child_required))?),
+                group_by,
+                aggs,
+                schema,
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+            schema,
+        } => {
+            let left_schema = left.schema();
+            let right_schema = right.schema();
+            let nleft = left_schema.len();
+            // Map required output positions back to the input sides.
+            let (mut left_req, mut right_req) = match &required {
+                None => (
+                    left_schema
+                        .fields()
+                        .iter()
+                        .map(|f| f.name.clone())
+                        .collect::<Vec<_>>(),
+                    right_schema
+                        .fields()
+                        .iter()
+                        .map(|f| f.name.clone())
+                        .collect::<Vec<_>>(),
+                ),
+                Some(r) => {
+                    let mut lr = Vec::new();
+                    let mut rr = Vec::new();
+                    for name in r {
+                        if let Ok(pos) = schema.index_of(name) {
+                            if pos < nleft {
+                                lr.push(left_schema.field(pos).name.clone());
+                            } else {
+                                rr.push(right_schema.field(pos - nleft).name.clone());
+                            }
+                        }
+                    }
+                    (lr, rr)
+                }
+            };
+            for (l, r) in &on {
+                left_req.push(l.clone());
+                right_req.push(r.clone());
+            }
+            let left = prune(*left, Some(left_req))?;
+            let right = prune(*right, Some(right_req))?;
+            // Rebuild so the joined schema reflects pruned inputs.
+            let on_refs: Vec<(&str, &str)> =
+                on.iter().map(|(l, r)| (l.as_str(), r.as_str())).collect();
+            left.join_with(right, on_refs, join_type)?
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child_required = required.map(|mut r| {
+                r.extend(keys.iter().map(|(k, _)| k.clone()));
+                r
+            });
+            LogicalPlan::Sort {
+                input: Box::new(prune(*input, child_required)?),
+                keys,
+            }
+        }
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(prune(*input, required)?),
+            n,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::logical::{AggCall, AggFn};
+    use df_data::{DataType, Field, Schema};
+
+    fn wide_schema() -> df_data::SchemaRef {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+            Field::new("c", DataType::Utf8),
+            Field::new("d", DataType::Float64),
+        ])
+        .into_ref()
+    }
+
+    #[test]
+    fn filters_merge_into_conjunction() {
+        let plan = LogicalPlan::scan("t", wide_schema())
+            .filter(col("a").gt(lit(1)))
+            .unwrap()
+            .filter(col("b").lt(lit(9)))
+            .unwrap();
+        let merged = merge_filters(plan);
+        match merged {
+            LogicalPlan::Filter { predicate, input } => {
+                assert!(matches!(*input, LogicalPlan::Scan { .. }));
+                assert!(matches!(predicate, Expr::And(v) if v.len() == 2));
+            }
+            other => panic!("expected filter, got {other}"),
+        }
+    }
+
+    #[test]
+    fn scan_pruned_to_needed_columns() {
+        let plan = LogicalPlan::scan("t", wide_schema())
+            .filter(col("b").gt(lit(0)))
+            .unwrap()
+            .aggregate(
+                vec!["c".into()],
+                vec![AggCall::new(AggFn::Sum, "a", "s")],
+            )
+            .unwrap();
+        let rewritten = rewrite(plan).unwrap();
+        fn find_scan(p: &LogicalPlan) -> &LogicalPlan {
+            match p {
+                LogicalPlan::Scan { .. } => p,
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Aggregate { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Limit { input, .. }
+                | LogicalPlan::Project { input, .. } => find_scan(input),
+                _ => panic!("no scan"),
+            }
+        }
+        match find_scan(&rewritten) {
+            LogicalPlan::Scan {
+                projection: Some(cols),
+                schema,
+                ..
+            } => {
+                // Needs a (agg), b (filter), c (group) — not d.
+                assert_eq!(cols, &vec!["a".to_string(), "b".into(), "c".into()]);
+                assert_eq!(schema.len(), 3);
+            }
+            other => panic!("scan not pruned: {other}"),
+        }
+        // The rewritten plan still validates and keeps its output schema.
+        assert_eq!(rewritten.schema().len(), 2);
+    }
+
+    #[test]
+    fn root_scan_keeps_all_columns() {
+        let plan = LogicalPlan::scan("t", wide_schema());
+        let rewritten = rewrite(plan).unwrap();
+        assert!(matches!(
+            rewritten,
+            LogicalPlan::Scan {
+                projection: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unused_projection_exprs_dropped() {
+        let plan = LogicalPlan::scan("t", wide_schema())
+            .project_exprs(vec![
+                (col("a"), "a".into()),
+                (col("b").mul(lit(2)), "bb".into()),
+                (col("d"), "d".into()),
+            ])
+            .unwrap()
+            .aggregate(vec![], vec![AggCall::new(AggFn::Sum, "a", "s")])
+            .unwrap();
+        let rewritten = rewrite(plan).unwrap();
+        fn find_project(p: &LogicalPlan) -> Option<&LogicalPlan> {
+            match p {
+                LogicalPlan::Project { .. } => Some(p),
+                LogicalPlan::Aggregate { input, .. } => find_project(input),
+                _ => None,
+            }
+        }
+        match find_project(&rewritten) {
+            Some(LogicalPlan::Project { exprs, .. }) => {
+                assert_eq!(exprs.len(), 1);
+                assert_eq!(exprs[0].1, "a");
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_prunes_both_sides() {
+        let left = LogicalPlan::scan("l", wide_schema());
+        let right_schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("x", DataType::Utf8),
+            Field::new("y", DataType::Float64),
+        ])
+        .into_ref();
+        let right = LogicalPlan::scan("r", right_schema);
+        let plan = left
+            .join(right, vec![("a", "k")])
+            .unwrap()
+            .aggregate(
+                vec!["x".into()],
+                vec![AggCall::new(AggFn::Sum, "b", "s")],
+            )
+            .unwrap();
+        let rewritten = rewrite(plan).unwrap();
+        fn scans(p: &LogicalPlan, out: &mut Vec<Vec<String>>) {
+            match p {
+                LogicalPlan::Scan {
+                    projection, schema, ..
+                } => out.push(
+                    projection
+                        .clone()
+                        .unwrap_or_else(|| {
+                            schema.fields().iter().map(|f| f.name.clone()).collect()
+                        }),
+                ),
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Aggregate { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Limit { input, .. } => scans(input, out),
+                LogicalPlan::Join { left, right, .. } => {
+                    scans(left, out);
+                    scans(right, out);
+                }
+                LogicalPlan::Values { .. } => {}
+            }
+        }
+        let mut seen = Vec::new();
+        scans(&rewritten, &mut seen);
+        assert_eq!(seen[0], vec!["a".to_string(), "b".into()]); // left: key + agg input
+        assert_eq!(seen[1], vec!["k".to_string(), "x".into()]); // right: key + group
+    }
+}

@@ -1,0 +1,347 @@
+//! Physical plans: operator trees annotated with device placement.
+//!
+//! A physical node is a logical operator plus the decision of *where* it
+//! runs ([`DeviceId`] in a fabric [`df_fabric::Topology`]) and *how*
+//! (native vs kernel-interpreted). The executor charges every batch that
+//! crosses between differently-placed nodes to the movement ledger.
+
+use df_data::{Batch, SchemaRef};
+use df_fabric::DeviceId;
+use df_storage::smart::ScanRequest;
+
+use crate::expr::Expr;
+use crate::logical::AggCall;
+use crate::ops::AggMode;
+
+/// A physical operator tree.
+#[derive(Debug, Clone)]
+pub enum PhysNode {
+    /// Scan a stored table with an optional pushed-down request (the
+    /// request executes *at the storage device*).
+    StorageScan {
+        /// Table name.
+        table: String,
+        /// Pushed-down projection/predicate/pre-aggregation.
+        request: ScanRequest,
+        /// Output schema of the request.
+        schema: SchemaRef,
+        /// Placement (the storage controller, smart or plain).
+        device: Option<DeviceId>,
+    },
+    /// In-memory batches.
+    Values {
+        /// The data.
+        batches: Vec<Batch>,
+        /// Shared schema.
+        schema: SchemaRef,
+        /// Placement.
+        device: Option<DeviceId>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input.
+        input: Box<PhysNode>,
+        /// Predicate.
+        predicate: Expr,
+        /// Placement.
+        device: Option<DeviceId>,
+        /// Evaluate via the kernel VM (accelerator emulation) instead of
+        /// the native vectorized path.
+        use_kernel: bool,
+    },
+    /// Expression projection.
+    Project {
+        /// Input.
+        input: Box<PhysNode>,
+        /// `(expr, name)` pairs.
+        exprs: Vec<(Expr, String)>,
+        /// Output schema.
+        schema: SchemaRef,
+        /// Placement.
+        device: Option<DeviceId>,
+    },
+    /// Hash aggregation (partial, final, or merge).
+    Aggregate {
+        /// Input (raw rows for Partial/Final, partials for Merge).
+        input: Box<PhysNode>,
+        /// Group-by columns.
+        group_by: Vec<String>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+        /// Mode.
+        mode: AggMode,
+        /// The *final* output schema of the logical aggregate.
+        final_schema: SchemaRef,
+        /// Placement.
+        device: Option<DeviceId>,
+    },
+    /// Hash join: `build` is consumed first.
+    HashJoin {
+        /// Build side.
+        build: Box<PhysNode>,
+        /// Probe side.
+        probe: Box<PhysNode>,
+        /// `(build column, probe column)` pairs.
+        on: Vec<(String, String)>,
+        /// Inner or left-outer.
+        join_type: crate::logical::JoinType,
+        /// Joined schema.
+        schema: SchemaRef,
+        /// Placement.
+        device: Option<DeviceId>,
+    },
+    /// Sort.
+    Sort {
+        /// Input.
+        input: Box<PhysNode>,
+        /// `(column, ascending)` keys.
+        keys: Vec<(String, bool)>,
+        /// Placement.
+        device: Option<DeviceId>,
+    },
+    /// Row limit.
+    Limit {
+        /// Input.
+        input: Box<PhysNode>,
+        /// Cap.
+        n: u64,
+    },
+    /// Fused sort+limit with bounded state.
+    TopK {
+        /// Input.
+        input: Box<PhysNode>,
+        /// `(column, ascending)` keys.
+        keys: Vec<(String, bool)>,
+        /// Rows kept.
+        k: u64,
+        /// Placement.
+        device: Option<DeviceId>,
+    },
+}
+
+impl PhysNode {
+    /// The node's output schema.
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            PhysNode::StorageScan { schema, .. }
+            | PhysNode::Values { schema, .. }
+            | PhysNode::Project { schema, .. }
+            | PhysNode::HashJoin { schema, .. } => schema.clone(),
+            PhysNode::Filter { input, .. }
+            | PhysNode::Sort { input, .. }
+            | PhysNode::TopK { input, .. }
+            | PhysNode::Limit { input, .. } => input.schema(),
+            PhysNode::Aggregate {
+                input,
+                group_by,
+                aggs,
+                mode,
+                final_schema,
+                ..
+            } => match mode {
+                AggMode::Partial { .. } => {
+                    crate::ops::aggregate::partial_schema(group_by, aggs, &input.schema())
+                        .expect("validated at plan build")
+                        .into_ref()
+                }
+                _ => final_schema.clone(),
+            },
+        }
+    }
+
+    /// The node's placement (None = unplaced, treated as the local CPU).
+    pub fn device(&self) -> Option<DeviceId> {
+        match self {
+            PhysNode::StorageScan { device, .. }
+            | PhysNode::Values { device, .. }
+            | PhysNode::Filter { device, .. }
+            | PhysNode::Project { device, .. }
+            | PhysNode::Aggregate { device, .. }
+            | PhysNode::HashJoin { device, .. }
+            | PhysNode::TopK { device, .. }
+            | PhysNode::Sort { device, .. } => *device,
+            PhysNode::Limit { input, .. } => input.device(),
+        }
+    }
+
+    /// Indented explain text with placements.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn dev_str(device: &Option<DeviceId>) -> String {
+        match device {
+            Some(d) => format!(" @{d}"),
+            None => String::new(),
+        }
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysNode::StorageScan {
+                table,
+                request,
+                device,
+                ..
+            } => {
+                let mut parts = vec![format!("{pad}StorageScan: {table}")];
+                if let Some(p) = &request.projection {
+                    parts.push(format!("projection=[{}]", p.join(",")));
+                }
+                if request.preagg.is_some() {
+                    parts.push("preagg".into());
+                }
+                if !matches!(
+                    request.predicate,
+                    df_storage::predicate::StoragePredicate::True
+                ) {
+                    parts.push("pushdown-filter".into());
+                }
+                out.push_str(&parts.join(" "));
+                out.push_str(&Self::dev_str(device));
+                out.push('\n');
+            }
+            PhysNode::Values {
+                batches, device, ..
+            } => {
+                let rows: usize = batches.iter().map(Batch::rows).sum();
+                out.push_str(&format!(
+                    "{pad}Values: {rows} rows{}\n",
+                    Self::dev_str(device)
+                ));
+            }
+            PhysNode::Filter {
+                input,
+                predicate,
+                device,
+                use_kernel,
+            } => {
+                let how = if *use_kernel { " [kernel]" } else { "" };
+                out.push_str(&format!(
+                    "{pad}Filter: {predicate}{how}{}\n",
+                    Self::dev_str(device)
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            PhysNode::Project {
+                input,
+                exprs,
+                device,
+                ..
+            } => {
+                let items: Vec<String> =
+                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                out.push_str(&format!(
+                    "{pad}Project: {}{}\n",
+                    items.join(", "),
+                    Self::dev_str(device)
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            PhysNode::Aggregate {
+                input,
+                group_by,
+                mode,
+                device,
+                ..
+            } => {
+                let mode_str = match mode {
+                    AggMode::Partial { max_groups } => format!("partial(max={max_groups})"),
+                    AggMode::Final => "final".to_string(),
+                    AggMode::Merge => "merge".to_string(),
+                };
+                out.push_str(&format!(
+                    "{pad}Aggregate[{mode_str}]: group=[{}]{}\n",
+                    group_by.join(","),
+                    Self::dev_str(device)
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            PhysNode::HashJoin {
+                build,
+                probe,
+                on,
+                join_type,
+                device,
+                ..
+            } => {
+                let keys: Vec<String> =
+                    on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                out.push_str(&format!(
+                    "{pad}HashJoin[{}]: [{}]{}\n",
+                    join_type.name(),
+                    keys.join(","),
+                    Self::dev_str(device)
+                ));
+                build.explain_into(out, depth + 1);
+                probe.explain_into(out, depth + 1);
+            }
+            PhysNode::Sort { input, keys, device } => {
+                let items: Vec<String> = keys
+                    .iter()
+                    .map(|(k, asc)| format!("{k} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}Sort: {}{}\n",
+                    items.join(", "),
+                    Self::dev_str(device)
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            PhysNode::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit: {n}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            PhysNode::TopK {
+                input,
+                keys,
+                k,
+                device,
+            } => {
+                let items: Vec<String> = keys
+                    .iter()
+                    .map(|(c, asc)| format!("{c} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}TopK({k}): {}{}\n",
+                    items.join(", "),
+                    Self::dev_str(device)
+                ));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// A complete physical plan, named for the variant it represents (§7.3:
+/// plans carry several data-path alternatives).
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// Root node.
+    pub root: PhysNode,
+    /// Variant label, e.g. `"cpu-only"`, `"storage-pushdown"`.
+    pub variant: String,
+}
+
+impl PhysicalPlan {
+    /// Wrap a root with a variant label.
+    pub fn new(root: PhysNode, variant: impl Into<String>) -> PhysicalPlan {
+        PhysicalPlan {
+            root,
+            variant: variant.into(),
+        }
+    }
+
+    /// Output schema.
+    pub fn schema(&self) -> SchemaRef {
+        self.root.schema()
+    }
+
+    /// Explain text.
+    pub fn explain(&self) -> String {
+        format!("variant: {}\n{}", self.variant, self.root.explain())
+    }
+}

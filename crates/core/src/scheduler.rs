@@ -1,0 +1,358 @@
+//! Interference-aware query scheduling (§7.3).
+//!
+//! "The enemy of sustained performance in this environment is
+//! interference." The scheduler holds the fabric-wide picture of which
+//! links active queries stream over. At admission it walks a query's
+//! ranked plan variants (produced by the optimizer, §7.3's "several data
+//! path alternatives") and picks the best variant whose links are below the
+//! saturation threshold; if every variant contends, it admits the best one
+//! *rate-limited* to its fair share — the "rate-limiting DMA engines"
+//! mechanism.
+//!
+//! [`flow_pipeline`] maps a linear physical plan onto the flow simulator's
+//! stage model, which is how experiment E13 replays scheduling decisions in
+//! simulated time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use df_fabric::flow::{PipelineSpec, StageSpec};
+use df_fabric::{DeviceId, LinkId, Topology};
+use df_sim::Bandwidth;
+
+use crate::error::{EngineError, Result};
+use crate::optimizer::cost::{estimate_node, node_input_bytes, op_class_of, reduction_of};
+use crate::optimizer::{Profiles, RankedPlan};
+use crate::physical::{PhysNode, PhysicalPlan};
+
+/// Handle for releasing an admission's reservations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReservationHandle(u64);
+
+/// The scheduler's decision for one query.
+#[derive(Debug)]
+pub struct Admission {
+    /// Index into the variant list that was chosen.
+    pub variant_index: usize,
+    /// DMA rate limit to apply, if the fabric is contended.
+    pub rate_limit: Option<Bandwidth>,
+    /// Release this when the query finishes.
+    pub handle: ReservationHandle,
+}
+
+/// Tracks link reservations of active queries.
+pub struct Scheduler {
+    topology: Arc<Topology>,
+    /// Where query results are consumed (the session CPU).
+    consumer: DeviceId,
+    /// Streams currently reserved per link.
+    streams: HashMap<LinkId, u32>,
+    active: HashMap<ReservationHandle, Vec<LinkId>>,
+    next_handle: u64,
+    /// How many concurrent full-rate streams a link tolerates before the
+    /// scheduler avoids or rate-limits it.
+    pub streams_per_link: u32,
+}
+
+impl Scheduler {
+    /// A scheduler over a topology; `consumer` is where results land
+    /// (plans whose root is remote still stream over the final hop).
+    pub fn new(topology: Arc<Topology>, consumer: DeviceId) -> Scheduler {
+        Scheduler {
+            topology,
+            consumer,
+            streams: HashMap::new(),
+            active: HashMap::new(),
+            next_handle: 0,
+            streams_per_link: 1,
+        }
+    }
+
+    /// Links a plan's cross-device edges stream over.
+    pub fn links_of(&self, plan: &PhysicalPlan) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        collect_links(&plan.root, Some(self.consumer), &self.topology, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Current stream count on a link.
+    pub fn link_streams(&self, link: LinkId) -> u32 {
+        self.streams.get(&link).copied().unwrap_or(0)
+    }
+
+    /// Admit a query given its ranked variants. Chooses the first
+    /// (best-cost) variant whose links are uncontended; if none exists,
+    /// admits the overall best with a rate limit of its bottleneck link's
+    /// fair share.
+    pub fn admit(&mut self, variants: &[RankedPlan]) -> Result<Admission> {
+        if variants.is_empty() {
+            return Err(EngineError::Placement("no variants to admit".into()));
+        }
+        let choice = variants.iter().position(|v| {
+            self.links_of(&v.plan)
+                .iter()
+                .all(|l| self.link_streams(*l) < self.streams_per_link)
+        });
+        let (variant_index, rate_limit) = match choice {
+            Some(i) => (i, None),
+            None => {
+                // Everything contends: take the best variant, rate-limited
+                // to a fair share of its most contended link.
+                let links = self.links_of(&variants[0].plan);
+                let worst = links
+                    .iter()
+                    .max_by_key(|l| self.link_streams(**l))
+                    .copied();
+                let limit = worst.map(|l| {
+                    let sharers = self.link_streams(l) + 1;
+                    self.topology
+                        .link(l)
+                        .tech
+                        .bandwidth()
+                        .scaled(1.0 / f64::from(sharers))
+                });
+                (0, limit)
+            }
+        };
+        let links = self.links_of(&variants[variant_index].plan);
+        for l in &links {
+            *self.streams.entry(*l).or_insert(0) += 1;
+        }
+        let handle = ReservationHandle(self.next_handle);
+        self.next_handle += 1;
+        self.active.insert(handle, links);
+        Ok(Admission {
+            variant_index,
+            rate_limit,
+            handle,
+        })
+    }
+
+    /// Release a finished query's reservations.
+    pub fn release(&mut self, handle: ReservationHandle) {
+        if let Some(links) = self.active.remove(&handle) {
+            for l in links {
+                if let Some(count) = self.streams.get_mut(&l) {
+                    *count = count.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Number of active admissions.
+    pub fn active_queries(&self) -> usize {
+        self.active.len()
+    }
+}
+
+fn collect_links(
+    node: &PhysNode,
+    parent: Option<DeviceId>,
+    topology: &Topology,
+    out: &mut Vec<LinkId>,
+) {
+    let device = node.device();
+    if let (Some(d), Some(p)) = (device, parent) {
+        if d != p {
+            if let Some(route) = topology.route(d, p) {
+                out.extend(route.links);
+            }
+        }
+    }
+    let children: Vec<&PhysNode> = match node {
+        PhysNode::StorageScan { .. } | PhysNode::Values { .. } => vec![],
+        PhysNode::Filter { input, .. }
+        | PhysNode::Project { input, .. }
+        | PhysNode::Aggregate { input, .. }
+        | PhysNode::Sort { input, .. }
+        | PhysNode::TopK { input, .. }
+        | PhysNode::Limit { input, .. } => vec![input],
+        PhysNode::HashJoin { build, probe, .. } => vec![build, probe],
+    };
+    for c in children {
+        collect_links(c, device.or(parent), topology, out);
+    }
+}
+
+/// Map a *linear* physical plan (no joins) onto a flow-simulator pipeline.
+/// Stage selectivities come from the cost model's estimates; the source
+/// size is the bytes the scan touches. `default_device` hosts unplaced
+/// nodes.
+pub fn flow_pipeline(
+    plan: &PhysicalPlan,
+    profiles: &Profiles,
+    default_device: DeviceId,
+    name: impl Into<String>,
+) -> Result<PipelineSpec> {
+    // Collect the chain root-to-leaf, then reverse.
+    let mut chain: Vec<&PhysNode> = Vec::new();
+    let mut node = &plan.root;
+    loop {
+        chain.push(node);
+        node = match node {
+            PhysNode::StorageScan { .. } | PhysNode::Values { .. } => break,
+            PhysNode::Filter { input, .. }
+            | PhysNode::Project { input, .. }
+            | PhysNode::Aggregate { input, .. }
+            | PhysNode::Sort { input, .. }
+            | PhysNode::TopK { input, .. }
+            | PhysNode::Limit { input, .. } => input,
+            PhysNode::HashJoin { .. } => {
+                return Err(EngineError::Plan(
+                    "flow mapping supports linear plans only".into(),
+                ))
+            }
+        };
+    }
+    chain.reverse();
+    let leaf = chain[0];
+    let source_bytes = node_input_bytes(leaf, profiles).max(1.0) as u64;
+    let mut stages = Vec::with_capacity(chain.len());
+    for n in &chain {
+        let device = n.device().unwrap_or(default_device);
+        let op = op_class_of(n);
+        let selectivity = if std::ptr::eq(*n, leaf) {
+            let (_, out_bytes) = estimate_node(n, profiles);
+            (out_bytes / source_bytes as f64).clamp(0.0, 1.0)
+        } else {
+            reduction_of(n, profiles)
+        };
+        stages.push(StageSpec::new(device, op, selectivity));
+    }
+    Ok(PipelineSpec::new(name, stages, source_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::logical::LogicalPlan;
+    use crate::optimizer::{Optimizer, Profiles, TableProfile};
+    use df_data::{DataType, Field, Schema};
+    use df_fabric::flow::FlowSim;
+    use df_fabric::topology::DisaggregatedConfig;
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::disaggregated(&DisaggregatedConfig::default()))
+    }
+
+    fn table_schema() -> df_data::SchemaRef {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ])
+        .into_ref()
+    }
+
+    fn profiles() -> Profiles {
+        let mut p = Profiles::new();
+        p.insert(
+            "t".to_string(),
+            TableProfile {
+                rows: 1_000_000,
+                stored_bytes: 16_000_000,
+                zones: vec![
+                    Some(df_storage::zonemap::ZoneMap::of(
+                        &df_data::Column::from_i64(vec![0, 999_999]),
+                    )),
+                    None,
+                ],
+                schema: table_schema().as_ref().clone(),
+            },
+        );
+        p
+    }
+
+    fn query() -> LogicalPlan {
+        LogicalPlan::scan("t", table_schema())
+            .filter(col("id").lt(lit(100_000)))
+            .unwrap()
+    }
+
+    #[test]
+    fn admission_prefers_best_then_avoids_contention() {
+        let t = topo();
+        let optimizer = Optimizer::new(t.clone()).unwrap();
+        let variants = optimizer.variants(&query(), &profiles()).unwrap();
+        let mut scheduler = Scheduler::new(t, optimizer.site().cpu);
+        let first = scheduler.admit(&variants).unwrap();
+        assert_eq!(first.variant_index, 0, "uncontended: best variant");
+        assert!(first.rate_limit.is_none());
+        // Second identical query: the storage path is now contended; the
+        // scheduler either picks another variant or rate-limits.
+        let second = scheduler.admit(&variants).unwrap();
+        assert!(
+            second.variant_index != 0 || second.rate_limit.is_some(),
+            "second admission must react to contention"
+        );
+        assert_eq!(scheduler.active_queries(), 2);
+        scheduler.release(first.handle);
+        scheduler.release(second.handle);
+        assert_eq!(scheduler.active_queries(), 0);
+        // Released: the next admission is unconstrained again.
+        let third = scheduler.admit(&variants).unwrap();
+        assert_eq!(third.variant_index, 0);
+        assert!(third.rate_limit.is_none());
+    }
+
+    #[test]
+    fn release_is_idempotent() {
+        let t = topo();
+        let optimizer = Optimizer::new(t.clone()).unwrap();
+        let variants = optimizer.variants(&query(), &profiles()).unwrap();
+        let mut scheduler = Scheduler::new(t, optimizer.site().cpu);
+        let a = scheduler.admit(&variants).unwrap();
+        scheduler.release(a.handle);
+        scheduler.release(a.handle);
+        assert_eq!(scheduler.active_queries(), 0);
+    }
+
+    #[test]
+    fn flow_mapping_runs_in_simulator() {
+        let t = topo();
+        let optimizer = Optimizer::new(t.clone()).unwrap();
+        let best = optimizer.best(&query(), &profiles()).unwrap();
+        let spec = flow_pipeline(
+            &best.plan,
+            &profiles(),
+            optimizer.site().cpu,
+            "q1",
+        )
+        .unwrap();
+        assert!(spec.source_bytes > 1_000_000);
+        let mut sim = FlowSim::new(Topology::disaggregated(
+            &DisaggregatedConfig::default(),
+        ));
+        sim.add_pipeline(spec);
+        let report = sim.run();
+        assert!(report.pipelines[0].duration().nanos() > 0);
+        // The pushdown variant delivers only the filtered fraction.
+        let delivered = report.pipelines[0].bytes_delivered as f64;
+        assert!(delivered < 0.2 * report.pipelines[0].stages[0].bytes_in as f64);
+    }
+
+    #[test]
+    fn join_plans_rejected_by_flow_mapping() {
+        let t = topo();
+        let schema = table_schema();
+        let logical = LogicalPlan::scan("t", schema.clone())
+            .join(LogicalPlan::scan("t", schema), vec![("id", "id")])
+            .unwrap();
+        let optimizer = Optimizer::new(t).unwrap();
+        let best = optimizer.best(&logical, &profiles()).unwrap();
+        assert!(flow_pipeline(&best.plan, &profiles(), optimizer.site().cpu, "j").is_err());
+    }
+
+    #[test]
+    fn links_of_covers_scan_to_cpu_route() {
+        let t = topo();
+        let optimizer = Optimizer::new(t.clone()).unwrap();
+        let variants = optimizer.variants(&query(), &profiles()).unwrap();
+        let scheduler = Scheduler::new(t.clone(), optimizer.site().cpu);
+        let links = scheduler.links_of(&variants[0].plan);
+        // storage.ssd -> cpu crosses 4 links in this topology.
+        assert!(links.len() >= 4, "links: {links:?}");
+    }
+}

@@ -1,0 +1,959 @@
+//! A SQL frontend for the examples and tests.
+//!
+//! Supported grammar (one `SELECT` statement):
+//!
+//! ```text
+//! SELECT item [, item]*
+//! FROM ident [[LEFT [OUTER]] JOIN ident ON ident = ident [AND ...]]*
+//! [WHERE expr] [GROUP BY ident [, ident]* [HAVING expr]]
+//! [ORDER BY ident [ASC|DESC] [, ...]] [LIMIT n]
+//!
+//! item := * | expr [AS ident] | COUNT(*) | fn(ident) [AS ident]
+//! expr := OR / AND / NOT / comparisons / LIKE / BETWEEN / IS [NOT] NULL
+//!         / + - * / / literals / identifiers / parentheses
+//! ```
+//!
+//! Identifiers are bare column names (the engine prefixes colliding join
+//! columns with `right_`). Keywords are case-insensitive.
+
+use df_data::{Scalar, SchemaRef};
+use df_storage::zonemap::CmpOp;
+
+use crate::error::{EngineError, Result};
+use crate::expr::{col, Expr};
+use crate::logical::{AggCall, AggFn, LogicalPlan};
+
+/// Resolves table names to schemas during parsing.
+pub trait Catalog {
+    /// The schema of `table`, or an error if unknown.
+    fn table_schema(&self, table: &str) -> Result<SchemaRef>;
+}
+
+// --------------------------------------------------------------- tokenizer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Keyword(String), // uppercased
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(char),
+    // Two-char operators.
+    Le,
+    Ge,
+    Ne,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AS", "AND", "OR",
+    "NOT", "LIKE", "BETWEEN", "IS", "NULL", "ASC", "DESC", "JOIN", "ON", "TRUE",
+    "FALSE", "COUNT", "SUM", "MIN", "MAX", "AVG", "HAVING", "LEFT", "OUTER",
+];
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            // Doubled quote = escaped quote.
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(ch) => s.push(ch),
+                        None => {
+                            return Err(EngineError::Parse(
+                                "unterminated string literal".into(),
+                            ))
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let mut num = String::new();
+                let mut is_float = false;
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        num.push(d);
+                        chars.next();
+                    } else if d == '.' && !is_float {
+                        is_float = true;
+                        num.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    tokens.push(Token::Float(num.parse().map_err(|_| {
+                        EngineError::Parse(format!("bad float literal {num}"))
+                    })?));
+                } else {
+                    tokens.push(Token::Int(num.parse().map_err(|_| {
+                        EngineError::Parse(format!("bad integer literal {num}"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        word.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Ident(word));
+                }
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        tokens.push(Token::Le);
+                    }
+                    Some('>') => {
+                        chars.next();
+                        tokens.push(Token::Ne);
+                    }
+                    _ => tokens.push(Token::Symbol('<')),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Ge);
+                } else {
+                    tokens.push(Token::Symbol('>'));
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Ne);
+                } else {
+                    return Err(EngineError::Parse("unexpected '!'".into()));
+                }
+            }
+            '=' | '(' | ')' | ',' | '*' | '+' | '-' | '/' | ';' => {
+                chars.next();
+                tokens.push(Token::Symbol(c));
+            }
+            other => {
+                return Err(EngineError::Parse(format!("unexpected character '{other}'")))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ------------------------------------------------------------------ parser
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    catalog: &'a dyn Catalog,
+}
+
+#[derive(Debug)]
+enum SelectItem {
+    Star,
+    Expr { expr: Expr, alias: Option<String> },
+    Agg { call: AggFn, column: Option<String>, alias: Option<String> },
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(EngineError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: char) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: char) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(EngineError::Parse(format!(
+                "expected '{sym}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(EngineError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<LogicalPlan> {
+        self.expect_keyword("SELECT")?;
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat_symbol(',') {
+            items.push(self.parse_select_item()?);
+        }
+
+        self.expect_keyword("FROM")?;
+        let table = self.expect_ident()?;
+        let mut plan = LogicalPlan::scan(&table, self.catalog.table_schema(&table)?);
+
+        // Joins.
+        loop {
+            let join_type = if self.eat_keyword("LEFT") {
+                self.eat_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                crate::logical::JoinType::Left
+            } else if self.eat_keyword("JOIN") {
+                crate::logical::JoinType::Inner
+            } else {
+                break;
+            };
+            let right_table = self.expect_ident()?;
+            let right = LogicalPlan::scan(
+                &right_table,
+                self.catalog.table_schema(&right_table)?,
+            );
+            self.expect_keyword("ON")?;
+            let mut on: Vec<(String, String)> = Vec::new();
+            loop {
+                let a = self.expect_ident()?;
+                self.expect_symbol('=')?;
+                let b = self.expect_ident()?;
+                on.push((a, b));
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+            // Orient keys: left side of each pair must exist in the
+            // current plan's schema.
+            let left_schema = plan.schema();
+            let oriented: Vec<(String, String)> = on
+                .into_iter()
+                .map(|(a, b)| {
+                    if left_schema.index_of(&a).is_ok() {
+                        Ok((a, b))
+                    } else if left_schema.index_of(&b).is_ok() {
+                        Ok((b, a))
+                    } else {
+                        Err(EngineError::Plan(format!(
+                            "neither {a} nor {b} is a column of the left side"
+                        )))
+                    }
+                })
+                .collect::<Result<_>>()?;
+            let refs: Vec<(&str, &str)> = oriented
+                .iter()
+                .map(|(l, r)| (l.as_str(), r.as_str()))
+                .collect();
+            plan = plan.join_with(right, refs, join_type)?;
+        }
+
+        // WHERE.
+        if self.eat_keyword("WHERE") {
+            let predicate = self.parse_expr()?;
+            plan = plan.filter(predicate)?;
+        }
+
+        // GROUP BY.
+        let mut group_by: Vec<String> = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.expect_ident()?);
+            while self.eat_symbol(',') {
+                group_by.push(self.expect_ident()?);
+            }
+        }
+
+        // Assemble aggregation vs plain projection.
+        let mut pending_project: Option<Vec<(Expr, String)>>;
+        let has_agg = items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
+        if has_agg || !group_by.is_empty() {
+            let mut calls = Vec::new();
+            let mut select_names: Vec<(String, bool)> = Vec::new(); // (name, renamed)
+            for item in &items {
+                match item {
+                    SelectItem::Star => {
+                        return Err(EngineError::Plan(
+                            "SELECT * cannot be combined with aggregation".into(),
+                        ))
+                    }
+                    SelectItem::Agg {
+                        call,
+                        column,
+                        alias,
+                    } => {
+                        let alias = alias.clone().unwrap_or_else(|| {
+                            format!(
+                                "{}_{}",
+                                call.name(),
+                                column.clone().unwrap_or_else(|| "star".into())
+                            )
+                        });
+                        calls.push(AggCall {
+                            func: *call,
+                            column: column.clone(),
+                            alias: alias.clone(),
+                        });
+                        select_names.push((alias, false));
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        // Must be a bare group column.
+                        match expr {
+                            Expr::Col(name) if group_by.contains(name) => {
+                                select_names.push((
+                                    alias.clone().unwrap_or_else(|| name.clone()),
+                                    alias.is_some(),
+                                ));
+                            }
+                            other => {
+                                return Err(EngineError::Plan(format!(
+                                    "'{other}' must appear in GROUP BY or an aggregate"
+                                )))
+                            }
+                        }
+                    }
+                }
+            }
+            plan = plan.aggregate(group_by.clone(), calls.clone())?;
+            // HAVING filters the aggregate output (group columns and
+            // aggregate aliases are in scope).
+            if self.eat_keyword("HAVING") {
+                let predicate = self.parse_expr()?;
+                plan = plan.filter(predicate)?;
+            }
+            // Reorder/rename to the select order when it differs.
+            let natural: Vec<String> = plan
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect();
+            let wanted: Vec<String> = select_names.iter().map(|(n, _)| n.clone()).collect();
+            if natural != wanted {
+                let mut exprs = Vec::new();
+                let mut agg_iter = calls.iter();
+                for (item, (name, _)) in items.iter().zip(&select_names) {
+                    match item {
+                        SelectItem::Agg { .. } => {
+                            let call = agg_iter.next().expect("aligned");
+                            exprs.push((col(call.alias.clone()), name.clone()));
+                        }
+                        SelectItem::Expr { expr, .. } => {
+                            if let Expr::Col(c) = expr {
+                                exprs.push((col(c.clone()), name.clone()));
+                            }
+                        }
+                        SelectItem::Star => unreachable!(),
+                    }
+                }
+                plan = plan.project_exprs(exprs)?;
+            }
+            pending_project = None;
+        } else {
+            // Plain projection (unless SELECT *), deferred so ORDER BY may
+            // reference columns the projection would drop.
+            let star = items.iter().any(|i| matches!(i, SelectItem::Star));
+            if star {
+                if items.len() > 1 {
+                    return Err(EngineError::Plan(
+                        "SELECT * cannot be combined with other items".into(),
+                    ));
+                }
+                pending_project = None;
+            } else {
+                let mut exprs = Vec::new();
+                for (i, item) in items.iter().enumerate() {
+                    if let SelectItem::Expr { expr, alias } = item {
+                        let name = alias.clone().unwrap_or_else(|| match expr {
+                            Expr::Col(c) => c.clone(),
+                            _ => format!("col{i}"),
+                        });
+                        exprs.push((expr.clone(), name));
+                    }
+                }
+                pending_project = Some(exprs);
+            }
+        }
+
+        // ORDER BY.
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let mut keys = Vec::new();
+            loop {
+                let name = self.expect_ident()?;
+                let asc = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    self.eat_keyword("ASC");
+                    true
+                };
+                keys.push((name, asc));
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+            // Sort after the projection when every key is an output column
+            // (aliases included); otherwise sort the pre-projection rows.
+            let refs: Vec<(&str, bool)> =
+                keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
+            match &pending_project {
+                Some(exprs)
+                    if !keys
+                        .iter()
+                        .all(|(k, _)| exprs.iter().any(|(_, n)| n == k)) =>
+                {
+                    plan = plan.sort(refs)?;
+                    plan = plan.project_exprs(exprs.clone())?;
+                    pending_project = None;
+                }
+                _ => {
+                    if let Some(exprs) = pending_project.take() {
+                        plan = plan.project_exprs(exprs)?;
+                    }
+                    plan = plan.sort(refs)?;
+                }
+            }
+        }
+        if let Some(exprs) = pending_project.take() {
+            plan = plan.project_exprs(exprs)?;
+        }
+
+        // LIMIT.
+        if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => plan = plan.limit(n as u64),
+                other => {
+                    return Err(EngineError::Parse(format!(
+                        "LIMIT expects a non-negative integer, found {other:?}"
+                    )))
+                }
+            }
+        }
+
+        self.eat_symbol(';');
+        if self.pos != self.tokens.len() {
+            return Err(EngineError::Parse(format!(
+                "trailing tokens after statement: {:?}",
+                self.peek()
+            )));
+        }
+        Ok(plan)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol('*') {
+            return Ok(SelectItem::Star);
+        }
+        // Aggregate call?
+        if let Some(Token::Keyword(kw)) = self.peek() {
+            let func = match kw.as_str() {
+                "COUNT" => Some(AggFn::Count),
+                "SUM" => Some(AggFn::Sum),
+                "MIN" => Some(AggFn::Min),
+                "MAX" => Some(AggFn::Max),
+                "AVG" => Some(AggFn::Avg),
+                _ => None,
+            };
+            if let Some(func) = func {
+                self.pos += 1;
+                self.expect_symbol('(')?;
+                let column = if self.eat_symbol('*') {
+                    if func != AggFn::Count {
+                        return Err(EngineError::Parse(format!(
+                            "{}(*) is not valid",
+                            func.name()
+                        )));
+                    }
+                    None
+                } else {
+                    Some(self.expect_ident()?)
+                };
+                self.expect_symbol(')')?;
+                let alias = self.parse_alias()?;
+                return Ok(SelectItem::Agg {
+                    call: func,
+                    column,
+                    alias,
+                });
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_keyword("AS") {
+            Ok(Some(self.expect_ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // Expression precedence: OR < AND < NOT < comparison < additive <
+    // multiplicative < unary < primary.
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            Ok(self.parse_not()?.not())
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL.
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] LIKE / BETWEEN.
+        let negate = if matches!(self.peek(), Some(Token::Keyword(k)) if k == "NOT") {
+            // lookahead: NOT LIKE / NOT BETWEEN
+            if matches!(
+                self.tokens.get(self.pos + 1),
+                Some(Token::Keyword(k)) if k == "LIKE" || k == "BETWEEN"
+            ) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if self.eat_keyword("LIKE") {
+            let pattern = match self.next() {
+                Some(Token::Str(s)) => s,
+                other => {
+                    return Err(EngineError::Parse(format!(
+                        "LIKE expects a string pattern, found {other:?}"
+                    )))
+                }
+            };
+            let e = Expr::Like {
+                expr: Box::new(left),
+                pattern,
+            };
+            return Ok(if negate { e.not() } else { e });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.parse_literal()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_literal()?;
+            let e = Expr::Between {
+                expr: Box::new(left),
+                low,
+                high,
+            };
+            return Ok(if negate { e.not() } else { e });
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol('=')) => Some(CmpOp::Eq),
+            Some(Token::Symbol('<')) => Some(CmpOp::Lt),
+            Some(Token::Symbol('>')) => Some(CmpOp::Gt),
+            Some(Token::Le) => Some(CmpOp::Le),
+            Some(Token::Ge) => Some(CmpOp::Ge),
+            Some(Token::Ne) => Some(CmpOp::Ne),
+            _ => None,
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                self.pos += 1;
+                let right = self.parse_additive()?;
+                Ok(left.cmp(op, right))
+            }
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Scalar> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Scalar::Int(v)),
+            Some(Token::Float(v)) => Ok(Scalar::Float(v)),
+            Some(Token::Str(s)) => Ok(Scalar::Str(s)),
+            Some(Token::Symbol('-')) => match self.next() {
+                Some(Token::Int(v)) => Ok(Scalar::Int(-v)),
+                Some(Token::Float(v)) => Ok(Scalar::Float(-v)),
+                other => Err(EngineError::Parse(format!(
+                    "expected number after '-', found {other:?}"
+                ))),
+            },
+            other => Err(EngineError::Parse(format!(
+                "expected literal, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            if self.eat_symbol('+') {
+                left = left.add(self.parse_multiplicative()?);
+            } else if self.eat_symbol('-') {
+                left = left.sub(self.parse_multiplicative()?);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            if self.eat_symbol('*') {
+                left = left.mul(self.parse_unary()?);
+            } else if self.eat_symbol('/') {
+                left = left.div(self.parse_unary()?);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol('-') {
+            // Constant-fold negative literals; general negation via 0 - x.
+            match self.peek() {
+                Some(Token::Int(v)) => {
+                    let v = *v;
+                    self.pos += 1;
+                    return Ok(Expr::Lit(Scalar::Int(-v)));
+                }
+                Some(Token::Float(v)) => {
+                    let v = *v;
+                    self.pos += 1;
+                    return Ok(Expr::Lit(Scalar::Float(-v)));
+                }
+                _ => {
+                    let inner = self.parse_unary()?;
+                    return Ok(Expr::Lit(Scalar::Int(0)).sub(inner));
+                }
+            }
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Lit(Scalar::Int(v))),
+            Some(Token::Float(v)) => Ok(Expr::Lit(Scalar::Float(v))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Scalar::Str(s))),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Expr::Lit(Scalar::Bool(true))),
+            Some(Token::Keyword(k)) if k == "FALSE" => {
+                Ok(Expr::Lit(Scalar::Bool(false)))
+            }
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Expr::Lit(Scalar::Null)),
+            Some(Token::Ident(name)) => Ok(col(name)),
+            Some(Token::Symbol('(')) => {
+                let inner = self.parse_expr()?;
+                self.expect_symbol(')')?;
+                Ok(inner)
+            }
+            other => Err(EngineError::Parse(format!(
+                "unexpected token {other:?} in expression"
+            ))),
+        }
+    }
+}
+
+/// Parse one SELECT statement into a logical plan.
+pub fn parse(query: &str, catalog: &dyn Catalog) -> Result<LogicalPlan> {
+    let tokens = tokenize(query)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        catalog,
+    };
+    parser.parse_select()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_data::{DataType, Field, Schema};
+
+    struct TestCatalog;
+
+    impl Catalog for TestCatalog {
+        fn table_schema(&self, table: &str) -> Result<SchemaRef> {
+            match table {
+                "orders" => Ok(Schema::new(vec![
+                    Field::new("id", DataType::Int64),
+                    Field::new("region", DataType::Utf8),
+                    Field::new("amount", DataType::Float64),
+                    Field::nullable("note", DataType::Utf8),
+                ])
+                .into_ref()),
+                "regions" => Ok(Schema::new(vec![
+                    Field::new("rname", DataType::Utf8),
+                    Field::new("zone", DataType::Utf8),
+                ])
+                .into_ref()),
+                other => Err(EngineError::Plan(format!("unknown table {other}"))),
+            }
+        }
+    }
+
+    fn plan(sql: &str) -> LogicalPlan {
+        parse(sql, &TestCatalog).unwrap_or_else(|e| panic!("{sql}: {e}"))
+    }
+
+    #[test]
+    fn select_star() {
+        let p = plan("SELECT * FROM orders");
+        assert!(matches!(p, LogicalPlan::Scan { .. }));
+        assert_eq!(p.schema().len(), 4);
+    }
+
+    #[test]
+    fn projection_with_aliases_and_arith() {
+        let p = plan("SELECT id, amount * 2 AS double_amount FROM orders");
+        let schema = p.schema();
+        assert_eq!(schema.field(0).name, "id");
+        assert_eq!(schema.field(1).name, "double_amount");
+        assert_eq!(schema.field(1).dtype, DataType::Float64);
+    }
+
+    #[test]
+    fn where_clause_with_precedence() {
+        let p = plan(
+            "SELECT id FROM orders WHERE amount > 10.5 AND region = 'eu' OR id < 3",
+        );
+        // (a AND b) OR c.
+        fn find_filter(p: &LogicalPlan) -> &Expr {
+            match p {
+                LogicalPlan::Filter { predicate, .. } => predicate,
+                LogicalPlan::Project { input, .. } => find_filter(input),
+                other => panic!("no filter in {other}"),
+            }
+        }
+        let pred = find_filter(&p);
+        assert!(matches!(pred, Expr::Or(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn like_between_is_null() {
+        let p = plan(
+            "SELECT id FROM orders WHERE note LIKE 'urgent%' AND id BETWEEN 1 AND \
+             100 AND note IS NOT NULL AND region NOT LIKE '%x%'",
+        );
+        let text = p.explain();
+        assert!(text.contains("LIKE 'urgent%'"), "{text}");
+        assert!(text.contains("BETWEEN 1 AND 100"), "{text}");
+        assert!(text.contains("IS NOT NULL"), "{text}");
+        assert!(text.contains("NOT (region LIKE '%x%')"), "{text}");
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let p = plan(
+            "SELECT region, COUNT(*) AS n, SUM(amount) AS total, AVG(amount) \
+             FROM orders GROUP BY region",
+        );
+        let schema = p.schema();
+        assert_eq!(schema.field(0).name, "region");
+        assert_eq!(schema.field(1).name, "n");
+        assert_eq!(schema.field(2).name, "total");
+        assert_eq!(schema.field(3).name, "avg_amount");
+    }
+
+    #[test]
+    fn aggregate_select_order_respected() {
+        // Aggregates listed before the group column force a reorder.
+        let p = plan("SELECT COUNT(*) AS n, region FROM orders GROUP BY region");
+        let schema = p.schema();
+        assert_eq!(schema.field(0).name, "n");
+        assert_eq!(schema.field(1).name, "region");
+        assert!(matches!(p, LogicalPlan::Project { .. }));
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let p = plan("SELECT COUNT(*), MAX(amount) FROM orders");
+        assert_eq!(p.schema().len(), 2);
+        assert!(matches!(p, LogicalPlan::Aggregate { .. }));
+    }
+
+    #[test]
+    fn join_with_orientation() {
+        // ON written right = left still orients correctly.
+        let p = plan(
+            "SELECT id, zone FROM orders JOIN regions ON rname = region",
+        );
+        let text = p.explain();
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(text.contains("region = rname"), "{text}");
+    }
+
+    #[test]
+    fn left_join_parses() {
+        let p = plan(
+            "SELECT id, zone FROM orders LEFT OUTER JOIN regions ON rname = region",
+        );
+        let text = p.explain();
+        assert!(text.contains("HashJoin[LEFT]"), "{text}");
+        // The right side's columns become nullable in the joined schema.
+        let joined_schema = match &p {
+            LogicalPlan::Project { input, .. } => input.schema(),
+            other => other.schema(),
+        };
+        assert!(joined_schema.field_by_name("zone").unwrap().nullable);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let p = plan("SELECT id FROM orders ORDER BY id DESC, region LIMIT 10");
+        let text = p.explain();
+        assert!(text.contains("Limit: 10"));
+        assert!(text.contains("Sort: id DESC, region ASC"));
+    }
+
+    #[test]
+    fn string_escape() {
+        let p = plan("SELECT id FROM orders WHERE region = 'it''s'");
+        assert!(p.explain().contains("'it's'"));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let p = plan("SELECT id FROM orders WHERE id > -5 AND amount < -1.5");
+        let text = p.explain();
+        assert!(text.contains("> -5"), "{text}");
+        assert!(text.contains("< -1.5"), "{text}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        for bad in [
+            "SELECT FROM orders",
+            "SELECT * FROM ghost",
+            "SELECT * FROM orders WHERE",
+            "SELECT ghostcol FROM orders",
+            "SELECT region, COUNT(*) FROM orders", // missing GROUP BY
+            "SELECT * FROM orders LIMIT -1",
+            "SELECT id FROM orders WHERE region LIKE 5",
+            "SELECT SUM(*) FROM orders",
+            "SELECT id FROM orders trailing",
+            "SELECT 'unterminated FROM orders",
+        ] {
+            assert!(parse(bad, &TestCatalog).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn having_filters_aggregate_output() {
+        let p = plan(
+            "SELECT region, COUNT(*) AS n FROM orders GROUP BY region \
+             HAVING n > 5 ORDER BY region",
+        );
+        let text = p.explain();
+        assert!(text.contains("Filter: (n > 5)"), "{text}");
+        assert!(text.contains("Aggregate"), "{text}");
+        // HAVING before GROUP BY output exists is an error.
+        assert!(parse(
+            "SELECT region FROM orders GROUP BY region HAVING ghost > 1",
+            &TestCatalog
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let p = plan("select id from orders where id = 1 limit 2");
+        assert!(p.explain().contains("Limit: 2"));
+    }
+
+    #[test]
+    fn parenthesized_expressions() {
+        let p = plan("SELECT (id + 1) * 2 AS x FROM orders WHERE (id = 1 OR id = 2) AND amount > 0.0");
+        let text = p.explain();
+        assert!(text.contains("((id + 1) * 2)"), "{text}");
+    }
+}

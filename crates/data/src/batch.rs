@@ -1,0 +1,354 @@
+//! Record batches: the unit of data that flows through pipelines.
+
+use std::fmt;
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::schema::{Schema, SchemaRef};
+use crate::types::Scalar;
+
+/// A horizontal slice of a table: one [`Column`] per schema field, all the
+/// same length.
+///
+/// Batches are immutable once built; operators produce new batches. This is
+/// what streams between pipeline stages — and what the fabric model charges
+/// to links when stages live on different devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    schema: SchemaRef,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Batch {
+    /// Assemble a batch, validating column count, types, and lengths.
+    pub fn new(schema: SchemaRef, columns: Vec<Column>) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(DataError::LengthMismatch {
+                left: schema.len(),
+                right: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (field, col) in schema.fields().iter().zip(&columns) {
+            if field.dtype != col.data_type() {
+                return Err(DataError::TypeMismatch {
+                    expected: field.dtype.to_string(),
+                    actual: col.data_type().to_string(),
+                });
+            }
+            if col.len() != rows {
+                return Err(DataError::LengthMismatch {
+                    left: rows,
+                    right: col.len(),
+                });
+            }
+        }
+        Ok(Batch {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// A zero-row batch with the given schema.
+    pub fn empty(schema: SchemaRef) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::nulls(f.dtype, 0))
+            .collect();
+        Batch {
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column at index `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// The column named `name`.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Total payload bytes across all columns — the movement-ledger figure.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Column::byte_size).sum()
+    }
+
+    /// Keep only rows selected by the bitmap.
+    pub fn filter(&self, selection: &Bitmap) -> Result<Batch> {
+        if selection.len() != self.rows {
+            return Err(DataError::LengthMismatch {
+                left: self.rows,
+                right: selection.len(),
+            });
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.filter(selection))
+            .collect::<Result<Vec<_>>>()?;
+        Batch::new(self.schema.clone(), columns)
+    }
+
+    /// Build a new batch from the given row indices (may repeat/reorder).
+    pub fn gather(&self, indices: &[usize]) -> Batch {
+        let columns = self.columns.iter().map(|c| c.gather(indices)).collect();
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            rows: indices.len(),
+        }
+    }
+
+    /// Keep only the columns at `indices` (projection).
+    pub fn project(&self, indices: &[usize]) -> Result<Batch> {
+        for &i in indices {
+            if i >= self.columns.len() {
+                return Err(DataError::OutOfBounds {
+                    index: i,
+                    len: self.columns.len(),
+                });
+            }
+        }
+        let schema = self.schema.project(indices).into_ref();
+        let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        Batch::new(schema, columns)
+    }
+
+    /// Keep only the named columns, in the given order.
+    pub fn project_names(&self, names: &[&str]) -> Result<Batch> {
+        let indices = names
+            .iter()
+            .map(|n| self.schema.index_of(n))
+            .collect::<Result<Vec<_>>>()?;
+        self.project(&indices)
+    }
+
+    /// A contiguous sub-range of rows.
+    pub fn slice(&self, offset: usize, len: usize) -> Batch {
+        let columns = self.columns.iter().map(|c| c.slice(offset, len)).collect();
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            rows: len,
+        }
+    }
+
+    /// Split into chunks of at most `chunk_rows` rows — the morsel source.
+    pub fn split(&self, chunk_rows: usize) -> Vec<Batch> {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        let mut out = Vec::with_capacity(self.rows.div_ceil(chunk_rows.max(1)));
+        let mut offset = 0;
+        while offset < self.rows {
+            let len = chunk_rows.min(self.rows - offset);
+            out.push(self.slice(offset, len));
+            offset += len;
+        }
+        out
+    }
+
+    /// Concatenate batches sharing a schema.
+    pub fn concat(batches: &[Batch]) -> Result<Batch> {
+        assert!(!batches.is_empty(), "concat of zero batches");
+        let schema = batches[0].schema.clone();
+        for b in batches {
+            if b.schema.as_ref() != schema.as_ref() {
+                return Err(DataError::TypeMismatch {
+                    expected: schema.to_string(),
+                    actual: b.schema.to_string(),
+                });
+            }
+        }
+        let ncols = schema.len();
+        let mut columns = Vec::with_capacity(ncols);
+        for ci in 0..ncols {
+            let parts: Vec<Column> =
+                batches.iter().map(|b| b.columns[ci].clone()).collect();
+            columns.push(Column::concat(&parts)?);
+        }
+        Batch::new(schema, columns)
+    }
+
+    /// The row `i` as a vector of scalars (for tests and display).
+    pub fn row(&self, i: usize) -> Vec<Scalar> {
+        self.columns.iter().map(|c| c.scalar_at(i)).collect()
+    }
+
+    /// All rows as scalar vectors, sorted lexicographically — a canonical
+    /// form for order-insensitive result comparison in tests.
+    pub fn canonical_rows(&self) -> Vec<Vec<Scalar>> {
+        let mut rows: Vec<Vec<Scalar>> = (0..self.rows).map(|i| self.row(i)).collect();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows
+    }
+}
+
+impl fmt::Display for Batch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} rows)", self.schema, self.rows)?;
+        let show = self.rows.min(20);
+        for i in 0..show {
+            let cells: Vec<String> =
+                self.row(i).iter().map(|s| s.to_string()).collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        if self.rows > show {
+            writeln!(f, "  ... {} more rows", self.rows - show)?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience constructor for tests and examples: build a batch from
+/// `(name, column)` pairs, inferring the schema (nullability from content).
+pub fn batch_of(pairs: Vec<(&str, Column)>) -> Batch {
+    let fields = pairs
+        .iter()
+        .map(|(name, col)| crate::schema::Field {
+            name: name.to_string(),
+            dtype: col.data_type(),
+            nullable: col.null_count() > 0,
+        })
+        .collect();
+    let columns = pairs.into_iter().map(|(_, c)| c).collect();
+    Batch::new(Schema::new(fields).into_ref(), columns).expect("consistent batch")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::types::DataType;
+
+    fn sample() -> Batch {
+        batch_of(vec![
+            ("id", Column::from_i64(vec![1, 2, 3, 4])),
+            ("name", Column::from_strs(&["a", "b", "c", "d"])),
+            ("score", Column::from_f64(vec![0.1, 0.2, 0.3, 0.4])),
+        ])
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]).into_ref();
+        let err = Batch::new(
+            schema.clone(),
+            vec![Column::from_i64(vec![1]), Column::from_i64(vec![2])],
+        );
+        assert!(err.is_err());
+        let err2 = Batch::new(schema, vec![Column::from_f64(vec![1.0])]);
+        assert!(matches!(err2, Err(DataError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .into_ref();
+        let err = Batch::new(
+            schema,
+            vec![Column::from_i64(vec![1, 2]), Column::from_i64(vec![1])],
+        );
+        assert!(matches!(err, Err(DataError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn filter_batch() {
+        let b = sample();
+        let sel = Bitmap::from_bools(&[true, false, true, false]);
+        let f = b.filter(&sel).unwrap();
+        assert_eq!(f.rows(), 2);
+        assert_eq!(f.column(0).i64_values().unwrap(), &[1, 3]);
+        assert_eq!(f.column(1).str_at(1), "c");
+    }
+
+    #[test]
+    fn project_by_name() {
+        let b = sample().project_names(&["score", "id"]).unwrap();
+        assert_eq!(b.schema().field(0).name, "score");
+        assert_eq!(b.column(1).i64_values().unwrap(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn project_unknown_name_errors() {
+        assert!(sample().project_names(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn split_covers_all_rows() {
+        let b = sample();
+        let chunks = b.split(3);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].rows(), 3);
+        assert_eq!(chunks[1].rows(), 1);
+        let merged = Batch::concat(&chunks).unwrap();
+        assert_eq!(merged.canonical_rows(), b.canonical_rows());
+    }
+
+    #[test]
+    fn gather_rows() {
+        let b = sample().gather(&[3, 0]);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.row(0)[0], Scalar::Int(4));
+        assert_eq!(b.row(1)[0], Scalar::Int(1));
+    }
+
+    #[test]
+    fn byte_size_sums_columns() {
+        let b = sample();
+        let expected: usize = b.columns().iter().map(Column::byte_size).sum();
+        assert_eq!(b.byte_size(), expected);
+        assert!(b.byte_size() > 0);
+    }
+
+    #[test]
+    fn canonical_rows_ignore_order() {
+        let a = sample();
+        let shuffled = a.gather(&[2, 0, 3, 1]);
+        assert_eq!(a.canonical_rows(), shuffled.canonical_rows());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = Batch::empty(sample().schema().clone());
+        assert!(b.is_empty());
+        assert_eq!(b.columns().len(), 3);
+    }
+}

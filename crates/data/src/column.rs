@@ -1,0 +1,618 @@
+//! Typed columns: contiguous value vectors plus optional validity bitmaps.
+//!
+//! `Utf8` columns use the offsets+bytes layout (like Arrow) rather than
+//! `Vec<String>`: it serializes to the wire with two `memcpy`s, which is what
+//! makes the NIC/DMA byte accounting in the fabric model honest.
+
+use crate::bitmap::Bitmap;
+use crate::error::{DataError, Result};
+use crate::types::{DataType, Scalar};
+
+/// A column of values, all of one [`DataType`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64 {
+        /// The values; garbage where invalid.
+        values: Vec<i64>,
+        /// Validity bitmap; `None` means all valid.
+        validity: Option<Bitmap>,
+    },
+    /// 64-bit floats.
+    Float64 {
+        /// The values; garbage where invalid.
+        values: Vec<f64>,
+        /// Validity bitmap; `None` means all valid.
+        validity: Option<Bitmap>,
+    },
+    /// UTF-8 strings in offsets + bytes layout. `offsets.len() == len + 1`.
+    Utf8 {
+        /// Monotonic byte offsets into `data`; first is 0, last is data len.
+        offsets: Vec<u32>,
+        /// Concatenated string bytes.
+        data: Vec<u8>,
+        /// Validity bitmap; `None` means all valid.
+        validity: Option<Bitmap>,
+    },
+    /// Booleans, bit-packed.
+    Bool {
+        /// The values; garbage where invalid.
+        values: Bitmap,
+        /// Validity bitmap; `None` means all valid.
+        validity: Option<Bitmap>,
+    },
+}
+
+impl Column {
+    // ---------------------------------------------------------- constructors
+
+    /// An all-valid Int64 column.
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        Column::Int64 {
+            values,
+            validity: None,
+        }
+    }
+
+    /// An Int64 column from optional values (None => NULL).
+    pub fn from_opt_i64(values: &[Option<i64>]) -> Self {
+        let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
+        let raw = values.iter().map(|v| v.unwrap_or(0)).collect();
+        Column::Int64 {
+            values: raw,
+            validity: Some(validity),
+        }
+    }
+
+    /// An all-valid Float64 column.
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        Column::Float64 {
+            values,
+            validity: None,
+        }
+    }
+
+    /// A Float64 column from optional values (None => NULL).
+    pub fn from_opt_f64(values: &[Option<f64>]) -> Self {
+        let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
+        let raw = values.iter().map(|v| v.unwrap_or(0.0)).collect();
+        Column::Float64 {
+            values: raw,
+            validity: Some(validity),
+        }
+    }
+
+    /// An all-valid Utf8 column from string slices.
+    pub fn from_strs<S: AsRef<str>>(values: &[S]) -> Self {
+        let mut offsets = Vec::with_capacity(values.len() + 1);
+        let mut data = Vec::new();
+        offsets.push(0u32);
+        for s in values {
+            data.extend_from_slice(s.as_ref().as_bytes());
+            offsets.push(u32::try_from(data.len()).expect("utf8 column > 4GiB"));
+        }
+        Column::Utf8 {
+            offsets,
+            data,
+            validity: None,
+        }
+    }
+
+    /// A Utf8 column from optional strings (None => NULL).
+    pub fn from_opt_strs(values: &[Option<&str>]) -> Self {
+        let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
+        let mut offsets = Vec::with_capacity(values.len() + 1);
+        let mut data = Vec::new();
+        offsets.push(0u32);
+        for s in values {
+            if let Some(s) = s {
+                data.extend_from_slice(s.as_bytes());
+            }
+            offsets.push(u32::try_from(data.len()).expect("utf8 column > 4GiB"));
+        }
+        Column::Utf8 {
+            offsets,
+            data,
+            validity: Some(validity),
+        }
+    }
+
+    /// An all-valid Bool column.
+    pub fn from_bools(values: &[bool]) -> Self {
+        Column::Bool {
+            values: Bitmap::from_bools(values),
+            validity: None,
+        }
+    }
+
+    /// A column of `len` NULLs of the given type.
+    pub fn nulls(dtype: DataType, len: usize) -> Self {
+        let validity = Some(Bitmap::zeros(len));
+        match dtype {
+            DataType::Int64 => Column::Int64 {
+                values: vec![0; len],
+                validity,
+            },
+            DataType::Float64 => Column::Float64 {
+                values: vec![0.0; len],
+                validity,
+            },
+            DataType::Utf8 => Column::Utf8 {
+                offsets: vec![0; len + 1],
+                data: Vec::new(),
+                validity,
+            },
+            DataType::Bool => Column::Bool {
+                values: Bitmap::zeros(len),
+                validity,
+            },
+        }
+    }
+
+    // ---------------------------------------------------------- basic shape
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { values, .. } => values.len(),
+            Column::Float64 { values, .. } => values.len(),
+            Column::Utf8 { offsets, .. } => offsets.len().saturating_sub(1),
+            Column::Bool { values, .. } => values.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's logical type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64 { .. } => DataType::Int64,
+            Column::Float64 { .. } => DataType::Float64,
+            Column::Utf8 { .. } => DataType::Utf8,
+            Column::Bool { .. } => DataType::Bool,
+        }
+    }
+
+    /// The validity bitmap, if any row may be NULL.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        match self {
+            Column::Int64 { validity, .. }
+            | Column::Float64 { validity, .. }
+            | Column::Utf8 { validity, .. }
+            | Column::Bool { validity, .. } => validity.as_ref(),
+        }
+    }
+
+    /// Whether row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.validity().is_some_and(|v| !v.get(i))
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.validity()
+            .map_or(0, |v| v.len() - v.count_ones())
+    }
+
+    /// The value at row `i` as a [`Scalar`] (NULL-aware).
+    pub fn scalar_at(&self, i: usize) -> Scalar {
+        assert!(i < self.len(), "row {i} out of bounds for {}", self.len());
+        if self.is_null(i) {
+            return Scalar::Null;
+        }
+        match self {
+            Column::Int64 { values, .. } => Scalar::Int(values[i]),
+            Column::Float64 { values, .. } => Scalar::Float(values[i]),
+            Column::Utf8 { .. } => Scalar::Str(self.str_at(i).to_string()),
+            Column::Bool { values, .. } => Scalar::Bool(values.get(i)),
+        }
+    }
+
+    /// The string at row `i` (ignores validity; returns "" for NULL slots).
+    /// Panics on non-Utf8 columns.
+    pub fn str_at(&self, i: usize) -> &str {
+        match self {
+            Column::Utf8 { offsets, data, .. } => {
+                let lo = offsets[i] as usize;
+                let hi = offsets[i + 1] as usize;
+                std::str::from_utf8(&data[lo..hi]).expect("column holds valid utf8")
+            }
+            other => panic!("str_at on {} column", other.data_type()),
+        }
+    }
+
+    /// The raw i64 values; error if the column is not Int64.
+    pub fn i64_values(&self) -> Result<&[i64]> {
+        match self {
+            Column::Int64 { values, .. } => Ok(values),
+            other => Err(DataError::TypeMismatch {
+                expected: "int64".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// The raw f64 values; error if the column is not Float64.
+    pub fn f64_values(&self) -> Result<&[f64]> {
+        match self {
+            Column::Float64 { values, .. } => Ok(values),
+            other => Err(DataError::TypeMismatch {
+                expected: "float64".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// The bool values as a bitmap; error if the column is not Bool.
+    pub fn bool_values(&self) -> Result<&Bitmap> {
+        match self {
+            Column::Bool { values, .. } => Ok(values),
+            other => Err(DataError::TypeMismatch {
+                expected: "bool".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// In-memory payload size in bytes: values + offsets + validity. This is
+    /// the figure the movement ledger charges when a batch crosses a link.
+    pub fn byte_size(&self) -> usize {
+        let validity = self.validity().map_or(0, Bitmap::byte_size);
+        let body = match self {
+            Column::Int64 { values, .. } => values.len() * 8,
+            Column::Float64 { values, .. } => values.len() * 8,
+            Column::Utf8 { offsets, data, .. } => offsets.len() * 4 + data.len(),
+            Column::Bool { values, .. } => values.byte_size(),
+        };
+        body + validity
+    }
+
+    // ---------------------------------------------------------- reshaping
+
+    /// Keep only rows whose bit is set in `selection`.
+    pub fn filter(&self, selection: &Bitmap) -> Result<Column> {
+        if selection.len() != self.len() {
+            return Err(DataError::LengthMismatch {
+                left: self.len(),
+                right: selection.len(),
+            });
+        }
+        let indices: Vec<usize> = selection.iter_ones().collect();
+        Ok(self.gather(&indices))
+    }
+
+    /// Build a new column from the given row indices (may repeat/reorder).
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        let validity = self.validity().map(|v| {
+            Bitmap::from_iter(indices.iter().map(|&i| v.get(i)))
+        });
+        match self {
+            Column::Int64 { values, .. } => Column::Int64 {
+                values: indices.iter().map(|&i| values[i]).collect(),
+                validity,
+            },
+            Column::Float64 { values, .. } => Column::Float64 {
+                values: indices.iter().map(|&i| values[i]).collect(),
+                validity,
+            },
+            Column::Utf8 { .. } => {
+                let mut offsets = Vec::with_capacity(indices.len() + 1);
+                let mut data = Vec::new();
+                offsets.push(0u32);
+                for &i in indices {
+                    data.extend_from_slice(self.str_at(i).as_bytes());
+                    offsets.push(data.len() as u32);
+                }
+                Column::Utf8 {
+                    offsets,
+                    data,
+                    validity,
+                }
+            }
+            Column::Bool { values, .. } => Column::Bool {
+                values: Bitmap::from_iter(indices.iter().map(|&i| values.get(i))),
+                validity,
+            },
+        }
+    }
+
+    /// A contiguous sub-range `[offset, offset+len)` of the column.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        assert!(offset + len <= self.len(), "slice out of bounds");
+        let indices: Vec<usize> = (offset..offset + len).collect();
+        self.gather(&indices)
+    }
+
+    /// Concatenate columns of the same type into one.
+    pub fn concat(columns: &[Column]) -> Result<Column> {
+        assert!(!columns.is_empty(), "concat of zero columns");
+        let dtype = columns[0].data_type();
+        for c in columns {
+            if c.data_type() != dtype {
+                return Err(DataError::TypeMismatch {
+                    expected: dtype.to_string(),
+                    actual: c.data_type().to_string(),
+                });
+            }
+        }
+        let total: usize = columns.iter().map(Column::len).sum();
+        let mut builder = ColumnBuilder::new(dtype, total);
+        for c in columns {
+            for i in 0..c.len() {
+                builder.push(c.scalar_at(i))?;
+            }
+        }
+        Ok(builder.finish())
+    }
+
+    /// Iterate the rows as scalars.
+    pub fn iter(&self) -> impl Iterator<Item = Scalar> + '_ {
+        (0..self.len()).map(move |i| self.scalar_at(i))
+    }
+}
+
+/// Incremental column construction from scalars.
+///
+/// Used by row-oriented producers: aggregate finalization, join output
+/// assembly, workload generators, and the row-page→column transposition
+/// unit.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    dtype: DataType,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    str_offsets: Vec<u32>,
+    str_data: Vec<u8>,
+    bools: Vec<bool>,
+    validity: Vec<bool>,
+    any_null: bool,
+}
+
+impl ColumnBuilder {
+    /// A builder for `dtype` with room for `capacity` rows.
+    pub fn new(dtype: DataType, capacity: usize) -> Self {
+        let mut b = ColumnBuilder {
+            dtype,
+            ints: Vec::new(),
+            floats: Vec::new(),
+            str_offsets: Vec::new(),
+            str_data: Vec::new(),
+            bools: Vec::new(),
+            validity: Vec::with_capacity(capacity),
+            any_null: false,
+        };
+        match dtype {
+            DataType::Int64 => b.ints.reserve(capacity),
+            DataType::Float64 => b.floats.reserve(capacity),
+            DataType::Utf8 => {
+                b.str_offsets.reserve(capacity + 1);
+                b.str_offsets.push(0);
+            }
+            DataType::Bool => b.bools.reserve(capacity),
+        }
+        b
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    /// Whether no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    /// Append one scalar; NULL is accepted for any type, other scalars must
+    /// match the builder's type (Int widens to Float builders).
+    pub fn push(&mut self, value: Scalar) -> Result<()> {
+        if value.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        match (self.dtype, &value) {
+            (DataType::Int64, Scalar::Int(v)) => self.ints.push(*v),
+            (DataType::Float64, Scalar::Float(v)) => self.floats.push(*v),
+            (DataType::Float64, Scalar::Int(v)) => self.floats.push(*v as f64),
+            (DataType::Utf8, Scalar::Str(s)) => {
+                self.str_data.extend_from_slice(s.as_bytes());
+                self.str_offsets.push(self.str_data.len() as u32);
+            }
+            (DataType::Bool, Scalar::Bool(b)) => self.bools.push(*b),
+            (expected, actual) => {
+                return Err(DataError::TypeMismatch {
+                    expected: expected.to_string(),
+                    actual: actual
+                        .data_type()
+                        .map_or("null".to_string(), |t| t.to_string()),
+                })
+            }
+        }
+        self.validity.push(true);
+        Ok(())
+    }
+
+    /// Append a NULL row.
+    pub fn push_null(&mut self) {
+        match self.dtype {
+            DataType::Int64 => self.ints.push(0),
+            DataType::Float64 => self.floats.push(0.0),
+            DataType::Utf8 => self.str_offsets.push(self.str_data.len() as u32),
+            DataType::Bool => self.bools.push(false),
+        }
+        self.validity.push(false);
+        self.any_null = true;
+    }
+
+    /// Consume the builder and produce the column.
+    pub fn finish(self) -> Column {
+        let validity = if self.any_null {
+            Some(Bitmap::from_bools(&self.validity))
+        } else {
+            None
+        };
+        match self.dtype {
+            DataType::Int64 => Column::Int64 {
+                values: self.ints,
+                validity,
+            },
+            DataType::Float64 => Column::Float64 {
+                values: self.floats,
+                validity,
+            },
+            DataType::Utf8 => Column::Utf8 {
+                offsets: self.str_offsets,
+                data: self.str_data,
+                validity,
+            },
+            DataType::Bool => Column::Bool {
+                values: Bitmap::from_bools(&self.bools),
+                validity,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        let c = Column::from_i64(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.scalar_at(1), Scalar::Int(2));
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn nullable_int() {
+        let c = Column::from_opt_i64(&[Some(1), None, Some(3)]);
+        assert_eq!(c.null_count(), 1);
+        assert!(c.is_null(1));
+        assert_eq!(c.scalar_at(1), Scalar::Null);
+        assert_eq!(c.scalar_at(2), Scalar::Int(3));
+    }
+
+    #[test]
+    fn utf8_layout() {
+        let c = Column::from_strs(&["ab", "", "cde"]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.str_at(0), "ab");
+        assert_eq!(c.str_at(1), "");
+        assert_eq!(c.str_at(2), "cde");
+        assert_eq!(c.scalar_at(2), Scalar::Str("cde".into()));
+    }
+
+    #[test]
+    fn filter_keeps_selected() {
+        let c = Column::from_i64(vec![10, 20, 30, 40]);
+        let sel = Bitmap::from_bools(&[true, false, false, true]);
+        let f = c.filter(&sel).unwrap();
+        assert_eq!(f.i64_values().unwrap(), &[10, 40]);
+    }
+
+    #[test]
+    fn filter_preserves_nulls() {
+        let c = Column::from_opt_strs(&[Some("a"), None, Some("c")]);
+        let sel = Bitmap::from_bools(&[false, true, true]);
+        let f = c.filter(&sel).unwrap();
+        assert_eq!(f.len(), 2);
+        assert!(f.is_null(0));
+        assert_eq!(f.str_at(1), "c");
+    }
+
+    #[test]
+    fn filter_length_mismatch_errors() {
+        let c = Column::from_i64(vec![1]);
+        let sel = Bitmap::zeros(2);
+        assert!(matches!(
+            c.filter(&sel),
+            Err(DataError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn gather_reorders_and_repeats() {
+        let c = Column::from_strs(&["x", "y", "z"]);
+        let g = c.gather(&[2, 0, 2]);
+        assert_eq!(g.str_at(0), "z");
+        assert_eq!(g.str_at(1), "x");
+        assert_eq!(g.str_at(2), "z");
+    }
+
+    #[test]
+    fn slice_is_contiguous_gather() {
+        let c = Column::from_i64(vec![0, 1, 2, 3, 4]);
+        let s = c.slice(1, 3);
+        assert_eq!(s.i64_values().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn concat_merges() {
+        let a = Column::from_i64(vec![1, 2]);
+        let b = Column::from_opt_i64(&[None, Some(4)]);
+        let c = Column::concat(&[a, b]).unwrap();
+        assert_eq!(c.len(), 4);
+        assert!(c.is_null(2));
+        assert_eq!(c.scalar_at(3), Scalar::Int(4));
+    }
+
+    #[test]
+    fn concat_type_mismatch_errors() {
+        let a = Column::from_i64(vec![1]);
+        let b = Column::from_bools(&[true]);
+        assert!(Column::concat(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn builder_int_then_null() {
+        let mut b = ColumnBuilder::new(DataType::Int64, 2);
+        b.push(Scalar::Int(7)).unwrap();
+        b.push(Scalar::Null).unwrap();
+        let c = b.finish();
+        assert_eq!(c.len(), 2);
+        assert!(c.is_null(1));
+    }
+
+    #[test]
+    fn builder_widens_int_to_float() {
+        let mut b = ColumnBuilder::new(DataType::Float64, 1);
+        b.push(Scalar::Int(2)).unwrap();
+        assert_eq!(b.finish().scalar_at(0), Scalar::Float(2.0));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_type() {
+        let mut b = ColumnBuilder::new(DataType::Int64, 1);
+        assert!(b.push(Scalar::Str("no".into())).is_err());
+    }
+
+    #[test]
+    fn byte_size_accounts_payload() {
+        let c = Column::from_i64(vec![0; 100]);
+        assert_eq!(c.byte_size(), 800);
+        let s = Column::from_strs(&["abcd"]);
+        // 2 offsets * 4 + 4 bytes of data
+        assert_eq!(s.byte_size(), 12);
+    }
+
+    #[test]
+    fn nulls_column() {
+        let c = Column::nulls(DataType::Utf8, 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 3);
+    }
+
+    #[test]
+    fn bool_column_roundtrip() {
+        let c = Column::from_bools(&[true, false, true]);
+        assert_eq!(c.scalar_at(0), Scalar::Bool(true));
+        assert_eq!(c.scalar_at(1), Scalar::Bool(false));
+        assert_eq!(c.bool_values().unwrap().count_ones(), 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type shared by the data-model crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating columnar data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A column or scalar had a different type than the operation expected.
+    TypeMismatch {
+        /// What the operation required.
+        expected: String,
+        /// What it actually got.
+        actual: String,
+    },
+    /// Columns within a batch (or inputs to a kernel) had differing lengths.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the offending operand.
+        right: usize,
+    },
+    /// A referenced field name or index does not exist in the schema.
+    UnknownField(String),
+    /// A row/element index was out of bounds.
+    OutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// Malformed serialized bytes (row pages, wire format headers, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            DataError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            DataError::UnknownField(name) => write!(f, "unknown field: {name}"),
+            DataError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            DataError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Convenience alias used throughout the data crates.
+pub type Result<T> = std::result::Result<T, DataError>;

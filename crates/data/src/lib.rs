@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # df-data — columnar data model
+//!
+//! The in-flight data representation of the dataflow engine: typed columns
+//! with validity bitmaps, assembled into [`Batch`]es described by a
+//! [`Schema`]. Batches are the unit that streams through pipelines — between
+//! operators, across NICs, and through accelerators — so the representation
+//! is deliberately simple and contiguous (a `Vec` per column) to make byte
+//! accounting and (simulated) DMA exact.
+//!
+//! Modules:
+//! - [`types`] — logical [`DataType`]s and [`Scalar`] values
+//! - [`bitmap`] — packed validity/selection bitmaps
+//! - [`mod@column`] — typed column vectors and builders
+//! - [`schema`] — fields and schemas
+//! - [`batch`] — record batches and selection/gather utilities
+//! - [`rowpage`] — a fixed-layout row-major page (HTAP transposition target)
+//! - [`sort`] — multi-key sort permutations over batches
+//! - [`error`] — the crate error type
+
+pub mod batch;
+pub mod bitmap;
+pub mod column;
+pub mod error;
+pub mod rowpage;
+pub mod schema;
+pub mod sort;
+pub mod types;
+
+pub use batch::Batch;
+pub use bitmap::Bitmap;
+pub use column::{Column, ColumnBuilder};
+pub use error::{DataError, Result};
+pub use rowpage::RowPage;
+pub use schema::{Field, Schema, SchemaRef};
+pub use types::{DataType, Scalar};

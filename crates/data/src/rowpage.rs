@@ -1,0 +1,262 @@
+//! A row-major page layout — the "recent format" side of the paper's HTAP
+//! transposition scenario (§5.4).
+//!
+//! OLTP-ish writers produce row pages; the analytical engine wants columns.
+//! The near-memory transposition functional unit (in `df-mem`) converts
+//! between [`RowPage`] and [`Batch`] without the CPU touching the data; the
+//! CPU baseline uses the same conversion routines here.
+//!
+//! Layout (per row, in `fixed`):
+//! - one validity byte per column (0 = NULL, 1 = valid)
+//! - one 8-byte slot per column:
+//!   - Int64/Float64: the value bits
+//!   - Bool: 0/1 in the low byte
+//!   - Utf8: `offset: u32 | len: u32` into the page `heap`
+
+use crate::batch::Batch;
+use crate::column::ColumnBuilder;
+use crate::error::{DataError, Result};
+use crate::schema::SchemaRef;
+use crate::types::{DataType, Scalar};
+
+/// A row-major page holding rows of a fixed schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowPage {
+    schema: SchemaRef,
+    /// Row-major fixed-width region: `rows * row_width` bytes.
+    fixed: Vec<u8>,
+    /// Variable-length string heap.
+    heap: Vec<u8>,
+    rows: usize,
+}
+
+impl RowPage {
+    /// Bytes per row for a schema: validity bytes + 8-byte slots.
+    pub fn row_width(schema: &SchemaRef) -> usize {
+        schema.len() + schema.len() * 8
+    }
+
+    /// An empty page for `schema`.
+    pub fn new(schema: SchemaRef) -> Self {
+        RowPage {
+            schema,
+            fixed: Vec::new(),
+            heap: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// The page's schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows stored.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the page holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Total page size in bytes (fixed region + heap).
+    pub fn byte_size(&self) -> usize {
+        self.fixed.len() + self.heap.len()
+    }
+
+    /// Append one row of scalars (one per schema column, in order).
+    pub fn push_row(&mut self, row: &[Scalar]) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(DataError::LengthMismatch {
+                left: self.schema.len(),
+                right: row.len(),
+            });
+        }
+        let ncols = self.schema.len();
+        let base = self.fixed.len();
+        self.fixed.resize(base + Self::row_width(&self.schema), 0);
+        for (ci, value) in row.iter().enumerate() {
+            let field = self.schema.field(ci);
+            let valid_at = base + ci;
+            let slot_at = base + ncols + ci * 8;
+            if value.is_null() {
+                self.fixed[valid_at] = 0;
+                continue;
+            }
+            self.fixed[valid_at] = 1;
+            let slot: [u8; 8] = match (field.dtype, value) {
+                (DataType::Int64, Scalar::Int(v)) => v.to_le_bytes(),
+                (DataType::Float64, Scalar::Float(v)) => v.to_le_bytes(),
+                (DataType::Float64, Scalar::Int(v)) => (*v as f64).to_le_bytes(),
+                (DataType::Bool, Scalar::Bool(b)) => {
+                    let mut s = [0u8; 8];
+                    s[0] = *b as u8;
+                    s
+                }
+                (DataType::Utf8, Scalar::Str(s)) => {
+                    let offset = self.heap.len() as u32;
+                    self.heap.extend_from_slice(s.as_bytes());
+                    let len = s.len() as u32;
+                    let mut slot = [0u8; 8];
+                    slot[..4].copy_from_slice(&offset.to_le_bytes());
+                    slot[4..].copy_from_slice(&len.to_le_bytes());
+                    slot
+                }
+                (expected, actual) => {
+                    // Roll back the partially written row.
+                    self.fixed.truncate(base);
+                    return Err(DataError::TypeMismatch {
+                        expected: expected.to_string(),
+                        actual: actual
+                            .data_type()
+                            .map_or("null".into(), |t| t.to_string()),
+                    });
+                }
+            };
+            self.fixed[slot_at..slot_at + 8].copy_from_slice(&slot);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Read the value at (`row`, `col`).
+    pub fn get(&self, row: usize, col: usize) -> Result<Scalar> {
+        if row >= self.rows {
+            return Err(DataError::OutOfBounds {
+                index: row,
+                len: self.rows,
+            });
+        }
+        if col >= self.schema.len() {
+            return Err(DataError::OutOfBounds {
+                index: col,
+                len: self.schema.len(),
+            });
+        }
+        let ncols = self.schema.len();
+        let base = row * Self::row_width(&self.schema);
+        if self.fixed[base + col] == 0 {
+            return Ok(Scalar::Null);
+        }
+        let slot_at = base + ncols + col * 8;
+        let slot: [u8; 8] = self.fixed[slot_at..slot_at + 8]
+            .try_into()
+            .expect("slot is 8 bytes");
+        Ok(match self.schema.field(col).dtype {
+            DataType::Int64 => Scalar::Int(i64::from_le_bytes(slot)),
+            DataType::Float64 => Scalar::Float(f64::from_le_bytes(slot)),
+            DataType::Bool => Scalar::Bool(slot[0] != 0),
+            DataType::Utf8 => {
+                let offset =
+                    u32::from_le_bytes(slot[..4].try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(slot[4..].try_into().unwrap()) as usize;
+                let bytes = self.heap.get(offset..offset + len).ok_or_else(|| {
+                    DataError::Corrupt("string slot past heap end".into())
+                })?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| DataError::Corrupt("invalid utf8 in heap".into()))?;
+                Scalar::Str(s.to_string())
+            }
+        })
+    }
+
+    /// Transpose a columnar [`Batch`] into a row page ("column → recent
+    /// format" direction).
+    pub fn from_batch(batch: &Batch) -> Result<RowPage> {
+        let mut page = RowPage::new(batch.schema().clone());
+        for r in 0..batch.rows() {
+            page.push_row(&batch.row(r))?;
+        }
+        Ok(page)
+    }
+
+    /// Transpose this page back to a columnar [`Batch`] ("recent →
+    /// historical format" direction).
+    pub fn to_batch(&self) -> Result<Batch> {
+        let mut builders: Vec<ColumnBuilder> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.dtype, self.rows))
+            .collect();
+        for r in 0..self.rows {
+            for (c, builder) in builders.iter_mut().enumerate() {
+                builder.push(self.get(r, c)?)?;
+            }
+        }
+        let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
+        Batch::new(self.schema.clone(), columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::batch_of;
+    use crate::column::Column;
+
+    fn sample_batch() -> Batch {
+        batch_of(vec![
+            ("id", Column::from_i64(vec![1, 2, 3])),
+            ("tag", Column::from_opt_strs(&[Some("aa"), None, Some("ccc")])),
+            ("flag", Column::from_bools(&[true, false, true])),
+            ("score", Column::from_f64(vec![1.5, 2.5, 3.5])),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_batch_page_batch() {
+        let b = sample_batch();
+        let page = RowPage::from_batch(&b).unwrap();
+        assert_eq!(page.rows(), 3);
+        let back = page.to_batch().unwrap();
+        assert_eq!(b.canonical_rows(), back.canonical_rows());
+    }
+
+    #[test]
+    fn point_access() {
+        let page = RowPage::from_batch(&sample_batch()).unwrap();
+        assert_eq!(page.get(0, 0).unwrap(), Scalar::Int(1));
+        assert_eq!(page.get(1, 1).unwrap(), Scalar::Null);
+        assert_eq!(page.get(2, 1).unwrap(), Scalar::Str("ccc".into()));
+        assert_eq!(page.get(2, 3).unwrap(), Scalar::Float(3.5));
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let page = RowPage::from_batch(&sample_batch()).unwrap();
+        assert!(page.get(3, 0).is_err());
+        assert!(page.get(0, 4).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_row_rejected() {
+        let mut page = RowPage::new(sample_batch().schema().clone());
+        assert!(page.push_row(&[Scalar::Int(1)]).is_err());
+        assert_eq!(page.rows(), 0);
+    }
+
+    #[test]
+    fn type_mismatch_rolls_back() {
+        let mut page = RowPage::new(sample_batch().schema().clone());
+        let bad = [
+            Scalar::Str("not an int".into()),
+            Scalar::Null,
+            Scalar::Bool(true),
+            Scalar::Float(0.0),
+        ];
+        assert!(page.push_row(&bad).is_err());
+        assert_eq!(page.rows(), 0);
+        assert_eq!(page.byte_size() % RowPage::row_width(page.schema()), 0);
+    }
+
+    #[test]
+    fn byte_size_grows_with_rows() {
+        let b = sample_batch();
+        let page = RowPage::from_batch(&b).unwrap();
+        let width = RowPage::row_width(b.schema());
+        assert!(page.byte_size() >= 3 * width);
+    }
+}

@@ -1,0 +1,526 @@
+//! Cache-coherence cost models: hardware (cxl.cache, a directory MESI
+//! protocol) versus software (RDMA-style explicit access) coherence.
+//!
+//! §6.2: with CXL, "coherency allows a near-memory accelerator to operate on
+//! the data at the same time as a CPU core ... any cache holding the
+//! modified address will be invalidated through a series of cxl.cache
+//! messages"; with plain PCIe/RDMA, coherence is the application's problem
+//! and is usually solved by *not caching* remote data (every access pays a
+//! round trip) — the "software coherence via one-sided RDMA" pattern whose
+//! pitfalls the paper cites (\[36\]).
+//!
+//! The model tracks per-line MESI states for every agent, a memory version
+//! per line (the "value"), message and byte counts, and per-access latency.
+//! Reads always return the version of the most recent write — the
+//! correctness invariant the property tests check.
+
+use df_sim::SimDuration;
+
+/// Coherence mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Hardware coherence over a CXL-class coherent link.
+    HardwareCxl,
+    /// Software-managed access over RDMA: remote lines are never cached.
+    SoftwareRdma,
+}
+
+/// MESI state of one line in one agent's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Invalid (not cached).
+    I,
+    /// Shared, clean.
+    S,
+    /// Exclusive, clean.
+    E,
+    /// Modified, dirty.
+    M,
+}
+
+/// Configuration of a coherence domain.
+#[derive(Debug, Clone)]
+pub struct CoherenceConfig {
+    /// Number of caching agents (CPU caches, accelerator caches).
+    pub agents: usize,
+    /// Number of cachelines in the shared region.
+    pub lines: usize,
+    /// One-way latency of the interconnect carrying coherence traffic.
+    pub link_latency: SimDuration,
+    /// The mechanism.
+    pub mode: Mode,
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> Self {
+        CoherenceConfig {
+            agents: 2,
+            lines: 1024,
+            link_latency: SimDuration::from_nanos(250),
+            mode: Mode::HardwareCxl,
+        }
+    }
+}
+
+/// Outcome of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Latency the accessing agent observed.
+    pub latency: SimDuration,
+    /// Protocol messages exchanged.
+    pub messages: u32,
+    /// The value (memory version) read or installed.
+    pub value: u64,
+}
+
+/// Cumulative statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoherenceStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Local cache hits.
+    pub hits: u64,
+    /// Total protocol messages.
+    pub messages: u64,
+    /// Invalidation messages specifically.
+    pub invalidations: u64,
+    /// Total latency across accesses.
+    pub total_latency: SimDuration,
+    /// Bytes moved (64 B per message header, 64 B per line transfer).
+    pub bytes: u64,
+}
+
+impl CoherenceStats {
+    /// Mean access latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        self.total_latency
+            .nanos()
+            .checked_div(self.accesses)
+            .map_or(SimDuration::ZERO, SimDuration::from_nanos)
+    }
+
+    /// Hit rate (0..=1).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+const CACHE_HIT_NS: u64 = 10;
+const LINE_BYTES: u64 = 64;
+const MSG_BYTES: u64 = 64;
+
+/// A simulated coherence domain.
+#[derive(Debug)]
+pub struct CoherenceSim {
+    config: CoherenceConfig,
+    /// `state[agent][line]`.
+    state: Vec<Vec<LineState>>,
+    /// `cached[agent][line]`: version held in that cache (valid iff != I).
+    cached: Vec<Vec<u64>>,
+    /// Memory's version per line.
+    memory: Vec<u64>,
+    /// Monotonic write counter (the "value" written).
+    next_version: u64,
+    /// Version of the latest write per line, regardless of where it lives.
+    latest: Vec<u64>,
+    stats: CoherenceStats,
+}
+
+impl CoherenceSim {
+    /// A fresh domain; all caches empty, memory at version 0.
+    pub fn new(config: CoherenceConfig) -> Self {
+        assert!(config.agents >= 1 && config.lines >= 1);
+        CoherenceSim {
+            state: vec![vec![LineState::I; config.lines]; config.agents],
+            cached: vec![vec![0; config.lines]; config.agents],
+            memory: vec![0; config.lines],
+            next_version: 0,
+            latest: vec![0; config.lines],
+            stats: CoherenceStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoherenceConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &CoherenceStats {
+        &self.stats
+    }
+
+    /// MESI state of a line in an agent's cache (always `I` in RDMA mode).
+    pub fn line_state(&self, agent: usize, line: usize) -> LineState {
+        self.state[agent][line]
+    }
+
+    fn account(&mut self, access: Access, hit: bool) -> Access {
+        self.stats.accesses += 1;
+        if hit {
+            self.stats.hits += 1;
+        }
+        self.stats.messages += u64::from(access.messages);
+        self.stats.total_latency += access.latency;
+        self.stats.bytes += u64::from(access.messages) * MSG_BYTES;
+        access
+    }
+
+    /// Agent `agent` reads `line`.
+    pub fn read(&mut self, agent: usize, line: usize) -> Access {
+        match self.config.mode {
+            Mode::SoftwareRdma => {
+                // One-sided RDMA read: one round trip, never cached.
+                let access = Access {
+                    latency: self.config.link_latency.saturating_mul(2),
+                    messages: 2, // request + response carrying the line
+                    value: self.memory_value(line),
+                };
+                self.stats.bytes += LINE_BYTES;
+                self.account(access, false)
+            }
+            Mode::HardwareCxl => self.read_hw(agent, line),
+        }
+    }
+
+    /// Agent `agent` writes `line`, installing a new version. Returns the
+    /// version written.
+    pub fn write(&mut self, agent: usize, line: usize) -> Access {
+        self.next_version += 1;
+        let version = self.next_version;
+        self.latest[line] = version;
+        match self.config.mode {
+            Mode::SoftwareRdma => {
+                // RDMA write + remote flush/fence to make it visible (the
+                // two-step pattern [36] describes).
+                self.memory[line] = version;
+                let access = Access {
+                    latency: self.config.link_latency.saturating_mul(4),
+                    messages: 4, // write + ack, flush + ack
+                    value: version,
+                };
+                self.stats.bytes += LINE_BYTES;
+                self.account(access, false)
+            }
+            Mode::HardwareCxl => self.write_hw(agent, line, version),
+        }
+    }
+
+    fn memory_value(&self, line: usize) -> u64 {
+        // If some cache holds the line Modified, memory is stale; the true
+        // value lives in that cache. RDMA mode never has dirty caches, so
+        // memory is always authoritative there.
+        self.memory[line]
+    }
+
+    fn dirty_owner(&self, line: usize) -> Option<usize> {
+        (0..self.config.agents)
+            .find(|&a| matches!(self.state[a][line], LineState::M))
+    }
+
+    fn exclusive_clean_owner(&self, line: usize) -> Option<usize> {
+        (0..self.config.agents)
+            .find(|&a| matches!(self.state[a][line], LineState::E))
+    }
+
+    fn sharers(&self, line: usize, except: usize) -> Vec<usize> {
+        (0..self.config.agents)
+            .filter(|&a| a != except && self.state[a][line] != LineState::I)
+            .collect()
+    }
+
+    fn read_hw(&mut self, agent: usize, line: usize) -> Access {
+        let lat = self.config.link_latency;
+        if self.state[agent][line] != LineState::I {
+            // Hit: hardware kept it coherent, so the cached copy is current.
+            let access = Access {
+                latency: SimDuration::from_nanos(CACHE_HIT_NS),
+                messages: 0,
+                value: self.cached[agent][line],
+            };
+            return self.account(access, true);
+        }
+        // Miss: request to the directory (home).
+        let mut messages = 2u32; // req + data response
+        let mut latency = lat.saturating_mul(2);
+        if let Some(owner) = self.dirty_owner(line) {
+            // Forward to the dirty owner; owner supplies data and writes
+            // back; owner downgrades M -> S.
+            messages += 2; // forward + writeback
+            latency += lat; // extra hop through the owner
+            self.memory[line] = self.cached[owner][line];
+            self.state[owner][line] = LineState::S;
+        } else if let Some(owner) = self.exclusive_clean_owner(line) {
+            // An E holder must drop to S before a second sharer appears.
+            messages += 2; // snoop + ack
+            latency += lat;
+            self.state[owner][line] = LineState::S;
+        }
+        let value = self.memory[line];
+        let alone = self.sharers(line, agent).is_empty();
+        self.state[agent][line] = if alone { LineState::E } else { LineState::S };
+        self.cached[agent][line] = value;
+        self.stats.bytes += LINE_BYTES;
+        self.account(
+            Access {
+                latency,
+                messages,
+                value,
+            },
+            false,
+        )
+    }
+
+    fn write_hw(&mut self, agent: usize, line: usize, version: u64) -> Access {
+        let lat = self.config.link_latency;
+        let access = match self.state[agent][line] {
+            LineState::M => Access {
+                latency: SimDuration::from_nanos(CACHE_HIT_NS),
+                messages: 0,
+                value: version,
+            },
+            LineState::E => {
+                // Silent upgrade.
+                self.state[agent][line] = LineState::M;
+                Access {
+                    latency: SimDuration::from_nanos(CACHE_HIT_NS),
+                    messages: 0,
+                    value: version,
+                }
+            }
+            LineState::S | LineState::I => {
+                let was_invalid = self.state[agent][line] == LineState::I;
+                let mut messages = 2u32; // RFO request + grant/data
+                let mut latency = lat.saturating_mul(2);
+                if let Some(owner) = self.dirty_owner(line) {
+                    // Dirty elsewhere: owner writes back and invalidates.
+                    self.memory[line] = self.cached[owner][line];
+                    messages += 2;
+                    latency += lat;
+                }
+                let sharers = self.sharers(line, agent);
+                if !sharers.is_empty() {
+                    // Invalidate every sharer; acks return in parallel, so
+                    // latency grows by one round trip, messages by 2 each.
+                    messages += 2 * sharers.len() as u32;
+                    latency += lat.saturating_mul(2);
+                    self.stats.invalidations += sharers.len() as u64;
+                    for s in sharers {
+                        self.state[s][line] = LineState::I;
+                    }
+                }
+                if was_invalid {
+                    self.stats.bytes += LINE_BYTES; // data fetched with RFO
+                }
+                self.state[agent][line] = LineState::M;
+                Access {
+                    latency,
+                    messages,
+                    value: version,
+                }
+            }
+        };
+        self.cached[agent][line] = version;
+        let hit = access.messages == 0;
+        self.account(access, hit)
+    }
+
+    /// The version of the most recent write to `line` — the oracle the
+    /// property tests compare reads against.
+    pub fn latest_version(&self, line: usize) -> u64 {
+        self.latest[line]
+    }
+
+    /// Protocol invariants (debug/property checks): at most one M/E holder,
+    /// and M excludes any other holder; every valid copy matches the latest
+    /// version (hardware keeps caches current through invalidation).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for line in 0..self.config.lines {
+            let holders: Vec<(usize, LineState)> = (0..self.config.agents)
+                .map(|a| (a, self.state[a][line]))
+                .filter(|(_, s)| *s != LineState::I)
+                .collect();
+            let exclusive = holders
+                .iter()
+                .filter(|(_, s)| matches!(s, LineState::M | LineState::E))
+                .count();
+            if exclusive > 1 {
+                return Err(format!("line {line}: multiple exclusive holders"));
+            }
+            if exclusive == 1 && holders.len() > 1 {
+                return Err(format!("line {line}: M/E coexists with sharers"));
+            }
+            for (a, _) in &holders {
+                if self.cached[*a][line] != self.latest[line] {
+                    return Err(format!(
+                        "line {line}: agent {a} caches stale version {} != {}",
+                        self.cached[*a][line], self.latest[line]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> CoherenceSim {
+        CoherenceSim::new(CoherenceConfig::default())
+    }
+
+    fn sw() -> CoherenceSim {
+        CoherenceSim::new(CoherenceConfig {
+            mode: Mode::SoftwareRdma,
+            ..CoherenceConfig::default()
+        })
+    }
+
+    #[test]
+    fn first_read_misses_then_hits() {
+        let mut sim = hw();
+        let a = sim.read(0, 5);
+        assert!(a.messages > 0);
+        let b = sim.read(0, 5);
+        assert_eq!(b.messages, 0);
+        assert_eq!(b.latency, SimDuration::from_nanos(10));
+        assert_eq!(sim.line_state(0, 5), LineState::E);
+    }
+
+    #[test]
+    fn second_reader_downgrades_to_shared() {
+        let mut sim = hw();
+        sim.read(0, 5);
+        sim.read(1, 5);
+        assert_eq!(sim.line_state(1, 5), LineState::S);
+        sim.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut sim = hw();
+        sim.read(0, 7);
+        sim.read(1, 7);
+        let w = sim.write(0, 7);
+        assert!(w.messages >= 2);
+        assert_eq!(sim.line_state(0, 7), LineState::M);
+        assert_eq!(sim.line_state(1, 7), LineState::I);
+        assert_eq!(sim.stats().invalidations, 1);
+        sim.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reader_sees_writers_value_through_hardware() {
+        // The §6.2 scenario: an accelerator updates a tuple; a CPU cache
+        // holding the line is invalidated and re-reads the new value.
+        let mut sim = hw();
+        sim.read(1, 3); // CPU caches the line
+        let w = sim.write(0, 3); // accelerator writes
+        let r = sim.read(1, 3); // CPU reads again
+        assert_eq!(r.value, w.value);
+        assert_eq!(r.value, sim.latest_version(3));
+        sim.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exclusive_upgrade_is_silent() {
+        let mut sim = hw();
+        sim.read(0, 2); // E
+        let w = sim.write(0, 2);
+        assert_eq!(w.messages, 0);
+        assert_eq!(sim.line_state(0, 2), LineState::M);
+    }
+
+    #[test]
+    fn dirty_line_forwarded_on_read() {
+        let mut sim = hw();
+        sim.write(0, 9);
+        let r = sim.read(1, 9);
+        assert_eq!(r.value, sim.latest_version(9));
+        assert_eq!(r.messages, 4); // req + fwd + writeback + data
+        assert_eq!(sim.line_state(0, 9), LineState::S);
+        sim.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn software_mode_never_caches() {
+        let mut sim = sw();
+        sim.read(0, 1);
+        sim.read(0, 1);
+        assert_eq!(sim.stats().hits, 0);
+        assert_eq!(sim.line_state(0, 1), LineState::I);
+    }
+
+    #[test]
+    fn software_reads_see_writes() {
+        let mut sim = sw();
+        let w = sim.write(1, 4);
+        let r = sim.read(0, 4);
+        assert_eq!(r.value, w.value);
+    }
+
+    #[test]
+    fn hardware_beats_software_on_read_heavy_sharing() {
+        // 1 write / 100 reads per line: the CXL argument.
+        let run = |mut sim: CoherenceSim| {
+            for line in 0..32 {
+                sim.write(0, line);
+                for i in 0..100 {
+                    sim.read(i % 2, line);
+                }
+            }
+            sim.stats().total_latency
+        };
+        let hw_lat = run(hw());
+        let sw_lat = run(sw());
+        assert!(
+            hw_lat.nanos() * 5 < sw_lat.nanos(),
+            "hw {hw_lat} not ≪ sw {sw_lat}"
+        );
+    }
+
+    #[test]
+    fn software_costs_more_messages_per_write() {
+        let mut h = hw();
+        let mut s = sw();
+        // Exclusive-held write: hardware is free, software pays the fence.
+        h.read(0, 0);
+        h.write(0, 0);
+        let hw_msgs = h.stats().messages;
+        s.read(0, 0);
+        s.write(0, 0);
+        let sw_msgs = s.stats().messages;
+        assert!(sw_msgs > hw_msgs);
+    }
+
+    #[test]
+    fn invariants_hold_under_mixed_traffic() {
+        let mut sim = CoherenceSim::new(CoherenceConfig {
+            agents: 4,
+            lines: 16,
+            ..CoherenceConfig::default()
+        });
+        let mut x = 123u64;
+        for _ in 0..2000 {
+            // Cheap LCG for a deterministic access pattern.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let agent = (x >> 10) as usize % 4;
+            let line = (x >> 20) as usize % 16;
+            if x.is_multiple_of(3) {
+                sim.write(agent, line);
+            } else {
+                let r = sim.read(agent, line);
+                assert_eq!(r.value, sim.latest_version(line), "stale read");
+            }
+            sim.check_invariants().unwrap();
+        }
+        assert!(sim.stats().hit_rate() > 0.1);
+    }
+}

@@ -1,0 +1,225 @@
+//! DMA-engine primitives: credit-based flow control and token-bucket rate
+//! limiting.
+//!
+//! §7.1: "What we envisage for data movement is a sequence of queues placed
+//! strategically in the pipeline that are connected via DMA engines ... This
+//! flow control method is called credit-based". §7.3 adds that the scheduler
+//! must be able to "rate limit the bandwidth used" by those DMA engines.
+//! [`CreditQueue`] and [`TokenBucket`] are those two mechanisms; the flow
+//! simulator composes them.
+
+use df_sim::{Bandwidth, SimDuration, SimTime};
+
+/// A bounded queue governed by credits.
+///
+/// The downstream stage owns the queue; the upstream producer may only send
+/// when it holds a credit. Credits return upstream as small control
+/// messages, which the queue counts so experiments can report the control
+/// overhead (E12 shows it is a tiny fraction of data traffic).
+#[derive(Debug, Clone)]
+pub struct CreditQueue {
+    capacity: usize,
+    occupied: usize,
+    high_watermark: usize,
+    credit_messages: u64,
+}
+
+/// Size in bytes of one credit-return control message (a header-only frame).
+pub const CREDIT_MSG_BYTES: u64 = 64;
+
+impl CreditQueue {
+    /// A queue with `capacity` slots, initially empty (all credits with the
+    /// producer).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "credit queue needs at least one slot");
+        CreditQueue {
+            capacity,
+            occupied: 0,
+            high_watermark: 0,
+            credit_messages: 0,
+        }
+    }
+
+    /// Slots configured.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots currently occupied.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether the producer holds at least one credit.
+    pub fn can_accept(&self) -> bool {
+        self.occupied < self.capacity
+    }
+
+    /// Producer sends one chunk into the queue. Returns `false` (and does
+    /// nothing) if no credit is available.
+    pub fn accept(&mut self) -> bool {
+        if !self.can_accept() {
+            return false;
+        }
+        self.occupied += 1;
+        self.high_watermark = self.high_watermark.max(self.occupied);
+        true
+    }
+
+    /// Consumer drains one chunk, returning a credit upstream (counted as a
+    /// control message). Panics if the queue is empty — a protocol bug.
+    pub fn release(&mut self) {
+        assert!(self.occupied > 0, "release on empty credit queue");
+        self.occupied -= 1;
+        self.credit_messages += 1;
+    }
+
+    /// Largest occupancy observed.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Number of credit-return messages sent upstream.
+    pub fn credit_messages(&self) -> u64 {
+        self.credit_messages
+    }
+
+    /// Total control traffic in bytes.
+    pub fn control_bytes(&self) -> u64 {
+        self.credit_messages * CREDIT_MSG_BYTES
+    }
+}
+
+/// A token-bucket bandwidth limiter for a DMA engine.
+///
+/// Tokens are bytes; they refill at `rate` up to `burst`. The scheduler uses
+/// this to cap a query's data-path bandwidth at runtime (§7.3).
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: Bandwidth,
+    burst: u64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket with the given sustained rate and burst size, initially full.
+    pub fn new(rate: Bandwidth, burst: u64) -> Self {
+        assert!(burst > 0, "burst must be positive");
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst as f64,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    /// The configured sustained rate.
+    pub fn rate(&self) -> Bandwidth {
+        self.rate
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let elapsed = now.since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.rate.as_bytes_per_sec())
+            .min(self.burst as f64);
+        self.last_refill = self.last_refill.max(now);
+    }
+
+    /// The earliest instant at or after `now` when `bytes` tokens will be
+    /// available. Requests larger than the burst are allowed and simply wait
+    /// proportionally longer.
+    pub fn earliest_available(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.refill(now);
+        let deficit = bytes as f64 - self.tokens;
+        if deficit <= 0.0 {
+            now
+        } else {
+            now + SimDuration::from_secs_f64(deficit / self.rate.as_bytes_per_sec())
+        }
+    }
+
+    /// Consume `bytes` tokens at instant `at` (the bucket may go negative if
+    /// the caller did not wait; sustained rate is still enforced on average).
+    pub fn consume(&mut self, at: SimTime, bytes: u64) {
+        self.refill(at);
+        self.tokens -= bytes as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_bound_occupancy() {
+        let mut q = CreditQueue::new(2);
+        assert!(q.accept());
+        assert!(q.accept());
+        assert!(!q.accept());
+        assert_eq!(q.occupied(), 2);
+        assert_eq!(q.high_watermark(), 2);
+        q.release();
+        assert!(q.accept());
+        assert_eq!(q.credit_messages(), 1);
+        assert_eq!(q.control_bytes(), CREDIT_MSG_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "release on empty")]
+    fn release_empty_is_a_bug() {
+        CreditQueue::new(1).release();
+    }
+
+    #[test]
+    fn bucket_allows_burst_then_throttles() {
+        // 1 GB/s, 1 MB burst.
+        let mut b = TokenBucket::new(Bandwidth::gbytes_per_sec(1.0), 1 << 20);
+        let now = SimTime::ZERO;
+        // The full burst is available immediately.
+        assert_eq!(b.earliest_available(now, 1 << 20), now);
+        b.consume(now, 1 << 20);
+        // The next 1 MB must wait ~1 MB / 1 GB/s ≈ 1.05 ms.
+        let next = b.earliest_available(now, 1 << 20);
+        let wait = next.since(now).as_secs_f64();
+        assert!((wait - (1 << 20) as f64 / 1e9).abs() < 1e-6, "wait={wait}");
+    }
+
+    #[test]
+    fn bucket_refills_over_time() {
+        let mut b = TokenBucket::new(Bandwidth::mbytes_per_sec(100.0), 1000);
+        b.consume(SimTime::ZERO, 1000);
+        // After 10 microseconds, 1000 bytes refilled.
+        let later = SimTime(10_000);
+        assert_eq!(b.earliest_available(later, 1000), later);
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let mut b = TokenBucket::new(Bandwidth::gbytes_per_sec(10.0), 100);
+        // Even after a long idle period, only `burst` tokens exist.
+        let late = SimTime(1_000_000_000);
+        assert_eq!(b.earliest_available(late, 100), late);
+        b.consume(late, 100);
+        assert!(b.earliest_available(late, 100) > late);
+    }
+
+    #[test]
+    fn sustained_rate_is_enforced() {
+        let rate = Bandwidth::mbytes_per_sec(10.0);
+        let mut b = TokenBucket::new(rate, 4096);
+        let mut now = SimTime::ZERO;
+        let chunk = 4096u64;
+        let n = 1000u64;
+        for _ in 0..n {
+            now = b.earliest_available(now, chunk);
+            b.consume(now, chunk);
+        }
+        let elapsed = now.as_secs_f64();
+        let expected = ((n - 1) * chunk) as f64 / rate.as_bytes_per_sec();
+        assert!(
+            (elapsed - expected).abs() / expected < 0.01,
+            "elapsed={elapsed} expected={expected}"
+        );
+    }
+}

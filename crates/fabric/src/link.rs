@@ -1,0 +1,192 @@
+//! Interconnect technologies: bandwidth and latency models.
+//!
+//! §6 of the paper traces the evolution PCIe 3 → CXL-forced PCIe 5/6 → the
+//! ratified-in-2025 PCIe 7, doubling bandwidth each generation (x16:
+//! 16 → 32 → 64 → 128 → 256 GB/s). Experiment E11 sweeps these figures.
+
+use std::fmt;
+
+use df_sim::{Bandwidth, SimDuration};
+
+/// Identifier of a link within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// The technology of a link, determining bandwidth and latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkTech {
+    /// PCI Express, by generation (3..=7), x16 lanes assumed.
+    Pcie {
+        /// Generation, 3 through 7.
+        generation: u8,
+    },
+    /// CXL over the matching PCIe physical layer; lower effective latency
+    /// than raw PCIe transactions and hardware coherence support.
+    Cxl {
+        /// Underlying PCIe generation (5..=7).
+        generation: u8,
+    },
+    /// Datacenter Ethernet at the given line rate.
+    Ethernet {
+        /// Line rate in gigabits per second (e.g. 100, 200, 400, 800).
+        gbits: u32,
+    },
+    /// RDMA over the same Ethernet physical layer: same bandwidth, lower
+    /// effective latency (kernel bypass).
+    Rdma {
+        /// Line rate in gigabits per second.
+        gbits: u32,
+    },
+    /// DDR memory channel group between a controller and a CPU/accelerator.
+    Ddr {
+        /// Number of channels (25 GB/s class each, DDR5-ish).
+        channels: u32,
+    },
+    /// Proprietary GPU-class interconnect (NVLink/InfinityFabric class).
+    NvLink,
+}
+
+impl LinkTech {
+    /// Peak unidirectional bandwidth for the technology.
+    pub fn bandwidth(self) -> Bandwidth {
+        match self {
+            LinkTech::Pcie { generation } | LinkTech::Cxl { generation } => {
+                // x16 lanes: gen3 = 16 GB/s, doubling each generation (§6.2).
+                let gen = generation.clamp(1, 8) as u32;
+                Bandwidth::gbytes_per_sec(16.0 * f64::from(1u32 << (gen - 3).min(8)))
+            }
+            LinkTech::Ethernet { gbits } | LinkTech::Rdma { gbits } => {
+                Bandwidth::gbits_per_sec(f64::from(gbits))
+            }
+            LinkTech::Ddr { channels } => {
+                Bandwidth::gbytes_per_sec(25.0 * f64::from(channels))
+            }
+            LinkTech::NvLink => Bandwidth::gbytes_per_sec(300.0),
+        }
+    }
+
+    /// One-way message latency for the technology.
+    pub fn latency(self) -> SimDuration {
+        match self {
+            LinkTech::Pcie { .. } => SimDuration::from_nanos(500),
+            // CXL's load/store path is leaner than PCIe transactions (§6.2).
+            LinkTech::Cxl { .. } => SimDuration::from_nanos(250),
+            LinkTech::Ethernet { .. } => SimDuration::from_micros(10),
+            LinkTech::Rdma { .. } => SimDuration::from_micros(2),
+            LinkTech::Ddr { .. } => SimDuration::from_nanos(90),
+            LinkTech::NvLink => SimDuration::from_nanos(300),
+        }
+    }
+
+    /// Whether the link can carry hardware cache-coherence traffic (§6.2:
+    /// cxl.cache / cxl.mem).
+    pub fn coherent(self) -> bool {
+        matches!(self, LinkTech::Cxl { .. } | LinkTech::Ddr { .. } | LinkTech::NvLink)
+    }
+
+    /// Short display name.
+    pub fn name(self) -> String {
+        match self {
+            LinkTech::Pcie { generation } => format!("pcie{generation}"),
+            LinkTech::Cxl { generation } => format!("cxl/pcie{generation}"),
+            LinkTech::Ethernet { gbits } => format!("eth{gbits}"),
+            LinkTech::Rdma { gbits } => format!("rdma{gbits}"),
+            LinkTech::Ddr { channels } => format!("ddr-x{channels}"),
+            LinkTech::NvLink => "nvlink".to_string(),
+        }
+    }
+}
+
+/// A concrete link instance between two devices.
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    /// Link identifier (unique within its topology).
+    pub id: LinkId,
+    /// The technology.
+    pub tech: LinkTech,
+    /// Endpoint device A.
+    pub a: crate::device::DeviceId,
+    /// Endpoint device B (links are bidirectional/full-duplex).
+    pub b: crate::device::DeviceId,
+}
+
+impl LinkSpec {
+    /// Serialization time for `bytes` plus the propagation latency.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.tech.bandwidth().time_for_bytes(bytes) + self.tech.latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_doubles_per_generation() {
+        let g3 = LinkTech::Pcie { generation: 3 }.bandwidth().as_gbytes_per_sec();
+        let g4 = LinkTech::Pcie { generation: 4 }.bandwidth().as_gbytes_per_sec();
+        let g5 = LinkTech::Pcie { generation: 5 }.bandwidth().as_gbytes_per_sec();
+        let g6 = LinkTech::Pcie { generation: 6 }.bandwidth().as_gbytes_per_sec();
+        assert_eq!(g3, 16.0);
+        assert_eq!(g4, 32.0);
+        assert_eq!(g5, 64.0);
+        assert_eq!(g6, 128.0);
+    }
+
+    #[test]
+    fn cxl_matches_pcie_bandwidth_with_lower_latency() {
+        let cxl = LinkTech::Cxl { generation: 5 };
+        let pcie = LinkTech::Pcie { generation: 5 };
+        assert_eq!(
+            cxl.bandwidth().as_gbytes_per_sec(),
+            pcie.bandwidth().as_gbytes_per_sec()
+        );
+        assert!(cxl.latency() < pcie.latency());
+    }
+
+    #[test]
+    fn rdma_beats_tcp_latency_at_same_bandwidth() {
+        let eth = LinkTech::Ethernet { gbits: 100 };
+        let rdma = LinkTech::Rdma { gbits: 100 };
+        assert_eq!(
+            eth.bandwidth().as_bytes_per_sec(),
+            rdma.bandwidth().as_bytes_per_sec()
+        );
+        assert!(rdma.latency() < eth.latency());
+    }
+
+    #[test]
+    fn coherence_capability() {
+        assert!(LinkTech::Cxl { generation: 5 }.coherent());
+        assert!(LinkTech::Ddr { channels: 4 }.coherent());
+        assert!(!LinkTech::Pcie { generation: 5 }.coherent());
+        assert!(!LinkTech::Rdma { gbits: 100 }.coherent());
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let link = LinkSpec {
+            id: LinkId(0),
+            tech: LinkTech::Ethernet { gbits: 100 },
+            a: crate::device::DeviceId(0),
+            b: crate::device::DeviceId(1),
+        };
+        assert_eq!(link.transfer_time(0), LinkTech::Ethernet { gbits: 100 }.latency());
+        // 12.5 GB/s: 125 MB takes 10 ms + 10 us latency.
+        let t = link.transfer_time(125_000_000);
+        assert!((t.as_secs_f64() - 0.01001).abs() < 1e-5, "{t}");
+    }
+
+    #[test]
+    fn ddr_scales_with_channels() {
+        let one = LinkTech::Ddr { channels: 1 }.bandwidth().as_gbytes_per_sec();
+        let four = LinkTech::Ddr { channels: 4 }.bandwidth().as_gbytes_per_sec();
+        assert_eq!(four, 4.0 * one);
+    }
+}

@@ -1,0 +1,326 @@
+//! A page-based B-tree stored in a [`MemRegion`] — the hierarchical
+//! structure of the pointer-chasing scenario (§5.4).
+//!
+//! "A block of data containing pointers must reach the CPU before one can
+//! decide which next data block to request." Every step of a lookup here is
+//! a `read_page` on the region, so the region's counters tell exactly how
+//! many dependent block fetches a traversal needed — the quantity that is
+//! cheap next to a near-memory unit and expensive across an interconnect.
+//!
+//! Page layout (little-endian):
+//! - byte 0: node type (0 = internal, 1 = leaf)
+//! - bytes 1..3: entry count `n` (u16)
+//! - internal: `n` keys (i64) then `n+1` child page ids (u64)
+//! - leaf: `n` (key i64, value i64) pairs, then next-leaf page id (u64,
+//!   `u64::MAX` for none)
+
+use crate::region::MemRegion;
+use crate::{MemError, Result};
+
+const INTERNAL: u8 = 0;
+const LEAF: u8 = 1;
+const NO_LEAF: u64 = u64::MAX;
+
+/// A B-tree rooted in a region.
+#[derive(Debug, Clone, Copy)]
+pub struct BTree {
+    /// Root page id.
+    pub root: u64,
+    /// Tree height (1 = root is a leaf).
+    pub height: u32,
+    /// Entries per page used at build time.
+    pub fanout: usize,
+}
+
+/// Minimum page size needed for a given fanout.
+pub fn required_page_size(fanout: usize) -> usize {
+    // Internal: 3 + fanout*8 keys + (fanout+1)*8 children.
+    // Leaf: 3 + fanout*16 + 8.
+    (3 + fanout * 16 + 16).max(3 + fanout * 8 + (fanout + 1) * 8)
+}
+
+/// Bulk-build a B-tree from sorted, unique `(key, value)` pairs. Appends
+/// pages to the region via [`MemRegion::grow`]. `fanout` is entries per
+/// page.
+pub fn build(region: &mut MemRegion, pairs: &[(i64, i64)], fanout: usize) -> Result<BTree> {
+    assert!(fanout >= 2, "fanout must be at least 2");
+    if region.page_size() < required_page_size(fanout) {
+        return Err(MemError::Corrupt(format!(
+            "page size {} too small for fanout {fanout}",
+            region.page_size()
+        )));
+    }
+    debug_assert!(
+        pairs.windows(2).all(|w| w[0].0 < w[1].0),
+        "pairs must be sorted and unique"
+    );
+    // Build the leaf level.
+    let mut level: Vec<(i64, u64)> = Vec::new(); // (first key, page id)
+    let chunks: Vec<&[(i64, i64)]> = if pairs.is_empty() {
+        vec![&[]]
+    } else {
+        pairs.chunks(fanout).collect()
+    };
+    let first_leaf = region.grow(chunks.len() as u64);
+    for (i, chunk) in chunks.iter().enumerate() {
+        let page_id = first_leaf + i as u64;
+        let next = if i + 1 < chunks.len() {
+            page_id + 1
+        } else {
+            NO_LEAF
+        };
+        let mut page = Vec::with_capacity(region.page_size());
+        page.push(LEAF);
+        page.extend_from_slice(&(chunk.len() as u16).to_le_bytes());
+        for (k, v) in *chunk {
+            page.extend_from_slice(&k.to_le_bytes());
+            page.extend_from_slice(&v.to_le_bytes());
+        }
+        page.extend_from_slice(&next.to_le_bytes());
+        region.write_page(page_id, &page)?;
+        level.push((chunk.first().map_or(i64::MIN, |(k, _)| *k), page_id));
+    }
+    let mut height = 1u32;
+    // Build internal levels until a single root remains.
+    while level.len() > 1 {
+        let mut next_level = Vec::new();
+        let groups: Vec<&[(i64, u64)]> = level.chunks(fanout + 1).collect();
+        let first = region.grow(groups.len() as u64);
+        for (i, group) in groups.iter().enumerate() {
+            let page_id = first + i as u64;
+            // Separator keys are the first keys of children 1..n.
+            let mut page = Vec::with_capacity(region.page_size());
+            page.push(INTERNAL);
+            page.extend_from_slice(&((group.len() - 1) as u16).to_le_bytes());
+            for (k, _) in &group[1..] {
+                page.extend_from_slice(&k.to_le_bytes());
+            }
+            for (_, child) in *group {
+                page.extend_from_slice(&child.to_le_bytes());
+            }
+            region.write_page(page_id, &page)?;
+            next_level.push((group[0].0, page_id));
+        }
+        level = next_level;
+        height += 1;
+    }
+    Ok(BTree {
+        root: level[0].1,
+        height,
+        fanout,
+    })
+}
+
+struct Node {
+    is_leaf: bool,
+    keys: Vec<i64>,
+    children: Vec<u64>,
+    values: Vec<i64>,
+    next_leaf: u64,
+}
+
+fn parse_node(bytes: &[u8]) -> Result<Node> {
+    let kind = *bytes
+        .first()
+        .ok_or_else(|| MemError::Corrupt("empty page".into()))?;
+    let n = u16::from_le_bytes(
+        bytes
+            .get(1..3)
+            .ok_or_else(|| MemError::Corrupt("truncated count".into()))?
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    let read_i64 = |at: usize| -> Result<i64> {
+        bytes
+            .get(at..at + 8)
+            .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+            .ok_or_else(|| MemError::Corrupt("truncated node".into()))
+    };
+    let read_u64 = |at: usize| -> Result<u64> {
+        bytes
+            .get(at..at + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .ok_or_else(|| MemError::Corrupt("truncated node".into()))
+    };
+    match kind {
+        INTERNAL => {
+            let mut keys = Vec::with_capacity(n);
+            for i in 0..n {
+                keys.push(read_i64(3 + i * 8)?);
+            }
+            let child_base = 3 + n * 8;
+            let mut children = Vec::with_capacity(n + 1);
+            for i in 0..=n {
+                children.push(read_u64(child_base + i * 8)?);
+            }
+            Ok(Node {
+                is_leaf: false,
+                keys,
+                children,
+                values: Vec::new(),
+                next_leaf: NO_LEAF,
+            })
+        }
+        LEAF => {
+            let mut keys = Vec::with_capacity(n);
+            let mut values = Vec::with_capacity(n);
+            for i in 0..n {
+                keys.push(read_i64(3 + i * 16)?);
+                values.push(read_i64(3 + i * 16 + 8)?);
+            }
+            let next_leaf = read_u64(3 + n * 16)?;
+            Ok(Node {
+                is_leaf: true,
+                keys,
+                children: Vec::new(),
+                values,
+                next_leaf,
+            })
+        }
+        other => Err(MemError::Corrupt(format!("bad node type {other}"))),
+    }
+}
+
+/// Point lookup. Touches `height` pages of the region.
+pub fn lookup(region: &mut MemRegion, tree: &BTree, key: i64) -> Result<Option<i64>> {
+    let mut page = tree.root;
+    loop {
+        let node = parse_node(region.read_page(page)?)?;
+        if node.is_leaf {
+            return Ok(node
+                .keys
+                .binary_search(&key)
+                .ok()
+                .map(|i| node.values[i]));
+        }
+        let idx = node.keys.partition_point(|&k| k <= key);
+        page = node.children[idx];
+    }
+}
+
+/// Inclusive range scan `[lo, hi]`. Descends once, then follows the leaf
+/// chain, returning matching pairs. Only leaf pages containing candidates
+/// are touched.
+pub fn range(
+    region: &mut MemRegion,
+    tree: &BTree,
+    lo: i64,
+    hi: i64,
+) -> Result<Vec<(i64, i64)>> {
+    let mut out = Vec::new();
+    if lo > hi {
+        return Ok(out);
+    }
+    // Descend to the leaf containing lo.
+    let mut page = tree.root;
+    loop {
+        let node = parse_node(region.read_page(page)?)?;
+        if node.is_leaf {
+            break;
+        }
+        let idx = node.keys.partition_point(|&k| k <= lo);
+        page = node.children[idx];
+    }
+    // Walk the leaf chain.
+    loop {
+        let node = parse_node(region.read_page(page)?)?;
+        debug_assert!(node.is_leaf);
+        for (k, v) in node.keys.iter().zip(&node.values) {
+            if *k > hi {
+                return Ok(out);
+            }
+            if *k >= lo {
+                out.push((*k, *v));
+            }
+        }
+        if node.next_leaf == NO_LEAF {
+            return Ok(out);
+        }
+        page = node.next_leaf;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Placement;
+
+    fn build_tree(n: i64, fanout: usize) -> (MemRegion, BTree) {
+        let pairs: Vec<(i64, i64)> = (0..n).map(|k| (k * 2, k * 100)).collect();
+        let mut region =
+            MemRegion::new(0, required_page_size(fanout).max(256), Placement::Local);
+        let tree = build(&mut region, &pairs, fanout).unwrap();
+        (region, tree)
+    }
+
+    #[test]
+    fn lookup_finds_present_keys() {
+        let (mut region, tree) = build_tree(1000, 16);
+        for k in [0i64, 2, 500, 1998] {
+            assert_eq!(lookup(&mut region, &tree, k).unwrap(), Some(k * 50));
+        }
+    }
+
+    #[test]
+    fn lookup_misses_absent_keys() {
+        let (mut region, tree) = build_tree(1000, 16);
+        for k in [1i64, 999, -5, 2000] {
+            assert_eq!(lookup(&mut region, &tree, k).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn lookup_touches_height_pages() {
+        let (mut region, tree) = build_tree(10_000, 8);
+        assert!(tree.height >= 4, "height {} too small", tree.height);
+        region.reset_stats();
+        lookup(&mut region, &tree, 5000).unwrap();
+        assert_eq!(region.stats().pages_read, tree.height as u64);
+    }
+
+    #[test]
+    fn range_scan_correct_and_leaf_local() {
+        let (mut region, tree) = build_tree(1000, 16);
+        let got = range(&mut region, &tree, 100, 140).unwrap();
+        let expect: Vec<(i64, i64)> =
+            (50..=70).map(|k| (k * 2, k * 100)).collect();
+        assert_eq!(got, expect);
+        // Empty and inverted ranges.
+        assert!(range(&mut region, &tree, 3, 3).unwrap().is_empty());
+        assert!(range(&mut region, &tree, 10, 5).unwrap().is_empty());
+        // Full range returns everything.
+        assert_eq!(
+            range(&mut region, &tree, i64::MIN, i64::MAX).unwrap().len(),
+            1000
+        );
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let (mut region, tree) = build_tree(5, 16);
+        assert_eq!(tree.height, 1);
+        assert_eq!(lookup(&mut region, &tree, 4).unwrap(), Some(200));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut region = MemRegion::new(0, 256, Placement::Local);
+        let tree = build(&mut region, &[], 8).unwrap();
+        assert_eq!(lookup(&mut region, &tree, 1).unwrap(), None);
+        assert!(range(&mut region, &tree, 0, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn too_small_pages_rejected() {
+        let mut region = MemRegion::new(0, 16, Placement::Local);
+        assert!(build(&mut region, &[(1, 1)], 8).is_err());
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let (_, small) = build_tree(100, 10);
+        let (_, big) = build_tree(10_000, 10);
+        assert!(big.height > small.height);
+        assert!(big.height <= small.height + 3);
+    }
+}

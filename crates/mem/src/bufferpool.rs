@@ -1,0 +1,268 @@
+//! The buffer pool — the baseline the paper wants to retire (§7.4: "No
+//! More Buffer Pools").
+//!
+//! A classic pinned-frame pool with clock (second-chance) eviction. Its
+//! purpose in this repository is to be *measured against*: experiment E14
+//! contrasts its memory footprint and warm-up behaviour with the streaming
+//! dataflow engine that needs no pool at all.
+
+use std::collections::HashMap;
+
+/// Identifies a page: (table/file id, page number).
+pub type PageKey = (u32, u64);
+
+/// Pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Lookups served from a resident frame.
+    pub hits: u64,
+    /// Lookups that had to fetch.
+    pub misses: u64,
+    /// Frames evicted.
+    pub evictions: u64,
+    /// Bytes fetched from backing storage.
+    pub bytes_fetched: u64,
+}
+
+impl PoolStats {
+    /// Hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    key: Option<PageKey>,
+    data: Vec<u8>,
+    pins: u32,
+    referenced: bool,
+}
+
+/// A fixed-capacity page cache with clock eviction.
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    map: HashMap<PageKey, usize>,
+    hand: usize,
+    page_size: usize,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// A pool of `frames` frames of `page_size` bytes.
+    pub fn new(frames: usize, page_size: usize) -> Self {
+        assert!(frames > 0, "pool needs at least one frame");
+        BufferPool {
+            frames: (0..frames)
+                .map(|_| Frame {
+                    key: None,
+                    data: Vec::new(),
+                    pins: 0,
+                    referenced: false,
+                })
+                .collect(),
+            map: HashMap::with_capacity(frames),
+            hand: 0,
+            page_size,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Configured capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Bytes of page data currently resident — the footprint E14 reports.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.frames
+            .iter()
+            .filter(|f| f.key.is_some())
+            .map(|f| f.data.len() as u64)
+            .sum()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Pin a page, fetching it with `fetch` on a miss. Returns the frame's
+    /// contents. The page cannot be evicted until [`BufferPool::unpin`].
+    pub fn pin(
+        &mut self,
+        key: PageKey,
+        fetch: impl FnOnce() -> Vec<u8>,
+    ) -> crate::Result<&[u8]> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.stats.hits += 1;
+            let frame = &mut self.frames[idx];
+            frame.pins += 1;
+            frame.referenced = true;
+            return Ok(&frame.data);
+        }
+        self.stats.misses += 1;
+        let idx = self.find_victim()?;
+        if let Some(old) = self.frames[idx].key.take() {
+            self.map.remove(&old);
+            self.stats.evictions += 1;
+        }
+        let data = fetch();
+        debug_assert!(
+            data.len() <= self.page_size,
+            "fetched page exceeds configured page size"
+        );
+        self.stats.bytes_fetched += data.len() as u64;
+        let frame = &mut self.frames[idx];
+        frame.key = Some(key);
+        frame.data = data;
+        frame.pins = 1;
+        frame.referenced = true;
+        self.map.insert(key, idx);
+        Ok(&self.frames[idx].data)
+    }
+
+    /// Release one pin on a page. Panics if the page is not pinned — that
+    /// is a latch-discipline bug, not a runtime condition.
+    pub fn unpin(&mut self, key: PageKey) {
+        let idx = *self.map.get(&key).expect("unpin of non-resident page");
+        let frame = &mut self.frames[idx];
+        assert!(frame.pins > 0, "unpin of unpinned page");
+        frame.pins -= 1;
+    }
+
+    /// Whether a page is resident (test/debug aid).
+    pub fn is_resident(&self, key: PageKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn find_victim(&mut self) -> crate::Result<usize> {
+        // Clock: up to two sweeps (first clears reference bits).
+        for _ in 0..self.frames.len() * 2 {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let frame = &mut self.frames[idx];
+            if frame.key.is_none() {
+                return Ok(idx);
+            }
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Ok(idx);
+        }
+        Err(crate::MemError::PoolExhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(tag: u8) -> Vec<u8> {
+        vec![tag; 64]
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut pool = BufferPool::new(4, 64);
+        pool.pin((0, 1), || page(1)).unwrap();
+        pool.unpin((0, 1));
+        let data = pool.pin((0, 1), || panic!("should not fetch")).unwrap();
+        assert_eq!(data[0], 1);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_when_full() {
+        let mut pool = BufferPool::new(2, 64);
+        for p in 0..3u64 {
+            pool.pin((0, p), || page(p as u8)).unwrap();
+            pool.unpin((0, p));
+        }
+        assert_eq!(pool.stats().evictions, 1);
+        assert!(pool.footprint_bytes() <= 2 * 64);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let mut pool = BufferPool::new(2, 64);
+        pool.pin((0, 0), || page(0)).unwrap(); // stays pinned
+        for p in 1..5u64 {
+            pool.pin((0, p), || page(p as u8)).unwrap();
+            pool.unpin((0, p));
+        }
+        assert!(pool.is_resident((0, 0)));
+        pool.unpin((0, 0));
+    }
+
+    #[test]
+    fn all_pinned_exhausts_pool() {
+        let mut pool = BufferPool::new(2, 64);
+        pool.pin((0, 0), || page(0)).unwrap();
+        pool.pin((0, 1), || page(1)).unwrap();
+        assert!(matches!(
+            pool.pin((0, 2), || page(2)),
+            Err(crate::MemError::PoolExhausted)
+        ));
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let mut pool = BufferPool::new(3, 64);
+        for p in 0..3u64 {
+            pool.pin((0, p), || page(p as u8)).unwrap();
+            pool.unpin((0, p));
+        }
+        // Page 3 sweeps all reference bits and evicts page 0.
+        pool.pin((0, 3), || page(3)).unwrap();
+        pool.unpin((0, 3));
+        assert!(!pool.is_resident((0, 0)));
+        // Re-reference page 2; pages 1 and 2 are equally old, but only 2
+        // has its reference bit set now.
+        pool.pin((0, 2), || panic!("resident")).unwrap();
+        pool.unpin((0, 2));
+        // The next insertion must evict the unreferenced page 1, not 2.
+        pool.pin((0, 4), || page(4)).unwrap();
+        pool.unpin((0, 4));
+        assert!(pool.is_resident((0, 2)));
+        assert!(!pool.is_resident((0, 1)));
+    }
+
+    #[test]
+    fn hit_rate_reflects_locality() {
+        let mut pool = BufferPool::new(8, 64);
+        // Working set fits: everything after the first round hits.
+        for _ in 0..10 {
+            for p in 0..8u64 {
+                pool.pin((0, p), || page(p as u8)).unwrap();
+                pool.unpin((0, p));
+            }
+        }
+        assert!(pool.stats().hit_rate() > 0.85);
+
+        // Working set 4x the pool: mostly misses.
+        let mut thrash = BufferPool::new(8, 64);
+        for _ in 0..5 {
+            for p in 0..32u64 {
+                thrash.pin((0, p), || page(p as u8)).unwrap();
+                thrash.unpin((0, p));
+            }
+        }
+        assert!(thrash.stats().hit_rate() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin of non-resident")]
+    fn unpin_unknown_page_panics() {
+        BufferPool::new(1, 64).unpin((9, 9));
+    }
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+//! # df-mem — memory substrate: buffer pool, cache model, near-memory
+//! acceleration
+//!
+//! §5 of the paper calls the relationship between engines and main memory
+//! "the most outdated among all the resources". This crate implements both
+//! sides of that argument:
+//!
+//! - [`bufferpool`] — the classic pinned-page buffer pool (the "main memory
+//!   addiction" baseline of §7.4), with clock eviction and footprint stats
+//! - [`cache`] — a cache-hierarchy/NUMA/TLB cost model for CPU-side access
+//!   patterns (what a core *actually* pays to stream or chase pointers)
+//! - [`region`] — page-granular memory regions with access accounting,
+//!   placeable locally or on a disaggregated memory node
+//! - [`btree`] — a page-based B-tree stored in a region (the hierarchical
+//!   structure of the pointer-chasing scenario, §5.4)
+//! - [`accel`] — the near-memory accelerator and its functional units:
+//!   filter, decompress-on-demand, transpose, pointer-chase, and list
+//!   primitives — the M7 DAX-style unit of Figure 5
+
+pub mod accel;
+pub mod btree;
+pub mod bufferpool;
+pub mod cache;
+pub mod region;
+
+use std::fmt;
+
+/// Errors from the memory substrate.
+#[derive(Debug)]
+pub enum MemError {
+    /// Page index out of range.
+    BadPage(u64),
+    /// The buffer pool has no evictable frame left.
+    PoolExhausted,
+    /// Structure bytes are malformed.
+    Corrupt(String),
+    /// Codec failure (decompress-on-demand).
+    Codec(df_codec::CodecError),
+    /// Data-model failure.
+    Data(df_data::DataError),
+    /// Storage-predicate failure in a filter unit.
+    Storage(df_storage::StorageError),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::BadPage(p) => write!(f, "bad page {p}"),
+            MemError::PoolExhausted => write!(f, "buffer pool exhausted (all pinned)"),
+            MemError::Corrupt(msg) => write!(f, "corrupt structure: {msg}"),
+            MemError::Codec(e) => write!(f, "codec: {e}"),
+            MemError::Data(e) => write!(f, "data: {e}"),
+            MemError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl From<df_codec::CodecError> for MemError {
+    fn from(e: df_codec::CodecError) -> Self {
+        MemError::Codec(e)
+    }
+}
+
+impl From<df_data::DataError> for MemError {
+    fn from(e: df_data::DataError) -> Self {
+        MemError::Data(e)
+    }
+}
+
+impl From<df_storage::StorageError> for MemError {
+    fn from(e: df_storage::StorageError) -> Self {
+        MemError::Storage(e)
+    }
+}
+
+/// Result alias for memory operations.
+pub type Result<T> = std::result::Result<T, MemError>;

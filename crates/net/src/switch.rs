@@ -1,0 +1,182 @@
+//! The programmable switch: in-network aggregation and multicast.
+//!
+//! §4.4's cascade ends in the network core: partial aggregates flowing from
+//! many sources toward one destination can be merged *in the switch*, so
+//! the destination receives one combined stream instead of N. The switch
+//! holds only the bounded group table — the same stateless-ish discipline
+//! as every other in-path device.
+
+use df_codec::wire::WireOptions;
+use df_storage::smart::{merge_partial_aggregates, PreAggSpec};
+
+use crate::transport::Network;
+use crate::{NetError, Result};
+
+/// Statistics of one switch pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Frames entering the switch.
+    pub frames_in: u64,
+    /// Rows entering.
+    pub rows_in: u64,
+    /// Rows leaving after in-network merging.
+    pub rows_out: u64,
+}
+
+impl SwitchStats {
+    /// Row reduction achieved inside the network.
+    pub fn reduction_factor(&self) -> f64 {
+        if self.rows_out == 0 {
+            f64::INFINITY
+        } else {
+            self.rows_in as f64 / self.rows_out as f64
+        }
+    }
+}
+
+/// Merge partial-aggregate batches in the network: receive until `senders`
+/// EOS markers at `switch_node`, merge per `spec`, and forward a single
+/// combined stream to `destination`.
+pub fn in_network_aggregate(
+    network: &Network,
+    switch_node: usize,
+    senders: usize,
+    destination: usize,
+    spec: &PreAggSpec,
+    wire: &WireOptions,
+) -> Result<SwitchStats> {
+    let mut stats = SwitchStats::default();
+    let mut partials = Vec::new();
+    let mut eos = 0;
+    while eos < senders {
+        match network.recv_batch(switch_node)? {
+            Some((_, batch)) => {
+                stats.frames_in += 1;
+                stats.rows_in += batch.rows() as u64;
+                partials.push(batch);
+            }
+            None => eos += 1,
+        }
+    }
+    if partials.is_empty() {
+        network.send_eos(switch_node, destination)?;
+        return Ok(stats);
+    }
+    let merged = merge_partial_aggregates(&partials, spec).map_err(NetError::Storage)?;
+    stats.rows_out = merged.rows() as u64;
+    network.send_batch(switch_node, destination, &merged, wire)?;
+    network.send_eos(switch_node, destination)?;
+    Ok(stats)
+}
+
+/// Multicast every received frame to all destinations until `senders` EOS
+/// markers arrive (replication trees for broadcast joins).
+pub fn multicast(
+    network: &Network,
+    switch_node: usize,
+    senders: usize,
+    destinations: &[usize],
+    wire: &WireOptions,
+) -> Result<SwitchStats> {
+    let mut stats = SwitchStats::default();
+    let mut eos = 0;
+    while eos < senders {
+        match network.recv_batch(switch_node)? {
+            Some((_, batch)) => {
+                stats.frames_in += 1;
+                stats.rows_in += batch.rows() as u64;
+                stats.rows_out += batch.rows() as u64 * destinations.len() as u64;
+                for &dest in destinations {
+                    network.send_batch(switch_node, dest, &batch, wire)?;
+                }
+            }
+            None => eos += 1,
+        }
+    }
+    for &dest in destinations {
+        network.send_eos(switch_node, dest)?;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::gather;
+    use df_data::batch::batch_of;
+    use df_data::Batch;
+    use df_data::Column;
+    use df_storage::smart::AggFunc;
+
+    fn partial(groups: &[(&str, i64)]) -> Batch {
+        batch_of(vec![
+            (
+                "grp",
+                Column::from_strs(&groups.iter().map(|(g, _)| *g).collect::<Vec<_>>()),
+            ),
+            (
+                "sum_v",
+                Column::from_i64(groups.iter().map(|(_, s)| *s).collect()),
+            ),
+        ])
+    }
+
+    fn spec() -> PreAggSpec {
+        PreAggSpec {
+            group_by: vec!["grp".into()],
+            aggs: vec![(AggFunc::Sum, "v".into())],
+            max_groups: 1024,
+        }
+    }
+
+    #[test]
+    fn switch_merges_partials_from_two_sources() {
+        let net = Network::new(4); // 0,1 = sources, 2 = switch, 3 = dest
+        let wire = WireOptions::plain();
+        net.send_batch(0, 2, &partial(&[("a", 10), ("b", 1)]), &wire).unwrap();
+        net.send_eos(0, 2).unwrap();
+        net.send_batch(1, 2, &partial(&[("a", 5), ("c", 7)]), &wire).unwrap();
+        net.send_eos(1, 2).unwrap();
+
+        let stats = in_network_aggregate(&net, 2, 2, 3, &spec(), &wire).unwrap();
+        assert_eq!(stats.rows_in, 4);
+        assert_eq!(stats.rows_out, 3);
+
+        let got = Batch::concat(&gather(&net, 3, 1).unwrap()).unwrap();
+        assert_eq!(got.rows(), 3);
+        for row in 0..got.rows() {
+            let g = got.column(0).str_at(row);
+            let s = got.column(1).scalar_at(row).as_int().unwrap();
+            match g {
+                "a" => assert_eq!(s, 15),
+                "b" => assert_eq!(s, 1),
+                "c" => assert_eq!(s, 7),
+                other => panic!("unexpected group {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sources_forward_eos_only() {
+        let net = Network::new(3);
+        net.send_eos(0, 1).unwrap();
+        let stats =
+            in_network_aggregate(&net, 1, 1, 2, &spec(), &WireOptions::plain()).unwrap();
+        assert_eq!(stats.rows_in, 0);
+        assert!(gather(&net, 2, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multicast_replicates_to_all() {
+        let net = Network::new(5); // 0 source, 1 switch, 2-4 dests
+        let wire = WireOptions::plain();
+        net.send_batch(0, 1, &partial(&[("a", 1)]), &wire).unwrap();
+        net.send_eos(0, 1).unwrap();
+        let stats = multicast(&net, 1, 1, &[2, 3, 4], &wire).unwrap();
+        assert_eq!(stats.rows_in, 1);
+        assert_eq!(stats.rows_out, 3);
+        for node in 2..5 {
+            assert_eq!(gather(&net, node, 1).unwrap().len(), 1);
+        }
+    }
+}

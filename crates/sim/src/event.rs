@@ -1,0 +1,304 @@
+//! The event queue and simulation driver.
+//!
+//! A [`Simulation`] owns a priority queue of timestamped events. An event is
+//! a boxed closure that receives `&mut Simulation` and may schedule further
+//! events — the classic "process interaction via continuations" style, which
+//! keeps component code (queues, links, DMA engines) free of trait
+//! boilerplate.
+//!
+//! Determinism: ties on time are broken by a monotonically increasing
+//! sequence number, so two runs of the same model produce identical event
+//! orders.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::metrics::Metrics;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type Action = Box<dyn FnOnce(&mut Simulation)>;
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    action: Option<Action>,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// ```
+/// use df_sim::{Simulation, SimDuration};
+///
+/// let mut sim = Simulation::new();
+/// sim.schedule(SimDuration::from_micros(5), |sim| {
+///     sim.metrics_mut().counter("ticks").add(1);
+/// });
+/// sim.run();
+/// assert_eq!(sim.now().nanos(), 5_000);
+/// assert_eq!(sim.metrics().counter_value("ticks"), 1);
+/// ```
+pub struct Simulation {
+    now: SimTime,
+    queue: BinaryHeap<Event>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    metrics: Metrics,
+    executed: u64,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// An empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            metrics: Metrics::new(),
+            executed: 0,
+        }
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Shared metrics registry for model components.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Schedule `action` to run `delay` after the current instant.
+    pub fn schedule<F>(&mut self, delay: SimDuration, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Schedule `action` at an absolute instant. Instants in the past are
+    /// clamped to "now" (the event still runs, immediately).
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.queue.push(Event {
+            time: at,
+            seq,
+            id,
+            action: Some(Box::new(action)),
+        });
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-executed
+    /// or unknown event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Run a single event if one is pending; returns `false` when the queue
+    /// is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(mut ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "time must be monotonic");
+            self.now = ev.time;
+            self.executed += 1;
+            let action = ev.action.take().expect("event action present");
+            action(self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until the event queue drains. Returns the final instant.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until the queue drains or the clock passes `deadline`, whichever
+    /// comes first. Events scheduled after the deadline remain queued.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(self.now).min(deadline.max(self.now));
+        self.now
+    }
+
+    /// Run with a safety cap on executed events; returns `true` if the queue
+    /// drained before the cap. Useful to detect accidental event storms in
+    /// tests.
+    pub fn run_capped(&mut self, max_events: u64) -> bool {
+        let start = self.executed;
+        while self.executed - start < max_events {
+            if !self.step() {
+                return true;
+            }
+        }
+        self.queue.is_empty()
+    }
+
+    /// Number of events still pending (including cancelled-but-unpopped).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for (label, t) in [("c", 30u64), ("a", 10), ("b", 20)] {
+            let order = order.clone();
+            sim.schedule(SimDuration::from_nanos(t), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(sim.now(), SimTime(30));
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for label in ["first", "second", "third"] {
+            let order = order.clone();
+            sim.schedule(SimDuration::from_nanos(7), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut sim = Simulation::new();
+        fn chain(sim: &mut Simulation, hits: Rc<RefCell<u32>>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            sim.schedule(SimDuration::from_nanos(1), move |sim| {
+                *hits.borrow_mut() += 1;
+                chain(sim, hits.clone(), left - 1);
+            });
+        }
+        chain(&mut sim, hits.clone(), 5);
+        sim.run();
+        assert_eq!(*hits.borrow(), 5);
+        assert_eq!(sim.now(), SimTime(5));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut sim = Simulation::new();
+        let h = hits.clone();
+        let id = sim.schedule(SimDuration::from_nanos(5), move |_| {
+            *h.borrow_mut() += 1;
+        });
+        sim.cancel(id);
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimDuration::from_nanos(10), |_| {});
+        sim.schedule(SimDuration::from_nanos(100), |_| {});
+        sim.run_until(SimTime(50));
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.events_executed(), 1);
+    }
+
+    #[test]
+    fn run_capped_detects_storms() {
+        let mut sim = Simulation::new();
+        // An infinite self-rescheduling loop.
+        fn forever(sim: &mut Simulation) {
+            sim.schedule(SimDuration::from_nanos(1), forever);
+        }
+        forever(&mut sim);
+        assert!(!sim.run_capped(1000));
+    }
+
+    #[test]
+    fn past_schedule_clamps_to_now() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimDuration::from_nanos(10), |sim| {
+            // Absolute time 3 is in the past once we're at t=10.
+            sim.schedule_at(SimTime(3), |sim| {
+                assert_eq!(sim.now(), SimTime(10));
+            });
+        });
+        sim.run();
+        assert_eq!(sim.events_executed(), 2);
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # df-sim — discrete-event simulation kernel
+//!
+//! The timing substrate for the fabric model. Everything that "takes time" in
+//! the reproduced system (link transfers, device service, credit returns) is
+//! expressed as events on a [`Simulation`]'s queue. The kernel is
+//! deterministic: same inputs, same event order, same results.
+//!
+//! Modules:
+//! - [`time`] — nanosecond simulated time and rate/duration arithmetic
+//! - [`event`] — the event queue and simulation driver
+//! - [`metrics`] — counters, gauges and fixed-bound histograms
+//! - [`rng`] — a small deterministic SplitMix64/xoshiro RNG
+
+pub mod event;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use event::{EventId, Simulation};
+pub use metrics::{Counter, Histogram, Metrics};
+pub use rng::SimRng;
+pub use time::{Bandwidth, SimDuration, SimTime};

@@ -1,0 +1,299 @@
+//! Lightweight metrics for simulation models: named counters, gauges, and
+//! fixed-boundary histograms.
+//!
+//! The fabric components record bytes-per-link, queue occupancies, message
+//! counts, and latency distributions here; the experiment harness reads them
+//! out to build the paper-figure tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Increment by `delta`.
+    #[inline]
+    pub fn add(&mut self, delta: u64) {
+        self.value = self.value.saturating_add(delta);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A histogram with caller-supplied bucket upper bounds plus an implicit
+/// overflow bucket. Also tracks count/sum/min/max for summary statistics.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket upper bounds.
+    pub fn with_bounds(bounds: Vec<u64>) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            buckets: vec![0; n],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// A general-purpose exponential layout: 1, 2, 4, ... up to 2^`levels`.
+    pub fn exponential(levels: u32) -> Self {
+        Self::with_bounds((0..levels).map(|i| 1u64 << i).collect())
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile (0.0..=1.0) from bucket boundaries: returns the
+    /// upper bound of the bucket containing the q-th observation. Exact for
+    /// the overflow bucket it returns the recorded max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Names are `&'static str`-like strings; the registry is a `BTreeMap` so
+/// report output is deterministically ordered.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_string()).or_default()
+    }
+
+    /// Read a counter; 0 if absent.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// Set the gauge `name`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Read a gauge; 0.0 if absent.
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Get or create the histogram `name` with an exponential layout.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::exponential(40))
+    }
+
+    /// Read-only access to a histogram, if present.
+    pub fn histogram_ref(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Iterate gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Reset everything (between experiment repetitions).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in self.counters() {
+            writeln!(f, "{name}: {v}")?;
+        }
+        for (name, v) in self.gauges() {
+            writeln!(f, "{name}: {v:.3}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "{name}: n={} mean={:.1} min={} p50={} p99={} max={}",
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.counter("bytes").add(10);
+        m.counter("bytes").add(5);
+        assert_eq!(m.counter_value("bytes"), 15);
+        assert_eq!(m.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = Metrics::new();
+        m.set_gauge("util", 0.5);
+        m.set_gauge("util", 0.9);
+        assert!((m.gauge_value("util") - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_summary_stats() {
+        let mut h = Histogram::exponential(10);
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_data() {
+        let mut h = Histogram::exponential(20);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Bucketed quantiles are upper bounds of the containing bucket.
+        assert!((512..=1024).contains(&p50), "p50={p50}");
+        assert!(p99 >= p50);
+        assert!(h.quantile(1.0) >= p99);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::with_bounds(vec![10, 100]);
+        h.record(5000);
+        assert_eq!(h.max(), 5000);
+        assert_eq!(h.quantile(1.0), 5000);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::exponential(4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let mut m = Metrics::new();
+        m.counter("zeta").inc();
+        m.counter("alpha").inc();
+        let s = m.to_string();
+        assert!(s.find("alpha").unwrap() < s.find("zeta").unwrap());
+    }
+}

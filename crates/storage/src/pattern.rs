@@ -1,0 +1,202 @@
+//! SQL `LIKE` pattern matching, usable as a streaming storage-side kernel.
+//!
+//! §3.3 cites Amazon AQUA pushing down the LIKE predicate because pattern
+//! matching "has been proven to be more efficient on accelerators than on a
+//! CPU". This module implements the matcher both sides use, so offloaded and
+//! host execution agree bit-for-bit.
+//!
+//! Supported metacharacters: `%` (any run, including empty), `_` (exactly
+//! one character), and `\` as the escape character.
+
+/// A compiled LIKE pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LikePattern {
+    tokens: Vec<Token>,
+    /// The source pattern, for display.
+    source: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    /// A literal character.
+    Char(char),
+    /// `_`: exactly one character.
+    AnyOne,
+    /// `%`: zero or more characters.
+    AnyRun,
+}
+
+impl LikePattern {
+    /// Compile a pattern. Trailing bare escapes are treated as a literal
+    /// backslash (matching permissive engine behaviour).
+    pub fn compile(pattern: &str) -> LikePattern {
+        let mut tokens = Vec::with_capacity(pattern.len());
+        let mut chars = pattern.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '%' => {
+                    // Collapse runs of % (equivalent and cheaper to match).
+                    if tokens.last() != Some(&Token::AnyRun) {
+                        tokens.push(Token::AnyRun);
+                    }
+                }
+                '_' => tokens.push(Token::AnyOne),
+                '\\' => tokens.push(Token::Char(chars.next().unwrap_or('\\'))),
+                other => tokens.push(Token::Char(other)),
+            }
+        }
+        LikePattern {
+            tokens,
+            source: pattern.to_string(),
+        }
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Whether `input` matches the pattern (anchored at both ends, as SQL
+    /// LIKE requires).
+    pub fn matches(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        // Iterative two-pointer algorithm with backtracking over the last
+        // `%`: O(n*m) worst case, O(n) typical, no recursion.
+        let (mut ti, mut ci) = (0usize, 0usize);
+        let mut star: Option<(usize, usize)> = None; // (token after %, char idx)
+        while ci < chars.len() {
+            match self.tokens.get(ti) {
+                Some(Token::Char(p)) if *p == chars[ci] => {
+                    ti += 1;
+                    ci += 1;
+                }
+                Some(Token::AnyOne) => {
+                    ti += 1;
+                    ci += 1;
+                }
+                Some(Token::AnyRun) => {
+                    star = Some((ti + 1, ci));
+                    ti += 1;
+                }
+                _ => match star {
+                    Some((st, sc)) => {
+                        // Let the last % absorb one more character.
+                        ti = st;
+                        ci = sc + 1;
+                        star = Some((st, sc + 1));
+                    }
+                    None => return false,
+                },
+            }
+        }
+        // Remaining tokens must all be %.
+        self.tokens[ti..].iter().all(|t| *t == Token::AnyRun)
+    }
+
+    /// Whether this pattern is a pure prefix match (`abc%`), which storage
+    /// can additionally prune with string zone maps.
+    pub fn literal_prefix(&self) -> Option<String> {
+        let mut prefix = String::new();
+        for (i, t) in self.tokens.iter().enumerate() {
+            match t {
+                Token::Char(c) => prefix.push(*c),
+                Token::AnyRun if i + 1 == self.tokens.len() => {
+                    return Some(prefix);
+                }
+                _ => return None,
+            }
+        }
+        None
+    }
+}
+
+/// Convenience: compile-and-match in one call (host-side expression path).
+pub fn like(input: &str, pattern: &str) -> bool {
+    LikePattern::compile(pattern).matches(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_without_metachars() {
+        assert!(like("hello", "hello"));
+        assert!(!like("hello", "hell"));
+        assert!(!like("hell", "hello"));
+        assert!(like("", ""));
+    }
+
+    #[test]
+    fn percent_matches_runs() {
+        assert!(like("hello world", "hello%"));
+        assert!(like("hello world", "%world"));
+        assert!(like("hello world", "%o w%"));
+        assert!(like("hello world", "%"));
+        assert!(like("", "%"));
+        assert!(!like("hello", "%z%"));
+    }
+
+    #[test]
+    fn underscore_matches_one() {
+        assert!(like("cat", "c_t"));
+        assert!(!like("caat", "c_t"));
+        assert!(like("cat", "___"));
+        assert!(!like("cat", "____"));
+        assert!(!like("", "_"));
+    }
+
+    #[test]
+    fn mixed_patterns() {
+        assert!(like("databases", "d%b_s%"));
+        assert!(like("green shipment", "%green%"));
+        assert!(!like("greem shipment", "%green%"));
+        assert!(like("abc", "%%%abc%%%"));
+    }
+
+    #[test]
+    fn backtracking_pathological_case() {
+        // aaaa...b against %a%a%a%b must terminate and answer correctly.
+        let input = "a".repeat(200) + "b";
+        assert!(like(&input, "%a%a%a%b"));
+        assert!(!like(&input, "%a%a%a%c"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(like("100%", "100\\%"));
+        assert!(!like("1000", "100\\%"));
+        assert!(like("a_b", "a\\_b"));
+        assert!(!like("axb", "a\\_b"));
+        assert!(like("back\\slash", "back\\\\slash"));
+    }
+
+    #[test]
+    fn unicode_counts_characters() {
+        assert!(like("héllo", "h_llo"));
+        assert!(like("日本語", "日__"));
+        assert!(!like("日本語", "日_"));
+    }
+
+    #[test]
+    fn literal_prefix_detection() {
+        assert_eq!(
+            LikePattern::compile("abc%").literal_prefix(),
+            Some("abc".to_string())
+        );
+        assert_eq!(LikePattern::compile("abc").literal_prefix(), None);
+        assert_eq!(LikePattern::compile("%abc").literal_prefix(), None);
+        assert_eq!(LikePattern::compile("a_c%").literal_prefix(), None);
+        assert_eq!(
+            LikePattern::compile("\\%x%").literal_prefix(),
+            Some("%x".to_string())
+        );
+    }
+
+    #[test]
+    fn percent_runs_collapse() {
+        let a = LikePattern::compile("a%%%%b");
+        let b = LikePattern::compile("a%b");
+        assert_eq!(a.tokens, b.tokens);
+    }
+}

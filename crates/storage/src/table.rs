@@ -1,0 +1,232 @@
+//! Multi-segment tables over an object store.
+//!
+//! A table is a prefix in the object store: a `_meta` object holding the
+//! schema plus numbered segment objects. This mirrors how cloud warehouses
+//! lay tables out over object storage (§3.2) — no file system, no blocks,
+//! just immutable objects.
+
+use df_codec::wire;
+use df_data::{Batch, SchemaRef};
+
+use crate::object::ObjectStoreRef;
+use crate::segment::{SegmentReader, SegmentWriter, DEFAULT_PAGE_ROWS};
+use crate::zonemap::ZoneMap;
+use crate::{Result, StorageError};
+
+/// Default rows per segment object.
+pub const DEFAULT_SEGMENT_ROWS: usize = 1 << 20;
+
+/// A handle for reading and writing tables in an object store.
+#[derive(Clone)]
+pub struct TableStore {
+    store: ObjectStoreRef,
+}
+
+impl TableStore {
+    /// Wrap an object store.
+    pub fn new(store: ObjectStoreRef) -> Self {
+        TableStore { store }
+    }
+
+    /// The underlying object store (for byte accounting).
+    pub fn object_store(&self) -> &ObjectStoreRef {
+        &self.store
+    }
+
+    fn meta_key(table: &str) -> String {
+        format!("{table}/_meta")
+    }
+
+    fn segment_key(table: &str, index: u64) -> String {
+        format!("{table}/seg{index:08}")
+    }
+
+    /// Create (or replace) a table with the given schema.
+    pub fn create(&self, table: &str, schema: &SchemaRef) -> Result<()> {
+        for key in self.store.list(&format!("{table}/")) {
+            self.store.delete(&key);
+        }
+        let mut meta = Vec::new();
+        wire::encode_schema(&mut meta, schema);
+        self.store.put(&Self::meta_key(table), meta)
+    }
+
+    /// The table's schema.
+    pub fn schema(&self, table: &str) -> Result<SchemaRef> {
+        let meta = self.store.get(&Self::meta_key(table))?;
+        let mut pos = 0usize;
+        let schema = wire::decode_schema(&meta, &mut pos)?;
+        Ok(schema.into_ref())
+    }
+
+    /// Keys of the table's segments, in order.
+    pub fn segments(&self, table: &str) -> Vec<String> {
+        self.store
+            .list(&format!("{table}/seg"))
+            .into_iter()
+            .collect()
+    }
+
+    /// Append batches as new segments of at most `segment_rows` rows each.
+    pub fn append(
+        &self,
+        table: &str,
+        batches: &[Batch],
+        segment_rows: usize,
+        page_rows: usize,
+    ) -> Result<()> {
+        let schema = self.schema(table)?;
+        let next_index = self.segments(table).len() as u64;
+        let mut writer = SegmentWriter::new(schema.clone(), page_rows);
+        let mut seg_index = next_index;
+        let mut rows_in_segment = 0usize;
+        for batch in batches {
+            let mut offset = 0usize;
+            while offset < batch.rows() {
+                let take = (segment_rows - rows_in_segment).min(batch.rows() - offset);
+                writer.push(&batch.slice(offset, take))?;
+                rows_in_segment += take;
+                offset += take;
+                if rows_in_segment >= segment_rows {
+                    let finished =
+                        std::mem::replace(&mut writer, SegmentWriter::new(schema.clone(), page_rows));
+                    self.store
+                        .put(&Self::segment_key(table, seg_index), finished.finish()?)?;
+                    seg_index += 1;
+                    rows_in_segment = 0;
+                }
+            }
+        }
+        if rows_in_segment > 0 {
+            self.store
+                .put(&Self::segment_key(table, seg_index), writer.finish()?)?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: create and load a table in one call with defaults.
+    pub fn create_and_load(&self, table: &str, batches: &[Batch]) -> Result<()> {
+        let schema = batches
+            .first()
+            .map(|b| b.schema().clone())
+            .ok_or_else(|| StorageError::Corrupt("no batches to load".into()))?;
+        self.create(table, &schema)?;
+        self.append(table, batches, DEFAULT_SEGMENT_ROWS, DEFAULT_PAGE_ROWS)
+    }
+
+    /// Open readers for every segment of the table.
+    pub fn open_segments(&self, table: &str) -> Result<Vec<SegmentReader>> {
+        self.segments(table)
+            .iter()
+            .map(|key| SegmentReader::open(self.store.clone(), key))
+            .collect()
+    }
+
+    /// Table-level statistics aggregated from segment footers.
+    pub fn stats(&self, table: &str) -> Result<TableStats> {
+        let schema = self.schema(table)?;
+        let readers = self.open_segments(table)?;
+        let rows = readers.iter().map(SegmentReader::rows).sum();
+        let mut column_zones: Vec<Option<ZoneMap>> = vec![None; schema.len()];
+        let mut bytes = 0u64;
+        for reader in &readers {
+            for p in 0..reader.n_pages() {
+                for (c, block) in reader.page(p).blocks.iter().enumerate() {
+                    bytes += block.len;
+                    column_zones[c] = Some(match &column_zones[c] {
+                        Some(z) => z.merge(&block.zone),
+                        None => block.zone.clone(),
+                    });
+                }
+            }
+        }
+        Ok(TableStats {
+            rows,
+            stored_bytes: bytes,
+            column_zones,
+        })
+    }
+}
+
+/// Aggregated table statistics (the optimizer's cardinality inputs).
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Total rows.
+    pub rows: u64,
+    /// Bytes of encoded column blocks on storage.
+    pub stored_bytes: u64,
+    /// Whole-table zone map per column (None if the table is empty).
+    pub column_zones: Vec<Option<ZoneMap>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::MemObjectStore;
+    use df_data::batch::batch_of;
+    use df_data::{Column, Scalar};
+
+    fn sample(n: usize) -> Batch {
+        batch_of(vec![
+            ("id", Column::from_i64((0..n as i64).collect())),
+            (
+                "grp",
+                Column::from_strs(&(0..n).map(|i| format!("g{}", i % 3)).collect::<Vec<_>>()),
+            ),
+        ])
+    }
+
+    #[test]
+    fn create_load_read() {
+        let ts = TableStore::new(MemObjectStore::shared());
+        let batch = sample(500);
+        ts.create_and_load("events", std::slice::from_ref(&batch)).unwrap();
+        let readers = ts.open_segments("events").unwrap();
+        assert_eq!(readers.len(), 1);
+        let got = readers[0].read_full_page(0).unwrap();
+        assert_eq!(got.schema().field(0).name, "id");
+        assert_eq!(ts.stats("events").unwrap().rows, 500);
+    }
+
+    #[test]
+    fn append_splits_segments() {
+        let ts = TableStore::new(MemObjectStore::shared());
+        let batch = sample(1000);
+        ts.create("t", batch.schema()).unwrap();
+        ts.append("t", &[batch], 300, 100).unwrap();
+        // 1000 rows / 300 per segment = 4 segments.
+        assert_eq!(ts.segments("t").len(), 4);
+        let stats = ts.stats("t").unwrap();
+        assert_eq!(stats.rows, 1000);
+        let id_zone = stats.column_zones[0].as_ref().unwrap();
+        assert_eq!(id_zone.min, Some(Scalar::Int(0)));
+        assert_eq!(id_zone.max, Some(Scalar::Int(999)));
+    }
+
+    #[test]
+    fn appending_twice_extends() {
+        let ts = TableStore::new(MemObjectStore::shared());
+        let batch = sample(100);
+        ts.create("t", batch.schema()).unwrap();
+        ts.append("t", std::slice::from_ref(&batch), 1000, 50).unwrap();
+        ts.append("t", &[batch], 1000, 50).unwrap();
+        assert_eq!(ts.segments("t").len(), 2);
+        assert_eq!(ts.stats("t").unwrap().rows, 200);
+    }
+
+    #[test]
+    fn create_replaces_existing_data() {
+        let ts = TableStore::new(MemObjectStore::shared());
+        let batch = sample(100);
+        ts.create_and_load("t", std::slice::from_ref(&batch)).unwrap();
+        ts.create("t", batch.schema()).unwrap();
+        assert_eq!(ts.segments("t").len(), 0);
+        assert_eq!(ts.stats("t").unwrap().rows, 0);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let ts = TableStore::new(MemObjectStore::shared());
+        assert!(ts.schema("ghost").is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 4's scattering pipeline: a distributed, partitioned hash join
+//! whose exchange runs on the smart NICs — "without involvement of the
+//! CPU" — versus the conventional host-CPU exchange.
+//!
+//! ```text
+//! cargo run --release --example distributed_join
+//! ```
+
+use std::time::Instant;
+
+use rheo::bench::workload;
+use rheo::core::distributed::{distributed_hash_join, DistributedConfig};
+use rheo::core::logical::LogicalPlan;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let orders = workload::orders(25_000, 11);
+    let lineitem = workload::lineitem(100_000, 11);
+    let join_schema = LogicalPlan::values(vec![orders.clone()])?
+        .join(
+            LogicalPlan::values(vec![lineitem.clone()])?,
+            vec![("o_orderkey", "l_orderkey")],
+        )?
+        .schema();
+
+    println!(
+        "joining orders ({} rows) with lineitem ({} rows) across worker nodes\n",
+        orders.rows(),
+        lineitem.rows()
+    );
+
+    let mut reference = None;
+    for nodes in [2usize, 4, 8] {
+        for smart in [true, false] {
+            let config = DistributedConfig {
+                nodes,
+                smart_exchange: smart,
+                ..DistributedConfig::default()
+            };
+            let t = Instant::now();
+            let (result, report) = distributed_hash_join(
+                &orders,
+                &lineitem,
+                ("o_orderkey", "l_orderkey"),
+                join_schema.clone(),
+                &config,
+            )?;
+            let wall = t.elapsed();
+            let rows = result.canonical_rows();
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(r, &rows, "join result diverged"),
+            }
+            println!(
+                "{nodes} nodes | exchange on {:9} | {} result rows | host \
+                 touched {:>12} bytes | NICs processed {:>12} bytes | {:?}",
+                if smart { "smart NIC" } else { "host CPU" },
+                report.result_rows,
+                report.host_bytes,
+                report.nic_bytes,
+                wall,
+            );
+        }
+    }
+
+    println!(
+        "\nthe smart exchange keeps host-touched bytes at zero at every \
+         node count — the Figure 4 claim — while producing bit-identical \
+         join results"
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: load a table, run SQL, and see where the plan executed.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rheo::core::session::Session;
+use rheo::data::batch::batch_of;
+use rheo::data::Column;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A session over the paper's disaggregated platform: smart storage,
+    // smart NICs, a near-memory accelerator, and a CPU — all simulated,
+    // all doing real work.
+    let session = Session::in_memory()?;
+
+    // Load a small orders table.
+    let orders = batch_of(vec![
+        ("id", Column::from_i64((0..1000).collect())),
+        (
+            "region",
+            Column::from_strs(
+                &(0..1000)
+                    .map(|i| ["eu", "us", "ap"][i % 3].to_string())
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "amount",
+            Column::from_f64((0..1000).map(|i| (i % 97) as f64).collect()),
+        ),
+    ]);
+    session.create_table("orders", &[orders])?;
+
+    // Ask a question.
+    let query = "SELECT region, COUNT(*) AS n, AVG(amount) AS avg_amount \
+                 FROM orders WHERE amount > 50.0 GROUP BY region \
+                 ORDER BY region";
+    let result = session.sql(query)?;
+
+    println!("results:\n{}", result.batch);
+    println!("plan variant chosen: {}", result.variant);
+    println!(
+        "data moved across devices: {} bytes",
+        result.ledger.cross_device_bytes()
+    );
+    if let Some(scan) = result.scan_stats.first() {
+        println!(
+            "storage billing: scanned {} bytes, returned {} bytes ({}x reduction)",
+            scan.bytes_scanned,
+            scan.bytes_returned,
+            scan.reduction_factor() as u64
+        );
+    }
+
+    // EXPLAIN shows every data-path alternative the optimizer considered.
+    println!("\n{}", session.explain(query)?);
+    Ok(())
+}

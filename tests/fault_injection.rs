@@ -1,0 +1,139 @@
+//! Failure injection across the stack: corruption must surface as typed
+//! errors, never as panics or silent wrong answers.
+
+use rheo::bench::workload;
+use rheo::core::session::Session;
+use rheo::data::batch::batch_of;
+use rheo::data::Column;
+use rheo::fabric::flow::{FlowSim, PipelineSpec, StageSpec};
+use rheo::fabric::topology::Topology;
+use rheo::fabric::OpClass;
+use rheo::storage::object::{MemObjectStore, ObjectStoreRef};
+use rheo::storage::smart::{ScanRequest, SmartStorage};
+use rheo::storage::table::TableStore;
+use std::sync::Arc;
+
+fn loaded_store() -> (ObjectStoreRef, TableStore) {
+    let store: ObjectStoreRef = Arc::new(MemObjectStore::new());
+    let tables = TableStore::new(store.clone());
+    tables
+        .create_and_load("t", &[workload::lineitem(5_000, 1)])
+        .unwrap();
+    (store, tables)
+}
+
+#[test]
+fn corrupted_segment_block_is_detected_not_served() {
+    let (store, tables) = loaded_store();
+    let key = tables.segments("t")[0].clone();
+    let mut bytes = store.get(&key).unwrap();
+    // Flip a bit inside the first block (the body precedes the footer).
+    bytes[100] ^= 0x40;
+    store.put(&key, bytes).unwrap();
+    let server = SmartStorage::new(tables);
+    let result = server.scan("t", &ScanRequest::full());
+    assert!(result.is_err(), "corrupted block served as data");
+    let msg = format!("{}", result.unwrap_err());
+    assert!(
+        msg.contains("checksum"),
+        "error should identify the checksum failure: {msg}"
+    );
+}
+
+#[test]
+fn corrupted_footer_fails_at_open() {
+    let (store, tables) = loaded_store();
+    let key = tables.segments("t")[0].clone();
+    let mut bytes = store.get(&key).unwrap();
+    let n = bytes.len();
+    bytes[n - 6] ^= 0xff; // inside footer length / magic region
+    store.put(&key, bytes).unwrap();
+    let server = SmartStorage::new(tables);
+    assert!(server.scan("t", &ScanRequest::full()).is_err());
+}
+
+#[test]
+fn deleted_meta_is_an_unknown_table() {
+    let (store, tables) = loaded_store();
+    store.delete("t/_meta");
+    let server = SmartStorage::new(tables);
+    assert!(server.scan("t", &ScanRequest::full()).is_err());
+}
+
+#[test]
+fn session_survives_a_bad_query_stream() {
+    // Parse and plan errors must leave the session usable.
+    let session = Session::in_memory().unwrap();
+    session
+        .create_table(
+            "t",
+            &[batch_of(vec![("x", Column::from_i64(vec![1, 2, 3]))])],
+        )
+        .unwrap();
+    for bad in [
+        "SELECT",
+        "SELECT * FROM ghost",
+        "SELECT y FROM t",
+        "SELECT x FROM t WHERE x LIKE 1",
+        "SELECT SUM(x) FROM t GROUP BY",
+    ] {
+        assert!(session.sql(bad).is_err(), "accepted: {bad}");
+    }
+    // Still healthy.
+    let ok = session.sql("SELECT COUNT(*) AS n FROM t").unwrap();
+    assert_eq!(ok.batch.row(0)[0], rheo::data::Scalar::Int(3));
+}
+
+#[test]
+fn zero_byte_pipeline_terminates() {
+    let topo = Topology::disaggregated(&Default::default());
+    let ssd = topo.expect_device("storage.ssd");
+    let cpu = topo.expect_device("compute0.cpu");
+    let spec = PipelineSpec::new(
+        "empty",
+        vec![
+            StageSpec::new(ssd, OpClass::Scan, 1.0),
+            StageSpec::new(cpu, OpClass::Count, 0.0),
+        ],
+        0,
+    );
+    let mut sim = FlowSim::new(topo);
+    sim.add_pipeline(spec);
+    let report = sim.run();
+    assert_eq!(report.pipelines[0].bytes_delivered, 0);
+    // The simulation drained (no stuck events).
+    assert_eq!(report.makespan.nanos(), 0);
+}
+
+#[test]
+fn cxl_rack_has_coherent_paths_but_no_storage() {
+    use rheo::core::optimizer::SiteMap;
+    let rack = Topology::cxl_rack(2, 2, 6);
+    // Every socket reaches every pool coherently.
+    for s in 0..2 {
+        let cpu = rack.expect_device(&format!("socket{s}.cpu"));
+        for p in 0..2 {
+            let pool = rack.expect_device(&format!("pool{p}.mem"));
+            let route = rack.route(cpu, pool).expect("connected");
+            assert!(route.links.iter().all(|&l| rack.link(l).tech.coherent()));
+        }
+    }
+    // A rack without storage cannot host the session's scan plans; the
+    // optimizer reports that as a typed placement error, not a panic.
+    let err = SiteMap::discover(&rack).unwrap_err();
+    assert!(format!("{err}").contains("no storage device"), "{err}");
+}
+
+#[test]
+fn wire_tamper_detected_between_nodes() {
+    use rheo::codec::wire::{encode_batch, WireOptions};
+    use rheo::net::transport::{FrameKind, Network};
+
+    let batch = batch_of(vec![("x", Column::from_i64((0..100).collect()))]);
+    let net = Network::new(2);
+    let mut frame = encode_batch(&batch, &WireOptions::compressed());
+    let mid = frame.len() / 2;
+    frame[mid] ^= 0x08;
+    net.send(0, 1, FrameKind::Data, frame).unwrap();
+    assert!(net.recv_batch(1).is_err(), "tampered frame decoded");
+}

@@ -1,0 +1,332 @@
+//! Property-based tests over the core invariants (proptest).
+//!
+//! Each property pins one of the contracts the experiments rely on:
+//! codecs round-trip arbitrary data, device kernels agree with host
+//! evaluation, partitioning is a permutation, zone-map pruning is sound,
+//! coherence never serves stale reads, and the flow simulator conserves
+//! bytes under backpressure.
+
+use proptest::prelude::*;
+
+use rheo::codec::wire::{decode_batch, encode_batch, WireOptions};
+use rheo::codec::{crypto, int, lz};
+use rheo::core::kernel::Program;
+use rheo::data::batch::batch_of;
+use rheo::data::sort::{is_sorted, sort_batch, SortKey};
+use rheo::data::{Batch, Column, RowPage, Scalar};
+use rheo::fabric::coherence::{CoherenceConfig, CoherenceSim, Mode};
+use rheo::fabric::flow::{FlowSim, PipelineSpec, StageSpec};
+use rheo::fabric::topology::{DisaggregatedConfig, Topology};
+use rheo::fabric::OpClass;
+use rheo::mem::btree;
+use rheo::mem::region::{MemRegion, Placement};
+use rheo::net::nic::{NicKernel, NicPipeline};
+use rheo::storage::pattern::LikePattern;
+use rheo::storage::zonemap::{CmpOp, ZoneMap};
+
+// ------------------------------------------------------------- generators
+
+fn arb_opt_i64() -> impl Strategy<Value = Option<i64>> {
+    prop_oneof![
+        3 => any::<i64>().prop_map(Some),
+        1 => Just(None),
+    ]
+}
+
+fn arb_small_string() -> impl Strategy<Value = String> {
+    "[a-z%_0-9]{0,12}"
+}
+
+fn arb_batch(max_rows: usize) -> impl Strategy<Value = Batch> {
+    (1..=max_rows).prop_flat_map(|rows| {
+        (
+            prop::collection::vec(arb_opt_i64(), rows),
+            prop::collection::vec(any::<f64>(), rows),
+            prop::collection::vec(arb_small_string(), rows),
+            prop::collection::vec(any::<bool>(), rows),
+        )
+            .prop_map(|(ints, floats, strings, bools)| {
+                batch_of(vec![
+                    ("i", Column::from_opt_i64(&ints)),
+                    ("f", Column::from_f64(floats)),
+                    ("s", Column::from_strs(&strings)),
+                    ("b", Column::from_bools(&bools)),
+                ])
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // -------------------------------------------------------------- codecs
+
+    #[test]
+    fn wire_roundtrip_any_batch(batch in arb_batch(200), compress in any::<bool>(), encrypt in any::<bool>()) {
+        let key = crypto::Key::from_seed(7);
+        let opts = WireOptions {
+            compress,
+            encrypt: encrypt.then_some((key, 3)),
+        };
+        let frame = encode_batch(&batch, &opts);
+        let back = decode_batch(&frame, encrypt.then_some(&key)).unwrap();
+        prop_assert_eq!(batch.canonical_rows(), back.canonical_rows());
+    }
+
+    #[test]
+    fn int_codecs_roundtrip(values in prop::collection::vec(any::<i64>(), 0..500)) {
+        prop_assert_eq!(&int::rle_decode(&int::rle_encode(&values)).unwrap(), &values);
+        prop_assert_eq!(&int::delta_decode(&int::delta_encode(&values)).unwrap(), &values);
+        let (tag, bytes) = int::encode_best(&values);
+        prop_assert_eq!(&int::decode_tagged(tag, &bytes).unwrap(), &values);
+    }
+
+    #[test]
+    fn lz_roundtrip_any_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(lz::decompress(&lz::compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lz_decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = lz::decompress(&data); // must not panic
+    }
+
+    #[test]
+    fn rowpage_roundtrip(batch in arb_batch(100)) {
+        let page = RowPage::from_batch(&batch).unwrap();
+        let back = page.to_batch().unwrap();
+        prop_assert_eq!(batch.canonical_rows(), back.canonical_rows());
+    }
+
+    // ------------------------------------------------------ device kernels
+
+    #[test]
+    fn kernel_vm_matches_host_eval(
+        batch in arb_batch(100),
+        bound in any::<i64>(),
+        pattern in "[a-z%_]{0,6}",
+        negate in any::<bool>(),
+    ) {
+        use rheo::core::expr::{col, lit};
+        let mut expr = col("i")
+            .gt(lit(bound))
+            .or(col("s").like(pattern))
+            .and(col("b").eq(lit(true)))
+            .or(col("i").is_null());
+        if negate {
+            expr = expr.not();
+        }
+        let host = expr.eval_predicate(&batch).unwrap();
+        let device = Program::compile_predicate(&expr).unwrap().run(&batch).unwrap();
+        prop_assert_eq!(host, device);
+    }
+
+    #[test]
+    fn pushdown_matches_host_eval(batch in arb_batch(100), lo in -100i64..100, span in 0i64..50) {
+        use rheo::core::expr::col;
+        let expr = col("i").between(lo, lo + span);
+        let host = expr.eval_predicate(&batch).unwrap();
+        let pushed = rheo::core::kernel::to_storage_predicate(&expr).unwrap();
+        let storage = pushed.evaluate(&batch).unwrap();
+        prop_assert_eq!(host, storage);
+    }
+
+    // --------------------------------------------------------- partitioner
+
+    #[test]
+    fn partitioning_is_a_permutation(
+        keys in prop::collection::vec(any::<i64>(), 1..300),
+        fanout in 1usize..8,
+    ) {
+        let batch = batch_of(vec![("k", Column::from_i64(keys.clone()))]);
+        let mut nic = NicPipeline::new(vec![NicKernel::Partition {
+            columns: vec!["k".into()],
+            fanout,
+        }]).unwrap();
+        let outs = nic.push(batch).unwrap();
+        // Union of partitions is the input multiset.
+        let mut got: Vec<i64> = outs
+            .iter()
+            .flat_map(|(_, b)| b.column(0).i64_values().unwrap().to_vec())
+            .collect();
+        let mut want = keys.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Determinism: same key -> same partition across separate runs.
+        let mut nic2 = NicPipeline::new(vec![NicKernel::Partition {
+            columns: vec!["k".into()],
+            fanout,
+        }]).unwrap();
+        let batch2 = batch_of(vec![("k", Column::from_i64(keys))]);
+        let outs2 = nic2.push(batch2).unwrap();
+        let assignment = |outs: &[(usize, Batch)]| {
+            let mut map = std::collections::HashMap::new();
+            for (p, b) in outs {
+                for &k in b.column(0).i64_values().unwrap() {
+                    let prev = map.insert(k, *p);
+                    if let Some(prev) = prev {
+                        assert_eq!(prev, *p, "key {k} split across partitions");
+                    }
+                }
+            }
+            map
+        };
+        prop_assert_eq!(assignment(&outs), assignment(&outs2));
+    }
+
+    // ----------------------------------------------------------- zone maps
+
+    #[test]
+    fn zonemap_pruning_is_sound(
+        values in prop::collection::vec(arb_opt_i64(), 1..200),
+        literal in any::<i64>(),
+        op_idx in 0usize..6,
+    ) {
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let op = ops[op_idx];
+        let column = Column::from_opt_i64(&values);
+        let zone = ZoneMap::of(&column);
+        if zone.can_skip(op, &Scalar::Int(literal)) {
+            // Pruning claimed no row matches: verify exhaustively.
+            for v in values.iter().flatten() {
+                prop_assert!(
+                    !op.matches(Scalar::Int(*v).total_cmp(&Scalar::Int(literal))),
+                    "zone map dropped a matching row: {v} {op:?} {literal}"
+                );
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- LIKE
+
+    #[test]
+    fn like_matches_naive_semantics(input in "[ab%_]{0,8}", pattern in "[ab%_\\\\]{0,8}") {
+        fn naive(input: &[char], pat: &[char]) -> bool {
+            match pat.split_first() {
+                None => input.is_empty(),
+                Some(('\\', rest)) => match rest.split_first() {
+                    None => input == ['\\'],
+                    Some((lit, rest2)) => {
+                        input.first() == Some(lit) && naive(&input[1..], rest2)
+                    }
+                },
+                Some(('%', rest)) => {
+                    (0..=input.len()).any(|k| naive(&input[k..], rest))
+                }
+                Some(('_', rest)) => {
+                    !input.is_empty() && naive(&input[1..], rest)
+                }
+                Some((c, rest)) => {
+                    input.first() == Some(c) && naive(&input[1..], rest)
+                }
+            }
+        }
+        let compiled = LikePattern::compile(&pattern);
+        let in_chars: Vec<char> = input.chars().collect();
+        let pat_chars: Vec<char> = pattern.chars().collect();
+        prop_assert_eq!(
+            compiled.matches(&input),
+            naive(&in_chars, &pat_chars),
+            "LIKE '{}' over '{}'", pattern, input
+        );
+    }
+
+    // ---------------------------------------------------------------- sort
+
+    #[test]
+    fn sort_orders_and_permutes(batch in arb_batch(150), asc in any::<bool>()) {
+        let keys = [SortKey { column: 0, ascending: asc }, SortKey::asc(2)];
+        let sorted = sort_batch(&batch, &keys).unwrap();
+        prop_assert!(is_sorted(&sorted, &keys));
+        prop_assert_eq!(batch.canonical_rows(), sorted.canonical_rows());
+    }
+
+    // --------------------------------------------------------------- btree
+
+    #[test]
+    fn btree_lookup_total(mut keys in prop::collection::vec(-10_000i64..10_000, 1..400), fanout in 2usize..20) {
+        keys.sort_unstable();
+        keys.dedup();
+        let pairs: Vec<(i64, i64)> = keys.iter().map(|&k| (k, k.wrapping_mul(7))).collect();
+        let mut region = MemRegion::new(0, rheo::mem::btree::required_page_size(fanout).max(256), Placement::Local);
+        let tree = btree::build(&mut region, &pairs, fanout).unwrap();
+        for &k in &keys {
+            prop_assert_eq!(btree::lookup(&mut region, &tree, k).unwrap(), Some(k.wrapping_mul(7)));
+        }
+        // Absent keys miss.
+        for probe in [-10_001i64, 10_001, 12345] {
+            if !keys.contains(&probe) {
+                prop_assert_eq!(btree::lookup(&mut region, &tree, probe).unwrap(), None);
+            }
+        }
+        // Range agrees with a filter of the key list.
+        let (lo, hi) = (-500i64, 500i64);
+        let got = btree::range(&mut region, &tree, lo, hi).unwrap();
+        let want: Vec<(i64, i64)> = pairs.iter().copied().filter(|(k, _)| (lo..=hi).contains(k)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    // ----------------------------------------------------------- coherence
+
+    #[test]
+    fn coherence_never_serves_stale_reads(
+        ops in prop::collection::vec((0usize..3, 0usize..16, any::<bool>()), 1..300),
+        hw in any::<bool>(),
+    ) {
+        let mut sim = CoherenceSim::new(CoherenceConfig {
+            agents: 3,
+            lines: 16,
+            mode: if hw { Mode::HardwareCxl } else { Mode::SoftwareRdma },
+            ..CoherenceConfig::default()
+        });
+        for (agent, line, is_write) in ops {
+            if is_write {
+                sim.write(agent, line);
+            } else {
+                let access = sim.read(agent, line);
+                prop_assert_eq!(access.value, sim.latest_version(line));
+            }
+            sim.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    // ------------------------------------------------------ flow simulator
+
+    #[test]
+    fn flow_conserves_bytes_and_respects_credits(
+        source_kb in 64u64..2048,
+        sel_a in 0.0f64..1.0,
+        sel_b in 0.0f64..1.0,
+        credits in 1usize..6,
+    ) {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let ssd = topo.expect_device("storage.ssd");
+        let snic = topo.expect_device("storage.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let spec = PipelineSpec::new(
+            "prop",
+            vec![
+                StageSpec::new(ssd, OpClass::Filter, sel_a).with_queue(credits),
+                StageSpec::new(snic, OpClass::Project, sel_b).with_queue(credits),
+                StageSpec::new(cpu, OpClass::Count, 0.0).with_queue(credits),
+            ],
+            source_kb << 10,
+        )
+        .with_chunk(64 << 10);
+        let mut sim = FlowSim::new(topo);
+        sim.add_pipeline(spec);
+        let report = sim.run();
+        let p = &report.pipelines[0];
+        // Stage i+1 consumes exactly what stage i produced.
+        prop_assert_eq!(p.stages[0].bytes_in, source_kb << 10);
+        prop_assert_eq!(p.stages[1].bytes_in, p.stages[0].bytes_out);
+        prop_assert_eq!(p.stages[2].bytes_in, p.stages[1].bytes_out);
+        // Queues never exceeded their credit budget.
+        for stage in &p.stages {
+            prop_assert!(stage.queue_high_watermark <= credits);
+        }
+        // The pipeline terminated (the sim queue drained).
+        prop_assert!(p.finished.nanos() > 0);
+    }
+}
