@@ -1,8 +1,7 @@
-//! Criterion benches for the engine core: E1 (Figure 1, pull vs push) and
-//! ablations A1 (execution model), A2 (batch size), A6 (kernel VM overhead).
+//! Benches for the engine core: E1 (Figure 1, pull vs push) and ablations
+//! A1 (execution model), A2 (batch size), A6 (kernel VM overhead).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use df_bench::microbench::Bench;
 use df_bench::workload;
 use df_core::exec::push::{execute, ExecEnv};
 use df_core::exec::{parallel, volcano};
@@ -47,52 +46,45 @@ fn agg_plan(batch_rows: usize, use_kernel: bool) -> PhysicalPlan {
     )
 }
 
-/// E1 / A1: tuple-at-a-time Volcano vs vectorized push vs morsel-parallel.
-fn fig1_pull_vs_push(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1_conventional");
-    group.sample_size(10);
-    let plan = agg_plan(8192, false);
-    group.bench_function("volcano_tuple_at_a_time", |b| {
-        b.iter(|| volcano::execute(&plan, None).unwrap())
-    });
-    group.bench_function("push_vectorized", |b| {
-        b.iter(|| execute(&plan, &ExecEnv::in_memory()).unwrap())
-    });
-    group.bench_function("push_morsel_parallel_4t", |b| {
-        b.iter(|| parallel::execute_parallel(&plan, &ExecEnv::in_memory(), 4).unwrap())
-    });
-    group.finish();
-}
+fn main() {
+    let mut bench = Bench::from_env();
 
-/// A2: batch-size sweep for the push engine (latency vs amortization).
-fn a2_batch_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("a2_batch_size");
-    group.sample_size(10);
-    for batch_rows in [64usize, 512, 4096, 32768] {
-        let plan = agg_plan(batch_rows, false);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(batch_rows),
-            &plan,
-            |b, plan| b.iter(|| execute(plan, &ExecEnv::in_memory()).unwrap()),
-        );
+    // E1 / A1: tuple-at-a-time Volcano vs vectorized push vs morsel-parallel.
+    {
+        let mut group = bench.group("fig1_conventional");
+        let plan = agg_plan(8192, false);
+        group.bench("volcano_tuple_at_a_time", || {
+            volcano::execute(&plan, None).unwrap()
+        });
+        group.bench("push_vectorized", || {
+            execute(&plan, &ExecEnv::in_memory()).unwrap()
+        });
+        group.bench("push_morsel_parallel_4t", || {
+            parallel::execute_parallel(&plan, &ExecEnv::in_memory(), 4).unwrap()
+        });
     }
-    group.finish();
-}
 
-/// A6: interpreted kernel VM vs native vectorized filter evaluation.
-fn a6_kernel_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("a6_kernel_vm");
-    group.sample_size(10);
-    let native = agg_plan(8192, false);
-    let kernel = agg_plan(8192, true);
-    group.bench_function("native_filter", |b| {
-        b.iter(|| execute(&native, &ExecEnv::in_memory()).unwrap())
-    });
-    group.bench_function("kernel_vm_filter", |b| {
-        b.iter(|| execute(&kernel, &ExecEnv::in_memory()).unwrap())
-    });
-    group.finish();
-}
+    // A2: batch-size sweep for the push engine (latency vs amortization).
+    {
+        let mut group = bench.group("a2_batch_size");
+        for batch_rows in [64usize, 512, 4096, 32768] {
+            let plan = agg_plan(batch_rows, false);
+            group.bench(&batch_rows.to_string(), || {
+                execute(&plan, &ExecEnv::in_memory()).unwrap()
+            });
+        }
+    }
 
-criterion_group!(benches, fig1_pull_vs_push, a2_batch_size, a6_kernel_overhead);
-criterion_main!(benches);
+    // A6: interpreted kernel VM vs native vectorized filter evaluation.
+    {
+        let mut group = bench.group("a6_kernel_vm");
+        let native = agg_plan(8192, false);
+        let kernel = agg_plan(8192, true);
+        group.bench("native_filter", || {
+            execute(&native, &ExecEnv::in_memory()).unwrap()
+        });
+        group.bench("kernel_vm_filter", || {
+            execute(&kernel, &ExecEnv::in_memory()).unwrap()
+        });
+    }
+}

@@ -1,10 +1,9 @@
-//! Criterion benches for the fabric model: E10 (Figure 6, full pipeline,
-//! end-to-end engine execution), E11 (coherence protocol ops), E12/E13
-//! (flow-simulator replay speed — the DES itself must be fast enough to
-//! drive scheduling decisions).
+//! Benches for the fabric model: E10 (Figure 6, full pipeline, end-to-end
+//! engine execution), E11 (coherence protocol ops), E12/E13 (flow-simulator
+//! replay speed — the DES itself must be fast enough to drive scheduling
+//! decisions).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use df_bench::microbench::Bench;
 use df_bench::workload;
 use df_core::session::Session;
 use df_fabric::coherence::{CoherenceConfig, CoherenceSim, Mode};
@@ -18,36 +17,31 @@ const QUERY: &str = "SELECT l_region, COUNT(*) AS n, SUM(l_price) AS revenue \
                      FROM lineitem WHERE l_shipdate BETWEEN 100 AND 300 \
                      GROUP BY l_region";
 
-/// E10 / Figure 6: end-to-end engine execution per plan variant.
-fn fig6_full_pipeline(c: &mut Criterion) {
-    let session = Session::in_memory().unwrap();
-    session
-        .create_table("lineitem", &[workload::lineitem(ROWS, 42)])
-        .unwrap();
-    let logical = session.logical_plan(QUERY).unwrap();
-    let variants = session.variants(&logical).unwrap();
-    let mut group = c.benchmark_group("fig6_full_pipeline");
-    group.sample_size(10);
-    for v in &variants {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&v.plan.variant),
-            &v.plan,
-            |b, plan| b.iter(|| session.execute_plan(plan).unwrap()),
-        );
-    }
-    group.finish();
-}
+fn main() {
+    let mut bench = Bench::from_env();
 
-/// E11: coherence protocol operation throughput, hardware vs software.
-fn e11_coherence_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e11_coherence");
-    group.sample_size(20);
-    for (name, mode) in [
-        ("hardware_cxl", Mode::HardwareCxl),
-        ("software_rdma", Mode::SoftwareRdma),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
-            b.iter(|| {
+    // E10 / Figure 6: end-to-end engine execution per plan variant.
+    {
+        let session = Session::in_memory().unwrap();
+        session
+            .create_table("lineitem", &[workload::lineitem(ROWS, 42)])
+            .unwrap();
+        let logical = session.logical_plan(QUERY).unwrap();
+        let variants = session.variants(&logical).unwrap();
+        let mut group = bench.group("fig6_full_pipeline");
+        for v in &variants {
+            group.bench(&v.plan.variant, || session.execute_plan(&v.plan).unwrap());
+        }
+    }
+
+    // E11: coherence protocol operation throughput, hardware vs software.
+    {
+        let mut group = bench.group("e11_coherence");
+        for (name, mode) in [
+            ("hardware_cxl", Mode::HardwareCxl),
+            ("software_rdma", Mode::SoftwareRdma),
+        ] {
+            group.bench(name, || {
                 let mut sim = CoherenceSim::new(CoherenceConfig {
                     agents: 2,
                     lines: 1024,
@@ -64,48 +58,35 @@ fn e11_coherence_ops(c: &mut Criterion) {
                     }
                 }
                 sim.stats().messages
-            })
-        });
+            });
+        }
     }
-    group.finish();
-}
 
-/// E12/E13: how fast the flow simulator replays a full pipeline (the
-/// scheduler consults it online, so DES speed matters).
-fn e12_flow_sim_replay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e12_flow_sim_replay");
-    group.sample_size(10);
-    for source_mb in [16u64, 64, 256] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(source_mb),
-            &source_mb,
-            |b, &mb| {
-                b.iter(|| {
-                    let topo =
-                        Topology::disaggregated(&DisaggregatedConfig::default());
-                    let ssd = topo.expect_device("storage.ssd");
-                    let snic = topo.expect_device("storage.nic");
-                    let cnic = topo.expect_device("compute0.nic");
-                    let cpu = topo.expect_device("compute0.cpu");
-                    let spec = PipelineSpec::new(
-                        "replay",
-                        vec![
-                            StageSpec::new(ssd, OpClass::Filter, 0.2),
-                            StageSpec::new(snic, OpClass::Project, 1.0),
-                            StageSpec::new(cnic, OpClass::Hash, 1.0),
-                            StageSpec::new(cpu, OpClass::AggregateFinal, 0.01),
-                        ],
-                        mb << 20,
-                    );
-                    let mut sim = FlowSim::new(topo);
-                    sim.add_pipeline(spec);
-                    sim.run().makespan
-                })
-            },
-        );
+    // E12/E13: how fast the flow simulator replays a full pipeline (the
+    // scheduler consults it online, so DES speed matters).
+    {
+        let mut group = bench.group("e12_flow_sim_replay");
+        for source_mb in [16u64, 64, 256] {
+            group.bench(&source_mb.to_string(), || {
+                let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+                let ssd = topo.expect_device("storage.ssd");
+                let snic = topo.expect_device("storage.nic");
+                let cnic = topo.expect_device("compute0.nic");
+                let cpu = topo.expect_device("compute0.cpu");
+                let spec = PipelineSpec::new(
+                    "replay",
+                    vec![
+                        StageSpec::new(ssd, OpClass::Filter, 0.2),
+                        StageSpec::new(snic, OpClass::Project, 1.0),
+                        StageSpec::new(cnic, OpClass::Hash, 1.0),
+                        StageSpec::new(cpu, OpClass::AggregateFinal, 0.01),
+                    ],
+                    source_mb << 20,
+                );
+                let mut sim = FlowSim::new(topo);
+                sim.add_pipeline(spec);
+                sim.run().makespan
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig6_full_pipeline, e11_coherence_ops, e12_flow_sim_replay);
-criterion_main!(benches);

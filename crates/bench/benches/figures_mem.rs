@@ -1,8 +1,7 @@
-//! Criterion benches for the memory substrate: E7 (Figure 5, near-memory
-//! filter), E8 (pointer chasing), E9 (transposition), E14 (buffer pool).
+//! Benches for the memory substrate: E7 (Figure 5, near-memory filter),
+//! E8 (pointer chasing), E9 (transposition), E14 (buffer pool).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use df_bench::microbench::Bench;
 use df_bench::workload;
 use df_mem::accel::NearMemAccelerator;
 use df_mem::btree;
@@ -13,114 +12,77 @@ use df_storage::zonemap::CmpOp;
 
 const ROWS: usize = 50_000;
 
-/// E7 / Figure 5: the filter functional unit across selectivities.
-fn fig5_near_memory(c: &mut Criterion) {
-    let batch = workload::lineitem(ROWS, 42)
-        .project_names(&["l_orderkey", "l_quantity", "l_price"])
-        .unwrap();
-    let mut group = c.benchmark_group("fig5_near_memory_filter");
-    group.sample_size(10);
-    for bound in [1i64, 25, 50] {
-        let predicate = StoragePredicate::cmp("l_quantity", CmpOp::Le, bound);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(bound),
-            &predicate,
-            |b, predicate| {
-                b.iter(|| {
-                    let mut accel = NearMemAccelerator::new();
-                    accel.filter(&batch, predicate).unwrap()
-                })
-            },
-        );
-    }
-    // Decompress-on-demand path.
-    let mut accel = NearMemAccelerator::new();
-    let frame = accel.compress(&batch);
-    group.bench_function("decompress_on_demand", |b| {
-        b.iter(|| {
+fn main() {
+    let mut bench = Bench::from_env();
+
+    // E7 / Figure 5: the filter functional unit across selectivities.
+    {
+        let batch = workload::lineitem(ROWS, 42)
+            .project_names(&["l_orderkey", "l_quantity", "l_price"])
+            .unwrap();
+        let mut group = bench.group("fig5_near_memory_filter");
+        for bound in [1i64, 25, 50] {
+            let predicate = StoragePredicate::cmp("l_quantity", CmpOp::Le, bound);
+            group.bench(&bound.to_string(), || {
+                let mut accel = NearMemAccelerator::new();
+                accel.filter(&batch, &predicate).unwrap()
+            });
+        }
+        // Decompress-on-demand path.
+        let mut accel = NearMemAccelerator::new();
+        let frame = accel.compress(&batch);
+        group.bench("decompress_on_demand", || {
             let mut accel = NearMemAccelerator::new();
             accel.decompress(std::slice::from_ref(&frame)).unwrap()
-        })
-    });
-    group.finish();
-}
-
-/// E8: point lookups through the B-tree (the accelerator's walk).
-fn e8_pointer_chase(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e8_pointer_chase");
-    group.sample_size(10);
-    for keys in [10_000usize, 100_000, 1_000_000] {
-        let pairs: Vec<(i64, i64)> = (0..keys as i64).map(|k| (k, k * 3)).collect();
-        let mut region = MemRegion::new(0, 512, Placement::Local);
-        let tree = btree::build(&mut region, &pairs, 16).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(keys),
-            &tree,
-            |b, tree| {
-                let mut probe = 0i64;
-                b.iter(|| {
-                    probe = (probe + 7919) % keys as i64;
-                    btree::lookup(&mut region, tree, probe).unwrap()
-                })
-            },
-        );
+        });
     }
-    group.finish();
-}
 
-/// E9: row/column transposition both directions.
-fn e9_transpose(c: &mut Criterion) {
-    let batch = workload::orders(ROWS / 2, 42);
-    let mut accel = NearMemAccelerator::new();
-    let page = accel.transpose_to_rows(&batch).unwrap();
-    let mut group = c.benchmark_group("e9_transpose");
-    group.sample_size(10);
-    group.bench_function("columns_to_rows", |b| {
-        b.iter(|| {
+    // E8: point lookups through the B-tree (the accelerator's walk).
+    {
+        let mut group = bench.group("e8_pointer_chase");
+        for keys in [10_000usize, 100_000, 1_000_000] {
+            let pairs: Vec<(i64, i64)> = (0..keys as i64).map(|k| (k, k * 3)).collect();
+            let mut region = MemRegion::new(0, 512, Placement::Local);
+            let tree = btree::build(&mut region, &pairs, 16).unwrap();
+            let mut probe = 0i64;
+            group.bench(&keys.to_string(), || {
+                probe = (probe + 7919) % keys as i64;
+                btree::lookup(&mut region, &tree, probe).unwrap()
+            });
+        }
+    }
+
+    // E9: row/column transposition both directions.
+    {
+        let batch = workload::orders(ROWS / 2, 42);
+        let mut accel = NearMemAccelerator::new();
+        let page = accel.transpose_to_rows(&batch).unwrap();
+        let mut group = bench.group("e9_transpose");
+        group.bench("columns_to_rows", || {
             let mut accel = NearMemAccelerator::new();
             accel.transpose_to_rows(&batch).unwrap()
-        })
-    });
-    group.bench_function("rows_to_columns", |b| {
-        b.iter(|| {
+        });
+        group.bench("rows_to_columns", || {
             let mut accel = NearMemAccelerator::new();
             accel.transpose_to_columns(&page).unwrap()
-        })
-    });
-    group.finish();
-}
-
-/// E14: buffer-pool pin/unpin throughput warm vs thrashing.
-fn e14_bufferpool(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e14_bufferpool");
-    group.sample_size(10);
-    let page = vec![0u8; 4096];
-    for (name, frames, pages) in [("warm", 512usize, 256u64), ("thrash", 64, 256)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &(frames, pages),
-            |b, &(frames, pages)| {
-                b.iter(|| {
-                    let mut pool = BufferPool::new(frames, 4096);
-                    for _ in 0..4 {
-                        for p in 0..pages {
-                            pool.pin((0, p), || page.clone()).unwrap();
-                            pool.unpin((0, p));
-                        }
-                    }
-                    pool.stats()
-                })
-            },
-        );
+        });
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    fig5_near_memory,
-    e8_pointer_chase,
-    e9_transpose,
-    e14_bufferpool
-);
-criterion_main!(benches);
+    // E14: buffer-pool pin/unpin throughput warm vs thrashing.
+    {
+        let mut group = bench.group("e14_bufferpool");
+        let page = vec![0u8; 4096];
+        for (name, frames, pages) in [("warm", 512usize, 256u64), ("thrash", 64, 256)] {
+            group.bench(name, || {
+                let mut pool = BufferPool::new(frames, 4096);
+                for _ in 0..4 {
+                    for p in 0..pages {
+                        pool.pin((0, p), || page.clone()).unwrap();
+                        pool.unpin((0, p));
+                    }
+                }
+                pool.stats()
+            });
+        }
+    }
+}

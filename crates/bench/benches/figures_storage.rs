@@ -1,8 +1,7 @@
-//! Criterion benches for the storage layer: E2 (Figure 2, pushdown), E3
-//! (LIKE/regex offload), and ablation A3 (zone maps on/off).
+//! Benches for the storage layer: E2 (Figure 2, pushdown), E3 (LIKE/regex
+//! offload), and ablation A3 (zone maps on/off).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use df_bench::microbench::Bench;
 use df_bench::workload;
 use df_core::kernel::regex::Regex;
 use df_storage::object::MemObjectStore;
@@ -22,81 +21,74 @@ fn storage() -> SmartStorage {
     SmartStorage::new(tables)
 }
 
-/// E2: scan with selection+projection at storage vs shipping everything.
-fn fig2_pushdown(c: &mut Criterion) {
-    let server = storage();
-    let mut group = c.benchmark_group("fig2_pushdown");
-    group.sample_size(10);
-    for selectivity_cap in [250i64, 2500, 25000] {
-        let pushdown = ScanRequest::full()
-            .filter(StoragePredicate::cmp(
-                "l_orderkey",
-                CmpOp::Lt,
-                selectivity_cap,
-            ))
-            .project(&["l_orderkey", "l_price"]);
-        group.bench_with_input(
-            BenchmarkId::new("pushdown", selectivity_cap),
-            &pushdown,
-            |b, req| b.iter(|| server.scan("lineitem", req).unwrap()),
-        );
+fn main() {
+    let mut bench = Bench::from_env();
+
+    // E2: scan with selection+projection at storage vs shipping everything.
+    {
+        let server = storage();
+        let mut group = bench.group("fig2_pushdown");
+        for selectivity_cap in [250i64, 2500, 25000] {
+            let pushdown = ScanRequest::full()
+                .filter(StoragePredicate::cmp(
+                    "l_orderkey",
+                    CmpOp::Lt,
+                    selectivity_cap,
+                ))
+                .project(&["l_orderkey", "l_price"]);
+            group.bench(&format!("pushdown/{selectivity_cap}"), || {
+                server.scan("lineitem", &pushdown).unwrap()
+            });
+        }
+        let ship_all = ScanRequest::full();
+        group.bench("ship_all", || server.scan("lineitem", &ship_all).unwrap());
     }
-    let ship_all = ScanRequest::full();
-    group.bench_function("ship_all", |b| {
-        b.iter(|| server.scan("lineitem", &ship_all).unwrap())
-    });
-    group.finish();
-}
 
-/// A3: zone-map pruning on a range predicate over the clustered column vs
-/// the same predicate over an unclustered one (no pruning possible).
-fn a3_zonemaps(c: &mut Criterion) {
-    let server = storage();
-    let mut group = c.benchmark_group("a3_zonemaps");
-    group.sample_size(10);
-    // l_orderkey is clustered: zone maps prune almost every page.
-    let pruned = ScanRequest::full()
-        .filter(StoragePredicate::cmp("l_orderkey", CmpOp::Lt, 100i64))
-        .project(&["l_orderkey"]);
-    // l_partkey is uniform: same output cardinality class, no pruning.
-    let unpruned = ScanRequest::full()
-        .filter(StoragePredicate::cmp("l_partkey", CmpOp::Lt, 100i64))
-        .project(&["l_partkey"]);
-    group.bench_function("clustered_pruned", |b| {
-        b.iter(|| server.scan("lineitem", &pruned).unwrap())
-    });
-    group.bench_function("unclustered_full_scan", |b| {
-        b.iter(|| server.scan("lineitem", &unpruned).unwrap())
-    });
-    group.finish();
-}
+    // A3: zone-map pruning on a range predicate over the clustered column vs
+    // the same predicate over an unclustered one (no pruning possible).
+    {
+        let server = storage();
+        let mut group = bench.group("a3_zonemaps");
+        // l_orderkey is clustered: zone maps prune almost every page.
+        let pruned = ScanRequest::full()
+            .filter(StoragePredicate::cmp("l_orderkey", CmpOp::Lt, 100i64))
+            .project(&["l_orderkey"]);
+        // l_partkey is uniform: same output cardinality class, no pruning.
+        let unpruned = ScanRequest::full()
+            .filter(StoragePredicate::cmp("l_partkey", CmpOp::Lt, 100i64))
+            .project(&["l_partkey"]);
+        group.bench("clustered_pruned", || {
+            server.scan("lineitem", &pruned).unwrap()
+        });
+        group.bench("unclustered_full_scan", || {
+            server.scan("lineitem", &unpruned).unwrap()
+        });
+    }
 
-/// E3: LIKE matcher and regex engine throughput over the comment column.
-fn e3_like_offload(c: &mut Criterion) {
-    let fact = workload::lineitem(ROWS, 42);
-    let comments: Vec<String> = {
-        let col = fact.column_by_name("l_comment").unwrap();
-        (0..fact.rows()).map(|i| col.str_at(i).to_string()).collect()
-    };
-    let mut group = c.benchmark_group("e3_like_offload");
-    group.sample_size(10);
-    let like = LikePattern::compile("%urgent%");
-    group.bench_function("like_contains", |b| {
-        b.iter(|| comments.iter().filter(|s| like.matches(s)).count())
-    });
-    let re = Regex::compile("urgent .* package").unwrap();
-    group.bench_function("regex_nfa", |b| {
-        b.iter(|| comments.iter().filter(|s| re.is_match(s)).count())
-    });
-    let server = storage();
-    let pushed = ScanRequest::full()
-        .filter(StoragePredicate::like("l_comment", "%urgent%"))
-        .project(&["l_orderkey"]);
-    group.bench_function("like_pushdown_scan", |b| {
-        b.iter(|| server.scan("lineitem", &pushed).unwrap())
-    });
-    group.finish();
+    // E3: LIKE matcher and regex engine throughput over the comment column.
+    {
+        let fact = workload::lineitem(ROWS, 42);
+        let comments: Vec<String> = {
+            let col = fact.column_by_name("l_comment").unwrap();
+            (0..fact.rows())
+                .map(|i| col.str_at(i).to_string())
+                .collect()
+        };
+        let mut group = bench.group("e3_like_offload");
+        let like = LikePattern::compile("%urgent%");
+        group.bench("like_contains", || {
+            comments.iter().filter(|s| like.matches(s)).count()
+        });
+        let re = Regex::compile("urgent .* package").unwrap();
+        group.bench("regex_nfa", || {
+            comments.iter().filter(|s| re.is_match(s)).count()
+        });
+        let server = storage();
+        let pushed = ScanRequest::full()
+            .filter(StoragePredicate::like("l_comment", "%urgent%"))
+            .project(&["l_orderkey"]);
+        group.bench("like_pushdown_scan", || {
+            server.scan("lineitem", &pushed).unwrap()
+        });
+    }
 }
-
-criterion_group!(benches, fig2_pushdown, a3_zonemaps, e3_like_offload);
-criterion_main!(benches);

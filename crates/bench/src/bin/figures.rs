@@ -3,29 +3,49 @@
 //! ```text
 //! cargo run -p df-bench --release --bin figures -- --all
 //! cargo run -p df-bench --release --bin figures -- E2 E10
+//! cargo run -p df-bench --release --bin figures -- --exp e10
+//! cargo run -p df-bench --release --bin figures -- --exp e10 --trace /tmp/e10.json
 //! cargo run -p df-bench --release --bin figures -- --all --quick
 //! cargo run -p df-bench --release --bin figures -- --all --write EXPERIMENTS.md
 //! cargo run -p df-bench --release --bin figures -- --list
 //! ```
+//!
+//! `--trace <path>` writes a Chrome `trace_event` JSON file (load it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>) for the selected
+//! traceable experiment, and prints the per-lane utilization summary to
+//! stderr.
 
 use std::time::Instant;
 
-use df_bench::experiments::{all, Scale};
+use df_bench::experiments::{all, traceable, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let run_all = args.iter().any(|a| a == "--all") || args.is_empty();
-    let write_path = args
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let write_path = flag_value("--write");
+    let trace_path = flag_value("--trace");
+    let exp_flag = flag_value("--exp");
+
+    // Positional ids, skipping flag values.
+    let flag_values: Vec<&String> = [&write_path, &trace_path, &exp_flag]
         .iter()
-        .position(|a| a == "--write")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let wanted: Vec<&String> = args
+        .filter_map(|v| v.as_ref())
+        .collect();
+    let mut requested: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        .filter(|a| write_path.as_deref() != Some(a.as_str()))
+        .filter(|a| !flag_values.iter().any(|v| v.as_str() == a.as_str()))
+        .cloned()
         .collect();
+    if let Some(e) = exp_flag {
+        requested.push(e);
+    }
 
     if args.iter().any(|a| a == "--list") {
         for (id, _) in all() {
@@ -33,18 +53,25 @@ fn main() {
         }
         return;
     }
+
+    // Resolve requested ids case-insensitively against the registry.
     let known: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-    for w in &wanted {
-        if !known.contains(&w.as_str()) {
-            eprintln!("unknown experiment '{w}' (try --list)");
-            std::process::exit(2);
+    let mut wanted: Vec<&str> = Vec::new();
+    for r in &requested {
+        match known.iter().find(|id| id.eq_ignore_ascii_case(r)) {
+            Some(id) => wanted.push(id),
+            None => {
+                eprintln!("unknown experiment '{r}' (try --list)");
+                std::process::exit(2);
+            }
         }
     }
+    let run_all = args.iter().any(|a| a == "--all") || requested.is_empty();
 
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let mut sections = Vec::new();
     for (id, run) in all() {
-        if !run_all && !wanted.iter().any(|w| w.as_str() == id) {
+        if !run_all && !wanted.contains(&id) {
             continue;
         }
         eprintln!("running {id} (rows={})...", scale.rows);
@@ -53,6 +80,30 @@ fn main() {
         eprintln!("  done in {:.2}s", t.elapsed().as_secs_f64());
         println!("{report}");
         sections.push(report.to_markdown());
+    }
+
+    if let Some(path) = trace_path {
+        let target = traceable()
+            .into_iter()
+            .find(|(id, _)| run_all || wanted.contains(id));
+        let Some((id, trace)) = target else {
+            let ids: Vec<&str> = traceable().iter().map(|(id, _)| *id).collect();
+            eprintln!(
+                "--trace: none of the selected experiments support tracing \
+                 (supported: {})",
+                ids.join(", ")
+            );
+            std::process::exit(2);
+        };
+        eprintln!("tracing {id}...");
+        let tracer = trace(scale);
+        if let Err(e) = tracer.validate() {
+            eprintln!("internal error: trace failed validation: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(&path, tracer.chrome_trace_json()).expect("write trace");
+        eprint!("{}", tracer.summary());
+        eprintln!("wrote {path} ({} events)", tracer.event_count());
     }
 
     if let Some(path) = write_path {

@@ -65,9 +65,7 @@ pub fn run(scale: Scale) -> ExpReport {
                  l_shipdate, l_region, l_comment",
             ),
         ] {
-            let query = format!(
-                "SELECT {cols} FROM lineitem WHERE l_orderkey < {key_cap}"
-            );
+            let query = format!("SELECT {cols} FROM lineitem WHERE l_orderkey < {key_cap}");
             let logical = session.logical_plan(&query).expect("parse");
             let variants = session.variants(&logical).expect("variants");
             let find = |name: &str| {
@@ -89,19 +87,15 @@ pub fn run(scale: Scale) -> ExpReport {
             );
 
             // Movement: bytes on the network links (measured ledger).
-            let net = |ledger: &df_core::exec::MovementLedger| {
-                ledger.cross_device_bytes()
-            };
+            let net = |ledger: &df_core::exec::MovementLedger| ledger.cross_device_bytes();
             let ship_bytes = net(&ship_result.ledger);
             let push_bytes = net(&push_result.ledger);
 
             // Timing: flow-simulate both pipelines on a fresh fabric.
             let sim_time = |plan| {
-                let spec =
-                    flow_pipeline(plan, &profiles, cpu, "q").expect("linear plan");
-                let mut sim = FlowSim::new(Topology::disaggregated(
-                    &DisaggregatedConfig::default(),
-                ));
+                let spec = flow_pipeline(plan, &profiles, cpu, "q").expect("linear plan");
+                let mut sim =
+                    FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
                 sim.add_pipeline(spec);
                 sim.run().pipelines[0].duration()
             };
@@ -134,7 +128,8 @@ pub fn run(scale: Scale) -> ExpReport {
     report.observe(
         "network bytes fall proportionally to selectivity × projectivity, \
          exactly the Figure 2 geometry; results are bit-identical in every \
-         cell".to_string(),
+         cell"
+            .to_string(),
     );
     report
 }

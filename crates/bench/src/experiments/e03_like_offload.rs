@@ -44,15 +44,10 @@ pub fn run(scale: Scale) -> ExpReport {
 
     let cpu_profile = DeviceProfile::reference(DeviceKind::Cpu { cores: 8 });
     let ssd_profile = DeviceProfile::reference(DeviceKind::SmartStorage);
-    let comment_bytes: u64 = fact
-        .column_by_name("l_comment")
-        .unwrap()
-        .byte_size() as u64;
+    let comment_bytes: u64 = fact.column_by_name("l_comment").unwrap().byte_size() as u64;
 
     for pattern in ["urgent%", "%urgent%", "%express%package%"] {
-        let query = format!(
-            "SELECT l_orderkey FROM lineitem WHERE l_comment LIKE '{pattern}'"
-        );
+        let query = format!("SELECT l_orderkey FROM lineitem WHERE l_comment LIKE '{pattern}'");
         let logical = session.logical_plan(&query).expect("parse");
         let variants = session.variants(&logical).expect("variants");
         let host = variants
@@ -139,6 +134,9 @@ mod tests {
         };
         let cpu_net = parse_bytes(&report.rows[0][5]);
         let ssd_net = parse_bytes(&report.rows[1][5]);
-        assert!(ssd_net < cpu_net, "pushdown should ship less: {ssd_net} vs {cpu_net}");
+        assert!(
+            ssd_net < cpu_net,
+            "pushdown should ship less: {ssd_net} vs {cpu_net}"
+        );
     }
 }

@@ -16,8 +16,7 @@ use df_data::Batch;
 use df_net::nic::{NicKernel, NicPipeline};
 use df_storage::object::MemObjectStore;
 use df_storage::smart::{
-    merge_partial_aggregates, AggFunc, PartialAggregator, PreAggSpec, ScanRequest,
-    SmartStorage,
+    merge_partial_aggregates, AggFunc, PartialAggregator, PreAggSpec, ScanRequest, SmartStorage,
 };
 use df_storage::table::TableStore;
 
@@ -28,11 +27,7 @@ use super::Scale;
 
 /// Merge partial batches with a *bounded* table (an in-path merge stage):
 /// counts/sums add, mins/maxes fold; overflow flushes downstream.
-fn bounded_merge_stage(
-    partials: &[Batch],
-    spec: &PreAggSpec,
-    max_groups: usize,
-) -> Vec<Batch> {
+fn bounded_merge_stage(partials: &[Batch], spec: &PreAggSpec, max_groups: usize) -> Vec<Batch> {
     if partials.is_empty() {
         return Vec::new();
     }
@@ -211,7 +206,8 @@ pub fn run(scale: Scale) -> ExpReport {
     report.observe(
         "every added group-by stage shrinks the partial stream again; the \
          final CPU merge sees a small fraction of the raw rows while totals \
-         stay exact".to_string(),
+         stay exact"
+            .to_string(),
     );
     report
 }
@@ -223,11 +219,7 @@ mod tests {
     #[test]
     fn cascade_monotonically_reduces_cpu_work() {
         let report = run(Scale::quick());
-        let rows_into_cpu: Vec<u64> = report
-            .rows
-            .iter()
-            .map(|r| r[2].parse().unwrap())
-            .collect();
+        let rows_into_cpu: Vec<u64> = report.rows.iter().map(|r| r[2].parse().unwrap()).collect();
         // Each added stage reduces (or keeps) the rows reaching the CPU.
         for pair in rows_into_cpu.windows(2) {
             assert!(pair[1] <= pair[0], "cascade grew: {rows_into_cpu:?}");

@@ -11,9 +11,7 @@
 
 use std::time::Instant;
 
-use df_core::distributed::{
-    distributed_broadcast_join, distributed_hash_join, DistributedConfig,
-};
+use df_core::distributed::{distributed_broadcast_join, distributed_hash_join, DistributedConfig};
 use df_core::logical::LogicalPlan;
 
 use crate::report::{fmt_util, ExpReport};

@@ -49,10 +49,8 @@ pub fn run(scale: Scale) -> ExpReport {
     let expected: usize = batches.iter().map(df_data::Batch::rows).sum();
 
     // NIC path: the Count kernel absorbs everything.
-    let mut nic = NicPipeline::new(vec![NicKernel::Count {
-        output: "n".into(),
-    }])
-    .expect("nic program");
+    let mut nic =
+        NicPipeline::new(vec![NicKernel::Count { output: "n".into() }]).expect("nic program");
     let mut host_bytes_nic = 0u64;
     for batch in &batches {
         for (_, out) in nic.push(batch.clone()).expect("count kernel") {
@@ -77,9 +75,7 @@ pub fn run(scale: Scale) -> ExpReport {
     let cpu = topo.expect_device("compute0.cpu");
     let stream_bytes = host_bytes_cpu;
     let sim_time = |stages: Vec<StageSpec>| {
-        let mut sim = FlowSim::new(Topology::disaggregated(
-            &DisaggregatedConfig::default(),
-        ));
+        let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
         sim.add_pipeline(PipelineSpec::new("count", stages, stream_bytes));
         sim.run().pipelines[0].duration()
     };

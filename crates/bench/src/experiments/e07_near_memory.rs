@@ -8,9 +8,9 @@
 //! filters in software. We sweep selectivity and verify both paths select
 //! identical rows.
 
+use df_fabric::{DeviceKind, DeviceProfile, OpClass};
 use df_mem::accel::NearMemAccelerator;
 use df_mem::cache::{AccessPattern, CacheModel};
-use df_fabric::{DeviceKind, DeviceProfile, OpClass};
 use df_storage::predicate::StoragePredicate;
 use df_storage::zonemap::CmpOp;
 

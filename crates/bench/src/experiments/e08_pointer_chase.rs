@@ -14,9 +14,7 @@ use df_fabric::link::LinkTech;
 use df_mem::accel::NearMemAccelerator;
 use df_mem::btree;
 use df_mem::region::{MemRegion, Placement};
-use df_sim::SimDuration;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use df_sim::{SimDuration, SimRng};
 
 use crate::report::{fmt_util, ExpReport};
 
@@ -53,15 +51,13 @@ pub fn run(scale: Scale) -> ExpReport {
         let tree = btree::build(&mut region, &pairs, fanout).expect("build");
 
         // Run real lookups through the accelerator, counting pages.
-        let mut rng = StdRng::seed_from_u64(scale.seed);
+        let mut rng = SimRng::new(scale.seed);
         let probe_keys: Vec<i64> = (0..lookups)
-            .map(|_| rng.gen_range(0..keys as i64))
+            .map(|_| rng.next_below(keys as u64) as i64)
             .collect();
         region.reset_stats();
         let mut accel = NearMemAccelerator::new();
-        let results = accel
-            .chase(&mut region, &tree, &probe_keys)
-            .expect("chase");
+        let results = accel.chase(&mut region, &tree, &probe_keys).expect("chase");
         let verified = results
             .iter()
             .zip(&probe_keys)
@@ -71,12 +67,10 @@ pub fn run(scale: Scale) -> ExpReport {
         // Latency per lookup: the CPU pays one interconnect round trip per
         // dependent page (plus the remote DRAM access); the near-memory
         // unit pays local DRAM per page plus one round trip for the result.
-        let cpu_per_lookup = SimDuration::from_nanos(
-            (round_trip.nanos() + dram.nanos()) * pages_per_lookup as u64,
-        );
-        let accel_per_lookup = SimDuration::from_nanos(
-            dram.nanos() * pages_per_lookup as u64 + round_trip.nanos(),
-        );
+        let cpu_per_lookup =
+            SimDuration::from_nanos((round_trip.nanos() + dram.nanos()) * pages_per_lookup as u64);
+        let accel_per_lookup =
+            SimDuration::from_nanos(dram.nanos() * pages_per_lookup as u64 + round_trip.nanos());
 
         report.row(vec![
             keys.to_string(),
@@ -84,9 +78,7 @@ pub fn run(scale: Scale) -> ExpReport {
             format!("{pages_per_lookup:.1}"),
             fmt_util::dur(cpu_per_lookup),
             fmt_util::dur(accel_per_lookup),
-            fmt_util::factor(
-                cpu_per_lookup.as_secs_f64() / accel_per_lookup.as_secs_f64(),
-            ),
+            fmt_util::factor(cpu_per_lookup.as_secs_f64() / accel_per_lookup.as_secs_f64()),
             verified.to_string(),
         ]);
         assert!(verified, "lookups returned wrong values at {keys} keys");
@@ -136,11 +128,7 @@ mod tests {
             assert!(*s > 2.0, "{speedups:?}");
         }
         // Heights increase with keys.
-        let heights: Vec<u32> = report
-            .rows
-            .iter()
-            .map(|r| r[1].parse().unwrap())
-            .collect();
+        let heights: Vec<u32> = report.rows.iter().map(|r| r[1].parse().unwrap()).collect();
         assert!(heights.windows(2).all(|w| w[0] <= w[1]));
     }
 }

@@ -94,9 +94,7 @@ pub fn run(scale: Scale) -> ExpReport {
             .rate(OpClass::Transpose)
             .unwrap()
             .as_gbytes_per_sec(),
-        fmt_util::factor(
-            cpu_time.as_secs_f64() / accel_time.as_secs_f64()
-        ),
+        fmt_util::factor(cpu_time.as_secs_f64() / accel_time.as_secs_f64()),
     ));
     report.observe(format!(
         "row page of {} rows occupies {} vs {} columnar — both directions \

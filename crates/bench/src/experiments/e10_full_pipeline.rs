@@ -69,9 +69,8 @@ pub fn run(scale: Scale) -> ExpReport {
 
         let sim_time = match flow_pipeline(&v.plan, &profiles, cpu, "q") {
             Ok(spec) => {
-                let mut sim = FlowSim::new(Topology::disaggregated(
-                    &DisaggregatedConfig::default(),
-                ));
+                let mut sim =
+                    FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
                 sim.add_pipeline(spec);
                 Some(sim.run().pipelines[0].duration())
             }
@@ -115,6 +114,49 @@ pub fn run(scale: Scale) -> ExpReport {
     report
 }
 
+/// Build the E10 variants and capture a full query-level trace: each
+/// variant executes for real through the traced push executor (wall-clock
+/// lanes for the CPU workers and the smart-storage server) and every viable
+/// pipeline replays through one flow simulation with the tracer attached
+/// (simulated-time lanes for each device and link along the data path).
+///
+/// The returned tracer's simulated-time timeline is a pure function of
+/// `scale` — two calls with the same scale produce byte-identical
+/// [`df_sim::Tracer::sim_timeline`] output.
+pub fn trace_flow(scale: Scale) -> std::sync::Arc<df_sim::Tracer> {
+    let mut session = Session::in_memory().expect("session");
+    session
+        .create_table("lineitem", &[workload::lineitem(scale.rows, scale.seed)])
+        .expect("load");
+    let tracer = session.enable_tracing();
+    let profiles = session.profiles();
+    let cpu = session.optimizer().site().cpu;
+
+    let logical = session.logical_plan(QUERY).expect("parse");
+    let variants = session.variants(&logical).expect("variants");
+
+    // Wall lanes: run every variant through the traced executor.
+    for v in &variants {
+        session.execute_plan(&v.plan).expect("variant runs");
+    }
+
+    // Sim lanes: replay every viable pipeline in one flow simulation so the
+    // trace shows the storage, NIC, interconnect and CPU stages competing
+    // for the same devices.
+    let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
+    sim.set_tracer(tracer.clone());
+    let mut any = false;
+    for v in &variants {
+        if let Ok(spec) = flow_pipeline(&v.plan, &profiles, cpu, v.plan.variant.clone()) {
+            sim.add_pipeline(spec);
+            any = true;
+        }
+    }
+    assert!(any, "no variant produced a flow pipeline");
+    sim.run();
+    tracer
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,8 +178,6 @@ mod tests {
                 .map(|r| r[1].clone())
         };
         assert!(bytes("cpu-only").is_some());
-        assert!(
-            bytes("full-dataflow").is_some() || bytes("storage-pushdown").is_some()
-        );
+        assert!(bytes("full-dataflow").is_some() || bytes("storage-pushdown").is_some());
     }
 }

@@ -101,9 +101,7 @@ pub fn run(scale: Scale) -> ExpReport {
          every read verified current in both modes",
         fmt_util::dur(sw.mean_latency()),
         sw.messages,
-        fmt_util::factor(
-            sw.mean_latency().as_secs_f64() / hw.mean_latency().as_secs_f64()
-        ),
+        fmt_util::factor(sw.mean_latency().as_secs_f64() / hw.mean_latency().as_secs_f64()),
     ));
     report.observe(
         "x16 bandwidth doubles every PCIe/CXL generation (16→32→64→128→256 \

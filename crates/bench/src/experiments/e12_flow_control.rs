@@ -103,16 +103,8 @@ mod tests {
     #[test]
     fn credits_bound_queues_and_throughput_saturates() {
         let report = run(Scale::quick());
-        let depth: Vec<usize> = report
-            .rows
-            .iter()
-            .map(|r| r[3].parse().unwrap())
-            .collect();
-        let credits: Vec<usize> = report
-            .rows
-            .iter()
-            .map(|r| r[0].parse().unwrap())
-            .collect();
+        let depth: Vec<usize> = report.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        let credits: Vec<usize> = report.rows.iter().map(|r| r[0].parse().unwrap()).collect();
         for (d, c) in depth.iter().zip(&credits) {
             assert!(d <= c);
         }

@@ -112,9 +112,7 @@ pub fn run(scale: Scale) -> ExpReport {
          better) while the big scan pays only {} extra",
         fmt_util::dur(naive_small),
         fmt_util::dur(sched_small),
-        fmt_util::factor(
-            naive_small.as_secs_f64() / sched_small.as_secs_f64()
-        ),
+        fmt_util::factor(naive_small.as_secs_f64() / sched_small.as_secs_f64()),
         fmt_util::factor(sched_big.as_secs_f64() / naive_big.as_secs_f64()),
     ));
     report.observe(format!(
@@ -132,9 +130,8 @@ mod tests {
     #[test]
     fn scheduling_protects_the_small_query() {
         let report = run(Scale::quick());
-        let slowdown = |row: usize| -> f64 {
-            report.rows[row][3].trim_end_matches('x').parse().unwrap()
-        };
+        let slowdown =
+            |row: usize| -> f64 { report.rows[row][3].trim_end_matches('x').parse().unwrap() };
         let naive = slowdown(0);
         let scheduled = slowdown(1);
         assert!(

@@ -75,10 +75,7 @@ pub fn run(scale: Scale) -> ExpReport {
         let mut streamed_bytes = 0u64;
         for _ in 0..passes {
             let (_, stats) = storage
-                .scan(
-                    "lineitem",
-                    &ScanRequest::full().project(&["l_orderkey"]),
-                )
+                .scan("lineitem", &ScanRequest::full().project(&["l_orderkey"]))
                 .expect("stream scan");
             streamed_bytes += stats.bytes_scanned;
         }
@@ -119,9 +116,8 @@ mod tests {
     #[test]
     fn pool_thrashes_past_capacity_streaming_stays_flat() {
         let report = run(Scale::quick());
-        let hit = |row: usize| -> f64 {
-            report.rows[row][1].trim_end_matches('%').parse().unwrap()
-        };
+        let hit =
+            |row: usize| -> f64 { report.rows[row][1].trim_end_matches('%').parse().unwrap() };
         // Pool 2x working set: high hit rate. Pool 1/4: thrashing.
         assert!(hit(0) > 60.0, "warm pool should hit: {}", hit(0));
         assert!(hit(3) < 20.0, "undersized pool should thrash: {}", hit(3));

@@ -49,6 +49,14 @@ impl Scale {
 /// Signature every experiment runner implements.
 pub type ExperimentFn = fn(Scale) -> ExpReport;
 
+/// Signature for experiments that can record a query-level trace.
+pub type TraceFn = fn(Scale) -> std::sync::Arc<df_sim::Tracer>;
+
+/// Experiments that support `figures --trace`: `(id, tracer)`.
+pub fn traceable() -> Vec<(&'static str, TraceFn)> {
+    vec![("E10", e10_full_pipeline::trace_flow)]
+}
+
 /// All experiments: `(id, runner)` in paper order.
 pub fn all() -> Vec<(&'static str, ExperimentFn)> {
     vec![

@@ -27,6 +27,7 @@
 //! everything and prints the tables recorded in EXPERIMENTS.md.
 
 pub mod experiments;
+pub mod microbench;
 pub mod report;
 pub mod workload;
 

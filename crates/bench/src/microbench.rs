@@ -1,0 +1,120 @@
+//! A minimal wall-clock micro-benchmark harness for the `benches/` targets.
+//!
+//! The container this repo builds in has no registry access, so the benches
+//! cannot pull an external harness crate; this module provides the small
+//! subset actually needed: named groups, parameterized cases, a warmup pass,
+//! and a fixed number of timed iterations with min/mean/max reporting.
+//! Iteration count is tunable via `BENCH_ITERS` (default 10) and cases can
+//! be filtered by substring with `BENCH_FILTER` or a positional CLI arg.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Top-level harness: owns the case filter and iteration budget.
+pub struct Bench {
+    filter: Option<String>,
+    iters: u32,
+}
+
+impl Bench {
+    /// Build from `std::env::args` (first non-flag arg is a substring
+    /// filter) and `BENCH_ITERS` / `BENCH_FILTER` environment variables.
+    pub fn from_env() -> Bench {
+        let mut filter = std::env::var("BENCH_FILTER").ok();
+        for arg in std::env::args().skip(1) {
+            // Ignore cargo-bench plumbing flags like `--bench`.
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+                break;
+            }
+        }
+        let iters = std::env::var("BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10)
+            .max(1);
+        Bench { filter, iters }
+    }
+
+    /// Start a named group of related cases.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmark cases.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Time `f`, printing one line of statistics. The closure's return value
+    /// is passed through [`black_box`] so the work is not optimized away.
+    pub fn bench<R>(&mut self, case: &str, mut f: impl FnMut() -> R) {
+        let full = format!("{}/{}", self.name, case);
+        if let Some(filter) = &self.bench.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        black_box(f()); // warmup
+        let mut samples = Vec::with_capacity(self.bench.iters as usize);
+        for _ in 0..self.bench.iters {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{full:<48} mean {:>10}  min {:>10}  max {:>10}  ({} iters)",
+            fmt_secs(mean),
+            fmt_secs(min),
+            fmt_secs(max),
+            samples.len()
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_formats() {
+        let mut bench = Bench {
+            filter: Some("keep".into()),
+            iters: 2,
+        };
+        let mut ran = 0;
+        {
+            let mut group = bench.group("g");
+            group.bench("keep_this", || ran += 1);
+        }
+        // warmup + 2 timed iterations
+        assert_eq!(ran, 3);
+        let mut group = bench.group("g");
+        let mut skipped = 0;
+        group.bench("other", || skipped += 1);
+        assert_eq!(skipped, 0, "filtered-out case must not run");
+        assert_eq!(fmt_secs(0.25), "250.000 ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.500 us");
+    }
+}

@@ -63,10 +63,7 @@ impl ExpReport {
         out.push_str(&format!("**Paper claim.** {}\n\n", self.paper_claim));
         if !self.headers.is_empty() {
             out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-            out.push_str(&format!(
-                "|{}\n",
-                "---|".repeat(self.headers.len())
-            ));
+            out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
             for row in &self.rows {
                 out.push_str(&format!("| {} |\n", row.join(" | ")));
             }

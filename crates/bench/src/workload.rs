@@ -14,15 +14,24 @@
 
 use df_data::batch::batch_of;
 use df_data::{Batch, Column};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use df_sim::SimRng;
 
 /// Regions used by the `l_region` / `o_region` dimension columns.
 pub const REGIONS: [&str; 5] = ["africa", "america", "asia", "europe", "oceania"];
 
 const COMMENT_WORDS: [&str; 12] = [
-    "carefully", "final", "urgent", "pending", "express", "regular", "quick",
-    "ironic", "bold", "silent", "even", "special",
+    "carefully",
+    "final",
+    "urgent",
+    "pending",
+    "express",
+    "regular",
+    "quick",
+    "ironic",
+    "bold",
+    "silent",
+    "even",
+    "special",
 ];
 
 /// A TPC-H-flavoured fact table.
@@ -33,7 +42,7 @@ const COMMENT_WORDS: [&str; 12] = [
 /// `l_region` (utf8, 5 values), `l_comment` (utf8 free text, ~5% contain
 /// the word "urgent").
 pub fn lineitem(rows: usize, seed: u64) -> Batch {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     let mut orderkey = Vec::with_capacity(rows);
     let mut partkey = Vec::with_capacity(rows);
     let mut quantity = Vec::with_capacity(rows);
@@ -45,16 +54,16 @@ pub fn lineitem(rows: usize, seed: u64) -> Batch {
     for i in 0..rows {
         // ~4 line items per order, ascending.
         orderkey.push((i / 4) as i64);
-        partkey.push(rng.gen_range(0..(rows as i64 / 4).max(1)));
-        let q = rng.gen_range(1..=50i64);
+        partkey.push(rng.next_below((rows as u64 / 4).max(1)) as i64);
+        let q = rng.range_inclusive(1, 50) as i64;
         quantity.push(q);
-        price.push((q as f64) * rng.gen_range(0.9..1100.0));
-        discount.push(f64::from(rng.gen_range(0..=10u32)) / 100.0);
+        price.push((q as f64) * (0.9 + rng.next_f64() * (1100.0 - 0.9)));
+        discount.push(rng.range_inclusive(0, 10) as f64 / 100.0);
         // Dates cluster forward with jitter: zone maps stay useful.
-        shipdate.push((i as i64) / 100 + rng.gen_range(0..30));
-        region.push(REGIONS[rng.gen_range(0..REGIONS.len())].to_string());
-        let w1 = COMMENT_WORDS[rng.gen_range(0..COMMENT_WORDS.len())];
-        let w2 = COMMENT_WORDS[rng.gen_range(0..COMMENT_WORDS.len())];
+        shipdate.push((i as i64) / 100 + rng.next_below(30) as i64);
+        region.push(REGIONS[rng.next_below(REGIONS.len() as u64) as usize].to_string());
+        let w1 = COMMENT_WORDS[rng.next_below(COMMENT_WORDS.len() as u64) as usize];
+        let w2 = COMMENT_WORDS[rng.next_below(COMMENT_WORDS.len() as u64) as usize];
         comment.push(format!("{w1} {w2} package {i}"));
     }
     batch_of(vec![
@@ -74,16 +83,16 @@ pub fn lineitem(rows: usize, seed: u64) -> Batch {
 /// Columns: `o_orderkey` (int, unique ascending), `o_custkey` (int),
 /// `o_priority` (int 0..=4), `o_region` (utf8).
 pub fn orders(rows: usize, seed: u64) -> Batch {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let mut rng = SimRng::new(seed ^ 0x5EED);
     let mut orderkey = Vec::with_capacity(rows);
     let mut custkey = Vec::with_capacity(rows);
     let mut priority = Vec::with_capacity(rows);
     let mut region = Vec::with_capacity(rows);
     for i in 0..rows {
         orderkey.push(i as i64);
-        custkey.push(rng.gen_range(0..(rows as i64 / 10).max(1)));
-        priority.push(rng.gen_range(0..=4i64));
-        region.push(REGIONS[rng.gen_range(0..REGIONS.len())].to_string());
+        custkey.push(rng.next_below((rows as u64 / 10).max(1)) as i64);
+        priority.push(rng.range_inclusive(0, 4) as i64);
+        region.push(REGIONS[rng.next_below(REGIONS.len() as u64) as usize].to_string());
     }
     batch_of(vec![
         ("o_orderkey", Column::from_i64(orderkey)),
@@ -97,7 +106,7 @@ pub fn orders(rows: usize, seed: u64) -> Batch {
 /// `sensor` (int, 0..sensors), `value` (float random walk), `level`
 /// (utf8: "info"/"warn"/"error" at 94/5/1%).
 pub fn telemetry(rows: usize, sensors: usize, seed: u64) -> Batch {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E1E);
+    let mut rng = SimRng::new(seed ^ 0x7E1E);
     let mut ts = Vec::with_capacity(rows);
     let mut sensor = Vec::with_capacity(rows);
     let mut value = Vec::with_capacity(rows);
@@ -105,10 +114,10 @@ pub fn telemetry(rows: usize, sensors: usize, seed: u64) -> Batch {
     let mut walk = 20.0f64;
     for i in 0..rows {
         ts.push(i as i64);
-        sensor.push(rng.gen_range(0..sensors.max(1) as i64));
-        walk += rng.gen_range(-0.5..0.5);
+        sensor.push(rng.next_below(sensors.max(1) as u64) as i64);
+        walk += rng.next_f64() - 0.5;
         value.push(walk);
-        let r: f64 = rng.gen();
+        let r = rng.next_f64();
         level.push(
             if r < 0.01 {
                 "error"
@@ -147,11 +156,20 @@ mod tests {
         assert_eq!(b.rows(), 1000);
         assert_eq!(b.schema().len(), 8);
         // Order keys ascending, ~4 items each.
-        let keys = b.column_by_name("l_orderkey").unwrap().i64_values().unwrap();
+        let keys = b
+            .column_by_name("l_orderkey")
+            .unwrap()
+            .i64_values()
+            .unwrap();
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*keys.last().unwrap(), 249);
         // Quantities within range.
-        for &q in b.column_by_name("l_quantity").unwrap().i64_values().unwrap() {
+        for &q in b
+            .column_by_name("l_quantity")
+            .unwrap()
+            .i64_values()
+            .unwrap()
+        {
             assert!((1..=50).contains(&q));
         }
     }
@@ -159,7 +177,11 @@ mod tests {
     #[test]
     fn orders_keys_unique() {
         let b = orders(100, 1);
-        let keys = b.column_by_name("o_orderkey").unwrap().i64_values().unwrap();
+        let keys = b
+            .column_by_name("o_orderkey")
+            .unwrap()
+            .i64_values()
+            .unwrap();
         assert_eq!(keys, (0..100).collect::<Vec<i64>>());
     }
 
@@ -167,7 +189,9 @@ mod tests {
     fn telemetry_levels_distributed() {
         let b = telemetry(20_000, 16, 7);
         let levels = b.column_by_name("level").unwrap();
-        let errors = (0..b.rows()).filter(|&i| levels.str_at(i) == "error").count();
+        let errors = (0..b.rows())
+            .filter(|&i| levels.str_at(i) == "error")
+            .count();
         // ~1% errors.
         assert!(errors > 100 && errors < 400, "errors={errors}");
         // Timestamps sorted (zone-map friendliness).

@@ -69,8 +69,7 @@ fn chacha20_block(key: &Key, counter: u32, nonce: &Nonce) -> [u8; 64] {
     }
     state[12] = counter;
     for i in 0..3 {
-        state[13 + i] =
-            u32::from_le_bytes(nonce.0[i * 4..i * 4 + 4].try_into().unwrap());
+        state[13 + i] = u32::from_le_bytes(nonce.0[i * 4..i * 4 + 4].try_into().unwrap());
     }
     let initial = state;
     for _ in 0..10 {
@@ -134,8 +133,8 @@ mod tests {
         assert_eq!(
             &block[..16],
             &[
-                0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd,
-                0x1f, 0xa3, 0x20, 0x71, 0xc4
+                0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+                0x71, 0xc4
             ]
         );
     }
@@ -154,8 +153,8 @@ offer you only one tip for the future, sunscreen would be it.";
         assert_eq!(
             &ct[..16],
             &[
-                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07,
-                0x28, 0xdd, 0x0d, 0x69, 0x81
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+                0x69, 0x81
             ]
         );
     }

@@ -66,7 +66,9 @@ pub fn dict_decode(buf: &[u8]) -> Result<Vec<String>> {
         out.push(entry.clone());
     }
     if pos != buf.len() {
-        return Err(CodecError::Corrupt("trailing bytes after dict codes".into()));
+        return Err(CodecError::Corrupt(
+            "trailing bytes after dict codes".into(),
+        ));
     }
     Ok(out)
 }
@@ -90,8 +92,7 @@ mod tests {
 
     #[test]
     fn compresses_low_cardinality() {
-        let values: Vec<String> =
-            (0..10_000).map(|i| format!("region-{}", i % 4)).collect();
+        let values: Vec<String> = (0..10_000).map(|i| format!("region-{}", i % 4)).collect();
         let plain: usize = values.iter().map(|s| s.len() + 4).sum();
         let enc = dict_encode(&values);
         assert!(

@@ -118,7 +118,9 @@ pub fn decode_tagged(tag: u8, buf: &[u8]) -> Result<Vec<i64>> {
         }
         1 => rle_decode(buf),
         2 => delta_decode(buf),
-        other => Err(CodecError::Corrupt(format!("unknown int codec tag {other}"))),
+        other => Err(CodecError::Corrupt(format!(
+            "unknown int codec tag {other}"
+        ))),
     }
 }
 
@@ -136,7 +138,11 @@ mod tests {
     fn rle_compresses_runs() {
         let values = vec![42i64; 10_000];
         let enc = rle_encode(&values);
-        assert!(enc.len() < 16, "RLE of constant run should be tiny, got {}", enc.len());
+        assert!(
+            enc.len() < 16,
+            "RLE of constant run should be tiny, got {}",
+            enc.len()
+        );
     }
 
     #[test]

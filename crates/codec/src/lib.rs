@@ -49,7 +49,10 @@ impl fmt::Display for CodecError {
         match self {
             CodecError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
             CodecError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: stored {expected:#x}, computed {actual:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {expected:#x}, computed {actual:#x}"
+                )
             }
             CodecError::Data(e) => write!(f, "data error: {e}"),
         }

@@ -41,9 +41,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         {
             // Extend the match as far as it goes.
             let mut len = MIN_MATCH;
-            while pos + len < input.len()
-                && input[candidate + len] == input[pos + len]
-            {
+            while pos + len < input.len() && input[candidate + len] == input[pos + len] {
                 len += 1;
             }
             let distance = pos - candidate;

@@ -206,9 +206,8 @@ pub fn decode_column(buf: &[u8], pos: &mut usize, dtype: DataType) -> Result<Col
                     let offsets: Vec<u32> = offs
                         .iter()
                         .map(|&o| {
-                            u32::try_from(o).map_err(|_| {
-                                CodecError::Corrupt("negative offset".into())
-                            })
+                            u32::try_from(o)
+                                .map_err(|_| CodecError::Corrupt("negative offset".into()))
                         })
                         .collect::<Result<_>>()?;
                     // Structural validation before trusting the offsets.
@@ -232,9 +231,7 @@ pub fn decode_column(buf: &[u8], pos: &mut usize, dtype: DataType) -> Result<Col
                     let values = dict::dict_decode(bytes)?;
                     Column::from_strs(&values)
                 }
-                other => {
-                    return Err(CodecError::Corrupt(format!("bad utf8 tag {other}")))
-                }
+                other => return Err(CodecError::Corrupt(format!("bad utf8 tag {other}"))),
             };
             let validity = read_validity(buf, pos)?;
             Ok(match (column, validity) {
@@ -430,9 +427,8 @@ pub fn decode_batch(frame: &[u8], key: Option<&Key>) -> Result<Batch> {
     }
 
     if flags & FLAG_ENCRYPTED != 0 {
-        let key = key.ok_or_else(|| {
-            CodecError::Corrupt("frame is encrypted but no key supplied".into())
-        })?;
+        let key = key
+            .ok_or_else(|| CodecError::Corrupt("frame is encrypted but no key supplied".into()))?;
         crypto::apply_keystream(key, &Nonce::from_counter(nonce_counter), &mut payload);
     }
     if flags & FLAG_COMPRESSED != 0 {
@@ -487,7 +483,13 @@ mod tests {
                 "score",
                 Column::from_opt_f64(
                     &(0..200)
-                        .map(|i| if i % 7 == 0 { None } else { Some(i as f64 * 0.5) })
+                        .map(|i| {
+                            if i % 7 == 0 {
+                                None
+                            } else {
+                                Some(i as f64 * 0.5)
+                            }
+                        })
                         .collect::<Vec<_>>(),
                 ),
             ),

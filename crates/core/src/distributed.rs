@@ -9,7 +9,7 @@
 //! produce identical results; the [`DistributedReport`] quantifies the
 //! difference in host involvement.
 
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 
 use df_codec::wire::WireOptions;
 use df_data::{Batch, SchemaRef};
@@ -77,74 +77,76 @@ pub fn distributed_hash_join(
     // Round-robin initial placement (batch granularity).
     let build_parts: Vec<Vec<Batch>> = split_round_robin(build, nodes);
     let probe_parts: Vec<Vec<Batch>> = split_round_robin(probe, nodes);
+    // No node may start scattering the probe side until every node has
+    // drained its build-side gather: otherwise a fast node's probe frames
+    // land in a slow node's build partition.
+    let phase_barrier = Barrier::new(nodes);
 
-    let results: Vec<Result<(Option<Batch>, CollectiveStats)>> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(nodes);
-            for node in 0..nodes {
-                let network = network.clone();
-                let my_build = build_parts[node].clone();
-                let my_probe = probe_parts[node].clone();
-                let all_nodes = all_nodes.clone();
-                let wire = config.wire;
-                let smart = config.smart_exchange;
-                let build_schema = build.schema().clone();
-                let join_schema = join_schema.clone();
-                let build_key = on.0.to_string();
-                let probe_key = on.1.to_string();
-                handles.push(scope.spawn(move || {
-                    let scatter = if smart { scatter_smart } else { scatter_host };
-                    // Phase 1: exchange the build side.
-                    let mut stats = scatter(
-                        &network,
-                        node,
-                        &my_build,
-                        &[build_key.as_str()],
-                        &all_nodes,
-                        &wire,
-                    )?;
-                    let my_build_partition = gather(&network, node, nodes)?;
-                    // Phase 2: exchange the probe side.
-                    let probe_stats = scatter(
-                        &network,
-                        node,
-                        &my_probe,
-                        &[probe_key.as_str()],
-                        &all_nodes,
-                        &wire,
-                    )?;
-                    stats.host_bytes += probe_stats.host_bytes;
-                    stats.nic_bytes += probe_stats.nic_bytes;
-                    stats.wire_bytes += probe_stats.wire_bytes;
-                    stats.rows += probe_stats.rows;
-                    let my_probe_partition = gather(&network, node, nodes)?;
-                    // Phase 3: local hash join of the owned partition.
-                    let mut op = HashJoinOp::new(
-                        vec![(build_key, probe_key)],
-                        build_schema,
-                        join_schema,
-                    );
-                    for b in my_build_partition {
-                        op.build(b)?;
-                    }
-                    let mut outs = Vec::new();
-                    for p in my_probe_partition {
-                        outs.extend(op.push(p)?);
-                    }
-                    outs.extend(op.finish()?);
-                    let local = if outs.is_empty() {
-                        None
-                    } else {
-                        Some(Batch::concat(&outs)?)
-                    };
-                    Ok((local, stats))
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
+    let results: Vec<Result<(Option<Batch>, CollectiveStats)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nodes);
+        for node in 0..nodes {
+            let network = network.clone();
+            let phase_barrier = &phase_barrier;
+            let my_build = build_parts[node].clone();
+            let my_probe = probe_parts[node].clone();
+            let all_nodes = all_nodes.clone();
+            let wire = config.wire;
+            let smart = config.smart_exchange;
+            let build_schema = build.schema().clone();
+            let join_schema = join_schema.clone();
+            let build_key = on.0.to_string();
+            let probe_key = on.1.to_string();
+            handles.push(scope.spawn(move || {
+                let scatter = if smart { scatter_smart } else { scatter_host };
+                // Phase 1: exchange the build side.
+                let mut stats = scatter(
+                    &network,
+                    node,
+                    &my_build,
+                    &[build_key.as_str()],
+                    &all_nodes,
+                    &wire,
+                )?;
+                let my_build_partition = gather(&network, node, nodes)?;
+                phase_barrier.wait();
+                // Phase 2: exchange the probe side.
+                let probe_stats = scatter(
+                    &network,
+                    node,
+                    &my_probe,
+                    &[probe_key.as_str()],
+                    &all_nodes,
+                    &wire,
+                )?;
+                stats.host_bytes += probe_stats.host_bytes;
+                stats.nic_bytes += probe_stats.nic_bytes;
+                stats.wire_bytes += probe_stats.wire_bytes;
+                stats.rows += probe_stats.rows;
+                let my_probe_partition = gather(&network, node, nodes)?;
+                // Phase 3: local hash join of the owned partition.
+                let mut op =
+                    HashJoinOp::new(vec![(build_key, probe_key)], build_schema, join_schema);
+                for b in my_build_partition {
+                    op.build(b)?;
+                }
+                let mut outs = Vec::new();
+                for p in my_probe_partition {
+                    outs.extend(op.push(p)?);
+                }
+                outs.extend(op.finish()?);
+                let local = if outs.is_empty() {
+                    None
+                } else {
+                    Some(Batch::concat(&outs)?)
+                };
+                Ok((local, stats))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut report = DistributedReport::default();
     let mut parts = Vec::new();
@@ -186,59 +188,55 @@ pub fn distributed_broadcast_join(
     let network = Arc::new(Network::new(nodes));
     let probe_parts: Vec<Vec<Batch>> = split_round_robin(probe, nodes);
 
-    let results: Vec<Result<(Option<Batch>, CollectiveStats)>> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(nodes);
-            for (node, part) in probe_parts.iter().enumerate() {
-                let network = network.clone();
-                let my_probe = part.clone();
-                let wire = config.wire;
-                let build = build.clone();
-                let build_schema = build.schema().clone();
-                let join_schema = join_schema.clone();
-                let build_key = on.0.to_string();
-                let probe_key = on.1.to_string();
-                let all_nodes: Vec<usize> = (0..nodes).collect();
-                handles.push(scope.spawn(move || {
-                    // Node 0 owns the small table and broadcasts it; every
-                    // node (including 0 via loopback) receives one copy.
-                    let mut stats = CollectiveStats::default();
-                    if node == 0 {
-                        stats = df_net::collective::broadcast(
-                            &network,
-                            0,
-                            std::slice::from_ref(&build),
-                            &all_nodes,
-                            &wire,
-                        )?;
-                    }
-                    let my_build = gather(&network, node, 1)?;
-                    let mut op = HashJoinOp::new(
-                        vec![(build_key, probe_key)],
-                        build_schema,
-                        join_schema,
-                    );
-                    for b in my_build {
-                        op.build(b)?;
-                    }
-                    let mut outs = Vec::new();
-                    for p in my_probe {
-                        outs.extend(op.push(p)?);
-                    }
-                    outs.extend(op.finish()?);
-                    let local = if outs.is_empty() {
-                        None
-                    } else {
-                        Some(Batch::concat(&outs)?)
-                    };
-                    Ok((local, stats))
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
+    let results: Vec<Result<(Option<Batch>, CollectiveStats)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nodes);
+        for (node, part) in probe_parts.iter().enumerate() {
+            let network = network.clone();
+            let my_probe = part.clone();
+            let wire = config.wire;
+            let build = build.clone();
+            let build_schema = build.schema().clone();
+            let join_schema = join_schema.clone();
+            let build_key = on.0.to_string();
+            let probe_key = on.1.to_string();
+            let all_nodes: Vec<usize> = (0..nodes).collect();
+            handles.push(scope.spawn(move || {
+                // Node 0 owns the small table and broadcasts it; every
+                // node (including 0 via loopback) receives one copy.
+                let mut stats = CollectiveStats::default();
+                if node == 0 {
+                    stats = df_net::collective::broadcast(
+                        &network,
+                        0,
+                        std::slice::from_ref(&build),
+                        &all_nodes,
+                        &wire,
+                    )?;
+                }
+                let my_build = gather(&network, node, 1)?;
+                let mut op =
+                    HashJoinOp::new(vec![(build_key, probe_key)], build_schema, join_schema);
+                for b in my_build {
+                    op.build(b)?;
+                }
+                let mut outs = Vec::new();
+                for p in my_probe {
+                    outs.extend(op.push(p)?);
+                }
+                outs.extend(op.finish()?);
+                let local = if outs.is_empty() {
+                    None
+                } else {
+                    Some(Batch::concat(&outs)?)
+                };
+                Ok((local, stats))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut report = DistributedReport::default();
     let mut parts = Vec::new();
@@ -375,10 +373,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(
-            smart.0.canonical_rows(),
-            host.0.canonical_rows()
-        );
+        assert_eq!(smart.0.canonical_rows(), host.0.canonical_rows());
         // The headline metric: NIC exchange keeps host bytes at zero.
         assert_eq!(smart.1.host_bytes, 0);
         assert!(host.1.host_bytes > 0);

@@ -39,13 +39,7 @@ impl MovementLedger {
 
     /// Charge one batch moving from `from` to `to`. Unplaced endpoints and
     /// same-device moves count as local.
-    pub fn charge(
-        &mut self,
-        from: Option<DeviceId>,
-        to: Option<DeviceId>,
-        bytes: u64,
-        rows: u64,
-    ) {
+    pub fn charge(&mut self, from: Option<DeviceId>, to: Option<DeviceId>, bytes: u64, rows: u64) {
         let stats = match (from, to) {
             (Some(f), Some(t)) if f != t => self.edges.entry((f, t)).or_default(),
             _ => &mut self.local,
@@ -85,6 +79,41 @@ impl MovementLedger {
         out
     }
 
+    /// Replay cross-device traffic into `tracer` as instants on the same
+    /// `link.<a>-<b>.<tech>` sim lanes the flow simulator uses: one event
+    /// per (edge, link) carrying the edge's byte/row/batch totals. The sum
+    /// of `bytes` annotations on a link's lane then equals that link's
+    /// entry in [`MovementLedger::per_link`] — the consistency contract
+    /// checked by `tests/trace_ledger.rs`.
+    pub fn trace_links(&self, topology: &Topology, tracer: &df_sim::Tracer) {
+        use df_sim::trace::LaneKind;
+        for (&(from, to), stats) in &self.edges {
+            let Some(route) = topology.route(from, to) else {
+                continue;
+            };
+            for link in route.links {
+                let spec = topology.link(link);
+                let name = format!(
+                    "link.{}-{}.{}",
+                    topology.device(spec.a).name,
+                    topology.device(spec.b).name,
+                    spec.tech.name()
+                );
+                let lane = tracer.lane(&name, LaneKind::Sim);
+                tracer.instant_at_with(
+                    lane,
+                    &format!("{from}->{to}"),
+                    df_sim::SimTime(0),
+                    &[
+                        ("bytes", stats.bytes),
+                        ("rows", stats.rows),
+                        ("batches", stats.batches),
+                    ],
+                );
+            }
+        }
+    }
+
     /// Bytes on edges with no route in the given topology (a placement bug
     /// if non-zero).
     pub fn unroutable_bytes(&self, topology: &Topology) -> u64 {
@@ -111,7 +140,11 @@ impl MovementLedger {
 
 impl fmt::Display for MovementLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "local: {} bytes / {} rows", self.local.bytes, self.local.rows)?;
+        writeln!(
+            f,
+            "local: {} bytes / {} rows",
+            self.local.bytes, self.local.rows
+        )?;
         for ((from, to), stats) in &self.edges {
             writeln!(
                 f,

@@ -12,8 +12,11 @@
 //! (StorageScan|Values)`. Other shapes return `Unsupported`, and callers
 //! fall back to the sequential executor.
 
-use crossbeam::channel::bounded;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
 use df_data::{Batch, SchemaRef};
+use df_sim::trace::LaneKind;
 
 use crate::error::{EngineError, Result};
 use crate::exec::ledger::MovementLedger;
@@ -26,10 +29,38 @@ use crate::physical::{PhysNode, PhysicalPlan};
 /// Rows per morsel handed to workers.
 pub const MORSEL_ROWS: usize = 4096;
 
+/// A shared pool of morsels that worker threads pull from. The source is
+/// already materialized when workers start, so pre-splitting it costs no
+/// extra memory beyond the queue of (cheap, column-sharing) batch handles.
+struct MorselQueue {
+    morsels: Mutex<VecDeque<Batch>>,
+}
+
+impl MorselQueue {
+    fn new(morsels: VecDeque<Batch>) -> MorselQueue {
+        MorselQueue {
+            morsels: Mutex::new(morsels),
+        }
+    }
+
+    fn pop(&self) -> Option<Batch> {
+        self.morsels
+            .lock()
+            .expect("morsel queue poisoned")
+            .pop_front()
+    }
+}
+
 #[derive(Clone)]
 enum Stage {
-    Filter { predicate: Expr, use_kernel: bool },
-    Project { exprs: Vec<(Expr, String)>, schema: SchemaRef },
+    Filter {
+        predicate: Expr,
+        use_kernel: bool,
+    },
+    Project {
+        exprs: Vec<(Expr, String)>,
+        schema: SchemaRef,
+    },
 }
 
 struct Shape<'a> {
@@ -101,7 +132,10 @@ fn extract_shape(root: &PhysNode) -> Option<Shape<'_>> {
     }
 }
 
-fn build_stage_ops(stages: &[Stage], mut input_schema: SchemaRef) -> Result<Vec<Box<dyn Operator>>> {
+fn build_stage_ops(
+    stages: &[Stage],
+    mut input_schema: SchemaRef,
+) -> Result<Vec<Box<dyn Operator>>> {
     let mut ops: Vec<Box<dyn Operator>> = Vec::with_capacity(stages.len());
     for stage in stages {
         match stage {
@@ -143,11 +177,7 @@ fn run_chain(ops: &mut [Box<dyn Operator>], batch: Batch) -> Result<Vec<Batch>> 
 /// Execute a plan with `threads` workers. Returns
 /// `Err(EngineError::Plan(_))` when the shape is unsupported — callers
 /// should then use [`crate::exec::push::execute`].
-pub fn execute_parallel(
-    plan: &PhysicalPlan,
-    env: &ExecEnv,
-    threads: usize,
-) -> Result<ExecOutcome> {
+pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> Result<ExecOutcome> {
     let threads = threads.max(1);
     let shape = extract_shape(&plan.root).ok_or_else(|| {
         EngineError::Plan("plan shape not supported by the parallel executor".into())
@@ -174,20 +204,34 @@ pub fn execute_parallel(
         ledger.charge(leaf_device, None, b.byte_size() as u64, b.rows() as u64);
     }
 
-    let (tx, rx) = bounded::<Batch>(threads * 2);
+    let queue = MorselQueue::new(
+        source
+            .iter()
+            .flat_map(|batch| batch.split(MORSEL_ROWS))
+            .collect(),
+    );
+    // Lanes are created up front in worker order so lane creation is
+    // deterministic even though workers race.
+    let worker_trace: Vec<_> = (0..threads)
+        .map(|i| {
+            env.tracer.as_ref().map(|t| {
+                (
+                    t.clone(),
+                    t.lane(&format!("exec.worker{i}"), LaneKind::Wall),
+                )
+            })
+        })
+        .collect();
     let worker_results: Vec<Result<Vec<Batch>>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let rx = rx.clone();
+        for trace in worker_trace {
+            let queue = &queue;
             let stages = shape.stages.clone();
             let agg = shape.agg.clone();
             let leaf_schema = leaf_schema.clone();
             handles.push(scope.spawn(move || -> Result<Vec<Batch>> {
                 let mut ops = build_stage_ops(&stages, leaf_schema.clone())?;
-                let chain_out_schema = ops
-                    .last()
-                    .map(|op| op.schema())
-                    .unwrap_or(leaf_schema);
+                let chain_out_schema = ops.last().map(|op| op.schema()).unwrap_or(leaf_schema);
                 let mut partial = match &agg {
                     Some((group_by, aggs, final_schema)) => Some(HashAggOp::new(
                         group_by.clone(),
@@ -201,7 +245,17 @@ pub fn execute_parallel(
                     None => None,
                 };
                 let mut collected = Vec::new();
-                for batch in rx.iter() {
+                while let Some(batch) = queue.pop() {
+                    let _morsel = trace.as_ref().map(|(t, lane)| {
+                        t.span_with(
+                            *lane,
+                            "morsel",
+                            &[
+                                ("rows", batch.rows() as u64),
+                                ("bytes", batch.byte_size() as u64),
+                            ],
+                        )
+                    });
                     let outs = run_chain(&mut ops, batch)?;
                     for out in outs {
                         match partial.as_mut() {
@@ -224,17 +278,10 @@ pub fn execute_parallel(
                 Ok(collected)
             }));
         }
-        drop(rx);
-        // Feed morsels.
-        for batch in source {
-            for morsel in batch.split(MORSEL_ROWS) {
-                if tx.send(morsel).is_err() {
-                    break;
-                }
-            }
-        }
-        drop(tx);
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     let mut partials = Vec::new();
@@ -249,18 +296,17 @@ pub fn execute_parallel(
                 Vec::new()
             } else {
                 // Merge worker partials (positional layout).
-                let partial_layout =
-                    crate::ops::aggregate::partial_schema(group_by, aggs, &{
-                        // The chain output schema:
-                        let mut s = leaf_schema.clone();
-                        for stage in &shape.stages {
-                            if let Stage::Project { schema, .. } = stage {
-                                s = schema.clone();
-                            }
+                let partial_layout = crate::ops::aggregate::partial_schema(group_by, aggs, &{
+                    // The chain output schema:
+                    let mut s = leaf_schema.clone();
+                    for stage in &shape.stages {
+                        if let Stage::Project { schema, .. } = stage {
+                            s = schema.clone();
                         }
-                        s.as_ref().clone()
-                    })?
-                    .into_ref();
+                    }
+                    s.as_ref().clone()
+                })?
+                .into_ref();
                 let mut merge = HashAggOp::new(
                     group_by.clone(),
                     aggs.clone(),
@@ -316,7 +362,10 @@ mod tests {
                 "grp",
                 Column::from_strs(&(0..n).map(|i| format!("g{}", i % 8)).collect::<Vec<_>>()),
             ),
-            ("v", Column::from_f64((0..n).map(|i| (i % 100) as f64).collect())),
+            (
+                "v",
+                Column::from_f64((0..n).map(|i| (i % 100) as f64).collect()),
+            ),
         ])
     }
 

@@ -12,16 +12,16 @@
 //! layout, so partials from any device merge interchangeably.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use df_data::Batch;
 use df_fabric::{DeviceId, Topology};
+use df_sim::trace::{LaneId, LaneKind, SpanGuard, Tracer};
 use df_storage::smart::{ScanStats, SmartStorage};
 
 use crate::error::{EngineError, Result};
 use crate::exec::ledger::MovementLedger;
-use crate::ops::{
-    FilterOp, HashAggOp, HashJoinOp, LimitOp, Operator, ProjectOp, SortOp, TopKOp,
-};
+use crate::ops::{FilterOp, HashAggOp, HashJoinOp, LimitOp, Operator, ProjectOp, SortOp, TopKOp};
 use crate::physical::{PhysNode, PhysicalPlan};
 
 /// Execution environment: where stored tables live and (optionally) the
@@ -37,6 +37,10 @@ pub struct ExecEnv<'a> {
     /// *wire-encoded* size under these options (compression/encryption as
     /// explicit data-path stages, §1) instead of their in-memory size.
     pub wire: Option<df_codec::wire::WireOptions>,
+    /// When set, the executor records wall-clock operator and morsel spans
+    /// (annotated with rows/bytes) into this tracer. `None` costs one branch
+    /// per call site and takes no locks.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl<'a> ExecEnv<'a> {
@@ -46,6 +50,7 @@ impl<'a> ExecEnv<'a> {
             storage: None,
             topology: None,
             wire: None,
+            tracer: None,
         }
     }
 }
@@ -82,6 +87,14 @@ struct Ctx<'a, 'b> {
     env: &'b ExecEnv<'a>,
     ledger: &'b RefCell<MovementLedger>,
     scan_stats: &'b RefCell<Vec<ScanStats>>,
+    trace: Option<(&'b Arc<Tracer>, LaneId)>,
+}
+
+impl Ctx<'_, '_> {
+    /// Open a wall-clock span on the executor lane (None when not tracing).
+    fn span<'s>(&'s self, name: &str, args: &[(&str, u64)]) -> Option<SpanGuard<'s>> {
+        self.trace.map(|(t, lane)| t.span_with(lane, name, args))
+    }
 }
 
 /// Execute a physical plan.
@@ -90,11 +103,17 @@ pub fn execute(plan: &PhysicalPlan, env: &ExecEnv) -> Result<ExecOutcome> {
     let scan_stats = RefCell::new(Vec::new());
     let mut batches = Vec::new();
     {
+        let trace = env
+            .tracer
+            .as_ref()
+            .map(|t| (t, t.lane("exec.push", LaneKind::Wall)));
         let ctx = Ctx {
             env,
             ledger: &ledger,
             scan_stats: &scan_stats,
+            trace,
         };
+        let _query = ctx.span(&format!("query [{}]", plan.variant), &[]);
         stream_node(&plan.root, &ctx, None, &mut |b| {
             batches.push(b);
             Ok(())
@@ -130,12 +149,30 @@ fn emit(
     sink(batch)
 }
 
+/// Short span label for a plan node.
+fn node_label(node: &PhysNode) -> &'static str {
+    match node {
+        PhysNode::StorageScan { .. } => "storage-scan",
+        PhysNode::Values { .. } => "values",
+        PhysNode::Filter { .. } => "filter",
+        PhysNode::Project { .. } => "project",
+        PhysNode::Aggregate { .. } => "aggregate",
+        PhysNode::Sort { .. } => "sort",
+        PhysNode::Limit { .. } => "limit",
+        PhysNode::TopK { .. } => "topk",
+        PhysNode::HashJoin { .. } => "hash-join",
+    }
+}
+
 fn stream_node(
     node: &PhysNode,
     ctx: &Ctx,
     parent: Option<DeviceId>,
     sink: &mut Sink,
 ) -> Result<()> {
+    // One span per operator; children nest inside it (push-based execution
+    // runs the whole subtree within the parent operator's drive loop).
+    let _op_span = ctx.span(node_label(node), &[]);
     match node {
         PhysNode::StorageScan {
             table,
@@ -240,23 +277,23 @@ fn stream_node(
             schema,
             device,
         } => {
-            let mut op = HashJoinOp::with_type(
-                on.clone(),
-                *join_type,
-                build.schema(),
-                schema.clone(),
-            );
+            let mut op =
+                HashJoinOp::with_type(on.clone(), *join_type, build.schema(), schema.clone());
             // Phase 1: drain the build side into the hash table.
-            stream_node(build, ctx, *device, &mut |batch| {
-                op.build(batch)
-            })?;
+            {
+                let _build_span = ctx.span("join-build", &[]);
+                stream_node(build, ctx, *device, &mut |batch| op.build(batch))?;
+            }
             // Phase 2: stream probes through.
-            stream_node(probe, ctx, *device, &mut |batch| {
-                for out in op.push(batch)? {
-                    emit(ctx, *device, parent, out, sink)?;
-                }
-                Ok(())
-            })?;
+            {
+                let _probe_span = ctx.span("join-probe", &[]);
+                stream_node(probe, ctx, *device, &mut |batch| {
+                    for out in op.push(batch)? {
+                        emit(ctx, *device, parent, out, sink)?;
+                    }
+                    Ok(())
+                })?;
+            }
             for out in op.finish()? {
                 emit(ctx, *device, parent, out, sink)?;
             }
@@ -276,8 +313,20 @@ fn run_unary(
     sink: &mut Sink,
 ) -> Result<()> {
     stream_node(input, ctx, device, &mut |batch| {
+        let mut morsel = ctx.span(
+            "morsel",
+            &[
+                ("rows", batch.rows() as u64),
+                ("bytes", batch.byte_size() as u64),
+            ],
+        );
+        let mut out_rows = 0u64;
         for out in op.push(batch)? {
+            out_rows += out.rows() as u64;
             emit(ctx, device, parent, out, sink)?;
+        }
+        if let Some(span) = morsel.as_mut() {
+            span.annotate("out_rows", out_rows);
         }
         Ok(())
     })?;
@@ -291,8 +340,8 @@ fn run_unary(
 mod tests {
     use super::*;
     use crate::expr::{col, lit};
-    use crate::ops::AggMode;
     use crate::logical::{AggCall, AggFn, LogicalPlan};
+    use crate::ops::AggMode;
     use df_data::batch::batch_of;
     use df_data::{Column, Scalar};
     use df_fabric::topology::DisaggregatedConfig;
@@ -307,7 +356,10 @@ mod tests {
                 "grp",
                 Column::from_strs(&(0..n).map(|i| format!("g{}", i % 4)).collect::<Vec<_>>()),
             ),
-            ("qty", Column::from_i64((0..n as i64).map(|i| i % 10).collect())),
+            (
+                "qty",
+                Column::from_i64((0..n as i64).map(|i| i % 10).collect()),
+            ),
         ])
     }
 
@@ -379,9 +431,7 @@ mod tests {
         let out = execute(&plan, &ExecEnv::in_memory()).unwrap();
         let merged = out.collect().unwrap();
         assert_eq!(merged.rows(), 4);
-        let total: i64 = (0..4)
-            .map(|r| merged.row(r)[2].as_int().unwrap())
-            .sum();
+        let total: i64 = (0..4).map(|r| merged.row(r)[2].as_int().unwrap()).sum();
         let expect: i64 = (0..100i64).map(|i| i % 10).sum();
         assert_eq!(total, expect);
     }
@@ -516,6 +566,7 @@ mod tests {
             storage: Some(&storage),
             topology: Some(&topo),
             wire: None,
+            tracer: None,
         };
         let out = execute(&plan, &env).unwrap();
         let merged = out.collect().unwrap();
@@ -540,10 +591,7 @@ mod tests {
         let storage = SmartStorage::new(ts);
         let request = ScanRequest::full().pre_aggregate(PreAggSpec {
             group_by: vec!["grp".into()],
-            aggs: vec![
-                (AggFunc::Sum, "qty".into()),
-                (AggFunc::Count, "qty".into()),
-            ],
+            aggs: vec![(AggFunc::Sum, "qty".into()), (AggFunc::Count, "qty".into())],
             max_groups: 2, // force partial flushes at storage
         });
         let scan_schema = storage.output_schema("t", &request).unwrap();
@@ -574,6 +622,7 @@ mod tests {
             storage: Some(&storage),
             topology: None,
             wire: None,
+            tracer: None,
         };
         let out = execute(&plan, &env).unwrap();
         let merged = out.collect().unwrap();

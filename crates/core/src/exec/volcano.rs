@@ -30,15 +30,11 @@ pub trait TupleIterator {
 /// Compile a physical plan into a Volcano iterator tree. Storage scans
 /// materialize their pages up front (a Volcano engine still reads pages;
 /// per-tuple iteration is the contrast being measured, not I/O).
-pub fn compile(
-    node: &PhysNode,
-    storage: Option<&SmartStorage>,
-) -> Result<Box<dyn TupleIterator>> {
+pub fn compile(node: &PhysNode, storage: Option<&SmartStorage>) -> Result<Box<dyn TupleIterator>> {
     Ok(match node {
         PhysNode::StorageScan { table, request, .. } => {
-            let storage = storage.ok_or_else(|| {
-                EngineError::Internal("volcano plan needs storage".into())
-            })?;
+            let storage = storage
+                .ok_or_else(|| EngineError::Internal("volcano plan needs storage".into()))?;
             let (batches, _) = storage.scan(table, request)?;
             let schema = node.schema();
             Box::new(RowsIter::from_batches(batches, schema))
@@ -96,10 +92,9 @@ pub fn compile(
             *join_type,
             schema.clone(),
         )),
-        PhysNode::Sort { input, keys, .. } => Box::new(SortIter::new(
-            compile(input, storage)?,
-            keys.clone(),
-        )),
+        PhysNode::Sort { input, keys, .. } => {
+            Box::new(SortIter::new(compile(input, storage)?, keys.clone()))
+        }
         PhysNode::Limit { input, n } => Box::new(LimitIter {
             input: compile(input, storage)?,
             left: *n,
@@ -114,6 +109,41 @@ pub fn compile(
 
 /// Run a plan to completion, assembling a batch (test/benchmark harness).
 pub fn execute(plan: &PhysicalPlan, storage: Option<&SmartStorage>) -> Result<Batch> {
+    execute_traced(plan, storage, None)
+}
+
+/// [`execute`] with optional tracing: the drive loop becomes one span on
+/// the `exec.volcano` wall lane (annotated with output rows), preceded by
+/// one instant per operator in the plan. Per-tuple spans would dwarf the
+/// work being measured — per-tuple overhead is the very thing this
+/// baseline exists to demonstrate — so the Volcano trace stays coarse.
+pub fn execute_traced(
+    plan: &PhysicalPlan,
+    storage: Option<&SmartStorage>,
+    tracer: Option<&std::sync::Arc<df_sim::Tracer>>,
+) -> Result<Batch> {
+    let trace = tracer.map(|t| (t, t.lane("exec.volcano", df_sim::LaneKind::Wall)));
+    if let Some((t, lane)) = trace {
+        fn visit(node: &PhysNode, t: &df_sim::Tracer, lane: df_sim::LaneId) {
+            let label = match node {
+                PhysNode::StorageScan { .. } => "op:storage-scan",
+                PhysNode::Values { .. } => "op:values",
+                PhysNode::Filter { .. } => "op:filter",
+                PhysNode::Project { .. } => "op:project",
+                PhysNode::Aggregate { .. } => "op:aggregate",
+                PhysNode::Sort { .. } => "op:sort",
+                PhysNode::Limit { .. } => "op:limit",
+                PhysNode::TopK { .. } => "op:topk",
+                PhysNode::HashJoin { .. } => "op:hash-join",
+            };
+            t.instant(lane, label);
+            for child in node.children() {
+                visit(child, t, lane);
+            }
+        }
+        visit(&plan.root, t, lane);
+    }
+    let mut span = trace.map(|(t, lane)| t.span(lane, &format!("query [{}]", plan.variant)));
     let mut iter = compile(&plan.root, storage)?;
     let schema = iter.schema();
     let mut builders: Vec<ColumnBuilder> = schema
@@ -121,10 +151,15 @@ pub fn execute(plan: &PhysicalPlan, storage: Option<&SmartStorage>) -> Result<Ba
         .iter()
         .map(|f| ColumnBuilder::new(f.dtype, 1024))
         .collect();
+    let mut rows = 0u64;
     while let Some(row) = iter.next()? {
+        rows += 1;
         for (b, v) in builders.iter_mut().zip(row) {
             b.push(v)?;
         }
+    }
+    if let Some(span) = span.as_mut() {
+        span.annotate("rows", rows);
     }
     let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
     Batch::new(schema, columns).map_err(EngineError::from)
@@ -186,10 +221,7 @@ impl TupleIterator for FilterIter {
     fn next(&mut self) -> Result<Option<Vec<Scalar>>> {
         let schema = self.input.schema();
         while let Some(row) = self.input.next()? {
-            if matches!(
-                self.predicate.eval_row(&schema, &row)?,
-                Scalar::Bool(true)
-            ) {
+            if matches!(self.predicate.eval_row(&schema, &row)?, Scalar::Bool(true)) {
                 return Ok(Some(row));
             }
         }
@@ -364,8 +396,7 @@ impl AggIter {
 
         let mut groups: HashMap<String, (Vec<Scalar>, Vec<RowAcc>)> = HashMap::new();
         while let Some(row) = self.input.next()? {
-            let key_scalars: Vec<Scalar> =
-                group_idx.iter().map(|&i| row[i].clone()).collect();
+            let key_scalars: Vec<Scalar> = group_idx.iter().map(|&i| row[i].clone()).collect();
             let key = format!("{key_scalars:?}");
             let entry = groups.entry(key).or_insert_with(|| {
                 let accs = self
@@ -417,9 +448,9 @@ impl AggIter {
                     }
                     RowAcc::Max(cur) => {
                         if !value.is_null()
-                            && cur.as_ref().is_none_or(|c| {
-                                value.total_cmp(c) == std::cmp::Ordering::Greater
-                            })
+                            && cur
+                                .as_ref()
+                                .is_none_or(|c| value.total_cmp(c) == std::cmp::Ordering::Greater)
                         {
                             *cur = Some(value);
                         }
@@ -456,9 +487,7 @@ impl AggIter {
                         RowAcc::Count(n) => Scalar::Int(n),
                         RowAcc::SumInt(s, true) => Scalar::Int(s),
                         RowAcc::SumFloat(s, true) => Scalar::Float(s),
-                        RowAcc::SumInt(_, false) | RowAcc::SumFloat(_, false) => {
-                            Scalar::Null
-                        }
+                        RowAcc::SumInt(_, false) | RowAcc::SumFloat(_, false) => Scalar::Null,
                         RowAcc::Min(v) | RowAcc::Max(v) => v.unwrap_or(Scalar::Null),
                         RowAcc::Avg(_, 0) => Scalar::Null,
                         RowAcc::Avg(s, n) => Scalar::Float(s / n as f64),

@@ -281,9 +281,9 @@ impl Expr {
                 }
             }
             Expr::Not(inner) => inner.collect_columns(out),
-            Expr::Like { expr, .. }
-            | Expr::IsNull { expr, .. }
-            | Expr::Between { expr, .. } => expr.collect_columns(out),
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } | Expr::Between { expr, .. } => {
+                expr.collect_columns(out)
+            }
         }
     }
 
@@ -379,9 +379,7 @@ impl Expr {
                         Scalar::Bool(true) => {}
                         Scalar::Null => any_null = true,
                         other => {
-                            return Err(EngineError::Plan(format!(
-                                "AND over non-boolean {other}"
-                            )))
+                            return Err(EngineError::Plan(format!("AND over non-boolean {other}")))
                         }
                     }
                 }
@@ -399,9 +397,7 @@ impl Expr {
                         Scalar::Bool(false) => {}
                         Scalar::Null => any_null = true,
                         other => {
-                            return Err(EngineError::Plan(format!(
-                                "OR over non-boolean {other}"
-                            )))
+                            return Err(EngineError::Plan(format!("OR over non-boolean {other}")))
                         }
                     }
                 }
@@ -414,18 +410,12 @@ impl Expr {
             Expr::Not(inner) => match inner.eval_row(schema, row)? {
                 Scalar::Bool(b) => Scalar::Bool(!b),
                 Scalar::Null => Scalar::Null,
-                other => {
-                    return Err(EngineError::Plan(format!("NOT over non-boolean {other}")))
-                }
+                other => return Err(EngineError::Plan(format!("NOT over non-boolean {other}"))),
             },
             Expr::Like { expr, pattern } => match expr.eval_row(schema, row)? {
                 Scalar::Null => Scalar::Null,
-                Scalar::Str(s) => {
-                    Scalar::Bool(LikePattern::compile(pattern).matches(&s))
-                }
-                other => {
-                    return Err(EngineError::Plan(format!("LIKE over {other}")))
-                }
+                Scalar::Str(s) => Scalar::Bool(LikePattern::compile(pattern).matches(&s)),
+                other => return Err(EngineError::Plan(format!("LIKE over {other}"))),
             },
             Expr::IsNull { expr, negated } => {
                 let v = expr.eval_row(schema, row)?;
@@ -491,17 +481,18 @@ impl Expr {
         let rows = batch.rows();
         match self {
             Expr::Lit(Scalar::Bool(b)) => Ok((
-                if *b { Bitmap::ones(rows) } else { Bitmap::zeros(rows) },
+                if *b {
+                    Bitmap::ones(rows)
+                } else {
+                    Bitmap::zeros(rows)
+                },
                 Bitmap::ones(rows),
             )),
             Expr::Lit(Scalar::Null) => Ok((Bitmap::zeros(rows), Bitmap::zeros(rows))),
             Expr::Col(_) => {
                 let c = self.eval(batch)?;
                 let values = c.bool_values()?.clone();
-                let valid = c
-                    .validity()
-                    .cloned()
-                    .unwrap_or_else(|| Bitmap::ones(rows));
+                let valid = c.validity().cloned().unwrap_or_else(|| Bitmap::ones(rows));
                 Ok((values, valid))
             }
             Expr::Cmp { op, left, right } => {
@@ -574,8 +565,7 @@ impl Expr {
             }
             Expr::IsNull { expr, negated } => {
                 let c = expr.eval(batch)?;
-                let truth =
-                    Bitmap::from_iter((0..rows).map(|i| c.is_null(i) != *negated));
+                let truth = Bitmap::from_iter((0..rows).map(|i| c.is_null(i) != *negated));
                 Ok((truth, Bitmap::ones(rows)))
             }
             Expr::Between { expr, low, high } => {
@@ -642,10 +632,7 @@ fn eval_arith(op: ArithOp, l: &Column, r: &Column) -> Result<Column> {
                 builder.push(Scalar::Int(v))?;
             }
             Float64 => {
-                let (x, y) = (
-                    a.as_float_lossy().unwrap(),
-                    b.as_float_lossy().unwrap(),
-                );
+                let (x, y) = (a.as_float_lossy().unwrap(), b.as_float_lossy().unwrap());
                 let v = match op {
                     ArithOp::Add => x + y,
                     ArithOp::Sub => x - y,
@@ -721,7 +708,10 @@ mod tests {
     fn sample() -> Batch {
         batch_of(vec![
             ("a", Column::from_i64(vec![1, 2, 3, 4])),
-            ("b", Column::from_opt_i64(&[Some(10), None, Some(30), Some(40)])),
+            (
+                "b",
+                Column::from_opt_i64(&[Some(10), None, Some(30), Some(40)]),
+            ),
             ("s", Column::from_strs(&["foo", "bar", "foobar", "baz"])),
             ("f", Column::from_f64(vec![0.5, 1.5, 2.5, 3.5])),
         ])
@@ -823,7 +813,10 @@ mod tests {
 
     #[test]
     fn and_flattening() {
-        let e = col("a").gt(lit(0)).and(col("a").lt(lit(9))).and(col("a").ne(lit(5)));
+        let e = col("a")
+            .gt(lit(0))
+            .and(col("a").lt(lit(9)))
+            .and(col("a").ne(lit(5)));
         match e {
             Expr::And(children) => assert_eq!(children.len(), 3),
             other => panic!("expected flat AND, got {other}"),

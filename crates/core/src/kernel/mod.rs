@@ -252,9 +252,7 @@ impl Program {
                     let col = pop_col(&mut stack)?;
                     let pattern = self.registers[*reg as usize]
                         .as_str()
-                        .ok_or_else(|| {
-                            EngineError::Internal("LIKE register not a string".into())
-                        })?
+                        .ok_or_else(|| EngineError::Internal("LIKE register not a string".into()))?
                         .to_string();
                     let compiled = LikePattern::compile(&pattern);
                     let mut truth = Bitmap::zeros(rows);
@@ -270,9 +268,7 @@ impl Program {
                 }
                 Instr::IsNull(negated) => {
                     let col = pop_col(&mut stack)?;
-                    let truth = Bitmap::from_iter(
-                        (0..rows).map(|i| col.is_null(i) != *negated),
-                    );
+                    let truth = Bitmap::from_iter((0..rows).map(|i| col.is_null(i) != *negated));
                     stack.push(Value::Mask {
                         truth,
                         known: Bitmap::ones(rows),
@@ -299,9 +295,7 @@ impl Program {
             }
         }
         match stack.pop() {
-            Some(Value::Mask { truth, known }) if stack.is_empty() => {
-                Ok(truth.and(&known))
-            }
+            Some(Value::Mask { truth, known }) if stack.is_empty() => Ok(truth.and(&known)),
             _ => Err(EngineError::Internal(
                 "kernel program did not leave exactly one mask".into(),
             )),
@@ -361,9 +355,7 @@ pub fn to_storage_predicate(expr: &Expr) -> Option<StoragePredicate> {
             .map(to_storage_predicate)
             .collect::<Option<Vec<_>>>()
             .map(StoragePredicate::Or),
-        Expr::Not(inner) => {
-            to_storage_predicate(inner).map(|p| StoragePredicate::Not(Box::new(p)))
-        }
+        Expr::Not(inner) => to_storage_predicate(inner).map(|p| StoragePredicate::Not(Box::new(p))),
         Expr::Like { expr, pattern } => match expr.as_ref() {
             Expr::Col(c) => Some(StoragePredicate::Like {
                 column: c.clone(),
@@ -423,7 +415,10 @@ mod tests {
     fn agree(expr: &Expr) {
         let batch = sample();
         let host = expr.eval_predicate(&batch).unwrap();
-        let device = Program::compile_predicate(expr).unwrap().run(&batch).unwrap();
+        let device = Program::compile_predicate(expr)
+            .unwrap()
+            .run(&batch)
+            .unwrap();
         assert_eq!(host, device, "host/device disagree for {expr}");
     }
 
@@ -484,27 +479,21 @@ mod tests {
     #[test]
     fn pushdown_lowering() {
         let p = to_storage_predicate(&col("a").gt(lit(2))).unwrap();
-        assert_eq!(
-            p,
-            StoragePredicate::cmp("a", CmpOp::Gt, 2i64)
-        );
+        assert_eq!(p, StoragePredicate::cmp("a", CmpOp::Gt, 2i64));
         // Flipped literal-first comparison.
         let q = to_storage_predicate(&lit(2).lt(col("a"))).unwrap();
         assert_eq!(q, StoragePredicate::cmp("a", CmpOp::Gt, 2i64));
         // Conjunction lowers recursively.
-        let r = to_storage_predicate(
-            &col("a").gt(lit(2)).and(col("s").like("a%")),
-        )
-        .unwrap();
+        let r = to_storage_predicate(&col("a").gt(lit(2)).and(col("s").like("a%"))).unwrap();
         assert!(matches!(r, StoragePredicate::And(v) if v.len() == 2));
         // Arithmetic blocks lowering entirely.
         assert!(to_storage_predicate(&col("a").add(lit(1)).gt(lit(2))).is_none());
         // Partial non-lowerable conjunct blocks the conjunction (the
         // planner splits conjunctions before calling this).
-        assert!(to_storage_predicate(
-            &col("a").gt(lit(2)).and(col("a").add(lit(1)).gt(lit(0)))
-        )
-        .is_none());
+        assert!(
+            to_storage_predicate(&col("a").gt(lit(2)).and(col("a").add(lit(1)).gt(lit(0))))
+                .is_none()
+        );
     }
 
     #[test]

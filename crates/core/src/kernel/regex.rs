@@ -289,9 +289,7 @@ impl Parser<'_> {
                     Some(_) => {
                         let hi = self.chars.next().unwrap();
                         if hi < lo {
-                            return Err(EngineError::Parse(format!(
-                                "inverted range {lo}-{hi}"
-                            )));
+                            return Err(EngineError::Parse(format!("inverted range {lo}-{hi}")));
                         }
                         ranges.push((lo, hi));
                     }
@@ -362,7 +360,11 @@ impl Regex {
         let mut current = Vec::new();
         let mut set = vec![false; n];
         self.add_state(&mut set, &mut current, self.start);
-        if !self.anchored_end && current.iter().any(|&s| matches!(self.states[s], State::Match)) {
+        if !self.anchored_end
+            && current
+                .iter()
+                .any(|&s| matches!(self.states[s], State::Match))
+        {
             return true;
         }
         let mut accepted_unanchored = current

@@ -260,7 +260,9 @@ impl LogicalPlan {
     /// Group and aggregate.
     pub fn aggregate(self, group_by: Vec<String>, aggs: Vec<AggCall>) -> Result<LogicalPlan> {
         if aggs.is_empty() && group_by.is_empty() {
-            return Err(EngineError::Plan("aggregate needs groups or aggregates".into()));
+            return Err(EngineError::Plan(
+                "aggregate needs groups or aggregates".into(),
+            ));
         }
         let input_schema = self.schema();
         let mut fields = Vec::new();
@@ -309,7 +311,9 @@ impl LogicalPlan {
         join_type: JoinType,
     ) -> Result<LogicalPlan> {
         if on.is_empty() {
-            return Err(EngineError::Plan("join requires at least one key pair".into()));
+            return Err(EngineError::Plan(
+                "join requires at least one key pair".into(),
+            ));
         }
         let left_schema = self.schema();
         let right_schema = right.schema();
@@ -403,10 +407,7 @@ impl LogicalPlan {
                 input.explain_into(out, depth + 1);
             }
             LogicalPlan::Project { input, exprs, .. } => {
-                let items: Vec<String> = exprs
-                    .iter()
-                    .map(|(e, n)| format!("{e} AS {n}"))
-                    .collect();
+                let items: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 out.push_str(&format!("{pad}Project: {}\n", items.join(", ")));
                 input.explain_into(out, depth + 1);
             }
@@ -441,8 +442,7 @@ impl LogicalPlan {
                 join_type,
                 ..
             } => {
-                let keys: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                 out.push_str(&format!(
                     "{pad}HashJoin[{}]: on [{}]\n",
                     join_type.name(),
@@ -454,9 +454,7 @@ impl LogicalPlan {
             LogicalPlan::Sort { input, keys } => {
                 let items: Vec<String> = keys
                     .iter()
-                    .map(|(k, asc)| {
-                        format!("{k} {}", if *asc { "ASC" } else { "DESC" })
-                    })
+                    .map(|(k, asc)| format!("{k} {}", if *asc { "ASC" } else { "DESC" }))
                     .collect();
                 out.push_str(&format!("{pad}Sort: {}\n", items.join(", ")));
                 input.explain_into(out, depth + 1);
@@ -534,10 +532,7 @@ mod tests {
     fn aggregate_rejects_sum_of_strings() {
         let plan = LogicalPlan::scan("orders", table_schema());
         assert!(plan
-            .aggregate(
-                vec![],
-                vec![AggCall::new(AggFn::Sum, "region", "bad")]
-            )
+            .aggregate(vec![], vec![AggCall::new(AggFn::Sum, "region", "bad")])
             .is_err());
     }
 

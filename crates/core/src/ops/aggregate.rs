@@ -55,11 +55,7 @@ enum Acc {
 /// The partial-output schema for a set of aggregate calls: group columns,
 /// then per call either one column (`count_/sum_/min_/max_<alias>`) or two
 /// for AVG (`avgsum_<alias>`, `avgcnt_<alias>`).
-pub fn partial_schema(
-    group_by: &[String],
-    aggs: &[AggCall],
-    input: &Schema,
-) -> Result<Schema> {
+pub fn partial_schema(group_by: &[String], aggs: &[AggCall], input: &Schema) -> Result<Schema> {
     let mut fields = Vec::new();
     for g in group_by {
         fields.push(input.field_by_name(g)?.clone());
@@ -139,9 +135,7 @@ impl HashAggOp {
             partial_col += if agg.func == AggFn::Avg { 2 } else { 1 };
         }
         let out_schema = match mode {
-            AggMode::Partial { .. } => {
-                partial_schema(&group_by, &aggs, &raw_input)?.into_ref()
-            }
+            AggMode::Partial { .. } => partial_schema(&group_by, &aggs, &raw_input)?.into_ref(),
             AggMode::Final | AggMode::Merge => final_schema,
         };
         Ok(HashAggOp {
@@ -170,7 +164,10 @@ impl HashAggOp {
                     sum: 0.0,
                     seen: false,
                 },
-                AggFn::Sum => Acc::SumInt { sum: 0, seen: false },
+                AggFn::Sum => Acc::SumInt {
+                    sum: 0,
+                    seen: false,
+                },
                 AggFn::Min => Acc::MinMax {
                     current: None,
                     is_min: true,
@@ -224,8 +221,7 @@ impl HashAggOp {
             .collect::<Result<Vec<_>>>()?;
         let mut flushed: Option<Batch> = None;
         for row in 0..batch.rows() {
-            let key_scalars: Vec<Scalar> =
-                group_cols.iter().map(|c| c.scalar_at(row)).collect();
+            let key_scalars: Vec<Scalar> = group_cols.iter().map(|c| c.scalar_at(row)).collect();
             let key = Self::key_bytes(&key_scalars);
             if let AggMode::Partial { max_groups } = self.mode {
                 if !self.groups.contains_key(&key) && self.groups.len() >= max_groups {
@@ -242,9 +238,7 @@ impl HashAggOp {
                 .groups
                 .entry(key)
                 .or_insert_with(|| (key_scalars, fresh));
-            for ((acc, agg), col) in
-                entry.1.iter_mut().zip(self.aggs.iter()).zip(&agg_cols)
-            {
+            for ((acc, agg), col) in entry.1.iter_mut().zip(self.aggs.iter()).zip(&agg_cols) {
                 let value = match col {
                     Some(c) => c.scalar_at(row),
                     None => Scalar::Int(1), // COUNT(*): every row counts
@@ -289,8 +283,7 @@ impl HashAggOp {
                 .groups
                 .entry(key)
                 .or_insert_with(|| (key_scalars, fresh));
-            for ((acc, _agg), (c0, c1)) in
-                entry.1.iter_mut().zip(self.aggs.iter()).zip(&call_cols)
+            for ((acc, _agg), (c0, c1)) in entry.1.iter_mut().zip(self.aggs.iter()).zip(&call_cols)
             {
                 let v0 = batch.column(*c0).scalar_at(row);
                 let v1 = c1.map(|c| batch.column(c).scalar_at(row));
@@ -524,10 +517,7 @@ mod tests {
 
     fn sample() -> Batch {
         batch_of(vec![
-            (
-                "g",
-                Column::from_strs(&["a", "b", "a", "b", "a"]),
-            ),
+            ("g", Column::from_strs(&["a", "b", "a", "b", "a"])),
             (
                 "v",
                 Column::from_opt_i64(&[Some(1), Some(2), Some(3), None, Some(5)]),
@@ -655,19 +645,13 @@ mod tests {
             .unwrap()
             .aggregate(
                 vec![],
-                vec![
-                    AggCall::count_star("n"),
-                    AggCall::new(AggFn::Sum, "v", "s"),
-                ],
+                vec![AggCall::count_star("n"), AggCall::new(AggFn::Sum, "v", "s")],
             )
             .unwrap()
             .schema();
         let mut op = HashAggOp::new(
             vec![],
-            vec![
-                AggCall::count_star("n"),
-                AggCall::new(AggFn::Sum, "v", "s"),
-            ],
+            vec![AggCall::count_star("n"), AggCall::new(AggFn::Sum, "v", "s")],
             AggMode::Final,
             batch.schema(),
             schema,
@@ -704,10 +688,7 @@ mod tests {
         ]);
         let schema = crate::logical::LogicalPlan::values(vec![batch.clone()])
             .unwrap()
-            .aggregate(
-                vec!["g".into()],
-                vec![AggCall::new(AggFn::Sum, "v", "s")],
-            )
+            .aggregate(vec!["g".into()], vec![AggCall::new(AggFn::Sum, "v", "s")])
             .unwrap()
             .schema();
         let mut op = HashAggOp::new(

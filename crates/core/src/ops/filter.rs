@@ -124,10 +124,6 @@ mod tests {
     #[test]
     fn non_offloadable_kernel_rejected() {
         let b = sample();
-        assert!(FilterOp::kernel(
-            &col("x").add(lit(1)).gt(lit(0)),
-            b.schema().clone()
-        )
-        .is_err());
+        assert!(FilterOp::kernel(&col("x").add(lit(1)).gt(lit(0)), b.schema().clone()).is_err());
     }
 }

@@ -170,7 +170,11 @@ impl Operator for HashJoinOp {
             let dtype = self.build_schema.field(li).dtype;
             let mut b = ColumnBuilder::new(dtype, matches.len());
             for &(bb, br, _) in &matches {
-                b.push(self.build_batches[bb as usize].column(li).scalar_at(br as usize))?;
+                b.push(
+                    self.build_batches[bb as usize]
+                        .column(li)
+                        .scalar_at(br as usize),
+                )?;
             }
             columns.push(b.finish());
         }
@@ -203,7 +207,11 @@ impl Operator for HashJoinOp {
             let dtype = self.build_schema.field(li).dtype;
             let mut b = ColumnBuilder::new(dtype, unmatched.len());
             for &(bb, br) in &unmatched {
-                b.push(self.build_batches[bb as usize].column(li).scalar_at(br as usize))?;
+                b.push(
+                    self.build_batches[bb as usize]
+                        .column(li)
+                        .scalar_at(br as usize),
+                )?;
             }
             columns.push(b.finish());
         }
@@ -229,7 +237,10 @@ mod tests {
 
     fn probe_side() -> Batch {
         batch_of(vec![
-            ("fk", Column::from_opt_i64(&[Some(2), Some(2), Some(9), None, Some(1)])),
+            (
+                "fk",
+                Column::from_opt_i64(&[Some(2), Some(2), Some(9), None, Some(1)]),
+            ),
             ("amount", Column::from_i64(vec![20, 21, 90, 0, 10])),
         ])
     }
@@ -400,7 +411,14 @@ mod tests {
         out.extend(op.finish().unwrap());
         let merged = Batch::concat(&out).unwrap();
         assert_eq!(merged.rows(), 3);
-        assert_eq!(merged.canonical_rows().iter().filter(|r| r[3].is_null()).count(), 0);
+        assert_eq!(
+            merged
+                .canonical_rows()
+                .iter()
+                .filter(|r| r[3].is_null())
+                .count(),
+            0
+        );
     }
 
     #[test]

@@ -176,7 +176,11 @@ mod tests {
             ("v", Column::from_i64(vec![1, 1, 1, 1])),
             ("id", Column::from_i64(vec![3, 0, 2, 1])),
         ]);
-        let topk = run_topk(batch, vec![("v".to_string(), true), ("id".to_string(), true)], 2);
+        let topk = run_topk(
+            batch,
+            vec![("v".to_string(), true), ("id".to_string(), true)],
+            2,
+        );
         assert_eq!(topk.row(0)[1], Scalar::Int(0));
         assert_eq!(topk.row(1)[1], Scalar::Int(1));
     }

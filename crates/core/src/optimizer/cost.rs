@@ -235,9 +235,7 @@ pub fn op_class_of(node: &PhysNode) -> OpClass {
 fn predicate_has_like(p: &StoragePredicate) -> bool {
     match p {
         StoragePredicate::Like { .. } => true,
-        StoragePredicate::And(v) | StoragePredicate::Or(v) => {
-            v.iter().any(predicate_has_like)
-        }
+        StoragePredicate::And(v) | StoragePredicate::Or(v) => v.iter().any(predicate_has_like),
         StoragePredicate::Not(inner) => predicate_has_like(inner),
         _ => false,
     }
@@ -271,7 +269,14 @@ pub fn cost_plan(
     };
     // Results are consumed at the default (CPU) device: the final hop
     // from the root's placement to the consumer counts too.
-    walk(root, topology, profiles, default_device, Some(default_device), &mut acc)?;
+    walk(
+        root,
+        topology,
+        profiles,
+        default_device,
+        Some(default_device),
+        &mut acc,
+    )?;
     if acc.stage_times.is_empty() {
         return Ok(PlanCost::zero());
     }
@@ -394,10 +399,7 @@ pub fn reduction_of(node: &PhysNode, profiles: &Profiles) -> f64 {
 /// Build a comparison predicate selectivity for tests.
 #[doc(hidden)]
 pub fn test_cmp_sel(column: &str, op: CmpOp, lit: i64, profile: &TableProfile) -> f64 {
-    storage_selectivity(
-        &StoragePredicate::cmp(column, op, lit),
-        Some(profile),
-    )
+    storage_selectivity(&StoragePredicate::cmp(column, op, lit), Some(profile))
 }
 
 #[cfg(test)]
@@ -458,11 +460,7 @@ mod tests {
         // Pushdown: filter inside the scan request.
         let pushdown = scan(
             Some(ssd),
-            ScanRequest::full().filter(StoragePredicate::cmp(
-                "id",
-                CmpOp::Lt,
-                10_000i64,
-            )),
+            ScanRequest::full().filter(StoragePredicate::cmp("id", CmpOp::Lt, 10_000i64)),
         );
         let pushdown = PhysNode::Project {
             exprs: vec![(crate::expr::col("id"), "id".into())],
@@ -506,11 +504,7 @@ mod tests {
         let profiles = profiles(1_000_000);
         let node = scan(
             None,
-            ScanRequest::full().filter(StoragePredicate::cmp(
-                "id",
-                CmpOp::Lt,
-                100_000i64,
-            )),
+            ScanRequest::full().filter(StoragePredicate::cmp("id", CmpOp::Lt, 100_000i64)),
         );
         let (rows, _) = estimate_node(&node, &profiles);
         assert!((rows - 100_000.0).abs() / 100_000.0 < 0.05, "rows={rows}");

@@ -54,10 +54,9 @@ impl SiteMap {
                 .find(|d| pred(&d.profile.kind))
                 .map(|d| d.id)
         };
-        let storage = by_kind(&|k| {
-            matches!(k, DeviceKind::SmartStorage | DeviceKind::PlainStorage)
-        })
-        .ok_or_else(|| EngineError::Placement("topology has no storage device".into()))?;
+        let storage =
+            by_kind(&|k| matches!(k, DeviceKind::SmartStorage | DeviceKind::PlainStorage))
+                .ok_or_else(|| EngineError::Placement("topology has no storage device".into()))?;
         let storage_is_smart = matches!(
             topology.device(storage).profile.kind,
             DeviceKind::SmartStorage
@@ -67,9 +66,7 @@ impl SiteMap {
         // Prefer the compute-side NIC (closest to the CPU) over storage's.
         let smart_nic = topology
             .device_by_name("compute0.nic")
-            .filter(|&d| {
-                matches!(topology.device(d).profile.kind, DeviceKind::SmartNic)
-            })
+            .filter(|&d| matches!(topology.device(d).profile.kind, DeviceKind::SmartNic))
             .or_else(|| by_kind(&|k| matches!(k, DeviceKind::SmartNic)));
         let near_mem = by_kind(&|k| matches!(k, DeviceKind::NearMemAccel));
         Ok(SiteMap {
@@ -171,11 +168,7 @@ impl Optimizer {
     /// Produce ranked plan variants for a logical plan: rewritten,
     /// physically placed under each applicable offload policy, costed, and
     /// sorted best-first. Always contains at least the CPU-only variant.
-    pub fn variants(
-        &self,
-        logical: &LogicalPlan,
-        profiles: &Profiles,
-    ) -> Result<Vec<RankedPlan>> {
+    pub fn variants(&self, logical: &LogicalPlan, profiles: &Profiles) -> Result<Vec<RankedPlan>> {
         let rewritten = rewrite::rewrite(logical.clone())?;
         let mut out: Vec<RankedPlan> = Vec::new();
         for policy in POLICIES {
@@ -260,9 +253,7 @@ impl Optimizer {
                     let Some(scan_node) = self.build(input, policy)? else {
                         return Ok(None);
                     };
-                    return self
-                        .place_filter(scan_node, predicate, policy)
-                        .map(Some);
+                    return self.place_filter(scan_node, predicate, policy).map(Some);
                 }
                 let Some(child) = self.build(input, policy)? else {
                     return Ok(None);
@@ -481,8 +472,7 @@ impl Optimizer {
                 (AggFn::Count, Some(c)) => storage_aggs.push((AggFunc::Count, c.clone())),
                 (AggFn::Count, None) => {
                     // COUNT(*) needs a non-nullable column to count.
-                    let Some(field) = input_schema.fields().iter().find(|f| !f.nullable)
-                    else {
+                    let Some(field) = input_schema.fields().iter().find(|f| !f.nullable) else {
                         return Ok(None);
                     };
                     storage_aggs.push((AggFunc::Count, field.name.clone()));
@@ -680,7 +670,12 @@ mod tests {
     fn arithmetic_residual_stays_on_cpu() {
         let optimizer = Optimizer::new(topo()).unwrap();
         let plan = LogicalPlan::scan("t", table_schema())
-            .filter(col("id").add(lit(1)).gt(lit(100)).and(col("id").lt(lit(50))))
+            .filter(
+                col("id")
+                    .add(lit(1))
+                    .gt(lit(100))
+                    .and(col("id").lt(lit(50))),
+            )
             .unwrap();
         let variants = optimizer.variants(&plan, &profiles()).unwrap();
         let pushdown = variants

@@ -125,9 +125,7 @@ fn prune(plan: LogicalPlan, required: Option<Vec<String>>) -> Result<LogicalPlan
                         LogicalPlan::Scan {
                             table,
                             projection: Some(
-                                idx.iter()
-                                    .map(|&i| schema.field(i).name.clone())
-                                    .collect(),
+                                idx.iter().map(|&i| schema.field(i).name.clone()).collect(),
                             ),
                             schema: projected,
                         }
@@ -168,10 +166,7 @@ fn prune(plan: LogicalPlan, required: Option<Vec<String>>) -> Result<LogicalPlan
                     kept
                 }
             };
-            let child_required: Vec<String> = kept
-                .iter()
-                .flat_map(|(e, _)| e.columns())
-                .collect();
+            let child_required: Vec<String> = kept.iter().flat_map(|(e, _)| e.columns()).collect();
             let input = prune(*input, Some(child_required))?;
             if kept.len() == schema.len() {
                 LogicalPlan::Project {
@@ -304,10 +299,7 @@ mod tests {
         let plan = LogicalPlan::scan("t", wide_schema())
             .filter(col("b").gt(lit(0)))
             .unwrap()
-            .aggregate(
-                vec!["c".into()],
-                vec![AggCall::new(AggFn::Sum, "a", "s")],
-            )
+            .aggregate(vec!["c".into()], vec![AggCall::new(AggFn::Sum, "a", "s")])
             .unwrap();
         let rewritten = rewrite(plan).unwrap();
         fn find_scan(p: &LogicalPlan) -> &LogicalPlan {
@@ -391,23 +383,18 @@ mod tests {
         let plan = left
             .join(right, vec![("a", "k")])
             .unwrap()
-            .aggregate(
-                vec!["x".into()],
-                vec![AggCall::new(AggFn::Sum, "b", "s")],
-            )
+            .aggregate(vec!["x".into()], vec![AggCall::new(AggFn::Sum, "b", "s")])
             .unwrap();
         let rewritten = rewrite(plan).unwrap();
         fn scans(p: &LogicalPlan, out: &mut Vec<Vec<String>>) {
             match p {
                 LogicalPlan::Scan {
                     projection, schema, ..
-                } => out.push(
-                    projection
-                        .clone()
-                        .unwrap_or_else(|| {
-                            schema.fields().iter().map(|f| f.name.clone()).collect()
-                        }),
-                ),
+                } => {
+                    out.push(projection.clone().unwrap_or_else(|| {
+                        schema.fields().iter().map(|f| f.name.clone()).collect()
+                    }))
+                }
                 LogicalPlan::Filter { input, .. }
                 | LogicalPlan::Aggregate { input, .. }
                 | LogicalPlan::Project { input, .. }

@@ -74,10 +74,7 @@ pub fn selectivity(expr: &Expr, profile: Option<&TableProfile>) -> f64 {
     let s = match expr {
         Expr::Lit(Scalar::Bool(true)) => 1.0,
         Expr::Lit(Scalar::Bool(false)) => 0.0,
-        Expr::And(children) => children
-            .iter()
-            .map(|c| selectivity(c, profile))
-            .product(),
+        Expr::And(children) => children.iter().map(|c| selectivity(c, profile)).product(),
         Expr::Or(children) => {
             // Inclusion-exclusion under independence.
             1.0 - children
@@ -147,7 +144,11 @@ fn cmp_selectivity(
         return default_for_op(op);
     };
     // Numeric interpolation on the [min, max] range.
-    let interp = match (min.as_float_lossy(), max.as_float_lossy(), literal.as_float_lossy()) {
+    let interp = match (
+        min.as_float_lossy(),
+        max.as_float_lossy(),
+        literal.as_float_lossy(),
+    ) {
         (Some(lo), Some(hi), Some(v)) if hi > lo => Some(((v - lo) / (hi - lo)).clamp(0.0, 1.0)),
         _ => None,
     };
@@ -272,10 +273,7 @@ pub fn estimate(plan: &LogicalPlan, profiles: &Profiles) -> Estimate {
 
 /// The profile of the underlying scan, if the subtree bottoms out in one
 /// table (used to ground filter selectivities in zone maps).
-pub fn scan_profile_of<'a>(
-    plan: &LogicalPlan,
-    profiles: &'a Profiles,
-) -> Option<&'a TableProfile> {
+pub fn scan_profile_of<'a>(plan: &LogicalPlan, profiles: &'a Profiles) -> Option<&'a TableProfile> {
     match plan {
         LogicalPlan::Scan { table, .. } => profiles.get(table),
         LogicalPlan::Filter { input, .. }
@@ -303,13 +301,7 @@ mod tests {
         TableProfile {
             rows,
             stored_bytes: rows * 20,
-            zones: vec![
-                Some(ZoneMap {
-                    rows,
-                    ..zone
-                }),
-                None,
-            ],
+            zones: vec![Some(ZoneMap { rows, ..zone }), None],
             schema,
         }
     }

@@ -149,6 +149,20 @@ impl PhysNode {
         }
     }
 
+    /// The node's direct children (empty for leaves).
+    pub fn children(&self) -> Vec<&PhysNode> {
+        match self {
+            PhysNode::StorageScan { .. } | PhysNode::Values { .. } => Vec::new(),
+            PhysNode::Filter { input, .. }
+            | PhysNode::Project { input, .. }
+            | PhysNode::Aggregate { input, .. }
+            | PhysNode::Sort { input, .. }
+            | PhysNode::TopK { input, .. }
+            | PhysNode::Limit { input, .. } => vec![input],
+            PhysNode::HashJoin { build, probe, .. } => vec![build, probe],
+        }
+    }
+
     /// The node's placement (None = unplaced, treated as the local CPU).
     pub fn device(&self) -> Option<DeviceId> {
         match self {
@@ -232,8 +246,7 @@ impl PhysNode {
                 device,
                 ..
             } => {
-                let items: Vec<String> =
-                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let items: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 out.push_str(&format!(
                     "{pad}Project: {}{}\n",
                     items.join(", "),
@@ -268,8 +281,7 @@ impl PhysNode {
                 device,
                 ..
             } => {
-                let keys: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
                 out.push_str(&format!(
                     "{pad}HashJoin[{}]: [{}]{}\n",
                     join_type.name(),
@@ -279,7 +291,11 @@ impl PhysNode {
                 build.explain_into(out, depth + 1);
                 probe.explain_into(out, depth + 1);
             }
-            PhysNode::Sort { input, keys, device } => {
+            PhysNode::Sort {
+                input,
+                keys,
+                device,
+            } => {
                 let items: Vec<String> = keys
                     .iter()
                     .map(|(k, asc)| format!("{k} {}", if *asc { "ASC" } else { "DESC" }))

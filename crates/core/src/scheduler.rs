@@ -101,10 +101,7 @@ impl Scheduler {
                 // Everything contends: take the best variant, rate-limited
                 // to a fair share of its most contended link.
                 let links = self.links_of(&variants[0].plan);
-                let worst = links
-                    .iter()
-                    .max_by_key(|l| self.link_streams(**l))
-                    .copied();
+                let worst = links.iter().max_by_key(|l| self.link_streams(**l)).copied();
                 let limit = worst.map(|l| {
                     let sharers = self.link_streams(l) + 1;
                     self.topology
@@ -314,17 +311,9 @@ mod tests {
         let t = topo();
         let optimizer = Optimizer::new(t.clone()).unwrap();
         let best = optimizer.best(&query(), &profiles()).unwrap();
-        let spec = flow_pipeline(
-            &best.plan,
-            &profiles(),
-            optimizer.site().cpu,
-            "q1",
-        )
-        .unwrap();
+        let spec = flow_pipeline(&best.plan, &profiles(), optimizer.site().cpu, "q1").unwrap();
         assert!(spec.source_bytes > 1_000_000);
-        let mut sim = FlowSim::new(Topology::disaggregated(
-            &DisaggregatedConfig::default(),
-        ));
+        let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
         sim.add_pipeline(spec);
         let report = sim.run();
         assert!(report.pipelines[0].duration().nanos() > 0);

@@ -29,7 +29,7 @@ use df_fabric::Topology;
 use df_storage::object::{MemObjectStore, ObjectStoreRef};
 use df_storage::smart::{ScanStats, SmartStorage};
 use df_storage::table::TableStore;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::error::{EngineError, Result};
 use crate::exec::ledger::MovementLedger;
@@ -67,6 +67,8 @@ pub struct Session {
     /// Wire options applied to cross-device edges in the movement ledger
     /// (None = charge in-memory batch sizes).
     pub wire: Option<df_codec::wire::WireOptions>,
+    /// Opt-in execution tracer; see [`Session::enable_tracing`].
+    pub tracer: Option<Arc<df_sim::Tracer>>,
 }
 
 impl Session {
@@ -83,7 +85,19 @@ impl Session {
             profiles: RwLock::new(Profiles::new()),
             parallelism: 1,
             wire: None,
+            tracer: None,
         })
+    }
+
+    /// Turn on execution tracing: every subsequent query records operator
+    /// and morsel spans into the returned [`df_sim::Tracer`] (wall-clock
+    /// lanes). Export with [`df_sim::Tracer::chrome_trace_json`] or
+    /// [`df_sim::Tracer::summary`].
+    pub fn enable_tracing(&mut self) -> Arc<df_sim::Tracer> {
+        let tracer = Arc::new(df_sim::Tracer::new());
+        self.storage.set_tracer(tracer.clone(), "storage.smart");
+        self.tracer = Some(tracer.clone());
+        tracer
     }
 
     /// The default laptop-scale session: the paper's disaggregated platform
@@ -124,7 +138,7 @@ impl Session {
     pub fn refresh_profile(&self, name: &str) -> Result<()> {
         let stats = self.tables.stats(name)?;
         let schema = self.tables.schema(name)?;
-        self.profiles.write().insert(
+        self.profiles.write().expect("lock poisoned").insert(
             name.to_string(),
             TableProfile::from_stats(&stats, schema.as_ref().clone()),
         );
@@ -133,7 +147,7 @@ impl Session {
 
     /// Snapshot of the current table profiles.
     pub fn profiles(&self) -> Profiles {
-        self.profiles.read().clone()
+        self.profiles.read().expect("lock poisoned").clone()
     }
 
     /// Parse SQL into a logical plan.
@@ -143,7 +157,8 @@ impl Session {
 
     /// Ranked physical variants for a logical plan.
     pub fn variants(&self, logical: &LogicalPlan) -> Result<Vec<RankedPlan>> {
-        self.optimizer.variants(logical, &self.profiles.read())
+        self.optimizer
+            .variants(logical, &self.profiles.read().expect("lock poisoned"))
     }
 
     /// Execute a specific physical plan.
@@ -152,6 +167,7 @@ impl Session {
             storage: Some(&self.storage),
             topology: Some(&self.topology),
             wire: self.wire,
+            tracer: self.tracer.clone(),
         };
         let outcome = if self.parallelism > 1 {
             match execute_parallel(plan, &env, self.parallelism) {
@@ -275,14 +291,16 @@ mod tests {
             .sql("SELECT region, COUNT(*) AS n FROM orders WHERE id < 300 GROUP BY region")
             .unwrap();
         assert_eq!(r.batch.rows(), 3);
-        let total: i64 = (0..3)
-            .map(|i| r.batch.row(i)[1].as_int().unwrap())
-            .sum();
+        let total: i64 = (0..3).map(|i| r.batch.row(i)[1].as_int().unwrap()).sum();
         assert_eq!(total, 300);
         // The chosen variant offloaded something.
-        assert_ne!(r.variant, "cpu-only", "explain:\n{}", s.explain(
-            "SELECT region, COUNT(*) AS n FROM orders WHERE id < 300 GROUP BY region"
-        ).unwrap());
+        assert_ne!(
+            r.variant,
+            "cpu-only",
+            "explain:\n{}",
+            s.explain("SELECT region, COUNT(*) AS n FROM orders WHERE id < 300 GROUP BY region")
+                .unwrap()
+        );
         // Pushdown means returned < scanned.
         assert!(r.scan_stats[0].bytes_returned < r.scan_stats[0].bytes_scanned);
     }
@@ -417,8 +435,7 @@ mod tests {
         // Sorted int runs compress well on the wire: the ledger reflects
         // the encoded frames, not the in-memory batches.
         assert!(
-            compressed.ledger.cross_device_bytes() * 2
-                < plain.ledger.cross_device_bytes(),
+            compressed.ledger.cross_device_bytes() * 2 < plain.ledger.cross_device_bytes(),
             "wire accounting did not shrink: {} vs {}",
             compressed.ledger.cross_device_bytes(),
             plain.ledger.cross_device_bytes()

@@ -46,9 +46,9 @@ enum Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AS", "AND", "OR",
-    "NOT", "LIKE", "BETWEEN", "IS", "NULL", "ASC", "DESC", "JOIN", "ON", "TRUE",
-    "FALSE", "COUNT", "SUM", "MIN", "MAX", "AVG", "HAVING", "LEFT", "OUTER",
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AS", "AND", "OR", "NOT", "LIKE",
+    "BETWEEN", "IS", "NULL", "ASC", "DESC", "JOIN", "ON", "TRUE", "FALSE", "COUNT", "SUM", "MIN",
+    "MAX", "AVG", "HAVING", "LEFT", "OUTER",
 ];
 
 fn tokenize(input: &str) -> Result<Vec<Token>> {
@@ -75,9 +75,7 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
                         }
                         Some(ch) => s.push(ch),
                         None => {
-                            return Err(EngineError::Parse(
-                                "unterminated string literal".into(),
-                            ))
+                            return Err(EngineError::Parse("unterminated string literal".into()))
                         }
                     }
                 }
@@ -162,7 +160,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
                 tokens.push(Token::Symbol(c));
             }
             other => {
-                return Err(EngineError::Parse(format!("unexpected character '{other}'")))
+                return Err(EngineError::Parse(format!(
+                    "unexpected character '{other}'"
+                )))
             }
         }
     }
@@ -180,8 +180,15 @@ struct Parser<'a> {
 #[derive(Debug)]
 enum SelectItem {
     Star,
-    Expr { expr: Expr, alias: Option<String> },
-    Agg { call: AggFn, column: Option<String>, alias: Option<String> },
+    Expr {
+        expr: Expr,
+        alias: Option<String>,
+    },
+    Agg {
+        call: AggFn,
+        column: Option<String>,
+        alias: Option<String>,
+    },
 }
 
 impl<'a> Parser<'a> {
@@ -269,10 +276,7 @@ impl<'a> Parser<'a> {
                 break;
             };
             let right_table = self.expect_ident()?;
-            let right = LogicalPlan::scan(
-                &right_table,
-                self.catalog.table_schema(&right_table)?,
-            );
+            let right = LogicalPlan::scan(&right_table, self.catalog.table_schema(&right_table)?);
             self.expect_keyword("ON")?;
             let mut on: Vec<(String, String)> = Vec::new();
             loop {
@@ -454,14 +458,9 @@ impl<'a> Parser<'a> {
             }
             // Sort after the projection when every key is an output column
             // (aliases included); otherwise sort the pre-projection rows.
-            let refs: Vec<(&str, bool)> =
-                keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
+            let refs: Vec<(&str, bool)> = keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
             match &pending_project {
-                Some(exprs)
-                    if !keys
-                        .iter()
-                        .all(|(k, _)| exprs.iter().any(|(_, n)| n == k)) =>
-                {
+                Some(exprs) if !keys.iter().all(|(k, _)| exprs.iter().any(|(_, n)| n == k)) => {
                     plan = plan.sort(refs)?;
                     plan = plan.project_exprs(exprs.clone())?;
                     pending_project = None;
@@ -726,9 +725,7 @@ impl<'a> Parser<'a> {
             Some(Token::Float(v)) => Ok(Expr::Lit(Scalar::Float(v))),
             Some(Token::Str(s)) => Ok(Expr::Lit(Scalar::Str(s))),
             Some(Token::Keyword(k)) if k == "TRUE" => Ok(Expr::Lit(Scalar::Bool(true))),
-            Some(Token::Keyword(k)) if k == "FALSE" => {
-                Ok(Expr::Lit(Scalar::Bool(false)))
-            }
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Expr::Lit(Scalar::Bool(false))),
             Some(Token::Keyword(k)) if k == "NULL" => Ok(Expr::Lit(Scalar::Null)),
             Some(Token::Ident(name)) => Ok(col(name)),
             Some(Token::Symbol('(')) => {
@@ -803,9 +800,7 @@ mod tests {
 
     #[test]
     fn where_clause_with_precedence() {
-        let p = plan(
-            "SELECT id FROM orders WHERE amount > 10.5 AND region = 'eu' OR id < 3",
-        );
+        let p = plan("SELECT id FROM orders WHERE amount > 10.5 AND region = 'eu' OR id < 3");
         // (a AND b) OR c.
         fn find_filter(p: &LogicalPlan) -> &Expr {
             match p {
@@ -864,9 +859,7 @@ mod tests {
     #[test]
     fn join_with_orientation() {
         // ON written right = left still orients correctly.
-        let p = plan(
-            "SELECT id, zone FROM orders JOIN regions ON rname = region",
-        );
+        let p = plan("SELECT id, zone FROM orders JOIN regions ON rname = region");
         let text = p.explain();
         assert!(text.contains("HashJoin"), "{text}");
         assert!(text.contains("region = rname"), "{text}");
@@ -874,9 +867,7 @@ mod tests {
 
     #[test]
     fn left_join_parses() {
-        let p = plan(
-            "SELECT id, zone FROM orders LEFT OUTER JOIN regions ON rname = region",
-        );
+        let p = plan("SELECT id, zone FROM orders LEFT OUTER JOIN regions ON rname = region");
         let text = p.explain();
         assert!(text.contains("HashJoin[LEFT]"), "{text}");
         // The right side's columns become nullable in the joined schema.
@@ -952,7 +943,8 @@ mod tests {
 
     #[test]
     fn parenthesized_expressions() {
-        let p = plan("SELECT (id + 1) * 2 AS x FROM orders WHERE (id = 1 OR id = 2) AND amount > 0.0");
+        let p =
+            plan("SELECT (id + 1) * 2 AS x FROM orders WHERE (id = 1 OR id = 2) AND amount > 0.0");
         let text = p.explain();
         assert!(text.contains("((id + 1) * 2)"), "{text}");
     }

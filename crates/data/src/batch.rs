@@ -189,8 +189,7 @@ impl Batch {
         let ncols = schema.len();
         let mut columns = Vec::with_capacity(ncols);
         for ci in 0..ncols {
-            let parts: Vec<Column> =
-                batches.iter().map(|b| b.columns[ci].clone()).collect();
+            let parts: Vec<Column> = batches.iter().map(|b| b.columns[ci].clone()).collect();
             columns.push(Column::concat(&parts)?);
         }
         Batch::new(schema, columns)
@@ -223,8 +222,7 @@ impl fmt::Display for Batch {
         writeln!(f, "{} ({} rows)", self.schema, self.rows)?;
         let show = self.rows.min(20);
         for i in 0..show {
-            let cells: Vec<String> =
-                self.row(i).iter().map(|s| s.to_string()).collect();
+            let cells: Vec<String> = self.row(i).iter().map(|s| s.to_string()).collect();
             writeln!(f, "  {}", cells.join(" | "))?;
         }
         if self.rows > show {

@@ -244,10 +244,7 @@ mod tests {
     fn logical_ops() {
         let a = Bitmap::from_bools(&[true, true, false, false]);
         let b = Bitmap::from_bools(&[true, false, true, false]);
-        assert_eq!(
-            a.and(&b),
-            Bitmap::from_bools(&[true, false, false, false])
-        );
+        assert_eq!(a.and(&b), Bitmap::from_bools(&[true, false, false, false]));
         assert_eq!(a.or(&b), Bitmap::from_bools(&[true, true, true, false]));
         assert_eq!(a.not(), Bitmap::from_bools(&[false, false, true, true]));
     }

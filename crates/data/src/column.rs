@@ -193,8 +193,7 @@ impl Column {
 
     /// Number of NULL rows.
     pub fn null_count(&self) -> usize {
-        self.validity()
-            .map_or(0, |v| v.len() - v.count_ones())
+        self.validity().map_or(0, |v| v.len() - v.count_ones())
     }
 
     /// The value at row `i` as a [`Scalar`] (NULL-aware).
@@ -286,9 +285,9 @@ impl Column {
 
     /// Build a new column from the given row indices (may repeat/reorder).
     pub fn gather(&self, indices: &[usize]) -> Column {
-        let validity = self.validity().map(|v| {
-            Bitmap::from_iter(indices.iter().map(|&i| v.get(i)))
-        });
+        let validity = self
+            .validity()
+            .map(|v| Bitmap::from_iter(indices.iter().map(|&i| v.get(i))));
         match self {
             Column::Int64 { values, .. } => Column::Int64 {
                 values: indices.iter().map(|&i| values[i]).collect(),

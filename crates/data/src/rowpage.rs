@@ -109,9 +109,7 @@ impl RowPage {
                     self.fixed.truncate(base);
                     return Err(DataError::TypeMismatch {
                         expected: expected.to_string(),
-                        actual: actual
-                            .data_type()
-                            .map_or("null".into(), |t| t.to_string()),
+                        actual: actual.data_type().map_or("null".into(), |t| t.to_string()),
                     });
                 }
             };
@@ -149,12 +147,12 @@ impl RowPage {
             DataType::Float64 => Scalar::Float(f64::from_le_bytes(slot)),
             DataType::Bool => Scalar::Bool(slot[0] != 0),
             DataType::Utf8 => {
-                let offset =
-                    u32::from_le_bytes(slot[..4].try_into().unwrap()) as usize;
+                let offset = u32::from_le_bytes(slot[..4].try_into().unwrap()) as usize;
                 let len = u32::from_le_bytes(slot[4..].try_into().unwrap()) as usize;
-                let bytes = self.heap.get(offset..offset + len).ok_or_else(|| {
-                    DataError::Corrupt("string slot past heap end".into())
-                })?;
+                let bytes = self
+                    .heap
+                    .get(offset..offset + len)
+                    .ok_or_else(|| DataError::Corrupt("string slot past heap end".into()))?;
                 let s = std::str::from_utf8(bytes)
                     .map_err(|_| DataError::Corrupt("invalid utf8 in heap".into()))?;
                 Scalar::Str(s.to_string())
@@ -200,7 +198,10 @@ mod tests {
     fn sample_batch() -> Batch {
         batch_of(vec![
             ("id", Column::from_i64(vec![1, 2, 3])),
-            ("tag", Column::from_opt_strs(&[Some("aa"), None, Some("ccc")])),
+            (
+                "tag",
+                Column::from_opt_strs(&[Some("aa"), None, Some("ccc")]),
+            ),
             ("flag", Column::from_bools(&[true, false, true])),
             ("score", Column::from_f64(vec![1.5, 2.5, 3.5])),
         ])

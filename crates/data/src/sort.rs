@@ -96,7 +96,10 @@ mod tests {
     fn sample() -> Batch {
         batch_of(vec![
             ("g", Column::from_i64(vec![2, 1, 2, 1])),
-            ("v", Column::from_opt_i64(&[Some(10), Some(5), None, Some(7)])),
+            (
+                "v",
+                Column::from_opt_i64(&[Some(10), Some(5), None, Some(7)]),
+            ),
         ])
     }
 

@@ -215,14 +215,23 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        assert_eq!(Scalar::Null.total_cmp(&Scalar::Int(i64::MIN)), Ordering::Less);
+        assert_eq!(
+            Scalar::Null.total_cmp(&Scalar::Int(i64::MIN)),
+            Ordering::Less
+        );
         assert_eq!(Scalar::Int(1).total_cmp(&Scalar::Null), Ordering::Greater);
     }
 
     #[test]
     fn cross_numeric_compare() {
-        assert_eq!(Scalar::Int(2).total_cmp(&Scalar::Float(2.5)), Ordering::Less);
-        assert_eq!(Scalar::Float(3.0).total_cmp(&Scalar::Int(3)), Ordering::Equal);
+        assert_eq!(
+            Scalar::Int(2).total_cmp(&Scalar::Float(2.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Scalar::Float(3.0).total_cmp(&Scalar::Int(3)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -219,13 +219,11 @@ impl CoherenceSim {
     }
 
     fn dirty_owner(&self, line: usize) -> Option<usize> {
-        (0..self.config.agents)
-            .find(|&a| matches!(self.state[a][line], LineState::M))
+        (0..self.config.agents).find(|&a| matches!(self.state[a][line], LineState::M))
     }
 
     fn exclusive_clean_owner(&self, line: usize) -> Option<usize> {
-        (0..self.config.agents)
-            .find(|&a| matches!(self.state[a][line], LineState::E))
+        (0..self.config.agents).find(|&a| matches!(self.state[a][line], LineState::E))
     }
 
     fn sharers(&self, line: usize, except: usize) -> Vec<usize> {

@@ -121,8 +121,7 @@ impl TokenBucket {
 
     fn refill(&mut self, now: SimTime) {
         let elapsed = now.since(self.last_refill).as_secs_f64();
-        self.tokens = (self.tokens + elapsed * self.rate.as_bytes_per_sec())
-            .min(self.burst as f64);
+        self.tokens = (self.tokens + elapsed * self.rate.as_bytes_per_sec()).min(self.burst as f64);
         self.last_refill = self.last_refill.max(now);
     }
 

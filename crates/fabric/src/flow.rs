@@ -15,7 +15,9 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 
+use df_sim::trace::{LaneId, LaneKind, Tracer};
 use df_sim::{Bandwidth, SimDuration, SimTime, Simulation};
 
 use crate::device::{DeviceId, OpClass};
@@ -180,7 +182,8 @@ impl FlowReport {
 
 struct StageRt {
     spec: StageSpec,
-    queue: VecDeque<u64>,
+    /// Queued input chunks with their arrival times (for queue-wait traces).
+    queue: VecDeque<(SimTime, u64)>,
     /// Downstream-reserved slots for in-flight transfers into this stage.
     reserved: usize,
     busy: bool,
@@ -230,6 +233,16 @@ struct PipeRt {
     finished: Option<SimTime>,
 }
 
+/// Trace lanes for one simulation: one sim lane per device, per link, and
+/// per pipeline (the pipeline lane carries control events — credit returns
+/// and DMA throttling).
+struct TraceCtx {
+    tracer: Arc<Tracer>,
+    device_lanes: Vec<LaneId>,
+    link_lanes: Vec<LaneId>,
+    pipe_lanes: Vec<LaneId>,
+}
+
 struct World {
     topo: Topology,
     link_busy_until: Vec<SimTime>,
@@ -237,12 +250,14 @@ struct World {
     link_busy_ns: Vec<u64>,
     device_busy_until: Vec<SimTime>,
     pipes: Vec<PipeRt>,
+    trace: Option<TraceCtx>,
 }
 
 /// Simulator for a set of concurrent pipelines over one topology.
 pub struct FlowSim {
     topo: Topology,
     pipelines: Vec<PipelineSpec>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// Handle identifying a submitted pipeline in the report.
@@ -255,7 +270,16 @@ impl FlowSim {
         FlowSim {
             topo,
             pipelines: Vec::new(),
+            tracer: None,
         }
+    }
+
+    /// Record every device service span, link transfer, credit return and
+    /// DMA throttle event into `tracer` (on sim-time lanes). The lanes are
+    /// created deterministically from the topology, so two runs of the same
+    /// simulation produce identical [`Tracer::sim_timeline`] strings.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
     }
 
     /// Submit a pipeline. Panics if a stage's device does not support its op
@@ -290,7 +314,41 @@ impl FlowSim {
 
     /// Run to completion and report.
     pub fn run(self) -> FlowReport {
-        let FlowSim { topo, pipelines } = self;
+        let FlowSim {
+            topo,
+            pipelines,
+            tracer,
+        } = self;
+        let trace = tracer.map(|tracer| {
+            let device_lanes = topo
+                .devices()
+                .iter()
+                .map(|d| tracer.lane(&d.name, LaneKind::Sim))
+                .collect();
+            let link_lanes = topo
+                .links()
+                .iter()
+                .map(|l| {
+                    let name = format!(
+                        "link.{}-{}.{}",
+                        topo.device(l.a).name,
+                        topo.device(l.b).name,
+                        l.tech.name()
+                    );
+                    tracer.lane(&name, LaneKind::Sim)
+                })
+                .collect();
+            let pipe_lanes = pipelines
+                .iter()
+                .map(|p| tracer.lane(&format!("pipe.{}", p.name), LaneKind::Sim))
+                .collect();
+            TraceCtx {
+                tracer,
+                device_lanes,
+                link_lanes,
+                pipe_lanes,
+            }
+        });
         let mut pipes = Vec::with_capacity(pipelines.len());
         for spec in pipelines {
             let routes = spec
@@ -326,6 +384,7 @@ impl FlowSim {
             link_busy_ns: vec![0; nlinks],
             device_busy_until: vec![SimTime::ZERO; ndevs],
             pipes,
+            trace,
         }));
 
         let mut sim = Simulation::new();
@@ -386,13 +445,14 @@ type WorldRef = Rc<RefCell<World>>;
 fn pump_source(world: &WorldRef, sim: &mut Simulation, p: usize) {
     {
         let mut w = world.borrow_mut();
+        let now = sim.now();
         let pipe = &mut w.pipes[p];
         while pipe.remaining_bytes > 0 && pipe.stages[0].has_room() {
             let chunk = pipe.spec.chunk_bytes.min(pipe.remaining_bytes);
             pipe.remaining_bytes -= chunk;
             pipe.outstanding += 1;
             let st = &mut pipe.stages[0];
-            st.queue.push_back(chunk);
+            st.queue.push_back((now, chunk));
             st.high_watermark = st.high_watermark.max(st.queue.len() + st.reserved);
         }
     }
@@ -412,7 +472,7 @@ fn try_start(world: &WorldRef, sim: &mut Simulation, p: usize, s: usize) {
                 return;
             }
         }
-        let chunk = pipe.stages[s].queue.pop_front().expect("non-empty");
+        let (arrived, chunk) = pipe.stages[s].queue.pop_front().expect("non-empty");
         let device = pipe.stages[s].spec.device;
         let op = pipe.stages[s].spec.op;
         let selectivity = pipe.stages[s].spec.selectivity;
@@ -443,6 +503,21 @@ fn try_start(world: &WorldRef, sim: &mut Simulation, p: usize, s: usize) {
         st.bytes_in += chunk;
         out_bytes = (chunk as f64 * selectivity).round() as u64;
         service_end = end;
+        if let Some(tc) = &w2.trace {
+            // Device claims happen in non-decreasing start order (each claim
+            // pushes `device_busy_until` forward), so emitting the complete
+            // span here keeps the device lane monotone.
+            tc.tracer.span_at(
+                tc.device_lanes[device.0 as usize],
+                &format!("{} [{}]", op, w2.pipes[p].spec.name),
+                start,
+                end,
+                &[
+                    ("bytes", chunk),
+                    ("queue_wait_ns", start.since(arrived).nanos()),
+                ],
+            );
+        }
     }
     if let Some(delay) = credit_delay {
         let wc = world.clone();
@@ -452,7 +527,9 @@ fn try_start(world: &WorldRef, sim: &mut Simulation, p: usize, s: usize) {
         pump_source(world, sim, p);
     }
     let wc = world.clone();
-    sim.schedule_at(service_end, move |sim| finish_service(&wc, sim, p, s, out_bytes));
+    sim.schedule_at(service_end, move |sim| {
+        finish_service(&wc, sim, p, s, out_bytes)
+    });
 }
 
 /// Stage `s` finished servicing one chunk producing `out` bytes.
@@ -506,6 +583,17 @@ fn try_send(world: &WorldRef, sim: &mut Simulation, p: usize, s: usize) {
                 }
             }
             if token_time > now {
+                if let Some(tc) = &w.trace {
+                    tc.tracer.instant_at_with(
+                        tc.pipe_lanes[p],
+                        "dma-throttled",
+                        now,
+                        &[
+                            ("bytes", chunk),
+                            ("delay_ns", token_time.since(now).nanos()),
+                        ],
+                    );
+                }
                 deferred.push((token_time, chunk));
             } else {
                 immediate.push(chunk);
@@ -535,13 +623,27 @@ fn start_transfer(world: &WorldRef, sim: &mut Simulation, p: usize, s: usize, ch
             let idx = link_id.0 as usize;
             let (serialize, latency) = {
                 let spec = w.topo.link(link_id);
-                (spec.tech.bandwidth().time_for_bytes(chunk), spec.tech.latency())
+                (
+                    spec.tech.bandwidth().time_for_bytes(chunk),
+                    spec.tech.latency(),
+                )
             };
             let start = t.max(w.link_busy_until[idx]);
             let end = start + serialize;
             w.link_busy_until[idx] = end;
             w.link_bytes[idx] += chunk;
             w.link_busy_ns[idx] += serialize.nanos();
+            if let Some(tc) = &w.trace {
+                // Like devices, links are claimed FIFO via `link_busy_until`,
+                // so whole spans stay monotone per link lane.
+                tc.tracer.span_at(
+                    tc.link_lanes[idx],
+                    &format!("dma [{}]", w.pipes[p].spec.name),
+                    start,
+                    end,
+                    &[("bytes", chunk)],
+                );
+            }
             t = end + latency;
         }
         arrival = t;
@@ -554,9 +656,10 @@ fn start_transfer(world: &WorldRef, sim: &mut Simulation, p: usize, s: usize, ch
 fn deliver(world: &WorldRef, sim: &mut Simulation, p: usize, s: usize, chunk: u64) {
     {
         let mut w = world.borrow_mut();
+        let now = sim.now();
         let st = &mut w.pipes[p].stages[s];
         st.reserved -= 1;
-        st.queue.push_back(chunk);
+        st.queue.push_back((now, chunk));
         st.high_watermark = st.high_watermark.max(st.queue.len() + st.reserved);
     }
     try_start(world, sim, p, s);
@@ -565,6 +668,17 @@ fn deliver(world: &WorldRef, sim: &mut Simulation, p: usize, s: usize, chunk: u6
 /// A credit-return message reached stage `s-1` (or the source).
 fn credit_arrived(world: &WorldRef, sim: &mut Simulation, p: usize, s: usize) {
     debug_assert!(s > 0);
+    {
+        let w = world.borrow();
+        if let Some(tc) = &w.trace {
+            tc.tracer.instant_at_with(
+                tc.pipe_lanes[p],
+                "credit-return",
+                sim.now(),
+                &[("stage", (s - 1) as u64), ("msg_bytes", CREDIT_MSG_BYTES)],
+            );
+        }
+    }
     try_send(world, sim, p, s - 1);
     // Draining the pending output may unblock the stage itself.
     try_start(world, sim, p, s - 1);
@@ -801,6 +915,26 @@ mod tests {
         let report = sim.run();
         assert!(report.pipelines[0].finished >= SimTime(5_000_000));
         assert_eq!(report.pipelines[0].started, SimTime(5_000_000));
+    }
+
+    #[test]
+    fn tracer_records_valid_deterministic_timeline() {
+        let run_once = || {
+            let topo = disagg();
+            let spec = full_path_pipeline(&topo, 16 << 20, 0.5);
+            let mut sim = FlowSim::new(topo);
+            let tracer = Arc::new(Tracer::new());
+            sim.set_tracer(tracer.clone());
+            sim.add_pipeline(spec);
+            sim.run();
+            tracer.validate().expect("structurally valid trace");
+            tracer.sim_timeline()
+        };
+        let timeline = run_once();
+        assert!(timeline.contains("storage.ssd"));
+        assert!(timeline.contains("link."));
+        assert!(timeline.contains("credit-return"));
+        assert_eq!(timeline, run_once(), "sim trace must be deterministic");
     }
 
     #[test]

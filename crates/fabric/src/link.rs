@@ -64,9 +64,7 @@ impl LinkTech {
             LinkTech::Ethernet { gbits } | LinkTech::Rdma { gbits } => {
                 Bandwidth::gbits_per_sec(f64::from(gbits))
             }
-            LinkTech::Ddr { channels } => {
-                Bandwidth::gbytes_per_sec(25.0 * f64::from(channels))
-            }
+            LinkTech::Ddr { channels } => Bandwidth::gbytes_per_sec(25.0 * f64::from(channels)),
             LinkTech::NvLink => Bandwidth::gbytes_per_sec(300.0),
         }
     }
@@ -87,7 +85,10 @@ impl LinkTech {
     /// Whether the link can carry hardware cache-coherence traffic (§6.2:
     /// cxl.cache / cxl.mem).
     pub fn coherent(self) -> bool {
-        matches!(self, LinkTech::Cxl { .. } | LinkTech::Ddr { .. } | LinkTech::NvLink)
+        matches!(
+            self,
+            LinkTech::Cxl { .. } | LinkTech::Ddr { .. } | LinkTech::NvLink
+        )
     }
 
     /// Short display name.
@@ -129,10 +130,18 @@ mod tests {
 
     #[test]
     fn pcie_doubles_per_generation() {
-        let g3 = LinkTech::Pcie { generation: 3 }.bandwidth().as_gbytes_per_sec();
-        let g4 = LinkTech::Pcie { generation: 4 }.bandwidth().as_gbytes_per_sec();
-        let g5 = LinkTech::Pcie { generation: 5 }.bandwidth().as_gbytes_per_sec();
-        let g6 = LinkTech::Pcie { generation: 6 }.bandwidth().as_gbytes_per_sec();
+        let g3 = LinkTech::Pcie { generation: 3 }
+            .bandwidth()
+            .as_gbytes_per_sec();
+        let g4 = LinkTech::Pcie { generation: 4 }
+            .bandwidth()
+            .as_gbytes_per_sec();
+        let g5 = LinkTech::Pcie { generation: 5 }
+            .bandwidth()
+            .as_gbytes_per_sec();
+        let g6 = LinkTech::Pcie { generation: 6 }
+            .bandwidth()
+            .as_gbytes_per_sec();
         assert_eq!(g3, 16.0);
         assert_eq!(g4, 32.0);
         assert_eq!(g5, 64.0);
@@ -177,7 +186,10 @@ mod tests {
             a: crate::device::DeviceId(0),
             b: crate::device::DeviceId(1),
         };
-        assert_eq!(link.transfer_time(0), LinkTech::Ethernet { gbits: 100 }.latency());
+        assert_eq!(
+            link.transfer_time(0),
+            LinkTech::Ethernet { gbits: 100 }.latency()
+        );
         // 12.5 GB/s: 125 MB takes 10 ms + 10 us latency.
         let t = link.transfer_time(125_000_000);
         assert!((t.as_secs_f64() - 0.01001).abs() < 1e-5, "{t}");
@@ -185,8 +197,12 @@ mod tests {
 
     #[test]
     fn ddr_scales_with_channels() {
-        let one = LinkTech::Ddr { channels: 1 }.bandwidth().as_gbytes_per_sec();
-        let four = LinkTech::Ddr { channels: 4 }.bandwidth().as_gbytes_per_sec();
+        let one = LinkTech::Ddr { channels: 1 }
+            .bandwidth()
+            .as_gbytes_per_sec();
+        let four = LinkTech::Ddr { channels: 4 }
+            .bandwidth()
+            .as_gbytes_per_sec();
         assert_eq!(four, 4.0 * one);
     }
 }

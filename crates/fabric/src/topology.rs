@@ -279,14 +279,8 @@ impl Topology {
         let mut t = Topology::new();
         let switch = t.add_device("cxl-switch", DeviceKind::Switch);
         for i in 0..sockets {
-            let cpu = t.add_device(
-                format!("socket{i}.cpu"),
-                DeviceKind::Cpu { cores: 16 },
-            );
-            let mem = t.add_device(
-                format!("socket{i}.mem"),
-                DeviceKind::MemoryController,
-            );
+            let cpu = t.add_device(format!("socket{i}.cpu"), DeviceKind::Cpu { cores: 16 });
+            let mem = t.add_device(format!("socket{i}.mem"), DeviceKind::MemoryController);
             t.add_link(LinkTech::Ddr { channels: 4 }, cpu, mem);
             t.add_link(LinkTech::Cxl { generation }, cpu, switch);
         }

@@ -20,8 +20,11 @@
 //! is the difference between `stats().bytes_in` (what it touched) and
 //! `stats().bytes_out` (what it sent up the pipeline toward the CPU).
 
+use std::sync::Arc;
+
 use df_codec::wire::{decode_batch, encode_batch, WireOptions};
 use df_data::{Batch, RowPage};
+use df_sim::trace::{LaneId, LaneKind, Tracer};
 use df_storage::predicate::StoragePredicate;
 
 use crate::btree::{self, BTree};
@@ -54,12 +57,21 @@ impl AccelStats {
 #[derive(Debug, Default)]
 pub struct NearMemAccelerator {
     stats: AccelStats,
+    trace: Option<(Arc<Tracer>, LaneId)>,
 }
 
 impl NearMemAccelerator {
     /// A fresh accelerator.
     pub fn new() -> Self {
         NearMemAccelerator::default()
+    }
+
+    /// Attach a tracer; each functional-unit invocation records a span on
+    /// `lane` annotated with the bytes it read and forwarded.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>, lane: &str) -> Self {
+        let lane = tracer.lane(lane, LaneKind::Wall);
+        self.trace = Some((tracer, lane));
+        self
     }
 
     /// Statistics so far.
@@ -76,6 +88,10 @@ impl NearMemAccelerator {
     /// predicate language doubles as the "provided filtering function"
     /// (§5.4). Only the survivors count as output.
     pub fn filter(&mut self, batch: &Batch, predicate: &StoragePredicate) -> Result<Batch> {
+        let trace = self.trace.clone();
+        let mut _span = trace.as_ref().map(|(t, lane)| {
+            t.span_with(*lane, "filter", &[("bytes_in", batch.byte_size() as u64)])
+        });
         self.stats.ops += 1;
         self.stats.bytes_in += batch.byte_size() as u64;
         let selection = predicate.evaluate(batch)?;
@@ -85,12 +101,19 @@ impl NearMemAccelerator {
             batch.filter(&selection)?
         };
         self.stats.bytes_out += out.byte_size() as u64;
+        if let Some(span) = _span.as_mut() {
+            span.annotate("bytes_out", out.byte_size() as u64);
+        }
         Ok(out)
     }
 
     /// Decompress wire frames on demand: data stays compressed in memory;
     /// the rest of the pipeline sees only decoded batches (§5.4).
     pub fn decompress(&mut self, frames: &[Vec<u8>]) -> Result<Vec<Batch>> {
+        let trace = self.trace.clone();
+        let _span = trace
+            .as_ref()
+            .map(|(t, lane)| t.span_with(*lane, "decompress", &[("frames", frames.len() as u64)]));
         let mut out = Vec::with_capacity(frames.len());
         for frame in frames {
             self.stats.ops += 1;
@@ -105,6 +128,10 @@ impl NearMemAccelerator {
     /// Compress a batch for storage in memory (the write side of
     /// decompress-on-demand).
     pub fn compress(&mut self, batch: &Batch) -> Vec<u8> {
+        let trace = self.trace.clone();
+        let _span = trace.as_ref().map(|(t, lane)| {
+            t.span_with(*lane, "compress", &[("bytes_in", batch.byte_size() as u64)])
+        });
         self.stats.ops += 1;
         self.stats.bytes_in += batch.byte_size() as u64;
         let frame = encode_batch(batch, &WireOptions::compressed());
@@ -114,6 +141,10 @@ impl NearMemAccelerator {
 
     /// Transpose a row page to columns (recent → historical format, §5.4).
     pub fn transpose_to_columns(&mut self, page: &RowPage) -> Result<Batch> {
+        let trace = self.trace.clone();
+        let _span = trace
+            .as_ref()
+            .map(|(t, lane)| t.span(*lane, "transpose-to-columns"));
         self.stats.ops += 1;
         self.stats.bytes_in += page.byte_size() as u64;
         let batch = page.to_batch()?;
@@ -123,6 +154,10 @@ impl NearMemAccelerator {
 
     /// Transpose columns to a row page (or "virtually reverse" the layout).
     pub fn transpose_to_rows(&mut self, batch: &Batch) -> Result<RowPage> {
+        let trace = self.trace.clone();
+        let _span = trace
+            .as_ref()
+            .map(|(t, lane)| t.span(*lane, "transpose-to-rows"));
         self.stats.ops += 1;
         self.stats.bytes_in += batch.byte_size() as u64;
         let page = RowPage::from_batch(batch)?;
@@ -139,6 +174,10 @@ impl NearMemAccelerator {
         tree: &BTree,
         keys: &[i64],
     ) -> Result<Vec<Option<i64>>> {
+        let trace = self.trace.clone();
+        let mut _span = trace
+            .as_ref()
+            .map(|(t, lane)| t.span_with(*lane, "chase", &[("keys", keys.len() as u64)]));
         let before = region.stats().bytes_read;
         let mut out = Vec::with_capacity(keys.len());
         for &key in keys {
@@ -147,6 +186,9 @@ impl NearMemAccelerator {
         }
         self.stats.bytes_in += region.stats().bytes_read - before;
         self.stats.bytes_out += (out.len() * 9) as u64; // option + value
+        if let Some(span) = _span.as_mut() {
+            span.annotate("bytes_in", region.stats().bytes_read - before);
+        }
         Ok(out)
     }
 
@@ -159,6 +201,8 @@ impl NearMemAccelerator {
         lo: i64,
         hi: i64,
     ) -> Result<Vec<(i64, i64)>> {
+        let trace = self.trace.clone();
+        let _span = trace.as_ref().map(|(t, lane)| t.span(*lane, "chase-range"));
         let before = region.stats().bytes_read;
         self.stats.ops += 1;
         let out = btree::range(region, tree, lo, hi)?;
@@ -176,6 +220,8 @@ impl NearMemAccelerator {
         head: Option<u64>,
         keep: &dyn Fn(&[u8]) -> bool,
     ) -> Result<(Option<u64>, u64)> {
+        let trace = self.trace.clone();
+        let mut _span = trace.as_ref().map(|(t, lane)| t.span(*lane, "sweep-list"));
         let mut removed = 0u64;
         let mut new_head: Option<u64> = None;
         let mut prev: Option<u64> = None;
@@ -202,6 +248,9 @@ impl NearMemAccelerator {
         if let Some(p) = prev {
             let (_, payload) = read_list_node(region, p)?;
             write_list_node(region, p, None, &payload)?;
+        }
+        if let Some(span) = _span.as_mut() {
+            span.annotate("removed", removed);
         }
         Ok((new_head, removed))
     }
@@ -363,8 +412,7 @@ mod tests {
         let mut region = MemRegion::new(0, 64, Placement::Local);
         let head = build_list(&mut region, &[b"x".as_slice(), b"y"]).unwrap();
         let mut accel = NearMemAccelerator::new();
-        let (new_head, removed) =
-            accel.sweep_list(&mut region, head, &|_| false).unwrap();
+        let (new_head, removed) = accel.sweep_list(&mut region, head, &|_| false).unwrap();
         assert_eq!(removed, 2);
         assert!(new_head.is_none());
     }
@@ -383,9 +431,7 @@ mod tests {
         let mut region = MemRegion::new(0, 64, Placement::Local);
         let head = build_list(&mut region, &[b"a".as_slice(), b"b", b"c"]).unwrap();
         let mut accel = NearMemAccelerator::new();
-        let (new_head, removed) = accel
-            .sweep_list(&mut region, head, &|p| p != b"a")
-            .unwrap();
+        let (new_head, removed) = accel.sweep_list(&mut region, head, &|p| p != b"a").unwrap();
         assert_eq!(removed, 1);
         let remaining = collect_list(&mut region, new_head).unwrap();
         assert_eq!(remaining, vec![b"b".to_vec(), b"c".to_vec()]);

@@ -187,11 +187,7 @@ pub fn lookup(region: &mut MemRegion, tree: &BTree, key: i64) -> Result<Option<i
     loop {
         let node = parse_node(region.read_page(page)?)?;
         if node.is_leaf {
-            return Ok(node
-                .keys
-                .binary_search(&key)
-                .ok()
-                .map(|i| node.values[i]));
+            return Ok(node.keys.binary_search(&key).ok().map(|i| node.values[i]));
         }
         let idx = node.keys.partition_point(|&k| k <= key);
         page = node.children[idx];
@@ -201,12 +197,7 @@ pub fn lookup(region: &mut MemRegion, tree: &BTree, key: i64) -> Result<Option<i
 /// Inclusive range scan `[lo, hi]`. Descends once, then follows the leaf
 /// chain, returning matching pairs. Only leaf pages containing candidates
 /// are touched.
-pub fn range(
-    region: &mut MemRegion,
-    tree: &BTree,
-    lo: i64,
-    hi: i64,
-) -> Result<Vec<(i64, i64)>> {
+pub fn range(region: &mut MemRegion, tree: &BTree, lo: i64, hi: i64) -> Result<Vec<(i64, i64)>> {
     let mut out = Vec::new();
     if lo > hi {
         return Ok(out);
@@ -247,8 +238,7 @@ mod tests {
 
     fn build_tree(n: i64, fanout: usize) -> (MemRegion, BTree) {
         let pairs: Vec<(i64, i64)> = (0..n).map(|k| (k * 2, k * 100)).collect();
-        let mut region =
-            MemRegion::new(0, required_page_size(fanout).max(256), Placement::Local);
+        let mut region = MemRegion::new(0, required_page_size(fanout).max(256), Placement::Local);
         let tree = build(&mut region, &pairs, fanout).unwrap();
         (region, tree)
     }
@@ -282,8 +272,7 @@ mod tests {
     fn range_scan_correct_and_leaf_local() {
         let (mut region, tree) = build_tree(1000, 16);
         let got = range(&mut region, &tree, 100, 140).unwrap();
-        let expect: Vec<(i64, i64)> =
-            (50..=70).map(|k| (k * 2, k * 100)).collect();
+        let expect: Vec<(i64, i64)> = (50..=70).map(|k| (k * 2, k * 100)).collect();
         assert_eq!(got, expect);
         // Empty and inverted ranges.
         assert!(range(&mut region, &tree, 3, 3).unwrap().is_empty());

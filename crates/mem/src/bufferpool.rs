@@ -93,11 +93,7 @@ impl BufferPool {
 
     /// Pin a page, fetching it with `fetch` on a miss. Returns the frame's
     /// contents. The page cannot be evicted until [`BufferPool::unpin`].
-    pub fn pin(
-        &mut self,
-        key: PageKey,
-        fetch: impl FnOnce() -> Vec<u8>,
-    ) -> crate::Result<&[u8]> {
+    pub fn pin(&mut self, key: PageKey, fetch: impl FnOnce() -> Vec<u8>) -> crate::Result<&[u8]> {
         if let Some(&idx) = self.map.get(&key) {
             self.stats.hits += 1;
             let frame = &mut self.frames[idx];

@@ -131,15 +131,21 @@ pub fn broadcast(
     Ok(stats)
 }
 
-/// Gather at `node` until `senders` EOS markers arrive. Returns the batches
-/// in arrival order.
+/// Gather at `node` until `senders` *distinct* nodes have sent EOS. Returns
+/// the batches in arrival order.
+///
+/// Counting distinct senders (rather than raw EOS frames) means a node that
+/// races ahead into a later exchange round cannot terminate this round's
+/// gather early with its second EOS.
 pub fn gather(network: &Network, node: usize, senders: usize) -> Result<Vec<Batch>> {
     let mut out = Vec::new();
-    let mut eos = 0;
-    while eos < senders {
-        match network.recv_batch(node)? {
-            Some((_, batch)) => out.push(batch),
-            None => eos += 1,
+    let mut eos_from = std::collections::HashSet::new();
+    while eos_from.len() < senders {
+        match network.recv_frame(node)? {
+            (from, None) => {
+                eos_from.insert(from);
+            }
+            (_, Some(batch)) => out.push(batch),
         }
     }
     Ok(out)
@@ -165,15 +171,8 @@ mod tests {
     fn smart_scatter_partitions_completely() {
         let net = Network::new(4);
         let batches: Vec<Batch> = sample(1000).split(128);
-        let stats = scatter_smart(
-            &net,
-            0,
-            &batches,
-            &["k"],
-            &[1, 2, 3],
-            &WireOptions::plain(),
-        )
-        .unwrap();
+        let stats =
+            scatter_smart(&net, 0, &batches, &["k"], &[1, 2, 3], &WireOptions::plain()).unwrap();
         assert_eq!(stats.rows, 1000);
         assert_eq!(stats.host_bytes, 0, "smart path must not touch the host");
         assert!(stats.nic_bytes > 0);
@@ -189,12 +188,10 @@ mod tests {
     fn host_and_smart_scatter_agree() {
         let batches: Vec<Batch> = sample(500).split(64);
         let net_a = Network::new(3);
-        scatter_smart(&net_a, 0, &batches, &["k"], &[1, 2], &WireOptions::plain())
-            .unwrap();
+        scatter_smart(&net_a, 0, &batches, &["k"], &[1, 2], &WireOptions::plain()).unwrap();
         let net_b = Network::new(3);
         let host_stats =
-            scatter_host(&net_b, 0, &batches, &["k"], &[1, 2], &WireOptions::plain())
-                .unwrap();
+            scatter_host(&net_b, 0, &batches, &["k"], &[1, 2], &WireOptions::plain()).unwrap();
         assert!(host_stats.host_bytes > 0);
         for node in 1..3 {
             let a = Batch::concat(&gather(&net_a, node, 1).unwrap()).unwrap();
@@ -209,15 +206,7 @@ mod tests {
         // Two batches with overlapping keys.
         let b1 = batch_of(vec![("k", Column::from_i64(vec![1, 2, 3, 4]))]);
         let b2 = batch_of(vec![("k", Column::from_i64(vec![3, 4, 5, 6]))]);
-        scatter_smart(
-            &net,
-            0,
-            &[b1, b2],
-            &["k"],
-            &[1, 2],
-            &WireOptions::plain(),
-        )
-        .unwrap();
+        scatter_smart(&net, 0, &[b1, b2], &["k"], &[1, 2], &WireOptions::plain()).unwrap();
         for node in 1..3 {
             let got = gather(&net, node, 1).unwrap();
             let mut keys: Vec<i64> = got
@@ -238,14 +227,7 @@ mod tests {
     #[test]
     fn broadcast_replicates() {
         let net = Network::new(3);
-        let stats = broadcast(
-            &net,
-            0,
-            &[sample(10)],
-            &[1, 2],
-            &WireOptions::plain(),
-        )
-        .unwrap();
+        let stats = broadcast(&net, 0, &[sample(10)], &[1, 2], &WireOptions::plain()).unwrap();
         assert_eq!(stats.rows, 20);
         for node in 1..3 {
             let got = gather(&net, node, 1).unwrap();

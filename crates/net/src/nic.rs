@@ -8,7 +8,10 @@
 //! group-by cascade of Figure 3), and count (the query-finishing example
 //! where the NIC "simply counts the data as it arrives and discards it").
 
+use std::sync::Arc;
+
 use df_data::{Batch, Column, DataType, Field, Scalar, Schema};
+use df_sim::trace::{LaneId, LaneKind, Tracer};
 use df_storage::predicate::StoragePredicate;
 use df_storage::smart::{PartialAggregator, PreAggSpec};
 
@@ -115,11 +118,26 @@ enum KernelState {
     },
 }
 
+impl KernelState {
+    fn label(&self) -> &'static str {
+        match self {
+            KernelState::Stateless(NicKernel::Filter(_)) => "filter",
+            KernelState::Stateless(NicKernel::Project(_)) => "project",
+            KernelState::Stateless(NicKernel::AppendHash { .. }) => "append-hash",
+            KernelState::Stateless(NicKernel::Partition { .. }) => "partition",
+            KernelState::Stateless(_) => "kernel",
+            KernelState::PreAgg { .. } => "pre-aggregate",
+            KernelState::Count { .. } => "count",
+        }
+    }
+}
+
 /// A compiled NIC program with its runtime state.
 pub struct NicPipeline {
     kernels: Vec<KernelState>,
     partition: Option<(Vec<String>, usize)>,
     stats: NicStats,
+    trace: Option<(Arc<Tracer>, LaneId)>,
 }
 
 impl NicPipeline {
@@ -146,9 +164,7 @@ impl NicPipeline {
                 NicKernel::PreAggregate(spec) => {
                     states.push(KernelState::PreAgg { spec, agg: None })
                 }
-                NicKernel::Count { output } => {
-                    states.push(KernelState::Count { output, count: 0 })
-                }
+                NicKernel::Count { output } => states.push(KernelState::Count { output, count: 0 }),
                 other => states.push(KernelState::Stateless(other)),
             }
         }
@@ -156,7 +172,26 @@ impl NicPipeline {
             kernels: states,
             partition,
             stats: NicStats::default(),
+            trace: None,
         })
+    }
+
+    /// Record this pipeline's activity on the named wall lane of `tracer`:
+    /// one `install:<kernel>` instant per compiled kernel now (program
+    /// download to the DPU), then a span per pushed batch.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>, lane: &str) -> NicPipeline {
+        let lane = tracer.lane(lane, LaneKind::Wall);
+        for kernel in &self.kernels {
+            tracer.instant(lane, &format!("install:{}", kernel.label()));
+        }
+        if let Some((columns, fanout)) = &self.partition {
+            tracer.instant(
+                lane,
+                &format!("install:partition({}x{fanout})", columns.join(",")),
+            );
+        }
+        self.trace = Some((tracer, lane));
+        self
     }
 
     /// Statistics so far.
@@ -170,6 +205,17 @@ impl NicPipeline {
         self.stats.batches_in += 1;
         self.stats.rows_in += batch.rows() as u64;
         self.stats.bytes_in += batch.byte_size() as u64;
+        let trace = self.trace.clone();
+        let mut span = trace.as_ref().map(|(t, lane)| {
+            t.span_with(
+                *lane,
+                "push",
+                &[
+                    ("rows", batch.rows() as u64),
+                    ("bytes", batch.byte_size() as u64),
+                ],
+            )
+        });
         let mut current = Some(batch);
         for kernel in &mut self.kernels {
             let Some(batch) = current.take() else { break };
@@ -180,9 +226,14 @@ impl NicPipeline {
             Some(batch) if batch.is_empty() => Vec::new(),
             Some(batch) => self.fan_out(batch)?,
         };
+        let mut out_rows = 0;
         for (_, b) in &outputs {
+            out_rows += b.rows() as u64;
             self.stats.rows_out += b.rows() as u64;
             self.stats.bytes_out += b.byte_size() as u64;
+        }
+        if let Some(span) = span.as_mut() {
+            span.annotate("out_rows", out_rows);
         }
         Ok(outputs)
     }
@@ -191,6 +242,8 @@ impl NicPipeline {
     /// through all *later* kernels (so a count after a pre-aggregation sees
     /// the flushed groups) and then out through the partitioner.
     pub fn finish(&mut self) -> Result<Vec<(usize, Batch)>> {
+        let trace = self.trace.clone();
+        let _span = trace.as_ref().map(|(t, lane)| t.span(*lane, "finish"));
         let mut finished = Vec::new();
         for idx in 0..self.kernels.len() {
             let flushed = match &mut self.kernels[idx] {
@@ -204,11 +257,9 @@ impl NicPipeline {
                 },
                 KernelState::Count { output, count } => {
                     let schema =
-                        Schema::new(vec![Field::new(output.clone(), DataType::Int64)])
-                            .into_ref();
-                    let batch =
-                        Batch::new(schema, vec![Column::from_i64(vec![*count])])
-                            .map_err(NetError::Data)?;
+                        Schema::new(vec![Field::new(output.clone(), DataType::Int64)]).into_ref();
+                    let batch = Batch::new(schema, vec![Column::from_i64(vec![*count])])
+                        .map_err(NetError::Data)?;
                     *count = 0;
                     Some(batch)
                 }
@@ -326,15 +377,20 @@ mod tests {
                 "grp",
                 Column::from_strs(&(0..n).map(|i| format!("g{}", i % 5)).collect::<Vec<_>>()),
             ),
-            ("v", Column::from_i64((0..n as i64).map(|i| i * 2).collect())),
+            (
+                "v",
+                Column::from_i64((0..n as i64).map(|i| i * 2).collect()),
+            ),
         ])
     }
 
     #[test]
     fn filter_kernel_drops_rows() {
-        let mut nic = NicPipeline::new(vec![NicKernel::Filter(
-            StoragePredicate::cmp("k", CmpOp::Lt, 10i64),
-        )])
+        let mut nic = NicPipeline::new(vec![NicKernel::Filter(StoragePredicate::cmp(
+            "k",
+            CmpOp::Lt,
+            10i64,
+        ))])
         .unwrap();
         let out = nic.push(sample(100)).unwrap();
         assert_eq!(out.len(), 1);
@@ -344,8 +400,7 @@ mod tests {
 
     #[test]
     fn project_kernel_prunes_columns() {
-        let mut nic =
-            NicPipeline::new(vec![NicKernel::Project(vec!["v".into()])]).unwrap();
+        let mut nic = NicPipeline::new(vec![NicKernel::Project(vec!["v".into()])]).unwrap();
         let out = nic.push(sample(10)).unwrap();
         assert_eq!(out[0].1.schema().len(), 1);
         assert_eq!(out[0].1.schema().field(0).name, "v");
@@ -366,10 +421,7 @@ mod tests {
         // Same group value -> same hash.
         let batch = &a[0].1;
         let h = batch.column_by_name("h").unwrap().i64_values().unwrap();
-        let g0_hashes: Vec<i64> = (0..50)
-            .filter(|i| i % 5 == 0)
-            .map(|i| h[i])
-            .collect();
+        let g0_hashes: Vec<i64> = (0..50).filter(|i| i % 5 == 0).map(|i| h[i]).collect();
         assert!(g0_hashes.windows(2).all(|w| w[0] == w[1]));
     }
 
@@ -406,19 +458,14 @@ mod tests {
                 columns: vec!["k".into()],
                 fanout: 2,
             },
-            NicKernel::Count {
-                output: "n".into(),
-            },
+            NicKernel::Count { output: "n".into() },
         ]);
         assert!(err.is_err());
     }
 
     #[test]
     fn count_discards_data_and_reports_total() {
-        let mut nic = NicPipeline::new(vec![NicKernel::Count {
-            output: "n".into(),
-        }])
-        .unwrap();
+        let mut nic = NicPipeline::new(vec![NicKernel::Count { output: "n".into() }]).unwrap();
         for _ in 0..4 {
             let out = nic.push(sample(250)).unwrap();
             assert!(out.is_empty(), "count must not forward data");
@@ -443,8 +490,8 @@ mod tests {
             nic.push(chunk).unwrap();
         }
         let fin = nic.finish().unwrap();
-        let merged = Batch::concat(&fin.iter().map(|(_, b)| b.clone()).collect::<Vec<_>>())
-            .unwrap();
+        let merged =
+            Batch::concat(&fin.iter().map(|(_, b)| b.clone()).collect::<Vec<_>>()).unwrap();
         assert_eq!(merged.rows(), 5);
         let total: i64 = (0..merged.rows())
             .map(|r| merged.column(1).scalar_at(r).as_int().unwrap())
@@ -496,9 +543,11 @@ mod tests {
 
     #[test]
     fn empty_batches_produce_no_output() {
-        let mut nic = NicPipeline::new(vec![NicKernel::Filter(
-            StoragePredicate::cmp("k", CmpOp::Lt, -1i64),
-        )])
+        let mut nic = NicPipeline::new(vec![NicKernel::Filter(StoragePredicate::cmp(
+            "k",
+            CmpOp::Lt,
+            -1i64,
+        ))])
         .unwrap();
         let out = nic.push(sample(10)).unwrap();
         assert!(out.is_empty());

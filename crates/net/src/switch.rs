@@ -133,9 +133,11 @@ mod tests {
     fn switch_merges_partials_from_two_sources() {
         let net = Network::new(4); // 0,1 = sources, 2 = switch, 3 = dest
         let wire = WireOptions::plain();
-        net.send_batch(0, 2, &partial(&[("a", 10), ("b", 1)]), &wire).unwrap();
+        net.send_batch(0, 2, &partial(&[("a", 10), ("b", 1)]), &wire)
+            .unwrap();
         net.send_eos(0, 2).unwrap();
-        net.send_batch(1, 2, &partial(&[("a", 5), ("c", 7)]), &wire).unwrap();
+        net.send_batch(1, 2, &partial(&[("a", 5), ("c", 7)]), &wire)
+            .unwrap();
         net.send_eos(1, 2).unwrap();
 
         let stats = in_network_aggregate(&net, 2, 2, 3, &spec(), &wire).unwrap();
@@ -160,8 +162,7 @@ mod tests {
     fn empty_sources_forward_eos_only() {
         let net = Network::new(3);
         net.send_eos(0, 1).unwrap();
-        let stats =
-            in_network_aggregate(&net, 1, 1, 2, &spec(), &WireOptions::plain()).unwrap();
+        let stats = in_network_aggregate(&net, 1, 1, 2, &spec(), &WireOptions::plain()).unwrap();
         assert_eq!(stats.rows_in, 0);
         assert!(gather(&net, 2, 1).unwrap().is_empty());
     }

@@ -6,10 +6,11 @@
 //! separate lets the engine verify *correctness* under concurrency and the
 //! simulator report *time* deterministically.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
 use df_codec::wire::{decode_batch, encode_batch, WireOptions};
 use df_data::Batch;
-use parking_lot::Mutex;
 
 use crate::{NetError, Result};
 
@@ -77,7 +78,7 @@ impl Network {
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(Mutex::new(rx));
         }
@@ -109,7 +110,7 @@ impl Network {
         self.check_node(from)?;
         self.check_node(to)?;
         {
-            let mut stats = self.stats.lock();
+            let mut stats = self.stats.lock().expect("stats lock poisoned");
             stats.bytes[from][to] += payload.len() as u64;
             stats.frames[from][to] += 1;
         }
@@ -144,25 +145,36 @@ impl Network {
         self.check_node(node)?;
         self.receivers[node]
             .lock()
+            .expect("receiver lock poisoned")
             .recv()
             .map_err(|_| NetError::Disconnected(node))
     }
 
     /// Receive and decode a data frame; `Ok(None)` for EOS.
     pub fn recv_batch(&self, node: usize) -> Result<Option<(usize, Batch)>> {
+        match self.recv_frame(node)? {
+            (_, None) => Ok(None),
+            (from, Some(batch)) => Ok(Some((from, batch))),
+        }
+    }
+
+    /// Receive and decode the next frame addressed to `node`, always
+    /// reporting the sender: `(from, Some(batch))` for data, `(from, None)`
+    /// for that sender's EOS.
+    pub fn recv_frame(&self, node: usize) -> Result<(usize, Option<Batch>)> {
         let frame = self.recv(node)?;
         match frame.kind {
-            FrameKind::Eos => Ok(None),
+            FrameKind::Eos => Ok((frame.from, None)),
             FrameKind::Data | FrameKind::Control => {
                 let batch = decode_batch(&frame.payload, None)?;
-                Ok(Some((frame.from, batch)))
+                Ok((frame.from, Some(batch)))
             }
         }
     }
 
     /// Snapshot of the transfer statistics.
     pub fn stats(&self) -> TransportStats {
-        self.stats.lock().clone()
+        self.stats.lock().expect("stats lock poisoned").clone()
     }
 }
 
@@ -179,7 +191,8 @@ mod tests {
     #[test]
     fn batch_roundtrip_between_nodes() {
         let net = Network::new(2);
-        net.send_batch(0, 1, &sample(), &WireOptions::plain()).unwrap();
+        net.send_batch(0, 1, &sample(), &WireOptions::plain())
+            .unwrap();
         let (from, got) = net.recv_batch(1).unwrap().unwrap();
         assert_eq!(from, 0);
         assert_eq!(got.canonical_rows(), sample().canonical_rows());
@@ -195,9 +208,12 @@ mod tests {
     #[test]
     fn stats_track_bytes_per_pair() {
         let net = Network::new(3);
-        net.send_batch(0, 1, &sample(), &WireOptions::plain()).unwrap();
-        net.send_batch(0, 2, &sample(), &WireOptions::plain()).unwrap();
-        net.send_batch(1, 1, &sample(), &WireOptions::plain()).unwrap();
+        net.send_batch(0, 1, &sample(), &WireOptions::plain())
+            .unwrap();
+        net.send_batch(0, 2, &sample(), &WireOptions::plain())
+            .unwrap();
+        net.send_batch(1, 1, &sample(), &WireOptions::plain())
+            .unwrap();
         let stats = net.stats();
         assert!(stats.bytes[0][1] > 0);
         assert_eq!(stats.bytes[0][1], stats.bytes[0][2]);
@@ -231,9 +247,7 @@ mod tests {
         comp_net
             .send_batch(0, 1, &batch, &WireOptions::compressed())
             .unwrap();
-        assert!(
-            comp_net.stats().total_bytes() < plain_net.stats().total_bytes() / 5
-        );
+        assert!(comp_net.stats().total_bytes() < plain_net.stats().total_bytes() / 5);
         let (_, got) = comp_net.recv_batch(1).unwrap().unwrap();
         assert_eq!(got.rows(), 10_000);
     }

@@ -11,13 +11,16 @@
 //! - [`event`] — the event queue and simulation driver
 //! - [`metrics`] — counters, gauges and fixed-bound histograms
 //! - [`rng`] — a small deterministic SplitMix64/xoshiro RNG
+//! - [`trace`] — hierarchical span/event tracing on per-device lanes
 
 pub mod event;
 pub mod metrics;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventId, Simulation};
 pub use metrics::{Counter, Histogram, Metrics};
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimDuration, SimTime};
+pub use trace::{LaneId, LaneKind, SpanGuard, Tracer};

@@ -280,6 +280,34 @@ mod tests {
     }
 
     #[test]
+    fn histogram_value_on_bucket_boundary_stays_in_bucket() {
+        // `bounds` are *upper* bounds: a value equal to a bound lands in
+        // that bound's bucket, not the next one. partition_point with
+        // `b < value` gives the first bound >= value.
+        let mut h = Histogram::with_bounds(vec![10, 100, 1000]);
+        h.record(10); // == first bound
+        h.record(100); // == second bound
+        h.record(11); // just over the first bound
+        assert_eq!(h.buckets, vec![1, 2, 0, 0]);
+        // Quantile of a boundary observation reports the bucket's bound.
+        let mut exact = Histogram::with_bounds(vec![10, 100]);
+        exact.record(10);
+        assert_eq!(exact.quantile(1.0), 10);
+    }
+
+    #[test]
+    fn counter_add_saturates_instead_of_wrapping() {
+        let mut c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
     fn empty_histogram_is_sane() {
         let h = Histogram::exponential(4);
         assert_eq!(h.count(), 0);

@@ -260,10 +260,7 @@ mod tests {
     #[test]
     fn duration_constructors_are_consistent() {
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
-        assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1_000)
-        );
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_secs_f64(1.0).nanos(), 1_000_000_000);
     }
 
@@ -302,10 +299,7 @@ mod tests {
         assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
         assert_eq!(SimDuration::from_micros(12).to_string(), "12.000us");
         assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
-        assert_eq!(
-            SimDuration::from_secs_f64(1.5).to_string(),
-            "1.500s"
-        );
+        assert_eq!(SimDuration::from_secs_f64(1.5).to_string(), "1.500s");
     }
 
     #[test]

@@ -1,0 +1,621 @@
+//! Query-level tracing: hierarchical spans and instants on named lanes.
+//!
+//! A [`Tracer`] records what every simulated device (and, optionally, every
+//! real executor thread) was doing and when. Lanes come in two kinds:
+//!
+//! - **Sim lanes** ([`LaneKind::Sim`]) carry events stamped with simulated
+//!   [`SimTime`] from the fabric model. They are *deterministic*: the same
+//!   topology, workload and RNG seed produce a byte-identical
+//!   [`Tracer::sim_timeline`]. Golden-trace tests rely on this contract.
+//! - **Wall lanes** ([`LaneKind::Wall`]) carry events stamped with real
+//!   elapsed nanoseconds since the tracer was created. The push executor's
+//!   operator and morsel spans live here; they are useful for profiling but
+//!   excluded from golden comparisons.
+//!
+//! Tracing is strictly opt-in: components hold an `Option<Arc<Tracer>>` and
+//! skip every call when it is `None`, so the disabled path costs one branch
+//! and takes no locks.
+//!
+//! Exporters:
+//! - [`Tracer::chrome_trace_json`] — Chrome `trace_event` JSON, loadable in
+//!   Perfetto / `chrome://tracing` (one `pid` per lane kind, one `tid` per
+//!   lane);
+//! - [`Tracer::summary`] — a plain-text per-lane utilization table;
+//! - [`Tracer::sim_timeline`] — the canonical text form of the sim-time
+//!   lanes used for determinism checks.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::time::SimTime;
+
+/// Whether a lane's timestamps come from the simulated clock or the real one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneKind {
+    /// Deterministic simulated time ([`SimTime`] nanoseconds).
+    Sim,
+    /// Real elapsed nanoseconds since [`Tracer::new`].
+    Wall,
+}
+
+/// Handle to a lane, returned by [`Tracer::lane`]. Cheap to copy and share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneId(usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Begin,
+    End,
+    Instant,
+}
+
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    phase: Phase,
+    /// Span/instant name; empty for `End` (the matching `Begin` names it).
+    name: String,
+    /// Nanoseconds — simulated for sim lanes, wall-elapsed for wall lanes.
+    ts: u64,
+    /// Numeric annotations (`rows`, `bytes`, ...).
+    args: Vec<(String, u64)>,
+}
+
+#[derive(Debug)]
+struct Lane {
+    name: String,
+    kind: LaneKind,
+    events: Vec<TraceEvent>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    lanes: Vec<Lane>,
+    index: HashMap<String, usize>,
+}
+
+/// A hierarchical span/event recorder. See the module docs for the model.
+#[derive(Debug)]
+pub struct Tracer {
+    inner: Mutex<Inner>,
+    wall_origin: Instant,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// An empty tracer. Wall-lane timestamps are measured from this call.
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Mutex::new(Inner::default()),
+            wall_origin: Instant::now(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("tracer lock poisoned")
+    }
+
+    fn wall_now(&self) -> u64 {
+        self.wall_origin.elapsed().as_nanos() as u64
+    }
+
+    /// Create-or-get the lane called `name`. Creating the same name twice
+    /// returns the same lane; the `kind` of the first creation wins.
+    pub fn lane(&self, name: &str, kind: LaneKind) -> LaneId {
+        let mut inner = self.lock();
+        if let Some(&i) = inner.index.get(name) {
+            return LaneId(i);
+        }
+        let i = inner.lanes.len();
+        inner.lanes.push(Lane {
+            name: name.to_string(),
+            kind,
+            events: Vec::new(),
+        });
+        inner.index.insert(name.to_string(), i);
+        LaneId(i)
+    }
+
+    /// Names of all lanes, in creation order.
+    pub fn lane_names(&self) -> Vec<String> {
+        self.lock().lanes.iter().map(|l| l.name.clone()).collect()
+    }
+
+    /// Total number of recorded events across all lanes.
+    pub fn event_count(&self) -> usize {
+        self.lock().lanes.iter().map(|l| l.events.len()).sum()
+    }
+
+    fn push(&self, lane: LaneId, event: TraceEvent) {
+        self.lock().lanes[lane.0].events.push(event);
+    }
+
+    /// Open a span on a sim lane at simulated time `at`.
+    pub fn begin_at(&self, lane: LaneId, name: &str, at: SimTime) {
+        self.begin_at_with(lane, name, at, &[]);
+    }
+
+    /// [`Tracer::begin_at`] with numeric annotations.
+    pub fn begin_at_with(&self, lane: LaneId, name: &str, at: SimTime, args: &[(&str, u64)]) {
+        self.push(
+            lane,
+            TraceEvent {
+                phase: Phase::Begin,
+                name: name.to_string(),
+                ts: at.nanos(),
+                args: own_args(args),
+            },
+        );
+    }
+
+    /// Close the innermost open span on a sim lane at simulated time `at`.
+    pub fn end_at(&self, lane: LaneId, at: SimTime) {
+        self.end_at_with(lane, at, &[]);
+    }
+
+    /// [`Tracer::end_at`] with numeric annotations.
+    pub fn end_at_with(&self, lane: LaneId, at: SimTime, args: &[(&str, u64)]) {
+        self.push(
+            lane,
+            TraceEvent {
+                phase: Phase::End,
+                name: String::new(),
+                ts: at.nanos(),
+                args: own_args(args),
+            },
+        );
+    }
+
+    /// Record a complete `[start, end]` span on a sim lane in one call —
+    /// the common shape when the simulator knows the service time up front.
+    pub fn span_at(
+        &self,
+        lane: LaneId,
+        name: &str,
+        start: SimTime,
+        end: SimTime,
+        args: &[(&str, u64)],
+    ) {
+        let mut inner = self.lock();
+        let events = &mut inner.lanes[lane.0].events;
+        events.push(TraceEvent {
+            phase: Phase::Begin,
+            name: name.to_string(),
+            ts: start.nanos(),
+            args: own_args(args),
+        });
+        events.push(TraceEvent {
+            phase: Phase::End,
+            name: String::new(),
+            ts: end.nanos().max(start.nanos()),
+            args: Vec::new(),
+        });
+    }
+
+    /// Record a point event on a sim lane.
+    pub fn instant_at(&self, lane: LaneId, name: &str, at: SimTime) {
+        self.instant_at_with(lane, name, at, &[]);
+    }
+
+    /// [`Tracer::instant_at`] with numeric annotations.
+    pub fn instant_at_with(&self, lane: LaneId, name: &str, at: SimTime, args: &[(&str, u64)]) {
+        self.push(
+            lane,
+            TraceEvent {
+                phase: Phase::Instant,
+                name: name.to_string(),
+                ts: at.nanos(),
+                args: own_args(args),
+            },
+        );
+    }
+
+    /// Open a wall-clock span; it closes when the returned guard drops.
+    pub fn span<'a>(&'a self, lane: LaneId, name: &str) -> SpanGuard<'a> {
+        self.span_with(lane, name, &[])
+    }
+
+    /// [`Tracer::span`] with numeric annotations on the opening event.
+    pub fn span_with<'a>(
+        &'a self,
+        lane: LaneId,
+        name: &str,
+        args: &[(&str, u64)],
+    ) -> SpanGuard<'a> {
+        let now = self.wall_now();
+        self.push(
+            lane,
+            TraceEvent {
+                phase: Phase::Begin,
+                name: name.to_string(),
+                ts: now,
+                args: own_args(args),
+            },
+        );
+        SpanGuard {
+            tracer: self,
+            lane,
+            args: Vec::new(),
+        }
+    }
+
+    /// Record a wall-clock point event.
+    pub fn instant(&self, lane: LaneId, name: &str) {
+        let now = self.wall_now();
+        self.push(
+            lane,
+            TraceEvent {
+                phase: Phase::Instant,
+                name: name.to_string(),
+                ts: now,
+                args: Vec::new(),
+            },
+        );
+    }
+
+    fn end_wall(&self, lane: LaneId, args: Vec<(String, u64)>) {
+        let now = self.wall_now();
+        self.push(
+            lane,
+            TraceEvent {
+                phase: Phase::End,
+                name: String::new(),
+                ts: now,
+                args,
+            },
+        );
+    }
+
+    /// Check every lane for structural soundness:
+    /// - timestamps are non-decreasing in record order;
+    /// - every `End` closes an open `Begin` (stack discipline — spans on a
+    ///   lane are properly nested, never partially overlapping);
+    /// - no span is left open.
+    ///
+    /// Wall lanes tolerate clock reversals of 0 (identical stamps are fine).
+    pub fn validate(&self) -> Result<(), String> {
+        let inner = self.lock();
+        for lane in &inner.lanes {
+            let mut last_ts = 0u64;
+            let mut stack: Vec<&str> = Vec::new();
+            for (i, ev) in lane.events.iter().enumerate() {
+                if ev.ts < last_ts {
+                    return Err(format!(
+                        "lane `{}` event {i}: timestamp {} goes backwards (prev {})",
+                        lane.name, ev.ts, last_ts
+                    ));
+                }
+                last_ts = ev.ts;
+                match ev.phase {
+                    Phase::Begin => stack.push(&ev.name),
+                    Phase::End => {
+                        if stack.pop().is_none() {
+                            return Err(format!(
+                                "lane `{}` event {i}: End with no open span",
+                                lane.name
+                            ));
+                        }
+                    }
+                    Phase::Instant => {}
+                }
+            }
+            if let Some(open) = stack.last() {
+                return Err(format!(
+                    "lane `{}`: span `{open}` (and {} more) never closed",
+                    lane.name,
+                    stack.len() - 1
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical text form of the **sim lanes only**, in lane-creation
+    /// and record order. Two runs with the same seed must produce identical
+    /// strings — this is the golden-trace determinism contract. Wall lanes
+    /// are excluded because real time is never reproducible.
+    pub fn sim_timeline(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for lane in inner.lanes.iter().filter(|l| l.kind == LaneKind::Sim) {
+            for ev in &lane.events {
+                let ph = match ev.phase {
+                    Phase::Begin => 'B',
+                    Phase::End => 'E',
+                    Phase::Instant => 'I',
+                };
+                let _ = write!(out, "{}\t{}\t{}\t{}", lane.name, ph, ev.ts, ev.name);
+                for (k, v) in &ev.args {
+                    let _ = write!(out, "\t{k}={v}");
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Export every lane as Chrome `trace_event` JSON (the "JSON array
+    /// format"): load the file in Perfetto or `chrome://tracing`. Sim lanes
+    /// live under `pid` 1, wall lanes under `pid` 2; each lane is a named
+    /// `tid` (thread metadata events carry the lane names). Timestamps are
+    /// microseconds with nanosecond precision.
+    pub fn chrome_trace_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("[\n");
+        let mut first = true;
+        let mut emit = |line: String, out: &mut String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&line);
+        };
+        emit(
+            r#"{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"simulated"}}"#
+                .to_string(),
+            &mut out,
+        );
+        emit(
+            r#"{"ph":"M","pid":2,"tid":0,"name":"process_name","args":{"name":"wall-clock"}}"#
+                .to_string(),
+            &mut out,
+        );
+        for (tid, lane) in inner.lanes.iter().enumerate() {
+            let pid = match lane.kind {
+                LaneKind::Sim => 1,
+                LaneKind::Wall => 2,
+            };
+            emit(
+                format!(
+                    r#"{{"ph":"M","pid":{pid},"tid":{tid},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+                    escape_json(&lane.name)
+                ),
+                &mut out,
+            );
+            for ev in &lane.events {
+                let ph = match ev.phase {
+                    Phase::Begin => "B",
+                    Phase::End => "E",
+                    Phase::Instant => "i",
+                };
+                let mut line = format!(
+                    r#"{{"ph":"{ph}","pid":{pid},"tid":{tid},"ts":{}.{:03}"#,
+                    ev.ts / 1_000,
+                    ev.ts % 1_000
+                );
+                if !ev.name.is_empty() {
+                    let _ = write!(line, r#","name":"{}""#, escape_json(&ev.name));
+                }
+                if ev.phase == Phase::Instant {
+                    line.push_str(r#","s":"t""#);
+                }
+                if !ev.args.is_empty() {
+                    line.push_str(r#","args":{"#);
+                    for (i, (k, v)) in ev.args.iter().enumerate() {
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        let _ = write!(line, r#""{}":{v}"#, escape_json(k));
+                    }
+                    line.push('}');
+                }
+                line.push('}');
+                emit(line, &mut out);
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// A plain-text per-lane utilization table: top-level busy time, span
+    /// and instant counts, and busy share of the lane's active window.
+    pub fn summary(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6} {:>8} {:>14} {:>14} {:>6}",
+            "lane", "kind", "spans", "busy", "window", "util"
+        );
+        for lane in &inner.lanes {
+            let mut depth = 0u32;
+            let mut open_at = 0u64;
+            let mut busy = 0u64;
+            let mut spans = 0u64;
+            let mut first: Option<u64> = None;
+            let mut last = 0u64;
+            for ev in &lane.events {
+                first.get_or_insert(ev.ts);
+                last = last.max(ev.ts);
+                match ev.phase {
+                    Phase::Begin => {
+                        if depth == 0 {
+                            open_at = ev.ts;
+                        }
+                        depth += 1;
+                        spans += 1;
+                    }
+                    Phase::End => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            busy += ev.ts.saturating_sub(open_at);
+                        }
+                    }
+                    Phase::Instant => {}
+                }
+            }
+            let window = last.saturating_sub(first.unwrap_or(0));
+            let util = if window > 0 {
+                busy as f64 / window as f64 * 100.0
+            } else {
+                0.0
+            };
+            let kind = match lane.kind {
+                LaneKind::Sim => "sim",
+                LaneKind::Wall => "wall",
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>6} {:>8} {:>12}ns {:>12}ns {:>5.1}%",
+                lane.name, kind, spans, busy, window, util
+            );
+        }
+        out
+    }
+}
+
+/// RAII guard for a wall-clock span: records the `End` event when dropped.
+/// Use [`SpanGuard::annotate`] to attach numbers (rows, bytes) that are only
+/// known once the work finishes.
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    lane: LaneId,
+    args: Vec<(String, u64)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attach a numeric annotation to the span's closing event.
+    pub fn annotate(&mut self, key: &str, value: u64) {
+        self.args.push((key.to_string(), value));
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer
+            .end_wall(self.lane, std::mem::take(&mut self.args));
+    }
+}
+
+fn own_args(args: &[(&str, u64)]) -> Vec<(String, u64)> {
+    args.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn lanes_are_deduplicated() {
+        let tracer = Tracer::new();
+        let a = tracer.lane("dev.a", LaneKind::Sim);
+        let b = tracer.lane("dev.a", LaneKind::Sim);
+        assert_eq!(a, b);
+        assert_eq!(tracer.lane_names(), vec!["dev.a".to_string()]);
+    }
+
+    #[test]
+    fn sim_timeline_is_stable_and_excludes_wall() {
+        let tracer = Tracer::new();
+        let sim = tracer.lane("link.pcie", LaneKind::Sim);
+        let wall = tracer.lane("worker.0", LaneKind::Wall);
+        tracer.span_at(sim, "xfer", SimTime(10), SimTime(30), &[("bytes", 64)]);
+        tracer.instant_at(sim, "credit", SimTime(35));
+        drop(tracer.span(wall, "op"));
+        let timeline = tracer.sim_timeline();
+        assert_eq!(
+            timeline,
+            "link.pcie\tB\t10\txfer\tbytes=64\nlink.pcie\tE\t30\t\nlink.pcie\tI\t35\tcredit\n"
+        );
+        assert!(!timeline.contains("worker"));
+    }
+
+    #[test]
+    fn validate_accepts_nested_and_rejects_malformed() {
+        let tracer = Tracer::new();
+        let lane = tracer.lane("cpu", LaneKind::Sim);
+        tracer.begin_at(lane, "outer", SimTime(0));
+        tracer.begin_at(lane, "inner", SimTime(5));
+        tracer.end_at(lane, SimTime(9));
+        tracer.end_at(lane, SimTime(20));
+        assert!(tracer.validate().is_ok());
+
+        let bad = Tracer::new();
+        let lane = bad.lane("cpu", LaneKind::Sim);
+        bad.begin_at(lane, "open", SimTime(0));
+        assert!(bad.validate().unwrap_err().contains("never closed"));
+
+        let worse = Tracer::new();
+        let lane = worse.lane("cpu", LaneKind::Sim);
+        worse.end_at(lane, SimTime(0));
+        assert!(worse.validate().unwrap_err().contains("no open span"));
+
+        let backwards = Tracer::new();
+        let lane = backwards.lane("cpu", LaneKind::Sim);
+        backwards.instant_at(lane, "late", SimTime(10));
+        backwards.instant_at(lane, "early", SimTime(5));
+        assert!(backwards.validate().unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn span_guard_closes_on_drop() {
+        let tracer = Tracer::new();
+        let lane = tracer.lane("worker", LaneKind::Wall);
+        {
+            let mut guard = tracer.span(lane, "scan");
+            guard.annotate("rows", 123);
+        }
+        assert!(tracer.validate().is_ok());
+        assert_eq!(tracer.event_count(), 2);
+        let json = tracer.chrome_trace_json();
+        assert!(json.contains(r#""rows":123"#));
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let tracer = Tracer::new();
+        let lane = tracer.lane("storage.ssd", LaneKind::Sim);
+        tracer.span_at(
+            lane,
+            "read \"x\"",
+            SimTime(1_500),
+            SimTime(2_500),
+            &[("bytes", 7)],
+        );
+        let json = tracer.chrome_trace_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains(r#""ph":"B""#));
+        assert!(json.contains(r#""ph":"E""#));
+        // 1500 ns = 1.500 us, with escaped quotes in the name.
+        assert!(json.contains(r#""ts":1.500"#));
+        assert!(json.contains(r#"read \"x\""#));
+        assert!(json.contains(r#""thread_name","args":{"name":"storage.ssd"}"#));
+    }
+
+    #[test]
+    fn summary_reports_utilization() {
+        let tracer = Tracer::new();
+        let lane = tracer.lane("nic", LaneKind::Sim);
+        tracer.span_at(lane, "a", SimTime(0), SimTime(50), &[]);
+        tracer.span_at(lane, "b", SimTime(50), SimTime(100), &[]);
+        let summary = tracer.summary();
+        assert!(summary.contains("nic"));
+        assert!(summary.contains("100.0%"), "{summary}");
+    }
+}

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::{Result, StorageError};
 
@@ -81,7 +81,7 @@ impl MemObjectStore {
 
 impl ObjectStore for MemObjectStore {
     fn put(&self, key: &str, data: Vec<u8>) -> Result<()> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("lock poisoned");
         inner.stats.bytes_written += data.len() as u64;
         inner.stats.put_ops += 1;
         inner.objects.insert(key.to_string(), Arc::new(data));
@@ -89,7 +89,7 @@ impl ObjectStore for MemObjectStore {
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("lock poisoned");
         let obj = inner
             .objects
             .get(key)
@@ -101,20 +101,17 @@ impl ObjectStore for MemObjectStore {
     }
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("lock poisoned");
         let obj = inner
             .objects
             .get(key)
             .cloned()
             .ok_or_else(|| StorageError::NotFound(key.to_string()))?;
         let size = obj.len() as u64;
-        let end = offset.checked_add(len).filter(|&e| e <= size).ok_or(
-            StorageError::BadRange {
-                offset,
-                len,
-                size,
-            },
-        )?;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= size)
+            .ok_or(StorageError::BadRange { offset, len, size })?;
         inner.stats.bytes_read += len;
         inner.stats.get_ops += 1;
         Ok(obj[offset as usize..end as usize].to_vec())
@@ -123,6 +120,7 @@ impl ObjectStore for MemObjectStore {
     fn size(&self, key: &str) -> Result<u64> {
         self.inner
             .read()
+            .expect("lock poisoned")
             .objects
             .get(key)
             .map(|o| o.len() as u64)
@@ -132,6 +130,7 @@ impl ObjectStore for MemObjectStore {
     fn list(&self, prefix: &str) -> Vec<String> {
         self.inner
             .read()
+            .expect("lock poisoned")
             .objects
             .keys()
             .filter(|k| k.starts_with(prefix))
@@ -140,15 +139,19 @@ impl ObjectStore for MemObjectStore {
     }
 
     fn delete(&self, key: &str) {
-        self.inner.write().objects.remove(key);
+        self.inner
+            .write()
+            .expect("lock poisoned")
+            .objects
+            .remove(key);
     }
 
     fn stats(&self) -> ObjectStoreStats {
-        self.inner.read().stats
+        self.inner.read().expect("lock poisoned").stats
     }
 
     fn reset_stats(&self) {
-        self.inner.write().stats = ObjectStoreStats::default();
+        self.inner.write().expect("lock poisoned").stats = ObjectStoreStats::default();
     }
 }
 
@@ -175,7 +178,10 @@ mod tests {
     fn range_reads() {
         let store = MemObjectStore::new();
         store.put("k", (0u8..100).collect()).unwrap();
-        assert_eq!(store.get_range("k", 10, 5).unwrap(), vec![10, 11, 12, 13, 14]);
+        assert_eq!(
+            store.get_range("k", 10, 5).unwrap(),
+            vec![10, 11, 12, 13, 14]
+        );
         assert_eq!(store.get_range("k", 95, 5).unwrap().len(), 5);
         assert!(matches!(
             store.get_range("k", 95, 6),

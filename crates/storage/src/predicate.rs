@@ -189,8 +189,7 @@ impl StoragePredicate {
                 for column in inner.columns() {
                     let col = batch.column_by_name(&column)?;
                     if col.null_count() > 0 {
-                        let non_null =
-                            Bitmap::from_iter((0..rows).map(|i| !col.is_null(i)));
+                        let non_null = Bitmap::from_iter((0..rows).map(|i| !col.is_null(i)));
                         bits = bits.and(&non_null);
                     }
                 }
@@ -210,40 +209,30 @@ impl StoragePredicate {
                 op,
                 literal,
             } => lookup(column).is_some_and(|zm| zm.can_skip(*op, literal)),
-            StoragePredicate::Between { column, low, high } => {
-                lookup(column).is_some_and(|zm| {
-                    zm.can_skip(CmpOp::Ge, low) || zm.can_skip(CmpOp::Le, high)
-                })
-            }
+            StoragePredicate::Between { column, low, high } => lookup(column)
+                .is_some_and(|zm| zm.can_skip(CmpOp::Ge, low) || zm.can_skip(CmpOp::Le, high)),
             StoragePredicate::Like { column, pattern } => {
                 // Prefix patterns prune like a range on the prefix.
                 match LikePattern::compile(pattern).literal_prefix() {
-                    Some(prefix) if !prefix.is_empty() => {
-                        lookup(column).is_some_and(|zm| {
-                            let lo = Scalar::Str(prefix.clone());
-                            if zm.can_skip(CmpOp::Ge, &lo) {
-                                return true;
-                            }
-                            prefix_successor(&prefix).is_some_and(|succ| {
-                                zm.can_skip(CmpOp::Lt, &Scalar::Str(succ))
-                            })
-                        })
-                    }
+                    Some(prefix) if !prefix.is_empty() => lookup(column).is_some_and(|zm| {
+                        let lo = Scalar::Str(prefix.clone());
+                        if zm.can_skip(CmpOp::Ge, &lo) {
+                            return true;
+                        }
+                        prefix_successor(&prefix)
+                            .is_some_and(|succ| zm.can_skip(CmpOp::Lt, &Scalar::Str(succ)))
+                    }),
                     _ => false,
                 }
             }
-            StoragePredicate::IsNull { column, negated } => {
-                lookup(column).is_some_and(|zm| {
-                    if *negated {
-                        zm.all_null()
-                    } else {
-                        zm.null_count == 0
-                    }
-                })
-            }
-            StoragePredicate::And(children) => {
-                children.iter().any(|c| c.can_skip_page(lookup))
-            }
+            StoragePredicate::IsNull { column, negated } => lookup(column).is_some_and(|zm| {
+                if *negated {
+                    zm.all_null()
+                } else {
+                    zm.null_count == 0
+                }
+            }),
+            StoragePredicate::And(children) => children.iter().any(|c| c.can_skip_page(lookup)),
             StoragePredicate::Or(children) => {
                 !children.is_empty() && children.iter().all(|c| c.can_skip_page(lookup))
             }
@@ -257,8 +246,7 @@ impl StoragePredicate {
 fn prefix_successor(prefix: &str) -> Option<String> {
     let mut chars: Vec<char> = prefix.chars().collect();
     while let Some(last) = chars.pop() {
-        let next = (last as u32 + 1..=0x10FFFF)
-            .find_map(char::from_u32);
+        let next = (last as u32 + 1..=0x10FFFF).find_map(char::from_u32);
         if let Some(n) = next {
             chars.push(n);
             return Some(chars.into_iter().collect());
@@ -364,11 +352,7 @@ mod tests {
     #[test]
     fn not_respects_null_semantics() {
         // NOT (qty > 20): NULL qty rows match neither the inner nor the NOT.
-        let p = StoragePredicate::Not(Box::new(StoragePredicate::cmp(
-            "qty",
-            CmpOp::Gt,
-            20i64,
-        )));
+        let p = StoragePredicate::Not(Box::new(StoragePredicate::cmp("qty", CmpOp::Gt, 20i64)));
         assert_eq!(selected(&p), vec![0]); // only qty=10; row 1 NULL excluded
     }
 
@@ -389,9 +373,7 @@ mod tests {
 
     #[test]
     fn pruning_cmp() {
-        let zm_for = |_: &str| {
-            Some(ZoneMap::of(&Column::from_i64(vec![10, 20])))
-        };
+        let zm_for = |_: &str| Some(ZoneMap::of(&Column::from_i64(vec![10, 20])));
         assert!(StoragePredicate::cmp("id", CmpOp::Gt, 25i64).can_skip_page(&zm_for));
         assert!(!StoragePredicate::cmp("id", CmpOp::Gt, 15i64).can_skip_page(&zm_for));
         // Unknown column: not skippable.
@@ -404,18 +386,22 @@ mod tests {
         let zm_for = |_: &str| Some(ZoneMap::of(&Column::from_i64(vec![10, 20])));
         let impossible = StoragePredicate::cmp("id", CmpOp::Gt, 99i64);
         let possible = StoragePredicate::cmp("id", CmpOp::Gt, 0i64);
-        assert!(StoragePredicate::And(vec![possible.clone(), impossible.clone()])
-            .can_skip_page(&zm_for));
-        assert!(!StoragePredicate::Or(vec![possible, impossible.clone()])
-            .can_skip_page(&zm_for));
-        assert!(StoragePredicate::Or(vec![impossible.clone(), impossible])
-            .can_skip_page(&zm_for));
+        assert!(
+            StoragePredicate::And(vec![possible.clone(), impossible.clone()])
+                .can_skip_page(&zm_for)
+        );
+        assert!(!StoragePredicate::Or(vec![possible, impossible.clone()]).can_skip_page(&zm_for));
+        assert!(StoragePredicate::Or(vec![impossible.clone(), impossible]).can_skip_page(&zm_for));
     }
 
     #[test]
     fn pruning_like_prefix() {
         let zm_for = |_: &str| {
-            Some(ZoneMap::of(&Column::from_strs(&["mango", "melon", "nectarine"])))
+            Some(ZoneMap::of(&Column::from_strs(&[
+                "mango",
+                "melon",
+                "nectarine",
+            ])))
         };
         assert!(StoragePredicate::like("name", "z%").can_skip_page(&zm_for));
         assert!(StoragePredicate::like("name", "a%").can_skip_page(&zm_for));
@@ -436,12 +422,7 @@ mod tests {
             StoragePredicate::cmp("id", CmpOp::Eq, 3i64),
             StoragePredicate::like("name", "a%"),
         ];
-        let lookup = |name: &str| {
-            batch
-                .column_by_name(name)
-                .ok()
-                .map(ZoneMap::of)
-        };
+        let lookup = |name: &str| batch.column_by_name(name).ok().map(ZoneMap::of);
         for p in preds {
             if p.can_skip_page(&lookup) {
                 assert_eq!(

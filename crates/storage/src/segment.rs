@@ -300,14 +300,13 @@ mod tests {
 
     fn sample_batch(start: i64, n: usize) -> Batch {
         batch_of(vec![
-            (
-                "id",
-                Column::from_i64((start..start + n as i64).collect()),
-            ),
+            ("id", Column::from_i64((start..start + n as i64).collect())),
             (
                 "name",
                 Column::from_strs(
-                    &(0..n).map(|i| format!("name-{}", start + i as i64)).collect::<Vec<_>>(),
+                    &(0..n)
+                        .map(|i| format!("name-{}", start + i as i64))
+                        .collect::<Vec<_>>(),
                 ),
             ),
             (

@@ -12,9 +12,11 @@
 //!   Query-As-A-Service cost model (§3.2).
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use df_codec::wire::{self, WireOptions};
 use df_data::{Batch, Column, ColumnBuilder, DataType, Field, Scalar, Schema, SchemaRef};
+use df_sim::trace::{LaneId, LaneKind, Tracer};
 
 use crate::predicate::StoragePredicate;
 use crate::table::TableStore;
@@ -135,6 +137,9 @@ pub struct SmartStorage {
     tables: TableStore,
     /// Wire options for encoding results (compression on the return path).
     pub wire: WireOptions,
+    /// Optional tracer; scans record a wall span on the storage lane.
+    /// `OnceLock` keeps the disabled fast path lock-free.
+    trace: OnceLock<(Arc<Tracer>, LaneId)>,
 }
 
 impl SmartStorage {
@@ -144,7 +149,15 @@ impl SmartStorage {
         SmartStorage {
             tables,
             wire: WireOptions::plain(),
+            trace: OnceLock::new(),
         }
+    }
+
+    /// Attach a tracer; subsequent scans record spans on `lane`. A second
+    /// call is a no-op (the first tracer wins).
+    pub fn set_tracer(&self, tracer: Arc<Tracer>, lane: &str) {
+        let lane = tracer.lane(lane, LaneKind::Wall);
+        let _ = self.trace.set((tracer, lane));
     }
 
     /// The underlying table store.
@@ -163,10 +176,13 @@ impl SmartStorage {
         let schema = self.tables.schema(table)?;
         let readers = self.tables.open_segments(table)?;
         let mut stats = ScanStats::default();
+        let mut _scan_span = self
+            .trace
+            .get()
+            .map(|(t, lane)| t.span(*lane, &format!("scan [{table}]")));
 
         // Resolve the column sets once.
-        let projection_names: Vec<String> = match (&request.preagg, &request.projection)
-        {
+        let projection_names: Vec<String> = match (&request.preagg, &request.projection) {
             (Some(pre), _) => {
                 // Pre-aggregation defines its own inputs.
                 let mut names = pre.group_by.clone();
@@ -190,9 +206,10 @@ impl SmartStorage {
             .map(|n| schema.index_of(n).map_err(StorageError::Data))
             .collect::<Result<Vec<_>>>()?;
 
-        let mut preagg_state = request.preagg.as_ref().map(|spec| {
-            PartialAggregator::new(spec.clone(), &schema)
-        });
+        let mut preagg_state = request
+            .preagg
+            .as_ref()
+            .map(|spec| PartialAggregator::new(spec.clone(), &schema));
         let mut emitted_rows = 0u64;
         let mut frame_counter = 0u64;
 
@@ -237,15 +254,13 @@ impl SmartStorage {
                         None => continue,
                     }
                 } else {
-                    let cols: Vec<&str> =
-                        projection_names.iter().map(String::as_str).collect();
+                    let cols: Vec<&str> = projection_names.iter().map(String::as_str).collect();
                     filtered.project_names(&cols)?
                 };
                 let out = self.apply_limit(out, &mut emitted_rows, request.limit);
                 if !out.is_empty() {
                     stats.rows_returned += out.rows() as u64;
-                    stats.bytes_returned +=
-                        self.encoded_size(&out, &mut frame_counter) as u64;
+                    stats.bytes_returned += self.encoded_size(&out, &mut frame_counter) as u64;
                     sink(out);
                 }
                 if let Some(limit) = request.limit {
@@ -262,11 +277,17 @@ impl SmartStorage {
                 let out = self.apply_limit(out, &mut emitted_rows, request.limit);
                 if !out.is_empty() {
                     stats.rows_returned += out.rows() as u64;
-                    stats.bytes_returned +=
-                        self.encoded_size(&out, &mut frame_counter) as u64;
+                    stats.bytes_returned += self.encoded_size(&out, &mut frame_counter) as u64;
                     sink(out);
                 }
             }
+        }
+        if let Some(span) = _scan_span.as_mut() {
+            span.annotate("pages_total", stats.pages_total);
+            span.annotate("pages_pruned", stats.pages_pruned);
+            span.annotate("bytes_scanned", stats.bytes_scanned);
+            span.annotate("bytes_returned", stats.bytes_returned);
+            span.annotate("rows_returned", stats.rows_returned);
         }
         Ok(stats)
     }
@@ -397,10 +418,7 @@ impl PartialAggregator {
                 AggFunc::Count => DataType::Int64,
                 AggFunc::Sum | AggFunc::Min | AggFunc::Max => input_field.dtype,
             };
-            fields.push(Field::nullable(
-                format!("{}_{}", func.prefix(), col),
-                dtype,
-            ));
+            fields.push(Field::nullable(format!("{}_{}", func.prefix(), col), dtype));
         }
         // Repeated (func, col) pairs are legal (e.g. AVG decomposed next to
         // an explicit SUM): disambiguate positionally.
@@ -481,11 +499,9 @@ impl PartialAggregator {
             .map(|(_, n)| batch.column_by_name(n).map_err(StorageError::Data))
             .collect::<Result<Vec<_>>>()?;
         for row in 0..batch.rows() {
-            let key_scalars: Vec<Scalar> =
-                group_cols.iter().map(|c| c.scalar_at(row)).collect();
+            let key_scalars: Vec<Scalar> = group_cols.iter().map(|c| c.scalar_at(row)).collect();
             let key = Self::key_bytes(&key_scalars);
-            if !self.groups.contains_key(&key) && self.groups.len() >= self.spec.max_groups
-            {
+            if !self.groups.contains_key(&key) && self.groups.len() >= self.spec.max_groups {
                 // Bounded state: flush partials downstream and restart.
                 let flushed = self.drain_to_batch()?;
                 self.flushed.push(flushed);
@@ -495,8 +511,7 @@ impl PartialAggregator {
                 .groups
                 .entry(key)
                 .or_insert_with(|| (key_scalars, fresh));
-            for ((acc, (_, _)), col) in
-                accs.1.iter_mut().zip(self.spec.aggs.iter()).zip(&agg_cols)
+            for ((acc, (_, _)), col) in accs.1.iter_mut().zip(self.spec.aggs.iter()).zip(&agg_cols)
             {
                 let value = col.scalar_at(row);
                 update_acc(acc, &value);
@@ -649,8 +664,7 @@ mod tests {
     #[test]
     fn selection_filters_rows() {
         let server = setup(1000);
-        let request = ScanRequest::full()
-            .filter(StoragePredicate::cmp("qty", CmpOp::Lt, 10i64));
+        let request = ScanRequest::full().filter(StoragePredicate::cmp("qty", CmpOp::Lt, 10i64));
         let (batches, stats) = server.scan("orders", &request).unwrap();
         let total: usize = batches.iter().map(Batch::rows).sum();
         assert_eq!(total, 100); // 10 of every 100
@@ -826,8 +840,7 @@ mod tests {
             assert!((0..100).contains(&min));
         }
         // Staged merging composes: merging the merged result is a no-op.
-        let again =
-            merge_partial_aggregates(std::slice::from_ref(&merged), &spec).unwrap();
+        let again = merge_partial_aggregates(std::slice::from_ref(&merged), &spec).unwrap();
         assert_eq!(merged.canonical_rows(), again.canonical_rows());
     }
 

@@ -88,8 +88,10 @@ impl TableStore {
                 rows_in_segment += take;
                 offset += take;
                 if rows_in_segment >= segment_rows {
-                    let finished =
-                        std::mem::replace(&mut writer, SegmentWriter::new(schema.clone(), page_rows));
+                    let finished = std::mem::replace(
+                        &mut writer,
+                        SegmentWriter::new(schema.clone(), page_rows),
+                    );
                     self.store
                         .put(&Self::segment_key(table, seg_index), finished.finish()?)?;
                     seg_index += 1;
@@ -180,7 +182,8 @@ mod tests {
     fn create_load_read() {
         let ts = TableStore::new(MemObjectStore::shared());
         let batch = sample(500);
-        ts.create_and_load("events", std::slice::from_ref(&batch)).unwrap();
+        ts.create_and_load("events", std::slice::from_ref(&batch))
+            .unwrap();
         let readers = ts.open_segments("events").unwrap();
         assert_eq!(readers.len(), 1);
         let got = readers[0].read_full_page(0).unwrap();
@@ -208,7 +211,8 @@ mod tests {
         let ts = TableStore::new(MemObjectStore::shared());
         let batch = sample(100);
         ts.create("t", batch.schema()).unwrap();
-        ts.append("t", std::slice::from_ref(&batch), 1000, 50).unwrap();
+        ts.append("t", std::slice::from_ref(&batch), 1000, 50)
+            .unwrap();
         ts.append("t", &[batch], 1000, 50).unwrap();
         assert_eq!(ts.segments("t").len(), 2);
         assert_eq!(ts.stats("t").unwrap().rows, 200);
@@ -218,7 +222,8 @@ mod tests {
     fn create_replaces_existing_data() {
         let ts = TableStore::new(MemObjectStore::shared());
         let batch = sample(100);
-        ts.create_and_load("t", std::slice::from_ref(&batch)).unwrap();
+        ts.create_and_load("t", std::slice::from_ref(&batch))
+            .unwrap();
         ts.create("t", batch.schema()).unwrap();
         assert_eq!(ts.segments("t").len(), 0);
         assert_eq!(ts.stats("t").unwrap().rows, 0);

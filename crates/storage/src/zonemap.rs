@@ -136,8 +136,7 @@ impl ZoneMap {
 
     /// Merge two zone maps covering disjoint row sets (segment-level stats).
     pub fn merge(&self, other: &ZoneMap) -> ZoneMap {
-        let pick = |a: &Option<Scalar>, b: &Option<Scalar>, want: Ordering| match (a, b)
-        {
+        let pick = |a: &Option<Scalar>, b: &Option<Scalar>, want: Ordering| match (a, b) {
             (Some(x), Some(y)) => {
                 if x.total_cmp(y) == want {
                     Some(x.clone())
@@ -218,7 +217,14 @@ mod tests {
     fn all_null_page_skips_everything() {
         let z = zm(&[None, None]);
         assert!(z.all_null());
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert!(z.can_skip(op, &Scalar::Int(0)), "{op:?}");
         }
     }

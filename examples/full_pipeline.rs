@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let variants = session.variants(&logical)?;
 
     // Execute every alternative for real and replay it in simulated time.
-    println!("{:<20} {:>14} {:>14} {:>12}", "variant", "bytes moved", "sim time", "result rows");
+    println!(
+        "{:<20} {:>14} {:>14} {:>12}",
+        "variant", "bytes moved", "sim time", "result rows"
+    );
     let mut reference = None;
     for v in &variants {
         let result = session.execute_plan(&v.plan)?;
@@ -40,9 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sim_time = flow_pipeline(&v.plan, &profiles, cpu, &v.plan.variant)
             .ok()
             .map(|spec| {
-                let mut sim = FlowSim::new(Topology::disaggregated(
-                    &DisaggregatedConfig::default(),
-                ));
+                let mut sim =
+                    FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
                 sim.add_pipeline(spec);
                 sim.run().pipelines[0].duration().to_string()
             })

@@ -1,0 +1,208 @@
+//! A small deterministic property-testing harness.
+//!
+//! The build container has no crates-io access, so the property suites in
+//! `tests/` cannot use an external framework; this module supplies the
+//! pieces they need: a seedable value generator ([`Gen`]) built on
+//! [`df_sim::SimRng`], and a [`check`] runner that derives one seed per case
+//! from the property name, replays any committed regression seeds from
+//! `proptest-regressions/<name>.txt` first, and — when a case fails —
+//! records its seed there so the failure replays deterministically on every
+//! subsequent run.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use df_sim::SimRng;
+
+/// Random-value generator handed to each property case.
+pub struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    /// A generator for the given case seed.
+    pub fn new(seed: u64) -> Gen {
+        Gen {
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `i64` over the full range.
+    pub fn i64(&mut self) -> i64 {
+        self.rng.next_u64() as i64
+    }
+
+    /// Uniform `i64` in `[lo, hi]`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi);
+        lo.wrapping_add(self.rng.next_below((hi - lo + 1) as u64) as i64)
+    }
+
+    /// Uniform `usize` in `[lo, hi]`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.range_inclusive(lo as u64, hi as u64) as usize
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        self.rng.next_f64()
+    }
+
+    /// An arbitrary finite `f64` across magnitudes, including signed zeros
+    /// and subnormals (NaN and infinities are excluded — like the default
+    /// proptest strategy — because `Float(NaN) != Float(NaN)` breaks
+    /// round-trip equality checks that are about codecs, not NaN semantics).
+    pub fn f64_any(&mut self) -> f64 {
+        match self.rng.next_below(16) {
+            0 => -0.0,
+            1 => 0.0,
+            2 => f64::MIN_POSITIVE / 2.0, // subnormal
+            _ => {
+                let mag = self.i64_in(-3000, 3000) as f64;
+                let sign = if self.bool() { 1.0 } else { -1.0 };
+                sign * (0.5 + self.rng.next_f64() / 2.0) * 10f64.powf(mag / 10.0)
+            }
+        }
+    }
+
+    /// Uniform byte.
+    pub fn byte(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// A random element of `items`.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.rng.next_below(items.len() as u64) as usize]
+    }
+
+    /// A string of up to `max_len` chars drawn from `alphabet`.
+    pub fn string_from(&mut self, alphabet: &[char], max_len: usize) -> String {
+        let len = self.usize_in(0, max_len);
+        (0..len).map(|_| *self.pick(alphabet)).collect()
+    }
+
+    /// A vector of `len` values produced by `f`.
+    pub fn vec_of<T>(&mut self, len: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn regression_file(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("proptest-regressions")
+        .join(format!("{name}.txt"))
+}
+
+fn committed_seeds(name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regression_file(name)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            line.parse().ok()
+        })
+        .collect()
+}
+
+fn record_failure(name: &str, seed: u64) {
+    let path = regression_file(name);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut existing = committed_seeds(name);
+    if existing.contains(&seed) {
+        return;
+    }
+    existing.push(seed);
+    let mut text = format!("# failing seeds for property `{name}`, one per line\n");
+    for s in existing {
+        text.push_str(&format!("{s}\n"));
+    }
+    let _ = std::fs::write(&path, text);
+}
+
+/// Run `property` for `cases` deterministic seeds derived from `name`.
+///
+/// Seeds committed under `proptest-regressions/<name>.txt` replay first.
+/// On panic, the failing seed is printed and appended to that file, then
+/// the panic resumes so the test harness reports the failure.
+pub fn check(name: &str, cases: u64, property: impl Fn(&mut Gen)) {
+    let base = fnv1a(name);
+    let replay = committed_seeds(name);
+    let fresh = (0..cases).map(|i| {
+        // SplitMix-style scramble so consecutive cases are uncorrelated.
+        let mut z = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    });
+    for seed in replay.into_iter().chain(fresh) {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut gen = Gen::new(seed);
+            property(&mut gen);
+        }));
+        if let Err(panic) = result {
+            eprintln!("property `{name}` failed with seed {seed} (recorded in proptest-regressions/{name}.txt)");
+            record_failure(name, seed);
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_is_deterministic_per_seed() {
+        let mut a = Gen::new(9);
+        let mut b = Gen::new(9);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn ranges_hold() {
+        let mut gen = Gen::new(3);
+        for _ in 0..1000 {
+            let v = gen.i64_in(-5, 5);
+            assert!((-5..=5).contains(&v));
+            let u = gen.usize_in(2, 4);
+            assert!((2..=4).contains(&u));
+            let s = gen.string_from(&['a', 'b'], 4);
+            assert!(s.len() <= 4 && s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn check_runs_all_cases() {
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        check("check-runs-all-cases", 17, |_| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(counter.load(std::sync::atomic::Ordering::Relaxed) >= 17);
+    }
+}

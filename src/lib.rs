@@ -21,6 +21,8 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub mod check;
+
 pub use df_bench as bench;
 pub use df_codec as codec;
 pub use df_core as core;

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/df_codec-b413c8391c23c455.d: crates/codec/src/lib.rs crates/codec/src/checksum.rs crates/codec/src/crypto.rs crates/codec/src/dict.rs crates/codec/src/int.rs crates/codec/src/lz.rs crates/codec/src/varint.rs crates/codec/src/wire.rs
+
+/root/repo/target/debug/deps/df_codec-b413c8391c23c455: crates/codec/src/lib.rs crates/codec/src/checksum.rs crates/codec/src/crypto.rs crates/codec/src/dict.rs crates/codec/src/int.rs crates/codec/src/lz.rs crates/codec/src/varint.rs crates/codec/src/wire.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/checksum.rs:
+crates/codec/src/crypto.rs:
+crates/codec/src/dict.rs:
+crates/codec/src/int.rs:
+crates/codec/src/lz.rs:
+crates/codec/src/varint.rs:
+crates/codec/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/df_codec-ba78853503229db4.d: crates/codec/src/lib.rs crates/codec/src/checksum.rs crates/codec/src/crypto.rs crates/codec/src/dict.rs crates/codec/src/int.rs crates/codec/src/lz.rs crates/codec/src/varint.rs crates/codec/src/wire.rs
+
+/root/repo/target/debug/deps/libdf_codec-ba78853503229db4.rlib: crates/codec/src/lib.rs crates/codec/src/checksum.rs crates/codec/src/crypto.rs crates/codec/src/dict.rs crates/codec/src/int.rs crates/codec/src/lz.rs crates/codec/src/varint.rs crates/codec/src/wire.rs
+
+/root/repo/target/debug/deps/libdf_codec-ba78853503229db4.rmeta: crates/codec/src/lib.rs crates/codec/src/checksum.rs crates/codec/src/crypto.rs crates/codec/src/dict.rs crates/codec/src/int.rs crates/codec/src/lz.rs crates/codec/src/varint.rs crates/codec/src/wire.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/checksum.rs:
+crates/codec/src/crypto.rs:
+crates/codec/src/dict.rs:
+crates/codec/src/int.rs:
+crates/codec/src/lz.rs:
+crates/codec/src/varint.rs:
+crates/codec/src/wire.rs:

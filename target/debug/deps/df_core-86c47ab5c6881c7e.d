@@ -1,0 +1,32 @@
+/root/repo/target/debug/deps/df_core-86c47ab5c6881c7e.d: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/error.rs crates/core/src/exec/mod.rs crates/core/src/exec/ledger.rs crates/core/src/exec/parallel.rs crates/core/src/exec/push.rs crates/core/src/exec/volcano.rs crates/core/src/expr.rs crates/core/src/kernel/mod.rs crates/core/src/kernel/regex.rs crates/core/src/logical.rs crates/core/src/ops/mod.rs crates/core/src/ops/aggregate.rs crates/core/src/ops/filter.rs crates/core/src/ops/join.rs crates/core/src/ops/limit.rs crates/core/src/ops/project.rs crates/core/src/ops/sort.rs crates/core/src/ops/topk.rs crates/core/src/optimizer/mod.rs crates/core/src/optimizer/cost.rs crates/core/src/optimizer/rewrite.rs crates/core/src/optimizer/stats.rs crates/core/src/physical.rs crates/core/src/scheduler.rs crates/core/src/session.rs crates/core/src/sql.rs
+
+/root/repo/target/debug/deps/df_core-86c47ab5c6881c7e: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/error.rs crates/core/src/exec/mod.rs crates/core/src/exec/ledger.rs crates/core/src/exec/parallel.rs crates/core/src/exec/push.rs crates/core/src/exec/volcano.rs crates/core/src/expr.rs crates/core/src/kernel/mod.rs crates/core/src/kernel/regex.rs crates/core/src/logical.rs crates/core/src/ops/mod.rs crates/core/src/ops/aggregate.rs crates/core/src/ops/filter.rs crates/core/src/ops/join.rs crates/core/src/ops/limit.rs crates/core/src/ops/project.rs crates/core/src/ops/sort.rs crates/core/src/ops/topk.rs crates/core/src/optimizer/mod.rs crates/core/src/optimizer/cost.rs crates/core/src/optimizer/rewrite.rs crates/core/src/optimizer/stats.rs crates/core/src/physical.rs crates/core/src/scheduler.rs crates/core/src/session.rs crates/core/src/sql.rs
+
+crates/core/src/lib.rs:
+crates/core/src/distributed.rs:
+crates/core/src/error.rs:
+crates/core/src/exec/mod.rs:
+crates/core/src/exec/ledger.rs:
+crates/core/src/exec/parallel.rs:
+crates/core/src/exec/push.rs:
+crates/core/src/exec/volcano.rs:
+crates/core/src/expr.rs:
+crates/core/src/kernel/mod.rs:
+crates/core/src/kernel/regex.rs:
+crates/core/src/logical.rs:
+crates/core/src/ops/mod.rs:
+crates/core/src/ops/aggregate.rs:
+crates/core/src/ops/filter.rs:
+crates/core/src/ops/join.rs:
+crates/core/src/ops/limit.rs:
+crates/core/src/ops/project.rs:
+crates/core/src/ops/sort.rs:
+crates/core/src/ops/topk.rs:
+crates/core/src/optimizer/mod.rs:
+crates/core/src/optimizer/cost.rs:
+crates/core/src/optimizer/rewrite.rs:
+crates/core/src/optimizer/stats.rs:
+crates/core/src/physical.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/session.rs:
+crates/core/src/sql.rs:

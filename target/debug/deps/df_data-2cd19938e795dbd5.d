@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/df_data-2cd19938e795dbd5.d: crates/data/src/lib.rs crates/data/src/batch.rs crates/data/src/bitmap.rs crates/data/src/column.rs crates/data/src/error.rs crates/data/src/rowpage.rs crates/data/src/schema.rs crates/data/src/sort.rs crates/data/src/types.rs
+
+/root/repo/target/debug/deps/df_data-2cd19938e795dbd5: crates/data/src/lib.rs crates/data/src/batch.rs crates/data/src/bitmap.rs crates/data/src/column.rs crates/data/src/error.rs crates/data/src/rowpage.rs crates/data/src/schema.rs crates/data/src/sort.rs crates/data/src/types.rs
+
+crates/data/src/lib.rs:
+crates/data/src/batch.rs:
+crates/data/src/bitmap.rs:
+crates/data/src/column.rs:
+crates/data/src/error.rs:
+crates/data/src/rowpage.rs:
+crates/data/src/schema.rs:
+crates/data/src/sort.rs:
+crates/data/src/types.rs:

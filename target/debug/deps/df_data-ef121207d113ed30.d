@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/df_data-ef121207d113ed30.d: crates/data/src/lib.rs crates/data/src/batch.rs crates/data/src/bitmap.rs crates/data/src/column.rs crates/data/src/error.rs crates/data/src/rowpage.rs crates/data/src/schema.rs crates/data/src/sort.rs crates/data/src/types.rs
+
+/root/repo/target/debug/deps/libdf_data-ef121207d113ed30.rlib: crates/data/src/lib.rs crates/data/src/batch.rs crates/data/src/bitmap.rs crates/data/src/column.rs crates/data/src/error.rs crates/data/src/rowpage.rs crates/data/src/schema.rs crates/data/src/sort.rs crates/data/src/types.rs
+
+/root/repo/target/debug/deps/libdf_data-ef121207d113ed30.rmeta: crates/data/src/lib.rs crates/data/src/batch.rs crates/data/src/bitmap.rs crates/data/src/column.rs crates/data/src/error.rs crates/data/src/rowpage.rs crates/data/src/schema.rs crates/data/src/sort.rs crates/data/src/types.rs
+
+crates/data/src/lib.rs:
+crates/data/src/batch.rs:
+crates/data/src/bitmap.rs:
+crates/data/src/column.rs:
+crates/data/src/error.rs:
+crates/data/src/rowpage.rs:
+crates/data/src/schema.rs:
+crates/data/src/sort.rs:
+crates/data/src/types.rs:

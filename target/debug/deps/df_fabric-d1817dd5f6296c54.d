@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/df_fabric-d1817dd5f6296c54.d: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs
+
+/root/repo/target/debug/deps/libdf_fabric-d1817dd5f6296c54.rlib: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs
+
+/root/repo/target/debug/deps/libdf_fabric-d1817dd5f6296c54.rmeta: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/coherence.rs:
+crates/fabric/src/device.rs:
+crates/fabric/src/dma.rs:
+crates/fabric/src/flow.rs:
+crates/fabric/src/link.rs:
+crates/fabric/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/df_fabric-faa42ce20ff96280.d: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs
+
+/root/repo/target/debug/deps/df_fabric-faa42ce20ff96280: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/coherence.rs:
+crates/fabric/src/device.rs:
+crates/fabric/src/dma.rs:
+crates/fabric/src/flow.rs:
+crates/fabric/src/link.rs:
+crates/fabric/src/topology.rs:

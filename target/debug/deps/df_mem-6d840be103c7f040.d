@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/df_mem-6d840be103c7f040.d: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs
+
+/root/repo/target/debug/deps/df_mem-6d840be103c7f040: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/accel.rs:
+crates/mem/src/btree.rs:
+crates/mem/src/bufferpool.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/region.rs:

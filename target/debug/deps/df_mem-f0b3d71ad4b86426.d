@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/df_mem-f0b3d71ad4b86426.d: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs
+
+/root/repo/target/debug/deps/libdf_mem-f0b3d71ad4b86426.rlib: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs
+
+/root/repo/target/debug/deps/libdf_mem-f0b3d71ad4b86426.rmeta: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/accel.rs:
+crates/mem/src/btree.rs:
+crates/mem/src/bufferpool.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/region.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/df_net-23390dceb9b2f725.d: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libdf_net-23390dceb9b2f725.rlib: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libdf_net-23390dceb9b2f725.rmeta: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/collective.rs:
+crates/net/src/nic.rs:
+crates/net/src/switch.rs:
+crates/net/src/transport.rs:

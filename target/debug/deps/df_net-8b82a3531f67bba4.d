@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/df_net-8b82a3531f67bba4.d: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/df_net-8b82a3531f67bba4: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/collective.rs:
+crates/net/src/nic.rs:
+crates/net/src/switch.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/df_storage-81f65503f8b90b16.d: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs
+
+/root/repo/target/debug/deps/libdf_storage-81f65503f8b90b16.rlib: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs
+
+/root/repo/target/debug/deps/libdf_storage-81f65503f8b90b16.rmeta: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/object.rs:
+crates/storage/src/pattern.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/smart.rs:
+crates/storage/src/table.rs:
+crates/storage/src/zonemap.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/df_storage-c21c92676fa1e382.d: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs
+
+/root/repo/target/debug/deps/df_storage-c21c92676fa1e382: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/object.rs:
+crates/storage/src/pattern.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/smart.rs:
+crates/storage/src/table.rs:
+crates/storage/src/zonemap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-01f652847efe5fa9.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-01f652847efe5fa9: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-eb7cf0ca5725899b.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-eb7cf0ca5725899b: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-93a957a5b807917d.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-93a957a5b807917d: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b36c8d7042f4e904.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b36c8d7042f4e904: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rheo-3a00201f06da8fb7.d: src/lib.rs src/check.rs
+
+/root/repo/target/debug/deps/rheo-3a00201f06da8fb7: src/lib.rs src/check.rs
+
+src/lib.rs:
+src/check.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

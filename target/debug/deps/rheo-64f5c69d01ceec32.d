@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rheo-64f5c69d01ceec32.d: src/lib.rs src/check.rs
+
+/root/repo/target/debug/deps/librheo-64f5c69d01ceec32.rlib: src/lib.rs src/check.rs
+
+/root/repo/target/debug/deps/librheo-64f5c69d01ceec32.rmeta: src/lib.rs src/check.rs
+
+src/lib.rs:
+src/check.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

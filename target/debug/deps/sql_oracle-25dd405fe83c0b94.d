@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_oracle-25dd405fe83c0b94.d: tests/sql_oracle.rs
+
+/root/repo/target/debug/deps/sql_oracle-25dd405fe83c0b94: tests/sql_oracle.rs
+
+tests/sql_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_join-28839bfbd524f2b4.d: examples/distributed_join.rs
+
+/root/repo/target/debug/examples/distributed_join-28839bfbd524f2b4: examples/distributed_join.rs
+
+examples/distributed_join.rs:

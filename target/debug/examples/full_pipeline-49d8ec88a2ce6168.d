@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_pipeline-49d8ec88a2ce6168.d: examples/full_pipeline.rs
+
+/root/repo/target/debug/examples/full_pipeline-49d8ec88a2ce6168: examples/full_pipeline.rs
+
+examples/full_pipeline.rs:

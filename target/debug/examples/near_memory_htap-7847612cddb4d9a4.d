@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/near_memory_htap-7847612cddb4d9a4.d: examples/near_memory_htap.rs
+
+/root/repo/target/debug/examples/near_memory_htap-7847612cddb4d9a4: examples/near_memory_htap.rs
+
+examples/near_memory_htap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-073651931c0026ab.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-073651931c0026ab: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storage_pushdown-15962fff00dfc92b.d: examples/storage_pushdown.rs
+
+/root/repo/target/debug/examples/storage_pushdown-15962fff00dfc92b: examples/storage_pushdown.rs
+
+examples/storage_pushdown.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/df_bench-b7cf836b97fcdf2c.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_conventional.rs crates/bench/src/experiments/e02_pushdown.rs crates/bench/src/experiments/e03_like_offload.rs crates/bench/src/experiments/e04_nic_pipeline.rs crates/bench/src/experiments/e05_scatter_join.rs crates/bench/src/experiments/e06_nic_count.rs crates/bench/src/experiments/e07_near_memory.rs crates/bench/src/experiments/e08_pointer_chase.rs crates/bench/src/experiments/e09_transpose.rs crates/bench/src/experiments/e10_full_pipeline.rs crates/bench/src/experiments/e11_interconnect.rs crates/bench/src/experiments/e12_flow_control.rs crates/bench/src/experiments/e13_scheduling.rs crates/bench/src/experiments/e14_bufferpool.rs crates/bench/src/microbench.rs crates/bench/src/report.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libdf_bench-b7cf836b97fcdf2c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_conventional.rs crates/bench/src/experiments/e02_pushdown.rs crates/bench/src/experiments/e03_like_offload.rs crates/bench/src/experiments/e04_nic_pipeline.rs crates/bench/src/experiments/e05_scatter_join.rs crates/bench/src/experiments/e06_nic_count.rs crates/bench/src/experiments/e07_near_memory.rs crates/bench/src/experiments/e08_pointer_chase.rs crates/bench/src/experiments/e09_transpose.rs crates/bench/src/experiments/e10_full_pipeline.rs crates/bench/src/experiments/e11_interconnect.rs crates/bench/src/experiments/e12_flow_control.rs crates/bench/src/experiments/e13_scheduling.rs crates/bench/src/experiments/e14_bufferpool.rs crates/bench/src/microbench.rs crates/bench/src/report.rs crates/bench/src/workload.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/e01_conventional.rs:
+crates/bench/src/experiments/e02_pushdown.rs:
+crates/bench/src/experiments/e03_like_offload.rs:
+crates/bench/src/experiments/e04_nic_pipeline.rs:
+crates/bench/src/experiments/e05_scatter_join.rs:
+crates/bench/src/experiments/e06_nic_count.rs:
+crates/bench/src/experiments/e07_near_memory.rs:
+crates/bench/src/experiments/e08_pointer_chase.rs:
+crates/bench/src/experiments/e09_transpose.rs:
+crates/bench/src/experiments/e10_full_pipeline.rs:
+crates/bench/src/experiments/e11_interconnect.rs:
+crates/bench/src/experiments/e12_flow_control.rs:
+crates/bench/src/experiments/e13_scheduling.rs:
+crates/bench/src/experiments/e14_bufferpool.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

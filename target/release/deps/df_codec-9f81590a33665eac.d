@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/df_codec-9f81590a33665eac.d: crates/codec/src/lib.rs crates/codec/src/checksum.rs crates/codec/src/crypto.rs crates/codec/src/dict.rs crates/codec/src/int.rs crates/codec/src/lz.rs crates/codec/src/varint.rs crates/codec/src/wire.rs Cargo.toml
+
+/root/repo/target/release/deps/libdf_codec-9f81590a33665eac.rmeta: crates/codec/src/lib.rs crates/codec/src/checksum.rs crates/codec/src/crypto.rs crates/codec/src/dict.rs crates/codec/src/int.rs crates/codec/src/lz.rs crates/codec/src/varint.rs crates/codec/src/wire.rs Cargo.toml
+
+crates/codec/src/lib.rs:
+crates/codec/src/checksum.rs:
+crates/codec/src/crypto.rs:
+crates/codec/src/dict.rs:
+crates/codec/src/int.rs:
+crates/codec/src/lz.rs:
+crates/codec/src/varint.rs:
+crates/codec/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/df_codec-d57784e4099649f1.d: crates/codec/src/lib.rs crates/codec/src/checksum.rs crates/codec/src/crypto.rs crates/codec/src/dict.rs crates/codec/src/int.rs crates/codec/src/lz.rs crates/codec/src/varint.rs crates/codec/src/wire.rs
+
+/root/repo/target/release/deps/libdf_codec-d57784e4099649f1.rlib: crates/codec/src/lib.rs crates/codec/src/checksum.rs crates/codec/src/crypto.rs crates/codec/src/dict.rs crates/codec/src/int.rs crates/codec/src/lz.rs crates/codec/src/varint.rs crates/codec/src/wire.rs
+
+/root/repo/target/release/deps/libdf_codec-d57784e4099649f1.rmeta: crates/codec/src/lib.rs crates/codec/src/checksum.rs crates/codec/src/crypto.rs crates/codec/src/dict.rs crates/codec/src/int.rs crates/codec/src/lz.rs crates/codec/src/varint.rs crates/codec/src/wire.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/checksum.rs:
+crates/codec/src/crypto.rs:
+crates/codec/src/dict.rs:
+crates/codec/src/int.rs:
+crates/codec/src/lz.rs:
+crates/codec/src/varint.rs:
+crates/codec/src/wire.rs:

@@ -1,0 +1,36 @@
+/root/repo/target/release/deps/df_core-c90c5515d8567a7a.d: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/error.rs crates/core/src/exec/mod.rs crates/core/src/exec/ledger.rs crates/core/src/exec/parallel.rs crates/core/src/exec/push.rs crates/core/src/exec/volcano.rs crates/core/src/expr.rs crates/core/src/kernel/mod.rs crates/core/src/kernel/regex.rs crates/core/src/logical.rs crates/core/src/ops/mod.rs crates/core/src/ops/aggregate.rs crates/core/src/ops/filter.rs crates/core/src/ops/join.rs crates/core/src/ops/limit.rs crates/core/src/ops/project.rs crates/core/src/ops/sort.rs crates/core/src/ops/topk.rs crates/core/src/optimizer/mod.rs crates/core/src/optimizer/cost.rs crates/core/src/optimizer/rewrite.rs crates/core/src/optimizer/stats.rs crates/core/src/physical.rs crates/core/src/scheduler.rs crates/core/src/session.rs crates/core/src/sql.rs Cargo.toml
+
+/root/repo/target/release/deps/libdf_core-c90c5515d8567a7a.rmeta: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/error.rs crates/core/src/exec/mod.rs crates/core/src/exec/ledger.rs crates/core/src/exec/parallel.rs crates/core/src/exec/push.rs crates/core/src/exec/volcano.rs crates/core/src/expr.rs crates/core/src/kernel/mod.rs crates/core/src/kernel/regex.rs crates/core/src/logical.rs crates/core/src/ops/mod.rs crates/core/src/ops/aggregate.rs crates/core/src/ops/filter.rs crates/core/src/ops/join.rs crates/core/src/ops/limit.rs crates/core/src/ops/project.rs crates/core/src/ops/sort.rs crates/core/src/ops/topk.rs crates/core/src/optimizer/mod.rs crates/core/src/optimizer/cost.rs crates/core/src/optimizer/rewrite.rs crates/core/src/optimizer/stats.rs crates/core/src/physical.rs crates/core/src/scheduler.rs crates/core/src/session.rs crates/core/src/sql.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/distributed.rs:
+crates/core/src/error.rs:
+crates/core/src/exec/mod.rs:
+crates/core/src/exec/ledger.rs:
+crates/core/src/exec/parallel.rs:
+crates/core/src/exec/push.rs:
+crates/core/src/exec/volcano.rs:
+crates/core/src/expr.rs:
+crates/core/src/kernel/mod.rs:
+crates/core/src/kernel/regex.rs:
+crates/core/src/logical.rs:
+crates/core/src/ops/mod.rs:
+crates/core/src/ops/aggregate.rs:
+crates/core/src/ops/filter.rs:
+crates/core/src/ops/join.rs:
+crates/core/src/ops/limit.rs:
+crates/core/src/ops/project.rs:
+crates/core/src/ops/sort.rs:
+crates/core/src/ops/topk.rs:
+crates/core/src/optimizer/mod.rs:
+crates/core/src/optimizer/cost.rs:
+crates/core/src/optimizer/rewrite.rs:
+crates/core/src/optimizer/stats.rs:
+crates/core/src/physical.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/session.rs:
+crates/core/src/sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

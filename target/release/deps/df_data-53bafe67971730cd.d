@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/df_data-53bafe67971730cd.d: crates/data/src/lib.rs crates/data/src/batch.rs crates/data/src/bitmap.rs crates/data/src/column.rs crates/data/src/error.rs crates/data/src/rowpage.rs crates/data/src/schema.rs crates/data/src/sort.rs crates/data/src/types.rs Cargo.toml
+
+/root/repo/target/release/deps/libdf_data-53bafe67971730cd.rmeta: crates/data/src/lib.rs crates/data/src/batch.rs crates/data/src/bitmap.rs crates/data/src/column.rs crates/data/src/error.rs crates/data/src/rowpage.rs crates/data/src/schema.rs crates/data/src/sort.rs crates/data/src/types.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/batch.rs:
+crates/data/src/bitmap.rs:
+crates/data/src/column.rs:
+crates/data/src/error.rs:
+crates/data/src/rowpage.rs:
+crates/data/src/schema.rs:
+crates/data/src/sort.rs:
+crates/data/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/df_data-f906e6faf2d548e2.d: crates/data/src/lib.rs crates/data/src/batch.rs crates/data/src/bitmap.rs crates/data/src/column.rs crates/data/src/error.rs crates/data/src/rowpage.rs crates/data/src/schema.rs crates/data/src/sort.rs crates/data/src/types.rs
+
+/root/repo/target/release/deps/libdf_data-f906e6faf2d548e2.rlib: crates/data/src/lib.rs crates/data/src/batch.rs crates/data/src/bitmap.rs crates/data/src/column.rs crates/data/src/error.rs crates/data/src/rowpage.rs crates/data/src/schema.rs crates/data/src/sort.rs crates/data/src/types.rs
+
+/root/repo/target/release/deps/libdf_data-f906e6faf2d548e2.rmeta: crates/data/src/lib.rs crates/data/src/batch.rs crates/data/src/bitmap.rs crates/data/src/column.rs crates/data/src/error.rs crates/data/src/rowpage.rs crates/data/src/schema.rs crates/data/src/sort.rs crates/data/src/types.rs
+
+crates/data/src/lib.rs:
+crates/data/src/batch.rs:
+crates/data/src/bitmap.rs:
+crates/data/src/column.rs:
+crates/data/src/error.rs:
+crates/data/src/rowpage.rs:
+crates/data/src/schema.rs:
+crates/data/src/sort.rs:
+crates/data/src/types.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/df_fabric-6ff2712fd39c37ea.d: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs Cargo.toml
+
+/root/repo/target/release/deps/libdf_fabric-6ff2712fd39c37ea.rmeta: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs Cargo.toml
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/coherence.rs:
+crates/fabric/src/device.rs:
+crates/fabric/src/dma.rs:
+crates/fabric/src/flow.rs:
+crates/fabric/src/link.rs:
+crates/fabric/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

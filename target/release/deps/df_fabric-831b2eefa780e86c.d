@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/df_fabric-831b2eefa780e86c.d: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs
+
+/root/repo/target/release/deps/df_fabric-831b2eefa780e86c: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/coherence.rs:
+crates/fabric/src/device.rs:
+crates/fabric/src/dma.rs:
+crates/fabric/src/flow.rs:
+crates/fabric/src/link.rs:
+crates/fabric/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/df_fabric-b86574294799302b.d: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs
+
+/root/repo/target/release/deps/libdf_fabric-b86574294799302b.rlib: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs
+
+/root/repo/target/release/deps/libdf_fabric-b86574294799302b.rmeta: crates/fabric/src/lib.rs crates/fabric/src/coherence.rs crates/fabric/src/device.rs crates/fabric/src/dma.rs crates/fabric/src/flow.rs crates/fabric/src/link.rs crates/fabric/src/topology.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/coherence.rs:
+crates/fabric/src/device.rs:
+crates/fabric/src/dma.rs:
+crates/fabric/src/flow.rs:
+crates/fabric/src/link.rs:
+crates/fabric/src/topology.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/df_mem-46a1b5f4bbd19981.d: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs
+
+/root/repo/target/release/deps/df_mem-46a1b5f4bbd19981: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/accel.rs:
+crates/mem/src/btree.rs:
+crates/mem/src/bufferpool.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/region.rs:

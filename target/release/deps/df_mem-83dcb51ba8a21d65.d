@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/df_mem-83dcb51ba8a21d65.d: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs Cargo.toml
+
+/root/repo/target/release/deps/libdf_mem-83dcb51ba8a21d65.rmeta: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/accel.rs:
+crates/mem/src/btree.rs:
+crates/mem/src/bufferpool.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/region.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/df_mem-cbbdf33441ce8b0f.d: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs
+
+/root/repo/target/release/deps/libdf_mem-cbbdf33441ce8b0f.rlib: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs
+
+/root/repo/target/release/deps/libdf_mem-cbbdf33441ce8b0f.rmeta: crates/mem/src/lib.rs crates/mem/src/accel.rs crates/mem/src/btree.rs crates/mem/src/bufferpool.rs crates/mem/src/cache.rs crates/mem/src/region.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/accel.rs:
+crates/mem/src/btree.rs:
+crates/mem/src/bufferpool.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/region.rs:

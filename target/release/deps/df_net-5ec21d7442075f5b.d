@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/df_net-5ec21d7442075f5b.d: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/df_net-5ec21d7442075f5b: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/collective.rs:
+crates/net/src/nic.rs:
+crates/net/src/switch.rs:
+crates/net/src/transport.rs:

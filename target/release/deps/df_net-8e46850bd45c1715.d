@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/df_net-8e46850bd45c1715.d: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs Cargo.toml
+
+/root/repo/target/release/deps/libdf_net-8e46850bd45c1715.rmeta: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/collective.rs:
+crates/net/src/nic.rs:
+crates/net/src/switch.rs:
+crates/net/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

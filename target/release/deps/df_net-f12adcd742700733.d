@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/df_net-f12adcd742700733.d: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libdf_net-f12adcd742700733.rlib: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libdf_net-f12adcd742700733.rmeta: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/nic.rs crates/net/src/switch.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/collective.rs:
+crates/net/src/nic.rs:
+crates/net/src/switch.rs:
+crates/net/src/transport.rs:

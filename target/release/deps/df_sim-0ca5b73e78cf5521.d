@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/df_sim-0ca5b73e78cf5521.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libdf_sim-0ca5b73e78cf5521.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libdf_sim-0ca5b73e78cf5521.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/df_sim-fab7f45e767300e1.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/df_sim-fab7f45e767300e1: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

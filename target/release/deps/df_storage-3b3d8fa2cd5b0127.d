@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/df_storage-3b3d8fa2cd5b0127.d: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs
+
+/root/repo/target/release/deps/libdf_storage-3b3d8fa2cd5b0127.rlib: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs
+
+/root/repo/target/release/deps/libdf_storage-3b3d8fa2cd5b0127.rmeta: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/object.rs:
+crates/storage/src/pattern.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/smart.rs:
+crates/storage/src/table.rs:
+crates/storage/src/zonemap.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/df_storage-e4f389df0db76015.d: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs Cargo.toml
+
+/root/repo/target/release/deps/libdf_storage-e4f389df0db76015.rmeta: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/object.rs:
+crates/storage/src/pattern.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/smart.rs:
+crates/storage/src/table.rs:
+crates/storage/src/zonemap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/df_storage-ef932646e89baaee.d: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs
+
+/root/repo/target/release/deps/df_storage-ef932646e89baaee: crates/storage/src/lib.rs crates/storage/src/object.rs crates/storage/src/pattern.rs crates/storage/src/predicate.rs crates/storage/src/segment.rs crates/storage/src/smart.rs crates/storage/src/table.rs crates/storage/src/zonemap.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/object.rs:
+crates/storage/src/pattern.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/smart.rs:
+crates/storage/src/table.rs:
+crates/storage/src/zonemap.rs:

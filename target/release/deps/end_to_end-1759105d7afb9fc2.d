@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-1759105d7afb9fc2.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-1759105d7afb9fc2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

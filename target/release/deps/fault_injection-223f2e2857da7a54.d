@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-223f2e2857da7a54.d: tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-223f2e2857da7a54: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-647e8571967cdc64.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-647e8571967cdc64: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures-7e4d1f96c661fb26.d: crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures-7e4d1f96c661fb26.rmeta: crates/bench/src/bin/figures.rs Cargo.toml
+
+crates/bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures-9824191e1b503608.d: crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures-9824191e1b503608.rmeta: crates/bench/src/bin/figures.rs Cargo.toml
+
+crates/bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

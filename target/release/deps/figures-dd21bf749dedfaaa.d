@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-dd21bf749dedfaaa.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-dd21bf749dedfaaa: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures_core-567bd60cf3eda552.d: crates/bench/benches/figures_core.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures_core-567bd60cf3eda552.rmeta: crates/bench/benches/figures_core.rs Cargo.toml
+
+crates/bench/benches/figures_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

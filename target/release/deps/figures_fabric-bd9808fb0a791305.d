@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures_fabric-bd9808fb0a791305.d: crates/bench/benches/figures_fabric.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures_fabric-bd9808fb0a791305.rmeta: crates/bench/benches/figures_fabric.rs Cargo.toml
+
+crates/bench/benches/figures_fabric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures_mem-ea943c6d2d6f7f19.d: crates/bench/benches/figures_mem.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures_mem-ea943c6d2d6f7f19.rmeta: crates/bench/benches/figures_mem.rs Cargo.toml
+
+crates/bench/benches/figures_mem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures_net-1cf808d42e3ba063.d: crates/bench/benches/figures_net.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures_net-1cf808d42e3ba063.rmeta: crates/bench/benches/figures_net.rs Cargo.toml
+
+crates/bench/benches/figures_net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

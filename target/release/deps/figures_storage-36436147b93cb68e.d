@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures_storage-36436147b93cb68e.d: crates/bench/benches/figures_storage.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures_storage-36436147b93cb68e.rmeta: crates/bench/benches/figures_storage.rs Cargo.toml
+
+crates/bench/benches/figures_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

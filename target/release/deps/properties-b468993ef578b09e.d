@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b468993ef578b09e.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-b468993ef578b09e: tests/properties.rs
+
+tests/properties.rs:

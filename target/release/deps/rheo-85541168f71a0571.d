@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rheo-85541168f71a0571.d: src/lib.rs src/check.rs
+
+/root/repo/target/release/deps/librheo-85541168f71a0571.rlib: src/lib.rs src/check.rs
+
+/root/repo/target/release/deps/librheo-85541168f71a0571.rmeta: src/lib.rs src/check.rs
+
+src/lib.rs:
+src/check.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rheo-9af60348f1147aea.d: src/lib.rs src/check.rs Cargo.toml
+
+/root/repo/target/release/deps/librheo-9af60348f1147aea.rmeta: src/lib.rs src/check.rs Cargo.toml
+
+src/lib.rs:
+src/check.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rheo-cc126f722ce572b1.d: src/lib.rs src/check.rs
+
+/root/repo/target/release/deps/rheo-cc126f722ce572b1: src/lib.rs src/check.rs
+
+src/lib.rs:
+src/check.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

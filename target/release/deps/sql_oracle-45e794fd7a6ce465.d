@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sql_oracle-45e794fd7a6ce465.d: tests/sql_oracle.rs Cargo.toml
+
+/root/repo/target/release/deps/libsql_oracle-45e794fd7a6ce465.rmeta: tests/sql_oracle.rs Cargo.toml
+
+tests/sql_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sql_oracle-58b47b56af3fbc27.d: tests/sql_oracle.rs
+
+/root/repo/target/release/deps/sql_oracle-58b47b56af3fbc27: tests/sql_oracle.rs
+
+tests/sql_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_ledger-20eb3f4e3c764efd.d: tests/trace_ledger.rs
+
+/root/repo/target/release/deps/trace_ledger-20eb3f4e3c764efd: tests/trace_ledger.rs
+
+tests/trace_ledger.rs:

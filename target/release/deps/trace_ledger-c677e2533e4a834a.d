@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_ledger-c677e2533e4a834a.d: tests/trace_ledger.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_ledger-c677e2533e4a834a.rmeta: tests/trace_ledger.rs Cargo.toml
+
+tests/trace_ledger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_suite-ce835b078313936c.d: tests/trace_suite.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_suite-ce835b078313936c.rmeta: tests/trace_suite.rs Cargo.toml
+
+tests/trace_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_suite-fa8b122f3248350b.d: tests/trace_suite.rs
+
+/root/repo/target/release/deps/trace_suite-fa8b122f3248350b: tests/trace_suite.rs
+
+tests/trace_suite.rs:

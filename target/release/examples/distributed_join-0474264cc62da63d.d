@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_join-0474264cc62da63d.d: examples/distributed_join.rs
+
+/root/repo/target/release/examples/distributed_join-0474264cc62da63d: examples/distributed_join.rs
+
+examples/distributed_join.rs:

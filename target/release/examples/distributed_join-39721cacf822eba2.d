@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/distributed_join-39721cacf822eba2.d: examples/distributed_join.rs Cargo.toml
+
+/root/repo/target/release/examples/libdistributed_join-39721cacf822eba2.rmeta: examples/distributed_join.rs Cargo.toml
+
+examples/distributed_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/full_pipeline-46d81e857f2690bc.d: examples/full_pipeline.rs Cargo.toml
+
+/root/repo/target/release/examples/libfull_pipeline-46d81e857f2690bc.rmeta: examples/full_pipeline.rs Cargo.toml
+
+examples/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

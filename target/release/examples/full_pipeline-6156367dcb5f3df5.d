@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/full_pipeline-6156367dcb5f3df5.d: examples/full_pipeline.rs
+
+/root/repo/target/release/examples/full_pipeline-6156367dcb5f3df5: examples/full_pipeline.rs
+
+examples/full_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/near_memory_htap-5780ac9b4de8b309.d: examples/near_memory_htap.rs Cargo.toml
+
+/root/repo/target/release/examples/libnear_memory_htap-5780ac9b4de8b309.rmeta: examples/near_memory_htap.rs Cargo.toml
+
+examples/near_memory_htap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/near_memory_htap-f2ab5dc73d62350e.d: examples/near_memory_htap.rs
+
+/root/repo/target/release/examples/near_memory_htap-f2ab5dc73d62350e: examples/near_memory_htap.rs
+
+examples/near_memory_htap.rs:

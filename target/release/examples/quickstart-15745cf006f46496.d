@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-15745cf006f46496.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-15745cf006f46496: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/storage_pushdown-23cfc78b4d9e2628.d: examples/storage_pushdown.rs Cargo.toml
+
+/root/repo/target/release/examples/libstorage_pushdown-23cfc78b4d9e2628.rmeta: examples/storage_pushdown.rs Cargo.toml
+
+examples/storage_pushdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/storage_pushdown-93cc1cf9429d772d.d: examples/storage_pushdown.rs
+
+/root/repo/target/release/examples/storage_pushdown-93cc1cf9429d772d: examples/storage_pushdown.rs
+
+examples/storage_pushdown.rs:

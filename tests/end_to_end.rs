@@ -41,7 +41,9 @@ const QUERIES: &[&str] = &[
 fn every_variant_agrees_on_every_query() {
     let s = session(8_000);
     for query in QUERIES {
-        let logical = s.logical_plan(query).unwrap_or_else(|e| panic!("{query}: {e}"));
+        let logical = s
+            .logical_plan(query)
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
         let variants = s.variants(&logical).expect("variants");
         let reference = s
             .execute_plan(&variants[0].plan)
@@ -78,11 +80,11 @@ fn volcano_agrees_with_push_on_storage_plans() {
                 storage: Some(s.storage()),
                 topology: Some(s.topology()),
                 wire: None,
+                tracer: None,
             },
         )
         .expect("push runs");
-        let volcano = volcano::execute(&cpu_only.plan, Some(s.storage()))
-            .expect("volcano runs");
+        let volcano = volcano::execute(&cpu_only.plan, Some(s.storage())).expect("volcano runs");
         let push_batch = if push.batches.is_empty() {
             rheo::data::Batch::empty(cpu_only.plan.schema())
         } else {
@@ -125,11 +127,7 @@ fn parallel_sessions_agree_with_sequential() {
     for query in QUERIES {
         let a = seq.sql(query).unwrap();
         let b = par.sql(query).unwrap();
-        assert_rows_approx_eq(
-            &a.batch.canonical_rows(),
-            &b.batch.canonical_rows(),
-            query,
-        );
+        assert_rows_approx_eq(&a.batch.canonical_rows(), &b.batch.canonical_rows(), query);
     }
 }
 
@@ -159,7 +157,10 @@ fn golden_results_fixed_seed() {
     let again = s
         .sql("SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity = 7")
         .unwrap();
-    assert_eq!(filtered.batch.canonical_rows(), again.batch.canonical_rows());
+    assert_eq!(
+        filtered.batch.canonical_rows(),
+        again.batch.canonical_rows()
+    );
 }
 
 #[test]
@@ -168,7 +169,10 @@ fn pushdown_reduces_measured_movement() {
     let query = "SELECT l_orderkey FROM lineitem WHERE l_orderkey < 100";
     let logical = s.logical_plan(query).unwrap();
     let variants = s.variants(&logical).unwrap();
-    let cpu_only = variants.iter().find(|v| v.plan.variant == "cpu-only").unwrap();
+    let cpu_only = variants
+        .iter()
+        .find(|v| v.plan.variant == "cpu-only")
+        .unwrap();
     let pushdown = variants
         .iter()
         .find(|v| v.plan.variant == "storage-pushdown")
@@ -194,10 +198,7 @@ fn scheduler_and_optimizer_integrate() {
         .logical_plan("SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 10")
         .unwrap();
     let variants = s.variants(&logical).unwrap();
-    let mut scheduler = Scheduler::new(
-        Arc::clone(s.topology()),
-        s.optimizer().site().cpu,
-    );
+    let mut scheduler = Scheduler::new(Arc::clone(s.topology()), s.optimizer().site().cpu);
     let first = scheduler.admit(&variants).unwrap();
     let second = scheduler.admit(&variants).unwrap();
     // Both admissions are executable plans.
@@ -221,7 +222,10 @@ fn wire_format_survives_the_network_between_sessions() {
     let s = session(3_000);
     let (batches, _) = s
         .storage()
-        .scan("lineitem", &ScanRequest::full().project(&["l_orderkey", "l_region"]))
+        .scan(
+            "lineitem",
+            &ScanRequest::full().project(&["l_orderkey", "l_region"]),
+        )
         .unwrap();
     let net = Network::new(2);
     for b in &batches {

@@ -1,17 +1,16 @@
 //! Randomized SQL correctness against an independent oracle.
 //!
-//! Proptest generates filter/aggregate queries; the expected answer is
-//! computed by plain Rust iteration over the raw rows (no engine code in
-//! the oracle path). Every query runs through the full stack — parser,
-//! rewrites, placement, smart storage, push executor — with the *best*
-//! variant the optimizer picked, so pushdown correctness is continuously
-//! cross-checked.
+//! The [`rheo::check`] harness generates filter/aggregate queries; the
+//! expected answer is computed by plain Rust iteration over the raw rows
+//! (no engine code in the oracle path). Every query runs through the full
+//! stack — parser, rewrites, placement, smart storage, push executor —
+//! with the *best* variant the optimizer picked, so pushdown correctness
+//! is continuously cross-checked.
 
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
-use proptest::prelude::*;
-
+use rheo::check::{check, Gen};
 use rheo::core::session::Session;
 use rheo::data::batch::batch_of;
 use rheo::data::{Column, Scalar};
@@ -70,6 +69,19 @@ enum WherePred {
 }
 
 impl WherePred {
+    fn arbitrary(g: &mut Gen) -> WherePred {
+        match g.usize_in(0, 4) {
+            0 => WherePred::ALt(g.i64_in(0, 799)),
+            1 => {
+                let lo = g.i64_in(0, 799);
+                WherePred::ABetween(lo, lo + g.i64_in(0, 199))
+            }
+            2 => WherePred::BGe(g.i64_in(0, 54)),
+            3 => WherePred::GEq(g.usize_in(0, 7)),
+            _ => WherePred::BNotNull,
+        }
+    }
+
     fn sql(&self) -> String {
         match self {
             WherePred::ALt(x) => format!("a < {x}"),
@@ -91,48 +103,45 @@ impl WherePred {
     }
 }
 
-fn arb_pred() -> impl Strategy<Value = WherePred> {
-    prop_oneof![
-        (0i64..800).prop_map(WherePred::ALt),
-        (0i64..800, 0i64..200).prop_map(|(lo, span)| WherePred::ABetween(lo, lo + span)),
-        (0i64..55).prop_map(WherePred::BGe),
-        (0usize..8).prop_map(WherePred::GEq),
-        Just(WherePred::BNotNull),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn filtered_count_matches_oracle(p1 in arb_pred(), p2 in arb_pred()) {
+#[test]
+fn filtered_count_matches_oracle() {
+    check("filtered_count_matches_oracle", 48, |g| {
+        let p1 = WherePred::arbitrary(g);
+        let p2 = WherePred::arbitrary(g);
         let session = shared_session();
         let query = format!(
             "SELECT COUNT(*) AS n FROM t WHERE {} AND {}",
             p1.sql(),
             p2.sql()
         );
-        let result = session.sql(&query).unwrap_or_else(|e| panic!("{query}: {e}"));
+        let result = session
+            .sql(&query)
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
         let expected = raw_rows()
             .iter()
             .filter(|r| p1.matches(r) && p2.matches(r))
             .count() as i64;
-        prop_assert_eq!(
+        assert_eq!(
             result.batch.row(0)[0].clone(),
             Scalar::Int(expected),
-            "{}", query
+            "{query}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn grouped_aggregates_match_oracle(p in arb_pred()) {
+#[test]
+fn grouped_aggregates_match_oracle() {
+    check("grouped_aggregates_match_oracle", 48, |g| {
+        let p = WherePred::arbitrary(g);
         let session = shared_session();
         let query = format!(
             "SELECT g, COUNT(*) AS n, SUM(b) AS sb, MIN(a) AS lo, MAX(a) AS hi, \
              AVG(f) AS af FROM t WHERE {} GROUP BY g",
             p.sql()
         );
-        let result = session.sql(&query).unwrap_or_else(|e| panic!("{query}: {e}"));
+        let result = session
+            .sql(&query)
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
 
         // Oracle: group manually.
         #[derive(Default)]
@@ -157,34 +166,51 @@ proptest! {
             acc.fcount += 1;
         }
 
-        prop_assert_eq!(result.batch.rows(), groups.len(), "{}", query);
+        assert_eq!(result.batch.rows(), groups.len(), "{query}");
         for row_idx in 0..result.batch.rows() {
             let row = result.batch.row(row_idx);
-            let g = row[0].as_str().expect("group name").to_string();
-            let acc = groups.get(&g).unwrap_or_else(|| panic!("{query}: extra group {g}"));
-            prop_assert_eq!(row[1].clone(), Scalar::Int(acc.n), "count for {}", &g);
+            let g_name = row[0].as_str().expect("group name").to_string();
+            let acc = groups
+                .get(&g_name)
+                .unwrap_or_else(|| panic!("{query}: extra group {g_name}"));
+            assert_eq!(row[1].clone(), Scalar::Int(acc.n), "count for {g_name}");
             let expect_sb = acc.sb.map_or(Scalar::Null, Scalar::Int);
-            prop_assert_eq!(row[2].clone(), expect_sb, "sum for {}", &g);
-            prop_assert_eq!(row[3].clone(), acc.lo.map_or(Scalar::Null, Scalar::Int), "min");
-            prop_assert_eq!(row[4].clone(), acc.hi.map_or(Scalar::Null, Scalar::Int), "max");
+            assert_eq!(row[2].clone(), expect_sb, "sum for {g_name}");
+            assert_eq!(
+                row[3].clone(),
+                acc.lo.map_or(Scalar::Null, Scalar::Int),
+                "min"
+            );
+            assert_eq!(
+                row[4].clone(),
+                acc.hi.map_or(Scalar::Null, Scalar::Int),
+                "max"
+            );
             let avg = row[5].as_float_lossy().expect("avg is numeric");
             let expect_avg = acc.fsum / acc.fcount as f64;
-            prop_assert!(
+            assert!(
                 (avg - expect_avg).abs() < 1e-9,
-                "avg for {}: {} vs {}", &g, avg, expect_avg
+                "avg for {g_name}: {avg} vs {expect_avg}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn topk_matches_oracle(p in arb_pred(), k in 1u64..40, asc in any::<bool>()) {
+#[test]
+fn topk_matches_oracle() {
+    check("topk_matches_oracle", 48, |g| {
+        let p = WherePred::arbitrary(g);
+        let k = g.i64_in(1, 39) as u64;
+        let asc = g.bool();
         let session = shared_session();
         let dir = if asc { "ASC" } else { "DESC" };
         let query = format!(
             "SELECT a, f FROM t WHERE {} ORDER BY f {dir}, a ASC LIMIT {k}",
             p.sql()
         );
-        let result = session.sql(&query).unwrap_or_else(|e| panic!("{query}: {e}"));
+        let result = session
+            .sql(&query)
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
 
         let mut rows: Vec<(f64, i64)> = raw_rows()
             .iter()
@@ -198,21 +224,27 @@ proptest! {
         });
         rows.truncate(k as usize);
 
-        prop_assert_eq!(result.batch.rows(), rows.len(), "{}", query);
+        assert_eq!(result.batch.rows(), rows.len(), "{query}");
         for (i, (f, a)) in rows.iter().enumerate() {
-            prop_assert_eq!(result.batch.row(i)[0].clone(), Scalar::Int(*a), "{}", query);
-            prop_assert_eq!(result.batch.row(i)[1].clone(), Scalar::Float(*f), "{}", query);
+            assert_eq!(result.batch.row(i)[0].clone(), Scalar::Int(*a), "{query}");
+            assert_eq!(result.batch.row(i)[1].clone(), Scalar::Float(*f), "{query}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn projection_arithmetic_matches_oracle(p in arb_pred(), m in 1i64..10) {
+#[test]
+fn projection_arithmetic_matches_oracle() {
+    check("projection_arithmetic_matches_oracle", 48, |g| {
+        let p = WherePred::arbitrary(g);
+        let m = g.i64_in(1, 9);
         let session = shared_session();
         let query = format!(
             "SELECT a * {m} + 1 AS x FROM t WHERE {} ORDER BY x LIMIT 20",
             p.sql()
         );
-        let result = session.sql(&query).unwrap_or_else(|e| panic!("{query}: {e}"));
+        let result = session
+            .sql(&query)
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
         let mut expected: Vec<i64> = raw_rows()
             .iter()
             .filter(|r| p.matches(r))
@@ -223,6 +255,6 @@ proptest! {
         let got: Vec<i64> = (0..result.batch.rows())
             .map(|i| result.batch.row(i)[0].as_int().unwrap())
             .collect();
-        prop_assert_eq!(got, expected, "{}", query);
-    }
+        assert_eq!(got, expected, "{query}");
+    });
 }

@@ -1,0 +1,114 @@
+//! Metrics-vs-ledger consistency: the byte totals in the trace's fabric
+//! link lanes must equal the movement ledger's bytes-per-link accounting.
+//!
+//! The ledger charges every cross-device batch to a (producer, consumer)
+//! edge and maps edges onto physical links via shortest routes
+//! ([`MovementLedger::per_link`]); `MovementLedger::trace_links` replays
+//! the same traffic into link lanes of a tracer. Summing the `bytes=`
+//! annotations per lane must reproduce `per_link` exactly — otherwise the
+//! trace and the paper's headline metric disagree.
+
+use std::collections::BTreeMap;
+
+use rheo::bench::workload;
+use rheo::core::session::Session;
+use rheo::sim::Tracer;
+
+fn session(rows: usize) -> Session {
+    let s = Session::in_memory().expect("session");
+    s.create_table("lineitem", &[workload::lineitem(rows, 42)])
+        .expect("load lineitem");
+    s.create_table("orders", &[workload::orders(rows / 4, 42)])
+        .expect("load orders");
+    s
+}
+
+/// Sum `bytes=` annotations per link lane in the sim timeline.
+fn bytes_per_lane(tracer: &Tracer) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in tracer.sim_timeline().lines() {
+        let mut cols = line.split('\t');
+        let lane = cols.next().expect("lane column");
+        if !lane.starts_with("link.") {
+            continue;
+        }
+        for col in cols {
+            if let Some(v) = col.strip_prefix("bytes=") {
+                *out.entry(lane.to_string()).or_insert(0) += v.parse::<u64>().expect("bytes value");
+            }
+        }
+    }
+    out
+}
+
+fn assert_trace_matches_ledger(query: &str, variant: &str, rows: usize) {
+    let s = session(rows);
+    let logical = s.logical_plan(query).expect("parse");
+    let variants = s.variants(&logical).expect("variants");
+    let v = variants
+        .iter()
+        .find(|v| v.plan.variant == variant)
+        .unwrap_or_else(|| panic!("variant {variant} not produced for {query}"));
+    let result = s.execute_plan(&v.plan).expect("runs");
+    assert!(
+        result.ledger.cross_device_bytes() > 0,
+        "{variant} moved nothing cross-device; the test would be vacuous"
+    );
+
+    let tracer = Tracer::new();
+    result.ledger.trace_links(s.topology(), &tracer);
+    tracer.validate().expect("replayed trace well-formed");
+    let from_trace = bytes_per_lane(&tracer);
+
+    // Rebuild the ledger's per-link view keyed by the trace's lane names.
+    let topo = s.topology();
+    let mut from_ledger: BTreeMap<String, u64> = BTreeMap::new();
+    for (link, bytes) in result.ledger.per_link(topo) {
+        let spec = topo.link(link);
+        let name = format!(
+            "link.{}-{}.{}",
+            topo.device(spec.a).name,
+            topo.device(spec.b).name,
+            spec.tech.name()
+        );
+        *from_ledger.entry(name).or_insert(0) += bytes;
+    }
+
+    assert_eq!(
+        from_trace, from_ledger,
+        "{variant} on {query}: trace link bytes diverge from the ledger"
+    );
+    assert_eq!(result.ledger.unroutable_bytes(topo), 0);
+}
+
+/// E2's shape: a selective pushed-down scan — traffic flows storage → CPU.
+#[test]
+fn e2_pushdown_trace_bytes_match_ledger() {
+    assert_trace_matches_ledger(
+        "SELECT l_orderkey FROM lineitem WHERE l_orderkey < 500",
+        "storage-pushdown",
+        20_000,
+    );
+}
+
+/// E2's baseline: the CPU-centric plan ships whole columns up.
+#[test]
+fn e2_cpu_only_trace_bytes_match_ledger() {
+    assert_trace_matches_ledger(
+        "SELECT l_orderkey FROM lineitem WHERE l_orderkey < 500",
+        "cpu-only",
+        20_000,
+    );
+}
+
+/// E5's shape: a join whose build and probe sides cross the fabric.
+#[test]
+fn e5_join_trace_bytes_match_ledger() {
+    assert_trace_matches_ledger(
+        "SELECT o_priority, COUNT(*) AS n FROM orders \
+         JOIN lineitem ON o_orderkey = l_orderkey \
+         WHERE l_quantity > 40 GROUP BY o_priority",
+        "cpu-only",
+        8_000,
+    );
+}

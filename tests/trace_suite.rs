@@ -1,0 +1,197 @@
+//! The tracing test suite: golden-trace determinism, Chrome trace_event
+//! structural soundness, and a property test over arbitrary span nesting.
+
+use rheo::bench::experiments::{e10_full_pipeline, Scale};
+use rheo::check::{check, Gen};
+use rheo::sim::{LaneKind, SimTime, SpanGuard, Tracer};
+
+const SCALE: Scale = Scale {
+    rows: 4_000,
+    seed: 42,
+};
+
+/// Golden trace: E10 replayed twice with the same seed produces
+/// byte-identical simulated-time timelines (the determinism contract from
+/// DESIGN.md §4). Wall-clock lanes are excluded by `sim_timeline`.
+#[test]
+fn golden_trace_e10_is_deterministic() {
+    let a = e10_full_pipeline::trace_flow(SCALE);
+    let b = e10_full_pipeline::trace_flow(SCALE);
+    a.validate().expect("first trace well-formed");
+    b.validate().expect("second trace well-formed");
+    let ta = a.sim_timeline();
+    let tb = b.sim_timeline();
+    assert!(!ta.is_empty(), "trace recorded nothing");
+    assert_eq!(ta, tb, "sim-time trace is not deterministic");
+
+    // The full pipeline exercises every stage of the data path: storage,
+    // NIC, the fabric links between them, and the compute node.
+    for lane in [
+        "storage.ssd",
+        "compute0.nic",
+        "compute0.cpu",
+        "link.storage.ssd-storage.nic.",
+    ] {
+        assert!(
+            ta.lines().any(|l| l.starts_with(lane)),
+            "no events on lane {lane}"
+        );
+    }
+}
+
+/// A minimal reader for the known shape of our own Chrome trace_event
+/// output: one JSON object per line, fields in a fixed order.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim_matches('"'))
+}
+
+fn ts_nanos(raw: &str) -> u64 {
+    // "123.456" microseconds -> nanoseconds.
+    let (us, frac) = raw.split_once('.').expect("fractional ts");
+    us.parse::<u64>().unwrap() * 1_000 + frac.parse::<u64>().unwrap()
+}
+
+/// Structural soundness of the Chrome export: every `B` has a matching `E`
+/// on its lane, spans never partially overlap (stack discipline), and
+/// timestamps are monotone per lane.
+#[test]
+fn chrome_trace_json_is_structurally_sound() {
+    let tracer = e10_full_pipeline::trace_flow(SCALE);
+    let json = tracer.chrome_trace_json();
+    assert!(json.starts_with("[\n") && json.trim_end().ends_with(']'));
+
+    use std::collections::HashMap;
+    let mut stacks: HashMap<(u32, u32), Vec<()>> = HashMap::new();
+    let mut last_ts: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut events = 0usize;
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let ph = field(line, "ph").expect("ph field");
+        if ph == "M" {
+            continue;
+        }
+        let pid: u32 = field(line, "pid").unwrap().parse().unwrap();
+        let tid: u32 = field(line, "tid").unwrap().parse().unwrap();
+        let ts = ts_nanos(field(line, "ts").expect("ts field"));
+        let lane = (pid, tid);
+        events += 1;
+
+        let prev = last_ts.entry(lane).or_insert(0);
+        assert!(
+            ts >= *prev,
+            "lane {lane:?}: ts {ts} goes backwards (prev {prev})"
+        );
+        *prev = ts;
+
+        match ph {
+            "B" => {
+                assert!(
+                    field(line, "name").is_some(),
+                    "B event without a name: {line}"
+                );
+                stacks.entry(lane).or_default().push(());
+            }
+            "E" => {
+                assert!(
+                    stacks.entry(lane).or_default().pop().is_some(),
+                    "lane {lane:?}: E with no open B"
+                );
+            }
+            "i" => {
+                assert_eq!(field(line, "s"), Some("t"), "instant without scope");
+            }
+            other => panic!("unexpected phase {other:?} in {line}"),
+        }
+    }
+    assert!(events > 0, "no events in the export");
+    for (lane, stack) in stacks {
+        assert!(
+            stack.is_empty(),
+            "lane {lane:?}: {} unclosed B",
+            stack.len()
+        );
+    }
+}
+
+/// Property: any sequence of open/close/instant operations expressed through
+/// the RAII [`SpanGuard`] API yields a properly nested span tree — guards
+/// drop in LIFO order by construction, so `validate` must always pass and
+/// begin/end events must balance exactly.
+#[test]
+fn arbitrary_span_guard_nesting_is_well_formed() {
+    check("trace-span-guard-nesting", 64, |gen: &mut Gen| {
+        let tracer = Tracer::new();
+        let lane = tracer.lane("prop.lane", LaneKind::Wall);
+        let sim_lane = tracer.lane("prop.sim", LaneKind::Sim);
+        let mut open: Vec<SpanGuard> = Vec::new();
+        let mut begins = 0u64;
+        let mut instants = 0u64;
+        let mut clock = 0u64;
+        let steps = gen.usize_in(0, 60);
+        for _ in 0..steps {
+            match gen.usize_in(0, 3) {
+                0 => {
+                    let mut guard = tracer.span(lane, "op");
+                    if gen.bool() {
+                        guard.annotate("rows", gen.u64() % 1_000);
+                    }
+                    open.push(guard);
+                    begins += 1;
+                }
+                1 => {
+                    // Close the innermost span, if any (LIFO drop).
+                    open.pop();
+                }
+                2 => {
+                    tracer.instant(lane, "tick");
+                    instants += 1;
+                }
+                _ => {
+                    // Sim-lane spans with a monotone clock stay valid too.
+                    let start = clock;
+                    clock += gen.u64() % 50;
+                    tracer.span_at(
+                        sim_lane,
+                        "svc",
+                        SimTime(start),
+                        SimTime(clock),
+                        &[("bytes", gen.u64() % 4_096)],
+                    );
+                    begins += 1;
+                }
+            }
+        }
+        // Close whatever is still open, innermost first (LIFO).
+        while open.pop().is_some() {}
+        tracer.validate().expect("trace from guards is well-formed");
+        // Every begin got an end; instants stand alone.
+        assert_eq!(tracer.event_count() as u64, 2 * begins + instants);
+    });
+}
+
+/// The summary exporter agrees with the timeline on which lanes did work.
+#[test]
+fn summary_lists_every_lane_once() {
+    let tracer = e10_full_pipeline::trace_flow(SCALE);
+    let summary = tracer.summary();
+    // First token of each data row is the lane name.
+    let rows: Vec<&str> = summary
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    for name in tracer.lane_names() {
+        assert_eq!(
+            rows.iter().filter(|r| **r == name).count(),
+            1,
+            "lane {name} missing or duplicated in summary"
+        );
+    }
+}
