@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/df_sim-c8b8ccb5d12d0d18.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/df_sim-c8b8ccb5d12d0d18.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/libdf_sim-c8b8ccb5d12d0d18.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/libdf_sim-c8b8ccb5d12d0d18.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/libdf_sim-c8b8ccb5d12d0d18.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/libdf_sim-c8b8ccb5d12d0d18.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/event.rs:
 crates/sim/src/metrics.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_ledger-77dd1cf38d15495f.d: tests/trace_ledger.rs
+
+/root/repo/target/debug/deps/trace_ledger-77dd1cf38d15495f: tests/trace_ledger.rs
+
+tests/trace_ledger.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_suite-95af8a0b57ca287f.d: tests/trace_suite.rs
+
+/root/repo/target/debug/deps/trace_suite-95af8a0b57ca287f: tests/trace_suite.rs
+
+tests/trace_suite.rs:
