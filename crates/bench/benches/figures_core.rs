@@ -29,7 +29,7 @@ fn agg_plan(batch_rows: usize, use_kernel: bool) -> PhysicalPlan {
             input: Box::new(PhysNode::Filter {
                 input: Box::new(PhysNode::Values {
                     schema: fact.schema().clone(),
-                    batches: fact.split(batch_rows),
+                    batches: fact.split(batch_rows).unwrap(),
                     device: None,
                 }),
                 predicate: col("l_quantity").lt(lit(10)),

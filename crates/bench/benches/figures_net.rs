@@ -20,7 +20,7 @@ fn main() {
     // E4 / Figure 3: individual NIC kernels at line-rate granularity.
     {
         let fact = workload::lineitem(ROWS, 42);
-        let batches = fact.split(8192);
+        let batches = fact.split(8192).unwrap();
         let mut group = bench.group("fig3_nic_kernels");
         let programs: Vec<(&str, Vec<NicKernel>)> = vec![
             (
@@ -118,7 +118,7 @@ fn main() {
     // kernels themselves).
     {
         let fact = workload::lineitem(ROWS, 42);
-        let batches = fact.split(4096);
+        let batches = fact.split(4096).unwrap();
         let spec = || PreAggSpec {
             group_by: vec!["l_quantity".into()],
             aggs: vec![(AggFunc::Count, "l_orderkey".into())],

@@ -1,0 +1,315 @@
+//! Hot-path microbenchmarks for the zero-copy buffer and vectorized
+//! aggregation work, with machine-readable output.
+//!
+//! ```text
+//! cargo run -p df-bench --release --bin hotpath             # full run
+//! cargo run -p df-bench --release --bin hotpath -- --smoke  # CI smoke
+//! cargo run -p df-bench --release --bin hotpath -- --out BENCH_hotpath.json
+//! ```
+//!
+//! Four measurements:
+//!
+//! * `split`: chopping a ~36 MB batch into 4096-row morsels. Asserts (via
+//!   pointer identity into the parent allocation) that no data buffer is
+//!   copied — splitting is pure view arithmetic.
+//! * `filter`: bitmap-selection of a large Int64/Float64/Utf8 batch.
+//! * `hash_agg`: `HashAggOp` over 4096-row batches with an Int64 group key,
+//!   against an in-bench reimplementation of the row-at-a-time scalar
+//!   aggregation the operator replaced (per-row `Vec<Scalar>` + `Vec<u8>`
+//!   key allocation). The speedup ratio is part of the JSON output.
+//! * `parallel`: the E1 filter+aggregate plan single-threaded vs
+//!   morsel-parallel at increasing worker counts.
+//!
+//! Results land in `BENCH_hotpath.json` (hand-rolled JSON; the container
+//! has no serde).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use df_bench::workload;
+use df_core::exec::parallel::execute_parallel;
+use df_core::exec::push::{execute, ExecEnv};
+use df_core::expr::{col, lit};
+use df_core::logical::{AggCall, AggFn, LogicalPlan};
+use df_core::ops::{AggMode, HashAggOp, Operator};
+use df_core::physical::{PhysNode, PhysicalPlan};
+use df_data::{Batch, Bitmap, Column, Scalar};
+
+struct Stats {
+    min: f64,
+    mean: f64,
+    max: f64,
+}
+
+fn time<R>(iters: u32, mut f: impl FnMut() -> R) -> Stats {
+    std::hint::black_box(f()); // warmup
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    Stats {
+        min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+        mean: samples.iter().sum::<f64>() / samples.len() as f64,
+        max: samples.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+struct Case {
+    name: String,
+    stats: Stats,
+}
+
+fn report(cases: &mut Vec<Case>, name: &str, stats: Stats) {
+    println!(
+        "{name:<40} mean {:>12.6} ms  min {:>12.6} ms  max {:>12.6} ms",
+        stats.mean * 1e3,
+        stats.min * 1e3,
+        stats.max * 1e3
+    );
+    cases.push(Case {
+        name: name.to_string(),
+        stats,
+    });
+}
+
+// ---------------------------------------------------------------- rowwise
+// The pre-vectorization aggregation strategy, reproduced here as the
+// baseline: every row allocates a `Vec<Scalar>` key row and an encoded
+// `Vec<u8>`, and the group map owns both.
+
+fn rowwise_key_bytes(scalars: &[Scalar]) -> Vec<u8> {
+    let mut key = Vec::new();
+    for s in scalars {
+        match s {
+            Scalar::Null => key.push(0),
+            Scalar::Int(v) => {
+                key.push(1);
+                key.extend_from_slice(&v.to_le_bytes());
+            }
+            Scalar::Float(v) => {
+                key.push(2);
+                key.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            Scalar::Str(v) => {
+                key.push(3);
+                key.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                key.extend_from_slice(v.as_bytes());
+            }
+            Scalar::Bool(v) => key.extend_from_slice(&[4, *v as u8]),
+        }
+    }
+    key
+}
+
+fn rowwise_agg(batches: &[Batch]) -> usize {
+    let mut groups: HashMap<Vec<u8>, (Vec<Scalar>, i64, i64)> = HashMap::new();
+    for batch in batches {
+        let key_col = batch.column(0);
+        let val_col = batch.column(1);
+        for row in 0..batch.rows() {
+            let scalars = vec![key_col.scalar_at(row)];
+            let key = rowwise_key_bytes(&scalars);
+            let entry = groups.entry(key).or_insert((scalars, 0, 0));
+            entry.1 += 1;
+            if let Scalar::Int(v) = val_col.scalar_at(row) {
+                entry.2 += v;
+            }
+        }
+    }
+    groups.len()
+}
+
+fn vectorized_agg(batches: &[Batch], schema: &df_data::SchemaRef) -> usize {
+    let calls = vec![AggCall::count_star("n"), AggCall::new(AggFn::Sum, "v", "s")];
+    let final_schema = LogicalPlan::values(vec![batches[0].clone()])
+        .expect("values plan")
+        .aggregate(vec!["k".into()], calls.clone())
+        .expect("aggregate plan")
+        .schema();
+    let mut op = HashAggOp::new(
+        vec!["k".into()],
+        calls,
+        AggMode::Final,
+        schema,
+        final_schema,
+    )
+    .expect("agg op");
+    for batch in batches {
+        op.push(batch.clone()).expect("push");
+    }
+    op.finish().expect("finish").iter().map(Batch::rows).sum()
+}
+
+fn e1_plan(rows: usize) -> PhysicalPlan {
+    let fact = workload::lineitem(rows, 42);
+    let calls = vec![
+        AggCall::count_star("n"),
+        AggCall::new(AggFn::Sum, "l_price", "revenue"),
+    ];
+    let logical = LogicalPlan::values(vec![fact.clone()])
+        .expect("values plan")
+        .filter(col("l_quantity").lt(lit(10)))
+        .expect("filter plan")
+        .aggregate(vec!["l_region".into()], calls.clone())
+        .expect("aggregate plan");
+    PhysicalPlan::new(
+        PhysNode::Aggregate {
+            input: Box::new(PhysNode::Filter {
+                input: Box::new(PhysNode::Values {
+                    schema: fact.schema().clone(),
+                    batches: fact.split(8192).expect("split"),
+                    device: None,
+                }),
+                predicate: col("l_quantity").lt(lit(10)),
+                device: None,
+                use_kernel: false,
+            }),
+            group_by: vec!["l_region".into()],
+            aggs: calls,
+            mode: AggMode::Final,
+            final_schema: logical.schema(),
+            device: None,
+        },
+        "hotpath",
+    )
+}
+
+fn json_escape_free(name: &str) -> &str {
+    debug_assert!(!name.contains('"') && !name.contains('\\'));
+    name
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let iters: u32 = if smoke { 2 } else { 15 };
+    let mut cases: Vec<Case> = Vec::new();
+
+    // -- split: a ~36 MB batch into 4096-row morsels, zero-copy.
+    // lineitem is ~90 B/row, so 400k rows ≈ 36 MB.
+    let split_rows = if smoke { 50_000 } else { 400_000 };
+    let big = workload::lineitem(split_rows, 42);
+    println!(
+        "split input: {} rows, {:.1} MB",
+        big.rows(),
+        big.byte_size() as f64 / 1e6
+    );
+    let morsels = big.split(4096).expect("split");
+    let parent_ptr = big.column(0).i64_values().expect("int col").as_ptr();
+    for (i, m) in morsels.iter().enumerate() {
+        let ptr = m.column(0).i64_values().expect("int col").as_ptr();
+        assert_eq!(
+            ptr,
+            unsafe { parent_ptr.add(i * 4096) },
+            "morsel {i} data buffer was copied — split is not zero-copy"
+        );
+    }
+    let split_zero_copy = true;
+    report(
+        &mut cases,
+        "split/36mb_4096",
+        time(iters, || big.split(4096).expect("split").len()),
+    );
+
+    // -- filter: bitmap selection keeping ~half the rows.
+    let selection = Bitmap::from_iter((0..big.rows()).map(|i| i % 7 < 3));
+    report(
+        &mut cases,
+        "filter/bitmap_43pct",
+        time(iters, || big.filter(&selection).expect("filter").rows()),
+    );
+
+    // -- hash_agg: vectorized operator vs row-at-a-time baseline over
+    //    4096-row batches with a single Int64 group key.
+    let agg_rows = if smoke { 32_768 } else { 409_600 };
+    let keyed = df_data::batch::batch_of(vec![
+        (
+            "k",
+            Column::from_i64((0..agg_rows as i64).map(|i| i * 37 % 1024).collect()),
+        ),
+        ("v", Column::from_i64((0..agg_rows as i64).collect())),
+    ]);
+    let batches = keyed.split(4096).expect("split");
+    let schema = keyed.schema().clone();
+    assert_eq!(
+        rowwise_agg(&batches),
+        vectorized_agg(&batches, &schema),
+        "baseline and vectorized aggregation disagree on group count"
+    );
+    let vec_stats = time(iters, || vectorized_agg(&batches, &schema));
+    let row_stats = time(iters, || rowwise_agg(&batches));
+    let agg_speedup = row_stats.min / vec_stats.min;
+    report(&mut cases, "hash_agg/vectorized_int_key", vec_stats);
+    report(&mut cases, "hash_agg/rowwise_baseline", row_stats);
+    println!("hash_agg speedup vs rowwise baseline: {agg_speedup:.2}x");
+
+    // -- parallel: E1's plan, push single-threaded vs morsel-parallel.
+    let plan_rows = if smoke { 20_000 } else { 400_000 };
+    let plan = e1_plan(plan_rows);
+    let single = time(iters, || {
+        execute(&plan, &ExecEnv::in_memory()).expect("push").rows()
+    });
+    let single_min = single.min;
+    report(&mut cases, "parallel/push_1t", single);
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut parallel_speedup = 0.0f64;
+    // Always record 2 workers (even on one core, the overhead is data);
+    // wider fan-outs only where the hardware can actually run them.
+    for threads in [2usize, 4, 8] {
+        if threads > cores.max(2) {
+            break;
+        }
+        let stats = time(iters, || {
+            execute_parallel(&plan, &ExecEnv::in_memory(), threads)
+                .expect("parallel")
+                .rows()
+        });
+        parallel_speedup = parallel_speedup.max(single_min / stats.min);
+        report(&mut cases, &format!("parallel/morsel_{threads}t"), stats);
+    }
+    println!("best morsel-parallel speedup over 1t push: {parallel_speedup:.2}x");
+
+    // -- hand-rolled JSON report.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"hotpath\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"split_zero_copy\": {split_zero_copy},\n"));
+    json.push_str(&format!("  \"split_input_bytes\": {},\n", big.byte_size()));
+    json.push_str(&format!(
+        "  \"hash_agg_speedup_vs_rowwise\": {agg_speedup:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"parallel_best_speedup_vs_1t\": {parallel_speedup:.3},\n"
+    ));
+    json.push_str("  \"cases\": [\n");
+    for (i, case) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_s\": {:.9}, \"min_s\": {:.9}, \"max_s\": {:.9}}}{}\n",
+            json_escape_free(&case.name),
+            case.stats.mean,
+            case.stats.min,
+            case.stats.max,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    if !smoke {
+        assert!(
+            agg_speedup >= 3.0,
+            "vectorized hash aggregation must be >=3x over the row-wise \
+             baseline (got {agg_speedup:.2}x)"
+        );
+    }
+}

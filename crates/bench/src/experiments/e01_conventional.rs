@@ -50,7 +50,7 @@ pub fn run(scale: Scale) -> ExpReport {
             input: Box::new(PhysNode::Filter {
                 input: Box::new(PhysNode::Values {
                     schema: fact.schema().clone(),
-                    batches: fact.split(8192),
+                    batches: fact.split(8192).unwrap(),
                     device: None,
                 }),
                 predicate: col("l_quantity").lt(lit(10)),
@@ -103,8 +103,9 @@ pub fn run(scale: Scale) -> ExpReport {
         push_out.rows().to_string(),
         fmt_util::bytes(input_bytes),
     ]);
+    let thread_word = if threads == 1 { "thread" } else { "threads" };
     report.row(vec![
-        format!("push (morsel-parallel, {threads} threads)"),
+        format!("push (morsel-parallel, {threads} {thread_word})"),
         fmt_util::wall(par_time),
         par_out.rows().to_string(),
         fmt_util::bytes(input_bytes),

@@ -123,7 +123,7 @@ pub fn encode_column(out: &mut Vec<u8>, column: &Column) {
         }
         Column::Float64 { values, validity } => {
             varint::write_u64(out, values.len() as u64);
-            for v in values {
+            for v in values.iter() {
                 out.extend_from_slice(&v.to_le_bytes());
             }
             write_validity(out, validity.as_ref());
@@ -133,11 +133,17 @@ pub fn encode_column(out: &mut Vec<u8>, column: &Column) {
             data,
             validity,
         } => {
+            // A sliced view keeps absolute offsets into a shared (possibly
+            // larger) data buffer; the wire carries only the view's bytes,
+            // with offsets rebased to start at 0.
+            let base = offsets.first().copied().unwrap_or(0);
+            let end = offsets.last().copied().unwrap_or(0);
+            let bytes = &data[base as usize..end as usize];
             // Plain: delta-coded offsets (monotone) + raw bytes.
             let mut plain = Vec::new();
-            let offs: Vec<i64> = offsets.iter().map(|&o| i64::from(o)).collect();
+            let offs: Vec<i64> = offsets.iter().map(|&o| i64::from(o - base)).collect();
             varint::write_bytes(&mut plain, &int::delta_encode(&offs));
-            varint::write_bytes(&mut plain, data);
+            varint::write_bytes(&mut plain, bytes);
             // Dictionary alternative.
             let n = offsets.len().saturating_sub(1);
             let values: Vec<&str> = (0..n)
@@ -175,7 +181,10 @@ pub fn decode_column(buf: &[u8], pos: &mut usize, dtype: DataType) -> Result<Col
             let bytes = varint::read_bytes(buf, pos)?;
             let values = int::decode_tagged(tag, bytes)?;
             let validity = read_validity(buf, pos)?;
-            Ok(Column::Int64 { values, validity })
+            Ok(Column::Int64 {
+                values: values.into(),
+                validity,
+            })
         }
         DataType::Float64 => {
             let n = varint::read_u64(buf, pos)? as usize;
@@ -221,8 +230,8 @@ pub fn decode_column(buf: &[u8], pos: &mut usize, dtype: DataType) -> Result<Col
                     std::str::from_utf8(&data)
                         .map_err(|_| CodecError::Corrupt("utf8 payload".into()))?;
                     Column::Utf8 {
-                        offsets,
-                        data,
+                        offsets: offsets.into(),
+                        data: data.into(),
                         validity: None,
                     }
                 }

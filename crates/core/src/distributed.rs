@@ -263,7 +263,8 @@ pub fn distributed_broadcast_join(
 fn split_round_robin(batch: &Batch, nodes: usize) -> Vec<Vec<Batch>> {
     let mut parts: Vec<Vec<Batch>> = vec![Vec::new(); nodes];
     let chunk = (batch.rows() / (nodes * 4)).max(1);
-    for (i, piece) in batch.split(chunk).into_iter().enumerate() {
+    let pieces = batch.split(chunk).expect("chunk is at least 1");
+    for (i, piece) in pieces.into_iter().enumerate() {
         parts[i % nodes].push(piece);
     }
     parts

@@ -12,8 +12,7 @@
 //! (StorageScan|Values)`. Other shapes return `Unsupported`, and callers
 //! fall back to the sequential executor.
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use df_data::{Batch, SchemaRef};
 use df_sim::trace::LaneKind;
@@ -31,23 +30,25 @@ pub const MORSEL_ROWS: usize = 4096;
 
 /// A shared pool of morsels that worker threads pull from. The source is
 /// already materialized when workers start, so pre-splitting it costs no
-/// extra memory beyond the queue of (cheap, column-sharing) batch handles.
+/// extra memory beyond the vector of (zero-copy, buffer-sharing) batch
+/// views. Claiming a morsel is one uncontended `fetch_add` on the cursor —
+/// no mutex, no per-pop deque bookkeeping.
 struct MorselQueue {
-    morsels: Mutex<VecDeque<Batch>>,
+    morsels: Vec<Batch>,
+    cursor: AtomicUsize,
 }
 
 impl MorselQueue {
-    fn new(morsels: VecDeque<Batch>) -> MorselQueue {
+    fn new(morsels: Vec<Batch>) -> MorselQueue {
         MorselQueue {
-            morsels: Mutex::new(morsels),
+            morsels,
+            cursor: AtomicUsize::new(0),
         }
     }
 
     fn pop(&self) -> Option<Batch> {
-        self.morsels
-            .lock()
-            .expect("morsel queue poisoned")
-            .pop_front()
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        self.morsels.get(i).cloned()
     }
 }
 
@@ -207,9 +208,18 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
     let queue = MorselQueue::new(
         source
             .iter()
-            .flat_map(|batch| batch.split(MORSEL_ROWS))
+            .flat_map(|batch| batch.split(MORSEL_ROWS).expect("MORSEL_ROWS > 0"))
             .collect(),
     );
+    // With no aggregate between the pipeline and a `Limit`, workers can stop
+    // claiming morsels once enough output rows exist globally; the final
+    // `LimitOp` pass still trims to exactly `n`.
+    let early_stop_at: Option<u64> = if shape.agg.is_none() {
+        shape.limit
+    } else {
+        None
+    };
+    let rows_emitted = AtomicU64::new(0);
     // Lanes are created up front in worker order so lane creation is
     // deterministic even though workers race.
     let worker_trace: Vec<_> = (0..threads)
@@ -226,6 +236,7 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
         let mut handles = Vec::with_capacity(threads);
         for trace in worker_trace {
             let queue = &queue;
+            let rows_emitted = &rows_emitted;
             let stages = shape.stages.clone();
             let agg = shape.agg.clone();
             let leaf_schema = leaf_schema.clone();
@@ -244,8 +255,19 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
                     )?),
                     None => None,
                 };
+                let mut worker_span = trace.as_ref().map(|(t, lane)| t.span(*lane, "worker"));
+                let mut morsels_claimed = 0u64;
+                let mut rows_seen = 0u64;
                 let mut collected = Vec::new();
-                while let Some(batch) = queue.pop() {
+                loop {
+                    if let Some(n) = early_stop_at {
+                        if rows_emitted.load(Ordering::Relaxed) >= n {
+                            break;
+                        }
+                    }
+                    let Some(batch) = queue.pop() else { break };
+                    morsels_claimed += 1;
+                    rows_seen += batch.rows() as u64;
                     let _morsel = trace.as_ref().map(|(t, lane)| {
                         t.span_with(
                             *lane,
@@ -258,6 +280,9 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
                     });
                     let outs = run_chain(&mut ops, batch)?;
                     for out in outs {
+                        if early_stop_at.is_some() {
+                            rows_emitted.fetch_add(out.rows() as u64, Ordering::Relaxed);
+                        }
                         match partial.as_mut() {
                             Some(agg) => collected.extend(agg.push(out)?),
                             None => collected.push(out),
@@ -274,6 +299,12 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
                 }
                 if let Some(agg) = partial.as_mut() {
                     collected.extend(agg.finish()?);
+                }
+                // Close the worker span with its share of the scan, so the
+                // wall trace shows how morsels spread across workers.
+                if let Some(span) = worker_span.as_mut() {
+                    span.annotate("morsels", morsels_claimed);
+                    span.annotate("rows_in", rows_seen);
                 }
                 Ok(collected)
             }));
@@ -447,6 +478,73 @@ mod tests {
         );
         let par = execute_parallel(&plan, &ExecEnv::in_memory(), 4).unwrap();
         assert_eq!(par.rows(), 17);
+    }
+
+    #[test]
+    fn morsel_queue_hands_out_each_morsel_exactly_once() {
+        let batch = sample(MORSEL_ROWS * 8);
+        let queue = MorselQueue::new(batch.split(MORSEL_ROWS).unwrap());
+        let counts: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        let mut n = 0;
+                        while queue.pop().is_some() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn limit_early_stop_still_returns_exact_rows() {
+        // Many morsels, tiny limit: workers stop claiming once the shared
+        // row count covers the limit, and the final trim is exact.
+        let plan = PhysicalPlan::new(
+            PhysNode::Limit {
+                input: Box::new(PhysNode::Filter {
+                    input: Box::new(values(MORSEL_ROWS * 50)),
+                    predicate: col("v").lt(lit(50.0)),
+                    device: None,
+                    use_kernel: false,
+                }),
+                n: 5,
+            },
+            "p",
+        );
+        let par = execute_parallel(&plan, &ExecEnv::in_memory(), 4).unwrap();
+        assert_eq!(par.rows(), 5);
+    }
+
+    #[test]
+    fn worker_spans_record_morsel_counts() {
+        let tracer = std::sync::Arc::new(df_sim::Tracer::new());
+        let mut env = ExecEnv::in_memory();
+        env.tracer = Some(tracer.clone());
+        let plan = agg_plan(MORSEL_ROWS * 3);
+        execute_parallel(&plan, &env, 2).unwrap();
+        let lanes = tracer.lane_names();
+        assert!(
+            lanes.iter().any(|l| l == "exec.worker0"),
+            "lanes: {lanes:?}"
+        );
+        assert!(
+            lanes.iter().any(|l| l == "exec.worker1"),
+            "lanes: {lanes:?}"
+        );
+        // Worker summary spans carry the per-worker share of the scan.
+        let json = tracer.chrome_trace_json();
+        assert!(
+            json.contains("\"morsels\""),
+            "worker spans should be annotated with morsel counts"
+        );
+        assert!(json.contains("\"rows_in\""));
     }
 
     #[test]

@@ -367,7 +367,7 @@ mod tests {
         let batch = sample(n);
         let schema = batch.schema().clone();
         PhysNode::Values {
-            batches: batch.split(37),
+            batches: batch.split(37).unwrap(),
             schema,
             device: None,
         }
@@ -509,7 +509,7 @@ mod tests {
                 }),
                 probe: Box::new(PhysNode::Values {
                     schema: probe.schema().clone(),
-                    batches: probe.split(7),
+                    batches: probe.split(7).unwrap(),
                     device: None,
                 }),
                 on: vec![("gname".into(), "grp".into())],

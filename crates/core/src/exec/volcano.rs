@@ -660,7 +660,7 @@ mod tests {
         let b = sample(n);
         PhysNode::Values {
             schema: b.schema().clone(),
-            batches: b.split(13),
+            batches: b.split(13).unwrap(),
             device: None,
         }
     }

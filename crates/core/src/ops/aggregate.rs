@@ -7,10 +7,22 @@
 //! bounded table, and the last stage runs `Merge`. `AVG` decomposes into
 //! sum+count partials, which is why partial output schemas differ from
 //! final ones (see [`partial_schema`]).
+//!
+//! The group table is vectorized: group hashes are computed column-at-a-time
+//! into a scratch buffer reused across pushes, encoded key bytes live in one
+//! arena (not a `Vec<u8>` per row), and accumulators sit in a flat strided
+//! vector. A single fixed-width `Int64` group key bypasses key encoding
+//! entirely and probes an `i64 → group` index directly. Steady-state `push`
+//! (all groups already present) performs no per-row heap allocation.
+//!
+//! Output order is unchanged from the scalar implementation: `drain` sorts
+//! groups by their encoded key bytes, so results stay bit-identical across
+//! the scalar, vectorized, and fast-path code.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
-use df_data::{Batch, Column, ColumnBuilder, DataType, Field, Scalar, Schema, SchemaRef};
+use df_data::{Batch, Column, ColumnBuilder, DataType, Field, Scalar, Schema, SchemaRef, ValueRef};
 
 use crate::error::{EngineError, Result};
 use crate::logical::{AggCall, AggFn};
@@ -87,6 +99,268 @@ pub fn partial_schema(group_by: &[String], aggs: &[AggCall], input: &Schema) -> 
     Ok(Schema::new(fields))
 }
 
+// ------------------------------------------------------------ hashing
+
+// FxHash-style mixing: fast, deterministic, and dependency-free. The group
+// table resolves equality on key *bytes*, so hash collisions only cost a
+// chain walk, never correctness.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const HASH_INIT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(FX_SEED)
+}
+
+fn hash_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = mix(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = mix(h, u64::from_le_bytes(buf));
+    }
+    mix(h, bytes.len() as u64)
+}
+
+/// Mix one group column into the per-row hash lane, column-at-a-time.
+///
+/// The mixed-in values mirror the key-byte encoding (tag, then payload), so
+/// rows with equal key bytes always land in the same hash bucket.
+fn hash_column(col: &Column, hashes: &mut [u64]) {
+    match col {
+        Column::Int64 { values, validity } => match validity {
+            None => {
+                for (h, &v) in hashes.iter_mut().zip(values.iter()) {
+                    *h = mix(mix(*h, 1), v as u64);
+                }
+            }
+            Some(valid) => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    *h = if valid.get(i) {
+                        mix(mix(*h, 1), values[i] as u64)
+                    } else {
+                        mix(*h, 0)
+                    };
+                }
+            }
+        },
+        Column::Float64 { values, validity } => match validity {
+            None => {
+                for (h, &v) in hashes.iter_mut().zip(values.iter()) {
+                    *h = mix(mix(*h, 2), v.to_bits());
+                }
+            }
+            Some(valid) => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    *h = if valid.get(i) {
+                        mix(mix(*h, 2), values[i].to_bits())
+                    } else {
+                        mix(*h, 0)
+                    };
+                }
+            }
+        },
+        Column::Utf8 { .. } => {
+            for (i, h) in hashes.iter_mut().enumerate() {
+                *h = if col.is_null(i) {
+                    mix(*h, 0)
+                } else {
+                    hash_bytes(mix(*h, 3), col.str_at(i).as_bytes())
+                };
+            }
+        }
+        Column::Bool { values, validity } => {
+            for (i, h) in hashes.iter_mut().enumerate() {
+                let null = validity.as_ref().is_some_and(|v| !v.get(i));
+                *h = if null {
+                    mix(*h, 0)
+                } else {
+                    mix(mix(*h, 4), values.get(i) as u64)
+                };
+            }
+        }
+    }
+}
+
+/// The hasher used for the group-index maps themselves (`u64 → group`,
+/// `i64 → group`). Integer writes take the single-multiply path.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        self.hash = hash_bytes(self.hash, bytes);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.hash = mix(self.hash, v);
+    }
+    fn write_i64(&mut self, v: i64) {
+        self.hash = mix(self.hash, v as u64);
+    }
+}
+
+type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+// ------------------------------------------------------------ key encoding
+
+/// Append the key-byte encoding of one row value. Byte-compatible with the
+/// original per-row `key_bytes(&[Scalar])` encoding: drain sorts groups by
+/// these bytes, so keeping the encoding stable keeps output order stable.
+fn encode_key_value(key: &mut Vec<u8>, col: &Column, row: usize) {
+    match col.value_at(row) {
+        ValueRef::Null => key.push(0),
+        ValueRef::Int(v) => {
+            key.push(1);
+            key.extend_from_slice(&v.to_le_bytes());
+        }
+        ValueRef::Float(v) => {
+            key.push(2);
+            key.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        ValueRef::Str(s) => {
+            key.push(3);
+            key.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            key.extend_from_slice(s.as_bytes());
+        }
+        ValueRef::Bool(v) => key.extend_from_slice(&[4, v as u8]),
+    }
+}
+
+/// Decode one scalar from encoded key bytes; returns the value and how many
+/// bytes it consumed.
+fn decode_key_scalar(bytes: &[u8]) -> (Scalar, usize) {
+    match bytes[0] {
+        0 => (Scalar::Null, 1),
+        1 => {
+            let v = i64::from_le_bytes(bytes[1..9].try_into().expect("int key payload"));
+            (Scalar::Int(v), 9)
+        }
+        2 => {
+            let v = u64::from_le_bytes(bytes[1..9].try_into().expect("float key payload"));
+            (Scalar::Float(f64::from_bits(v)), 9)
+        }
+        3 => {
+            let len = u32::from_le_bytes(bytes[1..5].try_into().expect("str key len")) as usize;
+            let s = std::str::from_utf8(&bytes[5..5 + len]).expect("key arena holds valid utf8");
+            (Scalar::Str(s.to_string()), 5 + len)
+        }
+        4 => (Scalar::Bool(bytes[1] != 0), 2),
+        other => unreachable!("bad key tag {other}"),
+    }
+}
+
+// ------------------------------------------------------------ group table
+
+const NO_GROUP: u32 = u32::MAX;
+
+/// The vectorized group index: an arena of encoded key bytes, a `hash →
+/// chain head` map for the generic path, and a direct `i64 → group` map for
+/// the single fixed-width key fast path. Group ids are dense `0..len`.
+struct GroupTable {
+    /// hash → first group id with that hash (generic path).
+    by_hash: HashMap<u64, u32, FxBuildHasher>,
+    /// Per-group: next group id sharing the same hash, or `NO_GROUP`.
+    chain: Vec<u32>,
+    /// Arena of encoded key bytes for all groups, back to back.
+    key_data: Vec<u8>,
+    /// Per-group `(start, len)` into `key_data`.
+    key_spans: Vec<(u32, u32)>,
+    /// value → group id (single-Int64-key fast path).
+    int_index: HashMap<i64, u32, FxBuildHasher>,
+    /// Group id of the NULL key in the fast path, or `NO_GROUP`.
+    int_null: u32,
+}
+
+impl GroupTable {
+    fn new() -> GroupTable {
+        GroupTable {
+            by_hash: HashMap::default(),
+            chain: Vec::new(),
+            key_data: Vec::new(),
+            key_spans: Vec::new(),
+            int_index: HashMap::default(),
+            int_null: NO_GROUP,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.key_spans.len()
+    }
+
+    /// The encoded key bytes of group `gi`.
+    fn key(&self, gi: u32) -> &[u8] {
+        let (start, len) = self.key_spans[gi as usize];
+        &self.key_data[start as usize..(start + len) as usize]
+    }
+
+    fn find(&self, hash: u64, key: &[u8]) -> Option<u32> {
+        let mut gi = self.by_hash.get(&hash).copied().unwrap_or(NO_GROUP);
+        while gi != NO_GROUP {
+            if self.key(gi) == key {
+                return Some(gi);
+            }
+            gi = self.chain[gi as usize];
+        }
+        None
+    }
+
+    fn insert(&mut self, hash: u64, key: &[u8]) -> u32 {
+        let gi = self.key_spans.len() as u32;
+        self.key_spans
+            .push((self.key_data.len() as u32, key.len() as u32));
+        self.key_data.extend_from_slice(key);
+        let head = self.by_hash.insert(hash, gi).unwrap_or(NO_GROUP);
+        self.chain.push(head);
+        gi
+    }
+
+    fn find_int(&self, value: Option<i64>) -> Option<u32> {
+        let gi = match value {
+            Some(v) => self.int_index.get(&v).copied().unwrap_or(NO_GROUP),
+            None => self.int_null,
+        };
+        (gi != NO_GROUP).then_some(gi)
+    }
+
+    fn insert_int(&mut self, value: Option<i64>) -> u32 {
+        let gi = self.key_spans.len() as u32;
+        let start = self.key_data.len() as u32;
+        match value {
+            Some(v) => {
+                self.key_data.push(1);
+                self.key_data.extend_from_slice(&v.to_le_bytes());
+                self.key_spans.push((start, 9));
+                self.int_index.insert(v, gi);
+            }
+            None => {
+                self.key_data.push(0);
+                self.key_spans.push((start, 1));
+                self.int_null = gi;
+            }
+        }
+        self.chain.push(NO_GROUP);
+        gi
+    }
+
+    fn clear(&mut self) {
+        self.by_hash.clear();
+        self.chain.clear();
+        self.key_data.clear();
+        self.key_spans.clear();
+        self.int_index.clear();
+        self.int_null = NO_GROUP;
+    }
+}
+
 /// The hash aggregation operator.
 pub struct HashAggOp {
     group_by: Vec<String>,
@@ -94,9 +368,17 @@ pub struct HashAggOp {
     mode: AggMode,
     /// Output schema: partial layout for `Partial`, final for others.
     out_schema: SchemaRef,
-    /// Sum column type per call (for final sum typing).
-    sum_is_float: Vec<bool>,
-    groups: HashMap<Vec<u8>, (Vec<Scalar>, Vec<Acc>)>,
+    table: GroupTable,
+    /// One slot per (group, call): `accs[gi * aggs.len() + call]`.
+    accs: Vec<Acc>,
+    /// Identity accumulators, cloned per new group.
+    acc_template: Vec<Acc>,
+    /// Whether the group key is a single non-encoded Int64 (fast path).
+    single_int_key: bool,
+    /// Per-row group hashes, reused across pushes.
+    scratch_hashes: Vec<u64>,
+    /// Row key encoding buffer, reused across rows and pushes.
+    scratch_key: Vec<u8>,
     flushes: u64,
 }
 
@@ -134,30 +416,23 @@ impl HashAggOp {
             sum_is_float.push(is_float);
             partial_col += if agg.func == AggFn::Avg { 2 } else { 1 };
         }
+        let single_int_key = group_by.len() == 1
+            && match mode {
+                AggMode::Partial { .. } | AggMode::Final => {
+                    raw_input.field_by_name(&group_by[0])?.dtype == DataType::Int64
+                }
+                // Partial layout is positional: the key is column 0.
+                AggMode::Merge => {
+                    !raw_input.is_empty() && raw_input.field(0).dtype == DataType::Int64
+                }
+            };
         let out_schema = match mode {
             AggMode::Partial { .. } => partial_schema(&group_by, &aggs, &raw_input)?.into_ref(),
             AggMode::Final | AggMode::Merge => final_schema,
         };
-        Ok(HashAggOp {
-            group_by,
-            aggs,
-            mode,
-            out_schema,
-            sum_is_float,
-            groups: HashMap::new(),
-            flushes: 0,
-        })
-    }
-
-    /// Number of bounded-state flushes that occurred (Partial mode).
-    pub fn flush_count(&self) -> u64 {
-        self.flushes
-    }
-
-    fn fresh_accs(&self) -> Vec<Acc> {
-        self.aggs
+        let acc_template = aggs
             .iter()
-            .zip(&self.sum_is_float)
+            .zip(&sum_is_float)
             .map(|(agg, &is_float)| match agg.func {
                 AggFn::Count => Acc::Count(0),
                 AggFn::Sum if is_float => Acc::SumFloat {
@@ -178,31 +453,42 @@ impl HashAggOp {
                 },
                 AggFn::Avg => Acc::Avg { sum: 0.0, count: 0 },
             })
-            .collect()
+            .collect();
+        Ok(HashAggOp {
+            group_by,
+            aggs,
+            mode,
+            out_schema,
+            table: GroupTable::new(),
+            accs: Vec::new(),
+            acc_template,
+            single_int_key,
+            scratch_hashes: Vec::new(),
+            scratch_key: Vec::new(),
+            flushes: 0,
+        })
     }
 
-    fn key_bytes(scalars: &[Scalar]) -> Vec<u8> {
-        let mut key = Vec::with_capacity(scalars.len() * 9);
-        for s in scalars {
-            match s {
-                Scalar::Null => key.push(0),
-                Scalar::Int(v) => {
-                    key.push(1);
-                    key.extend_from_slice(&v.to_le_bytes());
-                }
-                Scalar::Float(v) => {
-                    key.push(2);
-                    key.extend_from_slice(&v.to_bits().to_le_bytes());
-                }
-                Scalar::Str(v) => {
-                    key.push(3);
-                    key.extend_from_slice(&(v.len() as u32).to_le_bytes());
-                    key.extend_from_slice(v.as_bytes());
-                }
-                Scalar::Bool(v) => key.extend_from_slice(&[4, *v as u8]),
+    /// Number of bounded-state flushes that occurred (Partial mode).
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Flush the table downstream if Partial mode is at its bound. Called
+    /// *before* inserting a new group, preserving the original operator's
+    /// drain-then-insert discipline.
+    fn maybe_flush(&mut self, flushed: &mut Option<Batch>) -> Result<()> {
+        if let AggMode::Partial { max_groups } = self.mode {
+            if self.table.len() >= max_groups {
+                let batch = self.drain()?;
+                self.flushes += 1;
+                *flushed = Some(match flushed.take() {
+                    None => batch,
+                    Some(prev) => Batch::concat(&[prev, batch])?,
+                });
             }
         }
-        key
+        Ok(())
     }
 
     fn consume_raw(&mut self, batch: &Batch) -> Result<Option<Batch>> {
@@ -219,34 +505,60 @@ impl HashAggOp {
                 None => Ok(None),
             })
             .collect::<Result<Vec<_>>>()?;
+        let rows = batch.rows();
         let mut flushed: Option<Batch> = None;
-        for row in 0..batch.rows() {
-            let key_scalars: Vec<Scalar> = group_cols.iter().map(|c| c.scalar_at(row)).collect();
-            let key = Self::key_bytes(&key_scalars);
-            if let AggMode::Partial { max_groups } = self.mode {
-                if !self.groups.contains_key(&key) && self.groups.len() >= max_groups {
-                    let batch = self.drain()?;
-                    self.flushes += 1;
-                    flushed = Some(match flushed {
-                        None => batch,
-                        Some(prev) => Batch::concat(&[prev, batch])?,
-                    });
-                }
-            }
-            let fresh = self.fresh_accs();
-            let entry = self
-                .groups
-                .entry(key)
-                .or_insert_with(|| (key_scalars, fresh));
-            for ((acc, agg), col) in entry.1.iter_mut().zip(self.aggs.iter()).zip(&agg_cols) {
-                let value = match col {
-                    Some(c) => c.scalar_at(row),
-                    None => Scalar::Int(1), // COUNT(*): every row counts
+
+        if self.single_int_key {
+            let col = group_cols[0];
+            let values = col.i64_values().map_err(EngineError::from)?;
+            for (row, &v) in values.iter().enumerate() {
+                let key = (!col.is_null(row)).then_some(v);
+                let gi = match self.table.find_int(key) {
+                    Some(gi) => gi,
+                    None => {
+                        self.maybe_flush(&mut flushed)?;
+                        self.accs.extend_from_slice(&self.acc_template);
+                        self.table.insert_int(key)
+                    }
                 };
-                update_raw(acc, agg.func, &value);
+                self.update_group(gi, row, &agg_cols);
             }
+            return Ok(flushed);
+        }
+
+        self.scratch_hashes.clear();
+        self.scratch_hashes.resize(rows, HASH_INIT);
+        for col in &group_cols {
+            hash_column(col, &mut self.scratch_hashes);
+        }
+        for row in 0..rows {
+            self.scratch_key.clear();
+            for col in &group_cols {
+                encode_key_value(&mut self.scratch_key, col, row);
+            }
+            let hash = self.scratch_hashes[row];
+            let gi = match self.table.find(hash, &self.scratch_key) {
+                Some(gi) => gi,
+                None => {
+                    self.maybe_flush(&mut flushed)?;
+                    self.accs.extend_from_slice(&self.acc_template);
+                    self.table.insert(hash, &self.scratch_key)
+                }
+            };
+            self.update_group(gi, row, &agg_cols);
         }
         Ok(flushed)
+    }
+
+    fn update_group(&mut self, gi: u32, row: usize, agg_cols: &[Option<&Column>]) {
+        let base = gi as usize * self.aggs.len();
+        for (i, col) in agg_cols.iter().enumerate() {
+            let value = match col {
+                Some(c) => c.value_at(row),
+                None => ValueRef::Int(1), // COUNT(*): every row counts
+            };
+            update_raw(&mut self.accs[base + i], self.aggs[i].func, value);
+        }
     }
 
     fn consume_partial(&mut self, batch: &Batch) -> Result<()> {
@@ -273,43 +585,92 @@ impl HashAggOp {
                 batch.schema().len()
             )));
         }
-        for row in 0..batch.rows() {
-            let key_scalars: Vec<Scalar> = (0..ngroups)
-                .map(|c| batch.column(c).scalar_at(row))
-                .collect();
-            let key = Self::key_bytes(&key_scalars);
-            let fresh = self.fresh_accs();
-            let entry = self
-                .groups
-                .entry(key)
-                .or_insert_with(|| (key_scalars, fresh));
-            for ((acc, _agg), (c0, c1)) in entry.1.iter_mut().zip(self.aggs.iter()).zip(&call_cols)
-            {
-                let v0 = batch.column(*c0).scalar_at(row);
-                let v1 = c1.map(|c| batch.column(c).scalar_at(row));
-                merge_partial(acc, &v0, v1.as_ref());
+        let rows = batch.rows();
+
+        if self.single_int_key {
+            let col = batch.column(0);
+            let values = col.i64_values().map_err(EngineError::from)?;
+            for (row, &v) in values.iter().enumerate() {
+                let key = (!col.is_null(row)).then_some(v);
+                let gi = match self.table.find_int(key) {
+                    Some(gi) => gi,
+                    None => {
+                        self.accs.extend_from_slice(&self.acc_template);
+                        self.table.insert_int(key)
+                    }
+                };
+                self.merge_group(gi, row, batch, &call_cols);
             }
+            return Ok(());
+        }
+
+        self.scratch_hashes.clear();
+        self.scratch_hashes.resize(rows, HASH_INIT);
+        for c in 0..ngroups {
+            hash_column(batch.column(c), &mut self.scratch_hashes);
+        }
+        for row in 0..rows {
+            self.scratch_key.clear();
+            for c in 0..ngroups {
+                encode_key_value(&mut self.scratch_key, batch.column(c), row);
+            }
+            let hash = self.scratch_hashes[row];
+            let gi = match self.table.find(hash, &self.scratch_key) {
+                Some(gi) => gi,
+                None => {
+                    self.accs.extend_from_slice(&self.acc_template);
+                    self.table.insert(hash, &self.scratch_key)
+                }
+            };
+            self.merge_group(gi, row, batch, &call_cols);
         }
         Ok(())
     }
 
+    fn merge_group(
+        &mut self,
+        gi: u32,
+        row: usize,
+        batch: &Batch,
+        call_cols: &[(usize, Option<usize>)],
+    ) {
+        let base = gi as usize * self.aggs.len();
+        for (i, (c0, c1)) in call_cols.iter().enumerate() {
+            let v0 = batch.column(*c0).value_at(row);
+            let v1 = c1.map(|c| batch.column(c).value_at(row));
+            merge_partial(&mut self.accs[base + i], v0, v1);
+        }
+    }
+
     fn drain(&mut self) -> Result<Batch> {
-        let mut entries: Vec<_> = std::mem::take(&mut self.groups).into_iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let ngroups_out = self.table.len();
+        let mut order: Vec<u32> = (0..ngroups_out as u32).collect();
+        // Sort by encoded key bytes — the same comparator as the original
+        // `Vec<u8>`-keyed map drain, so output order is unchanged.
+        {
+            let table = &self.table;
+            order.sort_unstable_by(|&a, &b| table.key(a).cmp(table.key(b)));
+        }
         let emit_partial = matches!(self.mode, AggMode::Partial { .. });
         let mut builders: Vec<ColumnBuilder> = self
             .out_schema
             .fields()
             .iter()
-            .map(|f| ColumnBuilder::new(f.dtype, entries.len()))
+            .map(|f| ColumnBuilder::new(f.dtype, ngroups_out))
             .collect();
-        for (_, (scalars, accs)) in entries {
-            let mut b = 0usize;
-            for s in &scalars {
-                builders[b].push(s.clone())?;
-                b += 1;
+        let stride = self.aggs.len();
+        let nkeys = self.group_by.len();
+        for &gi in &order {
+            let key = self.table.key(gi);
+            let mut p = 0usize;
+            for builder in builders.iter_mut().take(nkeys) {
+                let (scalar, used) = decode_key_scalar(&key[p..]);
+                builder.push(scalar)?;
+                p += used;
             }
-            for acc in &accs {
+            let mut b = nkeys;
+            let base = gi as usize * stride;
+            for acc in &self.accs[base..base + stride] {
                 if emit_partial {
                     match acc {
                         Acc::Avg { sum, count } => {
@@ -328,12 +689,14 @@ impl HashAggOp {
                 }
             }
         }
+        self.table.clear();
+        self.accs.clear();
         let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
         Batch::new(self.out_schema.clone(), columns).map_err(EngineError::from)
     }
 }
 
-fn update_raw(acc: &mut Acc, func: AggFn, value: &Scalar) {
+fn update_raw(acc: &mut Acc, func: AggFn, value: ValueRef<'_>) {
     match acc {
         Acc::Count(n) => {
             if !value.is_null() {
@@ -359,13 +722,13 @@ fn update_raw(acc: &mut Acc, func: AggFn, value: &Scalar) {
             let better = match current {
                 None => true,
                 Some(c) => {
-                    let ord = value.total_cmp(c);
+                    let ord = value.total_cmp_scalar(c);
                     (*is_min && ord == std::cmp::Ordering::Less)
                         || (!*is_min && ord == std::cmp::Ordering::Greater)
                 }
             };
             if better {
-                *current = Some(value.clone());
+                *current = Some(value.to_scalar());
             }
         }
         Acc::Avg { sum, count } => {
@@ -386,7 +749,7 @@ fn update_raw(acc: &mut Acc, func: AggFn, value: &Scalar) {
     ));
 }
 
-fn merge_partial(acc: &mut Acc, v0: &Scalar, v1: Option<&Scalar>) {
+fn merge_partial(acc: &mut Acc, v0: ValueRef<'_>, v1: Option<ValueRef<'_>>) {
     match acc {
         Acc::Count(n) => {
             if let Some(c) = v0.as_int() {
@@ -412,20 +775,20 @@ fn merge_partial(acc: &mut Acc, v0: &Scalar, v1: Option<&Scalar>) {
             let better = match current {
                 None => true,
                 Some(c) => {
-                    let ord = v0.total_cmp(c);
+                    let ord = v0.total_cmp_scalar(c);
                     (*is_min && ord == std::cmp::Ordering::Less)
                         || (!*is_min && ord == std::cmp::Ordering::Greater)
                 }
             };
             if better {
-                *current = Some(v0.clone());
+                *current = Some(v0.to_scalar());
             }
         }
         Acc::Avg { sum, count } => {
             if let Some(s) = v0.as_float_lossy() {
                 *sum += s;
             }
-            if let Some(c) = v1.and_then(Scalar::as_int) {
+            if let Some(c) = v1.and_then(|v| v.as_int()) {
                 *count += c;
             }
         }
@@ -491,7 +854,7 @@ impl Operator for HashAggOp {
                 .collect();
             let emit_partial = matches!(self.mode, AggMode::Partial { .. });
             let mut b = 0usize;
-            for acc in self.fresh_accs() {
+            for acc in self.acc_template.clone() {
                 if emit_partial {
                     if let Acc::Avg { .. } = acc {
                         builders[b].push(Scalar::Float(0.0))?;
@@ -593,7 +956,7 @@ mod tests {
         )
         .unwrap();
         let mut partials = Vec::new();
-        for chunk in batch.split(2) {
+        for chunk in batch.split(2).unwrap() {
             partials.extend(partial.push(chunk).unwrap());
         }
         partials.extend(partial.finish().unwrap());
@@ -705,5 +1068,112 @@ mod tests {
         // NULL group sums 10 + 30.
         let null_row = (0..2).find(|&r| out.row(r)[0].is_null()).unwrap();
         assert_eq!(out.row(null_row)[1], Scalar::Int(40));
+    }
+
+    #[test]
+    fn int_fast_path_matches_generic_path() {
+        // Same grouping computed through the Int64 fast path (group by one
+        // int column) and the generic encoded-key path (int + constant bool
+        // column) must agree on every aggregate value.
+        let keys: Vec<i64> = (0..500).map(|i| i * 37 % 11).collect();
+        let vals: Vec<i64> = (0..500).collect();
+        let fast_in = batch_of(vec![
+            ("k", Column::from_i64(keys.clone())),
+            ("v", Column::from_i64(vals.clone())),
+        ]);
+        let generic_in = batch_of(vec![
+            ("k", Column::from_i64(keys)),
+            ("b", Column::from_bools(&vec![true; 500])),
+            ("v", Column::from_i64(vals)),
+        ]);
+        let run = |batch: Batch, group_by: Vec<String>| {
+            let schema = crate::logical::LogicalPlan::values(vec![batch.clone()])
+                .unwrap()
+                .aggregate(group_by.clone(), vec![AggCall::new(AggFn::Sum, "v", "s")])
+                .unwrap()
+                .schema();
+            let mut op = HashAggOp::new(
+                group_by,
+                vec![AggCall::new(AggFn::Sum, "v", "s")],
+                AggMode::Final,
+                batch.schema(),
+                schema,
+            )
+            .unwrap();
+            op.push(batch).unwrap();
+            Batch::concat(&op.finish().unwrap()).unwrap()
+        };
+        let fast = run(fast_in, vec!["k".into()]);
+        let generic = run(generic_in, vec!["k".into(), "b".into()]);
+        assert_eq!(fast.rows(), 11);
+        assert_eq!(generic.rows(), 11);
+        for r in 0..11 {
+            // Key order is identical (int keys sort by LE bytes in both).
+            assert_eq!(fast.row(r)[0], generic.row(r)[0]);
+            assert_eq!(fast.row(r)[1], generic.row(r)[2]);
+        }
+    }
+
+    #[test]
+    fn int_key_partial_flush_preserves_totals() {
+        let batch = batch_of(vec![
+            ("k", Column::from_i64((0..100).map(|i| i % 10).collect())),
+            ("v", Column::from_i64(vec![1; 100])),
+        ]);
+        let schema = crate::logical::LogicalPlan::values(vec![batch.clone()])
+            .unwrap()
+            .aggregate(vec!["k".into()], vec![AggCall::new(AggFn::Sum, "v", "s")])
+            .unwrap()
+            .schema();
+        let mut partial = HashAggOp::new(
+            vec!["k".into()],
+            vec![AggCall::new(AggFn::Sum, "v", "s")],
+            AggMode::Partial { max_groups: 3 },
+            batch.schema(),
+            schema.clone(),
+        )
+        .unwrap();
+        let mut partials = Vec::new();
+        for chunk in batch.split(7).unwrap() {
+            partials.extend(partial.push(chunk).unwrap());
+        }
+        partials.extend(partial.finish().unwrap());
+        assert!(partial.flush_count() > 0);
+        let partial_schema_ref = partial.schema();
+        let mut merge = HashAggOp::new(
+            vec!["k".into()],
+            vec![AggCall::new(AggFn::Sum, "v", "s")],
+            AggMode::Merge,
+            &partial_schema_ref,
+            schema,
+        )
+        .unwrap();
+        for p in partials {
+            merge.push(p).unwrap();
+        }
+        let out = Batch::concat(&merge.finish().unwrap()).unwrap();
+        assert_eq!(out.rows(), 10);
+        for r in 0..10 {
+            assert_eq!(out.row(r)[1], Scalar::Int(10)); // 100 rows / 10 keys
+        }
+    }
+
+    #[test]
+    fn key_codec_round_trips_every_type() {
+        let cols = [
+            Column::from_opt_i64(&[Some(-5), None]),
+            Column::from_f64(vec![2.5, -0.0]),
+            Column::from_strs(&["", "héllo"]),
+            Column::from_bools(&[true, false]),
+        ];
+        for col in &cols {
+            for row in 0..col.len() {
+                let mut key = Vec::new();
+                encode_key_value(&mut key, col, row);
+                let (scalar, used) = decode_key_scalar(&key);
+                assert_eq!(used, key.len());
+                assert_eq!(scalar, col.scalar_at(row));
+            }
+        }
     }
 }

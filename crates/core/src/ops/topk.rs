@@ -107,7 +107,7 @@ mod tests {
 
     fn run_topk(batch: Batch, keys: Vec<(String, bool)>, k: u64) -> Batch {
         let mut op = TopKOp::new(keys, k, batch.schema().clone());
-        for chunk in batch.split(17) {
+        for chunk in batch.split(17).unwrap() {
             assert!(op.push(chunk).unwrap().is_empty());
         }
         let out = op.finish().unwrap();
@@ -145,7 +145,7 @@ mod tests {
         let batch = sample(10_000);
         let mut op = TopKOp::new(vec![("v".to_string(), true)], 5, batch.schema().clone());
         let mut max_state = 0usize;
-        for chunk in batch.split(256) {
+        for chunk in batch.split(256).unwrap() {
             op.push(chunk).unwrap();
             max_state = max_state.max(op.state_bytes());
         }

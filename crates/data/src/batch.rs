@@ -162,21 +162,32 @@ impl Batch {
     }
 
     /// Split into chunks of at most `chunk_rows` rows — the morsel source.
-    pub fn split(&self, chunk_rows: usize) -> Vec<Batch> {
-        assert!(chunk_rows > 0, "chunk_rows must be positive");
-        let mut out = Vec::with_capacity(self.rows.div_ceil(chunk_rows.max(1)));
+    ///
+    /// Each chunk is a zero-copy view sharing the parent's buffers, so a
+    /// morsel is a handle, not a copy. Errors if `chunk_rows` is zero.
+    pub fn split(&self, chunk_rows: usize) -> Result<Vec<Batch>> {
+        if chunk_rows == 0 {
+            return Err(DataError::InvalidArgument(
+                "Batch::split requires chunk_rows > 0".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(self.rows.div_ceil(chunk_rows));
         let mut offset = 0;
         while offset < self.rows {
             let len = chunk_rows.min(self.rows - offset);
             out.push(self.slice(offset, len));
             offset += len;
         }
-        out
+        Ok(out)
     }
 
     /// Concatenate batches sharing a schema.
     pub fn concat(batches: &[Batch]) -> Result<Batch> {
-        assert!(!batches.is_empty(), "concat of zero batches");
+        if batches.is_empty() {
+            return Err(DataError::InvalidArgument(
+                "Batch::concat requires at least one batch".into(),
+            ));
+        }
         let schema = batches[0].schema.clone();
         for b in batches {
             if b.schema.as_ref() != schema.as_ref() {
@@ -312,12 +323,51 @@ mod tests {
     #[test]
     fn split_covers_all_rows() {
         let b = sample();
-        let chunks = b.split(3);
+        let chunks = b.split(3).unwrap();
         assert_eq!(chunks.len(), 2);
         assert_eq!(chunks[0].rows(), 3);
         assert_eq!(chunks[1].rows(), 1);
         let merged = Batch::concat(&chunks).unwrap();
         assert_eq!(merged.canonical_rows(), b.canonical_rows());
+    }
+
+    #[test]
+    fn split_is_zero_copy() {
+        let b = sample();
+        let chunks = b.split(3).unwrap();
+        let base = b.column(0).i64_values().unwrap().as_ptr();
+        assert_eq!(chunks[0].column(0).i64_values().unwrap().as_ptr(), base);
+        assert_eq!(chunks[1].column(0).i64_values().unwrap().as_ptr(), unsafe {
+            base.add(3)
+        });
+    }
+
+    #[test]
+    fn split_zero_chunk_rows_errors() {
+        assert!(matches!(
+            sample().split(0),
+            Err(DataError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn concat_empty_input_errors() {
+        assert!(matches!(
+            Batch::concat(&[]),
+            Err(DataError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn concat_of_split_views_reuses_buffers() {
+        let b = sample();
+        let chunks = b.split(2).unwrap();
+        let merged = Batch::concat(&chunks).unwrap();
+        assert_eq!(merged, b);
+        assert_eq!(
+            merged.column(0).i64_values().unwrap().as_ptr(),
+            b.column(0).i64_values().unwrap().as_ptr()
+        );
     }
 
     #[test]

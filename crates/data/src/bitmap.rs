@@ -137,6 +137,37 @@ impl Bitmap {
         b
     }
 
+    /// A new bitmap holding bits `[offset, offset+len)` of this one.
+    ///
+    /// Works word-at-a-time: each output word is stitched from at most two
+    /// input words, so slicing costs O(len/64) regardless of bit alignment.
+    pub fn slice(&self, offset: usize, len: usize) -> Bitmap {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len),
+            "bitmap slice [{offset}, {offset}+{len}) out of bounds for {}",
+            self.len
+        );
+        let base = offset / 64;
+        let shift = offset % 64;
+        let n_words = len.div_ceil(64);
+        let mut words = vec![0u64; n_words];
+        if shift == 0 {
+            words.copy_from_slice(&self.words[base..base + n_words]);
+        } else {
+            for (i, w) in words.iter_mut().enumerate() {
+                let lo = self.words[base + i] >> shift;
+                let hi = self
+                    .words
+                    .get(base + i + 1)
+                    .map_or(0, |next| next << (64 - shift));
+                *w = lo | hi;
+            }
+        }
+        let mut b = Bitmap { words, len };
+        b.mask_tail();
+        b
+    }
+
     /// Iterator over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> OnesIter<'_> {
         OnesIter {
@@ -278,6 +309,39 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn get_out_of_bounds_panics() {
         Bitmap::zeros(5).get(5);
+    }
+
+    #[test]
+    fn slice_matches_per_bit_reference() {
+        let pattern: Vec<bool> = (0..300).map(|i| (i * 7 + 3) % 5 < 2).collect();
+        let b = Bitmap::from_bools(&pattern);
+        for (offset, len) in [
+            (0, 300),
+            (0, 0),
+            (1, 63),
+            (63, 2),
+            (64, 64),
+            (65, 130),
+            (299, 1),
+            (130, 170),
+        ] {
+            let s = b.slice(offset, len);
+            let expect: Vec<bool> = pattern[offset..offset + len].to_vec();
+            assert_eq!(
+                s.iter().collect::<Vec<bool>>(),
+                expect,
+                "slice({offset}, {len})"
+            );
+            assert_eq!(s.len(), len);
+            // Tail bits beyond len must be clean so count_ones stays honest.
+            assert_eq!(s.count_ones(), expect.iter().filter(|&&v| v).count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bitmap::zeros(10).slice(5, 6);
     }
 
     #[test]

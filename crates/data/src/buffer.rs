@@ -1,0 +1,189 @@
+//! Shared, immutable value buffers with `(offset, len)` views.
+//!
+//! A [`Buffer`] is the storage behind every fixed-width column (and the
+//! offsets/bytes of Utf8 columns): an `Arc`-shared `Vec` plus a window into
+//! it. Cloning, slicing, and re-windowing are O(1) and never touch the
+//! payload, which is what makes `Batch::slice`/`split` produce *morsel
+//! handles* instead of morsel copies. Two views are `==` when their windowed
+//! contents are equal, regardless of which allocation backs them.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted buffer view.
+///
+/// Dereferences to `&[T]` covering only the window, so call sites read it
+/// exactly like the `Vec<T>` it replaced.
+#[derive(Clone)]
+pub struct Buffer<T> {
+    data: Arc<Vec<T>>,
+    offset: usize,
+    len: usize,
+}
+
+impl<T> Buffer<T> {
+    /// Wrap a vector; the view covers the whole allocation.
+    pub fn new(values: Vec<T>) -> Buffer<T> {
+        let len = values.len();
+        Buffer {
+            data: Arc::new(values),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// Number of elements in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The viewed elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[self.offset..self.offset + self.len]
+    }
+
+    /// Start of this view within the underlying allocation.
+    #[inline]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// A sub-view `[offset, offset+len)` relative to this view. O(1): shares
+    /// the allocation, adjusts the window.
+    pub fn slice(&self, offset: usize, len: usize) -> Buffer<T> {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len),
+            "buffer slice [{offset}, {offset}+{len}) out of bounds for view of {}",
+            self.len
+        );
+        Buffer {
+            data: Arc::clone(&self.data),
+            offset: self.offset + offset,
+            len,
+        }
+    }
+
+    /// A view addressed in *allocation* coordinates (used to merge adjacent
+    /// views back into one during zero-copy concat).
+    pub fn view_at(&self, offset: usize, len: usize) -> Buffer<T> {
+        assert!(
+            offset
+                .checked_add(len)
+                .is_some_and(|end| end <= self.data.len()),
+            "buffer view [{offset}, {offset}+{len}) out of bounds for allocation of {}",
+            self.data.len()
+        );
+        Buffer {
+            data: Arc::clone(&self.data),
+            offset,
+            len,
+        }
+    }
+
+    /// Whether two views share the same underlying allocation.
+    #[inline]
+    pub fn same_allocation(&self, other: &Buffer<T>) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Whether `next` continues this view contiguously in the same
+    /// allocation (with `overlap` shared trailing/leading elements — 0 for
+    /// value buffers, 1 for Utf8 offset buffers whose boundary element is
+    /// shared between adjacent views).
+    pub fn continues_into(&self, next: &Buffer<T>, overlap: usize) -> bool {
+        self.same_allocation(next) && self.offset + self.len - overlap == next.offset
+    }
+}
+
+impl<T> Deref for Buffer<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> From<Vec<T>> for Buffer<T> {
+    fn from(values: Vec<T>) -> Buffer<T> {
+        Buffer::new(values)
+    }
+}
+
+impl<T: PartialEq> PartialEq for Buffer<T> {
+    fn eq(&self, other: &Buffer<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Buffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T> FromIterator<T> for Buffer<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Buffer<T> {
+        Buffer::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_is_a_window_not_a_copy() {
+        let b = Buffer::new(vec![10i64, 20, 30, 40, 50]);
+        let s = b.slice(1, 3);
+        assert_eq!(s.as_slice(), &[20, 30, 40]);
+        assert!(b.same_allocation(&s));
+        // Pointer identity: the view starts one element into the base.
+        assert_eq!(
+            unsafe { b.as_slice().as_ptr().add(1) },
+            s.as_slice().as_ptr()
+        );
+    }
+
+    #[test]
+    fn nested_slices_compose() {
+        let b = Buffer::new((0..100i64).collect());
+        let s = b.slice(10, 50).slice(5, 20);
+        assert_eq!(s.offset(), 15);
+        assert_eq!(s.as_slice(), &(15..35).collect::<Vec<i64>>()[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_bounds_checked() {
+        Buffer::new(vec![1, 2, 3]).slice(2, 2);
+    }
+
+    #[test]
+    fn equality_is_by_contents() {
+        let a = Buffer::new(vec![1, 2, 3]);
+        let b = Buffer::new(vec![0, 1, 2, 3, 4]).slice(1, 3);
+        assert_eq!(a, b);
+        assert!(!a.same_allocation(&b));
+    }
+
+    #[test]
+    fn contiguity_detection() {
+        let b = Buffer::new((0..10i64).collect());
+        let left = b.slice(0, 4);
+        let right = b.slice(4, 6);
+        assert!(left.continues_into(&right, 0));
+        assert!(!right.continues_into(&left, 0));
+        let merged = left.view_at(left.offset(), 10);
+        assert_eq!(merged.as_slice(), b.as_slice());
+    }
+}

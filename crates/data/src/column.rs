@@ -1,36 +1,47 @@
-//! Typed columns: contiguous value vectors plus optional validity bitmaps.
+//! Typed columns: shared value buffers plus optional validity bitmaps.
 //!
 //! `Utf8` columns use the offsets+bytes layout (like Arrow) rather than
 //! `Vec<String>`: it serializes to the wire with two `memcpy`s, which is what
 //! makes the NIC/DMA byte accounting in the fabric model honest.
+//!
+//! Every variant stores its values in an `Arc`-shared [`Buffer`], so
+//! [`Column::slice`] is an O(1) window adjustment and [`Column::concat`] of
+//! adjacent windows re-merges them without touching the payload. A `Utf8`
+//! view keeps its offsets *absolute* into the shared data buffer — only the
+//! offsets window narrows; the data buffer rides along untouched. Equality
+//! is logical (two views are `==` when their rows match), never positional.
 
 use crate::bitmap::Bitmap;
+use crate::buffer::Buffer;
 use crate::error::{DataError, Result};
-use crate::types::{DataType, Scalar};
+use crate::types::{DataType, Scalar, ValueRef};
 
 /// A column of values, all of one [`DataType`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Column {
     /// 64-bit integers.
     Int64 {
         /// The values; garbage where invalid.
-        values: Vec<i64>,
+        values: Buffer<i64>,
         /// Validity bitmap; `None` means all valid.
         validity: Option<Bitmap>,
     },
     /// 64-bit floats.
     Float64 {
         /// The values; garbage where invalid.
-        values: Vec<f64>,
+        values: Buffer<f64>,
         /// Validity bitmap; `None` means all valid.
         validity: Option<Bitmap>,
     },
     /// UTF-8 strings in offsets + bytes layout. `offsets.len() == len + 1`.
     Utf8 {
-        /// Monotonic byte offsets into `data`; first is 0, last is data len.
-        offsets: Vec<u32>,
-        /// Concatenated string bytes.
-        data: Vec<u8>,
+        /// Monotonic byte offsets into `data`. For a freshly built column the
+        /// first is 0 and the last is the data length; a sliced view keeps
+        /// absolute offsets into the shared buffer, so neither holds there.
+        offsets: Buffer<u32>,
+        /// Concatenated string bytes (the full shared buffer; views do not
+        /// narrow it).
+        data: Buffer<u8>,
         /// Validity bitmap; `None` means all valid.
         validity: Option<Bitmap>,
     },
@@ -49,7 +60,7 @@ impl Column {
     /// An all-valid Int64 column.
     pub fn from_i64(values: Vec<i64>) -> Self {
         Column::Int64 {
-            values,
+            values: values.into(),
             validity: None,
         }
     }
@@ -57,9 +68,9 @@ impl Column {
     /// An Int64 column from optional values (None => NULL).
     pub fn from_opt_i64(values: &[Option<i64>]) -> Self {
         let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
-        let raw = values.iter().map(|v| v.unwrap_or(0)).collect();
+        let raw: Vec<i64> = values.iter().map(|v| v.unwrap_or(0)).collect();
         Column::Int64 {
-            values: raw,
+            values: raw.into(),
             validity: Some(validity),
         }
     }
@@ -67,7 +78,7 @@ impl Column {
     /// An all-valid Float64 column.
     pub fn from_f64(values: Vec<f64>) -> Self {
         Column::Float64 {
-            values,
+            values: values.into(),
             validity: None,
         }
     }
@@ -75,9 +86,9 @@ impl Column {
     /// A Float64 column from optional values (None => NULL).
     pub fn from_opt_f64(values: &[Option<f64>]) -> Self {
         let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
-        let raw = values.iter().map(|v| v.unwrap_or(0.0)).collect();
+        let raw: Vec<f64> = values.iter().map(|v| v.unwrap_or(0.0)).collect();
         Column::Float64 {
-            values: raw,
+            values: raw.into(),
             validity: Some(validity),
         }
     }
@@ -92,8 +103,8 @@ impl Column {
             offsets.push(u32::try_from(data.len()).expect("utf8 column > 4GiB"));
         }
         Column::Utf8 {
-            offsets,
-            data,
+            offsets: offsets.into(),
+            data: data.into(),
             validity: None,
         }
     }
@@ -111,8 +122,8 @@ impl Column {
             offsets.push(u32::try_from(data.len()).expect("utf8 column > 4GiB"));
         }
         Column::Utf8 {
-            offsets,
-            data,
+            offsets: offsets.into(),
+            data: data.into(),
             validity: Some(validity),
         }
     }
@@ -130,16 +141,16 @@ impl Column {
         let validity = Some(Bitmap::zeros(len));
         match dtype {
             DataType::Int64 => Column::Int64 {
-                values: vec![0; len],
+                values: vec![0; len].into(),
                 validity,
             },
             DataType::Float64 => Column::Float64 {
-                values: vec![0.0; len],
+                values: vec![0.0; len].into(),
                 validity,
             },
             DataType::Utf8 => Column::Utf8 {
-                offsets: vec![0; len + 1],
-                data: Vec::new(),
+                offsets: vec![0; len + 1].into(),
+                data: Vec::new().into(),
                 validity,
             },
             DataType::Bool => Column::Bool {
@@ -196,17 +207,25 @@ impl Column {
         self.validity().map_or(0, |v| v.len() - v.count_ones())
     }
 
-    /// The value at row `i` as a [`Scalar`] (NULL-aware).
+    /// The value at row `i` as a [`Scalar`] (NULL-aware). Copies string
+    /// payloads; hot paths should prefer [`Column::value_at`].
     pub fn scalar_at(&self, i: usize) -> Scalar {
+        self.value_at(i).to_scalar()
+    }
+
+    /// The value at row `i` as a borrowed [`ValueRef`] (NULL-aware). This is
+    /// the allocation-free row accessor: `Utf8` rows come back as `&str`
+    /// views into the shared data buffer.
+    pub fn value_at(&self, i: usize) -> ValueRef<'_> {
         assert!(i < self.len(), "row {i} out of bounds for {}", self.len());
         if self.is_null(i) {
-            return Scalar::Null;
+            return ValueRef::Null;
         }
         match self {
-            Column::Int64 { values, .. } => Scalar::Int(values[i]),
-            Column::Float64 { values, .. } => Scalar::Float(values[i]),
-            Column::Utf8 { .. } => Scalar::Str(self.str_at(i).to_string()),
-            Column::Bool { values, .. } => Scalar::Bool(values.get(i)),
+            Column::Int64 { values, .. } => ValueRef::Int(values[i]),
+            Column::Float64 { values, .. } => ValueRef::Float(values[i]),
+            Column::Utf8 { .. } => ValueRef::Str(self.str_at(i)),
+            Column::Bool { values, .. } => ValueRef::Bool(values.get(i)),
         }
     }
 
@@ -257,13 +276,21 @@ impl Column {
     }
 
     /// In-memory payload size in bytes: values + offsets + validity. This is
-    /// the figure the movement ledger charges when a batch crosses a link.
+    /// the figure the movement ledger charges when a batch crosses a link —
+    /// the *logical* bytes of the view, not the (possibly larger) shared
+    /// allocation behind it.
     pub fn byte_size(&self) -> usize {
         let validity = self.validity().map_or(0, Bitmap::byte_size);
         let body = match self {
             Column::Int64 { values, .. } => values.len() * 8,
             Column::Float64 { values, .. } => values.len() * 8,
-            Column::Utf8 { offsets, data, .. } => offsets.len() * 4 + data.len(),
+            Column::Utf8 { offsets, .. } => {
+                let span = match (offsets.first(), offsets.last()) {
+                    (Some(&lo), Some(&hi)) => (hi - lo) as usize,
+                    _ => 0,
+                };
+                offsets.len() * 4 + span
+            }
             Column::Bool { values, .. } => values.byte_size(),
         };
         body + validity
@@ -272,6 +299,10 @@ impl Column {
     // ---------------------------------------------------------- reshaping
 
     /// Keep only rows whose bit is set in `selection`.
+    ///
+    /// Works directly off the selection's packed words (via `iter_ones`)
+    /// instead of materializing a `Vec<usize>` of indices; all-set and
+    /// none-set selections short-circuit without touching the payload.
     pub fn filter(&self, selection: &Bitmap) -> Result<Column> {
         if selection.len() != self.len() {
             return Err(DataError::LengthMismatch {
@@ -279,8 +310,53 @@ impl Column {
                 right: selection.len(),
             });
         }
-        let indices: Vec<usize> = selection.iter_ones().collect();
-        Ok(self.gather(&indices))
+        let keep = selection.count_ones();
+        if keep == selection.len() {
+            return Ok(self.clone());
+        }
+        let validity = self
+            .validity()
+            .map(|v| Bitmap::from_iter(selection.iter_ones().map(|i| v.get(i))));
+        Ok(match self {
+            Column::Int64 { values, .. } => {
+                let mut out = Vec::with_capacity(keep);
+                for i in selection.iter_ones() {
+                    out.push(values[i]);
+                }
+                Column::Int64 {
+                    values: out.into(),
+                    validity,
+                }
+            }
+            Column::Float64 { values, .. } => {
+                let mut out = Vec::with_capacity(keep);
+                for i in selection.iter_ones() {
+                    out.push(values[i]);
+                }
+                Column::Float64 {
+                    values: out.into(),
+                    validity,
+                }
+            }
+            Column::Utf8 { .. } => {
+                let mut offsets = Vec::with_capacity(keep + 1);
+                let mut data = Vec::new();
+                offsets.push(0u32);
+                for i in selection.iter_ones() {
+                    data.extend_from_slice(self.str_at(i).as_bytes());
+                    offsets.push(data.len() as u32);
+                }
+                Column::Utf8 {
+                    offsets: offsets.into(),
+                    data: data.into(),
+                    validity,
+                }
+            }
+            Column::Bool { values, .. } => Column::Bool {
+                values: Bitmap::from_iter(selection.iter_ones().map(|i| values.get(i))),
+                validity,
+            },
+        })
     }
 
     /// Build a new column from the given row indices (may repeat/reorder).
@@ -306,8 +382,8 @@ impl Column {
                     offsets.push(data.len() as u32);
                 }
                 Column::Utf8 {
-                    offsets,
-                    data,
+                    offsets: offsets.into(),
+                    data: data.into(),
                     validity,
                 }
             }
@@ -319,15 +395,51 @@ impl Column {
     }
 
     /// A contiguous sub-range `[offset, offset+len)` of the column.
+    ///
+    /// O(1) for value buffers: the result shares the backing allocation and
+    /// only the `(offset, len)` window changes. Validity and bit-packed Bool
+    /// payloads are re-packed (O(len/64) words).
     pub fn slice(&self, offset: usize, len: usize) -> Column {
-        assert!(offset + len <= self.len(), "slice out of bounds");
-        let indices: Vec<usize> = (offset..offset + len).collect();
-        self.gather(&indices)
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len()),
+            "slice out of bounds"
+        );
+        let validity = self.validity().map(|v| v.slice(offset, len));
+        match self {
+            Column::Int64 { values, .. } => Column::Int64 {
+                values: values.slice(offset, len),
+                validity,
+            },
+            Column::Float64 { values, .. } => Column::Float64 {
+                values: values.slice(offset, len),
+                validity,
+            },
+            Column::Utf8 { offsets, data, .. } => Column::Utf8 {
+                // Offsets stay absolute; the window narrows to len+1 entries
+                // and the data buffer is shared as-is.
+                offsets: offsets.slice(offset, len + 1),
+                data: data.clone(),
+                validity,
+            },
+            Column::Bool { values, .. } => Column::Bool {
+                values: values.slice(offset, len),
+                validity,
+            },
+        }
     }
 
     /// Concatenate columns of the same type into one.
+    ///
+    /// When the inputs are adjacent views of one shared allocation (the
+    /// common case: morsels produced by `Batch::split` coming back together),
+    /// the values are re-merged into a single wider view without copying.
+    /// Otherwise the payloads are bulk-copied type-wise.
     pub fn concat(columns: &[Column]) -> Result<Column> {
-        assert!(!columns.is_empty(), "concat of zero columns");
+        if columns.is_empty() {
+            return Err(DataError::InvalidArgument(
+                "Column::concat requires at least one column".into(),
+            ));
+        }
         let dtype = columns[0].data_type();
         for c in columns {
             if c.data_type() != dtype {
@@ -338,18 +450,195 @@ impl Column {
             }
         }
         let total: usize = columns.iter().map(Column::len).sum();
-        let mut builder = ColumnBuilder::new(dtype, total);
-        for c in columns {
-            for i in 0..c.len() {
-                builder.push(c.scalar_at(i))?;
+        let validity = concat_validity(columns, total);
+        Ok(match dtype {
+            DataType::Int64 => {
+                let bufs: Vec<&Buffer<i64>> = columns
+                    .iter()
+                    .map(|c| match c {
+                        Column::Int64 { values, .. } => values,
+                        _ => unreachable!("type-checked above"),
+                    })
+                    .collect();
+                let values =
+                    merged_view(&bufs, total, 0).unwrap_or_else(|| bulk_copy(&bufs, total));
+                Column::Int64 { values, validity }
             }
-        }
-        Ok(builder.finish())
+            DataType::Float64 => {
+                let bufs: Vec<&Buffer<f64>> = columns
+                    .iter()
+                    .map(|c| match c {
+                        Column::Float64 { values, .. } => values,
+                        _ => unreachable!("type-checked above"),
+                    })
+                    .collect();
+                let values =
+                    merged_view(&bufs, total, 0).unwrap_or_else(|| bulk_copy(&bufs, total));
+                Column::Float64 { values, validity }
+            }
+            DataType::Utf8 => concat_utf8(columns, total, validity),
+            DataType::Bool => {
+                let mut bits = Bitmap::zeros(total);
+                let mut base = 0;
+                for c in columns {
+                    let Column::Bool { values, .. } = c else {
+                        unreachable!("type-checked above")
+                    };
+                    for i in values.iter_ones() {
+                        bits.set(base + i);
+                    }
+                    base += values.len();
+                }
+                Column::Bool {
+                    values: bits,
+                    validity,
+                }
+            }
+        })
     }
 
     /// Iterate the rows as scalars.
     pub fn iter(&self) -> impl Iterator<Item = Scalar> + '_ {
         (0..self.len()).map(move |i| self.scalar_at(i))
+    }
+}
+
+/// Columns compare by logical content: same type, length, validity, and
+/// row values. Two views with different windows (e.g. a `Utf8` slice whose
+/// absolute offsets differ from a freshly built copy) are equal when their
+/// rows are.
+impl PartialEq for Column {
+    fn eq(&self, other: &Column) -> bool {
+        if self.data_type() != other.data_type() || self.len() != other.len() {
+            return false;
+        }
+        // Validity is compared per row, not structurally: an all-set bitmap
+        // and an absent one describe the same logical column.
+        match (self.validity(), other.validity()) {
+            (None, None) => {}
+            (a, b) => {
+                let null_at = |v: Option<&Bitmap>, i: usize| v.is_some_and(|m| !m.get(i));
+                if (0..self.len()).any(|i| null_at(a, i) != null_at(b, i)) {
+                    return false;
+                }
+            }
+        }
+        match (self, other) {
+            (Column::Int64 { values: a, .. }, Column::Int64 { values: b, .. }) => a == b,
+            (Column::Float64 { values: a, .. }, Column::Float64 { values: b, .. }) => {
+                // Bit-level equality (like the derived impl on Vec<f64>):
+                // NaN payloads and signed zeros must round-trip exactly.
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (Column::Bool { values: a, .. }, Column::Bool { values: b, .. }) => a == b,
+            (Column::Utf8 { .. }, Column::Utf8 { .. }) => {
+                (0..self.len()).all(|i| self.str_at(i) == other.str_at(i))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Merge adjacent views of one allocation into a single wider view, or
+/// `None` if the inputs are not contiguous. `overlap` is 1 for Utf8 offset
+/// buffers (adjacent views share their boundary offset) and 0 otherwise.
+fn merged_view<T>(bufs: &[&Buffer<T>], total: usize, overlap: usize) -> Option<Buffer<T>> {
+    let first = bufs[0];
+    let mut prev = first;
+    for &next in &bufs[1..] {
+        if !prev.continues_into(next, overlap) {
+            return None;
+        }
+        prev = next;
+    }
+    Some(first.view_at(first.offset(), total))
+}
+
+/// Fallback concat: one allocation, bulk `extend_from_slice` per input.
+fn bulk_copy<T: Clone>(bufs: &[&Buffer<T>], total: usize) -> Buffer<T> {
+    let mut out = Vec::with_capacity(total);
+    for b in bufs {
+        out.extend_from_slice(b.as_slice());
+    }
+    out.into()
+}
+
+/// Concatenated validity, normalized: all-valid inputs produce `None`.
+fn concat_validity(columns: &[Column], total: usize) -> Option<Bitmap> {
+    if columns.iter().all(|c| c.validity().is_none()) {
+        return None;
+    }
+    let mut bits = Bitmap::ones(total);
+    let mut base = 0;
+    let mut any_null = false;
+    for c in columns {
+        if let Some(v) = c.validity() {
+            for i in v.not().iter_ones() {
+                bits.clear(base + i);
+                any_null = true;
+            }
+        }
+        base += c.len();
+    }
+    // Match ColumnBuilder semantics: a bitmap with every bit set is elided.
+    if any_null {
+        Some(bits)
+    } else {
+        None
+    }
+}
+
+fn concat_utf8(columns: &[Column], total: usize, validity: Option<Bitmap>) -> Column {
+    let parts: Vec<(&Buffer<u32>, &Buffer<u8>)> = columns
+        .iter()
+        .map(|c| match c {
+            Column::Utf8 { offsets, data, .. } => (offsets, data),
+            _ => unreachable!("type-checked above"),
+        })
+        .collect();
+    // Zero-copy path: every part shares one data allocation and the offset
+    // windows tile it back-to-back (adjacent views share a boundary offset).
+    let offset_bufs: Vec<&Buffer<u32>> = parts.iter().map(|(o, _)| *o).collect();
+    let same_data = parts
+        .iter()
+        .all(|(_, d)| d.same_allocation(parts[0].1) || d.is_empty());
+    if same_data {
+        if let Some(offsets) = merged_view(&offset_bufs, total + 1, 1) {
+            return Column::Utf8 {
+                offsets,
+                data: parts[0].1.clone(),
+                validity,
+            };
+        }
+    }
+    // Fallback: copy each part's byte span and rebase its offsets.
+    let data_total: usize = parts
+        .iter()
+        .map(|(o, _)| match (o.first(), o.last()) {
+            (Some(&lo), Some(&hi)) => (hi - lo) as usize,
+            _ => 0,
+        })
+        .sum();
+    let mut offsets = Vec::with_capacity(total + 1);
+    let mut data = Vec::with_capacity(data_total);
+    offsets.push(0u32);
+    for (part_offsets, part_data) in parts {
+        let Some((&lo, &hi)) = part_offsets.first().zip(part_offsets.last()) else {
+            continue;
+        };
+        let base = data.len() as u32;
+        data.extend_from_slice(&part_data[lo as usize..hi as usize]);
+        for &off in &part_offsets[1..] {
+            offsets.push(base + (off - lo));
+        }
+    }
+    Column::Utf8 {
+        offsets: offsets.into(),
+        data: data.into(),
+        validity,
     }
 }
 
@@ -455,16 +744,16 @@ impl ColumnBuilder {
         };
         match self.dtype {
             DataType::Int64 => Column::Int64 {
-                values: self.ints,
+                values: self.ints.into(),
                 validity,
             },
             DataType::Float64 => Column::Float64 {
-                values: self.floats,
+                values: self.floats.into(),
                 validity,
             },
             DataType::Utf8 => Column::Utf8 {
-                offsets: self.str_offsets,
-                data: self.str_data,
+                offsets: self.str_offsets.into(),
+                data: self.str_data.into(),
                 validity,
             },
             DataType::Bool => Column::Bool {
@@ -536,6 +825,16 @@ mod tests {
     }
 
     #[test]
+    fn filter_all_and_none() {
+        let c = Column::from_opt_i64(&[Some(1), None, Some(3)]);
+        let all = c.filter(&Bitmap::ones(3)).unwrap();
+        assert_eq!(all, c);
+        let none = c.filter(&Bitmap::zeros(3)).unwrap();
+        assert_eq!(none.len(), 0);
+        assert_eq!(none.data_type(), DataType::Int64);
+    }
+
+    #[test]
     fn gather_reorders_and_repeats() {
         let c = Column::from_strs(&["x", "y", "z"]);
         let g = c.gather(&[2, 0, 2]);
@@ -545,10 +844,26 @@ mod tests {
     }
 
     #[test]
-    fn slice_is_contiguous_gather() {
+    fn slice_is_contiguous_view() {
         let c = Column::from_i64(vec![0, 1, 2, 3, 4]);
         let s = c.slice(1, 3);
         assert_eq!(s.i64_values().unwrap(), &[1, 2, 3]);
+        // Zero-copy: the view points into the parent's allocation.
+        let base = c.i64_values().unwrap().as_ptr();
+        assert_eq!(unsafe { base.add(1) }, s.i64_values().unwrap().as_ptr());
+    }
+
+    #[test]
+    fn utf8_slice_is_zero_copy_and_logically_equal() {
+        let c = Column::from_strs(&["aa", "b", "ccc", "dd"]);
+        let s = c.slice(1, 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.str_at(0), "b");
+        assert_eq!(s.str_at(1), "ccc");
+        // The view equals a fresh deep copy despite different absolute offsets.
+        assert_eq!(s, Column::from_strs(&["b", "ccc"]));
+        // Logical byte size: 3 offsets * 4 + 4 string bytes.
+        assert_eq!(s.byte_size(), 16);
     }
 
     #[test]
@@ -562,10 +877,68 @@ mod tests {
     }
 
     #[test]
+    fn concat_of_adjacent_views_is_zero_copy() {
+        let c = Column::from_i64((0..1000).collect());
+        let parts: Vec<Column> = (0..4).map(|i| c.slice(i * 250, 250)).collect();
+        let merged = Column::concat(&parts).unwrap();
+        assert_eq!(merged, c);
+        // Pointer identity: merged view reuses the original allocation.
+        assert_eq!(
+            merged.i64_values().unwrap().as_ptr(),
+            c.i64_values().unwrap().as_ptr()
+        );
+    }
+
+    #[test]
+    fn concat_of_adjacent_utf8_views_is_zero_copy() {
+        let strs: Vec<String> = (0..100).map(|i| format!("s{i}")).collect();
+        let c = Column::from_strs(&strs);
+        let parts: Vec<Column> = vec![c.slice(0, 40), c.slice(40, 60)];
+        let merged = Column::concat(&parts).unwrap();
+        assert_eq!(merged, c);
+        assert_eq!(merged.str_at(99), "s99");
+    }
+
+    #[test]
+    fn concat_of_unrelated_utf8_rebases_offsets() {
+        let a = Column::from_strs(&["x", "yy"]);
+        let b = Column::from_strs(&["zzz"]).slice(0, 1);
+        let merged = Column::concat(&[a, b]).unwrap();
+        assert_eq!(merged, Column::from_strs(&["x", "yy", "zzz"]));
+    }
+
+    #[test]
+    fn concat_empty_input_errors() {
+        assert!(matches!(
+            Column::concat(&[]),
+            Err(DataError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
     fn concat_type_mismatch_errors() {
         let a = Column::from_i64(vec![1]);
         let b = Column::from_bools(&[true]);
         assert!(Column::concat(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn concat_elides_all_valid_bitmap() {
+        // A validity bitmap with every bit set is normalized away, matching
+        // ColumnBuilder; byte_size must agree with the builder-built column.
+        let a = Column::from_opt_i64(&[Some(1), Some(2)]);
+        let b = Column::from_i64(vec![3]);
+        let c = Column::concat(&[a, b]).unwrap();
+        assert!(c.validity().is_none());
+        assert_eq!(c.byte_size(), Column::from_i64(vec![1, 2, 3]).byte_size());
+    }
+
+    #[test]
+    fn value_at_borrows_strings() {
+        let c = Column::from_opt_strs(&[Some("hi"), None]);
+        assert_eq!(c.value_at(0), ValueRef::Str("hi"));
+        assert!(c.value_at(1).is_null());
+        assert_eq!(c.value_at(0).to_scalar(), Scalar::Str("hi".into()));
     }
 
     #[test]
@@ -598,6 +971,14 @@ mod tests {
         let s = Column::from_strs(&["abcd"]);
         // 2 offsets * 4 + 4 bytes of data
         assert_eq!(s.byte_size(), 12);
+    }
+
+    #[test]
+    fn byte_size_of_view_charges_logical_bytes() {
+        let big = Column::from_strs(&["aaaa"; 100]);
+        let view = big.slice(10, 5);
+        // 6 offsets * 4 + 20 string bytes, not the 400-byte shared buffer.
+        assert_eq!(view.byte_size(), 44);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub enum DataError {
     },
     /// Malformed serialized bytes (row pages, wire format headers, ...).
     Corrupt(String),
+    /// An operation was invoked with arguments it cannot act on (empty
+    /// input sets, zero-sized chunks, ...).
+    InvalidArgument(String),
 }
 
 impl fmt::Display for DataError {
@@ -46,6 +49,7 @@ impl fmt::Display for DataError {
                 write!(f, "index {index} out of bounds for length {len}")
             }
             DataError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            DataError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
 }

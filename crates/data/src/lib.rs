@@ -5,12 +5,15 @@
 //! with validity bitmaps, assembled into [`Batch`]es described by a
 //! [`Schema`]. Batches are the unit that streams through pipelines — between
 //! operators, across NICs, and through accelerators — so the representation
-//! is deliberately simple and contiguous (a `Vec` per column) to make byte
-//! accounting and (simulated) DMA exact.
+//! is deliberately simple and contiguous (one shared [`Buffer`] per column)
+//! to make byte accounting and (simulated) DMA exact. Buffers are
+//! `Arc`-shared with `(offset, len)` views, so slicing a batch into morsels
+//! hands out windows, not copies.
 //!
 //! Modules:
 //! - [`types`] — logical [`DataType`]s and [`Scalar`] values
 //! - [`bitmap`] — packed validity/selection bitmaps
+//! - [`buffer`] — `Arc`-shared value buffers with `(offset, len)` views
 //! - [`mod@column`] — typed column vectors and builders
 //! - [`schema`] — fields and schemas
 //! - [`batch`] — record batches and selection/gather utilities
@@ -20,6 +23,7 @@
 
 pub mod batch;
 pub mod bitmap;
+pub mod buffer;
 pub mod column;
 pub mod error;
 pub mod rowpage;
@@ -29,8 +33,9 @@ pub mod types;
 
 pub use batch::Batch;
 pub use bitmap::Bitmap;
+pub use buffer::Buffer;
 pub use column::{Column, ColumnBuilder};
 pub use error::{DataError, Result};
 pub use rowpage::RowPage;
 pub use schema::{Field, Schema, SchemaRef};
-pub use types::{DataType, Scalar};
+pub use types::{DataType, Scalar, ValueRef};

@@ -154,6 +154,93 @@ impl Scalar {
     }
 }
 
+/// A borrowed view of a column value — the allocation-free counterpart of
+/// [`Scalar`].
+///
+/// Reading a `Utf8` row as a [`Scalar`] copies the string; hot paths (hash
+/// aggregation, comparisons) read rows as `ValueRef`s instead and only
+/// materialize an owned [`Scalar`] when a value must outlive the batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// The NULL value.
+    Null,
+    /// An `Int64` value.
+    Int(i64),
+    /// A `Float64` value.
+    Float(f64),
+    /// A `Utf8` value, borrowed from the column's data buffer.
+    Str(&'a str),
+    /// A `Bool` value.
+    Bool(bool),
+}
+
+impl ValueRef<'_> {
+    /// Whether this is the NULL value.
+    pub fn is_null(&self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ValueRef::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, widening `Int` to `f64` too (numeric contexts).
+    pub fn as_float_lossy(&self) -> Option<f64> {
+        match self {
+            ValueRef::Float(v) => Some(*v),
+            ValueRef::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Materialize an owned [`Scalar`] (copies string payloads).
+    pub fn to_scalar(&self) -> Scalar {
+        match self {
+            ValueRef::Null => Scalar::Null,
+            ValueRef::Int(v) => Scalar::Int(*v),
+            ValueRef::Float(v) => Scalar::Float(*v),
+            ValueRef::Str(s) => Scalar::Str((*s).to_string()),
+            ValueRef::Bool(b) => Scalar::Bool(*b),
+        }
+    }
+
+    /// [`Scalar::total_cmp`] against an owned scalar, without materializing
+    /// this value.
+    pub fn total_cmp_scalar(&self, other: &Scalar) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        fn rank_ref(s: &ValueRef<'_>) -> u8 {
+            match s {
+                ValueRef::Null => 0,
+                ValueRef::Bool(_) => 1,
+                ValueRef::Int(_) | ValueRef::Float(_) => 2,
+                ValueRef::Str(_) => 3,
+            }
+        }
+        fn rank(s: &Scalar) -> u8 {
+            match s {
+                Scalar::Null => 0,
+                Scalar::Bool(_) => 1,
+                Scalar::Int(_) | Scalar::Float(_) => 2,
+                Scalar::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (ValueRef::Null, Scalar::Null) => Equal,
+            (ValueRef::Bool(a), Scalar::Bool(b)) => a.cmp(b),
+            (ValueRef::Int(a), Scalar::Int(b)) => a.cmp(b),
+            (ValueRef::Float(a), Scalar::Float(b)) => a.total_cmp(b),
+            (ValueRef::Int(a), Scalar::Float(b)) => (*a as f64).total_cmp(b),
+            (ValueRef::Float(a), Scalar::Int(b)) => a.total_cmp(&(*b as f64)),
+            (ValueRef::Str(a), Scalar::Str(b)) => (*a).cmp(b.as_str()),
+            (a, b) => rank_ref(a).cmp(&rank(b)),
+        }
+    }
+}
+
 impl fmt::Display for Scalar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn smart_scatter_partitions_completely() {
         let net = Network::new(4);
-        let batches: Vec<Batch> = sample(1000).split(128);
+        let batches: Vec<Batch> = sample(1000).split(128).unwrap();
         let stats =
             scatter_smart(&net, 0, &batches, &["k"], &[1, 2, 3], &WireOptions::plain()).unwrap();
         assert_eq!(stats.rows, 1000);
@@ -186,7 +186,7 @@ mod tests {
 
     #[test]
     fn host_and_smart_scatter_agree() {
-        let batches: Vec<Batch> = sample(500).split(64);
+        let batches: Vec<Batch> = sample(500).split(64).unwrap();
         let net_a = Network::new(3);
         scatter_smart(&net_a, 0, &batches, &["k"], &[1, 2], &WireOptions::plain()).unwrap();
         let net_b = Network::new(3);

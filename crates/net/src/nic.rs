@@ -486,7 +486,7 @@ mod tests {
             max_groups: 1024,
         };
         let mut nic = NicPipeline::new(vec![NicKernel::PreAggregate(spec)]).unwrap();
-        for chunk in sample(1000).split(100) {
+        for chunk in sample(1000).split(100).unwrap() {
             nic.push(chunk).unwrap();
         }
         let fin = nic.finish().unwrap();

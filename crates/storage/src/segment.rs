@@ -320,7 +320,7 @@ mod tests {
         let batch = sample_batch(0, 1000);
         let mut writer = SegmentWriter::new(batch.schema().clone(), page_rows);
         // Push in uneven batches to exercise buffering.
-        for chunk in batch.split(137) {
+        for chunk in batch.split(137).unwrap() {
             writer.push(&chunk).unwrap();
         }
         let bytes = writer.finish().unwrap();
