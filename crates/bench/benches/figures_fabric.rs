@@ -5,11 +5,19 @@
 
 use df_bench::microbench::Bench;
 use df_bench::workload;
+use df_core::expr::{col, lit};
+use df_core::logical::AggCall;
+use df_core::ops::AggMode;
+use df_core::optimizer::{Profiles, TableProfile};
+use df_core::physical::{PhysNode, PhysicalPlan};
+use df_core::pipeline::{PipelineGraph, DEFAULT_QUEUE_CAPACITY};
 use df_core::session::Session;
+use df_data::{Column, DataType, Field, Schema};
 use df_fabric::coherence::{CoherenceConfig, CoherenceSim, Mode};
-use df_fabric::flow::{FlowSim, PipelineSpec, StageSpec};
+use df_fabric::flow::{FlowSim, PipelineSpec};
 use df_fabric::topology::{DisaggregatedConfig, Topology};
-use df_fabric::OpClass;
+use df_storage::smart::ScanRequest;
+use df_storage::zonemap::ZoneMap;
 
 const ROWS: usize = 50_000;
 
@@ -63,30 +71,96 @@ fn main() {
     }
 
     // E12/E13: how fast the flow simulator replays a full pipeline (the
-    // scheduler consults it online, so DES speed matters).
+    // scheduler consults it online, so DES speed matters). The spec is
+    // derived once from a placed physical plan via the pipeline-graph IR;
+    // the timed region is the DES replay alone.
     {
         let mut group = bench.group("e12_flow_sim_replay");
         for source_mb in [16u64, 64, 256] {
+            let spec = replay_spec(source_mb << 20);
             group.bench(&source_mb.to_string(), || {
                 let topo = Topology::disaggregated(&DisaggregatedConfig::default());
-                let ssd = topo.expect_device("storage.ssd");
-                let snic = topo.expect_device("storage.nic");
-                let cnic = topo.expect_device("compute0.nic");
-                let cpu = topo.expect_device("compute0.cpu");
-                let spec = PipelineSpec::new(
-                    "replay",
-                    vec![
-                        StageSpec::new(ssd, OpClass::Filter, 0.2),
-                        StageSpec::new(snic, OpClass::Project, 1.0),
-                        StageSpec::new(cnic, OpClass::Hash, 1.0),
-                        StageSpec::new(cpu, OpClass::AggregateFinal, 0.01),
-                    ],
-                    source_mb << 20,
-                );
                 let mut sim = FlowSim::new(topo);
-                sim.add_pipeline(spec);
+                sim.add_pipeline(spec.clone());
                 sim.run().makespan
             });
         }
     }
+}
+
+/// Derive the storage→NIC→NIC→CPU replay spec from a placed plan over a
+/// synthetic table of `source_bytes` (40-byte rows, zone-mapped `k`).
+fn replay_spec(source_bytes: u64) -> PipelineSpec {
+    let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+    let ssd = topo.expect_device("storage.ssd");
+    let snic = topo.expect_device("storage.nic");
+    let cnic = topo.expect_device("compute0.nic");
+    let cpu = topo.expect_device("compute0.cpu");
+
+    let fields: Vec<Field> = ["k", "a", "b", "c", "d"]
+        .iter()
+        .map(|n| Field::new(*n, DataType::Int64))
+        .collect();
+    let schema = Schema::new(fields).into_ref();
+    let rows = (source_bytes / 40).max(1);
+    let mut zones = vec![Some(ZoneMap::of(&Column::from_i64(vec![
+        0,
+        rows as i64 - 1,
+    ])))];
+    zones.extend((0..4).map(|_| None));
+    let mut profiles = Profiles::new();
+    profiles.insert(
+        "events".to_string(),
+        TableProfile {
+            rows,
+            stored_bytes: rows * 40,
+            zones,
+            schema: schema.as_ref().clone(),
+        },
+    );
+
+    // Selective pushed filter at the SSD (~20% by the zone map), identity
+    // reshape on the storage NIC, pass-through filter on the compute NIC,
+    // final aggregation on the host CPU.
+    let scan = PhysNode::StorageScan {
+        table: "events".into(),
+        request: ScanRequest::full().filter(df_storage::predicate::StoragePredicate::cmp(
+            "k",
+            df_storage::zonemap::CmpOp::Lt,
+            (rows as i64) / 5,
+        )),
+        schema: schema.clone(),
+        device: Some(ssd),
+    };
+    let project = PhysNode::Project {
+        exprs: schema
+            .fields()
+            .iter()
+            .map(|f| (col(f.name.clone()), f.name.clone()))
+            .collect(),
+        schema: schema.clone(),
+        input: Box::new(scan),
+        device: Some(snic),
+    };
+    let filter = PhysNode::Filter {
+        input: Box::new(project),
+        predicate: col("k").ge(lit(0)),
+        device: Some(cnic),
+        use_kernel: false,
+    };
+    let agg = PhysNode::Aggregate {
+        input: Box::new(filter),
+        group_by: vec!["k".into()],
+        aggs: vec![AggCall::count_star("n")],
+        mode: AggMode::Final,
+        final_schema: Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("n", DataType::Int64),
+        ])
+        .into_ref(),
+        device: Some(cpu),
+    };
+    let plan = PhysicalPlan::new(agg, "replay");
+    let graph = PipelineGraph::compile(&plan, Some(&profiles), None, DEFAULT_QUEUE_CAPACITY);
+    graph.to_flow_specs(cpu, "replay").remove(0)
 }

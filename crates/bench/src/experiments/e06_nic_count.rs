@@ -12,9 +12,15 @@ use df_storage::smart::{ScanRequest, SmartStorage};
 use df_storage::table::TableStore;
 use df_storage::zonemap::CmpOp;
 
-use df_fabric::flow::{FlowSim, PipelineSpec, StageSpec};
+use df_core::logical::AggCall;
+use df_core::ops::AggMode;
+use df_core::optimizer::{Profiles, TableProfile};
+use df_core::physical::{PhysNode, PhysicalPlan};
+use df_core::pipeline::{PipelineGraph, DEFAULT_QUEUE_CAPACITY};
+use df_data::{DataType, Field, Schema};
+use df_fabric::flow::FlowSim;
 use df_fabric::topology::{DisaggregatedConfig, Topology};
-use df_fabric::OpClass;
+use df_fabric::DeviceId;
 
 use crate::report::{fmt_util, ExpReport};
 use crate::workload;
@@ -39,6 +45,15 @@ pub fn run(scale: Scale) -> ExpReport {
     let tables = TableStore::new(MemObjectStore::shared());
     let fact = workload::lineitem(scale.rows, scale.seed);
     tables.create_and_load("lineitem", &[fact]).expect("load");
+    let table_schema = tables.schema("lineitem").expect("schema");
+    let mut profiles = Profiles::new();
+    profiles.insert(
+        "lineitem".to_string(),
+        TableProfile::from_stats(
+            &tables.stats("lineitem").expect("stats"),
+            table_schema.as_ref().clone(),
+        ),
+    );
     let storage = SmartStorage::new(tables);
 
     // The stream arriving at the compute node's NIC: a filtered scan.
@@ -68,25 +83,50 @@ pub fn run(scale: Scale) -> ExpReport {
     let host_bytes_cpu: u64 = batches.iter().map(|b| b.byte_size() as u64).sum();
     let host_count: usize = batches.iter().map(df_data::Batch::rows).sum();
 
-    // Simulated completion times for both placements.
+    // Simulated completion times for both placements: the same COUNT plan
+    // with the terminal aggregate placed on the NIC vs on the host CPU,
+    // compiled to the pipeline graph and replayed as a derived flow spec.
+    // A count-only aggregate maps to the stream-friendly `Count` op class,
+    // so the NIC placement is legal (§4.4's "query on the NIC").
     let topo = Topology::disaggregated(&DisaggregatedConfig::default());
     let ssd = topo.expect_device("storage.ssd");
     let cnic = topo.expect_device("compute0.nic");
     let cpu = topo.expect_device("compute0.cpu");
-    let stream_bytes = host_bytes_cpu;
-    let sim_time = |stages: Vec<StageSpec>| {
+    let count_plan = |count_at: DeviceId| -> PhysicalPlan {
+        let scan = PhysNode::StorageScan {
+            table: "lineitem".into(),
+            request: request.clone(),
+            schema: Schema::new(vec![
+                Field::new("l_orderkey", DataType::Int64),
+                Field::new("l_quantity", DataType::Int64),
+            ])
+            .into_ref(),
+            device: Some(ssd),
+        };
+        let agg = PhysNode::Aggregate {
+            input: Box::new(scan),
+            group_by: vec![],
+            aggs: vec![AggCall::count_star("n")],
+            mode: AggMode::Final,
+            final_schema: Schema::new(vec![Field::new("n", DataType::Int64)]).into_ref(),
+            device: Some(count_at),
+        };
+        PhysicalPlan::new(agg, "count")
+    };
+    let sim_time = |count_at: DeviceId| {
+        let graph = PipelineGraph::compile(
+            &count_plan(count_at),
+            Some(&profiles),
+            None,
+            DEFAULT_QUEUE_CAPACITY,
+        );
+        let spec = graph.to_flow_specs(cpu, "count").remove(0);
         let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
-        sim.add_pipeline(PipelineSpec::new("count", stages, stream_bytes));
+        sim.add_pipeline(spec);
         sim.run().pipelines[0].duration()
     };
-    let nic_time = sim_time(vec![
-        StageSpec::new(ssd, OpClass::Filter, 0.5),
-        StageSpec::new(cnic, OpClass::Count, 0.0),
-    ]);
-    let cpu_time = sim_time(vec![
-        StageSpec::new(ssd, OpClass::Filter, 0.5),
-        StageSpec::new(cpu, OpClass::Count, 0.0),
-    ]);
+    let nic_time = sim_time(cnic);
+    let cpu_time = sim_time(cpu);
 
     report.row(vec![
         "compute NIC (query ends in-path)".into(),

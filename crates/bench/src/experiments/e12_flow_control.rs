@@ -4,18 +4,103 @@
 //! one stage into the previous ... This type of control flow is easy to
 //! implement and it is low traffic."
 //!
-//! We run the full storage→NIC→NIC→CPU pipeline in the flow simulator with
-//! a sweep of credit budgets (queue capacities) and report throughput,
-//! observed queue high-watermarks (never above the budget), and the
-//! control-message traffic as a fraction of data traffic.
+//! We place one physical plan along the full storage→NIC→NIC→CPU data
+//! path, compile it to the pipeline-graph IR with a sweep of credit
+//! budgets (queue capacities), and replay the derived flow spec in the
+//! simulator — reporting throughput, observed queue high-watermarks
+//! (never above the budget), and the control-message traffic as a
+//! fraction of data traffic.
 
-use df_fabric::flow::{FlowSim, PipelineSpec, StageSpec};
+use df_core::expr::{col, lit};
+use df_core::logical::AggCall;
+use df_core::ops::AggMode;
+use df_core::optimizer::{Profiles, TableProfile};
+use df_core::physical::{PhysNode, PhysicalPlan};
+use df_core::pipeline::PipelineGraph;
+use df_data::{Column, DataType, Field, Schema};
+use df_fabric::flow::FlowSim;
 use df_fabric::topology::{DisaggregatedConfig, Topology};
-use df_fabric::OpClass;
+use df_storage::smart::ScanRequest;
+use df_storage::zonemap::ZoneMap;
 
 use crate::report::{fmt_util, ExpReport};
 
 use super::Scale;
+
+/// The E12 data path as a *placed physical plan*: full scan at the SSD,
+/// identity reshape on the storage NIC, a pass-through filter on the
+/// compute NIC, and the final aggregation on the host CPU.
+fn placed_plan(topo: &Topology, rows: u64) -> (PhysicalPlan, Profiles) {
+    let ssd = topo.expect_device("storage.ssd");
+    let snic = topo.expect_device("storage.nic");
+    let cnic = topo.expect_device("compute0.nic");
+    let cpu = topo.expect_device("compute0.cpu");
+
+    let fields: Vec<Field> = ["k", "a", "b", "c", "d"]
+        .iter()
+        .map(|n| Field::new(*n, DataType::Int64))
+        .collect();
+    let schema = Schema::new(fields).into_ref();
+
+    let mut profiles = Profiles::new();
+    profiles.insert(
+        "events".to_string(),
+        TableProfile {
+            rows,
+            // Stored width equals the in-memory width, so the leaf's
+            // derived selectivity is 1.0 (nothing is filtered at the SSD).
+            stored_bytes: rows * 40,
+            zones: {
+                let mut zones = vec![Some(ZoneMap::of(&Column::from_i64(vec![
+                    0,
+                    rows as i64 - 1,
+                ])))];
+                zones.extend((0..4).map(|_| None));
+                zones
+            },
+            schema: schema.as_ref().clone(),
+        },
+    );
+
+    let scan = PhysNode::StorageScan {
+        table: "events".into(),
+        request: ScanRequest::full(),
+        schema: schema.clone(),
+        device: Some(ssd),
+    };
+    let project = PhysNode::Project {
+        exprs: schema
+            .fields()
+            .iter()
+            .map(|f| (col(f.name.clone()), f.name.clone()))
+            .collect(),
+        schema: schema.clone(),
+        input: Box::new(scan),
+        device: Some(snic),
+    };
+    // Always true by the zone map, so the NIC stage passes every byte —
+    // the sweep measures queue dynamics, not data reduction.
+    let filter = PhysNode::Filter {
+        input: Box::new(project),
+        predicate: col("k").ge(lit(0)),
+        device: Some(cnic),
+        use_kernel: false,
+    };
+    let final_schema = Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("n", DataType::Int64),
+    ])
+    .into_ref();
+    let agg = PhysNode::Aggregate {
+        input: Box::new(filter),
+        group_by: vec!["k".into()],
+        aggs: vec![AggCall::count_star("n")],
+        mode: AggMode::Final,
+        final_schema,
+        device: Some(cpu),
+    };
+    (PhysicalPlan::new(agg, "full-path"), profiles)
+}
 
 /// Run E12.
 pub fn run(scale: Scale) -> ExpReport {
@@ -34,24 +119,17 @@ pub fn run(scale: Scale) -> ExpReport {
         "control/data traffic",
     ]);
 
-    let source_bytes = (scale.rows as u64).max(100_000) * 40;
+    let rows = (scale.rows as u64).max(100_000);
+    let source_bytes = rows * 40;
     for credits in [1usize, 2, 4, 8, 16] {
         let topo = Topology::disaggregated(&DisaggregatedConfig::default());
-        let ssd = topo.expect_device("storage.ssd");
-        let snic = topo.expect_device("storage.nic");
-        let cnic = topo.expect_device("compute0.nic");
         let cpu = topo.expect_device("compute0.cpu");
-        let spec = PipelineSpec::new(
-            format!("credits-{credits}"),
-            vec![
-                StageSpec::new(ssd, OpClass::Scan, 1.0).with_queue(credits),
-                StageSpec::new(snic, OpClass::Project, 1.0).with_queue(credits),
-                StageSpec::new(cnic, OpClass::Hash, 1.0).with_queue(credits),
-                StageSpec::new(cpu, OpClass::AggregateFinal, 0.01).with_queue(credits),
-            ],
-            source_bytes,
-        )
-        .with_chunk(256 << 10);
+        let (plan, profiles) = placed_plan(&topo, rows);
+        // Compile the placed plan with this credit budget: every derived
+        // stage queue inherits the graph's `queue_capacity`.
+        let graph = PipelineGraph::compile(&plan, Some(&profiles), None, credits);
+        let mut specs = graph.to_flow_specs(cpu, &format!("credits-{credits}"));
+        let spec = specs.remove(0).with_chunk(256 << 10);
         let mut sim = FlowSim::new(topo);
         sim.add_pipeline(spec);
         let outcome = sim.run();
@@ -118,5 +196,35 @@ mod tests {
             row[2].split_whitespace().next().unwrap().parse().unwrap()
         };
         assert!(tp(&report.rows[3]) >= tp(&report.rows[0]));
+    }
+
+    #[test]
+    fn derived_stages_follow_the_placed_path() {
+        // The graph-derived spec must land one stage per placed operator,
+        // in leaf-to-root order, with the credit budget on every queue.
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let cpu = topo.expect_device("compute0.cpu");
+        let (plan, profiles) = placed_plan(&topo, 100_000);
+        let graph = PipelineGraph::compile(&plan, Some(&profiles), None, 3);
+        let specs = graph.to_flow_specs(cpu, "p");
+        assert_eq!(specs.len(), 1);
+        let devices: Vec<_> = specs[0].stages.iter().map(|s| s.device).collect();
+        assert_eq!(
+            devices,
+            vec![
+                topo.expect_device("storage.ssd"),
+                topo.expect_device("storage.nic"),
+                topo.expect_device("compute0.nic"),
+                cpu,
+            ]
+        );
+        for s in &specs[0].stages {
+            assert_eq!(s.queue_capacity, 3);
+        }
+        // Nothing is filtered before the CPU: the in-path stages pass
+        // (essentially) every byte.
+        for s in &specs[0].stages[..3] {
+            assert!(s.selectivity > 0.99, "selectivity {}", s.selectivity);
+        }
     }
 }

@@ -4,6 +4,7 @@
 pub mod ledger;
 pub mod parallel;
 pub mod push;
+pub mod source;
 pub mod volcano;
 
 pub use ledger::MovementLedger;

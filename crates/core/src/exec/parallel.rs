@@ -8,9 +8,12 @@
 //! and a final merge combines worker partials — the same partial/merge
 //! machinery the data-path offloads use, applied across cores.
 //!
-//! Supported plan shape: `[Limit]? [Aggregate(Final)]? (Filter|Project)*
-//! (StorageScan|Values)`. Other shapes return `Unsupported`, and callers
-//! fall back to the sequential executor.
+//! Like the push executor, this driver consumes the compiled
+//! [`PipelineGraph`]: the graph's root spine is flattened (placement cuts
+//! are ignored — every worker runs on the local CPU) and accepted when it
+//! matches `[Limit]? [Aggregate(Final)]? (Filter|Project)*
+//! (StorageScan|Values)`. Other shapes return `Err(EngineError::Plan(_))`,
+//! and callers fall back to the sequential executor.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -20,10 +23,13 @@ use df_sim::trace::LaneKind;
 use crate::error::{EngineError, Result};
 use crate::exec::ledger::MovementLedger;
 use crate::exec::push::{ExecEnv, ExecOutcome};
-use crate::expr::Expr;
+use crate::exec::source;
 use crate::logical::AggCall;
-use crate::ops::{AggMode, FilterOp, HashAggOp, LimitOp, Operator, ProjectOp};
-use crate::physical::{PhysNode, PhysicalPlan};
+use crate::ops::{AggMode, HashAggOp, LimitOp, Operator};
+use crate::physical::PhysicalPlan;
+use crate::pipeline::{
+    EdgeRole, OperatorSpec, PipelineGraph, PipelineSource, DEFAULT_QUEUE_CAPACITY,
+};
 
 /// Rows per morsel handed to workers.
 pub const MORSEL_ROWS: usize = 4096;
@@ -52,112 +58,67 @@ impl MorselQueue {
     }
 }
 
-#[derive(Clone)]
-enum Stage {
-    Filter {
-        predicate: Expr,
-        use_kernel: bool,
-    },
-    Project {
-        exprs: Vec<(Expr, String)>,
-        schema: SchemaRef,
-    },
-}
-
-struct Shape<'a> {
-    leaf: &'a PhysNode,
-    /// Pipeline stages leaf-to-root order.
-    stages: Vec<Stage>,
+/// The parallel-executable shape read off the pipeline graph's root spine.
+struct Shape {
+    source: PipelineSource,
+    /// Per-worker streaming stages (filters/projections), leaf-to-root.
+    stages: Vec<OperatorSpec>,
     agg: Option<(Vec<String>, Vec<AggCall>, SchemaRef)>,
     limit: Option<u64>,
 }
 
-fn extract_shape(root: &PhysNode) -> Option<Shape<'_>> {
-    let mut node = root;
-    let mut limit = None;
-    if let PhysNode::Limit { input, n } = node {
-        limit = Some(*n);
-        node = input;
+/// Flatten the graph's root spine and accept it if it matches the
+/// supported shape. Join plans (any `JoinBuild` edge) and breakers other
+/// than one final aggregate are rejected.
+fn extract_shape(graph: &PipelineGraph) -> Option<Shape> {
+    if graph.edges.iter().any(|e| e.role == EdgeRole::JoinBuild) {
+        return None;
+    }
+    let spine = graph.spine(graph.root);
+    let leaf = &graph.pipelines[spine[0]];
+    let flat: Vec<&OperatorSpec> = spine
+        .iter()
+        .flat_map(|pid| graph.pipelines[*pid].ops.iter().map(|op| &op.spec))
+        .collect();
+
+    let mut i = 0;
+    let mut stages = Vec::new();
+    while let Some(OperatorSpec::Filter { .. } | OperatorSpec::Project { .. }) =
+        flat.get(i).copied()
+    {
+        stages.push(flat[i].clone());
+        i += 1;
     }
     let mut agg = None;
-    if let PhysNode::Aggregate {
-        input,
+    if let Some(OperatorSpec::Aggregate {
         group_by,
         aggs,
         mode: AggMode::Final,
         final_schema,
         ..
-    } = node
+    }) = flat.get(i).copied()
     {
         agg = Some((group_by.clone(), aggs.clone(), final_schema.clone()));
-        node = input;
+        i += 1;
     }
-    let mut stages_rev = Vec::new();
-    loop {
-        match node {
-            PhysNode::Filter {
-                input,
-                predicate,
-                use_kernel,
-                ..
-            } => {
-                stages_rev.push(Stage::Filter {
-                    predicate: predicate.clone(),
-                    use_kernel: *use_kernel,
-                });
-                node = input;
-            }
-            PhysNode::Project {
-                input,
-                exprs,
-                schema,
-                ..
-            } => {
-                stages_rev.push(Stage::Project {
-                    exprs: exprs.clone(),
-                    schema: schema.clone(),
-                });
-                node = input;
-            }
-            PhysNode::StorageScan { .. } | PhysNode::Values { .. } => {
-                stages_rev.reverse();
-                return Some(Shape {
-                    leaf: node,
-                    stages: stages_rev,
-                    agg,
-                    limit,
-                });
-            }
-            _ => return None,
-        }
+    let mut limit = None;
+    if let Some(OperatorSpec::Limit { n, .. }) = flat.get(i).copied() {
+        limit = Some(*n);
+        i += 1;
     }
+    if i != flat.len() {
+        return None;
+    }
+    Some(Shape {
+        source: leaf.source.clone(),
+        stages,
+        agg,
+        limit,
+    })
 }
 
-fn build_stage_ops(
-    stages: &[Stage],
-    mut input_schema: SchemaRef,
-) -> Result<Vec<Box<dyn Operator>>> {
-    let mut ops: Vec<Box<dyn Operator>> = Vec::with_capacity(stages.len());
-    for stage in stages {
-        match stage {
-            Stage::Filter {
-                predicate,
-                use_kernel,
-            } => {
-                let op = if *use_kernel {
-                    FilterOp::kernel(predicate, input_schema.clone())?
-                } else {
-                    FilterOp::host(predicate.clone(), input_schema.clone())
-                };
-                ops.push(Box::new(op));
-            }
-            Stage::Project { exprs, schema } => {
-                ops.push(Box::new(ProjectOp::new(exprs.clone(), schema.clone())));
-                input_schema = schema.clone();
-            }
-        }
-    }
-    Ok(ops)
+fn build_stage_ops(stages: &[OperatorSpec]) -> Result<Vec<Box<dyn Operator>>> {
+    stages.iter().map(|s| s.instantiate_streaming()).collect()
 }
 
 fn run_chain(ops: &mut [Box<dyn Operator>], batch: Batch) -> Result<Vec<Batch>> {
@@ -180,26 +141,30 @@ fn run_chain(ops: &mut [Box<dyn Operator>], batch: Batch) -> Result<Vec<Batch>> 
 /// should then use [`crate::exec::push::execute`].
 pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> Result<ExecOutcome> {
     let threads = threads.max(1);
-    let shape = extract_shape(&plan.root).ok_or_else(|| {
+    let graph = PipelineGraph::compile(plan, None, env.topology, DEFAULT_QUEUE_CAPACITY);
+    let shape = extract_shape(&graph).ok_or_else(|| {
         EngineError::Plan("plan shape not supported by the parallel executor".into())
     })?;
-    let leaf_schema = shape.leaf.schema();
 
     // Collect leaf batches (the storage scan still applies pushdown).
     let mut ledger = MovementLedger::new();
     let mut scan_stats = Vec::new();
-    let leaf_device = shape.leaf.device();
-    let source: Vec<Batch> = match shape.leaf {
-        PhysNode::Values { batches, .. } => batches.clone(),
-        PhysNode::StorageScan { table, request, .. } => {
-            let storage = env.storage.ok_or_else(|| {
-                EngineError::Internal("plan has StorageScan but env has no storage".into())
-            })?;
-            let (batches, stats) = storage.scan(table, request)?;
+    let leaf_device = shape.source.device();
+    let (source, leaf_schema): (Vec<Batch>, SchemaRef) = match &shape.source {
+        PipelineSource::Values {
+            batches, schema, ..
+        } => (batches.clone(), schema.clone()),
+        PipelineSource::Scan {
+            table,
+            request,
+            schema,
+            ..
+        } => {
+            let (batches, stats) = source::scan_materialized(env.storage, table, request)?;
             scan_stats.push(stats);
-            batches
+            (batches, schema.clone())
         }
-        _ => unreachable!("extract_shape only returns scan/values leaves"),
+        PipelineSource::Edge { .. } => unreachable!("spine leaves carry concrete sources"),
     };
     for b in &source {
         ledger.charge(leaf_device, None, b.byte_size() as u64, b.rows() as u64);
@@ -220,6 +185,11 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
         None
     };
     let rows_emitted = AtomicU64::new(0);
+    let chain_out_schema = shape
+        .stages
+        .last()
+        .map(|s| s.output_schema())
+        .unwrap_or_else(|| leaf_schema.clone());
     // Lanes are created up front in worker order so lane creation is
     // deterministic even though workers race.
     let worker_trace: Vec<_> = (0..threads)
@@ -237,12 +207,11 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
         for trace in worker_trace {
             let queue = &queue;
             let rows_emitted = &rows_emitted;
-            let stages = shape.stages.clone();
+            let stages = &shape.stages;
             let agg = shape.agg.clone();
-            let leaf_schema = leaf_schema.clone();
+            let chain_out_schema = chain_out_schema.clone();
             handles.push(scope.spawn(move || -> Result<Vec<Batch>> {
-                let mut ops = build_stage_ops(&stages, leaf_schema.clone())?;
-                let chain_out_schema = ops.last().map(|op| op.schema()).unwrap_or(leaf_schema);
+                let mut ops = build_stage_ops(stages)?;
                 let mut partial = match &agg {
                     Some((group_by, aggs, final_schema)) => Some(HashAggOp::new(
                         group_by.clone(),
@@ -327,17 +296,9 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
                 Vec::new()
             } else {
                 // Merge worker partials (positional layout).
-                let partial_layout = crate::ops::aggregate::partial_schema(group_by, aggs, &{
-                    // The chain output schema:
-                    let mut s = leaf_schema.clone();
-                    for stage in &shape.stages {
-                        if let Stage::Project { schema, .. } = stage {
-                            s = schema.clone();
-                        }
-                    }
-                    s.as_ref().clone()
-                })?
-                .into_ref();
+                let partial_layout =
+                    crate::ops::aggregate::partial_schema(group_by, aggs, &chain_out_schema)?
+                        .into_ref();
                 let mut merge = HashAggOp::new(
                     group_by.clone(),
                     aggs.clone(),
@@ -383,6 +344,7 @@ mod tests {
     use crate::exec::push::execute as push_execute;
     use crate::expr::{col, lit};
     use crate::logical::{AggCall, AggFn, LogicalPlan};
+    use crate::physical::PhysNode;
     use df_data::batch::batch_of;
     use df_data::Column;
 
@@ -568,6 +530,44 @@ mod tests {
         let plan = agg_plan(5_000);
         let seq = push_execute(&plan, &ExecEnv::in_memory()).unwrap();
         let par = execute_parallel(&plan, &ExecEnv::in_memory(), 1).unwrap();
+        assert_eq!(
+            seq.collect().unwrap().canonical_rows(),
+            par.collect().unwrap().canonical_rows()
+        );
+    }
+
+    #[test]
+    fn placed_stages_flatten_across_device_cuts() {
+        // Placement cuts produce multiple pipelines; the parallel driver
+        // flattens them and still runs the whole chain per worker.
+        let topo = df_fabric::Topology::disaggregated(
+            &df_fabric::topology::DisaggregatedConfig::default(),
+        );
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let calls = vec![AggCall::count_star("n")];
+        let logical = LogicalPlan::values(vec![sample(8)])
+            .unwrap()
+            .aggregate(vec!["grp".into()], calls.clone())
+            .unwrap();
+        let plan = PhysicalPlan::new(
+            PhysNode::Aggregate {
+                input: Box::new(PhysNode::Filter {
+                    input: Box::new(values(20_000)),
+                    predicate: col("v").lt(lit(50.0)),
+                    device: Some(nic),
+                    use_kernel: false,
+                }),
+                group_by: vec!["grp".into()],
+                aggs: calls,
+                mode: AggMode::Final,
+                final_schema: logical.schema(),
+                device: Some(cpu),
+            },
+            "placed-parallel",
+        );
+        let seq = push_execute(&plan, &ExecEnv::in_memory()).unwrap();
+        let par = execute_parallel(&plan, &ExecEnv::in_memory(), 4).unwrap();
         assert_eq!(
             seq.collect().unwrap().canonical_rows(),
             par.collect().unwrap().canonical_rows()

@@ -1,9 +1,23 @@
-//! The push-based streaming executor.
+//! The push-based streaming executor, driving the [`PipelineGraph`] IR.
 //!
-//! Batches flow leaf-to-root through operator chains; nothing materializes
-//! between streaming operators. Pipeline breakers (final aggregation, sort,
-//! join build) buffer inside their operator. Every batch crossing a
-//! placement boundary is charged to the [`MovementLedger`].
+//! Plans compile into a graph of placed pipelines (see [`crate::pipeline`]);
+//! this module executes that graph. Batches flow leaf-to-root through each
+//! pipeline's operator chain; nothing materializes between streaming
+//! operators. Pipeline breakers (final aggregation, sort, join build)
+//! buffer inside their operator. Inter-pipeline edges are where all
+//! boundary effects live, in exactly one place each:
+//!
+//! - **ledger charging** — every batch handed from one operator (or
+//!   pipeline) to the next is charged to the [`MovementLedger`], at its
+//!   wire-encoded size when the move crosses devices and wire options are
+//!   set;
+//! - **fabric edges** — an edge whose endpoints sit on different devices
+//!   runs its producer pipeline on its own thread and moves batches through
+//!   a credit-bounded channel (`queue_capacity` chunks, §7.1), so
+//!   backpressure exists in real execution: a producer that outruns its
+//!   consumer blocks in a `credit-wait` span;
+//! - **local edges** — same-placement handoffs stay plain function calls
+//!   and execute inline, preserving the exact single-threaded behavior.
 //!
 //! Positional partial-aggregate contract: a `Merge`-mode aggregate consumes
 //! batches laid out as group columns followed by one partial column per
@@ -11,8 +25,9 @@
 //! stage and the storage server's pushed-down pre-aggregation produce this
 //! layout, so partials from any device merge interchangeably.
 
-use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::Scope;
 
 use df_data::Batch;
 use df_fabric::{DeviceId, Topology};
@@ -21,8 +36,11 @@ use df_storage::smart::{ScanStats, SmartStorage};
 
 use crate::error::{EngineError, Result};
 use crate::exec::ledger::MovementLedger;
-use crate::ops::{FilterOp, HashAggOp, HashJoinOp, LimitOp, Operator, ProjectOp, SortOp, TopKOp};
-use crate::physical::{PhysNode, PhysicalPlan};
+use crate::exec::source;
+use crate::physical::PhysicalPlan;
+use crate::pipeline::{
+    EdgeKind, PipelineGraph, PipelineOp, PipelineSource, RuntimeOp, DEFAULT_QUEUE_CAPACITY,
+};
 
 /// Execution environment: where stored tables live and (optionally) the
 /// fabric for route validation.
@@ -30,8 +48,8 @@ pub struct ExecEnv<'a> {
     /// Smart-storage server for `StorageScan` nodes (None = plans must not
     /// contain storage scans).
     pub storage: Option<&'a SmartStorage>,
-    /// Fabric topology (used for ledger route reports; execution itself
-    /// never needs it).
+    /// Fabric topology (resolves fabric-edge routes and ledger route
+    /// reports; execution works without it).
     pub topology: Option<&'a Topology>,
     /// When set, batches crossing a device boundary are charged at their
     /// *wire-encoded* size under these options (compression/encryption as
@@ -83,257 +101,380 @@ impl ExecOutcome {
     }
 }
 
-struct Ctx<'a, 'b> {
-    env: &'b ExecEnv<'a>,
-    ledger: &'b RefCell<MovementLedger>,
-    scan_stats: &'b RefCell<Vec<ScanStats>>,
-    trace: Option<(&'b Arc<Tracer>, LaneId)>,
-}
-
-impl Ctx<'_, '_> {
-    /// Open a wall-clock span on the executor lane (None when not tracing).
-    fn span<'s>(&'s self, name: &str, args: &[(&str, u64)]) -> Option<SpanGuard<'s>> {
-        self.trace.map(|(t, lane)| t.span_with(lane, name, args))
-    }
-}
-
-/// Execute a physical plan.
+/// Execute a physical plan: compile it to a [`PipelineGraph`] and drive
+/// the graph.
 pub fn execute(plan: &PhysicalPlan, env: &ExecEnv) -> Result<ExecOutcome> {
-    let ledger = RefCell::new(MovementLedger::new());
-    let scan_stats = RefCell::new(Vec::new());
+    let graph = PipelineGraph::compile(plan, None, env.topology, DEFAULT_QUEUE_CAPACITY);
+    execute_graph(&graph, env, &plan.variant)
+}
+
+/// Execute a compiled pipeline graph.
+pub fn execute_graph(graph: &PipelineGraph, env: &ExecEnv, variant: &str) -> Result<ExecOutcome> {
+    let runner = Runner::new(graph, env);
     let mut batches = Vec::new();
     {
-        let trace = env
-            .tracer
-            .as_ref()
-            .map(|t| (t, t.lane("exec.push", LaneKind::Wall)));
-        let ctx = Ctx {
-            env,
-            ledger: &ledger,
-            scan_stats: &scan_stats,
-            trace,
-        };
-        let _query = ctx.span(&format!("query [{}]", plan.variant), &[]);
-        stream_node(&plan.root, &ctx, None, &mut |b| {
-            batches.push(b);
-            Ok(())
+        let trace = runner.trace(runner.root_lane);
+        let _query = open_span(trace, &format!("query [{variant}]"), &[]);
+        std::thread::scope(|scope| {
+            runner.run_pipeline(scope, graph.root, trace, None, &mut |b| {
+                batches.push(b);
+                Ok(())
+            })
         })?;
     }
-    Ok(ExecOutcome {
-        batches,
-        ledger: ledger.into_inner(),
-        scan_stats: scan_stats.into_inner(),
-    })
+    Ok(runner.into_outcome(batches))
 }
 
 type Sink<'s> = dyn FnMut(Batch) -> Result<()> + 's;
 
-/// Charge a batch leaving `device` toward `parent` and forward it. When
-/// the environment carries wire options, cross-device moves are charged at
-/// the encoded frame size (what a NIC would actually put on the link).
-fn emit(
-    ctx: &Ctx,
-    device: Option<DeviceId>,
-    parent: Option<DeviceId>,
-    batch: Batch,
-    sink: &mut Sink,
-) -> Result<()> {
-    let crosses = matches!((device, parent), (Some(f), Some(t)) if f != t);
-    let bytes = match (&ctx.env.wire, crosses) {
-        (Some(opts), true) => df_codec::wire::wire_size(&batch, opts) as u64,
-        _ => batch.byte_size() as u64,
-    };
-    ctx.ledger
-        .borrow_mut()
-        .charge(device, parent, bytes, batch.rows() as u64);
-    sink(batch)
+/// A tracer plus the lane the current pipeline records on.
+type Trace<'t> = Option<(&'t Tracer, LaneId)>;
+
+fn open_span<'t>(trace: Trace<'t>, name: &str, args: &[(&str, u64)]) -> Option<SpanGuard<'t>> {
+    trace.map(|(t, lane)| t.span_with(lane, name, args))
 }
 
-/// Short span label for a plan node.
-fn node_label(node: &PhysNode) -> &'static str {
-    match node {
-        PhysNode::StorageScan { .. } => "storage-scan",
-        PhysNode::Values { .. } => "values",
-        PhysNode::Filter { .. } => "filter",
-        PhysNode::Project { .. } => "project",
-        PhysNode::Aggregate { .. } => "aggregate",
-        PhysNode::Sort { .. } => "sort",
-        PhysNode::Limit { .. } => "limit",
-        PhysNode::TopK { .. } => "topk",
-        PhysNode::HashJoin { .. } => "hash-join",
+/// Open operator spans, popped innermost-first. On unwind (errors) the
+/// `Drop` impl pops from the end so per-lane span nesting stays valid.
+struct SpanStack<'t>(Vec<SpanGuard<'t>>);
+
+impl<'t> SpanStack<'t> {
+    fn push(&mut self, guard: Option<SpanGuard<'t>>) {
+        if let Some(g) = guard {
+            self.0.push(g);
+        }
+    }
+
+    fn pop(&mut self) {
+        self.0.pop();
     }
 }
 
-fn stream_node(
-    node: &PhysNode,
-    ctx: &Ctx,
-    parent: Option<DeviceId>,
-    sink: &mut Sink,
-) -> Result<()> {
-    // One span per operator; children nest inside it (push-based execution
-    // runs the whole subtree within the parent operator's drive loop).
-    let _op_span = ctx.span(node_label(node), &[]);
-    match node {
-        PhysNode::StorageScan {
-            table,
-            request,
-            device,
-            ..
-        } => {
-            let storage = ctx.env.storage.ok_or_else(|| {
-                EngineError::Internal("plan has StorageScan but env has no storage".into())
-            })?;
-            let mut inner_err: Option<EngineError> = None;
-            let stats = storage
-                .scan_streaming(table, request, &mut |batch| {
-                    if inner_err.is_some() {
-                        return;
-                    }
-                    if let Err(e) = emit(ctx, *device, parent, batch, sink) {
-                        inner_err = Some(e);
-                    }
-                })
-                .map_err(EngineError::from)?;
-            ctx.scan_stats.borrow_mut().push(stats);
-            match inner_err {
-                Some(e) => Err(e),
-                None => Ok(()),
+impl Drop for SpanStack<'_> {
+    fn drop(&mut self) {
+        while self.0.pop().is_some() {}
+    }
+}
+
+/// Per-pipeline side effects, merged in pipeline order at the end so
+/// totals are independent of thread interleaving.
+#[derive(Default)]
+struct Account {
+    ledger: MovementLedger,
+    scan_stats: Vec<ScanStats>,
+}
+
+struct Runner<'a, 'b> {
+    graph: &'b PipelineGraph,
+    env: &'b ExecEnv<'a>,
+    accounts: Vec<Mutex<Account>>,
+    /// Wall lane of each fabric-producer pipeline (None = runs inline on
+    /// its consumer's lane).
+    lanes: Vec<Option<LaneId>>,
+    root_lane: Option<LaneId>,
+}
+
+impl<'a, 'b> Runner<'a, 'b> {
+    fn new(graph: &'b PipelineGraph, env: &'b ExecEnv<'a>) -> Runner<'a, 'b> {
+        // Lanes are created up front, in deterministic order: the root
+        // lane first, then one lane per fabric-producer pipeline.
+        let root_lane = env
+            .tracer
+            .as_ref()
+            .map(|t| t.lane("exec.push", LaneKind::Wall));
+        let mut lanes = vec![None; graph.pipelines.len()];
+        if let Some(t) = env.tracer.as_ref() {
+            for edge in &graph.edges {
+                if matches!(edge.kind, EdgeKind::Fabric { .. }) {
+                    lanes[edge.from] =
+                        Some(t.lane(&format!("exec.push.p{}", edge.from), LaneKind::Wall));
+                }
             }
         }
-        PhysNode::Values {
-            batches, device, ..
-        } => {
-            for batch in batches {
-                emit(ctx, *device, parent, batch.clone(), sink)?;
+        Runner {
+            graph,
+            env,
+            accounts: graph.pipelines.iter().map(|_| Mutex::default()).collect(),
+            lanes,
+            root_lane,
+        }
+    }
+
+    fn trace(&self, lane: Option<LaneId>) -> Trace<'_> {
+        match (&self.env.tracer, lane) {
+            (Some(t), Some(lane)) => Some((t.as_ref(), lane)),
+            _ => None,
+        }
+    }
+
+    fn into_outcome(self, batches: Vec<Batch>) -> ExecOutcome {
+        let mut ledger = MovementLedger::new();
+        let mut scan_stats = Vec::new();
+        for account in self.accounts {
+            let account = account.into_inner().expect("account lock poisoned");
+            ledger.merge(&account.ledger);
+            scan_stats.extend(account.scan_stats);
+        }
+        ExecOutcome {
+            batches,
+            ledger,
+            scan_stats,
+        }
+    }
+
+    /// Charge a batch handed from `from` toward `to` — the single ledger
+    /// and wire-encoding site. Cross-device moves are charged at the
+    /// encoded frame size when the environment carries wire options (what
+    /// a NIC would actually put on the link).
+    fn charge(&self, pid: usize, from: Option<DeviceId>, to: Option<DeviceId>, batch: &Batch) {
+        let crosses = matches!((from, to), (Some(f), Some(t)) if f != t);
+        let bytes = match (&self.env.wire, crosses) {
+            (Some(opts), true) => df_codec::wire::wire_size(batch, opts) as u64,
+            _ => batch.byte_size() as u64,
+        };
+        self.accounts[pid]
+            .lock()
+            .expect("account lock poisoned")
+            .ledger
+            .charge(from, to, bytes, batch.rows() as u64);
+    }
+
+    /// Run one pipeline to completion: open its operator spans, drain any
+    /// join-build edges, stream its source through the operator chain into
+    /// `sink`, then cascade `finish()` leaf-to-root.
+    fn run_pipeline<'env, 'scope>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        pid: usize,
+        trace: Trace<'env>,
+        parent_dev: Option<DeviceId>,
+        sink: &mut Sink,
+    ) -> Result<()> {
+        let p = &self.graph.pipelines[pid];
+        let specs = &p.ops[..];
+        let mut ops = specs
+            .iter()
+            .map(|o| o.spec.instantiate())
+            .collect::<Result<Vec<RuntimeOp>>>()?;
+
+        // Operator spans open root-to-leaf; batches later nest inside all
+        // of them. A join drains its build side as soon as its span opens
+        // (build before probe), then stays inside a `join-probe` span
+        // until the operators below it have finished.
+        let mut spans = SpanStack(Vec::new());
+        for i in (0..specs.len()).rev() {
+            spans.push(open_span(trace, specs[i].spec.label(), &[]));
+            if let Some(build_edge) = specs[i].build_edge {
+                {
+                    let _build = open_span(trace, "join-build", &[]);
+                    let op = &mut ops[i];
+                    self.drain_edge(scope, build_edge, trace, &mut |batch| op.build(batch))?;
+                }
+                spans.push(open_span(trace, "join-probe", &[]));
             }
-            Ok(())
         }
-        PhysNode::Filter {
-            input,
-            predicate,
-            device,
-            use_kernel,
-        } => {
-            let mut op = if *use_kernel {
-                FilterOp::kernel(predicate, input.schema())?
-            } else {
-                FilterOp::host(predicate.clone(), input.schema())
-            };
-            run_unary(node, input, &mut op, ctx, *device, parent, sink)
-        }
-        PhysNode::Project {
-            input,
-            exprs,
-            schema,
-            device,
-        } => {
-            let mut op = ProjectOp::new(exprs.clone(), schema.clone());
-            run_unary(node, input, &mut op, ctx, *device, parent, sink)
-        }
-        PhysNode::Aggregate {
-            input,
-            group_by,
-            aggs,
-            mode,
-            final_schema,
-            device,
-        } => {
-            let mut op = HashAggOp::new(
-                group_by.clone(),
-                aggs.clone(),
-                *mode,
-                &input.schema(),
-                final_schema.clone(),
-            )?;
-            run_unary(node, input, &mut op, ctx, *device, parent, sink)
-        }
-        PhysNode::Sort {
-            input,
-            keys,
-            device,
-        } => {
-            let mut op = SortOp::new(keys.clone(), input.schema());
-            run_unary(node, input, &mut op, ctx, *device, parent, sink)
-        }
-        PhysNode::Limit { input, n } => {
-            let device = node.device();
-            let mut op = LimitOp::new(*n, input.schema());
-            run_unary(node, input, &mut op, ctx, device, parent, sink)
-        }
-        PhysNode::TopK {
-            input,
-            keys,
-            k,
-            device,
-        } => {
-            let mut op = TopKOp::new(keys.clone(), *k, input.schema());
-            run_unary(node, input, &mut op, ctx, *device, parent, sink)
-        }
-        PhysNode::HashJoin {
-            build,
-            probe,
-            on,
-            join_type,
-            schema,
-            device,
-        } => {
-            let mut op =
-                HashJoinOp::with_type(on.clone(), *join_type, build.schema(), schema.clone());
-            // Phase 1: drain the build side into the hash table.
-            {
-                let _build_span = ctx.span("join-build", &[]);
-                stream_node(build, ctx, *device, &mut |batch| op.build(batch))?;
+
+        // Stream the source through the chain.
+        let first_target = specs.first().map_or(parent_dev, |o| o.device);
+        match &p.source {
+            PipelineSource::Values {
+                batches, device, ..
+            } => {
+                let _source = open_span(trace, "values", &[]);
+                for batch in batches {
+                    self.charge(pid, *device, first_target, batch);
+                    self.feed(pid, &mut ops, specs, parent_dev, trace, batch.clone(), sink)?;
+                }
             }
-            // Phase 2: stream probes through.
-            {
-                let _probe_span = ctx.span("join-probe", &[]);
-                stream_node(probe, ctx, *device, &mut |batch| {
-                    for out in op.push(batch)? {
-                        emit(ctx, *device, parent, out, sink)?;
-                    }
-                    Ok(())
+            PipelineSource::Scan {
+                table,
+                request,
+                device,
+                ..
+            } => {
+                let _source = open_span(trace, "storage-scan", &[]);
+                let device = *device;
+                let ops = &mut ops;
+                let stats =
+                    source::scan_streaming(self.env.storage, table, request, &mut |batch| {
+                        self.charge(pid, device, first_target, &batch);
+                        self.feed(
+                            pid,
+                            ops.as_mut_slice(),
+                            specs,
+                            parent_dev,
+                            trace,
+                            batch,
+                            sink,
+                        )
+                    })?;
+                self.accounts[pid]
+                    .lock()
+                    .expect("account lock poisoned")
+                    .scan_stats
+                    .push(stats);
+            }
+            PipelineSource::Edge { edge } => {
+                let ops = &mut ops;
+                self.drain_edge(scope, *edge, trace, &mut |batch| {
+                    self.feed(
+                        pid,
+                        ops.as_mut_slice(),
+                        specs,
+                        parent_dev,
+                        trace,
+                        batch,
+                        sink,
+                    )
                 })?;
             }
-            for out in op.finish()? {
-                emit(ctx, *device, parent, out, sink)?;
-            }
-            Ok(())
         }
-    }
-}
 
-/// Drive a unary operator: stream the child into it, forwarding outputs.
-fn run_unary(
-    _node: &PhysNode,
-    input: &PhysNode,
-    op: &mut dyn Operator,
-    ctx: &Ctx,
-    device: Option<DeviceId>,
-    parent: Option<DeviceId>,
-    sink: &mut Sink,
-) -> Result<()> {
-    stream_node(input, ctx, device, &mut |batch| {
-        let mut morsel = ctx.span(
-            "morsel",
-            &[
-                ("rows", batch.rows() as u64),
-                ("bytes", batch.byte_size() as u64),
-            ],
-        );
+        // Finish cascade, leaf-to-root: each operator flushes through the
+        // operators above it before its span closes.
+        for i in 0..specs.len() {
+            if specs[i].build_edge.is_some() {
+                spans.pop(); // close `join-probe`: upstream input is done
+            }
+            let (head, rest) = ops.split_at_mut(i + 1);
+            let target = specs.get(i + 1).map_or(parent_dev, |s| s.device);
+            for out in head[i].finish()? {
+                self.charge(pid, specs[i].device, target, &out);
+                self.feed(pid, rest, &specs[i + 1..], parent_dev, trace, out, sink)?;
+            }
+            spans.pop();
+        }
+        Ok(())
+    }
+
+    /// Push one batch through the operator chain `ops` (parallel to
+    /// `specs`), charging each handoff and forwarding results into `sink`.
+    #[allow(clippy::too_many_arguments)]
+    fn feed(
+        &self,
+        pid: usize,
+        ops: &mut [RuntimeOp],
+        specs: &[PipelineOp],
+        parent_dev: Option<DeviceId>,
+        trace: Trace<'_>,
+        batch: Batch,
+        sink: &mut Sink,
+    ) -> Result<()> {
+        let Some((op, rest)) = ops.split_first_mut() else {
+            return sink(batch);
+        };
+        let (spec, rest_specs) = specs.split_first().expect("specs parallel to ops");
+        // Unary operators get a morsel span; join probes stream inside
+        // their `join-probe` span instead.
+        let mut morsel = if spec.build_edge.is_some() {
+            None
+        } else {
+            open_span(
+                trace,
+                "morsel",
+                &[
+                    ("rows", batch.rows() as u64),
+                    ("bytes", batch.byte_size() as u64),
+                ],
+            )
+        };
+        let target = rest_specs.first().map_or(parent_dev, |s| s.device);
         let mut out_rows = 0u64;
         for out in op.push(batch)? {
             out_rows += out.rows() as u64;
-            emit(ctx, device, parent, out, sink)?;
+            self.charge(pid, spec.device, target, &out);
+            self.feed(pid, rest, rest_specs, parent_dev, trace, out, sink)?;
         }
         if let Some(span) = morsel.as_mut() {
             span.annotate("out_rows", out_rows);
         }
         Ok(())
-    })?;
-    for out in op.finish()? {
-        emit(ctx, device, parent, out, sink)?;
     }
-    Ok(())
+
+    /// Drain one inter-pipeline edge into `sink` — the single site where
+    /// edges move batches. Local edges run their producer inline on the
+    /// consumer's lane; fabric edges run it on its own thread behind a
+    /// credit-bounded channel.
+    fn drain_edge<'env, 'scope>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        eid: usize,
+        consumer_trace: Trace<'env>,
+        sink: &mut Sink,
+    ) -> Result<()> {
+        let edge = &self.graph.edges[eid];
+        match edge.kind {
+            EdgeKind::Local => {
+                self.run_pipeline(scope, edge.from, consumer_trace, edge.to_device, sink)
+            }
+            EdgeKind::Fabric { .. } => {
+                let credits = edge.queue_capacity.max(1);
+                let from = edge.from;
+                let to_device = edge.to_device;
+                let (tx, rx) = sync_channel::<Batch>(credits);
+                let producer = scope.spawn(move || -> Result<()> {
+                    let trace = self.trace(self.lanes[from]);
+                    let mut chunks = 0u64;
+                    let mut credit_waits = 0u64;
+                    let mut hung_up = false;
+                    let mut edge_span =
+                        open_span(trace, "fabric-edge", &[("credits", credits as u64)]);
+                    let result = self.run_pipeline(scope, from, trace, to_device, &mut |batch| {
+                        match tx.try_send(batch) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(batch)) => {
+                                // Out of credits: block until the
+                                // consumer frees a slot (§7.1).
+                                credit_waits += 1;
+                                let _wait = open_span(trace, "credit-wait", &[]);
+                                if tx.send(batch).is_err() {
+                                    hung_up = true;
+                                    return Err(hangup());
+                                }
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                hung_up = true;
+                                return Err(hangup());
+                            }
+                        }
+                        chunks += 1;
+                        Ok(())
+                    });
+                    if let Some(span) = edge_span.as_mut() {
+                        span.annotate("chunks", chunks);
+                        span.annotate("credit_waits", credit_waits);
+                    }
+                    drop(edge_span);
+                    // A hang-up means the consumer failed; its error is
+                    // the one worth reporting, so the producer exits clean.
+                    if hung_up {
+                        Ok(())
+                    } else {
+                        result
+                    }
+                });
+                let mut consumer_err: Option<EngineError> = None;
+                for batch in rx.iter() {
+                    if let Err(e) = sink(batch) {
+                        consumer_err = Some(e);
+                        break;
+                    }
+                }
+                drop(rx); // producer's next send observes the hang-up
+                let produced = producer
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+                match consumer_err {
+                    Some(e) => Err(e),
+                    None => produced,
+                }
+            }
+        }
+    }
+}
+
+fn hangup() -> EngineError {
+    EngineError::Internal("fabric-edge consumer disconnected".into())
 }
 
 #[cfg(test)]
@@ -342,6 +483,7 @@ mod tests {
     use crate::expr::{col, lit};
     use crate::logical::{AggCall, AggFn, LogicalPlan};
     use crate::ops::AggMode;
+    use crate::physical::PhysNode;
     use df_data::batch::batch_of;
     use df_data::{Column, Scalar};
     use df_fabric::topology::DisaggregatedConfig;
@@ -680,5 +822,78 @@ mod tests {
             "test",
         );
         assert!(execute(&plan, &ExecEnv::in_memory()).is_err());
+    }
+
+    #[test]
+    fn fabric_edge_streams_through_credit_bounded_channel() {
+        // A placed filter -> aggregate crossing nic -> cpu: the fabric
+        // edge must carry every batch (results identical to the unplaced
+        // run) and the producer lane must record the fabric-edge span.
+        let topo = df_fabric::Topology::disaggregated(&DisaggregatedConfig::default());
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let logical = LogicalPlan::values(vec![sample(2000)])
+            .unwrap()
+            .aggregate(vec!["grp".into()], vec![AggCall::count_star("n")])
+            .unwrap();
+        let mk = |devices: Option<(DeviceId, DeviceId)>| {
+            PhysicalPlan::new(
+                PhysNode::Aggregate {
+                    input: Box::new(PhysNode::Filter {
+                        input: Box::new(values_node(2000)),
+                        predicate: col("qty").lt(lit(8)),
+                        device: devices.map(|(a, _)| a),
+                        use_kernel: false,
+                    }),
+                    group_by: vec!["grp".into()],
+                    aggs: vec![AggCall::count_star("n")],
+                    mode: AggMode::Final,
+                    final_schema: logical.schema(),
+                    device: devices.map(|(_, b)| b),
+                },
+                "placed",
+            )
+        };
+        let unplaced = execute(&mk(None), &ExecEnv::in_memory()).unwrap();
+
+        let tracer = Arc::new(Tracer::new());
+        let env = ExecEnv {
+            storage: None,
+            topology: Some(&topo),
+            wire: None,
+            tracer: Some(tracer.clone()),
+        };
+        let placed = execute(&mk(Some((nic, cpu))), &env).unwrap();
+        assert_eq!(
+            placed.collect().unwrap().canonical_rows(),
+            unplaced.collect().unwrap().canonical_rows()
+        );
+        assert!(placed.ledger.cross_device_bytes() > 0);
+        tracer.validate().expect("well-formed trace");
+        let json = tracer.chrome_trace_json();
+        assert!(json.contains("fabric-edge"));
+        assert!(tracer.lane_names().iter().any(|l| l == "exec.push.p0"));
+    }
+
+    #[test]
+    fn graph_compiles_once_and_replays() {
+        // execute_graph can rerun the same compiled graph.
+        let plan = PhysicalPlan::new(
+            PhysNode::Filter {
+                input: Box::new(values_node(64)),
+                predicate: col("qty").lt(lit(5)),
+                device: None,
+                use_kernel: false,
+            },
+            "test",
+        );
+        let graph = PipelineGraph::compile(&plan, None, None, DEFAULT_QUEUE_CAPACITY);
+        let env = ExecEnv::in_memory();
+        let a = execute_graph(&graph, &env, "test").unwrap();
+        let b = execute_graph(&graph, &env, "test").unwrap();
+        assert_eq!(
+            a.collect().unwrap().canonical_rows(),
+            b.collect().unwrap().canonical_rows()
+        );
     }
 }

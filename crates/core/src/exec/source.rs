@@ -1,0 +1,76 @@
+//! The single source-materialization path shared by every executor.
+//!
+//! `StorageScan` handling used to be reimplemented in the push executor
+//! (streaming), the Volcano baseline (materialized) and the morsel-parallel
+//! driver (materialized). All three now call into this module, so the
+//! missing-storage error, the stats capture and the pushdown semantics live
+//! in exactly one place.
+
+use df_data::Batch;
+use df_storage::smart::{ScanRequest, ScanStats, SmartStorage};
+
+use crate::error::{EngineError, Result};
+use crate::physical::PhysNode;
+
+fn require_storage(storage: Option<&SmartStorage>) -> Result<&SmartStorage> {
+    storage
+        .ok_or_else(|| EngineError::Internal("plan has StorageScan but env has no storage".into()))
+}
+
+/// Stream a storage scan, invoking `on_batch` per page-sized batch. The
+/// pushed-down request executes at the storage server; stats describe what
+/// the scan touched vs returned. Errors raised by `on_batch` abort the
+/// stream and are returned verbatim.
+pub fn scan_streaming(
+    storage: Option<&SmartStorage>,
+    table: &str,
+    request: &ScanRequest,
+    on_batch: &mut dyn FnMut(Batch) -> Result<()>,
+) -> Result<ScanStats> {
+    let storage = require_storage(storage)?;
+    let mut inner_err: Option<EngineError> = None;
+    let stats = storage
+        .scan_streaming(table, request, &mut |batch| {
+            if inner_err.is_some() {
+                return;
+            }
+            if let Err(e) = on_batch(batch) {
+                inner_err = Some(e);
+            }
+        })
+        .map_err(EngineError::from)?;
+    match inner_err {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
+}
+
+/// Materialize a storage scan into a batch vector (Volcano and the
+/// morsel-parallel driver both start from a materialized source).
+pub fn scan_materialized(
+    storage: Option<&SmartStorage>,
+    table: &str,
+    request: &ScanRequest,
+) -> Result<(Vec<Batch>, ScanStats)> {
+    let storage = require_storage(storage)?;
+    storage.scan(table, request).map_err(EngineError::from)
+}
+
+/// Materialize any leaf node (`StorageScan` or `Values`). Returns the
+/// batches plus scan stats when the leaf actually hit storage.
+pub fn materialize_leaf(
+    leaf: &PhysNode,
+    storage: Option<&SmartStorage>,
+) -> Result<(Vec<Batch>, Option<ScanStats>)> {
+    match leaf {
+        PhysNode::Values { batches, .. } => Ok((batches.clone(), None)),
+        PhysNode::StorageScan { table, request, .. } => {
+            let (batches, stats) = scan_materialized(storage, table, request)?;
+            Ok((batches, Some(stats)))
+        }
+        other => Err(EngineError::Internal(format!(
+            "materialize_leaf called on a non-leaf node: {}",
+            other.explain().lines().next().unwrap_or("?")
+        ))),
+    }
+}

@@ -33,9 +33,7 @@ pub trait TupleIterator {
 pub fn compile(node: &PhysNode, storage: Option<&SmartStorage>) -> Result<Box<dyn TupleIterator>> {
     Ok(match node {
         PhysNode::StorageScan { table, request, .. } => {
-            let storage = storage
-                .ok_or_else(|| EngineError::Internal("volcano plan needs storage".into()))?;
-            let (batches, _) = storage.scan(table, request)?;
+            let (batches, _) = crate::exec::source::scan_materialized(storage, table, request)?;
             let schema = node.schema();
             Box::new(RowsIter::from_batches(batches, schema))
         }

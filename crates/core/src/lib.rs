@@ -16,6 +16,10 @@
 //! - [`ops`] — push-based physical operators (filter, project, aggregate,
 //!   hash join, sort, limit)
 //! - [`physical`] — physical plans: operator chains with device placement
+//! - [`pipeline`] — the placed pipeline-graph IR: physical plans compile
+//!   into pipelines cut at breakers and device boundaries, with typed
+//!   local/fabric edges; every executor and the flow simulator drive this
+//!   one graph
 //! - [`exec`] — the push executor with its movement ledger, the
 //!   tuple-at-a-time Volcano baseline (§1's departure point), and the
 //!   morsel-parallel driver
@@ -39,6 +43,7 @@ pub mod logical;
 pub mod ops;
 pub mod optimizer;
 pub mod physical;
+pub mod pipeline;
 pub mod scheduler;
 pub mod session;
 pub mod sql;

@@ -222,10 +222,27 @@ pub fn op_class_of(node: &PhysNode) -> OpClass {
             }
         }
         PhysNode::Project { .. } => OpClass::Project,
-        PhysNode::Aggregate { mode, .. } => match mode {
-            AggMode::Partial { .. } => OpClass::AggregatePartial,
-            _ => OpClass::AggregateFinal,
-        },
+        PhysNode::Aggregate {
+            group_by,
+            aggs,
+            mode,
+            ..
+        } => {
+            // §4.4: a pure COUNT keeps no group state — it can terminate
+            // in-path on stream-only devices (the NIC's count engine).
+            if group_by.is_empty()
+                && aggs
+                    .iter()
+                    .all(|a| matches!(a.func, crate::logical::AggFn::Count))
+            {
+                OpClass::Count
+            } else {
+                match mode {
+                    AggMode::Partial { .. } => OpClass::AggregatePartial,
+                    _ => OpClass::AggregateFinal,
+                }
+            }
+        }
         PhysNode::HashJoin { .. } => OpClass::JoinProbe,
         PhysNode::Sort { .. } | PhysNode::TopK { .. } => OpClass::Sort,
         PhysNode::Limit { .. } => OpClass::Project,

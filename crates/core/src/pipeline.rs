@@ -1,0 +1,880 @@
+//! The placed pipeline-graph IR: one compilation substrate between
+//! planning and every execution/simulation path.
+//!
+//! A [`PhysicalPlan`] compiles into a [`PipelineGraph`]: pipelines are
+//! maximal streaming chains, cut at pipeline breakers (final/merge
+//! aggregation, sort, top-k, join build) and at device-placement
+//! boundaries. Every node carries its placement, an instantiable
+//! [`OperatorSpec`], the fabric [`OpClass`] it maps to, and the cost
+//! model's estimated selectivity. Edges are typed: a [`EdgeKind::Local`]
+//! handoff stays a function call inside one driver, while a
+//! [`EdgeKind::Fabric`] edge crosses devices — real execution moves
+//! batches through a credit-bounded channel (`queue_capacity` chunks,
+//! §7.1) and the flow simulator replays the same stage chain in simulated
+//! time via [`PipelineGraph::to_flow_specs`].
+//!
+//! The push executor, the morsel-parallel driver, `scheduler::flow_pipeline`
+//! and the bench experiments all consume this graph instead of re-walking
+//! `PhysNode` trees.
+
+use df_data::{Batch, SchemaRef};
+use df_fabric::flow::{PipelineSpec, StageSpec};
+use df_fabric::topology::Route;
+use df_fabric::{DeviceId, OpClass, Topology};
+use df_storage::smart::ScanRequest;
+
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::logical::{AggCall, JoinType};
+use crate::ops::{
+    AggMode, FilterOp, HashAggOp, HashJoinOp, LimitOp, Operator, ProjectOp, SortOp, TopKOp,
+};
+use crate::optimizer::cost::{estimate_node, node_input_bytes, op_class_of, reduction_of};
+use crate::optimizer::Profiles;
+use crate::physical::{PhysNode, PhysicalPlan};
+
+/// Default credit budget of a pipeline edge, in chunks (§7.1). Matches the
+/// flow simulator's default stage queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 4;
+
+/// An instantiable description of one streaming operator. This is the
+/// single place operator instantiation lives: every executor builds its
+/// operators from these specs.
+#[derive(Debug, Clone)]
+pub enum OperatorSpec {
+    /// Row filter.
+    Filter {
+        /// Predicate over the input schema.
+        predicate: Expr,
+        /// Evaluate via the kernel VM instead of the native path.
+        use_kernel: bool,
+        /// Input schema.
+        input_schema: SchemaRef,
+    },
+    /// Expression projection.
+    Project {
+        /// `(expr, name)` pairs.
+        exprs: Vec<(Expr, String)>,
+        /// Output schema.
+        schema: SchemaRef,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// Group-by columns.
+        group_by: Vec<String>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+        /// Partial, final, or merge.
+        mode: AggMode,
+        /// Input schema.
+        input_schema: SchemaRef,
+        /// Final output schema of the logical aggregate.
+        final_schema: SchemaRef,
+    },
+    /// Full sort (a pipeline breaker).
+    Sort {
+        /// `(column, ascending)` keys.
+        keys: Vec<(String, bool)>,
+        /// Input schema.
+        input_schema: SchemaRef,
+    },
+    /// Fused sort+limit.
+    TopK {
+        /// `(column, ascending)` keys.
+        keys: Vec<(String, bool)>,
+        /// Rows kept.
+        k: u64,
+        /// Input schema.
+        input_schema: SchemaRef,
+    },
+    /// Row limit.
+    Limit {
+        /// Cap.
+        n: u64,
+        /// Input schema.
+        input_schema: SchemaRef,
+    },
+    /// The probe side of a hash join; the build side arrives over the
+    /// node's `build_edge`.
+    JoinProbe {
+        /// `(build column, probe column)` pairs.
+        on: Vec<(String, String)>,
+        /// Inner or left-outer.
+        join_type: JoinType,
+        /// Schema of the build input.
+        build_schema: SchemaRef,
+        /// Joined output schema.
+        schema: SchemaRef,
+    },
+}
+
+impl OperatorSpec {
+    /// Short span label (matches the executor's historical labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OperatorSpec::Filter { .. } => "filter",
+            OperatorSpec::Project { .. } => "project",
+            OperatorSpec::Aggregate { .. } => "aggregate",
+            OperatorSpec::Sort { .. } => "sort",
+            OperatorSpec::TopK { .. } => "topk",
+            OperatorSpec::Limit { .. } => "limit",
+            OperatorSpec::JoinProbe { .. } => "hash-join",
+        }
+    }
+
+    /// Output schema of the operator.
+    pub fn output_schema(&self) -> SchemaRef {
+        match self {
+            OperatorSpec::Filter { input_schema, .. }
+            | OperatorSpec::Sort { input_schema, .. }
+            | OperatorSpec::TopK { input_schema, .. }
+            | OperatorSpec::Limit { input_schema, .. } => input_schema.clone(),
+            OperatorSpec::Project { schema, .. } | OperatorSpec::JoinProbe { schema, .. } => {
+                schema.clone()
+            }
+            OperatorSpec::Aggregate {
+                group_by,
+                aggs,
+                mode,
+                input_schema,
+                final_schema,
+            } => match mode {
+                AggMode::Partial { .. } => {
+                    crate::ops::aggregate::partial_schema(group_by, aggs, input_schema)
+                        .expect("validated at plan build")
+                        .into_ref()
+                }
+                _ => final_schema.clone(),
+            },
+        }
+    }
+
+    /// Instantiate the runtime operator.
+    pub fn instantiate(&self) -> Result<RuntimeOp> {
+        Ok(match self {
+            OperatorSpec::Filter {
+                predicate,
+                use_kernel,
+                input_schema,
+            } => {
+                let op = if *use_kernel {
+                    FilterOp::kernel(predicate, input_schema.clone())?
+                } else {
+                    FilterOp::host(predicate.clone(), input_schema.clone())
+                };
+                RuntimeOp::Std(Box::new(op))
+            }
+            OperatorSpec::Project { exprs, schema } => {
+                RuntimeOp::Std(Box::new(ProjectOp::new(exprs.clone(), schema.clone())))
+            }
+            OperatorSpec::Aggregate {
+                group_by,
+                aggs,
+                mode,
+                input_schema,
+                final_schema,
+            } => RuntimeOp::Std(Box::new(HashAggOp::new(
+                group_by.clone(),
+                aggs.clone(),
+                *mode,
+                input_schema,
+                final_schema.clone(),
+            )?)),
+            OperatorSpec::Sort { keys, input_schema } => {
+                RuntimeOp::Std(Box::new(SortOp::new(keys.clone(), input_schema.clone())))
+            }
+            OperatorSpec::TopK {
+                keys,
+                k,
+                input_schema,
+            } => RuntimeOp::Std(Box::new(TopKOp::new(
+                keys.clone(),
+                *k,
+                input_schema.clone(),
+            ))),
+            OperatorSpec::Limit { n, input_schema } => {
+                RuntimeOp::Std(Box::new(LimitOp::new(*n, input_schema.clone())))
+            }
+            OperatorSpec::JoinProbe {
+                on,
+                join_type,
+                build_schema,
+                schema,
+            } => RuntimeOp::Join(HashJoinOp::with_type(
+                on.clone(),
+                *join_type,
+                build_schema.clone(),
+                schema.clone(),
+            )),
+        })
+    }
+
+    /// Instantiate as a plain streaming operator (no build input). Errors
+    /// for [`OperatorSpec::JoinProbe`].
+    pub fn instantiate_streaming(&self) -> Result<Box<dyn Operator>> {
+        match self.instantiate()? {
+            RuntimeOp::Std(op) => Ok(op),
+            RuntimeOp::Join(_) => Err(EngineError::Internal(
+                "join probe needs a build edge; use instantiate()".into(),
+            )),
+        }
+    }
+}
+
+/// A live operator driven by an executor.
+pub enum RuntimeOp {
+    /// Any unary streaming operator.
+    Std(Box<dyn Operator>),
+    /// A hash join (probe streaming; build fed via [`RuntimeOp::build`]).
+    Join(HashJoinOp),
+}
+
+impl RuntimeOp {
+    /// Consume one batch, producing zero or more outputs.
+    pub fn push(&mut self, batch: Batch) -> Result<Vec<Batch>> {
+        match self {
+            RuntimeOp::Std(op) => op.push(batch),
+            RuntimeOp::Join(op) => op.push(batch),
+        }
+    }
+
+    /// End of input: flush buffered state.
+    pub fn finish(&mut self) -> Result<Vec<Batch>> {
+        match self {
+            RuntimeOp::Std(op) => op.finish(),
+            RuntimeOp::Join(op) => op.finish(),
+        }
+    }
+
+    /// Feed one batch to the join build side.
+    pub fn build(&mut self, batch: Batch) -> Result<()> {
+        match self {
+            RuntimeOp::Std(_) => Err(EngineError::Internal(
+                "build() on a non-join operator".into(),
+            )),
+            RuntimeOp::Join(op) => op.build(batch),
+        }
+    }
+}
+
+/// Where a pipeline's batches come from.
+#[derive(Debug, Clone)]
+pub enum PipelineSource {
+    /// A storage scan with its pushed-down request.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Pushed-down request (executes at the storage server).
+        request: ScanRequest,
+        /// Output schema of the request.
+        schema: SchemaRef,
+        /// Placement of the scan.
+        device: Option<DeviceId>,
+    },
+    /// In-memory batches.
+    Values {
+        /// The data.
+        batches: Vec<Batch>,
+        /// Shared schema.
+        schema: SchemaRef,
+        /// Placement.
+        device: Option<DeviceId>,
+    },
+    /// Output of an upstream pipeline, arriving over an edge.
+    Edge {
+        /// Index into [`PipelineGraph::edges`].
+        edge: usize,
+    },
+}
+
+impl PipelineSource {
+    /// Placement of the source (None for edge sources: the producer
+    /// pipeline's tip carries the placement).
+    pub fn device(&self) -> Option<DeviceId> {
+        match self {
+            PipelineSource::Scan { device, .. } | PipelineSource::Values { device, .. } => *device,
+            PipelineSource::Edge { .. } => None,
+        }
+    }
+}
+
+/// One operator within a pipeline, with placement and cost annotations.
+#[derive(Debug, Clone)]
+pub struct PipelineOp {
+    /// How to instantiate the operator.
+    pub spec: OperatorSpec,
+    /// Placement (None = unplaced, treated as the session CPU).
+    pub device: Option<DeviceId>,
+    /// Fabric op class (service rates, placement legality).
+    pub op_class: OpClass,
+    /// Estimated output bytes per input byte (cost model).
+    pub selectivity: f64,
+    /// For [`OperatorSpec::JoinProbe`]: the edge delivering the build side.
+    pub build_edge: Option<usize>,
+}
+
+/// A maximal streaming chain: a source and the operators it flows through,
+/// leaf-to-root, with no breaker or placement boundary inside.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Index in [`PipelineGraph::pipelines`].
+    pub id: usize,
+    /// Batch source.
+    pub source: PipelineSource,
+    /// Operators in leaf-to-root order (may be empty).
+    pub ops: Vec<PipelineOp>,
+    /// Estimated bytes the source produces (flow-sim source size). Zero
+    /// for edge-sourced pipelines: their bytes come from upstream.
+    pub source_bytes: u64,
+    /// Fabric op class of the source stage.
+    pub source_class: OpClass,
+    /// Estimated output/input byte ratio of the source stage.
+    pub source_selectivity: f64,
+}
+
+impl Pipeline {
+    /// Placement of the pipeline's tip (last op, else the source).
+    pub fn tip_device(&self) -> Option<DeviceId> {
+        self.ops
+            .last()
+            .map(|op| op.device)
+            .unwrap_or_else(|| self.source.device())
+    }
+}
+
+/// How an inter-pipeline edge moves batches.
+#[derive(Debug, Clone)]
+pub enum EdgeKind {
+    /// Same placement: a plain in-process handoff.
+    Local,
+    /// Crosses a device boundary: batches flow through a credit-bounded
+    /// channel and are charged at wire size when wire options are set.
+    Fabric {
+        /// Resolved fabric route, when a topology was supplied.
+        route: Option<Route>,
+    },
+}
+
+/// What the consumer does with the edge's batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeRole {
+    /// Streaming input of the consumer pipeline.
+    Input,
+    /// Build side of a hash join in the consumer pipeline.
+    JoinBuild,
+}
+
+/// A typed handoff between two pipelines.
+#[derive(Debug, Clone)]
+pub struct PipelineEdge {
+    /// Index in [`PipelineGraph::edges`].
+    pub id: usize,
+    /// Producer pipeline.
+    pub from: usize,
+    /// Consumer pipeline.
+    pub to: usize,
+    /// Local handoff or fabric crossing.
+    pub kind: EdgeKind,
+    /// Input stream or join build.
+    pub role: EdgeRole,
+    /// Credit budget in chunks (§7.1) for fabric edges.
+    pub queue_capacity: usize,
+    /// Producer tip placement.
+    pub from_device: Option<DeviceId>,
+    /// Consumer placement (the op the edge feeds).
+    pub to_device: Option<DeviceId>,
+}
+
+impl PipelineEdge {
+    /// True when the edge crosses a device boundary.
+    pub fn crosses_devices(&self) -> bool {
+        matches!(self.kind, EdgeKind::Fabric { .. })
+    }
+}
+
+/// The compiled graph of placed pipelines.
+#[derive(Debug, Clone)]
+pub struct PipelineGraph {
+    /// All pipelines; edges reference them by index.
+    pub pipelines: Vec<Pipeline>,
+    /// All inter-pipeline edges.
+    pub edges: Vec<PipelineEdge>,
+    /// The pipeline producing query output.
+    pub root: usize,
+    /// Default credit budget applied to edges and derived flow stages.
+    pub queue_capacity: usize,
+}
+
+/// True for operators that buffer their whole input before producing
+/// output — the HyPer-style pipeline breakers. Partial aggregation
+/// streams (it flushes incrementally under memory pressure), so it does
+/// not break its pipeline; join builds break via their own edge.
+fn is_breaker(node: &PhysNode) -> bool {
+    matches!(
+        node,
+        PhysNode::Aggregate {
+            mode: AggMode::Final | AggMode::Merge,
+            ..
+        } | PhysNode::Sort { .. }
+            | PhysNode::TopK { .. }
+    )
+}
+
+fn spec_of(node: &PhysNode) -> OperatorSpec {
+    match node {
+        PhysNode::Filter {
+            input,
+            predicate,
+            use_kernel,
+            ..
+        } => OperatorSpec::Filter {
+            predicate: predicate.clone(),
+            use_kernel: *use_kernel,
+            input_schema: input.schema(),
+        },
+        PhysNode::Project { exprs, schema, .. } => OperatorSpec::Project {
+            exprs: exprs.clone(),
+            schema: schema.clone(),
+        },
+        PhysNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+            mode,
+            final_schema,
+            ..
+        } => OperatorSpec::Aggregate {
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+            mode: *mode,
+            input_schema: input.schema(),
+            final_schema: final_schema.clone(),
+        },
+        PhysNode::Sort { input, keys, .. } => OperatorSpec::Sort {
+            keys: keys.clone(),
+            input_schema: input.schema(),
+        },
+        PhysNode::TopK { input, keys, k, .. } => OperatorSpec::TopK {
+            keys: keys.clone(),
+            k: *k,
+            input_schema: input.schema(),
+        },
+        PhysNode::Limit { input, n } => OperatorSpec::Limit {
+            n: *n,
+            input_schema: input.schema(),
+        },
+        PhysNode::HashJoin {
+            build,
+            on,
+            join_type,
+            schema,
+            ..
+        } => OperatorSpec::JoinProbe {
+            on: on.clone(),
+            join_type: *join_type,
+            build_schema: build.schema(),
+            schema: schema.clone(),
+        },
+        PhysNode::StorageScan { .. } | PhysNode::Values { .. } => {
+            unreachable!("leaves become pipeline sources, not ops")
+        }
+    }
+}
+
+struct Compiler<'a> {
+    graph: PipelineGraph,
+    profiles: &'a Profiles,
+    topology: Option<&'a Topology>,
+}
+
+impl Compiler<'_> {
+    fn new_pipeline(&mut self, source: PipelineSource) -> usize {
+        let id = self.graph.pipelines.len();
+        self.graph.pipelines.push(Pipeline {
+            id,
+            source,
+            ops: Vec::new(),
+            source_bytes: 0,
+            source_class: OpClass::Scan,
+            source_selectivity: 1.0,
+        });
+        id
+    }
+
+    fn add_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        role: EdgeRole,
+        to_device: Option<DeviceId>,
+    ) -> usize {
+        let from_device = self.graph.pipelines[from].tip_device();
+        let kind = match (from_device, to_device) {
+            (Some(a), Some(b)) if a != b => EdgeKind::Fabric {
+                route: self.topology.and_then(|t| t.route(a, b)),
+            },
+            _ => EdgeKind::Local,
+        };
+        let id = self.graph.edges.len();
+        self.graph.edges.push(PipelineEdge {
+            id,
+            from,
+            to,
+            kind,
+            role,
+            queue_capacity: self.graph.queue_capacity,
+            from_device,
+            to_device,
+        });
+        id
+    }
+
+    /// Cut the chain below `node` if its child is a breaker or the handoff
+    /// crosses a device boundary; returns the pipeline `node` extends.
+    fn maybe_cut(&mut self, pid: usize, child: &PhysNode, to_device: Option<DeviceId>) -> usize {
+        let from_device = self.graph.pipelines[pid].tip_device();
+        let crossing = matches!((from_device, to_device), (Some(a), Some(b)) if a != b);
+        if !is_breaker(child) && !crossing {
+            return pid;
+        }
+        let next = self.new_pipeline(PipelineSource::Edge { edge: usize::MAX });
+        let edge = self.add_edge(pid, next, EdgeRole::Input, to_device);
+        self.graph.pipelines[next].source = PipelineSource::Edge { edge };
+        next
+    }
+
+    fn push_op(&mut self, pid: usize, node: &PhysNode, build_edge: Option<usize>) {
+        let op = PipelineOp {
+            spec: spec_of(node),
+            device: node.device(),
+            op_class: op_class_of(node),
+            selectivity: reduction_of(node, self.profiles),
+            build_edge,
+        };
+        self.graph.pipelines[pid].ops.push(op);
+    }
+
+    fn compile_node(&mut self, node: &PhysNode) -> usize {
+        match node {
+            PhysNode::StorageScan {
+                table,
+                request,
+                schema,
+                device,
+            } => {
+                let pid = self.new_pipeline(PipelineSource::Scan {
+                    table: table.clone(),
+                    request: request.clone(),
+                    schema: schema.clone(),
+                    device: *device,
+                });
+                self.annotate_source(pid, node);
+                pid
+            }
+            PhysNode::Values {
+                batches,
+                schema,
+                device,
+            } => {
+                let pid = self.new_pipeline(PipelineSource::Values {
+                    batches: batches.clone(),
+                    schema: schema.clone(),
+                    device: *device,
+                });
+                self.annotate_source(pid, node);
+                pid
+            }
+            PhysNode::HashJoin { build, probe, .. } => {
+                // Build first: pipeline ids then follow the order scans
+                // complete in execution (build side drains fully first).
+                let build_pid = self.compile_node(build);
+                let probe_pid = self.compile_node(probe);
+                let device = node.device();
+                let pid = self.maybe_cut(probe_pid, probe, device);
+                let build_edge = self.add_edge(build_pid, pid, EdgeRole::JoinBuild, device);
+                self.push_op(pid, node, Some(build_edge));
+                pid
+            }
+            PhysNode::Filter { input, .. }
+            | PhysNode::Project { input, .. }
+            | PhysNode::Aggregate { input, .. }
+            | PhysNode::Sort { input, .. }
+            | PhysNode::TopK { input, .. }
+            | PhysNode::Limit { input, .. } => {
+                let cid = self.compile_node(input);
+                let pid = self.maybe_cut(cid, input, node.device());
+                self.push_op(pid, node, None);
+                pid
+            }
+        }
+    }
+
+    /// Flow-sim source annotations, using the same formulas the legacy
+    /// linear flow mapping used: the source stage's size is the bytes the
+    /// scan touches and its selectivity is the estimated output fraction.
+    fn annotate_source(&mut self, pid: usize, leaf: &PhysNode) {
+        let source_bytes = node_input_bytes(leaf, self.profiles).max(1.0) as u64;
+        let (_, out_bytes) = estimate_node(leaf, self.profiles);
+        let p = &mut self.graph.pipelines[pid];
+        p.source_bytes = source_bytes;
+        p.source_class = op_class_of(leaf);
+        p.source_selectivity = (out_bytes / source_bytes as f64).clamp(0.0, 1.0);
+    }
+}
+
+impl PipelineGraph {
+    /// Compile a physical plan. `profiles` feeds the cost model's
+    /// selectivity estimates (None = no table statistics); `topology`
+    /// resolves fabric-edge routes when available.
+    pub fn compile(
+        plan: &PhysicalPlan,
+        profiles: Option<&Profiles>,
+        topology: Option<&Topology>,
+        queue_capacity: usize,
+    ) -> PipelineGraph {
+        let empty;
+        let profiles = match profiles {
+            Some(p) => p,
+            None => {
+                empty = Profiles::new();
+                &empty
+            }
+        };
+        let mut c = Compiler {
+            graph: PipelineGraph {
+                pipelines: Vec::new(),
+                edges: Vec::new(),
+                root: 0,
+                queue_capacity: queue_capacity.max(1),
+            },
+            profiles,
+            topology,
+        };
+        let root = c.compile_node(&plan.root);
+        c.graph.root = root;
+        c.graph
+    }
+
+    /// The spine of pipeline `tip`: the chain of pipelines connected by
+    /// `Input` edges, leaf first.
+    pub fn spine(&self, tip: usize) -> Vec<usize> {
+        let mut pids = vec![tip];
+        loop {
+            let p = &self.pipelines[*pids.last().expect("non-empty")];
+            match p.source {
+                PipelineSource::Edge { edge } => pids.push(self.edges[edge].from),
+                _ => break,
+            }
+        }
+        pids.reverse();
+        pids
+    }
+
+    /// Derive flow-simulator pipeline specs from the graph. The first spec
+    /// is the root spine (source through every streaming stage to the
+    /// query output); each join-build edge contributes an additional
+    /// `{name}.buildN` spec terminated by a `JoinBuild` stage at the join's
+    /// placement. Unplaced stages run on `default_device`.
+    ///
+    /// For linear plans this reproduces the legacy `flow_pipeline` mapping
+    /// stage-for-stage.
+    pub fn to_flow_specs(&self, default_device: DeviceId, name: &str) -> Vec<PipelineSpec> {
+        let mut out = vec![self.spine_spec(self.root, default_device, name.to_string(), None)];
+        let mut k = 0usize;
+        for edge in &self.edges {
+            if edge.role == EdgeRole::JoinBuild {
+                out.push(self.spine_spec(
+                    edge.from,
+                    default_device,
+                    format!("{name}.build{k}"),
+                    Some(edge),
+                ));
+                k += 1;
+            }
+        }
+        out
+    }
+
+    fn spine_spec(
+        &self,
+        tip: usize,
+        default_device: DeviceId,
+        name: String,
+        terminal: Option<&PipelineEdge>,
+    ) -> PipelineSpec {
+        let pids = self.spine(tip);
+        let leaf = &self.pipelines[pids[0]];
+        let mut stages = vec![StageSpec::new(
+            leaf.source.device().unwrap_or(default_device),
+            leaf.source_class,
+            leaf.source_selectivity,
+        )
+        .with_queue(self.queue_capacity)];
+        for pid in &pids {
+            for op in &self.pipelines[*pid].ops {
+                stages.push(
+                    StageSpec::new(
+                        op.device.unwrap_or(default_device),
+                        op.op_class,
+                        op.selectivity,
+                    )
+                    .with_queue(self.queue_capacity),
+                );
+            }
+        }
+        if let Some(edge) = terminal {
+            // The join's build stage consumes the spine's output and emits
+            // nothing downstream (the hash table stays on-device).
+            stages.push(
+                StageSpec::new(
+                    edge.to_device.unwrap_or(default_device),
+                    OpClass::JoinBuild,
+                    0.0,
+                )
+                .with_queue(self.queue_capacity),
+            );
+        }
+        PipelineSpec::new(name, stages, leaf.source_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use df_data::batch::batch_of;
+    use df_data::Column;
+    use df_fabric::topology::DisaggregatedConfig;
+
+    fn sample(n: usize) -> Batch {
+        batch_of(vec![
+            ("id", Column::from_i64((0..n as i64).collect())),
+            (
+                "grp",
+                Column::from_strs(&(0..n).map(|i| format!("g{}", i % 4)).collect::<Vec<_>>()),
+            ),
+        ])
+    }
+
+    fn values(n: usize, device: Option<DeviceId>) -> PhysNode {
+        let b = sample(n);
+        PhysNode::Values {
+            schema: b.schema().clone(),
+            batches: vec![b],
+            device,
+        }
+    }
+
+    #[test]
+    fn linear_unplaced_plan_is_one_pipeline() {
+        let plan = PhysicalPlan::new(
+            PhysNode::Filter {
+                input: Box::new(values(10, None)),
+                predicate: col("id").lt(lit(5)),
+                device: None,
+                use_kernel: false,
+            },
+            "t",
+        );
+        let g = PipelineGraph::compile(&plan, None, None, DEFAULT_QUEUE_CAPACITY);
+        assert_eq!(g.pipelines.len(), 1);
+        assert!(g.edges.is_empty());
+        assert_eq!(g.pipelines[0].ops.len(), 1);
+    }
+
+    #[test]
+    fn device_boundary_becomes_fabric_edge() {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let plan = PhysicalPlan::new(
+            PhysNode::Filter {
+                input: Box::new(values(10, Some(nic))),
+                predicate: col("id").lt(lit(5)),
+                device: Some(cpu),
+                use_kernel: false,
+            },
+            "t",
+        );
+        let g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        assert_eq!(g.pipelines.len(), 2);
+        assert_eq!(g.edges.len(), 1);
+        let e = &g.edges[0];
+        assert!(e.crosses_devices());
+        assert_eq!(e.role, EdgeRole::Input);
+        match &e.kind {
+            EdgeKind::Fabric { route } => {
+                assert!(route.is_some(), "topology should resolve the route")
+            }
+            EdgeKind::Local => panic!("expected fabric edge"),
+        }
+    }
+
+    #[test]
+    fn breaker_cuts_even_on_one_device() {
+        let plan = PhysicalPlan::new(
+            PhysNode::Limit {
+                input: Box::new(PhysNode::Sort {
+                    input: Box::new(values(10, None)),
+                    keys: vec![("id".into(), true)],
+                    device: None,
+                }),
+                n: 3,
+            },
+            "t",
+        );
+        let g = PipelineGraph::compile(&plan, None, None, DEFAULT_QUEUE_CAPACITY);
+        // sort ends pipeline 0; limit starts pipeline 1 over a local edge.
+        assert_eq!(g.pipelines.len(), 2);
+        assert_eq!(g.edges.len(), 1);
+        assert!(matches!(g.edges[0].kind, EdgeKind::Local));
+        assert_eq!(g.spine(g.root), vec![0, 1]);
+    }
+
+    #[test]
+    fn join_build_side_gets_its_own_edge_and_flow_spec() {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let cpu = topo.expect_device("compute0.cpu");
+        let b = batch_of(vec![("bk", Column::from_strs(&["g0", "g1", "g2", "g3"]))]);
+        let build = PhysNode::Values {
+            schema: b.schema().clone(),
+            batches: vec![b.clone()],
+            device: None,
+        };
+        let p = sample(16);
+        let schema = {
+            let mut fields: Vec<df_data::Field> = b.schema().fields().to_vec();
+            fields.extend(p.schema().fields().iter().cloned());
+            df_data::Schema::new(fields).into_ref()
+        };
+        let plan = PhysicalPlan::new(
+            PhysNode::HashJoin {
+                build: Box::new(build),
+                probe: Box::new(values(16, None)),
+                on: vec![("bk".into(), "grp".into())],
+                join_type: JoinType::Inner,
+                schema,
+                device: None,
+            },
+            "t",
+        );
+        let g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        assert_eq!(g.pipelines.len(), 2, "build pipeline + probe pipeline");
+        let builds: Vec<_> = g
+            .edges
+            .iter()
+            .filter(|e| e.role == EdgeRole::JoinBuild)
+            .collect();
+        assert_eq!(builds.len(), 1);
+        // Build pipeline compiles first: scan-completion order.
+        assert_eq!(builds[0].from, 0);
+        let specs = g.to_flow_specs(cpu, "j");
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[1].name, "j.build0");
+        assert_eq!(
+            specs[1].stages.last().unwrap().op,
+            OpClass::JoinBuild,
+            "build spine terminates in the join-build stage"
+        );
+    }
+}

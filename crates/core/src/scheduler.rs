@@ -9,21 +9,22 @@
 //! *rate-limited* to its fair share — the "rate-limiting DMA engines"
 //! mechanism.
 //!
-//! [`flow_pipeline`] maps a linear physical plan onto the flow simulator's
-//! stage model, which is how experiment E13 replays scheduling decisions in
-//! simulated time.
+//! [`flow_pipeline`]/[`flow_pipelines`] map a physical plan onto the flow
+//! simulator's stage model by compiling it to the [`PipelineGraph`] IR and
+//! deriving specs from the graph — which is how experiment E13 replays
+//! scheduling decisions (including join-shaped plans) in simulated time.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use df_fabric::flow::{PipelineSpec, StageSpec};
+use df_fabric::flow::PipelineSpec;
 use df_fabric::{DeviceId, LinkId, Topology};
 use df_sim::Bandwidth;
 
 use crate::error::{EngineError, Result};
-use crate::optimizer::cost::{estimate_node, node_input_bytes, op_class_of, reduction_of};
 use crate::optimizer::{Profiles, RankedPlan};
 use crate::physical::{PhysNode, PhysicalPlan};
+use crate::pipeline::{PipelineGraph, DEFAULT_QUEUE_CAPACITY};
 
 /// Handle for releasing an admission's reservations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -173,52 +174,35 @@ fn collect_links(
     }
 }
 
-/// Map a *linear* physical plan (no joins) onto a flow-simulator pipeline.
-/// Stage selectivities come from the cost model's estimates; the source
-/// size is the bytes the scan touches. `default_device` hosts unplaced
-/// nodes.
+/// Map a physical plan onto flow-simulator pipelines by compiling it to
+/// the [`PipelineGraph`] IR and deriving one spec per spine: the first
+/// spec is the probe/output spine, followed by one `{name}.buildN` spec
+/// per hash-join build side. Stage selectivities come from the cost
+/// model's estimates carried on the graph; the source size is the bytes
+/// each spine's scan touches. `default_device` hosts unplaced stages.
+pub fn flow_pipelines(
+    plan: &PhysicalPlan,
+    profiles: &Profiles,
+    default_device: DeviceId,
+    name: impl Into<String>,
+) -> Vec<PipelineSpec> {
+    let graph = PipelineGraph::compile(plan, Some(profiles), None, DEFAULT_QUEUE_CAPACITY);
+    graph.to_flow_specs(default_device, &name.into())
+}
+
+/// The primary (probe/output) flow pipeline of a plan. For join plans the
+/// build-side spines are dropped — use [`flow_pipelines`] to replay the
+/// whole graph.
 pub fn flow_pipeline(
     plan: &PhysicalPlan,
     profiles: &Profiles,
     default_device: DeviceId,
     name: impl Into<String>,
-) -> Result<PipelineSpec> {
-    // Collect the chain root-to-leaf, then reverse.
-    let mut chain: Vec<&PhysNode> = Vec::new();
-    let mut node = &plan.root;
-    loop {
-        chain.push(node);
-        node = match node {
-            PhysNode::StorageScan { .. } | PhysNode::Values { .. } => break,
-            PhysNode::Filter { input, .. }
-            | PhysNode::Project { input, .. }
-            | PhysNode::Aggregate { input, .. }
-            | PhysNode::Sort { input, .. }
-            | PhysNode::TopK { input, .. }
-            | PhysNode::Limit { input, .. } => input,
-            PhysNode::HashJoin { .. } => {
-                return Err(EngineError::Plan(
-                    "flow mapping supports linear plans only".into(),
-                ))
-            }
-        };
-    }
-    chain.reverse();
-    let leaf = chain[0];
-    let source_bytes = node_input_bytes(leaf, profiles).max(1.0) as u64;
-    let mut stages = Vec::with_capacity(chain.len());
-    for n in &chain {
-        let device = n.device().unwrap_or(default_device);
-        let op = op_class_of(n);
-        let selectivity = if std::ptr::eq(*n, leaf) {
-            let (_, out_bytes) = estimate_node(n, profiles);
-            (out_bytes / source_bytes as f64).clamp(0.0, 1.0)
-        } else {
-            reduction_of(n, profiles)
-        };
-        stages.push(StageSpec::new(device, op, selectivity));
-    }
-    Ok(PipelineSpec::new(name, stages, source_bytes))
+) -> PipelineSpec {
+    flow_pipelines(plan, profiles, default_device, name)
+        .into_iter()
+        .next()
+        .expect("to_flow_specs always yields the root spine")
 }
 
 #[cfg(test)]
@@ -311,7 +295,7 @@ mod tests {
         let t = topo();
         let optimizer = Optimizer::new(t.clone()).unwrap();
         let best = optimizer.best(&query(), &profiles()).unwrap();
-        let spec = flow_pipeline(&best.plan, &profiles(), optimizer.site().cpu, "q1").unwrap();
+        let spec = flow_pipeline(&best.plan, &profiles(), optimizer.site().cpu, "q1");
         assert!(spec.source_bytes > 1_000_000);
         let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
         sim.add_pipeline(spec);
@@ -323,15 +307,113 @@ mod tests {
     }
 
     #[test]
-    fn join_plans_rejected_by_flow_mapping() {
+    fn join_plans_admitted_by_flow_mapping() {
+        // Regression: before the pipeline-graph IR, flow mapping rejected
+        // any plan with a hash join. Now the join's build side becomes its
+        // own spine and the whole graph replays in the flow simulator.
         let t = topo();
-        let schema = table_schema();
-        let logical = LogicalPlan::scan("t", schema.clone())
-            .join(LogicalPlan::scan("t", schema), vec![("id", "id")])
+        let build_schema = Schema::new(vec![Field::new("bk", DataType::Int64)]).into_ref();
+        let logical = LogicalPlan::scan("s", build_schema.clone())
+            .join(LogicalPlan::scan("t", table_schema()), vec![("bk", "id")])
             .unwrap();
+        let mut profiles = profiles();
+        profiles.insert(
+            "s".to_string(),
+            TableProfile {
+                rows: 10_000,
+                stored_bytes: 80_000,
+                zones: vec![None],
+                schema: build_schema.as_ref().clone(),
+            },
+        );
         let optimizer = Optimizer::new(t).unwrap();
-        let best = optimizer.best(&logical, &profiles()).unwrap();
-        assert!(flow_pipeline(&best.plan, &profiles(), optimizer.site().cpu, "j").is_err());
+        let best = optimizer.best(&logical, &profiles).unwrap();
+        let specs = flow_pipelines(&best.plan, &profiles, optimizer.site().cpu, "j");
+        assert_eq!(specs.len(), 2, "probe spine + one build spine");
+        assert_eq!(specs[1].name, "j.build0");
+        let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
+        for spec in specs {
+            sim.add_pipeline(spec);
+        }
+        let report = sim.run();
+        assert_eq!(report.pipelines.len(), 2);
+        for p in &report.pipelines {
+            assert!(p.duration().nanos() > 0, "{} must make progress", p.name);
+            assert!(p.stages[0].bytes_in > 0, "{} must ingest bytes", p.name);
+        }
+        // The probe spine delivers join output; the build spine terminates
+        // at the hash table (its JoinBuild stage absorbs every byte).
+        assert!(report.pipelines[0].bytes_delivered > 0);
+        assert_eq!(report.pipelines[1].bytes_delivered, 0);
+    }
+
+    #[test]
+    fn flow_specs_match_legacy_chain_walk_on_linear_plans() {
+        // The graph-derived derivation must be field-identical to the
+        // retired hand-rolled chain walk for every linear plan variant.
+        use crate::optimizer::cost::{estimate_node, node_input_bytes, op_class_of, reduction_of};
+        use df_fabric::flow::StageSpec;
+
+        fn legacy(
+            plan: &PhysicalPlan,
+            profiles: &Profiles,
+            default_device: DeviceId,
+        ) -> PipelineSpec {
+            let mut chain: Vec<&PhysNode> = Vec::new();
+            let mut node = &plan.root;
+            loop {
+                chain.push(node);
+                node = match node {
+                    PhysNode::StorageScan { .. } | PhysNode::Values { .. } => break,
+                    PhysNode::Filter { input, .. }
+                    | PhysNode::Project { input, .. }
+                    | PhysNode::Aggregate { input, .. }
+                    | PhysNode::Sort { input, .. }
+                    | PhysNode::TopK { input, .. }
+                    | PhysNode::Limit { input, .. } => input,
+                    PhysNode::HashJoin { .. } => unreachable!("linear plans only"),
+                };
+            }
+            chain.reverse();
+            let leaf = chain[0];
+            let source_bytes = node_input_bytes(leaf, profiles).max(1.0) as u64;
+            let mut stages = Vec::with_capacity(chain.len());
+            for n in &chain {
+                let device = n.device().unwrap_or(default_device);
+                let op = op_class_of(n);
+                let selectivity = if std::ptr::eq(*n, leaf) {
+                    let (_, out_bytes) = estimate_node(n, profiles);
+                    (out_bytes / source_bytes as f64).clamp(0.0, 1.0)
+                } else {
+                    reduction_of(n, profiles)
+                };
+                stages.push(StageSpec::new(device, op, selectivity));
+            }
+            PipelineSpec::new("q", stages, source_bytes)
+        }
+
+        let t = topo();
+        let optimizer = Optimizer::new(t).unwrap();
+        let profiles = profiles();
+        let variants = optimizer.variants(&query(), &profiles).unwrap();
+        assert!(!variants.is_empty());
+        for (i, v) in variants.iter().enumerate() {
+            let expect = legacy(&v.plan, &profiles, optimizer.site().cpu);
+            let got = flow_pipeline(&v.plan, &profiles, optimizer.site().cpu, "q");
+            assert_eq!(got.source_bytes, expect.source_bytes, "variant {i}");
+            assert_eq!(got.stages.len(), expect.stages.len(), "variant {i}");
+            for (g, e) in got.stages.iter().zip(&expect.stages) {
+                assert_eq!(g.device, e.device, "variant {i}");
+                assert_eq!(g.op, e.op, "variant {i}");
+                assert!(
+                    (g.selectivity - e.selectivity).abs() < 1e-12,
+                    "variant {i}: {} vs {}",
+                    g.selectivity,
+                    e.selectivity
+                );
+                assert_eq!(g.queue_capacity, e.queue_capacity, "variant {i}");
+            }
+        }
     }
 
     #[test]

@@ -40,15 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => reference = Some(result.batch.canonical_rows()),
             Some(r) => assert_eq!(r, &result.batch.canonical_rows()),
         }
-        let sim_time = flow_pipeline(&v.plan, &profiles, cpu, &v.plan.variant)
-            .ok()
-            .map(|spec| {
-                let mut sim =
-                    FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
-                sim.add_pipeline(spec);
-                sim.run().pipelines[0].duration().to_string()
-            })
-            .unwrap_or_else(|| "-".into());
+        let spec = flow_pipeline(&v.plan, &profiles, cpu, &v.plan.variant);
+        let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
+        sim.add_pipeline(spec);
+        let sim_time = sim.run().pipelines[0].duration().to_string();
         println!(
             "{:<20} {:>14} {:>14} {:>12}",
             v.plan.variant,

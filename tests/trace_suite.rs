@@ -176,6 +176,101 @@ fn arbitrary_span_guard_nesting_is_well_formed() {
     });
 }
 
+/// Satellite of the pipeline-graph refactor: the executor's new
+/// `fabric-edge` / `credit-wait` spans live on wall-clock lanes only. A
+/// flow replay traced alongside a real cross-device execution yields a
+/// simulated-time timeline byte-identical to the same replay traced alone
+/// — executor spans cannot perturb the sim-lane golden traces.
+#[test]
+fn fabric_edge_spans_stay_out_of_sim_lanes() {
+    use rheo::core::exec::push::{execute, ExecEnv};
+    use rheo::core::logical::AggCall;
+    use rheo::core::ops::AggMode;
+    use rheo::core::physical::{PhysNode, PhysicalPlan};
+    use rheo::data::batch::batch_of;
+    use rheo::data::{Column, DataType, Field, Schema};
+    use rheo::fabric::flow::{FlowSim, PipelineSpec, StageSpec};
+    use rheo::fabric::topology::{DisaggregatedConfig, Topology};
+    use rheo::fabric::OpClass;
+    use std::sync::Arc;
+
+    let replay = |with_exec: bool| -> Arc<Tracer> {
+        let tracer = Arc::new(Tracer::new());
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let ssd = topo.expect_device("storage.ssd");
+        let cpu = topo.expect_device("compute0.cpu");
+        if with_exec {
+            // A placed plan with a device cut: source on the SSD, final
+            // aggregation on the CPU — the handoff is a fabric edge.
+            let schema = Schema::new(vec![
+                Field::new("g", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ])
+            .into_ref();
+            let values = PhysNode::Values {
+                batches: vec![batch_of(vec![
+                    ("g", Column::from_i64(vec![0, 1, 0, 1])),
+                    ("v", Column::from_i64(vec![10, 20, 30, 40])),
+                ])],
+                schema,
+                device: Some(ssd),
+            };
+            let agg = PhysNode::Aggregate {
+                input: Box::new(values),
+                group_by: vec!["g".into()],
+                aggs: vec![AggCall::count_star("n")],
+                mode: AggMode::Final,
+                final_schema: Schema::new(vec![
+                    Field::new("g", DataType::Int64),
+                    Field::new("n", DataType::Int64),
+                ])
+                .into_ref(),
+                device: Some(cpu),
+            };
+            let env = ExecEnv {
+                storage: None,
+                topology: Some(&topo),
+                wire: None,
+                tracer: Some(tracer.clone()),
+            };
+            execute(&PhysicalPlan::new(agg, "traced"), &env).expect("traced execution");
+        }
+        let mut sim = FlowSim::new(topo);
+        sim.set_tracer(tracer.clone());
+        sim.add_pipeline(PipelineSpec::new(
+            "replay",
+            vec![
+                StageSpec::new(ssd, OpClass::Scan, 1.0),
+                StageSpec::new(cpu, OpClass::AggregateFinal, 0.01),
+            ],
+            1 << 20,
+        ));
+        sim.run();
+        tracer
+    };
+
+    let sim_only = replay(false);
+    let mixed = replay(true);
+
+    // Wall lanes carry the new executor spans...
+    let json = mixed.chrome_trace_json();
+    assert!(
+        json.contains("fabric-edge"),
+        "no fabric-edge span in export"
+    );
+    // ...but the simulated-time timeline never sees them, and stays
+    // byte-identical to a replay with no execution at all.
+    let sim_lane = mixed.sim_timeline();
+    for needle in ["fabric-edge", "credit-wait", "exec.push"] {
+        assert!(!sim_lane.contains(needle), "{needle} leaked into sim lanes");
+    }
+    assert_eq!(
+        sim_only.sim_timeline(),
+        sim_lane,
+        "executor spans perturbed the sim-lane golden trace"
+    );
+}
+
 /// The summary exporter agrees with the timeline on which lanes did work.
 #[test]
 fn summary_lists_every_lane_once() {
