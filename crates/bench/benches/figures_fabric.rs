@@ -162,5 +162,8 @@ fn replay_spec(source_bytes: u64) -> PipelineSpec {
     };
     let plan = PhysicalPlan::new(agg, "replay");
     let graph = PipelineGraph::compile(&plan, Some(&profiles), None, DEFAULT_QUEUE_CAPACITY);
-    graph.to_flow_specs(cpu, "replay").remove(0)
+    graph
+        .to_flow_specs(cpu, "replay")
+        .expect("verified graph")
+        .remove(0)
 }

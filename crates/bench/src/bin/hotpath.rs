@@ -208,6 +208,8 @@ fn main() {
         let ptr = m.column(0).i64_values().expect("int col").as_ptr();
         assert_eq!(
             ptr,
+            // SAFETY: morsel i starts at row i*4096, inside the parent
+            // column's allocation for every morsel `split` returned.
             unsafe { parent_ptr.add(i * 4096) },
             "morsel {i} data buffer was copied — split is not zero-copy"
         );

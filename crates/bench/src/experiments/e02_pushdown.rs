@@ -93,7 +93,7 @@ pub fn run(scale: Scale) -> ExpReport {
 
             // Timing: flow-simulate both pipelines on a fresh fabric.
             let sim_time = |plan| {
-                let spec = flow_pipeline(plan, &profiles, cpu, "q");
+                let spec = flow_pipeline(plan, &profiles, cpu, "q").expect("verified graph");
                 let mut sim =
                     FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
                 sim.add_pipeline(spec);

@@ -120,7 +120,10 @@ pub fn run(scale: Scale) -> ExpReport {
             None,
             DEFAULT_QUEUE_CAPACITY,
         );
-        let spec = graph.to_flow_specs(cpu, "count").remove(0);
+        let spec = graph
+            .to_flow_specs(cpu, "count")
+            .expect("verified graph")
+            .remove(0);
         let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
         sim.add_pipeline(spec);
         sim.run().pipelines[0].duration()

@@ -67,7 +67,7 @@ pub fn run(scale: Scale) -> ExpReport {
         };
         assert!(identical, "variant {} changed the answer", v.plan.variant);
 
-        let spec = flow_pipeline(&v.plan, &profiles, cpu, "q");
+        let spec = flow_pipeline(&v.plan, &profiles, cpu, "q").expect("verified graph");
         let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
         sim.add_pipeline(spec);
         let sim_time = sim.run().pipelines[0].duration();
@@ -139,12 +139,9 @@ pub fn trace_flow(scale: Scale) -> std::sync::Arc<df_sim::Tracer> {
     let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
     sim.set_tracer(tracer.clone());
     for v in &variants {
-        sim.add_pipeline(flow_pipeline(
-            &v.plan,
-            &profiles,
-            cpu,
-            v.plan.variant.clone(),
-        ));
+        sim.add_pipeline(
+            flow_pipeline(&v.plan, &profiles, cpu, v.plan.variant.clone()).expect("verified graph"),
+        );
     }
     sim.run();
     tracer

@@ -128,7 +128,9 @@ pub fn run(scale: Scale) -> ExpReport {
         // Compile the placed plan with this credit budget: every derived
         // stage queue inherits the graph's `queue_capacity`.
         let graph = PipelineGraph::compile(&plan, Some(&profiles), None, credits);
-        let mut specs = graph.to_flow_specs(cpu, &format!("credits-{credits}"));
+        let mut specs = graph
+            .to_flow_specs(cpu, &format!("credits-{credits}"))
+            .expect("verified graph");
         let spec = specs.remove(0).with_chunk(256 << 10);
         let mut sim = FlowSim::new(topo);
         sim.add_pipeline(spec);
@@ -206,7 +208,7 @@ mod tests {
         let cpu = topo.expect_device("compute0.cpu");
         let (plan, profiles) = placed_plan(&topo, 100_000);
         let graph = PipelineGraph::compile(&plan, Some(&profiles), None, 3);
-        let specs = graph.to_flow_specs(cpu, "p");
+        let specs = graph.to_flow_specs(cpu, "p").expect("verified graph");
         assert_eq!(specs.len(), 1);
         let devices: Vec<_> = specs[0].stages.iter().map(|s| s.device).collect();
         assert_eq!(

@@ -98,7 +98,10 @@ fn big_pipeline(topo: &Topology, rows: u64) -> PipelineSpec {
     let schema = table(&mut profiles, "fact", rows);
     let plan = scan_to_agg("fact", schema, ScanRequest::full(), ssd, cpu, "big");
     let graph = PipelineGraph::compile(&plan, Some(&profiles), None, 4);
-    graph.to_flow_specs(cpu, "big-scan").remove(0)
+    graph
+        .to_flow_specs(cpu, "big-scan")
+        .expect("verified graph")
+        .remove(0)
 }
 
 /// The small latency-sensitive query: a selective pushed-down filter (the
@@ -114,6 +117,7 @@ fn small_pipeline(topo: &Topology, rows: u64) -> PipelineSpec {
     let graph = PipelineGraph::compile(&plan, Some(&profiles), None, 4);
     graph
         .to_flow_specs(cpu, "small-query")
+        .expect("verified graph")
         .remove(0)
         // The small query arrives while the big one is in full flight.
         .starting_at(SimTime(2_000_000))
@@ -235,7 +239,8 @@ fn join_replay() -> (df_sim::SimDuration, df_sim::SimDuration) {
     )))
     .unwrap();
     let best = optimizer.best(&logical, &profiles).expect("join plans");
-    let specs = flow_pipelines(&best.plan, &profiles, optimizer.site().cpu, "join");
+    let specs = flow_pipelines(&best.plan, &profiles, optimizer.site().cpu, "join")
+        .expect("verified graph");
     assert!(specs.len() >= 2, "join plan must yield a build spine");
     let mut sim = FlowSim::new(topo);
     for spec in specs {

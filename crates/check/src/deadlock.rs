@@ -1,0 +1,604 @@
+//! Credit-flow deadlock analysis for compiled pipeline graphs.
+//!
+//! The push executor materializes every [`EdgeKind::Fabric`] edge as a
+//! `sync_channel(queue_capacity)` with the producer pipeline on its own
+//! thread, while [`EdgeKind::Local`] edges run the producer inline on the
+//! consumer's thread. This module reconstructs that threading statically:
+//!
+//! 1. **Collapse** local edges with a union-find — pipelines joined by
+//!    local edges share one OS thread, exactly as in the executor.
+//! 2. **Wait graph** — each fabric channel induces the two blocking waits
+//!    of the credit protocol: the producer thread can block sending into
+//!    it (out of credits) and the consumer thread can block receiving
+//!    from it (no data). A deadlock requires a cycle of threads all
+//!    blocked on each other, so a channel graph that is a DAG with all
+//!    capacities ≥ 1 is deadlock-free; a capacity-0 channel or a wait
+//!    cycle is rejected statically.
+//! 3. **Bounded model check** — for graphs small enough to enumerate
+//!    (≤ [`MODEL_CHECK_MAX_PIPELINES`] pipelines), the credit protocol is
+//!    abstracted to a [`ChannelSystem`] — chunk counts and blocking
+//!    behavior only — and *every* producer/consumer interleaving is
+//!    explored, asserting no reachable state has all threads blocked.
+//!    Join consumers drain their build channels to completion before
+//!    streaming their input (the executor's build-before-probe order),
+//!    and breaker tips consume all input before emitting.
+//!
+//! [`EdgeKind::Fabric`]: df_core::pipeline::EdgeKind::Fabric
+//! [`EdgeKind::Local`]: df_core::pipeline::EdgeKind::Local
+
+use std::fmt;
+
+use df_core::pipeline::{EdgeRole, PipelineEdge, PipelineGraph};
+
+use crate::model::{ChanOp, ChannelSystem, Verdict};
+
+/// Graphs at or below this many pipelines are exhaustively model-checked
+/// in addition to the static wait-graph analysis.
+pub const MODEL_CHECK_MAX_PIPELINES: usize = 4;
+
+/// Chunks each source emits in the model. Two is enough to exercise both
+/// the empty-channel and the at-capacity blocking condition for the
+/// default credit budgets.
+const MODEL_CHUNKS: usize = 2;
+
+/// One deadlock-analysis failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeadlockFinding {
+    /// A channel with zero credits: its producer can never complete a
+    /// send, so the first chunk wedges the producer thread forever.
+    ZeroCapacity {
+        /// The fabric edge backing the channel.
+        edge: usize,
+    },
+    /// The blocking-wait graph contains a cycle of threads that can all
+    /// be blocked on each other.
+    WaitCycle {
+        /// Thread ids (collapsed pipeline representatives) on the cycle.
+        threads: Vec<usize>,
+    },
+    /// The exhaustive model check reached a state with all threads
+    /// blocked.
+    ModelDeadlock {
+        /// Schedule (thread per step) reproducing the stuck state.
+        schedule: Vec<usize>,
+    },
+}
+
+impl DeadlockFinding {
+    /// Stable machine-readable tag for reports.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DeadlockFinding::ZeroCapacity { .. } => "zero-capacity",
+            DeadlockFinding::WaitCycle { .. } => "wait-cycle",
+            DeadlockFinding::ModelDeadlock { .. } => "model-deadlock",
+        }
+    }
+}
+
+impl fmt::Display for DeadlockFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlockFinding::ZeroCapacity { edge } => {
+                write!(
+                    f,
+                    "fabric edge {edge} has zero credits: send can never complete"
+                )
+            }
+            DeadlockFinding::WaitCycle { threads } => {
+                write!(f, "blocking-wait cycle through threads {threads:?}")
+            }
+            DeadlockFinding::ModelDeadlock { schedule } => write!(
+                f,
+                "model checker reached an all-blocked state via schedule {schedule:?}"
+            ),
+        }
+    }
+}
+
+/// Outcome of analyzing one graph.
+#[derive(Debug, Clone)]
+pub struct DeadlockReport {
+    /// Number of OS threads the executor would use (pipelines collapsed
+    /// over local edges).
+    pub threads: usize,
+    /// Number of credit-bounded channels (fabric edges).
+    pub channels: usize,
+    /// States the bounded model checker explored; `None` when the graph
+    /// was too large to model-check and only the static analysis ran.
+    pub model_states: Option<usize>,
+    /// All findings; empty = proven deadlock-free.
+    pub findings: Vec<DeadlockFinding>,
+}
+
+impl DeadlockReport {
+    /// True when no finding was produced.
+    pub fn is_deadlock_free(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Union-find over pipeline ids.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The executor's threading of a graph: threads (collapsed pipelines) and
+/// the fabric channels between them.
+struct ThreadGraph<'g> {
+    /// Thread id (dense) of each pipeline.
+    thread_of: Vec<usize>,
+    threads: usize,
+    /// `(edge, producer thread, consumer thread)` per fabric edge.
+    channels: Vec<(&'g PipelineEdge, usize, usize)>,
+}
+
+fn thread_graph(graph: &PipelineGraph) -> ThreadGraph<'_> {
+    let n = graph.pipelines.len();
+    let mut dsu = Dsu::new(n);
+    for edge in &graph.edges {
+        if !edge.crosses_devices() {
+            // Local edge: producer runs inline on the consumer's thread.
+            dsu.union(edge.from, edge.to);
+        }
+    }
+    // Dense thread ids.
+    let mut dense: Vec<Option<usize>> = vec![None; n];
+    let mut threads = 0usize;
+    let mut thread_of = vec![0usize; n];
+    for (pid, slot) in thread_of.iter_mut().enumerate() {
+        let root = dsu.find(pid);
+        *slot = *dense[root].get_or_insert_with(|| {
+            let t = threads;
+            threads += 1;
+            t
+        });
+    }
+    let channels = graph
+        .edges
+        .iter()
+        .filter(|e| e.crosses_devices())
+        .map(|e| (e, thread_of[e.from], thread_of[e.to]))
+        .collect();
+    ThreadGraph {
+        thread_of,
+        threads,
+        channels,
+    }
+}
+
+/// Detect a cycle in the thread-level channel graph; returns the threads
+/// on one cycle if present.
+fn find_wait_cycle(
+    threads: usize,
+    channels: &[(&PipelineEdge, usize, usize)],
+) -> Option<Vec<usize>> {
+    let mut state = vec![0u8; threads]; // 0 new, 1 on stack, 2 done
+    let succ = |t: usize| {
+        channels
+            .iter()
+            .filter(move |(_, from, _)| *from == t)
+            .map(|(_, _, to)| *to)
+            .collect::<Vec<_>>()
+    };
+    for start in 0..threads {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start] = 1;
+        while let Some(&mut (t, ref mut next)) = stack.last_mut() {
+            let succs = succ(t);
+            if *next < succs.len() {
+                let to = succs[*next];
+                *next += 1;
+                match state[to] {
+                    0 => {
+                        state[to] = 1;
+                        stack.push((to, 0));
+                    }
+                    1 => {
+                        let at = stack.iter().position(|&(p, _)| p == to).unwrap_or(0);
+                        return Some(stack[at..].iter().map(|&(p, _)| p).collect());
+                    }
+                    _ => {}
+                }
+            } else {
+                state[t] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Abstract the graph's credit protocol into a [`ChannelSystem`].
+///
+/// Each thread's script reproduces the executor's blocking structure for
+/// [`MODEL_CHUNKS`] chunks per source:
+///
+/// - a consumer drains every incoming join-build channel to completion
+///   before touching its streaming input (build-before-probe);
+/// - a thread whose tip is a breaker receives its whole input before
+///   sending anything downstream;
+/// - a streaming thread alternates receive/send per chunk;
+/// - sources only send, the root only receives.
+fn to_channel_system(graph: &PipelineGraph, tg: &ThreadGraph<'_>) -> ChannelSystem {
+    let mut capacities = Vec::with_capacity(tg.channels.len());
+    // chan index per fabric edge id.
+    let mut chan_of_edge = vec![usize::MAX; graph.edges.len()];
+    for (i, (edge, _, _)) in tg.channels.iter().enumerate() {
+        capacities.push(edge.queue_capacity);
+        chan_of_edge[edge.id] = i;
+    }
+    let mut scripts: Vec<Vec<ChanOp>> = vec![Vec::new(); tg.threads];
+    #[allow(clippy::needless_range_loop)] // `t` also filters tg.channels
+    for t in 0..tg.threads {
+        // Incoming channels, split by role; outgoing channel (tree: ≤ 1).
+        let builds: Vec<usize> = tg
+            .channels
+            .iter()
+            .filter(|(e, _, to)| *to == t && e.role == EdgeRole::JoinBuild)
+            .map(|(e, _, _)| chan_of_edge[e.id])
+            .collect();
+        let mut inputs: Vec<usize> = tg
+            .channels
+            .iter()
+            .filter(|(e, _, to)| *to == t && e.role == EdgeRole::Input)
+            .map(|(e, _, _)| chan_of_edge[e.id])
+            .collect();
+        // A collapsed thread can own several fabric input channels (one
+        // per merged pipeline); the graph driver drains nested producers
+        // to completion before the outermost stream, so all but the last
+        // behave like build channels here.
+        let input: Option<usize> = inputs.pop();
+        let early_inputs = inputs;
+        let out: Option<usize> = tg
+            .channels
+            .iter()
+            .find(|(_, from, _)| *from == t)
+            .map(|(e, _, _)| chan_of_edge[e.id]);
+        // Does any pipeline on this thread end in a breaker? Then the
+        // thread's output is only produced after its input is drained.
+        let breaker_tip = graph
+            .pipelines
+            .iter()
+            .enumerate()
+            .filter(|(pid, _)| tg.thread_of[*pid] == t)
+            .any(|(_, p)| p.ops.last().is_some_and(|op| op.spec.is_breaker()));
+
+        let script = &mut scripts[t];
+        // Build channels (and nested extra inputs) drain fully first, in
+        // edge order.
+        for b in builds.into_iter().chain(early_inputs) {
+            for _ in 0..MODEL_CHUNKS {
+                script.push(ChanOp::Recv(b));
+            }
+        }
+        match (input, out) {
+            (Some(i), Some(o)) if breaker_tip => {
+                for _ in 0..MODEL_CHUNKS {
+                    script.push(ChanOp::Recv(i));
+                }
+                for _ in 0..MODEL_CHUNKS {
+                    script.push(ChanOp::Send(o));
+                }
+            }
+            (Some(i), Some(o)) => {
+                for _ in 0..MODEL_CHUNKS {
+                    script.push(ChanOp::Recv(i));
+                    script.push(ChanOp::Send(o));
+                }
+            }
+            (Some(i), None) => {
+                for _ in 0..MODEL_CHUNKS {
+                    script.push(ChanOp::Recv(i));
+                }
+            }
+            (None, Some(o)) => {
+                for _ in 0..MODEL_CHUNKS {
+                    script.push(ChanOp::Send(o));
+                }
+            }
+            (None, None) => {}
+        }
+    }
+    ChannelSystem {
+        capacities,
+        scripts,
+    }
+}
+
+/// Analyze a compiled graph for credit-flow deadlocks. Static analysis
+/// always runs; graphs with ≤ [`MODEL_CHECK_MAX_PIPELINES`] pipelines are
+/// additionally model-checked exhaustively.
+pub fn analyze(graph: &PipelineGraph) -> DeadlockReport {
+    let tg = thread_graph(graph);
+    let mut findings = Vec::new();
+    for (edge, _, _) in &tg.channels {
+        if edge.queue_capacity == 0 {
+            findings.push(DeadlockFinding::ZeroCapacity { edge: edge.id });
+        }
+    }
+    if let Some(threads) = find_wait_cycle(tg.threads, &tg.channels) {
+        findings.push(DeadlockFinding::WaitCycle { threads });
+    }
+    let mut model_states = None;
+    // Only model-check systems the static analysis already accepts: a
+    // zero-capacity channel or a wait cycle is reported above, and the
+    // model would just rediscover it.
+    if findings.is_empty() && graph.pipelines.len() <= MODEL_CHECK_MAX_PIPELINES {
+        let system = to_channel_system(graph, &tg);
+        match system.check() {
+            Verdict::DeadlockFree { states } => model_states = Some(states),
+            Verdict::Deadlock { schedule, .. } => {
+                findings.push(DeadlockFinding::ModelDeadlock { schedule });
+            }
+        }
+    }
+    DeadlockReport {
+        threads: tg.threads,
+        channels: tg.channels.len(),
+        model_states,
+        findings,
+    }
+}
+
+/// [`analyze`], but model-checking an arbitrary graph's abstraction even
+/// above the size cutoff (tests / offline audits).
+pub fn model_check(graph: &PipelineGraph) -> Verdict {
+    let tg = thread_graph(graph);
+    to_channel_system(graph, &tg).check()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_core::expr::{col, lit};
+    use df_core::logical::JoinType;
+    use df_core::physical::{PhysNode, PhysicalPlan};
+    use df_core::pipeline::DEFAULT_QUEUE_CAPACITY;
+    use df_data::batch::batch_of;
+    use df_data::{Batch, Column, Field, Schema};
+    use df_fabric::topology::DisaggregatedConfig;
+    use df_fabric::Topology;
+
+    fn sample(n: usize) -> Batch {
+        batch_of(vec![
+            ("id", Column::from_i64((0..n as i64).collect())),
+            (
+                "g",
+                Column::from_i64((0..n as i64).map(|i| i % 4).collect()),
+            ),
+        ])
+    }
+
+    fn values(n: usize, device: Option<df_fabric::DeviceId>) -> PhysNode {
+        let b = sample(n);
+        PhysNode::Values {
+            schema: b.schema().clone(),
+            batches: vec![b],
+            device,
+        }
+    }
+
+    fn topo() -> Topology {
+        Topology::disaggregated(&DisaggregatedConfig::default())
+    }
+
+    #[test]
+    fn single_pipeline_has_one_thread_no_channels() {
+        let plan = PhysicalPlan::new(
+            PhysNode::Filter {
+                input: Box::new(values(8, None)),
+                predicate: col("id").lt(lit(4)),
+                device: None,
+                use_kernel: false,
+            },
+            "t",
+        );
+        let g = PipelineGraph::compile(&plan, None, None, DEFAULT_QUEUE_CAPACITY);
+        let r = analyze(&g);
+        assert!(r.is_deadlock_free());
+        assert_eq!(r.threads, 1);
+        assert_eq!(r.channels, 0);
+    }
+
+    #[test]
+    fn local_breaker_cut_collapses_to_one_thread() {
+        // sort | limit: two pipelines, one local edge, still one thread.
+        let plan = PhysicalPlan::new(
+            PhysNode::Limit {
+                input: Box::new(PhysNode::Sort {
+                    input: Box::new(values(8, None)),
+                    keys: vec![("id".into(), true)],
+                    device: None,
+                }),
+                n: 3,
+            },
+            "t",
+        );
+        let g = PipelineGraph::compile(&plan, None, None, DEFAULT_QUEUE_CAPACITY);
+        let r = analyze(&g);
+        assert!(r.is_deadlock_free());
+        assert_eq!(r.threads, 1);
+        assert_eq!(r.channels, 0);
+        assert!(r.model_states.is_some(), "small graph is model-checked");
+    }
+
+    #[test]
+    fn fabric_cut_yields_two_threads_and_is_deadlock_free() {
+        let topo = topo();
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let plan = PhysicalPlan::new(
+            PhysNode::Filter {
+                input: Box::new(values(8, Some(nic))),
+                predicate: col("id").lt(lit(4)),
+                device: Some(cpu),
+                use_kernel: false,
+            },
+            "t",
+        );
+        let g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        let r = analyze(&g);
+        assert!(r.is_deadlock_free(), "{:?}", r.findings);
+        assert_eq!(r.threads, 2);
+        assert_eq!(r.channels, 1);
+        assert!(r.model_states.unwrap() > 0);
+    }
+
+    #[test]
+    fn join_graph_with_fabric_build_edge_is_deadlock_free() {
+        let topo = topo();
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let b = batch_of(vec![("bk", Column::from_i64(vec![0, 1, 2]))]);
+        let p = sample(8);
+        let schema = {
+            let mut fields: Vec<Field> = b.schema().fields().to_vec();
+            fields.extend(p.schema().fields().iter().cloned());
+            Schema::new(fields).into_ref()
+        };
+        let plan = PhysicalPlan::new(
+            PhysNode::HashJoin {
+                build: Box::new(PhysNode::Values {
+                    schema: b.schema().clone(),
+                    batches: vec![b],
+                    device: Some(nic),
+                }),
+                probe: Box::new(values(8, Some(cpu))),
+                on: vec![("bk".into(), "g".into())],
+                join_type: JoinType::Inner,
+                schema,
+                device: Some(cpu),
+            },
+            "t",
+        );
+        let g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        let r = analyze(&g);
+        assert!(r.is_deadlock_free(), "{:?}", r.findings);
+        assert_eq!(r.channels, 1, "build side crosses nic -> cpu");
+        assert!(r.model_states.is_some());
+    }
+
+    #[test]
+    fn zero_capacity_edge_is_rejected_statically() {
+        let topo = topo();
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let plan = PhysicalPlan::new(
+            PhysNode::Filter {
+                input: Box::new(values(8, Some(nic))),
+                predicate: col("id").lt(lit(4)),
+                device: Some(cpu),
+                use_kernel: false,
+            },
+            "t",
+        );
+        let mut g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        g.edges[0].queue_capacity = 0;
+        let r = analyze(&g);
+        assert_eq!(r.findings, vec![DeadlockFinding::ZeroCapacity { edge: 0 }]);
+    }
+
+    #[test]
+    fn forged_wait_cycle_is_rejected_statically() {
+        let topo = topo();
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let plan = PhysicalPlan::new(
+            PhysNode::Filter {
+                input: Box::new(values(8, Some(nic))),
+                predicate: col("id").lt(lit(4)),
+                device: Some(cpu),
+                use_kernel: false,
+            },
+            "t",
+        );
+        let mut g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        // Forge a reverse fabric edge cpu -> nic so the two threads can
+        // block on each other.
+        let mut back = g.edges[0].clone();
+        back.id = g.edges.len();
+        std::mem::swap(&mut back.from, &mut back.to);
+        std::mem::swap(&mut back.from_device, &mut back.to_device);
+        back.role = EdgeRole::JoinBuild;
+        g.edges.push(back);
+        let r = analyze(&g);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| matches!(f, DeadlockFinding::WaitCycle { .. })),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn exhaustive_model_covers_four_pipeline_graphs() {
+        // values -> sort (cut) -> fabric hop -> limit: 3 pipelines across
+        // 2 devices, plus a join build = 4 pipelines, all model-checked.
+        let topo = topo();
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let b = batch_of(vec![("bk", Column::from_i64(vec![0, 1]))]);
+        let inner = PhysNode::Sort {
+            input: Box::new(values(8, Some(nic))),
+            keys: vec![("id".into(), true)],
+            device: Some(cpu),
+        };
+        let p_schema = inner.schema();
+        let schema = {
+            let mut fields: Vec<Field> = b.schema().fields().to_vec();
+            fields.extend(p_schema.fields().iter().cloned());
+            Schema::new(fields).into_ref()
+        };
+        let plan = PhysicalPlan::new(
+            PhysNode::HashJoin {
+                build: Box::new(PhysNode::Values {
+                    schema: b.schema().clone(),
+                    batches: vec![b],
+                    device: Some(nic),
+                }),
+                probe: Box::new(inner),
+                on: vec![("bk".into(), "g".into())],
+                join_type: JoinType::Inner,
+                schema,
+                device: Some(cpu),
+            },
+            "t",
+        );
+        let g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        assert_eq!(g.pipelines.len(), 4);
+        let r = analyze(&g);
+        assert!(r.is_deadlock_free(), "{:?}", r.findings);
+        let states = r.model_states.expect("4-pipeline graph is in model scope");
+        assert!(
+            states > 10,
+            "expected a non-trivial state space, got {states}"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! df-check: static analysis for the rheo workspace.
+//!
+//! Three passes, runnable as one binary (`cargo run -p df-check`) or as
+//! library calls from tests and executors:
+//!
+//! 1. **Graph verification** — [`PipelineGraph::verify`] (implemented in
+//!    `df-core::pipeline::verify`, re-exported here as [`verify`]) checks
+//!    compiled pipeline graphs for schema flow-typing, placement
+//!    legality, route completeness, breaker invariants, and ledger
+//!    conservation before any execution path runs them.
+//! 2. **Credit-flow deadlock analysis** — [`deadlock::analyze`] abstracts
+//!    a verified graph into its blocking-wait structure (threads joined
+//!    by bounded channels), statically rejects zero-capacity channels and
+//!    wait cycles, and exhaustively model-checks every producer/consumer
+//!    interleaving for small graphs via [`model::ChannelSystem`].
+//! 3. **Workspace invariant lints** — [`lint::run`] enforces project
+//!    rules clippy cannot express: single ledger charge site, no raw
+//!    `sync_channel` outside the graph driver, no wall clock in the sim
+//!    lane, `// SAFETY:` on every `unsafe`, no `unwrap`/`expect` in
+//!    library crates.
+//!
+//! Each pass emits findings into a machine-readable JSON report
+//! ([`report::to_json`]) consumed by the CI `static-analysis` job.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod deadlock;
+pub mod lint;
+pub mod model;
+pub mod report;
+
+pub use df_core::pipeline::verify;
+pub use df_core::pipeline::{PipelineGraph, VerifyError};

@@ -1,0 +1,586 @@
+//! Workspace invariant lints: project rules clippy cannot express.
+//!
+//! These are text/AST-lite lints over the workspace's Rust sources. Each
+//! file is first run through a small lexer ([`code_lines`]) that blanks
+//! out comments and string/char literal *contents* while preserving line
+//! structure, so pattern matching and `#[cfg(test)]`-block brace counting
+//! operate on code only (a `"{"` inside a format string cannot desync the
+//! scanner, and a pattern mentioned in a doc comment cannot fire a lint).
+//!
+//! Lints (see also DESIGN.md § Static verification):
+//!
+//! - `ledger-charge-site` — movement-ledger charging (`.charge(`) happens
+//!   only in the graph-driver edge code; anywhere else would double-count
+//!   or hide data movement.
+//! - `raw-sync-channel` — `sync_channel` appears only in the graph
+//!   driver: every credit-bounded channel must be a pipeline edge the
+//!   deadlock analysis can see.
+//! - `wall-clock-in-sim` — no `Instant::now`/`SystemTime` in `df-sim`
+//!   (the sim lane is deterministic virtual time; wall clocks there break
+//!   golden traces).
+//! - `unsafe-safety-comment` — every `unsafe` keyword is preceded by a
+//!   `// SAFETY:` comment within the three lines above it (or carries one
+//!   on the same line).
+//! - `no-unwrap-in-lib` — no `.unwrap()` / `.expect(` in non-test code of
+//!   `crates/{core,fabric,net,storage}`; library code returns typed
+//!   errors.
+//!
+//! Every lint consults an allowlist file under `crates/check/allowlists/`
+//! (one entry per line: `path-suffix` to allow a whole file, or
+//! `path-suffix :: substring` to allow only lines containing the
+//! substring). `crates/check` itself is excluded from the scan: lint
+//! pattern strings necessarily appear in its own source.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint name (stable, kebab-case).
+    pub lint: &'static str,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{}: {}",
+            self.lint, self.file, self.line, self.snippet
+        )
+    }
+}
+
+/// Static description of one lint pass.
+struct Lint {
+    name: &'static str,
+    /// Path prefixes (relative, `/`-separated) the lint applies to.
+    scopes: &'static [&'static str],
+    /// Substrings that fire the lint when found in code text.
+    patterns: &'static [&'static str],
+    /// Skip matches inside `#[cfg(test)]` blocks.
+    skip_test_blocks: bool,
+}
+
+const LINTS: &[Lint] = &[
+    Lint {
+        name: "ledger-charge-site",
+        scopes: &["crates/"],
+        patterns: &[".charge("],
+        skip_test_blocks: true,
+    },
+    Lint {
+        name: "raw-sync-channel",
+        scopes: &["crates/"],
+        patterns: &["sync_channel"],
+        skip_test_blocks: true,
+    },
+    Lint {
+        name: "wall-clock-in-sim",
+        scopes: &["crates/sim/"],
+        patterns: &["Instant::now", "SystemTime"],
+        skip_test_blocks: true,
+    },
+    Lint {
+        name: "no-unwrap-in-lib",
+        scopes: &[
+            "crates/core/src/",
+            "crates/fabric/src/",
+            "crates/net/src/",
+            "crates/storage/src/",
+        ],
+        patterns: &[".unwrap()", ".expect("],
+        skip_test_blocks: true,
+    },
+];
+
+/// The unsafe lint is structural (needs the raw comment text), so it is
+/// not in the [`LINTS`] table.
+const UNSAFE_LINT: &str = "unsafe-safety-comment";
+
+/// How many lines above an `unsafe` a `// SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 3;
+
+/// Names of all lints, for allowlist discovery and reports.
+pub fn lint_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = LINTS.iter().map(|l| l.name).collect();
+    names.push(UNSAFE_LINT);
+    names
+}
+
+// --------------------------------------------------------------- lexer
+
+/// Blank comments and literal contents out of a source file, preserving
+/// line structure. Returns one "code-only" string per line: comments
+/// become spaces; string/char literals keep their quotes but their
+/// contents become spaces. Handles `//`, `/* */` (nested), `"…"`,
+/// `'c'` char literals (without eating lifetimes), and raw strings
+/// `r"…"` / `r#"…"#` with any number of hashes.
+pub fn code_lines(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        Block(usize),  // nested block-comment depth
+        Str,           // inside "…"
+        RawStr(usize), // inside r##"…"## with N hashes
+    }
+    let mut mode = Mode::Code;
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut line = String::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            out.push(std::mem::take(&mut line));
+            // Line comments end at the newline; everything else persists.
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+                    // Line comment: blank to end of line.
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        line.push(' ');
+                        i += 1;
+                    }
+                    continue;
+                }
+                if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::Block(1);
+                    line.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    mode = Mode::Str;
+                    line.push('"');
+                    i += 1;
+                    continue;
+                }
+                if c == 'r' {
+                    // Possible raw string: r" or r#…#".
+                    let mut j = i + 1;
+                    let mut hashes = 0usize;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        mode = Mode::RawStr(hashes);
+                        for _ in i..=j {
+                            line.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: a lifetime is '<ident> not
+                    // followed by a closing quote. Check for the forms
+                    // 'x' and escaped '\…'.
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        // Escaped char literal: skip to closing quote.
+                        line.push('\'');
+                        i += 1;
+                        while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+                            line.push(' ');
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    if bytes.get(i + 2) == Some(&b'\'') && bytes.get(i + 1) != Some(&b'\'') {
+                        // 'x' char literal.
+                        line.push_str("' '");
+                        i += 3;
+                        continue;
+                    }
+                    // Lifetime or stray quote: keep as code.
+                    line.push('\'');
+                    i += 1;
+                    continue;
+                }
+                line.push(c);
+                i += 1;
+            }
+            Mode::Block(depth) => {
+                if c == '*' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    line.push_str("  ");
+                    i += 2;
+                } else if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::Block(depth + 1);
+                    line.push_str("  ");
+                    i += 2;
+                } else {
+                    line.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    line.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    mode = Mode::Code;
+                    line.push('"');
+                    i += 1;
+                } else {
+                    line.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let all = (0..hashes).all(|k| bytes.get(i + 1 + k) == Some(&b'#'));
+                    if all {
+                        mode = Mode::Code;
+                        for _ in 0..=hashes {
+                            line.push(' ');
+                        }
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                line.push(' ');
+                i += 1;
+            }
+        }
+    }
+    if !line.is_empty() {
+        out.push(line);
+    }
+    out
+}
+
+/// Mark lines inside `#[cfg(test)] mod … { … }` blocks (and the attribute
+/// line itself). Brace counting runs over code-only text, so braces in
+/// strings or comments cannot desync it.
+fn test_block_lines(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].contains("#[cfg(test)]") {
+            in_test[i] = true;
+            // Scan forward to the block's opening brace, then to its
+            // matching close.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < code.len() {
+                in_test[j] = true;
+                for ch in code[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                // An item without braces (e.g. `#[cfg(test)] use …;`)
+                // ends at the first `;` before any brace opens.
+                if !opened && code[j].contains(';') {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+// ----------------------------------------------------------- allowlists
+
+/// One allowlist entry: a path suffix, optionally restricted to lines
+/// containing a substring.
+struct AllowEntry {
+    path_suffix: String,
+    substring: Option<String>,
+}
+
+/// Allowlist for one lint, loaded from
+/// `crates/check/allowlists/<lint>.txt`.
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Load the allowlist for `lint` under `root` (missing file = empty).
+    pub fn load(root: &Path, lint: &str) -> io::Result<Allowlist> {
+        let path = root
+            .join("crates/check/allowlists")
+            .join(format!("{lint}.txt"));
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (path_suffix, substring) = match line.split_once(" :: ") {
+                Some((p, s)) => (p.trim().to_string(), Some(s.trim().to_string())),
+                None => (line.to_string(), None),
+            };
+            entries.push(AllowEntry {
+                path_suffix,
+                substring,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Whether a finding at `file`/`line_text` is allowed.
+    fn allows(&self, file: &str, line_text: &str) -> bool {
+        self.entries.iter().any(|e| {
+            file.ends_with(&e.path_suffix)
+                && e.substring
+                    .as_ref()
+                    .is_none_or(|s| line_text.contains(s.as_str()))
+        })
+    }
+}
+
+// ---------------------------------------------------------------- walk
+
+/// All Rust sources in lint scope: `crates/*/src` (except `crates/check`),
+/// the facade `src/`, plus `tests/`, `examples/`, `benches/` and bench
+/// sources for the lints whose scope includes them.
+fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.retain(|p| {
+        let rel = p.strip_prefix(root).unwrap_or(p);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        // Self-scan exemption: the lint patterns live in df-check's own
+        // strings and docs.
+        !rel.starts_with("crates/check/")
+    });
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- runner
+
+/// Run every lint over the workspace at `root`, returning unsuppressed
+/// findings (sorted by file/line). Allowlists are loaded from
+/// `<root>/crates/check/allowlists/`.
+pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
+    let files = workspace_sources(root)?;
+    let allowlists: Vec<(usize, Allowlist)> = LINTS
+        .iter()
+        .enumerate()
+        .map(|(i, l)| Ok((i, Allowlist::load(root, l.name)?)))
+        .collect::<io::Result<Vec<_>>>()?;
+    let unsafe_allow = Allowlist::load(root, UNSAFE_LINT)?;
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(path)?;
+        let raw: Vec<&str> = source.lines().collect();
+        let code = code_lines(&source);
+        let in_test = test_block_lines(&code);
+
+        for (li, lint) in LINTS.iter().enumerate() {
+            if !lint.scopes.iter().any(|s| rel.starts_with(s)) {
+                continue;
+            }
+            // Test/bench/example trees are exercise code, not library
+            // surface: scope lint paths all start with "crates/".
+            let allow = &allowlists[li].1;
+            for (ln, code_line) in code.iter().enumerate() {
+                if lint.skip_test_blocks && in_test.get(ln).copied().unwrap_or(false) {
+                    continue;
+                }
+                if !lint.patterns.iter().any(|p| code_line.contains(p)) {
+                    continue;
+                }
+                let raw_line = raw.get(ln).copied().unwrap_or("");
+                if allow.allows(&rel, raw_line) {
+                    continue;
+                }
+                findings.push(Finding {
+                    lint: lint.name,
+                    file: rel.clone(),
+                    line: ln + 1,
+                    snippet: raw_line.trim().to_string(),
+                });
+            }
+        }
+
+        // unsafe-safety-comment: structural, applies everywhere.
+        for (ln, code_line) in code.iter().enumerate() {
+            if !has_word(code_line, "unsafe") {
+                continue;
+            }
+            let raw_line = raw.get(ln).copied().unwrap_or("");
+            let mut satisfied = raw_line.contains("SAFETY:");
+            for back in 1..=SAFETY_WINDOW {
+                if satisfied {
+                    break;
+                }
+                if ln >= back {
+                    satisfied = raw.get(ln - back).is_some_and(|l| l.contains("SAFETY:"));
+                }
+            }
+            if satisfied || unsafe_allow.allows(&rel, raw_line) {
+                continue;
+            }
+            findings.push(Finding {
+                lint: UNSAFE_LINT,
+                file: rel.clone(),
+                line: ln + 1,
+                snippet: raw_line.trim().to_string(),
+            });
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+    Ok(findings)
+}
+
+/// Word-boundary containment: `unsafe` matches, `unsafe_code` does not.
+fn has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0usize;
+    while let Some(at) = line[start..].find(word) {
+        let begin = start + at;
+        let end = begin + word.len();
+        let before_ok = begin == 0 || !is_word_byte(bytes[begin - 1]);
+        let after_ok = end >= bytes.len() || !is_word_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = begin + 1;
+    }
+    false
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Render findings into the allowlist entry format (`path :: snippet`),
+/// grouped per lint — the `--bless` output.
+pub fn to_allowlist_entries(findings: &[Finding]) -> Vec<(&'static str, String)> {
+    findings
+        .iter()
+        .map(|f| (f.lint, format!("{} :: {}", f.file, f.snippet)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_blanks_comments_and_strings() {
+        let src = "let a = \"sync_channel {\"; // sync_channel\nlet b = 1; /* unsafe */\n";
+        let lines = code_lines(src);
+        assert!(!lines[0].contains("sync_channel"));
+        assert!(lines[0].contains("let a ="));
+        assert!(!lines[1].contains("unsafe"));
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_and_chars() {
+        let src = "let r = r#\"unsafe { } \"#;\nlet c = '{';\nlet lt: &'static str = \"x\";\n";
+        let lines = code_lines(src);
+        assert!(!lines[0].contains("unsafe"));
+        assert!(!lines[1].contains('{'));
+        assert!(lines[2].contains("'static"));
+    }
+
+    #[test]
+    fn lexer_handles_nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n";
+        let lines = code_lines(src);
+        assert!(lines[0].contains("let x = 1;"));
+        assert!(!lines[0].contains("comment"));
+    }
+
+    #[test]
+    fn test_blocks_are_detected() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let code = code_lines(src);
+        let flags = test_block_lines(&code);
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(has_word("x = unsafe{y}", "unsafe"));
+        assert!(!has_word("#![deny(unsafe_code)]", "unsafe"));
+        assert!(!has_word("my_unsafe_fn()", "unsafe"));
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        // The committed tree must carry zero violations: this is the same
+        // invariant the CI static-analysis job enforces.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = run(&root).expect("lint run");
+        assert!(
+            findings.is_empty(),
+            "workspace lint violations:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

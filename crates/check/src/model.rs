@@ -1,0 +1,251 @@
+//! A small bounded model checker for bounded-channel thread systems.
+//!
+//! The credit protocol (§7.1) is, abstractly, a set of threads exchanging
+//! chunks over bounded FIFO channels: `send` blocks when the channel holds
+//! `capacity` chunks (the producer is out of credits), `recv` blocks when
+//! it holds none. Chunk *contents* are irrelevant to blocking behavior, so
+//! a thread reduces to a script of [`ChanOp`]s and the global state to
+//! per-thread program counters plus per-channel queue lengths. That state
+//! space is finite and small for the graphs the executor builds, which
+//! makes exhaustive enumeration of every interleaving practical.
+//!
+//! [`ChannelSystem::check`] explores all reachable states and reports
+//! either the number of states visited (no deadlock anywhere) or a
+//! deadlocked state with the schedule that reaches it.
+
+use std::collections::{HashMap, HashSet};
+
+/// One blocking channel operation in a thread's script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChanOp {
+    /// Enqueue a chunk; blocks while the channel is at capacity.
+    Send(usize),
+    /// Dequeue a chunk; blocks while the channel is empty.
+    Recv(usize),
+}
+
+/// A closed system of threads communicating over bounded channels.
+#[derive(Debug, Clone)]
+pub struct ChannelSystem {
+    /// Capacity of each channel, in chunks.
+    pub capacities: Vec<usize>,
+    /// One op script per thread, executed in order.
+    pub scripts: Vec<Vec<ChanOp>>,
+}
+
+/// Result of exhaustively checking a [`ChannelSystem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every reachable state can make progress or is final.
+    DeadlockFree {
+        /// Number of distinct states explored.
+        states: usize,
+    },
+    /// Some interleaving reaches a state where no unfinished thread can
+    /// move.
+    Deadlock {
+        /// The schedule (thread index per step) reaching the stuck state.
+        schedule: Vec<usize>,
+        /// Program counter of each thread in the stuck state.
+        stuck_pcs: Vec<usize>,
+    },
+}
+
+impl ChannelSystem {
+    /// Validate channel indices before exploration.
+    fn validate(&self) {
+        for (t, script) in self.scripts.iter().enumerate() {
+            for op in script {
+                let ch = match op {
+                    ChanOp::Send(c) | ChanOp::Recv(c) => *c,
+                };
+                assert!(
+                    ch < self.capacities.len(),
+                    "thread {t} references channel {ch}, only {} exist",
+                    self.capacities.len()
+                );
+            }
+        }
+    }
+
+    /// Whether thread `t` can take its next step in `(pcs, queues)`.
+    fn enabled(&self, t: usize, pcs: &[usize], queues: &[usize]) -> bool {
+        match self.scripts[t].get(pcs[t]) {
+            None => false, // finished
+            Some(ChanOp::Send(c)) => queues[*c] < self.capacities[*c],
+            Some(ChanOp::Recv(c)) => queues[*c] > 0,
+        }
+    }
+
+    /// Exhaustively enumerate every interleaving. States are memoized, so
+    /// each distinct `(pcs, queues)` pair is expanded once; a state is a
+    /// deadlock when at least one thread is unfinished and no thread is
+    /// enabled.
+    pub fn check(&self) -> Verdict {
+        self.validate();
+        let nt = self.scripts.len();
+        let start: State = State {
+            pcs: vec![0; nt],
+            queues: vec![0; self.capacities.len()],
+        };
+        let mut seen: HashSet<State> = HashSet::new();
+        let mut pred: HashMap<State, (State, usize)> = HashMap::new();
+        let mut work = vec![start.clone()];
+        seen.insert(start);
+        let mut states = 0usize;
+        while let Some(state) = work.pop() {
+            states += 1;
+            let mut any_enabled = false;
+            let all_done = (0..nt).all(|t| state.pcs[t] >= self.scripts[t].len());
+            for t in 0..nt {
+                if !self.enabled(t, &state.pcs, &state.queues) {
+                    continue;
+                }
+                any_enabled = true;
+                let mut next = state.clone();
+                match self.scripts[t][state.pcs[t]] {
+                    ChanOp::Send(c) => next.queues[c] += 1,
+                    ChanOp::Recv(c) => next.queues[c] -= 1,
+                }
+                next.pcs[t] += 1;
+                if seen.insert(next.clone()) {
+                    pred.insert(next.clone(), (state.clone(), t));
+                    work.push(next);
+                }
+            }
+            if !any_enabled && !all_done {
+                // Stuck: reconstruct the schedule that got here.
+                let mut schedule = Vec::new();
+                let mut cur = state.clone();
+                while let Some((prev, t)) = pred.get(&cur) {
+                    schedule.push(*t);
+                    cur = prev.clone();
+                }
+                schedule.reverse();
+                return Verdict::Deadlock {
+                    schedule,
+                    stuck_pcs: state.pcs,
+                };
+            }
+        }
+        Verdict::DeadlockFree { states }
+    }
+}
+
+/// Global state: one program counter per thread, one fill level per
+/// channel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    pcs: Vec<usize>,
+    queues: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ChanOp::{Recv, Send};
+
+    #[test]
+    fn single_producer_consumer_is_deadlock_free() {
+        let sys = ChannelSystem {
+            capacities: vec![1],
+            scripts: vec![
+                vec![Send(0), Send(0), Send(0)],
+                vec![Recv(0), Recv(0), Recv(0)],
+            ],
+        };
+        assert!(matches!(sys.check(), Verdict::DeadlockFree { .. }));
+    }
+
+    #[test]
+    fn recv_before_send_cycle_deadlocks_immediately() {
+        // Both threads wait for the other to produce first.
+        let sys = ChannelSystem {
+            capacities: vec![1, 1],
+            scripts: vec![vec![Recv(1), Send(0)], vec![Recv(0), Send(1)]],
+        };
+        match sys.check() {
+            Verdict::Deadlock {
+                schedule,
+                stuck_pcs,
+            } => {
+                assert!(schedule.is_empty(), "stuck in the initial state");
+                assert_eq!(stuck_pcs, vec![0, 0]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_channel_deadlocks() {
+        let sys = ChannelSystem {
+            capacities: vec![0],
+            scripts: vec![vec![Send(0)], vec![Recv(0)]],
+        };
+        assert!(matches!(sys.check(), Verdict::Deadlock { .. }));
+    }
+
+    #[test]
+    fn send_cycle_with_insufficient_credits_deadlocks() {
+        // A ring where each thread must send twice before receiving, but
+        // every channel holds only one chunk: after one send each, all
+        // sends block and nobody drains.
+        let sys = ChannelSystem {
+            capacities: vec![1, 1],
+            scripts: vec![
+                vec![Send(0), Send(0), Recv(1), Recv(1)],
+                vec![Send(1), Send(1), Recv(0), Recv(0)],
+            ],
+        };
+        assert!(matches!(sys.check(), Verdict::Deadlock { .. }));
+    }
+
+    #[test]
+    fn ring_with_enough_credits_is_deadlock_free() {
+        // The same ring with capacity 2 never blocks.
+        let sys = ChannelSystem {
+            capacities: vec![2, 2],
+            scripts: vec![
+                vec![Send(0), Send(0), Recv(1), Recv(1)],
+                vec![Send(1), Send(1), Recv(0), Recv(0)],
+            ],
+        };
+        assert!(matches!(sys.check(), Verdict::DeadlockFree { .. }));
+    }
+
+    #[test]
+    fn breaker_shaped_consumer_is_deadlock_free_in_a_chain() {
+        // source -> breaker (drain all, then emit) -> sink, capacity 1.
+        let sys = ChannelSystem {
+            capacities: vec![1, 1],
+            scripts: vec![
+                vec![Send(0), Send(0)],
+                vec![Recv(0), Recv(0), Send(1), Send(1)],
+                vec![Recv(1), Recv(1)],
+            ],
+        };
+        assert!(matches!(sys.check(), Verdict::DeadlockFree { .. }));
+    }
+
+    #[test]
+    fn finished_threads_do_not_mask_a_deadlock() {
+        // Thread 0 finishes immediately; thread 1 still blocks forever.
+        let sys = ChannelSystem {
+            capacities: vec![1],
+            scripts: vec![vec![], vec![Recv(0)]],
+        };
+        assert!(matches!(sys.check(), Verdict::Deadlock { .. }));
+    }
+
+    #[test]
+    fn state_count_is_reported() {
+        let sys = ChannelSystem {
+            capacities: vec![1],
+            scripts: vec![vec![Send(0)], vec![Recv(0)]],
+        };
+        match sys.check() {
+            Verdict::DeadlockFree { states } => assert!(states >= 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Machine-readable report output for df-check.
+//!
+//! The report format is consumed by the CI `static-analysis` job, so it
+//! is hand-rolled deterministic JSON (no external dependencies): findings
+//! sorted by the caller, keys in fixed order, strings escaped per RFC
+//! 8259.
+
+use crate::lint::Finding;
+
+/// Escape a string for inclusion in a JSON document (without the
+/// surrounding quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One section of the report: a named pass and its finding strings.
+pub struct Section {
+    /// Pass name (`graph-verify`, `deadlock`, or a lint name).
+    pub pass: String,
+    /// Human-readable findings; empty means the pass was clean.
+    pub findings: Vec<SectionFinding>,
+}
+
+/// One finding inside a [`Section`].
+pub struct SectionFinding {
+    /// Stable machine tag (e.g. a `VerifyError::code()` or lint name).
+    pub code: String,
+    /// Where the finding points, if file-based (`file:line`).
+    pub location: Option<String>,
+    /// Full human-readable message.
+    pub message: String,
+}
+
+impl SectionFinding {
+    /// Build a section finding from a lint [`Finding`].
+    pub fn from_lint(f: &Finding) -> SectionFinding {
+        SectionFinding {
+            code: f.lint.to_string(),
+            location: Some(format!("{}:{}", f.file, f.line)),
+            message: f.to_string(),
+        }
+    }
+}
+
+/// Serialize the whole report. `ok` is true when no section has findings.
+pub fn to_json(sections: &[Section]) -> String {
+    let total: usize = sections.iter().map(|s| s.findings.len()).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"ok\": {},\n", total == 0));
+    out.push_str(&format!("  \"total_findings\": {total},\n"));
+    out.push_str("  \"passes\": [\n");
+    for (si, s) in sections.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"pass\": \"{}\",\n", escape_json(&s.pass)));
+        out.push_str("      \"findings\": [");
+        if s.findings.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push('\n');
+            for (fi, f) in s.findings.iter().enumerate() {
+                out.push_str("        {");
+                out.push_str(&format!("\"code\": \"{}\", ", escape_json(&f.code)));
+                match &f.location {
+                    Some(loc) => out.push_str(&format!("\"location\": \"{}\", ", escape_json(loc))),
+                    None => out.push_str("\"location\": null, "),
+                }
+                out.push_str(&format!("\"message\": \"{}\"}}", escape_json(&f.message)));
+                out.push_str(if fi + 1 < s.findings.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("      ]\n");
+        }
+        out.push_str(if si + 1 < sections.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+        assert_eq!(escape_json("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn clean_report_is_ok() {
+        let json = to_json(&[Section {
+            pass: "graph-verify".into(),
+            findings: vec![],
+        }]);
+        assert!(json.contains("\"ok\": true"));
+        assert!(json.contains("\"total_findings\": 0"));
+        assert!(json.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn findings_are_serialized() {
+        let json = to_json(&[Section {
+            pass: "lints".into(),
+            findings: vec![SectionFinding {
+                code: "no-unwrap-in-lib".into(),
+                location: Some("crates/core/src/x.rs:7".into()),
+                message: "bad \"stuff\"".into(),
+            }],
+        }]);
+        assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("\"total_findings\": 1"));
+        assert!(json.contains("\\\"stuff\\\""));
+        assert!(json.contains("crates/core/src/x.rs:7"));
+    }
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 //! # df-codec — the cloud data-path operations
 //!
 //! The paper (§1, §2.2) observes that query plans in the cloud must include

@@ -21,6 +21,8 @@ pub enum EngineError {
     Plan(String),
     /// Placement/scheduling failure (no valid device for an operator).
     Placement(String),
+    /// Static verification rejected a compiled pipeline graph.
+    Verify(Vec<crate::pipeline::VerifyError>),
     /// Internal invariant violation.
     Internal(String),
 }
@@ -36,6 +38,17 @@ impl fmt::Display for EngineError {
             EngineError::Parse(msg) => write!(f, "parse error: {msg}"),
             EngineError::Plan(msg) => write!(f, "plan error: {msg}"),
             EngineError::Placement(msg) => write!(f, "placement error: {msg}"),
+            EngineError::Verify(errs) => {
+                write!(f, "graph verification failed ({} finding", errs.len())?;
+                if errs.len() != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                for e in errs {
+                    write!(f, "; {e}")?;
+                }
+                Ok(())
+            }
             EngineError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

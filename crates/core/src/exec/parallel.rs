@@ -142,6 +142,7 @@ fn run_chain(ops: &mut [Box<dyn Operator>], batch: Batch) -> Result<Vec<Batch>> 
 pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> Result<ExecOutcome> {
     let threads = threads.max(1);
     let graph = PipelineGraph::compile(plan, None, env.topology, DEFAULT_QUEUE_CAPACITY);
+    graph.verify_or_err(env.topology)?;
     let shape = extract_shape(&graph).ok_or_else(|| {
         EngineError::Plan("plan shape not supported by the parallel executor".into())
     })?;

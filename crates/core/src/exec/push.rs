@@ -110,6 +110,7 @@ pub fn execute(plan: &PhysicalPlan, env: &ExecEnv) -> Result<ExecOutcome> {
 
 /// Execute a compiled pipeline graph.
 pub fn execute_graph(graph: &PipelineGraph, env: &ExecEnv, variant: &str) -> Result<ExecOutcome> {
+    graph.verify_or_err(env.topology)?;
     let runner = Runner::new(graph, env);
     let mut batches = Vec::new();
     {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 //! # df-core — the data-flow query engine
 //!
 //! The paper's contribution (§7, "A New Query Processing Model"): a query

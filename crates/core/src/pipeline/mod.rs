@@ -17,6 +17,10 @@
 //! and the bench experiments all consume this graph instead of re-walking
 //! `PhysNode` trees.
 
+pub mod verify;
+
+pub use verify::VerifyError;
+
 use df_data::{Batch, SchemaRef};
 use df_fabric::flow::{PipelineSpec, StageSpec};
 use df_fabric::topology::Route;
@@ -120,6 +124,22 @@ impl OperatorSpec {
             OperatorSpec::Limit { .. } => "limit",
             OperatorSpec::JoinProbe { .. } => "hash-join",
         }
+    }
+
+    /// True for specs that buffer their whole input before emitting output
+    /// (the HyPer-style pipeline breakers). Mirrors the node-level
+    /// `is_breaker` the compiler cuts on, so the verifier can assert
+    /// breakers only ever sit at a pipeline's tip.
+    pub fn is_breaker(&self) -> bool {
+        matches!(
+            self,
+            OperatorSpec::Sort { .. }
+                | OperatorSpec::TopK { .. }
+                | OperatorSpec::Aggregate {
+                    mode: AggMode::Final | AggMode::Merge,
+                    ..
+                }
+        )
     }
 
     /// Output schema of the operator.
@@ -652,6 +672,14 @@ impl PipelineGraph {
         };
         let root = c.compile_node(&plan.root);
         c.graph.root = root;
+        #[cfg(debug_assertions)]
+        if let Err(errs) = c.graph.verify(topology) {
+            let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+            panic!(
+                "PipelineGraph::compile produced an unverifiable graph:\n  {}",
+                msgs.join("\n  ")
+            );
+        }
         c.graph
     }
 
@@ -676,9 +704,16 @@ impl PipelineGraph {
     /// `{name}.buildN` spec terminated by a `JoinBuild` stage at the join's
     /// placement. Unplaced stages run on `default_device`.
     ///
+    /// The graph is verified first (topology-independent invariants;
+    /// supply the topology to [`PipelineGraph::verify`] directly for
+    /// placement/route checks) so the simulator never replays an
+    /// inconsistent graph — a broken one returns
+    /// [`EngineError::Verify`].
+    ///
     /// For linear plans this reproduces the legacy `flow_pipeline` mapping
     /// stage-for-stage.
-    pub fn to_flow_specs(&self, default_device: DeviceId, name: &str) -> Vec<PipelineSpec> {
+    pub fn to_flow_specs(&self, default_device: DeviceId, name: &str) -> Result<Vec<PipelineSpec>> {
+        self.verify_or_err(None)?;
         let mut out = vec![self.spine_spec(self.root, default_device, name.to_string(), None)];
         let mut k = 0usize;
         for edge in &self.edges {
@@ -692,7 +727,7 @@ impl PipelineGraph {
                 k += 1;
             }
         }
-        out
+        Ok(out)
     }
 
     fn spine_spec(
@@ -868,7 +903,7 @@ mod tests {
         assert_eq!(builds.len(), 1);
         // Build pipeline compiles first: scan-completion order.
         assert_eq!(builds[0].from, 0);
-        let specs = g.to_flow_specs(cpu, "j");
+        let specs = g.to_flow_specs(cpu, "j").unwrap();
         assert_eq!(specs.len(), 2);
         assert_eq!(specs[1].name, "j.build0");
         assert_eq!(

@@ -175,17 +175,19 @@ fn collect_links(
 }
 
 /// Map a physical plan onto flow-simulator pipelines by compiling it to
-/// the [`PipelineGraph`] IR and deriving one spec per spine: the first
-/// spec is the probe/output spine, followed by one `{name}.buildN` spec
-/// per hash-join build side. Stage selectivities come from the cost
-/// model's estimates carried on the graph; the source size is the bytes
-/// each spine's scan touches. `default_device` hosts unplaced stages.
+/// the [`PipelineGraph`] IR, verifying the graph, and deriving one spec
+/// per spine: the first spec is the probe/output spine, followed by one
+/// `{name}.buildN` spec per hash-join build side. Stage selectivities
+/// come from the cost model's estimates carried on the graph; the source
+/// size is the bytes each spine's scan touches. `default_device` hosts
+/// unplaced stages. A graph that fails verification returns
+/// [`EngineError::Verify`] instead of silently producing specs.
 pub fn flow_pipelines(
     plan: &PhysicalPlan,
     profiles: &Profiles,
     default_device: DeviceId,
     name: impl Into<String>,
-) -> Vec<PipelineSpec> {
+) -> Result<Vec<PipelineSpec>> {
     let graph = PipelineGraph::compile(plan, Some(profiles), None, DEFAULT_QUEUE_CAPACITY);
     graph.to_flow_specs(default_device, &name.into())
 }
@@ -198,11 +200,11 @@ pub fn flow_pipeline(
     profiles: &Profiles,
     default_device: DeviceId,
     name: impl Into<String>,
-) -> PipelineSpec {
-    flow_pipelines(plan, profiles, default_device, name)
+) -> Result<PipelineSpec> {
+    flow_pipelines(plan, profiles, default_device, name)?
         .into_iter()
         .next()
-        .expect("to_flow_specs always yields the root spine")
+        .ok_or_else(|| EngineError::Internal("verified graph yielded no root spine".into()))
 }
 
 #[cfg(test)]
@@ -295,7 +297,7 @@ mod tests {
         let t = topo();
         let optimizer = Optimizer::new(t.clone()).unwrap();
         let best = optimizer.best(&query(), &profiles()).unwrap();
-        let spec = flow_pipeline(&best.plan, &profiles(), optimizer.site().cpu, "q1");
+        let spec = flow_pipeline(&best.plan, &profiles(), optimizer.site().cpu, "q1").unwrap();
         assert!(spec.source_bytes > 1_000_000);
         let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
         sim.add_pipeline(spec);
@@ -328,7 +330,7 @@ mod tests {
         );
         let optimizer = Optimizer::new(t).unwrap();
         let best = optimizer.best(&logical, &profiles).unwrap();
-        let specs = flow_pipelines(&best.plan, &profiles, optimizer.site().cpu, "j");
+        let specs = flow_pipelines(&best.plan, &profiles, optimizer.site().cpu, "j").unwrap();
         assert_eq!(specs.len(), 2, "probe spine + one build spine");
         assert_eq!(specs[1].name, "j.build0");
         let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
@@ -399,7 +401,7 @@ mod tests {
         assert!(!variants.is_empty());
         for (i, v) in variants.iter().enumerate() {
             let expect = legacy(&v.plan, &profiles, optimizer.site().cpu);
-            let got = flow_pipeline(&v.plan, &profiles, optimizer.site().cpu, "q");
+            let got = flow_pipeline(&v.plan, &profiles, optimizer.site().cpu, "q").unwrap();
             assert_eq!(got.source_bytes, expect.source_bytes, "variant {i}");
             assert_eq!(got.stages.len(), expect.stages.len(), "variant {i}");
             for (g, e) in got.stages.iter().zip(&expect.stages) {

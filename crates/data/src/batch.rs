@@ -337,6 +337,7 @@ mod tests {
         let chunks = b.split(3).unwrap();
         let base = b.column(0).i64_values().unwrap().as_ptr();
         assert_eq!(chunks[0].column(0).i64_values().unwrap().as_ptr(), base);
+        // SAFETY: offset 3 is within the sample batch's first column.
         assert_eq!(chunks[1].column(0).i64_values().unwrap().as_ptr(), unsafe {
             base.add(3)
         });

@@ -148,6 +148,7 @@ mod tests {
         assert_eq!(s.as_slice(), &[20, 30, 40]);
         assert!(b.same_allocation(&s));
         // Pointer identity: the view starts one element into the base.
+        // SAFETY: offset 1 is within the 5-element allocation above.
         assert_eq!(
             unsafe { b.as_slice().as_ptr().add(1) },
             s.as_slice().as_ptr()

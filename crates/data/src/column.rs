@@ -850,6 +850,7 @@ mod tests {
         assert_eq!(s.i64_values().unwrap(), &[1, 2, 3]);
         // Zero-copy: the view points into the parent's allocation.
         let base = c.i64_values().unwrap().as_ptr();
+        // SAFETY: offset 1 is within the 5-element column above.
         assert_eq!(unsafe { base.add(1) }, s.i64_values().unwrap().as_ptr());
     }
 

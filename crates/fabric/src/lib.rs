@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 //! # df-fabric — the heterogeneous hardware fabric model
 //!
 //! The paper's thesis is that data processing must become a pipeline of

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 //! # df-mem — memory substrate: buffer pool, cache model, near-memory
 //! acceleration
 //!

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 //! # df-net — smart NICs, transport, and in-network processing
 //!
 //! §4 of the paper asks whether the network can do more than move data.

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 //! # df-sim — discrete-event simulation kernel
 //!
 //! The timing substrate for the fabric model. Everything that "takes time" in

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 //! # df-storage — the disaggregated storage layer with pushdown
 //!
 //! §3 of the paper asks what the storage layer can do beyond storing bytes.

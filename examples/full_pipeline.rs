@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => reference = Some(result.batch.canonical_rows()),
             Some(r) => assert_eq!(r, &result.batch.canonical_rows()),
         }
-        let spec = flow_pipeline(&v.plan, &profiles, cpu, &v.plan.variant);
+        let spec = flow_pipeline(&v.plan, &profiles, cpu, &v.plan.variant)?;
         let mut sim = FlowSim::new(Topology::disaggregated(&DisaggregatedConfig::default()));
         sim.add_pipeline(spec);
         let sim_time = sim.run().pipelines[0].duration().to_string();

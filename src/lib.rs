@@ -18,12 +18,15 @@
 //! - [`mem`] — buffer pool, cache model, near-memory accelerator
 //! - [`core`] — expressions, plans, optimizer, dataflow executor, scheduler
 //! - [`mod@bench`] — workload generators and the experiment harness
+//! - [`analysis`] — static analysis: graph verification, deadlock checks,
+//!   workspace lints (`cargo run -p df-check`)
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub mod check;
 
 pub use df_bench as bench;
+pub use df_check as analysis;
 pub use df_codec as codec;
 pub use df_core as core;
 pub use df_data as data;

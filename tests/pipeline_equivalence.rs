@@ -208,6 +208,13 @@ impl PlanGen {
         *gen.pick(&self.devices)
     }
 
+    /// Placement for stateful ops (breakers, joins): only unplaced or the
+    /// CPU. Streaming devices cannot host unbounded state, and the graph
+    /// verifier now rejects such placements before execution.
+    fn stateful_device(&self, gen: &mut Gen) -> Option<DeviceId> {
+        *gen.pick(&self.devices[..2])
+    }
+
     fn base_schema() -> SchemaRef {
         Schema::new(vec![
             Field::new("id", DataType::Int64),
@@ -285,7 +292,7 @@ impl PlanGen {
             aggs: vec![AggCall::count_star("n"), AggCall::new(AggFn::Sum, "v", "s")],
             mode: AggMode::Final,
             final_schema,
-            device: self.device(gen),
+            device: self.stateful_device(gen),
         }
     }
 
@@ -297,13 +304,13 @@ impl PlanGen {
             2 => PhysNode::Sort {
                 input: Box::new(node),
                 keys: vec![("id".into(), gen.bool()), ("v".into(), true)],
-                device: self.device(gen),
+                device: self.stateful_device(gen),
             },
             _ => PhysNode::TopK {
                 input: Box::new(node),
                 keys: vec![("id".into(), gen.bool()), ("v".into(), true)],
                 k: gen.usize_in(0, 12) as u64,
-                device: self.device(gen),
+                device: self.stateful_device(gen),
             },
         };
         if gen.bool() {
@@ -354,7 +361,7 @@ impl PlanGen {
             on: vec![("bk".into(), "id".into())],
             join_type: JoinType::Inner,
             schema: Schema::new(fields).into_ref(),
-            device: self.device(gen),
+            device: self.stateful_device(gen),
         }
     }
 

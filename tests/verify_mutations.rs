@@ -1,0 +1,364 @@
+//! Mutation-based property tests for the pipeline-graph verifier.
+//!
+//! Two directions:
+//!
+//! - **Soundness of compile**: every graph the compiler emits for a random
+//!   legally-placed plan verifies clean and is proven deadlock-free by the
+//!   credit-flow analysis.
+//! - **Sensitivity of verify**: five single mutations of a clean graph —
+//!   swapped route, placement on an incapable device, dropped join-build
+//!   wiring, zero credit capacity, schema break at a pipeline cut — are
+//!   each rejected with the expected typed [`VerifyError`] variant.
+//!
+//! Seeds are deterministic per property (see `rheo::check`); failing seeds
+//! land in `proptest-regressions/` and replay first on later runs.
+
+use rheo::analysis::deadlock;
+use rheo::check::{check, Gen};
+use rheo::core::expr::{col, lit};
+use rheo::core::logical::{AggCall, AggFn, JoinType};
+use rheo::core::ops::AggMode;
+use rheo::core::physical::{PhysNode, PhysicalPlan};
+use rheo::core::pipeline::{EdgeKind, PipelineGraph, VerifyError, DEFAULT_QUEUE_CAPACITY};
+use rheo::data::batch::batch_of;
+use rheo::data::{Column, DataType, Field, Schema, SchemaRef};
+use rheo::fabric::topology::DisaggregatedConfig;
+use rheo::fabric::{DeviceId, Topology};
+
+// ------------------------------------------------------- plan generation
+
+/// Random placed plans with a guaranteed fabric cut: the source chain
+/// lives on the NIC (or SSD), the stateful tip on the CPU.
+struct MutGen {
+    nic: DeviceId,
+    ssd: DeviceId,
+    cpu: DeviceId,
+}
+
+impl MutGen {
+    fn new(topo: &Topology) -> MutGen {
+        MutGen {
+            nic: topo.expect_device("compute0.nic"),
+            ssd: topo.expect_device("storage.ssd"),
+            cpu: topo.expect_device("compute0.cpu"),
+        }
+    }
+
+    fn base_schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("v", DataType::Int64),
+            Field::new("g", DataType::Int64),
+        ])
+        .into_ref()
+    }
+
+    /// Streaming-side placement: NIC or SSD, both capable of filters.
+    fn edge_device(&self, gen: &mut Gen) -> DeviceId {
+        *gen.pick(&[self.nic, self.ssd])
+    }
+
+    fn values(&self, gen: &mut Gen, device: DeviceId) -> PhysNode {
+        let rows = gen.usize_in(1, 24);
+        let mut ids = Vec::with_capacity(rows);
+        let mut vs = Vec::with_capacity(rows);
+        let mut gs = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            ids.push(gen.i64_in(-20, 100));
+            vs.push(gen.i64_in(-1_000, 1_000));
+            gs.push(gen.i64_in(0, 4));
+        }
+        PhysNode::Values {
+            batches: vec![batch_of(vec![
+                ("id", Column::from_i64(ids)),
+                ("v", Column::from_i64(vs)),
+                ("g", Column::from_i64(gs)),
+            ])],
+            schema: Self::base_schema(),
+            device: Some(device),
+        }
+    }
+
+    /// 0..=2 filters/identity-projects, all on the streaming device.
+    fn chain(&self, gen: &mut Gen, mut node: PhysNode, device: DeviceId) -> PhysNode {
+        for _ in 0..gen.usize_in(0, 2) {
+            node = if gen.bool() {
+                PhysNode::Filter {
+                    input: Box::new(node),
+                    predicate: col("id").lt(lit(gen.i64_in(-10, 90))),
+                    device: Some(device),
+                    use_kernel: false,
+                }
+            } else {
+                PhysNode::Project {
+                    exprs: vec![
+                        (col("id"), "id".to_string()),
+                        (col("v"), "v".to_string()),
+                        (col("g"), "g".to_string()),
+                    ],
+                    schema: Self::base_schema(),
+                    input: Box::new(node),
+                    device: Some(device),
+                }
+            };
+        }
+        node
+    }
+
+    /// A breaker on the CPU: sort, top-k, or final aggregate.
+    fn breaker(&self, gen: &mut Gen, node: PhysNode) -> PhysNode {
+        match gen.usize_in(0, 2) {
+            0 => PhysNode::Sort {
+                input: Box::new(node),
+                keys: vec![("id".into(), gen.bool()), ("v".into(), true)],
+                device: Some(self.cpu),
+            },
+            1 => PhysNode::TopK {
+                input: Box::new(node),
+                keys: vec![("id".into(), gen.bool()), ("v".into(), true)],
+                k: gen.usize_in(1, 12) as u64,
+                device: Some(self.cpu),
+            },
+            _ => PhysNode::Aggregate {
+                input: Box::new(node),
+                group_by: vec!["g".into()],
+                aggs: vec![AggCall::count_star("n"), AggCall::new(AggFn::Sum, "v", "s")],
+                mode: AggMode::Final,
+                final_schema: Schema::new(vec![
+                    Field::new("g", DataType::Int64),
+                    Field::new("n", DataType::Int64),
+                    Field::new("s", DataType::Int64),
+                ])
+                .into_ref(),
+                device: Some(self.cpu),
+            },
+        }
+    }
+
+    /// A hash join on the CPU whose build side streams in from the NIC.
+    fn join(&self, gen: &mut Gen, probe: PhysNode) -> PhysNode {
+        let rows = gen.usize_in(1, 8);
+        let mut bks = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            bks.push(gen.i64_in(-20, 100));
+        }
+        let build = PhysNode::Values {
+            batches: vec![batch_of(vec![("bk", Column::from_i64(bks))])],
+            schema: Schema::new(vec![Field::new("bk", DataType::Int64)]).into_ref(),
+            device: Some(self.nic),
+        };
+        let mut fields: Vec<Field> = build.schema().fields().to_vec();
+        fields.extend(probe.schema().fields().to_vec());
+        PhysNode::HashJoin {
+            build: Box::new(build),
+            probe: Box::new(probe),
+            on: vec![("bk".into(), "id".into())],
+            join_type: JoinType::Inner,
+            schema: Schema::new(fields).into_ref(),
+            device: Some(self.cpu),
+        }
+    }
+
+    /// A random plan with at least one fabric edge and one breaker.
+    /// `with_join`: `Some(true)` always joins, `Some(false)` never,
+    /// `None` joins a third of the time.
+    fn plan(&self, gen: &mut Gen, with_join: Option<bool>) -> PhysicalPlan {
+        let dev = self.edge_device(gen);
+        let source = self.values(gen, dev);
+        let mut node = self.chain(gen, source, dev);
+        if with_join.unwrap_or_else(|| gen.usize_in(0, 2) == 0) {
+            node = self.join(gen, node);
+        }
+        node = self.breaker(gen, node);
+        PhysicalPlan::new(node, "verify-mutations")
+    }
+
+    fn compile(&self, gen: &mut Gen, topo: &Topology, with_join: Option<bool>) -> PipelineGraph {
+        PipelineGraph::compile(
+            &self.plan(gen, with_join),
+            None,
+            Some(topo),
+            DEFAULT_QUEUE_CAPACITY,
+        )
+    }
+}
+
+fn has<F: Fn(&VerifyError) -> bool>(errs: &[VerifyError], f: F) -> bool {
+    errs.iter().any(f)
+}
+
+// ------------------------------------------------------------ properties
+
+#[test]
+fn random_placed_plans_verify_clean_and_deadlock_free() {
+    let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+    let gens = MutGen::new(&topo);
+    check("verify-random-plans-clean", 64, |gen: &mut Gen| {
+        let g = gens.compile(gen, &topo, None);
+        g.verify(Some(&topo))
+            .expect("compiled graph verifies clean");
+        let r = deadlock::analyze(&g);
+        assert!(r.is_deadlock_free(), "deadlock findings: {:?}", r.findings);
+    });
+}
+
+#[test]
+fn mutation_swapped_route_is_rejected() {
+    let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+    let gens = MutGen::new(&topo);
+    check("verify-mut-swapped-route", 32, |gen: &mut Gen| {
+        let mut g = gens.compile(gen, &topo, None);
+        // Swap in a route between two unrelated adjacent devices.
+        let ssd = topo.expect_device("storage.ssd");
+        let snic = topo.expect_device("storage.nic");
+        let bogus = topo.route(ssd, snic).expect("ssd and its nic are adjacent");
+        let fabric: Vec<usize> = g
+            .edges
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EdgeKind::Fabric { .. })
+                    && !(e.from_device == Some(ssd) && e.to_device == Some(snic))
+            })
+            .map(|e| e.id)
+            .collect();
+        let victim = *gen.pick(&fabric);
+        g.edges[victim].kind = EdgeKind::Fabric { route: Some(bogus) };
+        let errs = g.verify(Some(&topo)).expect_err("swapped route must fail");
+        assert!(
+            has(
+                &errs,
+                |e| matches!(e, VerifyError::RouteMismatch { edge, .. } if *edge == victim)
+            ),
+            "expected RouteMismatch for edge {victim}, got {errs:?}"
+        );
+    });
+}
+
+#[test]
+fn mutation_illegal_placement_is_rejected() {
+    let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+    let gens = MutGen::new(&topo);
+    check("verify-mut-illegal-placement", 32, |gen: &mut Gen| {
+        let mut g = gens.compile(gen, &topo, None);
+        // Move the root pipeline's breaker onto a streaming device that
+        // cannot host unbounded state.
+        let nic = topo.expect_device("compute0.nic");
+        let root = g.root;
+        let op = g.pipelines[root].ops.last_mut().expect("breaker at tip");
+        op.device = Some(nic);
+        let errs = g
+            .verify(Some(&topo))
+            .expect_err("illegal placement must fail");
+        assert!(
+            has(&errs, |e| matches!(e, VerifyError::IllegalPlacement { .. })),
+            "expected IllegalPlacement, got {errs:?}"
+        );
+    });
+}
+
+#[test]
+fn mutation_dropped_join_build_is_rejected() {
+    let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+    let gens = MutGen::new(&topo);
+    check("verify-mut-dropped-join-build", 32, |gen: &mut Gen| {
+        let mut g = gens.compile(gen, &topo, Some(true));
+        // Sever every probe's reference to its build edge.
+        for p in &mut g.pipelines {
+            for op in &mut p.ops {
+                op.build_edge = None;
+            }
+        }
+        let errs = g
+            .verify(Some(&topo))
+            .expect_err("dropped join build must fail");
+        assert!(
+            has(&errs, |e| matches!(e, VerifyError::MissingJoinBuild { .. })),
+            "expected MissingJoinBuild, got {errs:?}"
+        );
+        assert!(
+            has(&errs, |e| matches!(
+                e,
+                VerifyError::DanglingJoinBuild { .. }
+            )),
+            "expected DanglingJoinBuild, got {errs:?}"
+        );
+    });
+}
+
+#[test]
+fn mutation_zero_capacity_is_rejected_by_verify_and_deadlock() {
+    let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+    let gens = MutGen::new(&topo);
+    check("verify-mut-zero-capacity", 32, |gen: &mut Gen| {
+        let mut g = gens.compile(gen, &topo, None);
+        let fabric: Vec<usize> = g
+            .edges
+            .iter()
+            .filter(|e| matches!(e.kind, EdgeKind::Fabric { .. }))
+            .map(|e| e.id)
+            .collect();
+        let victim = *gen.pick(&fabric);
+        g.edges[victim].queue_capacity = 0;
+        let errs = g.verify(Some(&topo)).expect_err("zero capacity must fail");
+        assert!(
+            has(
+                &errs,
+                |e| matches!(e, VerifyError::ZeroCapacity { edge } if *edge == victim)
+            ),
+            "expected ZeroCapacity for edge {victim}, got {errs:?}"
+        );
+        // The credit-flow analysis independently rejects the same graph.
+        let r = deadlock::analyze(&g);
+        assert!(
+            r.findings.iter().any(
+                |f| matches!(f, deadlock::DeadlockFinding::ZeroCapacity { edge } if *edge == victim)
+            ),
+            "deadlock analysis missed the zero-capacity channel: {:?}",
+            r.findings
+        );
+    });
+}
+
+#[test]
+fn mutation_schema_break_at_cut_is_rejected() {
+    let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+    let gens = MutGen::new(&topo);
+    check("verify-mut-schema-break", 32, |gen: &mut Gen| {
+        // Join-free plans: the root pipeline's first op is then always a
+        // breaker fed over a cut, so a mutation target always exists.
+        let mut g = gens.compile(gen, &topo, Some(false));
+        // Declare a wrong input layout on the first op of some pipeline fed
+        // over a cut (breakers re-declare their input schema there).
+        let wrong = Schema::new(vec![Field::new("id", DataType::Float64)]).into_ref();
+        use rheo::core::pipeline::OperatorSpec;
+        let candidates: Vec<usize> = g
+            .edges
+            .iter()
+            .filter(|e| {
+                g.pipelines[e.to].ops.first().is_some_and(|op| {
+                    matches!(
+                        op.spec,
+                        OperatorSpec::Sort { .. }
+                            | OperatorSpec::TopK { .. }
+                            | OperatorSpec::Filter { .. }
+                            | OperatorSpec::Aggregate { .. }
+                    )
+                })
+            })
+            .map(|e| e.to)
+            .collect();
+        let victim = *gen.pick(&candidates);
+        match &mut g.pipelines[victim].ops[0].spec {
+            OperatorSpec::Sort { input_schema, .. }
+            | OperatorSpec::TopK { input_schema, .. }
+            | OperatorSpec::Filter { input_schema, .. }
+            | OperatorSpec::Aggregate { input_schema, .. } => *input_schema = wrong,
+            other => panic!("unexpected op {other:?}"),
+        }
+        let errs = g.verify(Some(&topo)).expect_err("schema break must fail");
+        assert!(
+            has(&errs, |e| matches!(e, VerifyError::SchemaMismatch { .. })),
+            "expected SchemaMismatch, got {errs:?}"
+        );
+    });
+}
