@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use df_bench::workload;
-use df_core::exec::parallel::execute_parallel;
+use df_core::exec::parallel::{effective_threads, execute_adaptive, execute_parallel};
 use df_core::exec::push::{execute, ExecEnv};
 use df_core::expr::{col, lit};
 use df_core::logical::{AggCall, AggFn, LogicalPlan};
@@ -278,6 +278,33 @@ fn main() {
         report(&mut cases, &format!("parallel/morsel_{threads}t"), stats);
     }
     println!("best morsel-parallel speedup over 1t push: {parallel_speedup:.2}x");
+
+    // -- adaptive: the serving layer's entry point with 2 requested
+    //    workers. On an oversubscribed host (1 core) it must fall back to
+    //    the single-thread driver instead of paying the 2-thread morsel
+    //    regression; on real multicore it may fan out, but must never
+    //    lose badly to sequential push. Deliberately NOT part of the JSON
+    //    report — this is a regression tripwire, not a tracked metric.
+    let adaptive = time(iters, || {
+        execute_adaptive(&plan, &ExecEnv::in_memory(), 2)
+            .expect("adaptive")
+            .rows()
+    });
+    let adaptive_ratio = adaptive.min / single_min;
+    println!(
+        "adaptive(2 requested, {} effective) vs 1t push: {:.2}x",
+        effective_threads(2),
+        1.0 / adaptive_ratio
+    );
+    if !smoke {
+        let bound = if effective_threads(2) < 2 { 1.15 } else { 1.25 };
+        assert!(
+            adaptive_ratio <= bound,
+            "adaptive execution regressed to {adaptive_ratio:.2}x of the \
+             single-thread time (bound {bound}x) — the 2-thread morsel \
+             regression is back"
+        );
+    }
 
     // -- hand-rolled JSON report.
     let mut json = String::from("{\n");

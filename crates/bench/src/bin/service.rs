@@ -1,0 +1,333 @@
+//! Multi-tenant serving benchmark, with machine-readable output.
+//!
+//! ```text
+//! cargo run -p df-bench --release --bin service             # full run
+//! cargo run -p df-bench --release --bin service -- --smoke  # CI smoke
+//! cargo run -p df-bench --release --bin service -- --out BENCH_service.json
+//! ```
+//!
+//! Four sections:
+//!
+//! * `saturation`: three tenants weighted 1:2:4 keep the fair-share
+//!   scheduler permanently backlogged; credit shares must land within 10%
+//!   (relative) of the weight vector.
+//! * `harness`: the deterministic concurrency harness run **twice** with
+//!   the same seed; decision log, timeline, and histograms must be
+//!   bit-identical. Per-tenant p50/p99 latency and credit-wait totals feed
+//!   the JSON.
+//! * `service`: the real engine behind a shared [`QueryService`] — three
+//!   weighted tenants issue concurrent SQL over one session, wall-clock
+//!   per-tenant latency is reported (informational; wall time is noisy),
+//!   and the credit ledger must balance afterwards.
+//! * `flow`: a tenant-tagged FlowSim replay over a shared link, reporting
+//!   per-tenant data and credit-control traffic.
+//!
+//! Results land in `BENCH_service.json` (hand-rolled JSON; the container
+//! has no serde).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use df_core::session::Session;
+use df_data::batch::batch_of;
+use df_data::Column;
+use df_fabric::device::OpClass;
+use df_fabric::flow::{FlowSim, StageSpec};
+use df_fabric::topology::{DisaggregatedConfig, Topology};
+use df_serve::dispatch::{CancelToken, QueryService, ServiceConfig};
+use df_serve::harness::{run as run_harness, HarnessReport, TenantLoad, Workload};
+use df_serve::sched::FairScheduler;
+use df_serve::tenant::TenantSpec;
+use df_sim::metrics::Histogram;
+
+const WEIGHTS: [(&str, u32); 3] = [("bronze", 1), ("silver", 2), ("gold", 4)];
+
+/// Drive the scheduler under permanent backlog: every tenant has one query
+/// that immediately re-requests after each batch. Returns per-tenant
+/// credit shares after `rounds` batch completions.
+fn saturation_shares(rounds: usize) -> BTreeMap<String, f64> {
+    let mut sched = FairScheduler::new(1, 1);
+    let queries: Vec<_> = WEIGHTS
+        .iter()
+        .map(|(name, w)| {
+            let t = sched.register_tenant(TenantSpec::new(*name, *w));
+            sched.begin_query(t)
+        })
+        .collect();
+    for q in &queries {
+        sched.request(*q);
+    }
+    for _ in 0..rounds {
+        let &running = queries
+            .iter()
+            .find(|q| sched.held(**q) > 0)
+            .expect("scheduler granted someone");
+        sched.use_credit(running);
+        sched.request(running);
+        sched.complete_batch(running);
+    }
+    for q in &queries {
+        sched.finish_query(*q);
+    }
+    assert!(
+        sched.ledger().check_balanced().is_ok(),
+        "saturation run must leave the ledger balanced"
+    );
+    let grants = sched.granted_by_tenant();
+    let total: u64 = grants.values().sum();
+    grants
+        .into_iter()
+        .map(|(t, g)| (t, g as f64 / total as f64))
+        .collect()
+}
+
+fn weighted_workload(seed: u64, queries: usize) -> Workload {
+    Workload {
+        tenants: WEIGHTS
+            .iter()
+            .map(|(name, w)| TenantLoad::new(TenantSpec::new(*name, *w), queries))
+            .collect(),
+        seed,
+        slots: 2,
+        quantum: 1,
+    }
+}
+
+fn service_with_table(rows: usize) -> QueryService {
+    let session = Session::in_memory().expect("session");
+    session
+        .create_table(
+            "orders",
+            &[batch_of(vec![
+                ("id", Column::from_i64((0..rows as i64).collect())),
+                (
+                    "amount",
+                    Column::from_f64((0..rows).map(|i| (i % 100) as f64).collect()),
+                ),
+            ])],
+        )
+        .expect("table");
+    QueryService::new(session, ServiceConfig::default())
+}
+
+/// Concurrent real-engine section: each tenant runs `queries` SQL queries
+/// on its own thread against the shared service. Returns per-tenant
+/// wall-clock latency histograms (nanoseconds).
+fn drive_service(svc: &Arc<QueryService>, queries: usize) -> BTreeMap<String, Histogram> {
+    let handles: Vec<_> = WEIGHTS
+        .iter()
+        .map(|(name, w)| {
+            let svc = svc.clone();
+            let name = name.to_string();
+            let weight = *w;
+            std::thread::spawn(move || {
+                let tenant = svc.register_tenant(TenantSpec::new(name.clone(), weight));
+                let mut hist = Histogram::exponential(40);
+                for i in 0..queries {
+                    let sql = format!(
+                        "SELECT COUNT(*) AS n FROM orders WHERE amount > {}.0",
+                        (i * 13) % 90
+                    );
+                    let start = Instant::now();
+                    svc.run_sql(tenant, &sql, CancelToken::new())
+                        .expect("served query");
+                    hist.record(start.elapsed().as_nanos() as u64);
+                }
+                (name, hist)
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("tenant thread"))
+        .collect()
+}
+
+/// Tenant-tagged FlowSim replay: all tenants ship bytes storage → compute
+/// over the same network links, weighted by `source_bytes`.
+fn flow_by_tenant(bytes_per_weight: u64) -> (BTreeMap<String, u64>, BTreeMap<String, u64>) {
+    let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+    let ssd = topo.expect_device("storage.ssd");
+    let cpu = topo.expect_device("compute0.cpu");
+    let mut sim = FlowSim::new(topo);
+    for (name, w) in WEIGHTS {
+        sim.add_pipeline(
+            df_fabric::flow::PipelineSpec::new(
+                format!("scan-{name}"),
+                vec![
+                    StageSpec::new(ssd, OpClass::Scan, 1.0),
+                    StageSpec::new(cpu, OpClass::AggregateFinal, 0.01),
+                ],
+                bytes_per_weight * w as u64,
+            )
+            .with_chunk(256 << 10)
+            .for_tenant(name),
+        );
+    }
+    let report = sim.run();
+    (report.bytes_by_tenant(), report.control_bytes_by_tenant())
+}
+
+fn fmt_tenant_map<V: std::fmt::Display>(
+    map: &BTreeMap<String, V>,
+    fmt: impl Fn(&V) -> String,
+) -> String {
+    let entries: Vec<String> = map
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {}", fmt(v)))
+        .collect();
+    format!("{{{}}}", entries.join(", "))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    // -- saturation: credit shares vs weights.
+    let rounds = if smoke { 2_000 } else { 20_000 };
+    let shares = saturation_shares(rounds);
+    let weight_total: u32 = WEIGHTS.iter().map(|(_, w)| w).sum();
+    println!("saturation shares after {rounds} rounds:");
+    let mut max_rel_err = 0.0f64;
+    for (name, w) in WEIGHTS {
+        let got = shares[name];
+        let want = w as f64 / weight_total as f64;
+        let rel = (got - want).abs() / want;
+        max_rel_err = max_rel_err.max(rel);
+        println!(
+            "  {name}: share {got:.4} target {want:.4} (rel err {:.2}%)",
+            rel * 100.0
+        );
+    }
+    assert!(
+        max_rel_err < 0.10,
+        "credit shares must be within 10% of the 1:2:4 weights (worst rel err {:.2}%)",
+        max_rel_err * 100.0
+    );
+
+    // -- harness: same seed twice, bit-identical; per-tenant latency.
+    let harness_queries = if smoke { 8 } else { 32 };
+    let wl = weighted_workload(42, harness_queries);
+    let run_a: HarnessReport = run_harness(&wl);
+    let run_b: HarnessReport = run_harness(&wl);
+    assert_eq!(
+        run_a.decisions, run_b.decisions,
+        "same seed must reproduce the scheduler decision log"
+    );
+    assert_eq!(
+        run_a.timeline, run_b.timeline,
+        "same seed must reproduce the trace timeline"
+    );
+    let deterministic = true;
+    println!(
+        "harness: {} decision lines, makespan {}, timelines identical across runs",
+        run_a.decisions.lines().count(),
+        run_a.makespan
+    );
+    let mut harness_p50 = BTreeMap::new();
+    let mut harness_p99 = BTreeMap::new();
+    let mut harness_credits = BTreeMap::new();
+    let mut harness_wait = BTreeMap::new();
+    for (name, s) in &run_a.tenants {
+        assert_eq!(s.completed as usize, harness_queries, "{name} drained");
+        harness_p50.insert(name.clone(), s.latency.quantile(0.5));
+        harness_p99.insert(name.clone(), s.latency.quantile(0.99));
+        harness_credits.insert(name.clone(), s.credits);
+        harness_wait.insert(name.clone(), s.credit_wait_nanos);
+        println!(
+            "  {name}: p50 {} ns, p99 {} ns, credits {}, credit-wait {} ns",
+            s.latency.quantile(0.5),
+            s.latency.quantile(0.99),
+            s.credits,
+            s.credit_wait_nanos
+        );
+    }
+
+    // -- service: the real engine under concurrent weighted tenants.
+    let table_rows = if smoke { 2_000 } else { 50_000 };
+    let service_queries = if smoke { 4 } else { 24 };
+    let svc = Arc::new(service_with_table(table_rows));
+    let wall = drive_service(&svc, service_queries);
+    svc.scheduler().with(|s| {
+        assert!(
+            s.ledger().check_balanced().is_ok(),
+            "service run must leave the credit ledger balanced"
+        );
+    });
+    let mut service_p99 = BTreeMap::new();
+    for (name, hist) in &wall {
+        service_p99.insert(name.clone(), hist.quantile(0.99));
+        println!(
+            "service {name}: {} queries, wall p50 {} ns, p99 {} ns",
+            hist.count(),
+            hist.quantile(0.5),
+            hist.quantile(0.99)
+        );
+    }
+
+    // -- flow: per-tenant fabric accounting.
+    let (flow_bytes, flow_control) = flow_by_tenant(if smoke { 8 << 20 } else { 64 << 20 });
+    println!("flow bytes by tenant: {flow_bytes:?}");
+    println!("flow control bytes by tenant: {flow_control:?}");
+
+    // -- hand-rolled JSON report.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"service\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"deterministic\": {deterministic},\n"));
+    json.push_str(&format!("  \"saturation_rounds\": {rounds},\n"));
+    json.push_str(&format!(
+        "  \"weights\": {},\n",
+        fmt_tenant_map(
+            &WEIGHTS.iter().map(|(n, w)| (n.to_string(), *w)).collect(),
+            |v| format!("{v}")
+        )
+    ));
+    json.push_str(&format!(
+        "  \"credit_shares\": {},\n",
+        fmt_tenant_map(&shares, |v| format!("{v:.4}"))
+    ));
+    json.push_str(&format!("  \"share_max_rel_err\": {max_rel_err:.4},\n"));
+    json.push_str(&format!(
+        "  \"harness_makespan_ns\": {},\n",
+        run_a.makespan.nanos()
+    ));
+    json.push_str(&format!(
+        "  \"harness_latency_p50_ns\": {},\n",
+        fmt_tenant_map(&harness_p50, |v| format!("{v}"))
+    ));
+    json.push_str(&format!(
+        "  \"harness_latency_p99_ns\": {},\n",
+        fmt_tenant_map(&harness_p99, |v| format!("{v}"))
+    ));
+    json.push_str(&format!(
+        "  \"harness_credits\": {},\n",
+        fmt_tenant_map(&harness_credits, |v| format!("{v}"))
+    ));
+    json.push_str(&format!(
+        "  \"harness_credit_wait_ns\": {},\n",
+        fmt_tenant_map(&harness_wait, |v| format!("{v}"))
+    ));
+    json.push_str(&format!(
+        "  \"service_wall_p99_ns\": {},\n",
+        fmt_tenant_map(&service_p99, |v| format!("{v}"))
+    ));
+    json.push_str(&format!(
+        "  \"flow_bytes_by_tenant\": {},\n",
+        fmt_tenant_map(&flow_bytes, |v| format!("{v}"))
+    ));
+    json.push_str(&format!(
+        "  \"flow_control_bytes_by_tenant\": {}\n",
+        fmt_tenant_map(&flow_control, |v| format!("{v}"))
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}

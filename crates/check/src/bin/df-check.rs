@@ -213,21 +213,44 @@ fn demo_broken() {
     }
 }
 
+/// Rewrite the allowlists from the *unsuppressed* finding set (the
+/// complete current debt — blessing must never drop entries that were
+/// already suppressing a finding). Each file's leading comment header is
+/// preserved when present, so hand-written justifications survive.
 fn bless(root: &std::path::Path, findings: &[lint::Finding]) -> std::io::Result<()> {
     let dir = root.join("crates/check/allowlists");
     std::fs::create_dir_all(&dir)?;
     for name in lint::lint_names() {
-        let mut body = String::new();
-        body.push_str(&format!(
-            "# Allowlist for the `{name}` lint. One entry per line:\n\
-             #   <path-suffix>                 allow the whole file\n\
-             #   <path-suffix> :: <substring>  allow only lines containing it\n\
-             # Regenerate with: cargo run -p df-check -- --workspace --bless\n"
-        ));
-        for f in findings.iter().filter(|f| f.lint == name) {
-            body.push_str(&format!("{} :: {}\n", f.file, f.snippet));
+        let path = dir.join(format!("{name}.txt"));
+        let header = match std::fs::read_to_string(&path) {
+            Ok(old) => old
+                .lines()
+                .take_while(|l| l.trim().is_empty() || l.trim_start().starts_with('#'))
+                .map(|l| format!("{l}\n"))
+                .collect::<String>(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut body = if header.is_empty() {
+            format!(
+                "# Allowlist for the `{name}` lint. One entry per line:\n\
+                 #   <path-suffix>                 allow the whole file\n\
+                 #   <path-suffix> :: <substring>  allow only lines containing it\n\
+                 # Regenerate with: cargo run -p df-check -- --workspace --bless\n"
+            )
+        } else {
+            header
+        };
+        let mut entries: Vec<String> = findings
+            .iter()
+            .filter(|f| f.lint == name)
+            .map(|f| format!("{} :: {}\n", f.file, f.snippet))
+            .collect();
+        entries.dedup();
+        for e in entries {
+            body.push_str(&e);
         }
-        std::fs::write(dir.join(format!("{name}.txt")), body)?;
+        std::fs::write(path, body)?;
     }
     Ok(())
 }
@@ -282,12 +305,21 @@ fn main() -> ExitCode {
         match lint::run(&args.root) {
             Ok(findings) => {
                 if args.bless {
-                    if let Err(e) = bless(&args.root, &findings) {
+                    let all = match lint::run_unsuppressed(&args.root) {
+                        Ok(all) => all,
+                        Err(e) => {
+                            eprintln!("df-check: --bless failed: {e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    if let Err(e) = bless(&args.root, &all) {
                         eprintln!("df-check: --bless failed: {e}");
                         return ExitCode::from(2);
                     }
                     println!(
-                        "  blessed {} finding(s) into crates/check/allowlists/",
+                        "  blessed {} finding(s) ({} newly suppressed) into \
+                         crates/check/allowlists/",
+                        all.len(),
                         findings.len()
                     );
                     return ExitCode::SUCCESS;

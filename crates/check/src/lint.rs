@@ -22,7 +22,7 @@
 //!   `// SAFETY:` comment within the three lines above it (or carries one
 //!   on the same line).
 //! - `no-unwrap-in-lib` — no `.unwrap()` / `.expect(` in non-test code of
-//!   `crates/{core,fabric,net,storage}`; library code returns typed
+//!   `crates/{core,fabric,net,serve,storage}`; library code returns typed
 //!   errors.
 //!
 //! Every lint consults an allowlist file under `crates/check/allowlists/`
@@ -94,6 +94,7 @@ const LINTS: &[Lint] = &[
             "crates/core/src/",
             "crates/fabric/src/",
             "crates/net/src/",
+            "crates/serve/src/",
             "crates/storage/src/",
         ],
         patterns: &[".unwrap()", ".expect("],
@@ -412,13 +413,40 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// findings (sorted by file/line). Allowlists are loaded from
 /// `<root>/crates/check/allowlists/`.
 pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
+    run_inner(root, true)
+}
+
+/// Run every lint with allowlists ignored: the complete current debt.
+/// This is what `--bless` writes back, so blessing never drops entries
+/// that were already suppressing a finding.
+pub fn run_unsuppressed(root: &Path) -> io::Result<Vec<Finding>> {
+    run_inner(root, false)
+}
+
+fn run_inner(root: &Path, suppress: bool) -> io::Result<Vec<Finding>> {
     let files = workspace_sources(root)?;
+    let empty = || Allowlist {
+        entries: Vec::new(),
+    };
     let allowlists: Vec<(usize, Allowlist)> = LINTS
         .iter()
         .enumerate()
-        .map(|(i, l)| Ok((i, Allowlist::load(root, l.name)?)))
+        .map(|(i, l)| {
+            Ok((
+                i,
+                if suppress {
+                    Allowlist::load(root, l.name)?
+                } else {
+                    empty()
+                },
+            ))
+        })
         .collect::<io::Result<Vec<_>>>()?;
-    let unsafe_allow = Allowlist::load(root, UNSAFE_LINT)?;
+    let unsafe_allow = if suppress {
+        Allowlist::load(root, UNSAFE_LINT)?
+    } else {
+        empty()
+    };
 
     let mut findings = Vec::new();
     for path in &files {

@@ -136,6 +136,35 @@ fn run_chain(ops: &mut [Box<dyn Operator>], batch: Batch) -> Result<Vec<Batch>> 
     Ok(current)
 }
 
+/// Workers the host can actually run concurrently: `requested` clamped to
+/// `std::thread::available_parallelism()`. On the paper-repro container
+/// (one core) this is always 1 — spawning more threads than cores made the
+/// 2-thread morsel configuration *slower* than single-threaded (0.95×,
+/// ROADMAP), because oversubscribed workers preempt each other mid-morsel.
+pub fn effective_threads(requested: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    requested.clamp(1, cores)
+}
+
+/// Adaptive entry point: clamp the worker count to the hardware and, when
+/// only one worker would run, skip morsel machinery entirely and use the
+/// single-thread graph driver ([`crate::exec::push::execute`]) — identical
+/// semantics, none of the oversubscription overhead. Like
+/// [`execute_parallel`], unsupported shapes return
+/// `Err(EngineError::Plan(_))` only from the multi-worker path; the
+/// single-worker path handles every shape.
+pub fn execute_adaptive(
+    plan: &PhysicalPlan,
+    env: &ExecEnv,
+    requested: usize,
+) -> Result<ExecOutcome> {
+    let threads = effective_threads(requested);
+    if threads <= 1 {
+        return crate::exec::push::execute(plan, env);
+    }
+    execute_parallel(plan, env, threads)
+}
+
 /// Execute a plan with `threads` workers. Returns
 /// `Err(EngineError::Plan(_))` when the shape is unsupported — callers
 /// should then use [`crate::exec::push::execute`].
@@ -211,6 +240,7 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
             let stages = &shape.stages;
             let agg = shape.agg.clone();
             let chain_out_schema = chain_out_schema.clone();
+            let gate = env.gate.clone();
             handles.push(scope.spawn(move || -> Result<Vec<Batch>> {
                 let mut ops = build_stage_ops(stages)?;
                 let mut partial = match &agg {
@@ -236,6 +266,11 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
                         }
                     }
                     let Some(batch) = queue.pop() else { break };
+                    // Cooperative cross-query yield point: one credit per
+                    // morsel, so a preempted query parks between morsels.
+                    if let Some(gate) = &gate {
+                        gate.acquire(0)?;
+                    }
                     morsels_claimed += 1;
                     rows_seen += batch.rows() as u64;
                     let _morsel = trace.as_ref().map(|(t, lane)| {

@@ -42,6 +42,22 @@ use crate::pipeline::{
     EdgeKind, PipelineGraph, PipelineOp, PipelineSource, RuntimeOp, DEFAULT_QUEUE_CAPACITY,
 };
 
+/// Cooperative yield point for cross-query scheduling.
+///
+/// When several queries share the engine, each pipeline checks in with the
+/// scheduler at every **batch boundary** — right before a concrete source
+/// (Values or storage scan) emits its next batch, and once per morsel in
+/// the parallel driver. The implementation (the serving layer's fair-share
+/// scheduler) blocks the call until the query holds a credit, which is how
+/// a lower-priority pipeline yields device time at the next batch boundary
+/// instead of being preempted mid-batch. Returning an error aborts the
+/// query; the executor surfaces it as the query result.
+pub trait ExecGate: Send + Sync {
+    /// Block until the scheduler grants this pipeline one batch's worth of
+    /// device time. `pipeline` is the graph pipeline id for tracing.
+    fn acquire(&self, pipeline: usize) -> Result<()>;
+}
+
 /// Execution environment: where stored tables live and (optionally) the
 /// fabric for route validation.
 pub struct ExecEnv<'a> {
@@ -59,6 +75,9 @@ pub struct ExecEnv<'a> {
     /// (annotated with rows/bytes) into this tracer. `None` costs one branch
     /// per call site and takes no locks.
     pub tracer: Option<Arc<Tracer>>,
+    /// Cross-query scheduling gate, consulted at every batch boundary.
+    /// `None` (single-query execution) costs one branch per source batch.
+    pub gate: Option<Arc<dyn ExecGate>>,
 }
 
 impl<'a> ExecEnv<'a> {
@@ -69,6 +88,7 @@ impl<'a> ExecEnv<'a> {
             topology: None,
             wire: None,
             tracer: None,
+            gate: None,
         }
     }
 }
@@ -275,7 +295,10 @@ impl<'a, 'b> Runner<'a, 'b> {
             }
         }
 
-        // Stream the source through the chain.
+        // Stream the source through the chain. Concrete sources check in
+        // with the cross-query gate before every batch they emit — the
+        // cooperative yield point where a preempted pipeline gives its
+        // credits back and waits for a new grant.
         let first_target = specs.first().map_or(parent_dev, |o| o.device);
         match &p.source {
             PipelineSource::Values {
@@ -283,6 +306,9 @@ impl<'a, 'b> Runner<'a, 'b> {
             } => {
                 let _source = open_span(trace, "values", &[]);
                 for batch in batches {
+                    if let Some(gate) = &self.env.gate {
+                        gate.acquire(pid)?;
+                    }
                     self.charge(pid, *device, first_target, batch);
                     self.feed(pid, &mut ops, specs, parent_dev, trace, batch.clone(), sink)?;
                 }
@@ -298,6 +324,9 @@ impl<'a, 'b> Runner<'a, 'b> {
                 let ops = &mut ops;
                 let stats =
                     source::scan_streaming(self.env.storage, table, request, &mut |batch| {
+                        if let Some(gate) = &self.env.gate {
+                            gate.acquire(pid)?;
+                        }
                         self.charge(pid, device, first_target, &batch);
                         self.feed(
                             pid,
@@ -710,6 +739,7 @@ mod tests {
             topology: Some(&topo),
             wire: None,
             tracer: None,
+            gate: None,
         };
         let out = execute(&plan, &env).unwrap();
         let merged = out.collect().unwrap();
@@ -766,6 +796,7 @@ mod tests {
             topology: None,
             wire: None,
             tracer: None,
+            gate: None,
         };
         let out = execute(&plan, &env).unwrap();
         let merged = out.collect().unwrap();
@@ -863,6 +894,7 @@ mod tests {
             topology: Some(&topo),
             wire: None,
             tracer: Some(tracer.clone()),
+            gate: None,
         };
         let placed = execute(&mk(Some((nic, cpu))), &env).unwrap();
         assert_eq!(

@@ -33,8 +33,8 @@ use std::sync::RwLock;
 
 use crate::error::{EngineError, Result};
 use crate::exec::ledger::MovementLedger;
-use crate::exec::parallel::execute_parallel;
-use crate::exec::push::{execute, ExecEnv};
+use crate::exec::parallel::execute_adaptive;
+use crate::exec::push::{execute, ExecEnv, ExecGate};
 use crate::logical::LogicalPlan;
 use crate::optimizer::{Optimizer, PlanCost, Profiles, RankedPlan, TableProfile};
 use crate::physical::PhysicalPlan;
@@ -163,14 +163,31 @@ impl Session {
 
     /// Execute a specific physical plan.
     pub fn execute_plan(&self, plan: &PhysicalPlan) -> Result<QueryResult> {
+        self.execute_plan_gated(plan, None)
+    }
+
+    /// Execute a plan under a cross-query scheduling gate (the serving
+    /// layer's fair-share scheduler). The gate is consulted at every batch
+    /// boundary; `None` behaves exactly like [`Session::execute_plan`].
+    ///
+    /// Parallelism is *adaptive*: the configured worker count is clamped to
+    /// the cores actually available, and when only one worker would run the
+    /// single-thread graph driver is used directly — oversubscribing a
+    /// 1-core host made 2-thread morsel execution slower than sequential.
+    pub fn execute_plan_gated(
+        &self,
+        plan: &PhysicalPlan,
+        gate: Option<Arc<dyn ExecGate>>,
+    ) -> Result<QueryResult> {
         let env = ExecEnv {
             storage: Some(&self.storage),
             topology: Some(&self.topology),
             wire: self.wire,
             tracer: self.tracer.clone(),
+            gate,
         };
         let outcome = if self.parallelism > 1 {
-            match execute_parallel(plan, &env, self.parallelism) {
+            match execute_adaptive(plan, &env, self.parallelism) {
                 Ok(out) => out,
                 Err(EngineError::Plan(_)) => execute(plan, &env)?,
                 Err(other) => return Err(other),

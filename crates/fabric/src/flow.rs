@@ -71,6 +71,10 @@ pub struct PipelineSpec {
     pub rate_limit: Option<Bandwidth>,
     /// When the pipeline starts.
     pub start_at: SimTime,
+    /// Owning tenant, when the pipeline belongs to a multi-query run. Sets
+    /// the trace lane to `tenant.<tenant>.pipe.<name>` and keys the
+    /// per-tenant credit/byte accounting on [`FlowReport`].
+    pub tenant: Option<String>,
 }
 
 impl PipelineSpec {
@@ -83,7 +87,14 @@ impl PipelineSpec {
             chunk_bytes: 1 << 20,
             rate_limit: None,
             start_at: SimTime::ZERO,
+            tenant: None,
         }
+    }
+
+    /// Tag the pipeline with its owning tenant (multi-query accounting).
+    pub fn for_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
     }
 
     /// Set the chunk size.
@@ -131,6 +142,8 @@ pub struct StageReport {
 pub struct PipelineReport {
     /// Pipeline name.
     pub name: String,
+    /// Owning tenant, copied from the spec.
+    pub tenant: Option<String>,
     /// Start time.
     pub started: SimTime,
     /// Completion time (all bytes drained through the last stage).
@@ -175,6 +188,25 @@ impl FlowReport {
         } else {
             busy as f64 / self.makespan.nanos() as f64
         }
+    }
+
+    /// Credit-control traffic per tenant, in bytes. Untenanted pipelines
+    /// are keyed under the empty string.
+    pub fn control_bytes_by_tenant(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for p in &self.pipelines {
+            *out.entry(p.tenant.clone().unwrap_or_default()).or_insert(0) += p.control_bytes();
+        }
+        out
+    }
+
+    /// Data bytes delivered per tenant (empty string = untenanted).
+    pub fn bytes_by_tenant(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for p in &self.pipelines {
+            *out.entry(p.tenant.clone().unwrap_or_default()).or_insert(0) += p.bytes_delivered;
+        }
+        out
     }
 }
 
@@ -340,7 +372,13 @@ impl FlowSim {
                 .collect();
             let pipe_lanes = pipelines
                 .iter()
-                .map(|p| tracer.lane(&format!("pipe.{}", p.name), LaneKind::Sim))
+                .map(|p| {
+                    let lane = match &p.tenant {
+                        Some(t) => format!("tenant.{t}.pipe.{}", p.name),
+                        None => format!("pipe.{}", p.name),
+                    };
+                    tracer.lane(&lane, LaneKind::Sim)
+                })
                 .collect();
             TraceCtx {
                 tracer,
@@ -411,6 +449,7 @@ impl FlowSim {
             .iter()
             .map(|pipe| PipelineReport {
                 name: pipe.spec.name.clone(),
+                tenant: pipe.spec.tenant.clone(),
                 started: pipe.spec.start_at,
                 finished: pipe.finished.unwrap_or(makespan),
                 bytes_delivered: pipe.delivered,

@@ -1,0 +1,357 @@
+//! The deterministic concurrency harness: N-tenant query mixes replayed on
+//! the **sim clock**.
+//!
+//! Threads and wall clocks make concurrency tests flaky; this harness
+//! removes both. A [`Workload`] describes each tenant's query mix (count,
+//! arrival process, batches per query, per-batch service time); a single
+//! [`df_sim::SimRng`] seed fixes every draw; and a discrete-event loop
+//! drives the *real* [`crate::sched::FairScheduler`] — the same state
+//! machine the TCP server locks — over simulated time. Two runs with the
+//! same seed produce byte-identical scheduler decision logs, per-tenant
+//! latency histograms, and trace timelines, so CI can assert on all three.
+//!
+//! Per-tenant trace lanes record a span per batch, a `credit-wait` span
+//! whenever a query sits without credits, and a `preempt` instant when a
+//! query yields to a higher-priority arrival — the exact artifacts the
+//! golden-trace suite pins.
+
+use std::collections::BTreeMap;
+
+use df_sim::metrics::Histogram;
+use df_sim::trace::Tracer;
+use df_sim::{SimDuration, SimRng, SimTime};
+
+use crate::sched::{FairScheduler, QueryId};
+use crate::tenant::TenantSpec;
+
+/// One tenant's slice of the workload.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    /// Name, weight, priority.
+    pub spec: TenantSpec,
+    /// Queries this tenant submits.
+    pub queries: usize,
+    /// Mean inter-arrival time (exponential draws).
+    pub mean_interarrival: SimDuration,
+    /// Batches per query, drawn uniformly from this inclusive range.
+    pub batches: (u64, u64),
+    /// Mean per-batch service time (exponential draws).
+    pub mean_service: SimDuration,
+}
+
+impl TenantLoad {
+    /// A load of `queries` queries with 4–8 batches each, 1 ms mean
+    /// inter-arrival, 200 µs mean service.
+    pub fn new(spec: TenantSpec, queries: usize) -> TenantLoad {
+        TenantLoad {
+            spec,
+            queries,
+            mean_interarrival: SimDuration::from_secs_f64(1e-3),
+            batches: (4, 8),
+            mean_service: SimDuration::from_secs_f64(200e-6),
+        }
+    }
+}
+
+/// A complete harness workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The tenants and their loads.
+    pub tenants: Vec<TenantLoad>,
+    /// RNG seed fixing every draw.
+    pub seed: u64,
+    /// Scheduler slots (concurrent credits).
+    pub slots: u64,
+    /// Scheduler quantum (credits per pick).
+    pub quantum: u64,
+}
+
+/// Per-tenant outcome of a harness run.
+#[derive(Debug)]
+pub struct TenantStats {
+    /// Queries completed.
+    pub completed: u64,
+    /// Credits granted (the fairness measure).
+    pub credits: u64,
+    /// Query latency histogram (arrival → completion), nanoseconds.
+    pub latency: Histogram,
+    /// Total time queries spent waiting for credits, nanoseconds.
+    pub credit_wait_nanos: u64,
+}
+
+/// Everything one harness run produced.
+#[derive(Debug)]
+pub struct HarnessReport {
+    /// Scheduler decision log, one line per decision.
+    pub decisions: String,
+    /// Per-tenant stats, keyed by tenant name.
+    pub tenants: BTreeMap<String, TenantStats>,
+    /// The sim-lane timeline (byte-identical across same-seed runs).
+    pub timeline: String,
+    /// When the last query completed.
+    pub makespan: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A tenant's next query arrives.
+    Arrive { tenant: usize },
+    /// A query's in-flight batch completes.
+    BatchDone { query: u64 },
+}
+
+struct LiveQuery {
+    tenant: usize,
+    qid: QueryId,
+    arrival: SimTime,
+    remaining: u64,
+    /// Set while the query sits without credits (credit-wait span start).
+    waiting_since: Option<SimTime>,
+    /// Set while a batch is in flight.
+    running: bool,
+}
+
+/// Run a workload to completion on the sim clock.
+pub fn run(workload: &Workload) -> HarnessReport {
+    let mut rng = SimRng::new(workload.seed);
+    let mut sched = FairScheduler::new(workload.slots, workload.quantum);
+    let tracer = Tracer::new();
+
+    let tenant_ids: Vec<_> = workload
+        .tenants
+        .iter()
+        .map(|t| sched.register_tenant(t.spec.clone()))
+        .collect();
+    let lanes: Vec<_> = workload
+        .tenants
+        .iter()
+        .map(|t| tracer.tenant_lane(&t.spec.name))
+        .collect();
+    let mut stats: BTreeMap<String, TenantStats> = workload
+        .tenants
+        .iter()
+        .map(|t| {
+            (
+                t.spec.name.clone(),
+                TenantStats {
+                    completed: 0,
+                    credits: 0,
+                    latency: Histogram::exponential(40),
+                    credit_wait_nanos: 0,
+                },
+            )
+        })
+        .collect();
+
+    // Event queue keyed by (time, seq): ties break deterministically in
+    // insertion order.
+    let mut events: BTreeMap<(u64, u64), Event> = BTreeMap::new();
+    let mut seq = 0u64;
+    let push = |events: &mut BTreeMap<(u64, u64), Event>, seq: &mut u64, at: SimTime, e| {
+        events.insert((at.nanos(), *seq), e);
+        *seq += 1;
+    };
+
+    // Seed each tenant's first arrival.
+    let mut remaining_arrivals: Vec<usize> = workload.tenants.iter().map(|t| t.queries).collect();
+    for (i, t) in workload.tenants.iter().enumerate() {
+        if t.queries > 0 {
+            let dt = rng.exponential(t.mean_interarrival.as_secs_f64());
+            push(
+                &mut events,
+                &mut seq,
+                SimTime::ZERO + SimDuration::from_secs_f64(dt),
+                Event::Arrive { tenant: i },
+            );
+        }
+    }
+
+    let mut live: BTreeMap<u64, LiveQuery> = BTreeMap::new();
+    let mut makespan = SimTime::ZERO;
+
+    while let Some((&(nanos, _), _)) = events.iter().next() {
+        let key = *events.keys().next().expect("non-empty");
+        let event = events.remove(&key).expect("present");
+        let now = SimTime(nanos);
+        makespan = now;
+        match event {
+            Event::Arrive { tenant } => {
+                remaining_arrivals[tenant] -= 1;
+                let load = &workload.tenants[tenant];
+                let qid = sched.begin_query(tenant_ids[tenant]);
+                let batches = rng.range_inclusive(load.batches.0.max(1), load.batches.1.max(1));
+                tracer.instant_at_with(
+                    lanes[tenant],
+                    "arrive",
+                    now,
+                    &[("query", qid.0), ("batches", batches)],
+                );
+                live.insert(
+                    qid.0,
+                    LiveQuery {
+                        tenant,
+                        qid,
+                        arrival: now,
+                        remaining: batches,
+                        waiting_since: Some(now),
+                        running: false,
+                    },
+                );
+                sched.request(qid);
+                if remaining_arrivals[tenant] > 0 {
+                    let dt = rng.exponential(load.mean_interarrival.as_secs_f64());
+                    push(
+                        &mut events,
+                        &mut seq,
+                        now + SimDuration::from_secs_f64(dt),
+                        Event::Arrive { tenant },
+                    );
+                }
+            }
+            Event::BatchDone { query } => {
+                let q = live.get_mut(&query).expect("live query");
+                q.running = false;
+                q.remaining -= 1;
+                sched.complete_batch(q.qid);
+                if q.remaining == 0 {
+                    let tenant = q.tenant;
+                    let qid = q.qid;
+                    let arrival = q.arrival;
+                    live.remove(&query);
+                    let credits = sched.query_credits(qid);
+                    sched.finish_query(qid);
+                    tracer.instant_at_with(
+                        lanes[tenant],
+                        "done",
+                        now,
+                        &[("query", qid.0), ("credits", credits)],
+                    );
+                    let name = &workload.tenants[tenant].spec.name;
+                    let s = stats.get_mut(name).expect("tenant stats");
+                    s.completed += 1;
+                    s.latency.record(now.since(arrival).nanos());
+                } else if sched.should_yield(q.qid) && sched.held(q.qid) > 0 {
+                    // Preemption point: give the held credits back and
+                    // re-queue behind the higher-priority query.
+                    let tenant = q.tenant;
+                    let qid = q.qid;
+                    let yielded = sched.yield_credits(qid);
+                    tracer.instant_at_with(
+                        lanes[tenant],
+                        "preempt",
+                        now,
+                        &[("query", qid.0), ("yielded", yielded)],
+                    );
+                    q.waiting_since = Some(now);
+                    sched.request(qid);
+                } else if sched.held(q.qid) == 0 {
+                    q.waiting_since = Some(now);
+                    sched.request(q.qid);
+                }
+            }
+        }
+        // Pump: start a batch on every query that holds a credit and is
+        // not already running. BTreeMap order keeps this deterministic.
+        let runnable: Vec<u64> = live
+            .iter()
+            .filter(|(_, q)| !q.running && q.remaining > 0 && sched.held(q.qid) > 0)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in runnable {
+            let q = live.get_mut(&id).expect("runnable query");
+            let tenant = q.tenant;
+            if let Some(since) = q.waiting_since.take() {
+                if now.nanos() > since.nanos() {
+                    tracer.span_at(
+                        lanes[tenant],
+                        "credit-wait",
+                        since,
+                        now,
+                        &[("query", q.qid.0)],
+                    );
+                    let name = &workload.tenants[tenant].spec.name;
+                    stats.get_mut(name).expect("tenant stats").credit_wait_nanos +=
+                        now.since(since).nanos();
+                }
+            }
+            sched.use_credit(q.qid);
+            q.running = true;
+            let load = &workload.tenants[tenant];
+            let dt = rng.exponential(load.mean_service.as_secs_f64());
+            let end = now + SimDuration::from_secs_f64(dt.max(1e-9));
+            tracer.span_at(lanes[tenant], "batch", now, end, &[("query", q.qid.0)]);
+            push(&mut events, &mut seq, end, Event::BatchDone { query: id });
+        }
+    }
+
+    debug_assert!(live.is_empty(), "all queries must drain");
+    assert!(
+        sched.ledger().check_balanced().is_ok(),
+        "harness drained with an unbalanced ledger: {:?}",
+        sched.ledger().check_balanced()
+    );
+    for (name, s) in stats.iter_mut() {
+        s.credits = sched.ledger().granted(name);
+    }
+    HarnessReport {
+        decisions: sched.decision_digest(),
+        tenants: stats,
+        timeline: tracer.sim_timeline(),
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(seed: u64) -> Workload {
+        Workload {
+            tenants: vec![
+                TenantLoad::new(TenantSpec::new("bronze", 1), 12),
+                TenantLoad::new(TenantSpec::new("silver", 2), 12),
+                TenantLoad::new(TenantSpec::new("gold", 4), 12),
+            ],
+            seed,
+            slots: 2,
+            quantum: 1,
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_bit_for_bit() {
+        let a = run(&workload(7));
+        let b = run(&workload(7));
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.makespan, b.makespan);
+        for (name, sa) in &a.tenants {
+            let sb = &b.tenants[name];
+            assert_eq!(sa.credits, sb.credits);
+            assert_eq!(sa.latency.count(), sb.latency.count());
+            assert_eq!(sa.credit_wait_nanos, sb.credit_wait_nanos);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run(&workload(7));
+        let b = run(&workload(8));
+        assert_ne!(a.timeline, b.timeline, "seeds must matter");
+    }
+
+    #[test]
+    fn all_queries_complete_and_shares_track_weights() {
+        let report = run(&workload(42));
+        let total: u64 = report.tenants.values().map(|s| s.credits).sum();
+        for (name, s) in &report.tenants {
+            assert_eq!(s.completed, 12, "{name} must finish all queries");
+            assert!(s.credits > 0);
+        }
+        // Weighted tenants get more credits under contention (exact ratios
+        // are asserted by the saturated property tests; arrivals here are
+        // finite so we only require the ordering).
+        assert!(total > 0);
+        assert!(report.tenants["gold"].credits >= report.tenants["bronze"].credits);
+    }
+}

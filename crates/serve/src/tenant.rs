@@ -1,0 +1,119 @@
+//! The session/tenant registry.
+//!
+//! Every connection declares a tenant in its `Hello` frame; the registry
+//! maps tenant names to fair-share weights and priorities. Weights drive
+//! the stride scheduler's credit shares (a weight-4 tenant receives 4× the
+//! credits of a weight-1 tenant under saturation); priorities gate
+//! preemption (a higher-priority query forces lower-priority pipelines to
+//! yield their credits at the next batch boundary).
+
+use std::collections::BTreeMap;
+
+/// A tenant declaration: name, fair-share weight, priority class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Registry key; also the trace-lane suffix (`tenant.<name>`).
+    pub name: String,
+    /// Fair-share weight (≥ 1). Credit grants under saturation converge to
+    /// `weight / Σ weights`.
+    pub weight: u32,
+    /// Priority class; higher preempts lower at batch boundaries.
+    pub priority: u8,
+}
+
+impl TenantSpec {
+    /// A tenant with the given weight at priority 0.
+    pub fn new(name: impl Into<String>, weight: u32) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            weight: weight.max(1),
+            priority: 0,
+        }
+    }
+
+    /// Set the priority class.
+    pub fn with_priority(mut self, priority: u8) -> TenantSpec {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Dense handle into the registry (and the scheduler's tenant table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TenantId(pub usize);
+
+/// Name → tenant table. Insertion is idempotent by name: reconnecting
+/// sessions reuse the existing entry (first-registered weight/priority
+/// win, so one tenant cannot inflate its share by reconnecting).
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    specs: Vec<TenantSpec>,
+    by_name: BTreeMap<String, TenantId>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> TenantRegistry {
+        TenantRegistry::default()
+    }
+
+    /// Register (or look up) a tenant by name.
+    pub fn register(&mut self, spec: TenantSpec) -> TenantId {
+        if let Some(&id) = self.by_name.get(&spec.name) {
+            return id;
+        }
+        let id = TenantId(self.specs.len());
+        self.by_name.insert(spec.name.clone(), id);
+        self.specs.push(spec);
+        id
+    }
+
+    /// Look up a tenant by name.
+    pub fn get(&self, name: &str) -> Option<TenantId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The spec behind a handle.
+    pub fn spec(&self, id: TenantId) -> &TenantSpec {
+        &self.specs[id.0]
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Iterate `(id, spec)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (TenantId, &TenantSpec)> {
+        self.specs.iter().enumerate().map(|(i, s)| (TenantId(i), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let mut reg = TenantRegistry::new();
+        let a = reg.register(TenantSpec::new("alice", 2));
+        let b = reg.register(TenantSpec::new("bob", 1).with_priority(3));
+        let a2 = reg.register(TenantSpec::new("alice", 9));
+        assert_eq!(a, a2);
+        assert_eq!(reg.spec(a).weight, 2, "first registration wins");
+        assert_eq!(reg.spec(b).priority, 3);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get("bob"), Some(b));
+        assert_eq!(reg.get("carol"), None);
+    }
+
+    #[test]
+    fn zero_weight_is_clamped() {
+        assert_eq!(TenantSpec::new("t", 0).weight, 1);
+    }
+}

@@ -105,6 +105,15 @@ impl Tracer {
         self.wall_origin.elapsed().as_nanos() as u64
     }
 
+    /// Create-or-get the **per-tenant** sim lane `tenant.<name>`. The
+    /// serving layer records each tenant's query activity (batch service
+    /// spans, `credit-wait` spans, `preempt` instants) on these lanes so a
+    /// multi-query trace can be read per tenant; golden-trace tests slice
+    /// them back out with [`Tracer::sim_timeline_for`].
+    pub fn tenant_lane(&self, tenant: &str) -> LaneId {
+        self.lane(&format!("tenant.{tenant}"), LaneKind::Sim)
+    }
+
     /// Create-or-get the lane called `name`. Creating the same name twice
     /// returns the same lane; the `kind` of the first creation wins.
     pub fn lane(&self, name: &str, kind: LaneKind) -> LaneId {
@@ -321,9 +330,24 @@ impl Tracer {
     /// strings — this is the golden-trace determinism contract. Wall lanes
     /// are excluded because real time is never reproducible.
     pub fn sim_timeline(&self) -> String {
+        self.sim_timeline_filtered(|_| true)
+    }
+
+    /// [`Tracer::sim_timeline`] restricted to sim lanes whose name starts
+    /// with `prefix` — e.g. `tenant.alice` for one tenant's view of a
+    /// multi-query run.
+    pub fn sim_timeline_for(&self, prefix: &str) -> String {
+        self.sim_timeline_filtered(|name| name.starts_with(prefix))
+    }
+
+    fn sim_timeline_filtered(&self, keep: impl Fn(&str) -> bool) -> String {
         let inner = self.lock();
         let mut out = String::new();
-        for lane in inner.lanes.iter().filter(|l| l.kind == LaneKind::Sim) {
+        for lane in inner
+            .lanes
+            .iter()
+            .filter(|l| l.kind == LaneKind::Sim && keep(&l.name))
+        {
             for ev in &lane.events {
                 let ph = match ev.phase {
                     Phase::Begin => 'B',
@@ -570,6 +594,21 @@ mod tests {
         backwards.instant_at(lane, "late", SimTime(10));
         backwards.instant_at(lane, "early", SimTime(5));
         assert!(backwards.validate().unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn tenant_lanes_slice_out_of_the_timeline() {
+        let tracer = Tracer::new();
+        let alice = tracer.tenant_lane("alice");
+        let bob = tracer.tenant_lane("bob");
+        assert_eq!(alice, tracer.tenant_lane("alice"));
+        tracer.span_at(alice, "batch", SimTime(0), SimTime(10), &[]);
+        tracer.instant_at(bob, "preempt", SimTime(5));
+        let full = tracer.sim_timeline();
+        assert!(full.contains("tenant.alice") && full.contains("tenant.bob"));
+        let only_alice = tracer.sim_timeline_for("tenant.alice");
+        assert!(only_alice.contains("batch"));
+        assert!(!only_alice.contains("preempt"));
     }
 
     #[test]

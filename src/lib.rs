@@ -20,6 +20,9 @@
 //! - [`mod@bench`] — workload generators and the experiment harness
 //! - [`analysis`] — static analysis: graph verification, deadlock checks,
 //!   workspace lints (`cargo run -p df-check`)
+//! - [`serve`] — the multi-tenant query service: wire protocol, admission
+//!   control, weighted fair credit scheduling, deterministic concurrency
+//!   harness (`df-serve`)
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -33,5 +36,6 @@ pub use df_data as data;
 pub use df_fabric as fabric;
 pub use df_mem as mem;
 pub use df_net as net;
+pub use df_serve as serve;
 pub use df_sim as sim;
 pub use df_storage as storage;

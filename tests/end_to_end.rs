@@ -81,6 +81,7 @@ fn volcano_agrees_with_push_on_storage_plans() {
                 topology: Some(s.topology()),
                 wire: None,
                 tracer: None,
+                gate: None,
             },
         )
         .expect("push runs");

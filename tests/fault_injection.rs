@@ -124,6 +124,213 @@ fn cxl_rack_has_coherent_paths_but_no_storage() {
     assert!(format!("{err}").contains("no storage device"), "{err}");
 }
 
+// ---------------------------------------------------------------- serving
+// Faults against the multi-tenant serving layer: every exit path — client
+// disconnect mid-stream, a plan that fails verification, an admission
+// rejection — must leave the credit ledger balanced (granted == returned
+// for every tenant once nothing is running).
+
+mod serving {
+    use rheo::core::session::Session;
+    use rheo::data::batch::batch_of;
+    use rheo::data::{Column, Scalar};
+    use rheo::serve::dispatch::{CancelToken, QueryService, ServiceConfig};
+    use rheo::serve::server::{serve, Client};
+    use rheo::serve::tenant::TenantSpec;
+    use rheo::serve::ServeError;
+    use std::sync::Arc;
+
+    fn service(rows: usize) -> Arc<QueryService> {
+        let session = Session::in_memory().unwrap();
+        session
+            .create_table(
+                "orders",
+                &[batch_of(vec![
+                    ("id", Column::from_i64((0..rows as i64).collect())),
+                    (
+                        "amount",
+                        Column::from_f64((0..rows).map(|i| (i % 90) as f64).collect()),
+                    ),
+                ])],
+            )
+            .unwrap();
+        Arc::new(QueryService::new(session, ServiceConfig::default()))
+    }
+
+    fn assert_balanced(svc: &QueryService) {
+        svc.scheduler().with(|s| {
+            assert!(
+                s.ledger().check_balanced().is_ok(),
+                "credit ledger unbalanced: {:?}",
+                s.ledger().check_balanced()
+            );
+            assert_eq!(s.ledger().total_outstanding(), 0);
+        });
+    }
+
+    #[test]
+    fn client_disconnect_mid_stream_balances_ledger() {
+        let svc = service(5_000);
+        let handle = serve(svc.clone(), 0).unwrap();
+        // Open a session, fire a query, and vanish without reading the
+        // response. The server's reader thread trips the cancel token;
+        // the gate aborts at a batch boundary; cleanup repays everything.
+        {
+            let client = Client::connect(handle.addr(), &TenantSpec::new("ghost", 1)).unwrap();
+            // Drop without reading a single Batch frame.
+            drop(client);
+        }
+        // A second client disconnects *after* the query started streaming.
+        {
+            use rheo::serve::protocol::{read_frame, write_frame, Frame};
+            let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+            let mut w = stream.try_clone().unwrap();
+            let mut r = std::io::BufReader::new(stream);
+            write_frame(
+                &mut w,
+                &Frame::Hello {
+                    tenant: "flaky".into(),
+                    weight: 1,
+                    priority: 0,
+                },
+            )
+            .unwrap();
+            assert!(matches!(read_frame(&mut r).unwrap(), Frame::HelloOk));
+            write_frame(
+                &mut w,
+                &Frame::Query {
+                    sql: "SELECT id FROM orders".into(),
+                },
+            )
+            .unwrap();
+            // Read exactly one streamed batch frame, then slam the door.
+            assert!(matches!(read_frame(&mut r).unwrap(), Frame::Batch(_)));
+        }
+        // Give the server threads a moment to unwind, then check
+        // conservation. A healthy query afterwards proves the service
+        // survived both disconnects.
+        let t = svc.register_tenant(TenantSpec::new("prober", 1));
+        let out = svc
+            .run_sql(t, "SELECT COUNT(*) AS n FROM orders", CancelToken::new())
+            .unwrap();
+        assert_eq!(out.result.batch.row(0)[0], Scalar::Int(5_000));
+        for _ in 0..50 {
+            let drained = svc
+                .scheduler()
+                .with(|s| s.ledger().total_outstanding() == 0);
+            if drained {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        assert_balanced(&svc);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn cancelled_query_mid_execution_balances_ledger() {
+        let svc = service(5_000);
+        let t = svc.register_tenant(TenantSpec::new("impatient", 1));
+        // Cancel from another thread while the query is executing; the
+        // gate observes the token at a batch boundary.
+        let cancel = CancelToken::new();
+        let trip = cancel.clone();
+        let flipper = std::thread::spawn(move || trip.cancel());
+        let result = svc.run_sql(
+            t,
+            "SELECT COUNT(*) AS n FROM orders WHERE amount > 1.0",
+            cancel,
+        );
+        flipper.join().unwrap();
+        // Either the cancel landed in time (error) or the query beat it
+        // (success); both must conserve credits.
+        if let Err(e) = &result {
+            assert!(
+                matches!(e, ServeError::Engine(_) | ServeError::Disconnected),
+                "unexpected error class: {e}"
+            );
+        }
+        assert_balanced(&svc);
+    }
+
+    #[test]
+    fn verify_failing_plan_never_executes_and_balances_ledger() {
+        use rheo::core::physical::{PhysNode, PhysicalPlan};
+        use rheo::core::pipeline::{PipelineGraph, DEFAULT_QUEUE_CAPACITY};
+        use rheo::fabric::device::DeviceId;
+
+        let svc = service(100);
+        // A plan placed on a device id that does not exist in the topology
+        // fails graph verification. Build it directly (the planner would
+        // never emit it) and check the serving layer's gate.
+        let bogus = DeviceId(u32::MAX - 1);
+        let batch = batch_of(vec![("x", Column::from_i64(vec![1, 2, 3]))]);
+        let plan = PhysicalPlan::new(
+            PhysNode::Filter {
+                input: Box::new(PhysNode::Values {
+                    schema: batch.schema().clone(),
+                    batches: vec![batch],
+                    device: Some(bogus),
+                }),
+                predicate: rheo::core::expr::col("x").lt(rheo::core::expr::lit(2)),
+                device: Some(bogus),
+                use_kernel: false,
+            },
+            "bogus-placement",
+        );
+        let graph = PipelineGraph::compile(&plan, None, None, DEFAULT_QUEUE_CAPACITY);
+        let verdict = graph.verify_or_err(Some(svc.session().topology()));
+        assert!(
+            verdict.is_err(),
+            "a plan placed on a nonexistent device must fail verification"
+        );
+        // The serving layer rejects it before any credit is granted.
+        assert_balanced(&svc);
+        svc.scheduler().with(|s| {
+            assert_eq!(
+                s.ledger().granted("nobody"),
+                0,
+                "no tenant may be charged for a rejected plan"
+            );
+        });
+    }
+
+    #[test]
+    fn admission_rejected_query_balances_ledger() {
+        use rheo::fabric::flow::{PipelineSpec, StageSpec};
+        use rheo::fabric::OpClass;
+        use rheo::serve::admission::{AdmissionController, Verdict};
+        use rheo::sim::SimDuration;
+
+        let svc = service(100);
+        let topo = svc.session().topology().clone();
+        let ssd = topo.expect_device("storage.ssd");
+        let cpu = topo.expect_device("compute0.cpu");
+        // A tiny capacity window makes any real scan oversized.
+        let mut ac = AdmissionController::with_window(topo, SimDuration::from_secs_f64(1e-9), 4);
+        let spec = PipelineSpec::new(
+            "hog",
+            vec![
+                StageSpec::new(ssd, OpClass::Scan, 1.0),
+                StageSpec::new(cpu, OpClass::AggregateFinal, 0.1),
+            ],
+            1 << 30,
+        )
+        .for_tenant("hog");
+        let demand = ac.demand_of(std::slice::from_ref(&spec)).unwrap();
+        assert!(
+            matches!(ac.offer(demand), Verdict::Rejected(_)),
+            "a 1 GiB scan cannot fit a nanosecond window"
+        );
+        // Rejection happens before scheduling: nothing was ever granted,
+        // and the ledger stays balanced.
+        svc.scheduler().with(|s| {
+            assert_eq!(s.ledger().granted("hog"), 0);
+        });
+        assert_balanced(&svc);
+    }
+}
+
 #[test]
 fn wire_tamper_detected_between_nodes() {
     use rheo::codec::wire::{encode_batch, WireOptions};

@@ -390,6 +390,7 @@ fn graph_push_matches_seed_semantics_on_random_plans() {
             topology: Some(&topo),
             wire: None,
             tracer: None,
+            gate: None,
         };
         let got = execute(&plan, &env).expect("graph-driven execution");
         let (batches, ledger, stats) = oracle(&plan, None);
@@ -430,6 +431,7 @@ fn graph_parallel_matches_push_rows_on_supported_shapes() {
                 topology: Some(&topo),
                 wire: None,
                 tracer: None,
+                gate: None,
             };
             let sequential = execute(&plan, &env).expect("push execution");
             let threads = gen.usize_in(1, 4);
@@ -515,6 +517,7 @@ fn graph_push_matches_seed_semantics_with_storage_scans() {
         topology: Some(&topo),
         wire: None,
         tracer: None,
+        gate: None,
     };
     let got = execute(&plan, &env).expect("graph-driven execution");
     let (batches, ledger, stats) = oracle(&plan, Some(&storage));

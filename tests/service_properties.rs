@@ -1,0 +1,204 @@
+//! Property tests for the serving layer's fair-share credit scheduler.
+//!
+//! Run with the in-tree deterministic harness (`rheo::check`): seeds are
+//! derived from each property's name, and any failing seed is pinned under
+//! `proptest-regressions/` so failures replay bit-for-bit.
+//!
+//! Properties:
+//! - under permanent backlog, per-tenant credit shares converge to the
+//!   weight vector within a bounded measurement window;
+//! - no tenant starves: every backlogged tenant receives a grant within a
+//!   bounded number of credit dispensations, whatever the weights;
+//! - arbitrary valid operation interleavings (grant/use/complete/yield/
+//!   finish) leave the credit ledger balanced once every query finishes.
+
+use rheo::check::check;
+use rheo::serve::sched::{FairScheduler, QueryId};
+use rheo::serve::tenant::TenantSpec;
+
+/// Build a scheduler with `slots` permanently backlogged queries per
+/// tenant — enough for any one tenant to fill the whole device, so shares
+/// are decided by the scheduler, not by per-query concurrency limits (a
+/// query runs one batch at a time).
+fn backlogged(weights: &[u32], slots: u64, quantum: u64) -> (FairScheduler, Vec<QueryId>) {
+    let mut sched = FairScheduler::new(slots, quantum);
+    let mut queries = Vec::new();
+    for (i, &w) in weights.iter().enumerate() {
+        let t = sched.register_tenant(TenantSpec::new(format!("t{i}"), w));
+        for _ in 0..slots.max(1) {
+            queries.push(sched.begin_query(t));
+        }
+    }
+    for &q in &queries {
+        sched.request(q);
+    }
+    (sched, queries)
+}
+
+/// Drive `rounds` batch completions while keeping every tenant backlogged.
+/// Batch starts and completions interleave deterministically (round-robin
+/// over the in-flight set), so only the scheduler decides who advances.
+fn drive(sched: &mut FairScheduler, queries: &[QueryId], rounds: usize) {
+    let n = queries.len();
+    for round in 0..rounds {
+        for &q in queries {
+            if sched.held(q) > 0 && !sched.in_flight(q) {
+                sched.use_credit(q);
+                // Rejoin the queue immediately: permanent backlog.
+                sched.request(q);
+            }
+        }
+        for k in 0..n {
+            let q = queries[(round + k) % n];
+            if sched.in_flight(q) {
+                sched.complete_batch(q);
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn shares_converge_to_weights_under_backlog() {
+    check("serve-fair-share-converges", 32, |g| {
+        let tenants = g.usize_in(2, 5);
+        let weights: Vec<u32> = g.vec_of(tenants, |g| g.usize_in(1, 8) as u32);
+        let slots = g.usize_in(1, 4) as u64;
+        let quantum = g.usize_in(1, 3) as u64;
+        let (mut sched, queries) = backlogged(&weights, slots, quantum);
+
+        // Warm up past the initial transient, then measure over a window.
+        drive(&mut sched, &queries, 300);
+        let before = sched.granted_by_tenant();
+        let window = 3_000usize;
+        drive(&mut sched, &queries, window);
+        let after = sched.granted_by_tenant();
+
+        let deltas: Vec<u64> = (0..tenants)
+            .map(|i| {
+                let name = format!("t{i}");
+                after[&name] - before[&name]
+            })
+            .collect();
+        let total: u64 = deltas.iter().sum();
+        let weight_total: u32 = weights.iter().sum();
+        assert!(total > 0, "scheduler made no progress");
+        for (i, (&d, &w)) in deltas.iter().zip(&weights).enumerate() {
+            let got = d as f64 / total as f64;
+            let want = f64::from(w) / f64::from(weight_total);
+            assert!(
+                (got - want).abs() < 0.05,
+                "tenant t{i} (weight {w}): share {got:.3} vs {want:.3} \
+                 (weights {weights:?}, slots {slots}, quantum {quantum})"
+            );
+        }
+
+        for &q in &queries {
+            sched.finish_query(q);
+        }
+        assert!(sched.ledger().check_balanced().is_ok());
+    });
+}
+
+#[test]
+fn no_tenant_starves() {
+    check("serve-no-starvation", 32, |g| {
+        let tenants = g.usize_in(2, 6);
+        // Adversarial weights: one heavy tenant dwarfing the rest.
+        let mut weights: Vec<u32> = g.vec_of(tenants, |g| g.usize_in(1, 2) as u32);
+        weights[0] = g.usize_in(50, 500) as u32;
+        let slots = g.usize_in(1, 3) as u64;
+        let (mut sched, queries) = backlogged(&weights, slots, 1);
+
+        drive(&mut sched, &queries, 100);
+        let before = sched.granted_by_tenant();
+        // A weight-1 tenant among total weight W must be served within
+        // ~W credits; give the window 4x slack.
+        let weight_total: u32 = weights.iter().sum();
+        let window = (weight_total as usize) * 4;
+        drive(&mut sched, &queries, window);
+        let after = sched.granted_by_tenant();
+
+        for i in 0..tenants {
+            let name = format!("t{i}");
+            assert!(
+                after[&name] > before[&name],
+                "tenant {name} (weight {}) starved over a {window}-credit \
+                 window (weights {weights:?}, slots {slots})",
+                weights[i]
+            );
+        }
+
+        for &q in &queries {
+            sched.finish_query(q);
+        }
+        assert!(sched.ledger().check_balanced().is_ok());
+    });
+}
+
+#[test]
+fn arbitrary_interleavings_conserve_credits() {
+    check("serve-ledger-conservation", 64, |g| {
+        let tenants = g.usize_in(1, 4);
+        let mut sched = FairScheduler::new(g.usize_in(1, 6) as u64, g.usize_in(1, 3) as u64);
+        let ids: Vec<_> = (0..tenants)
+            .map(|i| {
+                sched.register_tenant(
+                    TenantSpec::new(format!("t{i}"), g.usize_in(1, 8) as u32)
+                        .with_priority(g.usize_in(0, 2) as u8),
+                )
+            })
+            .collect();
+        let mut live: Vec<QueryId> = Vec::new();
+        for _ in 0..g.usize_in(20, 200) {
+            match g.usize_in(0, 5) {
+                0 => {
+                    let t = *g.pick(&ids);
+                    let q = sched.begin_query(t);
+                    sched.request(q);
+                    live.push(q);
+                }
+                1 => {
+                    if let Some(&q) = live.first() {
+                        sched.request(q);
+                    }
+                }
+                2 => {
+                    if let Some(&q) = live
+                        .iter()
+                        .find(|&&q| sched.held(q) > 0 && !sched.in_flight(q))
+                    {
+                        sched.use_credit(q);
+                    }
+                }
+                3 => {
+                    if let Some(&q) = live.iter().find(|&&q| sched.in_flight(q)) {
+                        sched.complete_batch(q);
+                    }
+                }
+                4 => {
+                    if let Some(&q) = live.iter().find(|&&q| sched.held(q) > 0) {
+                        sched.yield_credits(q);
+                        sched.request(q);
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let idx = g.usize_in(0, live.len() - 1);
+                        let q = live.swap_remove(idx);
+                        sched.finish_query(q);
+                    }
+                }
+            }
+        }
+        for q in live {
+            sched.finish_query(q);
+        }
+        assert!(
+            sched.ledger().check_balanced().is_ok(),
+            "interleaving left the ledger unbalanced: {:?}",
+            sched.ledger().check_balanced()
+        );
+        assert_eq!(sched.ledger().total_outstanding(), 0);
+    });
+}

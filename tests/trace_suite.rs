@@ -232,6 +232,7 @@ fn fabric_edge_spans_stay_out_of_sim_lanes() {
                 topology: Some(&topo),
                 wire: None,
                 tracer: Some(tracer.clone()),
+                gate: None,
             };
             execute(&PhysicalPlan::new(agg, "traced"), &env).expect("traced execution");
         }
@@ -269,6 +270,89 @@ fn fabric_edge_spans_stay_out_of_sim_lanes() {
         sim_lane,
         "executor spans perturbed the sim-lane golden trace"
     );
+}
+
+/// Golden multi-query trace: the serving harness replays a three-tenant
+/// weighted mix (with a high-priority tenant arriving into a backlog) on
+/// the sim clock. The per-tenant lanes must carry the full credit story —
+/// `arrive`/`done` instants, `batch` spans, `credit-wait` spans while
+/// queries sit without credits, and `preempt` instants when a
+/// lower-priority query yields — and the whole timeline must be
+/// byte-identical across same-seed runs, per-tenant slices included.
+#[test]
+fn golden_trace_multi_query_harness() {
+    use rheo::serve::harness::{run, TenantLoad, Workload};
+    use rheo::serve::tenant::TenantSpec;
+    use rheo::sim::SimDuration;
+
+    let workload = || {
+        // Long low-priority queries arrive first: the head of the line
+        // takes a quantum-2 grant (one batch in flight plus a spare
+        // credit), saturating both slots …
+        let mut batch_tenant = TenantLoad::new(TenantSpec::new("batch", 2), 2);
+        batch_tenant.mean_interarrival = SimDuration::from_secs_f64(1e-6);
+        batch_tenant.batches = (20, 30);
+        batch_tenant.mean_service = SimDuration::from_secs_f64(300e-6);
+        let mut scavenger = TenantLoad::new(TenantSpec::new("scavenger", 1), 2);
+        scavenger.mean_interarrival = SimDuration::from_secs_f64(1e-6);
+        scavenger.batches = (20, 30);
+        scavenger.mean_service = SimDuration::from_secs_f64(300e-6);
+        // … while short high-priority queries pile up in the wait queue
+        // before the first batch boundary, forcing the holder to yield
+        // its spare credit.
+        let mut interactive =
+            TenantLoad::new(TenantSpec::new("interactive", 1).with_priority(2), 8);
+        interactive.mean_interarrival = SimDuration::from_secs_f64(100e-6);
+        interactive.batches = (1, 3);
+        interactive.mean_service = SimDuration::from_secs_f64(100e-6);
+        Workload {
+            tenants: vec![interactive, batch_tenant, scavenger],
+            seed: 7,
+            slots: 2,
+            quantum: 2,
+        }
+    };
+
+    let a = run(&workload());
+    let b = run(&workload());
+    assert_eq!(a.decisions, b.decisions, "scheduler decisions diverged");
+    assert_eq!(a.timeline, b.timeline, "sim timeline diverged");
+
+    // Every tenant has a lane, and lanes slice cleanly out of the whole.
+    for tenant in ["interactive", "batch", "scavenger"] {
+        let lane = format!("tenant.{tenant}");
+        assert!(
+            a.timeline.lines().any(|l| l.starts_with(&lane)),
+            "no events on lane {lane}"
+        );
+    }
+
+    // The credit story is visible: waits under contention, preemption
+    // yields when the high-priority tenant arrives into the backlog.
+    assert!(
+        a.timeline.contains("credit-wait"),
+        "no credit-wait span in a saturated mix:\n{}",
+        a.timeline
+    );
+    assert!(
+        a.timeline.contains("preempt"),
+        "no preemption instant despite a priority-2 tenant:\n{}",
+        a.timeline
+    );
+    assert!(
+        a.decisions.contains("yield"),
+        "no yield decision despite quantum 2 under preemption:\n{}",
+        a.decisions
+    );
+    // Preemption yields belong to the low-priority tenants only.
+    for line in a.timeline.lines() {
+        if line.contains("preempt") {
+            assert!(
+                !line.starts_with("tenant.interactive"),
+                "the high-priority tenant must never be preempted: {line}"
+            );
+        }
+    }
 }
 
 /// The summary exporter agrees with the timeline on which lanes did work.
