@@ -27,13 +27,18 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use df_bench::workload;
+use df_codec::edge::{self, EdgeEncoding};
 use df_core::exec::parallel::{effective_threads, execute_adaptive, execute_parallel};
-use df_core::exec::push::{execute, ExecEnv};
+use df_core::exec::push::{execute, CodecPolicy, ExecEnv};
 use df_core::expr::{col, lit};
 use df_core::logical::{AggCall, AggFn, LogicalPlan};
 use df_core::ops::{AggMode, HashAggOp, Operator};
 use df_core::physical::{PhysNode, PhysicalPlan};
+use df_core::pipeline::{PipelineGraph, DEFAULT_QUEUE_CAPACITY};
 use df_data::{Batch, Bitmap, Column, Scalar};
+use df_fabric::flow::FlowSim;
+use df_fabric::link::LinkTech;
+use df_fabric::topology::{DisaggregatedConfig, Topology};
 
 struct Stats {
     min: f64,
@@ -176,6 +181,40 @@ fn e1_plan(rows: usize) -> PhysicalPlan {
     )
 }
 
+/// The log-analytics shuffle: the telemetry stream filtered at the
+/// storage-side NIC, grouped by `level` on the compute CPU — one fabric
+/// edge crossing the cluster network.
+fn shuffle_plan(topo: &Topology, stream: &Batch) -> PhysicalPlan {
+    let nic = topo.expect_device("storage.nic");
+    let cpu = topo.expect_device("compute0.cpu");
+    let calls = vec![AggCall::count_star("n")];
+    let logical = LogicalPlan::values(vec![stream.clone()])
+        .expect("values plan")
+        .aggregate(vec!["level".into()], calls.clone())
+        .expect("aggregate plan");
+    PhysicalPlan::new(
+        PhysNode::Aggregate {
+            input: Box::new(PhysNode::Filter {
+                input: Box::new(PhysNode::Values {
+                    schema: stream.schema().clone(),
+                    batches: stream.split(8192).expect("split"),
+                    device: None,
+                }),
+                // Keeps every row: the shuffle itself is the subject.
+                predicate: col("sensor").lt(lit(1 << 20)),
+                device: Some(nic),
+                use_kernel: false,
+            }),
+            group_by: vec!["level".into()],
+            aggs: calls,
+            mode: AggMode::Final,
+            final_schema: logical.schema(),
+            device: Some(cpu),
+        },
+        "log-shuffle",
+    )
+}
+
 fn json_escape_free(name: &str) -> &str {
     debug_assert!(!name.contains('"') && !name.contains('\\'));
     name
@@ -306,6 +345,138 @@ fn main() {
         );
     }
 
+    // -- codec: wire-frame encode/decode throughput per edge encoding on
+    //    the telemetry stream (string-heavy log-analytics shape: ascending
+    //    timestamps, low-cardinality level strings). New JSON keys only —
+    //    the pre-codec fields and `cases` entries are unchanged.
+    let codec_rows = if smoke { 20_000 } else { 200_000 };
+    let stream = workload::telemetry(codec_rows, 64, 42);
+    let stream_bytes = stream.byte_size();
+    println!(
+        "codec input: {} rows, {:.1} MB",
+        stream.rows(),
+        stream_bytes as f64 / 1e6
+    );
+    struct CodecCase {
+        name: &'static str,
+        ratio: f64,
+        encode_gbps: f64,
+        decode_gbps: f64,
+    }
+    let mut codec_cases: Vec<CodecCase> = Vec::new();
+    for enc in EdgeEncoding::ALL {
+        let frame = edge::encode(&stream, enc);
+        let decoded = edge::decode(&frame).expect("decode");
+        assert_eq!(
+            decoded.rows(),
+            stream.rows(),
+            "{}: lossy roundtrip",
+            enc.name()
+        );
+        let ratio = frame.len() as f64 / stream_bytes as f64;
+        let enc_stats = time(iters, || edge::encode(&stream, enc).len());
+        let dec_stats = time(iters, || edge::decode(&frame).expect("decode").rows());
+        let encode_gbps = stream_bytes as f64 / enc_stats.min / 1e9;
+        let decode_gbps = stream_bytes as f64 / dec_stats.min / 1e9;
+        println!(
+            "codec/{:<12} ratio {:>5.3}  encode {:>6.2} GB/s  decode {:>6.2} GB/s",
+            enc.name(),
+            ratio,
+            encode_gbps,
+            decode_gbps
+        );
+        codec_cases.push(CodecCase {
+            name: enc.name(),
+            ratio,
+            encode_gbps,
+            decode_gbps,
+        });
+    }
+
+    // -- shuffle_compression: the bytes-moved-vs-CPU frontier. The same
+    //    stream shuffled storage.nic -> compute0.cpu over 25 GbE: ledger
+    //    bytes plain vs cost-selected, and FlowSim completion time under
+    //    both pricings (spend codec cycles to move fewer bytes over the
+    //    bottleneck link).
+    let topo = Topology::disaggregated(&DisaggregatedConfig {
+        network: LinkTech::Ethernet { gbits: 25 },
+        ..DisaggregatedConfig::default()
+    });
+    let shuffle = shuffle_plan(&topo, &stream);
+    let plain_env = ExecEnv {
+        storage: None,
+        topology: Some(&topo),
+        wire: None,
+        tracer: None,
+        gate: None,
+        codec: CodecPolicy::AsCompiled,
+    };
+    let auto_env = ExecEnv {
+        codec: CodecPolicy::Auto,
+        storage: None,
+        topology: Some(&topo),
+        wire: None,
+        tracer: None,
+        gate: None,
+    };
+    let plain_out = execute(&shuffle, &plain_env).expect("plain shuffle");
+    let auto_out = execute(&shuffle, &auto_env).expect("auto shuffle");
+    assert_eq!(
+        auto_out.collect().expect("auto result").canonical_rows(),
+        plain_out.collect().expect("plain result").canonical_rows(),
+        "codec shuffle changed the query result"
+    );
+    let ledger_plain = plain_out.ledger.cross_device_bytes();
+    let ledger_codec = auto_out.ledger.cross_device_bytes();
+    let chosen = auto_out
+        .codec_decisions
+        .iter()
+        .find(|d| !d.encoding.is_plain())
+        .expect("cost model must pick a codec on the 25 GbE edge");
+    let reduction = ledger_plain as f64 / ledger_codec.max(1) as f64;
+    println!(
+        "shuffle_compression: ethernet-25gbe plain {:.1} MB -> {} {:.1} MB \
+         ({reduction:.2}x fewer fabric bytes)",
+        ledger_plain as f64 / 1e6,
+        chosen.encoding.name(),
+        ledger_codec as f64 / 1e6
+    );
+    assert!(
+        reduction >= 2.0,
+        "cost-selected encoding must at least halve fabric-edge ledger bytes \
+         on the log-analytics shuffle (got {reduction:.2}x)"
+    );
+
+    let cpu = topo.expect_device("compute0.cpu");
+    let mut graph = PipelineGraph::compile(&shuffle, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+    let sim_secs = |graph: &PipelineGraph, name: &str| -> f64 {
+        let specs = graph.to_flow_specs(cpu, name).expect("flow specs");
+        let mut sim = FlowSim::new(topo.clone());
+        for spec in specs {
+            sim.add_pipeline(spec);
+        }
+        let outcome = sim.run();
+        outcome
+            .pipelines
+            .iter()
+            .map(|p| p.duration().as_secs_f64())
+            .fold(0.0, f64::max)
+    };
+    let sim_plain_s = sim_secs(&graph, "shuffle-plain");
+    let eid = graph
+        .edges
+        .iter()
+        .position(|e| e.crosses_devices())
+        .expect("one fabric edge");
+    graph.set_edge_encoding(eid, chosen.encoding, chosen.ratio());
+    let sim_codec_s = sim_secs(&graph, "shuffle-codec");
+    println!("shuffle_compression sim: plain {sim_plain_s:.6}s, codec {sim_codec_s:.6}s");
+    assert!(
+        sim_codec_s <= sim_plain_s * 1.0001,
+        "codec-priced shuffle must not regress simulated completion time \
+         (plain {sim_plain_s:.6}s, codec {sim_codec_s:.6}s)"
+    );
+
     // -- hand-rolled JSON report.
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"hotpath\",\n");
@@ -319,6 +490,35 @@ fn main() {
     json.push_str(&format!(
         "  \"parallel_best_speedup_vs_1t\": {parallel_speedup:.3},\n"
     ));
+    json.push_str("  \"codec\": {\n");
+    json.push_str(&format!("    \"workload_rows\": {codec_rows},\n"));
+    json.push_str(&format!("    \"workload_bytes\": {stream_bytes},\n"));
+    json.push_str("    \"encodings\": [\n");
+    for (i, c) in codec_cases.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"name\": \"{}\", \"ratio\": {:.4}, \"encode_gbps\": {:.3}, \
+             \"decode_gbps\": {:.3}}}{}\n",
+            c.name,
+            c.ratio,
+            c.encode_gbps,
+            c.decode_gbps,
+            if i + 1 == codec_cases.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"shuffle_compression\": {\n");
+    json.push_str("      \"network\": \"ethernet-25gbe\",\n");
+    json.push_str(&format!(
+        "      \"encoding\": \"{}\",\n",
+        chosen.encoding.name()
+    ));
+    json.push_str(&format!("      \"plain_ledger_bytes\": {ledger_plain},\n"));
+    json.push_str(&format!("      \"codec_ledger_bytes\": {ledger_codec},\n"));
+    json.push_str(&format!("      \"reduction\": {reduction:.3},\n"));
+    json.push_str(&format!("      \"sim_plain_s\": {sim_plain_s:.9},\n"));
+    json.push_str(&format!("      \"sim_codec_s\": {sim_codec_s:.9}\n"));
+    json.push_str("    }\n");
+    json.push_str("  },\n");
     json.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {
         json.push_str(&format!(

@@ -16,6 +16,7 @@ pub mod e11_interconnect;
 pub mod e12_flow_control;
 pub mod e13_scheduling;
 pub mod e14_bufferpool;
+pub mod e15_wire_compression;
 
 use crate::report::ExpReport;
 
@@ -74,6 +75,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("E12", e12_flow_control::run),
         ("E13", e13_scheduling::run),
         ("E14", e14_bufferpool::run),
+        ("E15", e15_wire_compression::run),
     ]
 }
 

@@ -83,6 +83,17 @@ const LINTS: &[Lint] = &[
         skip_test_blocks: true,
     },
     Lint {
+        name: "edge-codec-site",
+        scopes: &["crates/core/src/", "crates/serve/src/"],
+        patterns: &[
+            "edge::encode(",
+            "edge::decode(",
+            "edge_codec::encode(",
+            "edge_codec::decode(",
+        ],
+        skip_test_blocks: true,
+    },
+    Lint {
         name: "wall-clock-in-sim",
         scopes: &["crates/sim/"],
         patterns: &["Instant::now", "SystemTime"],

@@ -8,7 +8,9 @@
 //! can appear as explicit pipeline stages and be offloaded to devices:
 //!
 //! - [`varint`] — LEB128/zigzag primitives shared by the integer codecs
-//! - [`int`] — RLE and delta codecs for integer columns
+//! - [`int`] — RLE, delta, and bit-packing codecs for integer columns
+//! - [`edge`] — the fabric-edge frame: per-edge batch encodings placed as
+//!   Compress/Decompress pipeline stages
 //! - [`dict`] — dictionary encoding for string columns
 //! - [`lz`] — a byte-level LZ77-style block compressor (LZ-lite)
 //! - [`checksum`] — CRC32 (the storage "decode/error-check" step)
@@ -22,6 +24,7 @@
 pub mod checksum;
 pub mod crypto;
 pub mod dict;
+pub mod edge;
 pub mod int;
 pub mod lz;
 pub mod varint;

@@ -62,7 +62,7 @@ fn dtype_from_tag(tag: u8) -> Result<DataType> {
     })
 }
 
-fn write_bitmap(out: &mut Vec<u8>, bitmap: &Bitmap) {
+pub(crate) fn write_bitmap(out: &mut Vec<u8>, bitmap: &Bitmap) {
     varint::write_u64(out, bitmap.len() as u64);
     let mut bytes = vec![0u8; bitmap.len().div_ceil(8)];
     for i in bitmap.iter_ones() {
@@ -71,7 +71,7 @@ fn write_bitmap(out: &mut Vec<u8>, bitmap: &Bitmap) {
     out.extend_from_slice(&bytes);
 }
 
-fn read_bitmap(buf: &[u8], pos: &mut usize) -> Result<Bitmap> {
+pub(crate) fn read_bitmap(buf: &[u8], pos: &mut usize) -> Result<Bitmap> {
     let len = varint::read_u64(buf, pos)? as usize;
     let nbytes = len.div_ceil(8);
     let end = pos
@@ -90,7 +90,7 @@ fn read_bitmap(buf: &[u8], pos: &mut usize) -> Result<Bitmap> {
     Ok(bitmap)
 }
 
-fn write_validity(out: &mut Vec<u8>, validity: Option<&Bitmap>) {
+pub(crate) fn write_validity(out: &mut Vec<u8>, validity: Option<&Bitmap>) {
     match validity {
         Some(v) => {
             out.push(1);
@@ -100,7 +100,7 @@ fn write_validity(out: &mut Vec<u8>, validity: Option<&Bitmap>) {
     }
 }
 
-fn read_validity(buf: &[u8], pos: &mut usize) -> Result<Option<Bitmap>> {
+pub(crate) fn read_validity(buf: &[u8], pos: &mut usize) -> Result<Option<Bitmap>> {
     let present = *buf
         .get(*pos)
         .ok_or_else(|| CodecError::Corrupt("validity marker past end".into()))?;
@@ -167,6 +167,22 @@ pub fn encode_column(out: &mut Vec<u8>, column: &Column) {
             write_bitmap(out, values);
             write_validity(out, validity.as_ref());
         }
+    }
+}
+
+/// Encode one column like [`encode_column`] but with bit-packing (int
+/// codec tag 3) in the chooser for integer columns. Used by the
+/// fabric-edge codec ([`crate::edge`]); the storage/serve wire format
+/// keeps [`encode_column`] so its frames stay byte-identical.
+pub fn encode_column_packed(out: &mut Vec<u8>, column: &Column) {
+    match column {
+        Column::Int64 { values, validity } => {
+            let (tag, bytes) = int::encode_best_packed(values);
+            out.push(tag);
+            varint::write_bytes(out, &bytes);
+            write_validity(out, validity.as_ref());
+        }
+        other => encode_column(out, other),
     }
 }
 

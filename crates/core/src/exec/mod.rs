@@ -8,4 +8,4 @@ pub mod source;
 pub mod volcano;
 
 pub use ledger::MovementLedger;
-pub use push::{execute, ExecEnv, ExecOutcome};
+pub use push::{execute, CodecDecision, CodecPolicy, ExecEnv, ExecOutcome};

@@ -74,6 +74,11 @@ fn extract_shape(graph: &PipelineGraph) -> Option<Shape> {
     if graph.edges.iter().any(|e| e.role == EdgeRole::JoinBuild) {
         return None;
     }
+    // Codec edges charge encoded frames at the edge; the morsel driver
+    // has no edges, so it cannot honor them.
+    if graph.edges.iter().any(|e| !e.encoding.is_plain()) {
+        return None;
+    }
     let spine = graph.spine(graph.root);
     let leaf = &graph.pipelines[spine[0]];
     let flat: Vec<&OperatorSpec> = spine
@@ -371,6 +376,7 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
         batches,
         ledger,
         scan_stats,
+        codec_decisions: Vec::new(),
     })
 }
 

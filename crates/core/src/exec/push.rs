@@ -16,6 +16,13 @@
 //!   a credit-bounded channel (`queue_capacity` chunks, §7.1), so
 //!   backpressure exists in real execution: a producer that outruns its
 //!   consumer blocks in a `credit-wait` span;
+//! - **edge codecs** — a fabric edge that carries an [`EdgeEncoding`]
+//!   (compiled onto the graph, or cost-selected under
+//!   [`CodecPolicy::Auto`]) encodes each batch into a self-describing
+//!   frame at the producer tip, charges the ledger the **encoded** bytes,
+//!   and decodes on the consumer side. The tip handoff charge moves from
+//!   the operator chain to the edge so each crossing is still charged
+//!   exactly once.
 //! - **local edges** — same-placement handoffs stay plain function calls
 //!   and execute inline, preserving the exact single-threaded behavior.
 //!
@@ -29,8 +36,9 @@ use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::Scope;
 
+use df_codec::edge::{self as edge_codec, EdgeEncoding};
 use df_data::Batch;
-use df_fabric::{DeviceId, Topology};
+use df_fabric::{DeviceId, OpClass, Topology};
 use df_sim::trace::{LaneId, LaneKind, SpanGuard, Tracer};
 use df_storage::smart::{ScanStats, SmartStorage};
 
@@ -39,7 +47,8 @@ use crate::exec::ledger::MovementLedger;
 use crate::exec::source;
 use crate::physical::PhysicalPlan;
 use crate::pipeline::{
-    EdgeKind, PipelineGraph, PipelineOp, PipelineSource, RuntimeOp, DEFAULT_QUEUE_CAPACITY,
+    EdgeKind, PipelineEdge, PipelineGraph, PipelineOp, PipelineSource, RuntimeOp,
+    DEFAULT_QUEUE_CAPACITY,
 };
 
 /// Cooperative yield point for cross-query scheduling.
@@ -56,6 +65,22 @@ pub trait ExecGate: Send + Sync {
     /// Block until the scheduler grants this pipeline one batch's worth of
     /// device time. `pipeline` is the graph pipeline id for tracing.
     fn acquire(&self, pipeline: usize) -> Result<()>;
+}
+
+/// How the executor picks the wire encoding of each fabric edge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CodecPolicy {
+    /// Honor the encodings compiled onto the graph (`Plain` edges move
+    /// raw batches, exactly as before codecs existed). The default.
+    #[default]
+    AsCompiled,
+    /// Cost-select a codec per fabric edge that was compiled `Plain`:
+    /// sample the edge's first batch, price each candidate encoding
+    /// against the devices' Compress/Decompress rates and the route's
+    /// bottleneck bandwidth, and keep the cheapest (falling back to
+    /// `Plain` when compression would lose, or when the topology gives
+    /// no cost basis). Edges with a compiled encoding are honored as-is.
+    Auto,
 }
 
 /// Execution environment: where stored tables live and (optionally) the
@@ -78,6 +103,9 @@ pub struct ExecEnv<'a> {
     /// Cross-query scheduling gate, consulted at every batch boundary.
     /// `None` (single-query execution) costs one branch per source batch.
     pub gate: Option<Arc<dyn ExecGate>>,
+    /// Fabric-edge codec policy. [`CodecPolicy::AsCompiled`] (the
+    /// default) keeps plain edges byte-identical to pre-codec behavior.
+    pub codec: CodecPolicy,
 }
 
 impl<'a> ExecEnv<'a> {
@@ -89,6 +117,38 @@ impl<'a> ExecEnv<'a> {
             wire: None,
             tracer: None,
             gate: None,
+            codec: CodecPolicy::AsCompiled,
+        }
+    }
+}
+
+/// What one fabric edge decided about its wire encoding, sampled from the
+/// edge's first batch. Collected in edge-id order, so same-seed runs log
+/// byte-identical decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecDecision {
+    /// Graph edge id the decision applies to.
+    pub edge: usize,
+    /// Encoding used for every frame on the edge.
+    pub encoding: EdgeEncoding,
+    /// True when [`CodecPolicy::Auto`]'s cost model picked the encoding;
+    /// false when it was compiled onto the edge.
+    pub auto: bool,
+    /// Ledger bytes the sampled batch would have cost as a plain move
+    /// (wire-encoded size when wire options are set).
+    pub plain_bytes: u64,
+    /// Encoded frame size of the sampled batch under `encoding`.
+    pub encoded_bytes: u64,
+}
+
+impl CodecDecision {
+    /// Achieved compression ratio on the sampled batch
+    /// (`encoded / plain`; 1.0 for plain or empty batches).
+    pub fn ratio(&self) -> f64 {
+        if self.plain_bytes == 0 || self.encoding.is_plain() {
+            1.0
+        } else {
+            self.encoded_bytes as f64 / self.plain_bytes as f64
         }
     }
 }
@@ -102,6 +162,9 @@ pub struct ExecOutcome {
     pub ledger: MovementLedger,
     /// Stats of every storage scan in the plan.
     pub scan_stats: Vec<ScanStats>,
+    /// Per-edge codec decisions, in edge-id order (empty when no fabric
+    /// edge went through codec handling).
+    pub codec_decisions: Vec<CodecDecision>,
 }
 
 impl ExecOutcome {
@@ -148,6 +211,13 @@ pub fn execute_graph(graph: &PipelineGraph, env: &ExecEnv, variant: &str) -> Res
 
 type Sink<'s> = dyn FnMut(Batch) -> Result<()> + 's;
 
+/// What moves through a fabric-edge channel: raw batches on plain edges,
+/// encoded frames on codec edges.
+enum EdgeMsg {
+    Plain(Batch),
+    Frame(Vec<u8>),
+}
+
 /// A tracer plus the lane the current pipeline records on.
 type Trace<'t> = Option<(&'t Tracer, LaneId)>;
 
@@ -193,6 +263,11 @@ struct Runner<'a, 'b> {
     /// its consumer's lane).
     lanes: Vec<Option<LaneId>>,
     root_lane: Option<LaneId>,
+    /// Per pipeline: true when its tip handoff is charged at its outgoing
+    /// fabric edge (codec edges) instead of inside the operator chain.
+    tip_handled: Vec<bool>,
+    /// Per edge: the codec decision, made on the edge's first batch.
+    decisions: Vec<Mutex<Option<CodecDecision>>>,
 }
 
 impl<'a, 'b> Runner<'a, 'b> {
@@ -212,12 +287,24 @@ impl<'a, 'b> Runner<'a, 'b> {
                 }
             }
         }
+        // A pipeline's tip charge moves to its outgoing fabric edge when
+        // that edge carries (or may carry, under Auto) a codec; plain
+        // edges under the default policy keep the pre-codec charge path.
+        let auto = env.codec == CodecPolicy::Auto;
+        let mut tip_handled = vec![false; graph.pipelines.len()];
+        for edge in &graph.edges {
+            if edge.crosses_devices() && (auto || !edge.encoding.is_plain()) {
+                tip_handled[edge.from] = true;
+            }
+        }
         Runner {
             graph,
             env,
             accounts: graph.pipelines.iter().map(|_| Mutex::default()).collect(),
             lanes,
             root_lane,
+            tip_handled,
+            decisions: graph.edges.iter().map(|_| Mutex::default()).collect(),
         }
     }
 
@@ -236,28 +323,182 @@ impl<'a, 'b> Runner<'a, 'b> {
             ledger.merge(&account.ledger);
             scan_stats.extend(account.scan_stats);
         }
+        let codec_decisions = self
+            .decisions
+            .into_iter()
+            .filter_map(|slot| slot.into_inner().expect("decision lock poisoned"))
+            .collect();
         ExecOutcome {
             batches,
             ledger,
             scan_stats,
+            codec_decisions,
         }
     }
 
-    /// Charge a batch handed from `from` toward `to` — the single ledger
-    /// and wire-encoding site. Cross-device moves are charged at the
-    /// encoded frame size when the environment carries wire options (what
-    /// a NIC would actually put on the link).
+    /// Charge a batch handed from `from` toward `to` at its plain-move
+    /// size. Cross-device moves are charged at the wire-encoded size when
+    /// the environment carries wire options (what a NIC would actually
+    /// put on the link).
     fn charge(&self, pid: usize, from: Option<DeviceId>, to: Option<DeviceId>, batch: &Batch) {
+        self.charge_bytes(
+            pid,
+            from,
+            to,
+            self.plain_move_bytes(from, to, batch),
+            batch.rows() as u64,
+        );
+    }
+
+    /// Like [`Runner::charge`] but skips the producer-tip handoff of
+    /// pipelines whose outgoing edge charges at the edge itself.
+    fn charge_handoff(
+        &self,
+        pid: usize,
+        from: Option<DeviceId>,
+        to: Option<DeviceId>,
+        batch: &Batch,
+        is_tip: bool,
+    ) {
+        if is_tip && self.tip_handled[pid] {
+            return;
+        }
+        self.charge(pid, from, to, batch);
+    }
+
+    /// Ledger bytes a plain (non-codec) move of `batch` costs.
+    fn plain_move_bytes(&self, from: Option<DeviceId>, to: Option<DeviceId>, batch: &Batch) -> u64 {
         let crosses = matches!((from, to), (Some(f), Some(t)) if f != t);
-        let bytes = match (&self.env.wire, crosses) {
+        match (&self.env.wire, crosses) {
             (Some(opts), true) => df_codec::wire::wire_size(batch, opts) as u64,
             _ => batch.byte_size() as u64,
-        };
+        }
+    }
+
+    /// The single ledger-charge site: every byte the execution accounts
+    /// flows through here exactly once.
+    fn charge_bytes(
+        &self,
+        pid: usize,
+        from: Option<DeviceId>,
+        to: Option<DeviceId>,
+        bytes: u64,
+        rows: u64,
+    ) {
         self.accounts[pid]
             .lock()
             .expect("account lock poisoned")
             .ledger
-            .charge(from, to, bytes, batch.rows() as u64);
+            .charge(from, to, bytes, rows);
+    }
+
+    /// Turn one producer-tip batch into the message its fabric edge
+    /// carries, charging the ledger what actually crosses: raw bytes for
+    /// plain decisions, the encoded frame size for codec decisions. The
+    /// single edge-encode site.
+    fn edge_message(&self, eid: usize, batch: Batch) -> EdgeMsg {
+        let edge = &self.graph.edges[eid];
+        let encoding = self.edge_encoding(eid, &batch);
+        if encoding.is_plain() {
+            self.charge(edge.from, edge.from_device, edge.to_device, &batch);
+            return EdgeMsg::Plain(batch);
+        }
+        let frame = edge_codec::encode(&batch, encoding);
+        self.charge_bytes(
+            edge.from,
+            edge.from_device,
+            edge.to_device,
+            frame.len() as u64,
+            batch.rows() as u64,
+        );
+        EdgeMsg::Frame(frame)
+    }
+
+    /// The encoding `eid` uses, deciding it on the edge's first batch and
+    /// memoizing the decision for every later batch.
+    fn edge_encoding(&self, eid: usize, batch: &Batch) -> EdgeEncoding {
+        let mut slot = self.decisions[eid].lock().expect("decision lock poisoned");
+        if let Some(d) = slot.as_ref() {
+            return d.encoding;
+        }
+        let d = self.decide(eid, batch);
+        let encoding = d.encoding;
+        *slot = Some(d);
+        encoding
+    }
+
+    /// Decide the edge's encoding from its first batch: honor a compiled
+    /// encoding, otherwise run the Auto cost model.
+    fn decide(&self, eid: usize, batch: &Batch) -> CodecDecision {
+        let edge = &self.graph.edges[eid];
+        let plain_bytes = self.plain_move_bytes(edge.from_device, edge.to_device, batch);
+        if !edge.encoding.is_plain() {
+            let encoded_bytes = edge_codec::encoded_size(batch, edge.encoding) as u64;
+            return CodecDecision {
+                edge: eid,
+                encoding: edge.encoding,
+                auto: false,
+                plain_bytes,
+                encoded_bytes,
+            };
+        }
+        let (encoding, encoded_bytes) = self.auto_select(edge, batch, plain_bytes);
+        CodecDecision {
+            edge: eid,
+            encoding,
+            auto: true,
+            plain_bytes,
+            encoded_bytes,
+        }
+    }
+
+    /// The Auto cost model: a candidate wins over a plain move when
+    /// `plain/compress_rate + encoded/link_bw + encoded/decompress_rate`
+    /// beats `plain/link_bw` on the sampled batch. Falls back to plain
+    /// when the endpoint devices cannot run the codec stages or the
+    /// topology gives no cost basis.
+    fn auto_select(
+        &self,
+        edge: &PipelineEdge,
+        batch: &Batch,
+        plain_bytes: u64,
+    ) -> (EdgeEncoding, u64) {
+        let rates = (|| {
+            let topo = self.env.topology?;
+            let from = edge.from_device?;
+            let to = edge.to_device?;
+            let compress = topo.device(from).profile.rate(OpClass::Compress)?;
+            let decompress = topo.device(to).profile.rate(OpClass::Decompress)?;
+            let route = match &edge.kind {
+                EdgeKind::Fabric { route: Some(r) } => r.clone(),
+                _ => topo.route(from, to)?,
+            };
+            let link = topo.route_bandwidth(&route)?;
+            Some((
+                compress.as_bytes_per_sec(),
+                decompress.as_bytes_per_sec(),
+                link.as_bytes_per_sec(),
+            ))
+        })();
+        let Some((compress, decompress, link)) = rates else {
+            return (EdgeEncoding::Plain, plain_bytes);
+        };
+        let mut best = (EdgeEncoding::Plain, plain_bytes);
+        let mut best_cost = plain_bytes as f64 / link;
+        for encoding in [
+            EdgeEncoding::Columnar,
+            EdgeEncoding::Lz,
+            EdgeEncoding::ColumnarLz,
+        ] {
+            let encoded = edge_codec::encoded_size(batch, encoding) as u64;
+            let cost =
+                plain_bytes as f64 / compress + encoded as f64 / link + encoded as f64 / decompress;
+            if cost < best_cost {
+                best = (encoding, encoded);
+                best_cost = cost;
+            }
+        }
+        best
     }
 
     /// Run one pipeline to completion: open its operator spans, drain any
@@ -309,7 +550,7 @@ impl<'a, 'b> Runner<'a, 'b> {
                     if let Some(gate) = &self.env.gate {
                         gate.acquire(pid)?;
                     }
-                    self.charge(pid, *device, first_target, batch);
+                    self.charge_handoff(pid, *device, first_target, batch, specs.is_empty());
                     self.feed(pid, &mut ops, specs, parent_dev, trace, batch.clone(), sink)?;
                 }
             }
@@ -327,7 +568,7 @@ impl<'a, 'b> Runner<'a, 'b> {
                         if let Some(gate) = &self.env.gate {
                             gate.acquire(pid)?;
                         }
-                        self.charge(pid, device, first_target, &batch);
+                        self.charge_handoff(pid, device, first_target, &batch, specs.is_empty());
                         self.feed(
                             pid,
                             ops.as_mut_slice(),
@@ -369,7 +610,7 @@ impl<'a, 'b> Runner<'a, 'b> {
             let (head, rest) = ops.split_at_mut(i + 1);
             let target = specs.get(i + 1).map_or(parent_dev, |s| s.device);
             for out in head[i].finish()? {
-                self.charge(pid, specs[i].device, target, &out);
+                self.charge_handoff(pid, specs[i].device, target, &out, i + 1 == specs.len());
                 self.feed(pid, rest, &specs[i + 1..], parent_dev, trace, out, sink)?;
             }
             spans.pop();
@@ -412,7 +653,7 @@ impl<'a, 'b> Runner<'a, 'b> {
         let mut out_rows = 0u64;
         for out in op.push(batch)? {
             out_rows += out.rows() as u64;
-            self.charge(pid, spec.device, target, &out);
+            self.charge_handoff(pid, spec.device, target, &out, rest_specs.is_empty());
             self.feed(pid, rest, rest_specs, parent_dev, trace, out, sink)?;
         }
         if let Some(span) = morsel.as_mut() {
@@ -441,7 +682,8 @@ impl<'a, 'b> Runner<'a, 'b> {
                 let credits = edge.queue_capacity.max(1);
                 let from = edge.from;
                 let to_device = edge.to_device;
-                let (tx, rx) = sync_channel::<Batch>(credits);
+                let handled = self.tip_handled[from];
+                let (tx, rx) = sync_channel::<EdgeMsg>(credits);
                 let producer = scope.spawn(move || -> Result<()> {
                     let trace = self.trace(self.lanes[from]);
                     let mut chunks = 0u64;
@@ -450,14 +692,21 @@ impl<'a, 'b> Runner<'a, 'b> {
                     let mut edge_span =
                         open_span(trace, "fabric-edge", &[("credits", credits as u64)]);
                     let result = self.run_pipeline(scope, from, trace, to_device, &mut |batch| {
-                        match tx.try_send(batch) {
+                        // On codec edges the tip charge was suppressed in
+                        // the chain; encode and charge here instead.
+                        let msg = if handled {
+                            self.edge_message(eid, batch)
+                        } else {
+                            EdgeMsg::Plain(batch)
+                        };
+                        match tx.try_send(msg) {
                             Ok(()) => {}
-                            Err(TrySendError::Full(batch)) => {
+                            Err(TrySendError::Full(msg)) => {
                                 // Out of credits: block until the
                                 // consumer frees a slot (§7.1).
                                 credit_waits += 1;
                                 let _wait = open_span(trace, "credit-wait", &[]);
-                                if tx.send(batch).is_err() {
+                                if tx.send(msg).is_err() {
                                     hung_up = true;
                                     return Err(hangup());
                                 }
@@ -484,7 +733,17 @@ impl<'a, 'b> Runner<'a, 'b> {
                     }
                 });
                 let mut consumer_err: Option<EngineError> = None;
-                for batch in rx.iter() {
+                for msg in rx.iter() {
+                    let batch = match msg {
+                        EdgeMsg::Plain(batch) => batch,
+                        EdgeMsg::Frame(frame) => match edge_codec::decode(&frame) {
+                            Ok(batch) => batch,
+                            Err(e) => {
+                                consumer_err = Some(EngineError::Codec(e));
+                                break;
+                            }
+                        },
+                    };
                     if let Err(e) = sink(batch) {
                         consumer_err = Some(e);
                         break;
@@ -740,6 +999,7 @@ mod tests {
             wire: None,
             tracer: None,
             gate: None,
+            codec: CodecPolicy::AsCompiled,
         };
         let out = execute(&plan, &env).unwrap();
         let merged = out.collect().unwrap();
@@ -797,6 +1057,7 @@ mod tests {
             wire: None,
             tracer: None,
             gate: None,
+            codec: CodecPolicy::AsCompiled,
         };
         let out = execute(&plan, &env).unwrap();
         let merged = out.collect().unwrap();
@@ -895,6 +1156,7 @@ mod tests {
             wire: None,
             tracer: Some(tracer.clone()),
             gate: None,
+            codec: CodecPolicy::AsCompiled,
         };
         let placed = execute(&mk(Some((nic, cpu))), &env).unwrap();
         assert_eq!(
@@ -906,6 +1168,130 @@ mod tests {
         let json = tracer.chrome_trace_json();
         assert!(json.contains("fabric-edge"));
         assert!(tracer.lane_names().iter().any(|l| l == "exec.push.p0"));
+    }
+
+    /// Filter placed on `from` feeding an aggregate placed on `to`: one
+    /// fabric edge between them.
+    fn placed_filter_agg(topo: &Topology, from: &str, to: &str, rows: usize) -> PhysicalPlan {
+        let nic = topo.expect_device(from);
+        let cpu = topo.expect_device(to);
+        let logical = LogicalPlan::values(vec![sample(rows)])
+            .unwrap()
+            .aggregate(vec!["grp".into()], vec![AggCall::count_star("n")])
+            .unwrap();
+        PhysicalPlan::new(
+            PhysNode::Aggregate {
+                input: Box::new(PhysNode::Filter {
+                    input: Box::new(values_node(rows)),
+                    predicate: col("qty").lt(lit(8)),
+                    device: Some(nic),
+                    use_kernel: false,
+                }),
+                group_by: vec!["grp".into()],
+                aggs: vec![AggCall::count_star("n")],
+                mode: AggMode::Final,
+                final_schema: logical.schema(),
+                device: Some(cpu),
+            },
+            "placed",
+        )
+    }
+
+    #[test]
+    fn compiled_codec_edge_matches_plain_with_smaller_ledger() {
+        let topo = df_fabric::Topology::disaggregated(&DisaggregatedConfig::default());
+        let plan = placed_filter_agg(&topo, "compute0.nic", "compute0.cpu", 2000);
+        let env = ExecEnv {
+            storage: None,
+            topology: Some(&topo),
+            wire: None,
+            tracer: None,
+            gate: None,
+            codec: CodecPolicy::AsCompiled,
+        };
+        let mut graph = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        let plain = execute_graph(&graph, &env, "plain").unwrap();
+        assert!(plain.codec_decisions.is_empty());
+
+        let eid = graph
+            .edges
+            .iter()
+            .position(PipelineEdge::crosses_devices)
+            .expect("one fabric edge");
+        graph.set_edge_encoding(eid, df_codec::edge::EdgeEncoding::Columnar, 0.5);
+        let coded = execute_graph(&graph, &env, "columnar").unwrap();
+
+        assert_eq!(
+            coded.collect().unwrap().canonical_rows(),
+            plain.collect().unwrap().canonical_rows()
+        );
+        // The ledger accounts encoded frames, which beat raw batches on
+        // this low-cardinality workload.
+        assert!(coded.ledger.cross_device_bytes() < plain.ledger.cross_device_bytes());
+        assert_eq!(coded.codec_decisions.len(), 1);
+        let d = &coded.codec_decisions[0];
+        assert_eq!(d.edge, eid);
+        assert_eq!(d.encoding, df_codec::edge::EdgeEncoding::Columnar);
+        assert!(!d.auto);
+        assert!(d.encoded_bytes < d.plain_bytes);
+    }
+
+    #[test]
+    fn auto_policy_cost_selects_codec_on_fabric_edge() {
+        // The edge crosses the (slow) network: smart-nic tip, compute
+        // consumer, 25 GbE bottleneck — where compression pays.
+        let topo = df_fabric::Topology::disaggregated(&DisaggregatedConfig {
+            network: df_fabric::link::LinkTech::Ethernet { gbits: 25 },
+            ..DisaggregatedConfig::default()
+        });
+        let plan = placed_filter_agg(&topo, "storage.nic", "compute0.cpu", 2000);
+        let plain = execute(&plan, &ExecEnv::in_memory()).unwrap();
+        let env = ExecEnv {
+            storage: None,
+            topology: Some(&topo),
+            wire: None,
+            tracer: None,
+            gate: None,
+            codec: CodecPolicy::Auto,
+        };
+        let auto = execute(&plan, &env).unwrap();
+        assert_eq!(
+            auto.collect().unwrap().canonical_rows(),
+            plain.collect().unwrap().canonical_rows()
+        );
+        assert_eq!(auto.codec_decisions.len(), 1);
+        let d = &auto.codec_decisions[0];
+        assert!(d.auto);
+        // nic -> cpu over a fast codec pair and a finite link: columnar
+        // compression wins on this workload, and the ledger shrinks.
+        assert!(!d.encoding.is_plain());
+        assert!(auto.ledger.cross_device_bytes() < plain.ledger.cross_device_bytes());
+        assert!(d.ratio() < 1.0);
+    }
+
+    #[test]
+    fn auto_policy_without_topology_falls_back_to_plain() {
+        // Devices are placed but the env carries no topology: the cost
+        // model has no basis, so every edge stays plain and the ledger
+        // matches the as-compiled run byte for byte.
+        let topo = df_fabric::Topology::disaggregated(&DisaggregatedConfig::default());
+        let plan = placed_filter_agg(&topo, "compute0.nic", "compute0.cpu", 1000);
+        let plain = execute(&plan, &ExecEnv::in_memory()).unwrap();
+        let env = ExecEnv {
+            codec: CodecPolicy::Auto,
+            ..ExecEnv::in_memory()
+        };
+        let auto = execute(&plan, &env).unwrap();
+        assert_eq!(auto.codec_decisions.len(), 1);
+        assert!(auto.codec_decisions[0].encoding.is_plain());
+        assert_eq!(
+            auto.ledger.cross_device_bytes(),
+            plain.ledger.cross_device_bytes()
+        );
+        assert_eq!(
+            auto.collect().unwrap().canonical_rows(),
+            plain.collect().unwrap().canonical_rows()
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod verify;
 
 pub use verify::VerifyError;
 
+use df_codec::edge::EdgeEncoding;
 use df_data::{Batch, SchemaRef};
 use df_fabric::flow::{PipelineSpec, StageSpec};
 use df_fabric::topology::Route;
@@ -384,6 +385,26 @@ pub enum EdgeRole {
     JoinBuild,
 }
 
+/// One half of an edge's codec pair: where the encode (or decode) runs
+/// and the byte ratio the cost model prices it at.
+///
+/// A non-plain [`PipelineEdge::encoding`] is realized as a `Compress`
+/// stage pinned to the producer tip and a `Decompress` stage pinned to
+/// the consumer — the §2.2 "compression as an explicit, offloadable
+/// plan stage". [`PipelineGraph::verify`] rejects unpaired or
+/// illegally-placed stages; [`PipelineGraph::to_flow_specs`] prices them
+/// into the flow simulation (codec cycles at the device's service rate,
+/// downstream link bytes scaled by `ratio`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecStage {
+    /// Device hosting the codec work (None = the session CPU).
+    pub device: Option<DeviceId>,
+    /// [`OpClass::Compress`] or [`OpClass::Decompress`].
+    pub op_class: OpClass,
+    /// Estimated encoded/plain byte ratio of the edge's traffic.
+    pub ratio: f64,
+}
+
 /// A typed handoff between two pipelines.
 #[derive(Debug, Clone)]
 pub struct PipelineEdge {
@@ -403,12 +424,24 @@ pub struct PipelineEdge {
     pub from_device: Option<DeviceId>,
     /// Consumer placement (the op the edge feeds).
     pub to_device: Option<DeviceId>,
+    /// How batches are encoded on the wire. `Plain` (the compile default)
+    /// charges raw batch bytes and needs no codec stages.
+    pub encoding: EdgeEncoding,
+    /// Encode stage at the producer tip (paired with `decompress`).
+    pub compress: Option<CodecStage>,
+    /// Decode stage at the consumer (paired with `compress`).
+    pub decompress: Option<CodecStage>,
 }
 
 impl PipelineEdge {
     /// True when the edge crosses a device boundary.
     pub fn crosses_devices(&self) -> bool {
         matches!(self.kind, EdgeKind::Fabric { .. })
+    }
+
+    /// True when the edge carries a non-plain encoding with its codec pair.
+    pub fn has_codec(&self) -> bool {
+        !self.encoding.is_plain()
     }
 }
 
@@ -545,6 +578,9 @@ impl Compiler<'_> {
             queue_capacity: self.graph.queue_capacity,
             from_device,
             to_device,
+            encoding: EdgeEncoding::Plain,
+            compress: None,
+            decompress: None,
         });
         id
     }
@@ -633,12 +669,20 @@ impl Compiler<'_> {
     /// linear flow mapping used: the source stage's size is the bytes the
     /// scan touches and its selectivity is the estimated output fraction.
     fn annotate_source(&mut self, pid: usize, leaf: &PhysNode) {
-        let source_bytes = node_input_bytes(leaf, self.profiles).max(1.0) as u64;
         let (_, out_bytes) = estimate_node(leaf, self.profiles);
+        // In-memory Values leaves have no scan input; their "source size"
+        // is the materialized batch bytes flowing out (mirrors
+        // `cost::reduction_of`, which pins Values selectivity at 1).
+        let (source_bytes, selectivity) = if matches!(leaf, PhysNode::Values { .. }) {
+            (out_bytes.max(1.0) as u64, 1.0)
+        } else {
+            let input = node_input_bytes(leaf, self.profiles).max(1.0);
+            (input as u64, (out_bytes / input).clamp(0.0, 1.0))
+        };
         let p = &mut self.graph.pipelines[pid];
         p.source_bytes = source_bytes;
         p.source_class = op_class_of(leaf);
-        p.source_selectivity = (out_bytes / source_bytes as f64).clamp(0.0, 1.0);
+        p.source_selectivity = selectivity;
     }
 }
 
@@ -681,6 +725,36 @@ impl PipelineGraph {
             );
         }
         c.graph
+    }
+
+    /// Install `encoding` on edge `edge`, creating (or clearing, for
+    /// [`EdgeEncoding::Plain`]) the paired codec stages. The `Compress`
+    /// stage is pinned to the producer tip's device and the `Decompress`
+    /// stage to the consumer's, so the work happens exactly where the
+    /// bytes leave and arrive; `ratio` is the estimated encoded/plain
+    /// byte ratio the cost model prices the edge at.
+    ///
+    /// The result still has to pass [`PipelineGraph::verify`]: a non-plain
+    /// encoding on a local edge, or a codec device that does not advertise
+    /// the op class, is rejected there with a typed error.
+    pub fn set_edge_encoding(&mut self, edge: usize, encoding: EdgeEncoding, ratio: f64) {
+        let e = &mut self.edges[edge];
+        e.encoding = encoding;
+        if encoding.is_plain() {
+            e.compress = None;
+            e.decompress = None;
+        } else {
+            e.compress = Some(CodecStage {
+                device: e.from_device,
+                op_class: OpClass::Compress,
+                ratio,
+            });
+            e.decompress = Some(CodecStage {
+                device: e.to_device,
+                op_class: OpClass::Decompress,
+                ratio,
+            });
+        }
     }
 
     /// The spine of pipeline `tip`: the chain of pipelines connected by
@@ -746,7 +820,11 @@ impl PipelineGraph {
         )
         .with_queue(self.queue_capacity)];
         for pid in &pids {
-            for op in &self.pipelines[*pid].ops {
+            let p = &self.pipelines[*pid];
+            if let PipelineSource::Edge { edge } = p.source {
+                self.push_codec_stages(&mut stages, &self.edges[edge], default_device);
+            }
+            for op in &p.ops {
                 stages.push(
                     StageSpec::new(
                         op.device.unwrap_or(default_device),
@@ -758,6 +836,7 @@ impl PipelineGraph {
             }
         }
         if let Some(edge) = terminal {
+            self.push_codec_stages(&mut stages, edge, default_device);
             // The join's build stage consumes the spine's output and emits
             // nothing downstream (the hash table stays on-device).
             stages.push(
@@ -770,6 +849,39 @@ impl PipelineGraph {
             );
         }
         PipelineSpec::new(name, stages, leaf.source_bytes)
+    }
+
+    /// Price an edge's codec pair into a flow spec: a `Compress` stage at
+    /// the producer tip whose selectivity is the encoded/plain ratio (so
+    /// every link between the pair carries *encoded* bytes and the device
+    /// pays codec cycles at its `Compress` rate), and a `Decompress` stage
+    /// at the consumer restoring the plain byte stream (selectivity
+    /// `1/ratio`).
+    fn push_codec_stages(
+        &self,
+        stages: &mut Vec<StageSpec>,
+        edge: &PipelineEdge,
+        default_device: DeviceId,
+    ) {
+        let (Some(c), Some(d)) = (&edge.compress, &edge.decompress) else {
+            return;
+        };
+        stages.push(
+            StageSpec::new(
+                c.device.or(edge.from_device).unwrap_or(default_device),
+                OpClass::Compress,
+                c.ratio,
+            )
+            .with_queue(self.queue_capacity),
+        );
+        stages.push(
+            StageSpec::new(
+                d.device.or(edge.to_device).unwrap_or(default_device),
+                OpClass::Decompress,
+                if d.ratio > 0.0 { 1.0 / d.ratio } else { 1.0 },
+            )
+            .with_queue(self.queue_capacity),
+        );
     }
 }
 

@@ -37,7 +37,9 @@ use std::fmt;
 use df_data::{DataType, SchemaRef};
 use df_fabric::{DeviceId, OpClass, Topology};
 
-use super::{EdgeKind, EdgeRole, OperatorSpec, PipelineEdge, PipelineGraph, PipelineSource};
+use super::{
+    CodecStage, EdgeKind, EdgeRole, OperatorSpec, PipelineEdge, PipelineGraph, PipelineSource,
+};
 use crate::expr::Expr;
 
 /// One verification failure. Variants are typed so tests (and the mutation
@@ -147,6 +149,28 @@ pub enum VerifyError {
         /// The edge.
         edge: usize,
     },
+    /// An edge's codec stages do not form a legal Compress/Decompress pair
+    /// (missing half, wrong op class, stage on a plain or local edge,
+    /// un-pinned endpoint, or a non-positive ratio).
+    CodecPairingBroken {
+        /// The edge.
+        edge: usize,
+        /// What is wrong with the pair.
+        detail: String,
+    },
+    /// A codec stage is placed on a device that does not advertise its op
+    /// class (e.g. `Compress` on the near-memory accelerator, which only
+    /// decompresses).
+    IllegalCodecPlacement {
+        /// The edge.
+        edge: usize,
+        /// The placed device.
+        device: DeviceId,
+        /// Device name in the topology.
+        device_name: String,
+        /// The unsupported class.
+        class: OpClass,
+    },
 }
 
 impl VerifyError {
@@ -166,6 +190,8 @@ impl VerifyError {
             VerifyError::DanglingJoinBuild { .. } => "dangling-join-build",
             VerifyError::LedgerSiteMismatch { .. } => "ledger-site-mismatch",
             VerifyError::ZeroCapacity { .. } => "zero-capacity",
+            VerifyError::CodecPairingBroken { .. } => "codec-pairing-broken",
+            VerifyError::IllegalCodecPlacement { .. } => "illegal-codec-placement",
         }
     }
 }
@@ -231,6 +257,18 @@ impl fmt::Display for VerifyError {
             VerifyError::ZeroCapacity { edge } => {
                 write!(f, "edge {edge}: zero credit capacity (channel can never move a chunk)")
             }
+            VerifyError::CodecPairingBroken { edge, detail } => {
+                write!(f, "edge {edge}: codec pairing broken: {detail}")
+            }
+            VerifyError::IllegalCodecPlacement {
+                edge,
+                device,
+                device_name,
+                class,
+            } => write!(
+                f,
+                "edge {edge}: device {device} ('{device_name}') cannot host codec stage {class}"
+            ),
         }
     }
 }
@@ -682,6 +720,7 @@ impl Verifier<'_> {
                 self.push(VerifyError::ZeroCapacity { edge: eid });
             }
             self.check_ledger_site(eid, edge);
+            self.check_codec(eid, edge);
             match &edge.kind {
                 EdgeKind::Local => {
                     if let (Some(f), Some(t)) = (edge.from_device, edge.to_device) {
@@ -759,6 +798,120 @@ impl Verifier<'_> {
                 )));
                 return;
             }
+        }
+    }
+
+    /// Codec discipline: a non-plain encoding needs a Compress/Decompress
+    /// pair pinned to the edge's endpoints, on devices that advertise the
+    /// op classes; a plain edge must carry no codec stages at all. The
+    /// checksum discipline (every edge frame is CRC-protected) is a
+    /// property of the `df_codec::edge` frame format itself, so only the
+    /// stage legality needs verifying here.
+    fn check_codec(&mut self, eid: usize, edge: &PipelineEdge) {
+        if edge.encoding.is_plain() {
+            if edge.compress.is_some() || edge.decompress.is_some() {
+                self.push(VerifyError::CodecPairingBroken {
+                    edge: eid,
+                    detail: "plain edge carries codec stages".into(),
+                });
+            }
+            return;
+        }
+        if !edge.crosses_devices() {
+            self.push(VerifyError::CodecPairingBroken {
+                edge: eid,
+                detail: format!(
+                    "local edge cannot carry '{}' encoding (nothing crosses the fabric)",
+                    edge.encoding
+                ),
+            });
+        }
+        let (Some(c), Some(d)) = (&edge.compress, &edge.decompress) else {
+            self.push(VerifyError::CodecPairingBroken {
+                edge: eid,
+                detail: format!(
+                    "'{}' encoding requires a Compress/Decompress pair (compress {}, decompress {})",
+                    edge.encoding,
+                    if edge.compress.is_some() { "present" } else { "missing" },
+                    if edge.decompress.is_some() { "present" } else { "missing" },
+                ),
+            });
+            return;
+        };
+        if c.op_class != OpClass::Compress {
+            self.push(VerifyError::CodecPairingBroken {
+                edge: eid,
+                detail: format!("encode stage carries class {} (want Compress)", c.op_class),
+            });
+        }
+        if d.op_class != OpClass::Decompress {
+            self.push(VerifyError::CodecPairingBroken {
+                edge: eid,
+                detail: format!(
+                    "decode stage carries class {} (want Decompress)",
+                    d.op_class
+                ),
+            });
+        }
+        if c.device != edge.from_device {
+            self.push(VerifyError::CodecPairingBroken {
+                edge: eid,
+                detail: format!(
+                    "compress stage placed on {:?}, producer tip is {:?} (encode must run where the bytes leave)",
+                    c.device, edge.from_device
+                ),
+            });
+        }
+        if d.device != edge.to_device {
+            self.push(VerifyError::CodecPairingBroken {
+                edge: eid,
+                detail: format!(
+                    "decompress stage placed on {:?}, consumer is {:?} (decode must run where the bytes arrive)",
+                    d.device, edge.to_device
+                ),
+            });
+        }
+        for (what, stage) in [("compress", c), ("decompress", d)] {
+            if !(stage.ratio > 0.0 && stage.ratio.is_finite()) {
+                self.push(VerifyError::CodecPairingBroken {
+                    edge: eid,
+                    detail: format!("{what} stage ratio {} is not positive finite", stage.ratio),
+                });
+            }
+        }
+        if c.ratio != d.ratio {
+            self.push(VerifyError::CodecPairingBroken {
+                edge: eid,
+                detail: format!(
+                    "pair disagrees on ratio: compress {} vs decompress {}",
+                    c.ratio, d.ratio
+                ),
+            });
+        }
+        if let Some(topology) = self.topology {
+            let n_devices = topology.devices().len();
+            let check = |errors: &mut Vec<VerifyError>, stage: &CodecStage| {
+                let Some(dev) = stage.device else { return };
+                if (dev.0 as usize) >= n_devices {
+                    errors.push(VerifyError::Malformed {
+                        detail: format!(
+                            "edge {eid}: codec device {dev} not in topology ({n_devices} devices)"
+                        ),
+                    });
+                    return;
+                }
+                let meta = topology.device(dev);
+                if !meta.profile.supports(stage.op_class) {
+                    errors.push(VerifyError::IllegalCodecPlacement {
+                        edge: eid,
+                        device: dev,
+                        device_name: meta.name.clone(),
+                        class: stage.op_class,
+                    });
+                }
+            };
+            check(&mut self.errors, c);
+            check(&mut self.errors, d);
         }
     }
 
@@ -1043,6 +1196,99 @@ mod tests {
     }
 
     #[test]
+    fn codec_pair_on_fabric_edge_verifies_clean() {
+        let topo = topo();
+        let plan = placed_plan(&topo);
+        let mut g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        let eid = g
+            .edges
+            .iter()
+            .find(|e| e.crosses_devices())
+            .expect("fabric edge")
+            .id;
+        g.set_edge_encoding(eid, df_codec::edge::EdgeEncoding::Columnar, 0.4);
+        g.verify(Some(&topo)).expect("paired codec is legal");
+    }
+
+    #[test]
+    fn unpaired_codec_stage_is_flagged() {
+        let topo = topo();
+        let plan = placed_plan(&topo);
+        let mut g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        let eid = g
+            .edges
+            .iter()
+            .find(|e| e.crosses_devices())
+            .expect("fabric edge")
+            .id;
+        g.set_edge_encoding(eid, df_codec::edge::EdgeEncoding::Lz, 0.5);
+        // Drop the decode half: bytes would arrive encoded with nobody to
+        // restore them.
+        g.edges[eid].decompress = None;
+        let errs = g.verify(Some(&topo)).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, VerifyError::CodecPairingBroken { edge, .. } if *edge == eid)),
+            "errs: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn codec_stages_on_plain_edge_are_flagged() {
+        let topo = topo();
+        let plan = placed_plan(&topo);
+        let mut g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        let eid = g
+            .edges
+            .iter()
+            .find(|e| e.crosses_devices())
+            .expect("fabric edge")
+            .id;
+        g.set_edge_encoding(eid, df_codec::edge::EdgeEncoding::Columnar, 0.4);
+        g.edges[eid].encoding = df_codec::edge::EdgeEncoding::Plain;
+        let errs = g.verify(Some(&topo)).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::CodecPairingBroken { .. })));
+    }
+
+    #[test]
+    fn illegally_placed_codec_stage_is_flagged() {
+        let topo = topo();
+        let plan = placed_plan(&topo);
+        let mut g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        let eid = g
+            .edges
+            .iter()
+            .find(|e| e.crosses_devices())
+            .expect("fabric edge")
+            .id;
+        g.set_edge_encoding(eid, df_codec::edge::EdgeEncoding::Columnar, 0.4);
+        // The near-memory accelerator decompresses but cannot compress:
+        // hosting the encode half there must be rejected.
+        let nma = topo.expect_device("compute0.mem");
+        let from = g.edges[eid].from;
+        // Keep pinning consistent so only the placement violation fires.
+        if let Some(op) = g.pipelines[from].ops.last_mut() {
+            op.device = Some(nma);
+        }
+        g.edges[eid].from_device = Some(nma);
+        let stage = g.edges[eid].compress.as_mut().expect("compress stage");
+        stage.device = Some(nma);
+        let errs = g.verify(Some(&topo)).unwrap_err();
+        assert!(
+            errs.iter().any(|e| matches!(
+                e,
+                VerifyError::IllegalCodecPlacement {
+                    class: OpClass::Compress,
+                    ..
+                }
+            )),
+            "errs: {errs:?}"
+        );
+    }
+
+    #[test]
     fn cyclic_graph_is_flagged() {
         let topo = topo();
         let plan = placed_plan(&topo);
@@ -1059,6 +1305,9 @@ mod tests {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             from_device: None,
             to_device: None,
+            encoding: df_codec::edge::EdgeEncoding::Plain,
+            compress: None,
+            decompress: None,
         });
         let errs = g.verify(Some(&topo)).unwrap_err();
         assert!(errs

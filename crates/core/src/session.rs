@@ -34,7 +34,7 @@ use std::sync::RwLock;
 use crate::error::{EngineError, Result};
 use crate::exec::ledger::MovementLedger;
 use crate::exec::parallel::execute_adaptive;
-use crate::exec::push::{execute, ExecEnv, ExecGate};
+use crate::exec::push::{execute, CodecPolicy, ExecEnv, ExecGate};
 use crate::logical::LogicalPlan;
 use crate::optimizer::{Optimizer, PlanCost, Profiles, RankedPlan, TableProfile};
 use crate::physical::PhysicalPlan;
@@ -185,6 +185,7 @@ impl Session {
             wire: self.wire,
             tracer: self.tracer.clone(),
             gate,
+            codec: CodecPolicy::AsCompiled,
         };
         let outcome = if self.parallelism > 1 {
             match execute_adaptive(plan, &env, self.parallelism) {

@@ -226,6 +226,77 @@ mod tests {
     }
 
     #[test]
+    fn codec_priced_demand_admits_where_plain_queues() {
+        // The same placed plan lowered twice: plain, and with a 0.25-ratio
+        // codec pair on its fabric edge. The codec's Compress stage scales
+        // the crossing's link bytes, so a query that cannot share the link
+        // with a plain copy of itself fits alongside the coded one.
+        use df_codec::edge::EdgeEncoding;
+        use df_core::logical::AggCall;
+        use df_core::ops::AggMode;
+        use df_core::physical::{PhysNode, PhysicalPlan};
+        use df_core::pipeline::{PipelineGraph, DEFAULT_QUEUE_CAPACITY};
+        use df_data::batch::batch_of;
+        use df_data::{Column, DataType, Field, Schema};
+        use df_fabric::topology::DisaggregatedConfig;
+
+        let topo = Arc::new(Topology::disaggregated(&DisaggregatedConfig::default()));
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let batch = batch_of(vec![("v", Column::from_i64((0..20_000i64).collect()))]);
+        let out_schema = Schema::new(vec![Field::nullable("n", DataType::Int64)]).into_ref();
+        let plan = PhysicalPlan::new(
+            PhysNode::Aggregate {
+                input: Box::new(PhysNode::Values {
+                    schema: batch.schema().clone(),
+                    batches: vec![batch],
+                    device: Some(nic),
+                }),
+                group_by: vec![],
+                aggs: vec![AggCall::count_star("n")],
+                mode: AggMode::Final,
+                final_schema: out_schema,
+                device: Some(cpu),
+            },
+            "admission",
+        );
+        let mut graph = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        let plain_specs = graph.to_flow_specs(cpu, "q.plain").unwrap();
+        let eid = graph
+            .edges
+            .iter()
+            .position(|e| e.crosses_devices())
+            .expect("nic -> cpu fabric edge");
+        graph.set_edge_encoding(eid, EdgeEncoding::ColumnarLz, 0.25);
+        let codec_specs = graph.to_flow_specs(cpu, "q.codec").unwrap();
+
+        // Size the window so one plain query fills 2/3 of the bottleneck.
+        let probe = AdmissionController::new(topo.clone());
+        let plain = probe.demand_of(&plain_specs).unwrap();
+        let codec = probe.demand_of(&codec_specs).unwrap();
+        let (&bottleneck, &plain_bytes) =
+            plain.iter().max_by_key(|(_, &b)| b).expect("link demand");
+        assert!(
+            codec[&bottleneck] <= plain_bytes / 2,
+            "codec demand {} must be at most half of plain {}",
+            codec[&bottleneck],
+            plain_bytes
+        );
+        let bw = topo.link(bottleneck).tech.bandwidth().as_bytes_per_sec();
+        let window = SimDuration::from_secs_f64(plain_bytes as f64 * 1.5 / bw);
+
+        // Plain cannot share the link with itself...
+        let mut ac = AdmissionController::with_window(topo.clone(), window, 4);
+        assert!(matches!(ac.offer(plain.clone()), Verdict::Admitted(_)));
+        assert!(matches!(ac.offer(plain.clone()), Verdict::Queued(_)));
+
+        // ...but the codec-priced copy fits alongside it.
+        let mut ac = AdmissionController::with_window(topo.clone(), window, 4);
+        assert!(matches!(ac.offer(plain.clone()), Verdict::Admitted(_)));
+        assert!(matches!(ac.offer(codec.clone()), Verdict::Admitted(_)));
+    }
+
+    #[test]
     fn saturation_queues_then_release_admits_fifo() {
         let (mut ac, devices) = controller();
         // Each query takes more than half a link's window capacity, so only

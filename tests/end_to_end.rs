@@ -2,7 +2,7 @@
 //! every plan variant, both executors, and the parallel driver agreeing.
 
 use rheo::bench::workload;
-use rheo::core::exec::push::{execute, ExecEnv};
+use rheo::core::exec::push::{execute, CodecPolicy, ExecEnv};
 use rheo::core::exec::volcano;
 use rheo::core::session::Session;
 use rheo::data::Scalar;
@@ -82,6 +82,7 @@ fn volcano_agrees_with_push_on_storage_plans() {
                 wire: None,
                 tracer: None,
                 gate: None,
+                codec: CodecPolicy::AsCompiled,
             },
         )
         .expect("push runs");

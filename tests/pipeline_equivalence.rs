@@ -11,7 +11,7 @@
 
 use rheo::check::{check, Gen};
 use rheo::core::exec::parallel::execute_parallel;
-use rheo::core::exec::push::{execute, ExecEnv};
+use rheo::core::exec::push::{execute, CodecPolicy, ExecEnv};
 use rheo::core::exec::MovementLedger;
 use rheo::core::expr::{col, lit};
 use rheo::core::logical::{AggCall, AggFn, JoinType};
@@ -391,6 +391,7 @@ fn graph_push_matches_seed_semantics_on_random_plans() {
             wire: None,
             tracer: None,
             gate: None,
+            codec: CodecPolicy::AsCompiled,
         };
         let got = execute(&plan, &env).expect("graph-driven execution");
         let (batches, ledger, stats) = oracle(&plan, None);
@@ -432,6 +433,7 @@ fn graph_parallel_matches_push_rows_on_supported_shapes() {
                 wire: None,
                 tracer: None,
                 gate: None,
+                codec: CodecPolicy::AsCompiled,
             };
             let sequential = execute(&plan, &env).expect("push execution");
             let threads = gen.usize_in(1, 4);
@@ -518,6 +520,7 @@ fn graph_push_matches_seed_semantics_with_storage_scans() {
         wire: None,
         tracer: None,
         gate: None,
+        codec: CodecPolicy::AsCompiled,
     };
     let got = execute(&plan, &env).expect("graph-driven execution");
     let (batches, ledger, stats) = oracle(&plan, Some(&storage));

@@ -183,7 +183,7 @@ fn arbitrary_span_guard_nesting_is_well_formed() {
 /// — executor spans cannot perturb the sim-lane golden traces.
 #[test]
 fn fabric_edge_spans_stay_out_of_sim_lanes() {
-    use rheo::core::exec::push::{execute, ExecEnv};
+    use rheo::core::exec::push::{execute, CodecPolicy, ExecEnv};
     use rheo::core::logical::AggCall;
     use rheo::core::ops::AggMode;
     use rheo::core::physical::{PhysNode, PhysicalPlan};
@@ -233,6 +233,7 @@ fn fabric_edge_spans_stay_out_of_sim_lanes() {
                 wire: None,
                 tracer: Some(tracer.clone()),
                 gate: None,
+                codec: CodecPolicy::AsCompiled,
             };
             execute(&PhysicalPlan::new(agg, "traced"), &env).expect("traced execution");
         }

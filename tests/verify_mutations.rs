@@ -320,6 +320,61 @@ fn mutation_zero_capacity_is_rejected_by_verify_and_deadlock() {
 }
 
 #[test]
+fn mutation_broken_codec_pair_is_rejected() {
+    use rheo::codec::edge::EdgeEncoding;
+    use rheo::fabric::OpClass;
+    let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+    let gens = MutGen::new(&topo);
+    check("verify-mut-broken-codec-pair", 32, |gen: &mut Gen| {
+        let mut g = gens.compile(gen, &topo, None);
+        // Fabric edges whose endpoints can legally host the codec pair.
+        let eligible: Vec<usize> = g
+            .edges
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EdgeKind::Fabric { .. })
+                    && e.from_device
+                        .is_some_and(|d| topo.device(d).profile.supports(OpClass::Compress))
+                    && e.to_device
+                        .is_some_and(|d| topo.device(d).profile.supports(OpClass::Decompress))
+            })
+            .map(|e| e.id)
+            .collect();
+        if eligible.is_empty() {
+            return; // all-local placement this round; nothing to mutate
+        }
+        let victim = *gen.pick(&eligible);
+        let encoding = *gen.pick(&[
+            EdgeEncoding::Columnar,
+            EdgeEncoding::Lz,
+            EdgeEncoding::ColumnarLz,
+        ]);
+        g.set_edge_encoding(victim, encoding, 0.5);
+        g.verify(Some(&topo))
+            .expect("paired codec stages verify clean");
+        // Break the pair one of three ways; verify must name the edge.
+        match gen.usize_in(0, 2) {
+            0 => g.edges[victim].decompress = None,
+            1 => {
+                let c = g.edges[victim].compress.as_mut().expect("compress stage");
+                c.ratio = 0.25; // no longer equal to the decompress ratio
+            }
+            _ => g.edges[victim].encoding = EdgeEncoding::Plain,
+        }
+        let errs = g
+            .verify(Some(&topo))
+            .expect_err("broken codec pair must fail");
+        assert!(
+            has(
+                &errs,
+                |e| matches!(e, VerifyError::CodecPairingBroken { edge, .. } if *edge == victim)
+            ),
+            "expected CodecPairingBroken for edge {victim}, got {errs:?}"
+        );
+    });
+}
+
+#[test]
 fn mutation_schema_break_at_cut_is_rejected() {
     let topo = Topology::disaggregated(&DisaggregatedConfig::default());
     let gens = MutGen::new(&topo);
