@@ -5,8 +5,8 @@
 use df_bench::microbench::Bench;
 use df_bench::workload;
 use df_codec::wire::WireOptions;
-use df_core::distributed::{distributed_hash_join, DistributedConfig};
 use df_core::logical::LogicalPlan;
+use df_core::scaleout::{exchange_hash_join, ScaleoutConfig};
 use df_net::nic::{NicKernel, NicPipeline};
 use df_storage::predicate::StoragePredicate;
 use df_storage::smart::{AggFunc, PreAggSpec};
@@ -80,13 +80,13 @@ fn main() {
             .schema();
         let mut group = bench.group("fig4_scatter_join");
         for smart in [true, false] {
-            let config = DistributedConfig {
-                nodes: 4,
+            let config = ScaleoutConfig {
+                hosts: 4,
                 smart_exchange: smart,
-                ..DistributedConfig::default()
+                ..ScaleoutConfig::default()
             };
             group.bench(if smart { "smart_nic" } else { "host_cpu" }, || {
-                distributed_hash_join(
+                exchange_hash_join(
                     &orders,
                     &fact,
                     ("o_orderkey", "l_orderkey"),

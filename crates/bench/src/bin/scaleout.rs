@@ -1,0 +1,100 @@
+//! Multi-host scale-out sweep (E16) with machine-readable output.
+//!
+//! ```text
+//! cargo run -p df-bench --release --bin scaleout             # full run
+//! cargo run -p df-bench --release --bin scaleout -- --smoke  # CI smoke
+//! cargo run -p df-bench --release --bin scaleout -- --out BENCH_scaleout.json
+//! ```
+//!
+//! Runs the E16 sweep — scan-heavy and join-heavy workloads over 1–16
+//! simulated hosts, with the exchange tip on the SmartNIC vs the host
+//! CPU — and records per-point makespan, speedup over the 1-host run,
+//! and switch traffic. Every generated graph has already passed
+//! `PipelineGraph::verify` and df-check's deadlock analysis by the time
+//! a point is emitted (the sweep asserts it).
+//!
+//! Results land in `BENCH_scaleout.json` (hand-rolled JSON; the
+//! container has no serde).
+
+use df_bench::experiments::e16_scaleout::{speedup, sweep, HOST_SWEEP};
+use df_bench::experiments::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scaleout.json".to_string());
+    // The sweep floors its row count, so smoke and full only differ in
+    // how far above the floor the full run sits.
+    let scale = if smoke { Scale::quick() } else { Scale::full() };
+
+    let points = sweep(scale);
+    println!(
+        "{:<12} {:>5} {:>5} {:>12} {:>9} {:>14}",
+        "workload", "hosts", "tip", "makespan ms", "speedup", "switch bytes"
+    );
+    for p in &points {
+        println!(
+            "{:<12} {:>5} {:>5} {:>12.3} {:>8.1}x {:>14}",
+            p.workload,
+            p.hosts,
+            p.tip,
+            p.makespan_ns as f64 / 1e6,
+            speedup(&points, p),
+            p.switch_bytes
+        );
+    }
+
+    let max_hosts = *HOST_SWEEP.last().expect("sweep nonempty");
+    let at = |workload: &str, tip: &str| {
+        points
+            .iter()
+            .find(|p| p.workload == workload && p.tip == tip && p.hosts == max_hosts)
+            .expect("sweep point present")
+    };
+    let scan16 = speedup(&points, at("scan-heavy", "nic"));
+    let join16 = speedup(&points, at("join-heavy", "nic"));
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"max_hosts\": {max_hosts},\n"));
+    json.push_str(&format!(
+        "  \"scan_heavy_nic_speedup_at_max\": {scan16:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"join_heavy_nic_speedup_at_max\": {join16:.3},\n"
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"hosts\": {}, \"tip\": \"{}\", \
+             \"makespan_ns\": {}, \"speedup_vs_1_host\": {:.3}, \
+             \"switch_bytes\": {}, \"pipelines\": {}, \"model_states\": {}}}{}\n",
+            p.workload,
+            p.hosts,
+            p.tip,
+            p.makespan_ns,
+            speedup(&points, p),
+            p.switch_bytes,
+            p.pipelines,
+            match p.model_states {
+                Some(s) => s.to_string(),
+                None => "null".to_string(),
+            },
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    assert!(
+        scan16 >= 10.0 && join16 >= 10.0,
+        "NIC-tip plans must scale >=10x from 1 to {max_hosts} hosts \
+         (scan {scan16:.2}x, join {join16:.2}x)"
+    );
+}

@@ -5,14 +5,16 @@
 //! collective communication, and orchestrate distributed query execution
 //! without involvement of the CPU."
 //!
-//! The same join runs across 2/4/8 worker nodes with the exchange on the
-//! NIC (smart) and on the host CPU (baseline). Results are identical; the
-//! table shows the host-touched bytes collapsing to zero on the smart path.
+//! The same join runs across 2/4/8 cluster hosts as a placed Exchange
+//! plan over the pipeline-graph IR, with the producer tips (and so the
+//! partitioning) on the smart NICs (smart) or on the host CPUs
+//! (baseline). Results are identical; the table shows the host-partitioned
+//! bytes collapsing to zero on the smart path.
 
 use std::time::Instant;
 
-use df_core::distributed::{distributed_broadcast_join, distributed_hash_join, DistributedConfig};
 use df_core::logical::LogicalPlan;
+use df_core::scaleout::{exchange_broadcast_join, exchange_hash_join, ScaleoutConfig};
 
 use crate::report::{fmt_util, ExpReport};
 use crate::workload;
@@ -52,27 +54,27 @@ pub fn run(scale: Scale) -> ExpReport {
     let mut reference: Option<Vec<Vec<df_data::Scalar>>> = None;
     for nodes in [2usize, 4, 8] {
         for smart in [true, false] {
-            let config = DistributedConfig {
-                nodes,
+            let config = ScaleoutConfig {
+                hosts: nodes,
                 smart_exchange: smart,
-                ..DistributedConfig::default()
+                ..ScaleoutConfig::default()
             };
             let t = Instant::now();
-            let (result, stats) = distributed_hash_join(
+            let (result, stats) = exchange_hash_join(
                 &orders,
                 &fact,
                 ("o_orderkey", "l_orderkey"),
                 join_schema.clone(),
                 &config,
             )
-            .expect("distributed join");
+            .expect("scale-out join");
             let wall = t.elapsed();
             let rows = result.canonical_rows();
             match &reference {
                 None => reference = Some(rows),
                 Some(r) => assert_eq!(
                     r, &rows,
-                    "distributed join diverged (nodes={nodes}, smart={smart})"
+                    "scale-out join diverged (nodes={nodes}, smart={smart})"
                 ),
             }
             report.row(vec![
@@ -81,7 +83,7 @@ pub fn run(scale: Scale) -> ExpReport {
                 stats.result_rows.to_string(),
                 fmt_util::bytes(stats.host_bytes),
                 fmt_util::bytes(stats.nic_bytes),
-                fmt_util::bytes(stats.cross_node_bytes),
+                fmt_util::bytes(stats.cross_host_bytes),
                 fmt_util::wall(wall),
             ]);
         }
@@ -89,14 +91,14 @@ pub fn run(scale: Scale) -> ExpReport {
 
     // The §4.4 small-table alternative: broadcast the dimension table and
     // never move the fact side.
-    let (broadcast_result, bc) = distributed_broadcast_join(
+    let (broadcast_result, bc) = exchange_broadcast_join(
         &orders,
         &fact,
         ("o_orderkey", "l_orderkey"),
         join_schema.clone(),
-        &DistributedConfig {
-            nodes: 4,
-            ..DistributedConfig::default()
+        &ScaleoutConfig {
+            hosts: 4,
+            ..ScaleoutConfig::default()
         },
     )
     .expect("broadcast join");
@@ -109,26 +111,26 @@ pub fn run(scale: Scale) -> ExpReport {
         "broadcast alternative (4 nodes): replicating the small table moves \
          {} across nodes vs {} for the partitioned exchange — the fact side \
          never travels, the paper's 'joins involving a small table' case",
-        fmt_util::bytes(bc.cross_node_bytes),
+        fmt_util::bytes(bc.cross_host_bytes),
         fmt_util::bytes({
-            let (_, partitioned) = distributed_hash_join(
+            let (_, partitioned) = exchange_hash_join(
                 &orders,
                 &fact,
                 ("o_orderkey", "l_orderkey"),
                 join_schema.clone(),
-                &DistributedConfig {
-                    nodes: 4,
-                    ..DistributedConfig::default()
+                &ScaleoutConfig {
+                    hosts: 4,
+                    ..ScaleoutConfig::default()
                 },
             )
             .expect("partitioned reference");
-            partitioned.cross_node_bytes
+            partitioned.cross_host_bytes
         }),
     ));
     report.observe(
-        "the smart exchange reports zero host-touched bytes at every node \
-         count; the host baseline touches every byte twice (read to \
-         partition, write the partitions)"
+        "the smart exchange reports zero host-partitioned bytes at every \
+         host count; on the baseline every shuffled byte leaves a host \
+         CPU, which partitioned it before the NIC ever saw it"
             .to_string(),
     );
     report.observe(

@@ -17,6 +17,7 @@ pub mod e12_flow_control;
 pub mod e13_scheduling;
 pub mod e14_bufferpool;
 pub mod e15_wire_compression;
+pub mod e16_scaleout;
 
 use crate::report::ExpReport;
 
@@ -76,6 +77,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("E13", e13_scheduling::run),
         ("E14", e14_bufferpool::run),
         ("E15", e15_wire_compression::run),
+        ("E16", e16_scaleout::run),
     ]
 }
 

@@ -5,16 +5,19 @@
 //! ```
 //!
 //! Flags:
-//! - `--workspace`   run the invariant lints over the workspace sources
-//! - `--json PATH`   write the machine-readable report to PATH
-//! - `--root PATH`   workspace root (default: the df-check crate's ../..)
-//! - `--bless`       rewrite the lint allowlists from current findings
-//! - `--demo-broken` verify a deliberately broken plan and show findings
+//! - `--workspace`    run the invariant lints over the workspace sources
+//! - `--json PATH`    write the machine-readable report to PATH
+//! - `--root PATH`    workspace root (default: the df-check crate's ../..)
+//! - `--bless`        rewrite the lint allowlists from current findings
+//! - `--demo-broken`  verify a deliberately broken plan and show findings
+//! - `--demo-cluster` verify + deadlock-analyze generated 2/4/8-host
+//!   exchange graphs (hash-partitioned and broadcast)
 //!
 //! The graph-verification and deadlock passes always run, on built-in
 //! sample graphs covering a fabric-cut spine and a distributed hash
-//! join; `--workspace` adds the source lints. Exit status is non-zero
-//! whenever any pass (other than the demo) produced findings.
+//! join; `--workspace` adds the source lints and `--demo-cluster` adds
+//! the multi-host exchange graphs. Exit status is non-zero whenever any
+//! pass (other than `--demo-broken`) produced findings.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,6 +40,7 @@ struct Args {
     root: PathBuf,
     bless: bool,
     demo_broken: bool,
+    demo_cluster: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         root: default_root,
         bless: false,
         demo_broken: false,
+        demo_cluster: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -62,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--bless" => args.bless = true,
             "--demo-broken" => args.demo_broken = true,
+            "--demo-cluster" => args.demo_cluster = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -133,6 +139,63 @@ fn join_plan(topo: &Topology) -> PhysicalPlan {
         },
         "df-check sample: distributed join",
     )
+}
+
+/// The N-host exchange graphs the scaleout module generates: the
+/// hash-partitioned join (both exchange flavors compile identically up to
+/// placement, so the smart-NIC variant stands in for both) and the
+/// broadcast join. Returns `(name, graph, topology)` triples.
+fn cluster_graphs(hosts: usize) -> Vec<(String, PipelineGraph, Topology)> {
+    use df_core::scaleout::{
+        cluster_broadcast_join_plan, cluster_hash_join_plan, split_round_robin,
+    };
+    use df_fabric::topology::ClusterConfig;
+    let build = batch_of(vec![
+        ("k", Column::from_i64((0..64).collect())),
+        ("v", Column::from_i64((0..64).collect())),
+    ]);
+    let probe = batch_of(vec![
+        ("fk", Column::from_i64((0..256).map(|i| i % 64).collect())),
+        ("amount", Column::from_i64((0..256).collect())),
+    ]);
+    let join_schema = {
+        let mut fields: Vec<Field> = build.schema().fields().to_vec();
+        fields.extend(probe.schema().fields().iter().cloned());
+        Schema::new(fields).into_ref()
+    };
+    let mut out = Vec::new();
+    for smart in [true, false] {
+        let topo = Topology::cluster(hosts as u32, &ClusterConfig::default());
+        let tag = if smart { "nic" } else { "cpu" };
+        let hash = cluster_hash_join_plan(
+            &topo,
+            &split_round_robin(&build, hosts),
+            build.schema().clone(),
+            &split_round_robin(&probe, hosts),
+            probe.schema().clone(),
+            ("k", "fk"),
+            join_schema.clone(),
+            smart,
+        )
+        .expect("hash plan");
+        let g = PipelineGraph::compile(&hash, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        out.push((format!("cluster{hosts}-hash-{tag}"), g, topo));
+
+        let topo = Topology::cluster(hosts as u32, &ClusterConfig::default());
+        let bc = cluster_broadcast_join_plan(
+            &topo,
+            build.clone(),
+            &split_round_robin(&probe, hosts),
+            probe.schema().clone(),
+            ("k", "fk"),
+            join_schema.clone(),
+            smart,
+        )
+        .expect("broadcast plan");
+        let g = PipelineGraph::compile(&bc, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        out.push((format!("cluster{hosts}-broadcast-{tag}"), g, topo));
+    }
+    out
 }
 
 /// Verify + deadlock-analyze one compiled graph, appending findings.
@@ -290,6 +353,23 @@ fn main() -> ExitCode {
             &mut deadlock_findings,
         );
     }
+    // `--demo-cluster`: the generated multi-host exchange graphs go
+    // through the same verify + deadlock pipeline as the samples.
+    if args.demo_cluster {
+        println!("df-check: generated cluster exchange graphs");
+        for hosts in [2usize, 4, 8] {
+            for (name, g, topo) in cluster_graphs(hosts) {
+                check_graph(
+                    &name,
+                    &g,
+                    &topo,
+                    &mut verify_findings,
+                    &mut deadlock_findings,
+                );
+            }
+        }
+    }
+
     sections.push(Section {
         pass: "graph-verify".into(),
         findings: verify_findings,

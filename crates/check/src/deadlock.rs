@@ -3,38 +3,48 @@
 //! The push executor materializes every [`EdgeKind::Fabric`] edge as a
 //! `sync_channel(queue_capacity)` with the producer pipeline on its own
 //! thread, while [`EdgeKind::Local`] edges run the producer inline on the
-//! consumer's thread. This module reconstructs that threading statically:
+//! consumer's thread. Exchange shuffle edges are different in both
+//! directions at once: every exchange *producer* runs on its own thread
+//! regardless of device placement (the first-draining consumer spawns
+//! them), and all producers of one exchange share a *single*
+//! `sync_channel` per consumer part, with the credit budget scaled by the
+//! producer count. This module reconstructs that threading statically:
 //!
 //! 1. **Collapse** local edges with a union-find — pipelines joined by
 //!    local edges share one OS thread, exactly as in the executor.
-//! 2. **Wait graph** — each fabric channel induces the two blocking waits
-//!    of the credit protocol: the producer thread can block sending into
-//!    it (out of credits) and the consumer thread can block receiving
-//!    from it (no data). A deadlock requires a cycle of threads all
-//!    blocked on each other, so a channel graph that is a DAG with all
-//!    capacities ≥ 1 is deadlock-free; a capacity-0 channel or a wait
-//!    cycle is rejected statically.
+//!    Shuffle edges never collapse: their producers are always threads.
+//! 2. **Wait graph** — each channel induces the two blocking waits of the
+//!    credit protocol: the producer thread can block sending into it (out
+//!    of credits) and the consumer thread can block receiving from it (no
+//!    data). A deadlock requires a cycle of threads all blocked on each
+//!    other, so a channel graph that is a DAG with all capacities ≥ 1 is
+//!    deadlock-free; a capacity-0 channel or a wait cycle is rejected
+//!    statically.
 //! 3. **Bounded model check** — for graphs small enough to enumerate
 //!    (≤ [`MODEL_CHECK_MAX_PIPELINES`] pipelines), the credit protocol is
 //!    abstracted to a [`ChannelSystem`] — chunk counts and blocking
 //!    behavior only — and *every* producer/consumer interleaving is
 //!    explored, asserting no reachable state has all threads blocked.
 //!    Join consumers drain their build channels to completion before
-//!    streaming their input (the executor's build-before-probe order),
-//!    and breaker tips consume all input before emitting.
+//!    streaming their input (the executor's build-before-probe order,
+//!    which also covers exchange-fed build sides), breaker tips consume
+//!    all input before emitting, and exchange producers scatter one chunk
+//!    to every part channel per round.
 //!
 //! [`EdgeKind::Fabric`]: df_core::pipeline::EdgeKind::Fabric
 //! [`EdgeKind::Local`]: df_core::pipeline::EdgeKind::Local
 
 use std::fmt;
 
-use df_core::pipeline::{EdgeRole, PipelineEdge, PipelineGraph};
+use df_core::pipeline::{EdgeRole, PipelineEdge, PipelineGraph, PipelineSource};
 
 use crate::model::{ChanOp, ChannelSystem, Verdict};
 
 /// Graphs at or below this many pipelines are exhaustively model-checked
-/// in addition to the static wait-graph analysis.
-pub const MODEL_CHECK_MAX_PIPELINES: usize = 4;
+/// in addition to the static wait-graph analysis. Nine admits the
+/// two-host cluster exchange join (4 producers, 2 build consumers, 2
+/// join fragments, 1 gather root) while keeping the state space tractable.
+pub const MODEL_CHECK_MAX_PIPELINES: usize = 9;
 
 /// Chunks each source emits in the model. Two is enough to exercise both
 /// the empty-channel and the at-capacity blocking condition for the
@@ -159,8 +169,10 @@ fn thread_graph(graph: &PipelineGraph) -> ThreadGraph<'_> {
     let n = graph.pipelines.len();
     let mut dsu = Dsu::new(n);
     for edge in &graph.edges {
-        if !edge.crosses_devices() {
+        if !edge.crosses_devices() && edge.role != EdgeRole::Shuffle {
             // Local edge: producer runs inline on the consumer's thread.
+            // Shuffle edges are excluded even same-device: exchange
+            // producers always run on their own threads.
             dsu.union(edge.from, edge.to);
         }
     }
@@ -179,7 +191,7 @@ fn thread_graph(graph: &PipelineGraph) -> ThreadGraph<'_> {
     let channels = graph
         .edges
         .iter()
-        .filter(|e| e.crosses_devices())
+        .filter(|e| e.crosses_devices() || e.role == EdgeRole::Shuffle)
         .map(|e| (e, thread_of[e.from], thread_of[e.to]))
         .collect();
     ThreadGraph {
@@ -239,24 +251,45 @@ fn find_wait_cycle(
 /// Each thread's script reproduces the executor's blocking structure for
 /// [`MODEL_CHUNKS`] chunks per source:
 ///
-/// - a consumer drains every incoming join-build channel to completion
-///   before touching its streaming input (build-before-probe);
+/// - a consumer drains every incoming join-build channel (fabric or
+///   exchange-fed) to completion before touching its streaming input
+///   (build-before-probe);
 /// - a thread whose tip is a breaker receives its whole input before
 ///   sending anything downstream;
-/// - a streaming thread alternates receive/send per chunk;
+/// - a streaming thread interleaves receives with send rounds;
+/// - an exchange producer's send round scatters one chunk to *every*
+///   part channel (the partition loop), and each (exchange, part) pair
+///   is one shared channel — exactly the executor's `sync_channel` per
+///   consumer part with `queue_capacity × producers` credits;
 /// - sources only send, the root only receives.
 fn to_channel_system(graph: &PipelineGraph, tg: &ThreadGraph<'_>) -> ChannelSystem {
     let mut capacities = Vec::with_capacity(tg.channels.len());
-    // chan index per fabric edge id.
+    // chan index per point-to-point fabric edge id (shuffle edges share
+    // the per-part exchange channels below instead).
     let mut chan_of_edge = vec![usize::MAX; graph.edges.len()];
-    for (i, (edge, _, _)) in tg.channels.iter().enumerate() {
+    for (edge, _, _) in tg.channels.iter() {
+        if edge.role == EdgeRole::Shuffle {
+            continue;
+        }
+        chan_of_edge[edge.id] = capacities.len();
         capacities.push(edge.queue_capacity);
-        chan_of_edge[edge.id] = i;
     }
+    // One channel per (exchange, part), mirroring drain_exchange's credit
+    // budget.
+    let mut chan_of_part: Vec<Vec<usize>> = Vec::with_capacity(graph.exchanges.len());
+    for ex in &graph.exchanges {
+        let mut parts = Vec::with_capacity(ex.parts);
+        for _ in 0..ex.parts {
+            parts.push(capacities.len());
+            capacities.push(graph.queue_capacity.max(1) * ex.producers.len().max(1));
+        }
+        chan_of_part.push(parts);
+    }
+
     let mut scripts: Vec<Vec<ChanOp>> = vec![Vec::new(); tg.threads];
     #[allow(clippy::needless_range_loop)] // `t` also filters tg.channels
     for t in 0..tg.threads {
-        // Incoming channels, split by role; outgoing channel (tree: ≤ 1).
+        // Incoming point-to-point channels, split by role.
         let builds: Vec<usize> = tg
             .channels
             .iter()
@@ -275,11 +308,59 @@ fn to_channel_system(graph: &PipelineGraph, tg: &ThreadGraph<'_>) -> ChannelSyst
         // behave like build channels here.
         let input: Option<usize> = inputs.pop();
         let early_inputs = inputs;
-        let out: Option<usize> = tg
+        // Exchange-fed pipelines on this thread: `(channel, recv count)`.
+        // One feeding a same-thread join-build edge drains inline before
+        // the stream (the executor's build-before-probe order); otherwise
+        // the last one found is the thread's streaming input.
+        let mut streaming_x: Vec<(usize, usize)> = Vec::new();
+        let mut early_x: Vec<(usize, usize)> = Vec::new();
+        for (pid, p) in graph.pipelines.iter().enumerate() {
+            if tg.thread_of[pid] != t {
+                continue;
+            }
+            let PipelineSource::Exchange {
+                exchange, index, ..
+            } = &p.source
+            else {
+                continue;
+            };
+            let ex = &graph.exchanges[*exchange];
+            let chan = chan_of_part[*exchange][*index];
+            let recvs = ex.producers.len() * MODEL_CHUNKS;
+            let build_like = graph
+                .edges
+                .iter()
+                .any(|e| e.from == pid && e.role == EdgeRole::JoinBuild && tg.thread_of[e.to] == t);
+            if build_like {
+                early_x.push((chan, recvs));
+            } else {
+                streaming_x.push((chan, recvs));
+            }
+        }
+        let stream_x = if input.is_none() {
+            streaming_x.pop()
+        } else {
+            None
+        };
+        early_x.extend(streaming_x);
+
+        // Outgoing channels: the point-to-point fabric output (a tree has
+        // at most one) plus every part channel of each exchange this
+        // thread produces into. One send round = one chunk to each.
+        let mut outs: Vec<usize> = tg
             .channels
             .iter()
-            .find(|(_, from, _)| *from == t)
-            .map(|(e, _, _)| chan_of_edge[e.id]);
+            .find(|(e, from, _)| *from == t && e.role != EdgeRole::Shuffle)
+            .map(|(e, _, _)| chan_of_edge[e.id])
+            .into_iter()
+            .collect();
+        for (x, ex) in graph.exchanges.iter().enumerate() {
+            for &ppid in &ex.producers {
+                if tg.thread_of[ppid] == t {
+                    outs.extend(chan_of_part[x].iter().copied());
+                }
+            }
+        }
         // Does any pipeline on this thread end in a breaker? Then the
         // thread's output is only produced after its input is drained.
         let breaker_tip = graph
@@ -292,37 +373,55 @@ fn to_channel_system(graph: &PipelineGraph, tg: &ThreadGraph<'_>) -> ChannelSyst
         let script = &mut scripts[t];
         // Build channels (and nested extra inputs) drain fully first, in
         // edge order.
-        for b in builds.into_iter().chain(early_inputs) {
-            for _ in 0..MODEL_CHUNKS {
-                script.push(ChanOp::Recv(b));
+        for (c, recvs) in builds
+            .into_iter()
+            .chain(early_inputs)
+            .map(|c| (c, MODEL_CHUNKS))
+            .chain(early_x)
+        {
+            for _ in 0..recvs {
+                script.push(ChanOp::Recv(c));
             }
         }
-        match (input, out) {
-            (Some(i), Some(o)) if breaker_tip => {
-                for _ in 0..MODEL_CHUNKS {
+        let stream: Option<(usize, usize)> = input.map(|i| (i, MODEL_CHUNKS)).or(stream_x);
+        match (stream, outs.is_empty()) {
+            (Some((i, recvs)), false) if breaker_tip => {
+                for _ in 0..recvs {
                     script.push(ChanOp::Recv(i));
                 }
                 for _ in 0..MODEL_CHUNKS {
-                    script.push(ChanOp::Send(o));
+                    for &o in &outs {
+                        script.push(ChanOp::Send(o));
+                    }
                 }
             }
-            (Some(i), Some(o)) => {
-                for _ in 0..MODEL_CHUNKS {
+            (Some((i, recvs)), false) => {
+                // Stream: spread the send rounds through the receives so
+                // mid-stream backpressure is modeled.
+                let base = recvs / MODEL_CHUNKS;
+                let rem = recvs % MODEL_CHUNKS;
+                for round in 0..MODEL_CHUNKS {
+                    for _ in 0..base + usize::from(round < rem) {
+                        script.push(ChanOp::Recv(i));
+                    }
+                    for &o in &outs {
+                        script.push(ChanOp::Send(o));
+                    }
+                }
+            }
+            (Some((i, recvs)), true) => {
+                for _ in 0..recvs {
                     script.push(ChanOp::Recv(i));
-                    script.push(ChanOp::Send(o));
                 }
             }
-            (Some(i), None) => {
+            (None, false) => {
                 for _ in 0..MODEL_CHUNKS {
-                    script.push(ChanOp::Recv(i));
+                    for &o in &outs {
+                        script.push(ChanOp::Send(o));
+                    }
                 }
             }
-            (None, Some(o)) => {
-                for _ in 0..MODEL_CHUNKS {
-                    script.push(ChanOp::Send(o));
-                }
-            }
-            (None, None) => {}
+            (None, true) => {}
         }
     }
     ChannelSystem {
@@ -555,6 +654,84 @@ mod tests {
             "{:?}",
             r.findings
         );
+    }
+
+    /// Compile the N-host partitioned exchange join the scaleout module
+    /// runs.
+    fn cluster_join_graph(hosts: usize) -> PipelineGraph {
+        use df_core::scaleout::{cluster_hash_join_plan, split_round_robin};
+        use df_fabric::topology::ClusterConfig;
+        let topo = Topology::cluster(hosts as u32, &ClusterConfig::default());
+        let build = batch_of(vec![
+            ("k", Column::from_i64((0..32).collect())),
+            ("v", Column::from_i64((0..32).collect())),
+        ]);
+        let probe = batch_of(vec![
+            ("fk", Column::from_i64((0..128).map(|i| i % 32).collect())),
+            ("amount", Column::from_i64((0..128).collect())),
+        ]);
+        let join_schema = {
+            let mut fields: Vec<Field> = build.schema().fields().to_vec();
+            fields.extend(probe.schema().fields().iter().cloned());
+            Schema::new(fields).into_ref()
+        };
+        let plan = cluster_hash_join_plan(
+            &topo,
+            &split_round_robin(&build, hosts),
+            build.schema().clone(),
+            &split_round_robin(&probe, hosts),
+            probe.schema().clone(),
+            ("k", "fk"),
+            join_schema,
+            true,
+        )
+        .expect("cluster plan");
+        PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY)
+    }
+
+    #[test]
+    fn cluster_exchange_graphs_are_statically_deadlock_free() {
+        for hosts in [2usize, 4, 8] {
+            let g = cluster_join_graph(hosts);
+            let r = analyze(&g);
+            assert!(r.is_deadlock_free(), "hosts={hosts}: {:?}", r.findings);
+            // 2N producers + N join fragments + the gather root: exchange
+            // producers never collapse onto consumer threads.
+            assert_eq!(r.threads, 3 * hosts + 1, "hosts={hosts}");
+            // N² shuffle edges per hash exchange plus N gather edges.
+            assert_eq!(r.channels, 2 * hosts * hosts + hosts, "hosts={hosts}");
+        }
+    }
+
+    #[test]
+    fn two_host_exchange_graph_is_model_checked_exhaustively() {
+        let g = cluster_join_graph(2);
+        assert!(
+            g.pipelines.len() <= MODEL_CHECK_MAX_PIPELINES,
+            "2-host graph should stay in model scope ({} pipelines)",
+            g.pipelines.len()
+        );
+        let r = analyze(&g);
+        assert!(r.is_deadlock_free(), "{:?}", r.findings);
+        let states = r.model_states.expect("in model scope");
+        assert!(states > 100, "expected a non-trivial state space: {states}");
+    }
+
+    #[test]
+    fn zero_credit_shuffle_edge_is_rejected_statically() {
+        let mut g = cluster_join_graph(2);
+        let eid = g
+            .edges
+            .iter()
+            .find(|e| e.role == EdgeRole::Shuffle)
+            .expect("shuffle edge")
+            .id;
+        g.edges[eid].queue_capacity = 0;
+        let r = analyze(&g);
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, DeadlockFinding::ZeroCapacity { edge } if *edge == eid)));
     }
 
     #[test]

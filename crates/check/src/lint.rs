@@ -606,6 +606,55 @@ mod tests {
         assert!(!has_word("my_unsafe_fn()", "unsafe"));
     }
 
+    /// Mutation test for the ledger single-charge-site invariant: copy
+    /// the real executor into a sandbox workspace (with the real
+    /// allowlists), verify it lints clean, then splice in a second
+    /// `.charge(` call and assert the lint rejects it. This proves the
+    /// allowlist's substring entries pin the *exact* blessed sites rather
+    /// than waving through the whole file.
+    #[test]
+    fn second_ledger_charge_site_is_rejected() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let real =
+            fs::read_to_string(root.join("crates/core/src/exec/push.rs")).expect("read push.rs");
+        let tmp =
+            std::env::temp_dir().join(format!("df-check-charge-mutation-{}", std::process::id()));
+        let src_dir = tmp.join("crates/core/src/exec");
+        fs::create_dir_all(&src_dir).expect("mkdir sandbox src");
+        let allow_dst = tmp.join("crates/check/allowlists");
+        fs::create_dir_all(&allow_dst).expect("mkdir sandbox allowlists");
+        for entry in fs::read_dir(root.join("crates/check/allowlists")).expect("read allowlists") {
+            let entry = entry.expect("allowlist entry");
+            fs::copy(entry.path(), allow_dst.join(entry.file_name())).expect("copy allowlist");
+        }
+
+        // The unmutated executor lints clean in the sandbox.
+        fs::write(src_dir.join("push.rs"), &real).expect("write clean copy");
+        let clean = run(&tmp).expect("lint clean copy");
+        assert!(clean.is_empty(), "clean copy has findings: {clean:?}");
+
+        // Splice a second charge site next to the blessed one. The line
+        // matches the `.charge(` pattern but none of the allowlist
+        // substrings, so it must surface as a finding.
+        let blessed = "self.charge(pid, from, to, batch);";
+        let mutated = real.replacen(
+            blessed,
+            "self.charge(pid, from, to, batch);\n        \
+             self.shadow_ledger.charge(from, to, 1, 1);",
+            1,
+        );
+        assert_ne!(mutated, real, "blessed charge site not found to mutate");
+        fs::write(src_dir.join("push.rs"), mutated).expect("write mutated copy");
+        let findings = run(&tmp).expect("lint mutated copy");
+        assert!(
+            findings.iter().any(|f| f.lint == "ledger-charge-site"
+                && f.file.ends_with("push.rs")
+                && f.snippet.contains("shadow_ledger")),
+            "second charge site not rejected: {findings:?}"
+        );
+        fs::remove_dir_all(&tmp).ok();
+    }
+
     #[test]
     fn workspace_is_clean() {
         // The committed tree must carry zero violations: this is the same

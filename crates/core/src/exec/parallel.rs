@@ -74,6 +74,11 @@ fn extract_shape(graph: &PipelineGraph) -> Option<Shape> {
     if graph.edges.iter().any(|e| e.role == EdgeRole::JoinBuild) {
         return None;
     }
+    // Exchange fragments fan out across hosts; the morsel driver runs a
+    // single spine and cannot honor shuffle-edge accounting.
+    if !graph.exchanges.is_empty() {
+        return None;
+    }
     // Codec edges charge encoded frames at the edge; the morsel driver
     // has no edges, so it cannot honor them.
     if graph.edges.iter().any(|e| !e.encoding.is_plain()) {
@@ -199,7 +204,9 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
             scan_stats.push(stats);
             (batches, schema.clone())
         }
-        PipelineSource::Edge { .. } => unreachable!("spine leaves carry concrete sources"),
+        PipelineSource::Edge { .. } | PipelineSource::Exchange { .. } => {
+            unreachable!("spine leaves carry concrete sources")
+        }
     };
     for b in &source {
         ledger.charge(leaf_device, None, b.byte_size() as u64, b.rows() as u64);

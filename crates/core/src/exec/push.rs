@@ -32,12 +32,12 @@
 //! stage and the storage server's pushed-down pre-aggregation produce this
 //! layout, so partials from any device merge interchangeably.
 
-use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::Scope;
 
 use df_codec::edge::{self as edge_codec, EdgeEncoding};
-use df_data::Batch;
+use df_data::{Batch, HashPartitioner};
 use df_fabric::{DeviceId, OpClass, Topology};
 use df_sim::trace::{LaneId, LaneKind, SpanGuard, Tracer};
 use df_storage::smart::{ScanStats, SmartStorage};
@@ -47,7 +47,7 @@ use crate::exec::ledger::MovementLedger;
 use crate::exec::source;
 use crate::physical::PhysicalPlan;
 use crate::pipeline::{
-    EdgeKind, PipelineEdge, PipelineGraph, PipelineOp, PipelineSource, RuntimeOp,
+    EdgeKind, ExchangeKind, PipelineEdge, PipelineGraph, PipelineOp, PipelineSource, RuntimeOp,
     DEFAULT_QUEUE_CAPACITY,
 };
 
@@ -255,6 +255,31 @@ struct Account {
     scan_stats: Vec<ScanStats>,
 }
 
+/// Channel state of one in-flight exchange, created by the first consumer
+/// fragment to start draining (which also spawns every producer thread).
+/// Later consumers just take their receiver.
+struct ExchangeState {
+    receivers: Vec<Option<Receiver<EdgeMsg>>>,
+}
+
+/// Lock a mutex, tolerating poisoning: a poisoned exchange lock means a
+/// producer thread panicked, and that panic is re-raised at scope join —
+/// the state behind these locks (channel handles, error strings) stays
+/// valid either way.
+fn lock_tolerant<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// How one exchange producer splits a tip batch across consumers.
+enum Splitter {
+    Hash(HashPartitioner),
+    Broadcast(usize),
+    Gather,
+}
+
 struct Runner<'a, 'b> {
     graph: &'b PipelineGraph,
     env: &'b ExecEnv<'a>,
@@ -268,6 +293,13 @@ struct Runner<'a, 'b> {
     tip_handled: Vec<bool>,
     /// Per edge: the codec decision, made on the edge's first batch.
     decisions: Vec<Mutex<Option<CodecDecision>>>,
+    /// Per exchange: lazily created channel state (None until the first
+    /// consumer fragment drains).
+    exchanges: Vec<Mutex<Option<ExchangeState>>>,
+    /// Per exchange: failure messages from producer threads, recorded
+    /// *before* their senders drop so each consumer's end-of-stream
+    /// happens-after the record.
+    exchange_errors: Vec<Mutex<Vec<String>>>,
 }
 
 impl<'a, 'b> Runner<'a, 'b> {
@@ -286,6 +318,16 @@ impl<'a, 'b> Runner<'a, 'b> {
                         Some(t.lane(&format!("exec.push.p{}", edge.from), LaneKind::Wall));
                 }
             }
+            // Exchange producers always run on their own threads, so they
+            // always get their own lane (even when every pair edge is
+            // device-local).
+            for ex in &graph.exchanges {
+                for &ppid in &ex.producers {
+                    if lanes[ppid].is_none() {
+                        lanes[ppid] = Some(t.lane(&format!("exec.push.p{ppid}"), LaneKind::Wall));
+                    }
+                }
+            }
         }
         // A pipeline's tip charge moves to its outgoing fabric edge when
         // that edge carries (or may carry, under Auto) a codec; plain
@@ -297,6 +339,15 @@ impl<'a, 'b> Runner<'a, 'b> {
                 tip_handled[edge.from] = true;
             }
         }
+        // Exchange producers split each tip batch across consumers, so the
+        // whole-batch tip charge inside the chain is always wrong for
+        // them; the per-partition charge happens at each pair edge's
+        // [`Runner::edge_message`] call instead.
+        for ex in &graph.exchanges {
+            for &ppid in &ex.producers {
+                tip_handled[ppid] = true;
+            }
+        }
         Runner {
             graph,
             env,
@@ -305,6 +356,8 @@ impl<'a, 'b> Runner<'a, 'b> {
             root_lane,
             tip_handled,
             decisions: graph.edges.iter().map(|_| Mutex::default()).collect(),
+            exchanges: graph.exchanges.iter().map(|_| Mutex::default()).collect(),
+            exchange_errors: graph.exchanges.iter().map(|_| Mutex::default()).collect(),
         }
     }
 
@@ -599,6 +652,22 @@ impl<'a, 'b> Runner<'a, 'b> {
                     )
                 })?;
             }
+            PipelineSource::Exchange {
+                exchange, index, ..
+            } => {
+                let ops = &mut ops;
+                self.drain_exchange(scope, *exchange, *index, &mut |batch| {
+                    self.feed(
+                        pid,
+                        ops.as_mut_slice(),
+                        specs,
+                        parent_dev,
+                        trace,
+                        batch,
+                        sink,
+                    )
+                })?;
+            }
         }
 
         // Finish cascade, leaf-to-root: each operator flushes through the
@@ -757,6 +826,177 @@ impl<'a, 'b> Runner<'a, 'b> {
                     Some(e) => Err(e),
                     None => produced,
                 }
+            }
+        }
+    }
+
+    /// Drain one consumer fragment's share of an exchange into `sink`.
+    ///
+    /// The first fragment to arrive creates every consumer's channel and
+    /// spawns every producer thread, so all N×M pair streams start at
+    /// once; later fragments just take their receiver. This relies on the
+    /// consumer fragments of a multi-part exchange themselves running
+    /// concurrently (as producer threads of a downstream exchange) —
+    /// which is how the compiler lays out scale-out plans, and what the
+    /// df-check deadlock pass model-checks.
+    fn drain_exchange<'env, 'scope>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        xid: usize,
+        index: usize,
+        sink: &mut Sink,
+    ) -> Result<()> {
+        let ex = &self.graph.exchanges[xid];
+        let rx = {
+            let mut slot = lock_tolerant(&self.exchanges[xid]);
+            let state = match slot.as_mut() {
+                Some(state) => state,
+                None => {
+                    // Credits are per producer per consumer channel, so a
+                    // slow consumer stalls producers only after each has
+                    // banked its usual queue depth toward it (§7.1).
+                    let credits = self.graph.queue_capacity.max(1) * ex.producers.len().max(1);
+                    let mut txs = Vec::with_capacity(ex.parts);
+                    let mut rxs = Vec::with_capacity(ex.parts);
+                    for _ in 0..ex.parts {
+                        let (tx, rx) = sync_channel::<EdgeMsg>(credits);
+                        txs.push(tx);
+                        rxs.push(Some(rx));
+                    }
+                    for producer in 0..ex.producers.len() {
+                        let senders = txs.clone();
+                        scope.spawn(move || {
+                            self.run_exchange_producer(scope, xid, producer, senders)
+                        });
+                    }
+                    slot.insert(ExchangeState { receivers: rxs })
+                }
+            };
+            state.receivers[index].take()
+        };
+        let Some(rx) = rx else {
+            return Err(EngineError::Internal(format!(
+                "exchange {xid} consumer {index} drained twice"
+            )));
+        };
+        let mut consumer_err: Option<EngineError> = None;
+        for msg in rx.iter() {
+            let batch = match msg {
+                EdgeMsg::Plain(batch) => batch,
+                EdgeMsg::Frame(frame) => match edge_codec::decode(&frame) {
+                    Ok(batch) => batch,
+                    Err(e) => {
+                        consumer_err = Some(EngineError::Codec(e));
+                        break;
+                    }
+                },
+            };
+            if let Err(e) = sink(batch) {
+                consumer_err = Some(e);
+                break;
+            }
+        }
+        drop(rx); // producers' next send toward this part observes the hang-up
+        if let Some(e) = consumer_err {
+            return Err(e);
+        }
+        // Clean end-of-stream means every producer dropped its senders,
+        // which happens-after any failure record; surface those here.
+        let errors = lock_tolerant(&self.exchange_errors[xid]);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(EngineError::Internal(format!(
+                "exchange {xid} producer failed: {}",
+                errors.join("; ")
+            )))
+        }
+    }
+
+    /// Body of one exchange-producer thread: run the producer pipeline,
+    /// split every tip batch into per-consumer partitions, and ship each
+    /// non-empty partition over its own pair edge (preserving the single
+    /// charge/encode sites in [`Runner::edge_message`]). A consumer that
+    /// hung up just stops receiving its share — the others keep
+    /// streaming; the producer aborts only once every consumer is gone,
+    /// and then exits clean because the consumers' own errors win.
+    fn run_exchange_producer<'env, 'scope>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        xid: usize,
+        producer: usize,
+        senders: Vec<SyncSender<EdgeMsg>>,
+    ) {
+        let ex = &self.graph.exchanges[xid];
+        let ppid = ex.producers[producer];
+        let trace = self.trace(self.lanes[ppid]);
+        let mut txs: Vec<Option<SyncSender<EdgeMsg>>> = senders.into_iter().map(Some).collect();
+        let splitter = match &ex.kind {
+            ExchangeKind::Hash { keys, seed } => {
+                match HashPartitioner::with_seed(keys.clone(), ex.parts, *seed) {
+                    Ok(p) => Splitter::Hash(p),
+                    Err(e) => {
+                        lock_tolerant(&self.exchange_errors[xid])
+                            .push(EngineError::Data(e).to_string());
+                        return;
+                    }
+                }
+            }
+            ExchangeKind::Broadcast => Splitter::Broadcast(ex.parts),
+            ExchangeKind::Gather => Splitter::Gather,
+        };
+        let mut chunks = 0u64;
+        let mut credit_waits = 0u64;
+        let mut span = open_span(
+            trace,
+            "exchange-producer",
+            &[("exchange", xid as u64), ("parts", ex.parts as u64)],
+        );
+        let result = self.run_pipeline(scope, ppid, trace, None, &mut |batch| {
+            let parts: Vec<(usize, Batch)> = match &splitter {
+                Splitter::Hash(partitioner) => partitioner
+                    .partition(&batch)?
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, part)| part.rows() > 0)
+                    .collect(),
+                Splitter::Broadcast(n) => (0..*n).map(|j| (j, batch.clone())).collect(),
+                Splitter::Gather => vec![(0, batch)],
+            };
+            for (j, part) in parts {
+                let Some(tx) = txs[j].as_ref() else { continue };
+                let msg = self.edge_message(ex.edge(producer, j), part);
+                match tx.try_send(msg) {
+                    Ok(()) => chunks += 1,
+                    Err(TrySendError::Full(msg)) => {
+                        // Out of credits: block until consumer `j` frees a
+                        // slot (§7.1).
+                        credit_waits += 1;
+                        let _wait = open_span(trace, "credit-wait", &[]);
+                        if tx.send(msg).is_ok() {
+                            chunks += 1;
+                        } else {
+                            txs[j] = None;
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => txs[j] = None,
+                }
+            }
+            if txs.iter().all(Option::is_none) {
+                return Err(hangup());
+            }
+            Ok(())
+        });
+        if let Some(span) = span.as_mut() {
+            span.annotate("chunks", chunks);
+            span.annotate("credit_waits", credit_waits);
+        }
+        drop(span);
+        // Record genuine failures before `txs` drops; every-consumer-gone
+        // hang-ups stay silent — the consumers' own errors win.
+        if let Err(e) = result {
+            if !txs.iter().all(Option::is_none) {
+                lock_tolerant(&self.exchange_errors[xid]).push(e.to_string());
             }
         }
     }

@@ -102,6 +102,11 @@ pub fn compile(node: &PhysNode, storage: Option<&SmartStorage>) -> Result<Box<dy
             input: Box::new(SortIter::new(compile(input, storage)?, keys.clone())),
             left: *k,
         }),
+        PhysNode::Exchange { .. } => {
+            return Err(EngineError::Plan(
+                "volcano baseline does not execute exchange fragments".into(),
+            ));
+        }
     })
 }
 
@@ -133,6 +138,7 @@ pub fn execute_traced(
                 PhysNode::Limit { .. } => "op:limit",
                 PhysNode::TopK { .. } => "op:topk",
                 PhysNode::HashJoin { .. } => "op:hash-join",
+                PhysNode::Exchange { .. } => "op:exchange",
             };
             t.instant(lane, label);
             for child in node.children() {

@@ -28,14 +28,14 @@
 //!   estimation, and the movement-aware cost model that enumerates
 //!   placement alternatives and ranks plan variants (§7.3 requires several
 //!   data-path alternatives per query)
-//! - [`distributed`] — NIC-orchestrated distributed execution (Figure 4)
+//! - [`scaleout`] — N-host distributed execution as placed Exchange plans
+//!   over the pipeline-graph IR (Figure 4)
 //! - [`scheduler`] — interference-aware admission: plan-variant selection
 //!   and DMA rate limiting (§7.3)
 //! - [`sql`] — a SQL frontend for the examples
 //! - [`session`] — the top-level API tying tables, topology, optimizer and
 //!   executor together
 
-pub mod distributed;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -45,6 +45,7 @@ pub mod ops;
 pub mod optimizer;
 pub mod physical;
 pub mod pipeline;
+pub mod scaleout;
 pub mod scheduler;
 pub mod session;
 pub mod sql;

@@ -20,6 +20,7 @@ use crate::expr::Expr;
 use crate::ops::AggMode;
 use crate::optimizer::stats::{avg_row_width, selectivity, Profiles, TableProfile};
 use crate::physical::PhysNode;
+use crate::pipeline::ExchangeKind;
 
 /// Cost of a plan variant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -194,6 +195,29 @@ pub fn estimate_node(node: &PhysNode, profiles: &Profiles) -> (f64, f64) {
             let frac = if rows > 0.0 { capped / rows } else { 1.0 };
             (capped, bytes * frac)
         }
+        PhysNode::Exchange {
+            kind,
+            parts,
+            inputs,
+            schema,
+            ..
+        } => {
+            // One fragment sees its share of the combined producer
+            // output. Fragments that do not carry the producer subtrees
+            // (`inputs` empty) fall back to a one-row floor — graph-level
+            // pricing in `to_flow_specs` resolves the real share.
+            let (in_rows, in_bytes) = inputs.iter().fold((0.0, 0.0), |(r, b), n| {
+                let (nr, nb) = estimate_node(n, profiles);
+                (r + nr, b + nb)
+            });
+            let share = match kind {
+                ExchangeKind::Hash { .. } => 1.0 / (*parts).max(1) as f64,
+                ExchangeKind::Broadcast | ExchangeKind::Gather => 1.0,
+            };
+            let rows = (in_rows * share).max(1.0);
+            let bytes = (in_bytes * share).max(avg_row_width(schema) as f64);
+            (rows, bytes)
+        }
     }
 }
 
@@ -246,6 +270,7 @@ pub fn op_class_of(node: &PhysNode) -> OpClass {
         PhysNode::HashJoin { .. } => OpClass::JoinProbe,
         PhysNode::Sort { .. } | PhysNode::TopK { .. } => OpClass::Sort,
         PhysNode::Limit { .. } => OpClass::Project,
+        PhysNode::Exchange { .. } => OpClass::Partition,
     }
 }
 
@@ -321,6 +346,7 @@ fn children_of(node: &PhysNode) -> Vec<&PhysNode> {
         | PhysNode::TopK { input, .. }
         | PhysNode::Limit { input, .. } => vec![input],
         PhysNode::HashJoin { build, probe, .. } => vec![build, probe],
+        PhysNode::Exchange { inputs, .. } => inputs.iter().collect(),
     }
 }
 

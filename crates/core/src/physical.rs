@@ -12,6 +12,7 @@ use df_storage::smart::ScanRequest;
 use crate::expr::Expr;
 use crate::logical::AggCall;
 use crate::ops::AggMode;
+use crate::pipeline::ExchangeKind;
 
 /// A physical operator tree.
 #[derive(Debug, Clone)]
@@ -117,6 +118,29 @@ pub enum PhysNode {
         /// Placement.
         device: Option<DeviceId>,
     },
+    /// One consumer fragment of a scale-out exchange: rows from every
+    /// producer subtree are redistributed across `parts` consumer
+    /// fragments (hash-partitioned, broadcast, or gathered). All fragments
+    /// of one exchange share a `group`; the producer subtrees are carried
+    /// by the first-compiled fragment (`inputs` empty on the others) and
+    /// compiled exactly once.
+    Exchange {
+        /// Exchange group id; every fragment of one exchange shares it.
+        group: usize,
+        /// How rows are redistributed across consumers.
+        kind: ExchangeKind,
+        /// Which consumer fragment this node is (`0..parts`).
+        index: usize,
+        /// Number of consumer fragments.
+        parts: usize,
+        /// Producer subtrees (populated on exactly one fragment per
+        /// group — conventionally index 0; empty on the others).
+        inputs: Vec<PhysNode>,
+        /// Schema of the redistributed stream (= producer output schema).
+        schema: SchemaRef,
+        /// Consumer-side placement where this fragment's partitions land.
+        device: Option<DeviceId>,
+    },
 }
 
 impl PhysNode {
@@ -126,7 +150,8 @@ impl PhysNode {
             PhysNode::StorageScan { schema, .. }
             | PhysNode::Values { schema, .. }
             | PhysNode::Project { schema, .. }
-            | PhysNode::HashJoin { schema, .. } => schema.clone(),
+            | PhysNode::HashJoin { schema, .. }
+            | PhysNode::Exchange { schema, .. } => schema.clone(),
             PhysNode::Filter { input, .. }
             | PhysNode::Sort { input, .. }
             | PhysNode::TopK { input, .. }
@@ -160,6 +185,7 @@ impl PhysNode {
             | PhysNode::TopK { input, .. }
             | PhysNode::Limit { input, .. } => vec![input],
             PhysNode::HashJoin { build, probe, .. } => vec![build, probe],
+            PhysNode::Exchange { inputs, .. } => inputs.iter().collect(),
         }
     }
 
@@ -173,7 +199,8 @@ impl PhysNode {
             | PhysNode::Aggregate { device, .. }
             | PhysNode::HashJoin { device, .. }
             | PhysNode::TopK { device, .. }
-            | PhysNode::Sort { device, .. } => *device,
+            | PhysNode::Sort { device, .. }
+            | PhysNode::Exchange { device, .. } => *device,
             PhysNode::Limit { input, .. } => input.device(),
         }
     }
@@ -327,6 +354,28 @@ impl PhysNode {
                     Self::dev_str(device)
                 ));
                 input.explain_into(out, depth + 1);
+            }
+            PhysNode::Exchange {
+                group,
+                kind,
+                index,
+                parts,
+                inputs,
+                device,
+                ..
+            } => {
+                let how = match kind {
+                    ExchangeKind::Hash { keys, .. } => format!("hash[{}]", keys.join(",")),
+                    ExchangeKind::Broadcast => "broadcast".into(),
+                    ExchangeKind::Gather => "gather".into(),
+                };
+                out.push_str(&format!(
+                    "{pad}Exchange#{group}[{how}] {index}/{parts}{}\n",
+                    Self::dev_str(device)
+                ));
+                for input in inputs {
+                    input.explain_into(out, depth + 1);
+                }
             }
         }
     }

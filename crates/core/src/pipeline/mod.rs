@@ -306,6 +306,19 @@ pub enum PipelineSource {
         /// Index into [`PipelineGraph::edges`].
         edge: usize,
     },
+    /// One consumer fragment of a scale-out [`Exchange`]: the merged
+    /// partition-`index` streams of every producer pipeline, arriving
+    /// over the exchange's [`EdgeRole::Shuffle`] edges.
+    Exchange {
+        /// Index into [`PipelineGraph::exchanges`].
+        exchange: usize,
+        /// Which consumer fragment this pipeline is (`0..parts`).
+        index: usize,
+        /// Schema of the redistributed stream.
+        schema: SchemaRef,
+        /// Placement where this fragment's partitions land.
+        device: Option<DeviceId>,
+    },
 }
 
 impl PipelineSource {
@@ -313,7 +326,9 @@ impl PipelineSource {
     /// pipeline's tip carries the placement).
     pub fn device(&self) -> Option<DeviceId> {
         match self {
-            PipelineSource::Scan { device, .. } | PipelineSource::Values { device, .. } => *device,
+            PipelineSource::Scan { device, .. }
+            | PipelineSource::Values { device, .. }
+            | PipelineSource::Exchange { device, .. } => *device,
             PipelineSource::Edge { .. } => None,
         }
     }
@@ -383,6 +398,71 @@ pub enum EdgeRole {
     Input,
     /// Build side of a hash join in the consumer pipeline.
     JoinBuild,
+    /// One producer→consumer pair of an [`Exchange`]: carries the
+    /// consumer's partition of that producer's output.
+    Shuffle,
+}
+
+/// How an [`Exchange`] redistributes rows across its consumer fragments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeKind {
+    /// Rows are hash-partitioned on `keys` with the canonical seeded
+    /// partitioner ([`df_data::partition`]), so every device computes the
+    /// same assignment for the same row.
+    Hash {
+        /// Partition key columns (must exist in the producer schema).
+        keys: Vec<String>,
+        /// Hash seed; producers of one exchange must agree on it.
+        seed: u64,
+    },
+    /// Every producer batch is replicated to every consumer.
+    Broadcast,
+    /// All producer streams are concatenated into a single consumer
+    /// (`parts` must be 1).
+    Gather,
+}
+
+impl ExchangeKind {
+    /// Short label for explain/trace output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExchangeKind::Hash { .. } => "hash",
+            ExchangeKind::Broadcast => "broadcast",
+            ExchangeKind::Gather => "gather",
+        }
+    }
+}
+
+/// A scale-out repartition point: `producers.len()` producer pipelines
+/// fan out into `parts` consumer pipelines through a full matrix of
+/// [`EdgeRole::Shuffle`] edges. The partition function runs at each
+/// producer's tip; each pair edge carries its own resolved route (and,
+/// like any fabric edge, may carry a codec), so the movement ledger and
+/// the flow simulator see real per-link bytes for all N² crossings.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// Index in [`PipelineGraph::exchanges`].
+    pub id: usize,
+    /// How rows are redistributed.
+    pub kind: ExchangeKind,
+    /// Number of consumer fragments.
+    pub parts: usize,
+    /// Producer pipeline ids.
+    pub producers: Vec<usize>,
+    /// Consumer pipeline ids, indexed by partition index.
+    pub consumers: Vec<usize>,
+    /// Shuffle edge ids, row-major: `edges[i * parts + j]` connects
+    /// `producers[i]` to `consumers[j]`.
+    pub edges: Vec<usize>,
+    /// Schema of the redistributed stream.
+    pub schema: SchemaRef,
+}
+
+impl Exchange {
+    /// The shuffle edge connecting producer `i` to consumer `j`.
+    pub fn edge(&self, producer: usize, consumer: usize) -> usize {
+        self.edges[producer * self.parts + consumer]
+    }
 }
 
 /// One half of an edge's codec pair: where the encode (or decode) runs
@@ -452,10 +532,28 @@ pub struct PipelineGraph {
     pub pipelines: Vec<Pipeline>,
     /// All inter-pipeline edges.
     pub edges: Vec<PipelineEdge>,
+    /// All scale-out exchanges; their shuffle edges live in `edges`.
+    pub exchanges: Vec<Exchange>,
     /// The pipeline producing query output.
     pub root: usize,
     /// Default credit budget applied to edges and derived flow stages.
     pub queue_capacity: usize,
+}
+
+/// The byte share of one producer's output that lands on consumer
+/// `index` under the exchange's partition function.
+fn exchange_share(ex: &Exchange, producer_out: f64, index: usize) -> f64 {
+    match &ex.kind {
+        ExchangeKind::Hash { .. } => producer_out / ex.parts.max(1) as f64,
+        ExchangeKind::Broadcast => producer_out,
+        ExchangeKind::Gather => {
+            if index == 0 {
+                producer_out
+            } else {
+                0.0
+            }
+        }
+    }
 }
 
 /// True for operators that buffer their whole input before producing
@@ -528,7 +626,7 @@ fn spec_of(node: &PhysNode) -> OperatorSpec {
             build_schema: build.schema(),
             schema: schema.clone(),
         },
-        PhysNode::StorageScan { .. } | PhysNode::Values { .. } => {
+        PhysNode::StorageScan { .. } | PhysNode::Values { .. } | PhysNode::Exchange { .. } => {
             unreachable!("leaves become pipeline sources, not ops")
         }
     }
@@ -538,6 +636,10 @@ struct Compiler<'a> {
     graph: PipelineGraph,
     profiles: &'a Profiles,
     topology: Option<&'a Topology>,
+    /// Exchange group id → index into `graph.exchanges` (so every
+    /// fragment of one [`PhysNode::Exchange`] group shares one
+    /// descriptor and its producers compile exactly once).
+    exchange_groups: std::collections::HashMap<usize, usize>,
 }
 
 impl Compiler<'_> {
@@ -651,6 +753,62 @@ impl Compiler<'_> {
                 self.push_op(pid, node, Some(build_edge));
                 pid
             }
+            PhysNode::Exchange {
+                group,
+                kind,
+                index,
+                parts,
+                inputs,
+                schema,
+                device,
+            } => {
+                // One descriptor per group: the first-compiled fragment
+                // carries the producer subtrees; later fragments only
+                // register themselves and their incoming shuffle edges.
+                let ex = match self.exchange_groups.get(group) {
+                    Some(&ex) => ex,
+                    None => {
+                        let producers: Vec<usize> =
+                            inputs.iter().map(|n| self.compile_node(n)).collect();
+                        let ex = self.graph.exchanges.len();
+                        let n_producers = producers.len();
+                        self.graph.exchanges.push(Exchange {
+                            id: ex,
+                            kind: kind.clone(),
+                            parts: *parts,
+                            producers,
+                            consumers: vec![usize::MAX; *parts],
+                            edges: vec![usize::MAX; n_producers * *parts],
+                            schema: schema.clone(),
+                        });
+                        self.exchange_groups.insert(*group, ex);
+                        ex
+                    }
+                };
+                let pid = self.new_pipeline(PipelineSource::Exchange {
+                    exchange: ex,
+                    index: *index,
+                    schema: schema.clone(),
+                    device: *device,
+                });
+                {
+                    let p = &mut self.graph.pipelines[pid];
+                    p.source_class = OpClass::Partition;
+                    p.source_selectivity = 1.0;
+                }
+                let producers = self.graph.exchanges[ex].producers.clone();
+                let parts_n = self.graph.exchanges[ex].parts;
+                if *index < parts_n {
+                    self.graph.exchanges[ex].consumers[*index] = pid;
+                }
+                for (i, &ppid) in producers.iter().enumerate() {
+                    let eid = self.add_edge(ppid, pid, EdgeRole::Shuffle, *device);
+                    if *index < parts_n {
+                        self.graph.exchanges[ex].edges[i * parts_n + *index] = eid;
+                    }
+                }
+                pid
+            }
             PhysNode::Filter { input, .. }
             | PhysNode::Project { input, .. }
             | PhysNode::Aggregate { input, .. }
@@ -708,11 +866,13 @@ impl PipelineGraph {
             graph: PipelineGraph {
                 pipelines: Vec::new(),
                 edges: Vec::new(),
+                exchanges: Vec::new(),
                 root: 0,
                 queue_capacity: queue_capacity.max(1),
             },
             profiles,
             topology,
+            exchange_groups: std::collections::HashMap::new(),
         };
         let root = c.compile_node(&plan.root);
         c.graph.root = root;
@@ -778,6 +938,13 @@ impl PipelineGraph {
     /// `{name}.buildN` spec terminated by a `JoinBuild` stage at the join's
     /// placement. Unplaced stages run on `default_device`.
     ///
+    /// Each [`Exchange`] contributes one `{name}.xE.prodI` spec per
+    /// producer fragment (its full chain, up to the partition point) and
+    /// one `{name}.xE.pIcJ` transfer spec per producer→consumer pair,
+    /// sized at that pair's estimated byte share — so the simulator, the
+    /// serving layer's admission control, and codec selection all see the
+    /// real per-link demand of every one of the N² shuffle crossings.
+    ///
     /// The graph is verified first (topology-independent invariants;
     /// supply the topology to [`PipelineGraph::verify`] directly for
     /// placement/route checks) so the simulator never replays an
@@ -801,7 +968,79 @@ impl PipelineGraph {
                 k += 1;
             }
         }
+        for ex in &self.exchanges {
+            for (i, &ppid) in ex.producers.iter().enumerate() {
+                out.push(self.spine_spec(
+                    ppid,
+                    default_device,
+                    format!("{name}.x{}.prod{i}", ex.id),
+                    None,
+                ));
+                let tip = self.pipelines[ppid].tip_device().unwrap_or(default_device);
+                let produced = self.spine_output_bytes(ppid);
+                for j in 0..ex.parts {
+                    let share = exchange_share(ex, produced, j);
+                    if share < 0.5 {
+                        continue;
+                    }
+                    let edge = &self.edges[ex.edge(i, j)];
+                    let mut stages = vec![StageSpec::new(tip, OpClass::Partition, 1.0)
+                        .with_queue(self.queue_capacity)];
+                    self.push_codec_stages(&mut stages, edge, default_device);
+                    stages.push(
+                        StageSpec::new(
+                            edge.to_device.unwrap_or(default_device),
+                            OpClass::Partition,
+                            0.0,
+                        )
+                        .with_queue(self.queue_capacity),
+                    );
+                    out.push(PipelineSpec::new(
+                        format!("{name}.x{}.p{i}c{j}", ex.id),
+                        stages,
+                        share.round() as u64,
+                    ));
+                }
+            }
+        }
         Ok(out)
+    }
+
+    /// Estimated bytes leaving pipeline `tip`'s spine (its leaf source —
+    /// resolved through any exchange feeding it — reduced by every op's
+    /// selectivity along the spine).
+    fn spine_output_bytes(&self, tip: usize) -> f64 {
+        let pids = self.spine(tip);
+        let mut bytes = self.leaf_source_bytes(pids[0]);
+        for pid in &pids {
+            let p = &self.pipelines[*pid];
+            if *pid == pids[0] {
+                bytes *= p.source_selectivity;
+            }
+            for op in &p.ops {
+                bytes *= op.selectivity;
+            }
+        }
+        bytes
+    }
+
+    /// Bytes a spine-leaf pipeline's source produces before its own
+    /// selectivity: concrete sources report their compile-time estimate;
+    /// exchange sources sum their per-producer shares (recursively, so
+    /// multi-stage exchanges price correctly — the graph is a DAG).
+    fn leaf_source_bytes(&self, pid: usize) -> f64 {
+        match &self.pipelines[pid].source {
+            PipelineSource::Exchange {
+                exchange, index, ..
+            } => {
+                let ex = &self.exchanges[*exchange];
+                ex.producers
+                    .iter()
+                    .map(|&p| exchange_share(ex, self.spine_output_bytes(p), *index))
+                    .sum()
+            }
+            _ => self.pipelines[pid].source_bytes as f64,
+        }
     }
 
     fn spine_spec(
@@ -848,7 +1087,8 @@ impl PipelineGraph {
                 .with_queue(self.queue_capacity),
             );
         }
-        PipelineSpec::new(name, stages, leaf.source_bytes)
+        let source_bytes = self.leaf_source_bytes(pids[0]).round() as u64;
+        PipelineSpec::new(name, stages, source_bytes)
     }
 
     /// Price an edge's codec pair into a flow spec: a `Compress` stage at
@@ -1023,5 +1263,74 @@ mod tests {
             OpClass::JoinBuild,
             "build spine terminates in the join-build stage"
         );
+    }
+
+    #[test]
+    fn cluster_exchange_plan_compiles_and_prices() {
+        use crate::scaleout::{cluster_hash_join_plan, split_round_robin};
+        use df_fabric::topology::ClusterConfig;
+
+        let hosts = 2usize;
+        let topo = Topology::cluster(hosts as u32, &ClusterConfig::default());
+        let build = batch_of(vec![
+            ("k", Column::from_i64((0..32).collect())),
+            (
+                "name",
+                Column::from_strs(&(0..32).map(|i| format!("n{i}")).collect::<Vec<_>>()),
+            ),
+        ]);
+        let probe = batch_of(vec![
+            ("fk", Column::from_i64((0..256).map(|i| i % 32).collect())),
+            ("amount", Column::from_i64((0..256).collect())),
+        ]);
+        let join_schema = {
+            let mut fields: Vec<df_data::Field> = build.schema().fields().to_vec();
+            fields.extend(probe.schema().fields().iter().cloned());
+            df_data::Schema::new(fields).into_ref()
+        };
+        let plan = cluster_hash_join_plan(
+            &topo,
+            &split_round_robin(&build, hosts),
+            build.schema().clone(),
+            &split_round_robin(&probe, hosts),
+            probe.schema().clone(),
+            ("k", "fk"),
+            join_schema,
+            true,
+        )
+        .unwrap();
+        let g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        g.verify(Some(&topo)).expect("clean cluster graph");
+
+        // Three exchange groups: build hash, probe hash, gather.
+        assert_eq!(g.exchanges.len(), 3);
+        assert_eq!(g.exchanges[0].producers.len(), hosts);
+        assert_eq!(g.exchanges[0].consumers.len(), hosts);
+        assert_eq!(g.exchanges[2].parts, 1, "gather fans into one consumer");
+        // Every exchange slot is a shuffle edge through a credit channel.
+        let shuffles = g
+            .edges
+            .iter()
+            .filter(|e| e.role == EdgeRole::Shuffle)
+            .count();
+        assert_eq!(shuffles, hosts * hosts * 2 + hosts);
+
+        // The flow-spec derivation prices each producer spine and each
+        // cross-host pair transfer so the simulator sees switch traffic.
+        let cpu = topo.expect_device("host0.cpu");
+        let specs = g.to_flow_specs(cpu, "s").unwrap();
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.contains(".x0.prod0")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains(".x0.p0c1")), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.contains(".x2.prod")),
+            "gather producers priced: {names:?}"
+        );
+        // Cross-host pair transfers carry a NIC partition stage at the tip.
+        let pair = specs
+            .iter()
+            .find(|s| s.name.contains(".x0.p0c1"))
+            .expect("pair spec");
+        assert_eq!(pair.stages.first().unwrap().op, OpClass::Partition);
     }
 }

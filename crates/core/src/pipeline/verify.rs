@@ -38,7 +38,8 @@ use df_data::{DataType, SchemaRef};
 use df_fabric::{DeviceId, OpClass, Topology};
 
 use super::{
-    CodecStage, EdgeKind, EdgeRole, OperatorSpec, PipelineEdge, PipelineGraph, PipelineSource,
+    CodecStage, EdgeKind, EdgeRole, ExchangeKind, OperatorSpec, PipelineEdge, PipelineGraph,
+    PipelineSource,
 };
 use crate::expr::Expr;
 
@@ -171,6 +172,16 @@ pub enum VerifyError {
         /// The unsupported class.
         class: OpClass,
     },
+    /// An exchange's bookkeeping is inconsistent: incomplete shuffle-edge
+    /// matrix, mis-wired consumer fragments, producer schemas that do not
+    /// match the redistributed stream, or hash keys absent from a producer
+    /// output (the partition function would disagree across hosts).
+    ExchangeMalformed {
+        /// Index into [`PipelineGraph::exchanges`].
+        exchange: usize,
+        /// What is inconsistent.
+        detail: String,
+    },
 }
 
 impl VerifyError {
@@ -192,6 +203,7 @@ impl VerifyError {
             VerifyError::ZeroCapacity { .. } => "zero-capacity",
             VerifyError::CodecPairingBroken { .. } => "codec-pairing-broken",
             VerifyError::IllegalCodecPlacement { .. } => "illegal-codec-placement",
+            VerifyError::ExchangeMalformed { .. } => "exchange-malformed",
         }
     }
 }
@@ -269,6 +281,9 @@ impl fmt::Display for VerifyError {
                 f,
                 "edge {edge}: device {device} ('{device_name}') cannot host codec stage {class}"
             ),
+            VerifyError::ExchangeMalformed { exchange, detail } => {
+                write!(f, "exchange {exchange}: {detail}")
+            }
         }
     }
 }
@@ -354,13 +369,35 @@ impl Verifier<'_> {
                     detail: format!("pipeline at index {i} carries id {}", p.id),
                 });
             }
-            if let PipelineSource::Edge { edge } = p.source {
-                if edge >= ne {
-                    self.push(VerifyError::Malformed {
-                        detail: format!("pipeline {i} sources dangling edge {edge}"),
-                    });
-                    sound = false;
+            match &p.source {
+                PipelineSource::Edge { edge } => {
+                    if *edge >= ne {
+                        self.push(VerifyError::Malformed {
+                            detail: format!("pipeline {i} sources dangling edge {edge}"),
+                        });
+                        sound = false;
+                    }
                 }
+                PipelineSource::Exchange {
+                    exchange, index, ..
+                } => {
+                    if *exchange >= g.exchanges.len() {
+                        self.push(VerifyError::Malformed {
+                            detail: format!("pipeline {i} sources dangling exchange {exchange}"),
+                        });
+                        sound = false;
+                    } else if *index >= g.exchanges[*exchange].parts {
+                        self.push(VerifyError::Malformed {
+                            detail: format!(
+                                "pipeline {i} claims consumer index {index} of exchange \
+                                 {exchange} ({} parts)",
+                                g.exchanges[*exchange].parts
+                            ),
+                        });
+                        sound = false;
+                    }
+                }
+                PipelineSource::Scan { .. } | PipelineSource::Values { .. } => {}
             }
         }
         for (e, edge) in g.edges.iter().enumerate() {
@@ -560,9 +597,9 @@ impl Verifier<'_> {
             return Some(op.spec.output_schema());
         }
         match &p.source {
-            PipelineSource::Scan { schema, .. } | PipelineSource::Values { schema, .. } => {
-                Some(schema.clone())
-            }
+            PipelineSource::Scan { schema, .. }
+            | PipelineSource::Values { schema, .. }
+            | PipelineSource::Exchange { schema, .. } => Some(schema.clone()),
             PipelineSource::Edge { edge } => {
                 // Depth-bounded: structure pass already rejected cycles,
                 // but stay safe when called on a malformed graph.
@@ -578,9 +615,9 @@ impl Verifier<'_> {
         let g = self.graph;
         for (pid, p) in g.pipelines.iter().enumerate() {
             let mut current = match &p.source {
-                PipelineSource::Scan { schema, .. } | PipelineSource::Values { schema, .. } => {
-                    Some(schema.clone())
-                }
+                PipelineSource::Scan { schema, .. }
+                | PipelineSource::Values { schema, .. }
+                | PipelineSource::Exchange { schema, .. } => Some(schema.clone()),
                 PipelineSource::Edge { edge } => self.pipeline_output(g.edges[*edge].from, 0),
             };
             for (oi, op) in p.ops.iter().enumerate() {
@@ -709,6 +746,174 @@ impl Verifier<'_> {
                 }
             }
         }
+    }
+
+    // ----------------------------------------------------------- exchanges
+
+    /// Exchange invariants: every exchange's shuffle-edge matrix is
+    /// complete and row-major consistent (all N² producer→consumer pairs
+    /// present with the Shuffle role and matching endpoints), every
+    /// consumer fragment is wired back to its slot, producer outputs match
+    /// the redistributed schema, hash keys resolve in every producer
+    /// output (so the partition function cannot disagree across hosts),
+    /// gathers have exactly one part, and — with a topology — every
+    /// hash-exchange producer tip can actually run the partition.
+    fn check_exchanges(&mut self) {
+        let g = self.graph;
+        let mut found = Vec::new();
+        let mut owners = vec![0usize; g.edges.len()];
+        for (xid, ex) in g.exchanges.iter().enumerate() {
+            let bad = |detail: String| VerifyError::ExchangeMalformed {
+                exchange: xid,
+                detail,
+            };
+            if ex.id != xid {
+                found.push(bad(format!(
+                    "descriptor at index {xid} carries id {}",
+                    ex.id
+                )));
+            }
+            if ex.parts == 0 || ex.consumers.len() != ex.parts {
+                found.push(bad(format!(
+                    "{} consumer slots for {} parts",
+                    ex.consumers.len(),
+                    ex.parts
+                )));
+                continue;
+            }
+            if ex.producers.is_empty() {
+                found.push(bad("exchange has no producers".into()));
+                continue;
+            }
+            if matches!(ex.kind, ExchangeKind::Gather) && ex.parts != 1 {
+                found.push(bad(format!(
+                    "gather exchange has {} parts (want 1)",
+                    ex.parts
+                )));
+            }
+            let mut wired = true;
+            for (j, &cpid) in ex.consumers.iter().enumerate() {
+                if cpid >= g.pipelines.len() {
+                    found.push(bad(format!(
+                        "consumer slot {j} is unregistered or dangling ({cpid})"
+                    )));
+                    wired = false;
+                    continue;
+                }
+                match &g.pipelines[cpid].source {
+                    PipelineSource::Exchange {
+                        exchange,
+                        index,
+                        schema,
+                        ..
+                    } if *exchange == xid && *index == j => {
+                        if !types_match(schema, &ex.schema) {
+                            found.push(bad(format!(
+                                "consumer {j} declares {}, exchange redistributes {}",
+                                schema_str(schema),
+                                schema_str(&ex.schema)
+                            )));
+                        }
+                    }
+                    _ => {
+                        found.push(bad(format!(
+                            "consumer slot {j} points at pipeline {cpid}, which does not \
+                             source this exchange at index {j}"
+                        )));
+                        wired = false;
+                    }
+                }
+            }
+            if ex.edges.len() != ex.producers.len() * ex.parts {
+                found.push(bad(format!(
+                    "edge matrix has {} entries for {}x{} pairs",
+                    ex.edges.len(),
+                    ex.producers.len(),
+                    ex.parts
+                )));
+                continue;
+            }
+            for (i, &ppid) in ex.producers.iter().enumerate() {
+                if ppid >= g.pipelines.len() {
+                    found.push(bad(format!("producer {i} is dangling ({ppid})")));
+                    continue;
+                }
+                // Producer output must match the redistributed schema, and
+                // hash keys must resolve in it on every producer.
+                if let Some(out) = self.pipeline_output(ppid, 0) {
+                    if !types_match(&out, &ex.schema) {
+                        found.push(bad(format!(
+                            "producer {i} (pipeline {ppid}) produces {}, exchange \
+                             redistributes {}",
+                            schema_str(&out),
+                            schema_str(&ex.schema)
+                        )));
+                    }
+                    if let ExchangeKind::Hash { keys, .. } = &ex.kind {
+                        for key in keys {
+                            if out.index_of(key).is_err() {
+                                found.push(bad(format!(
+                                    "hash key '{key}' missing from producer {i} output {}",
+                                    schema_str(&out)
+                                )));
+                            }
+                        }
+                    }
+                }
+                if wired {
+                    for j in 0..ex.parts {
+                        let eid = ex.edges[i * ex.parts + j];
+                        match g.edges.get(eid) {
+                            Some(e)
+                                if e.role == EdgeRole::Shuffle
+                                    && e.from == ppid
+                                    && e.to == ex.consumers[j] =>
+                            {
+                                owners[eid] += 1;
+                            }
+                            Some(e) => found.push(bad(format!(
+                                "slot ({i},{j}): edge {eid} is a {:?} edge {} -> {}, want \
+                                 Shuffle {} -> {}",
+                                e.role, e.from, e.to, ppid, ex.consumers[j]
+                            ))),
+                            None => found.push(bad(format!(
+                                "slot ({i},{j}) references dangling edge {eid}"
+                            ))),
+                        }
+                    }
+                }
+                // Partitioning runs at the producer tip: with a topology,
+                // that device must advertise the Partition class.
+                if let (Some(topology), ExchangeKind::Hash { .. }) = (self.topology, &ex.kind) {
+                    if let Some(d) = g.pipelines[ppid].tip_device() {
+                        if (d.0 as usize) < topology.devices().len() {
+                            let meta = topology.device(d);
+                            if !meta.profile.supports(OpClass::Partition) {
+                                found.push(VerifyError::IllegalPlacement {
+                                    pipeline: ppid,
+                                    op: usize::MAX,
+                                    device: d,
+                                    device_name: meta.name.clone(),
+                                    class: OpClass::Partition,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Every shuffle edge must belong to exactly one exchange slot.
+        for (eid, e) in g.edges.iter().enumerate() {
+            if e.role == EdgeRole::Shuffle && owners[eid] != 1 {
+                found.push(VerifyError::Malformed {
+                    detail: format!(
+                        "shuffle edge {eid} referenced by {} exchange slots (want exactly 1)",
+                        owners[eid]
+                    ),
+                });
+            }
+        }
+        self.errors.extend(found);
     }
 
     // ------------------------------------------------- edges/routes/ledger
@@ -934,6 +1139,21 @@ impl Verifier<'_> {
         let consuming_op = match edge.role {
             EdgeRole::Input => consumer.ops.first(),
             EdgeRole::JoinBuild => consumer.ops.iter().find(|op| op.build_edge == Some(eid)),
+            EdgeRole::Shuffle => {
+                // Shuffle edges terminate at the consumer fragment's
+                // exchange source, not at a specific operator.
+                if edge.to_device != consumer.source.device() {
+                    self.push(VerifyError::LedgerSiteMismatch {
+                        edge: eid,
+                        detail: format!(
+                            "edge records to={:?}, consumer fragment source is placed on {:?}",
+                            edge.to_device,
+                            consumer.source.device()
+                        ),
+                    });
+                }
+                None
+            }
         };
         if let Some(op) = consuming_op {
             if edge.to_device != op.device {
@@ -967,6 +1187,7 @@ impl PipelineGraph {
             v.check_breakers_and_joins();
             v.check_schemas();
             v.check_placement();
+            v.check_exchanges();
             v.check_edges();
         }
         if v.errors.is_empty() {
@@ -1284,6 +1505,110 @@ mod tests {
                     ..
                 }
             )),
+            "errs: {errs:?}"
+        );
+    }
+
+    /// Compile the N-host partitioned hash join the scaleout module runs,
+    /// returning the graph plus its cluster topology.
+    fn cluster_join_graph(hosts: usize) -> (PipelineGraph, Topology) {
+        use crate::scaleout::{cluster_hash_join_plan, split_round_robin};
+        use df_fabric::topology::ClusterConfig;
+        let topo = Topology::cluster(hosts as u32, &ClusterConfig::default());
+        let build = batch_of(vec![
+            ("k", Column::from_i64((0..32).collect())),
+            (
+                "name",
+                Column::from_strs(&(0..32).map(|i| format!("n{i}")).collect::<Vec<_>>()),
+            ),
+        ]);
+        let probe = batch_of(vec![
+            ("fk", Column::from_i64((0..128).map(|i| i % 32).collect())),
+            ("amount", Column::from_i64((0..128).collect())),
+        ]);
+        let join_schema = {
+            let mut fields: Vec<Field> = build.schema().fields().to_vec();
+            fields.extend(probe.schema().fields().iter().cloned());
+            Schema::new(fields).into_ref()
+        };
+        let plan = cluster_hash_join_plan(
+            &topo,
+            &split_round_robin(&build, hosts),
+            build.schema().clone(),
+            &split_round_robin(&probe, hosts),
+            probe.schema().clone(),
+            ("k", "fk"),
+            join_schema,
+            true,
+        )
+        .expect("cluster plan");
+        let g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+        (g, topo)
+    }
+
+    #[test]
+    fn cluster_exchange_graphs_verify_clean() {
+        for hosts in [1usize, 2, 4] {
+            let (g, topo) = cluster_join_graph(hosts);
+            g.verify(Some(&topo))
+                .unwrap_or_else(|e| panic!("{hosts}-host graph: {e:?}"));
+            // Build, probe, and gather exchanges survive compilation.
+            assert_eq!(g.exchanges.len(), 3, "hosts={hosts}");
+        }
+    }
+
+    #[test]
+    fn exchange_consumer_swap_is_flagged() {
+        let (mut g, topo) = cluster_join_graph(2);
+        // Swap the build exchange's consumer list: each pipeline still
+        // declares its own index, so the descriptor no longer matches.
+        g.exchanges[0].consumers.swap(0, 1);
+        let errs = g.verify(Some(&topo)).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, VerifyError::ExchangeMalformed { exchange: 0, .. })),
+            "errs: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn exchange_edge_role_mutation_is_flagged() {
+        let (mut g, topo) = cluster_join_graph(2);
+        let eid = g.exchanges[0].edge(0, 1);
+        g.edges[eid].role = EdgeRole::Input;
+        let errs = g.verify(Some(&topo)).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, VerifyError::ExchangeMalformed { exchange: 0, .. })),
+            "errs: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn exchange_missing_hash_key_is_flagged() {
+        let (mut g, topo) = cluster_join_graph(2);
+        if let ExchangeKind::Hash { keys, .. } = &mut g.exchanges[0].kind {
+            keys[0] = "no_such_column".into();
+        } else {
+            panic!("build exchange should hash-partition");
+        }
+        let errs = g.verify(Some(&topo)).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, VerifyError::ExchangeMalformed { exchange: 0, .. })),
+            "errs: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn exchange_gather_with_fanout_is_flagged() {
+        let (mut g, topo) = cluster_join_graph(2);
+        // A gather must have exactly one consumer; declare fan-out on one.
+        g.exchanges[0].kind = ExchangeKind::Gather;
+        let errs = g.verify(Some(&topo)).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, VerifyError::ExchangeMalformed { exchange: 0, .. })),
             "errs: {errs:?}"
         );
     }

@@ -168,6 +168,7 @@ fn collect_links(
         | PhysNode::TopK { input, .. }
         | PhysNode::Limit { input, .. } => vec![input],
         PhysNode::HashJoin { build, probe, .. } => vec![build, probe],
+        PhysNode::Exchange { inputs, .. } => inputs.iter().collect(),
     };
     for c in children {
         collect_links(c, device.or(parent), topology, out);
@@ -470,7 +471,9 @@ mod tests {
                     | PhysNode::Sort { input, .. }
                     | PhysNode::TopK { input, .. }
                     | PhysNode::Limit { input, .. } => input,
-                    PhysNode::HashJoin { .. } => unreachable!("linear plans only"),
+                    PhysNode::HashJoin { .. } | PhysNode::Exchange { .. } => {
+                        unreachable!("linear plans only")
+                    }
                 };
             }
             chain.reverse();

@@ -17,6 +17,8 @@
 //! - [`mod@column`] — typed column vectors and builders
 //! - [`schema`] — fields and schemas
 //! - [`batch`] — record batches and selection/gather utilities
+//! - [`partition`] — the canonical deterministic hash partitioner (shared
+//!   by the NIC partition kernel, Exchange edges, and partitioned storage)
 //! - [`rowpage`] — a fixed-layout row-major page (HTAP transposition target)
 //! - [`sort`] — multi-key sort permutations over batches
 //! - [`error`] — the crate error type
@@ -26,6 +28,7 @@ pub mod bitmap;
 pub mod buffer;
 pub mod column;
 pub mod error;
+pub mod partition;
 pub mod rowpage;
 pub mod schema;
 pub mod sort;
@@ -36,6 +39,7 @@ pub use bitmap::Bitmap;
 pub use buffer::Buffer;
 pub use column::{Column, ColumnBuilder};
 pub use error::{DataError, Result};
+pub use partition::HashPartitioner;
 pub use rowpage::RowPage;
 pub use schema::{Field, Schema, SchemaRef};
 pub use types::{DataType, Scalar, ValueRef};

@@ -1,0 +1,221 @@
+//! Deterministic hash partitioning — the canonical partition function for
+//! every exchange in the system.
+//!
+//! The NIC partition kernel, the Exchange operator in the pipeline-graph
+//! IR, and partitioned storage all route rows with *this* function, so a
+//! row hashed on host 3's NIC lands in the same partition a storage node
+//! computed when it laid out the table. The hash is FNV-1a over the
+//! type-tagged canonical bytes of the key scalars; a seed is XORed into
+//! the offset basis so independent exchanges in one plan decorrelate
+//! (seed 0 reproduces the historical unseeded function bit-for-bit).
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::types::Scalar;
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// FNV-1a hash of the canonical bytes of the key scalars of one row,
+/// with `seed` folded into the offset basis. Deterministic across devices
+/// and hosts, so every NIC and storage node partitions identically.
+pub fn hash_row_seeded(columns: &[&Column], row: usize, seed: u64) -> u64 {
+    let mut hash = FNV_OFFSET_BASIS ^ seed;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for col in columns {
+        match col.scalar_at(row) {
+            Scalar::Null => eat(&[0]),
+            Scalar::Int(v) => {
+                eat(&[1]);
+                eat(&v.to_le_bytes());
+            }
+            Scalar::Float(v) => {
+                eat(&[2]);
+                eat(&v.to_bits().to_le_bytes());
+            }
+            Scalar::Str(s) => {
+                eat(&[3]);
+                eat(s.as_bytes());
+            }
+            Scalar::Bool(b) => eat(&[4, b as u8]),
+        }
+    }
+    hash
+}
+
+/// The unseeded hash (seed 0) — what [`hash_row_seeded`] historically was.
+pub fn hash_row(columns: &[&Column], row: usize) -> u64 {
+    hash_row_seeded(columns, row, 0)
+}
+
+/// A total, deterministic hash partitioner over named key columns.
+///
+/// Every row is assigned to exactly one of `parts` partitions (nulls hash
+/// like any other value, so they are accounted for too), and the
+/// assignment depends only on the key values and the seed — not on batch
+/// boundaries, row order within other columns, or which device computes
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashPartitioner {
+    keys: Vec<String>,
+    parts: usize,
+    seed: u64,
+}
+
+impl HashPartitioner {
+    /// Partitioner over `keys` into `parts` buckets with seed 0.
+    pub fn new(keys: Vec<String>, parts: usize) -> Result<HashPartitioner> {
+        HashPartitioner::with_seed(keys, parts, 0)
+    }
+
+    /// Partitioner with an explicit seed (decorrelates stacked exchanges).
+    pub fn with_seed(keys: Vec<String>, parts: usize, seed: u64) -> Result<HashPartitioner> {
+        if keys.is_empty() {
+            return Err(DataError::Corrupt(
+                "hash partitioner needs at least one key column".into(),
+            ));
+        }
+        if parts == 0 {
+            return Err(DataError::Corrupt(
+                "hash partitioner fanout must be positive".into(),
+            ));
+        }
+        Ok(HashPartitioner { keys, parts, seed })
+    }
+
+    /// Key column names.
+    pub fn keys(&self) -> &[String] {
+        &self.keys
+    }
+
+    /// Number of partitions.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The seed folded into the hash.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Partition index for every row of `batch`, in row order.
+    pub fn assignments(&self, batch: &Batch) -> Result<Vec<usize>> {
+        let key_cols: Vec<&Column> = self
+            .keys
+            .iter()
+            .map(|n| batch.column_by_name(n))
+            .collect::<Result<_>>()?;
+        Ok((0..batch.rows())
+            .map(|row| (hash_row_seeded(&key_cols, row, self.seed) % self.parts as u64) as usize)
+            .collect())
+    }
+
+    /// Split `batch` into `parts` batches (index = partition). Partitions
+    /// that receive no rows come back as empty batches with the input
+    /// schema, so `result.len() == self.parts()` always holds and
+    /// `sum(rows) == batch.rows()`.
+    pub fn partition(&self, batch: &Batch) -> Result<Vec<Batch>> {
+        let assignments = self.assignments(batch)?;
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.parts];
+        for (row, part) in assignments.into_iter().enumerate() {
+            buckets[part].push(row);
+        }
+        Ok(buckets
+            .into_iter()
+            .map(|rows| {
+                if rows.is_empty() {
+                    Batch::empty(batch.schema().clone())
+                } else {
+                    batch.gather(&rows)
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::batch_of;
+
+    fn keyed(n: usize) -> Batch {
+        batch_of(vec![
+            ("k", Column::from_i64((0..n as i64).collect())),
+            (
+                "v",
+                Column::from_strs(&(0..n).map(|i| format!("v{i}")).collect::<Vec<_>>()),
+            ),
+        ])
+    }
+
+    #[test]
+    fn seed_zero_matches_unseeded_hash() {
+        let batch = keyed(64);
+        let cols: Vec<&Column> = vec![batch.column(0), batch.column(1)];
+        for row in 0..batch.rows() {
+            assert_eq!(hash_row(&cols, row), hash_row_seeded(&cols, row, 0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let batch = keyed(256);
+        let a = HashPartitioner::with_seed(vec!["k".into()], 4, 1).unwrap();
+        let b = HashPartitioner::with_seed(vec!["k".into()], 4, 2).unwrap();
+        assert_ne!(
+            a.assignments(&batch).unwrap(),
+            b.assignments(&batch).unwrap()
+        );
+    }
+
+    #[test]
+    fn partition_is_total() {
+        let batch = keyed(1000);
+        let p = HashPartitioner::new(vec!["k".into()], 7).unwrap();
+        let parts = p.partition(&batch).unwrap();
+        assert_eq!(parts.len(), 7);
+        assert_eq!(parts.iter().map(Batch::rows).sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn null_keys_are_routed_deterministically() {
+        let batch = batch_of(vec![(
+            "k",
+            Column::from_opt_i64(&[Some(1), None, Some(2), None]),
+        )]);
+        let p = HashPartitioner::new(vec!["k".into()], 3).unwrap();
+        let a = p.assignments(&batch).unwrap();
+        let b = p.assignments(&batch).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        // Both nulls land in the same bucket: same key bytes, same hash.
+        assert_eq!(a[1], a[3]);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_partitions() {
+        let batch = keyed(0);
+        let p = HashPartitioner::new(vec!["k".into()], 4).unwrap();
+        let parts = p.partition(&batch).unwrap();
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(Batch::is_empty));
+    }
+
+    #[test]
+    fn zero_fanout_and_no_keys_rejected() {
+        assert!(HashPartitioner::new(vec!["k".into()], 0).is_err());
+        assert!(HashPartitioner::new(vec![], 4).is_err());
+    }
+
+    #[test]
+    fn missing_key_column_errors() {
+        let p = HashPartitioner::new(vec!["nope".into()], 4).unwrap();
+        assert!(p.assignments(&keyed(8)).is_err());
+    }
+}

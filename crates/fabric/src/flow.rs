@@ -650,45 +650,73 @@ fn try_send(world: &WorldRef, sim: &mut Simulation, p: usize, s: usize) {
 
 /// Claim the route's links (FIFO per link, shared across pipelines) and
 /// schedule the delivery into stage `s+1`.
+///
+/// Links are claimed hop-by-hop, each one only when the chunk actually
+/// reaches it (store-and-forward). Claiming the whole route up front would
+/// reserve downstream capacity at computed future times; when many pipelines
+/// share a link — e.g. every producer's shuffle pairs funneling into one
+/// switch port — those phantom reservations serialize in claim order and
+/// open convoy gaps that badly under-utilize the link.
 fn start_transfer(world: &WorldRef, sim: &mut Simulation, p: usize, s: usize, chunk: u64) {
-    let arrival;
+    if world.borrow().pipes[p].routes[s].links.is_empty() {
+        let wc = world.clone();
+        let now = sim.now();
+        sim.schedule_at(now, move |sim| deliver(&wc, sim, p, s + 1, chunk));
+    } else {
+        transfer_hop(world, sim, p, s, 0, chunk);
+    }
+}
+
+/// Serialize `chunk` onto link `hop` of stage `s`'s route, then continue to
+/// the next hop — or deliver into stage `s+1` after the final link's latency.
+fn transfer_hop(
+    world: &WorldRef,
+    sim: &mut Simulation,
+    p: usize,
+    s: usize,
+    hop: usize,
+    chunk: u64,
+) {
+    let depart;
+    let last;
     {
         let mut w = world.borrow_mut();
-        let mut t = sim.now();
-        // Store-and-forward across each link of the route; each link is
-        // occupied for its serialization time (shared across pipelines).
-        let links: Vec<LinkId> = w.pipes[p].routes[s].links.clone();
-        for link_id in links {
-            let idx = link_id.0 as usize;
-            let (serialize, latency) = {
-                let spec = w.topo.link(link_id);
-                (
-                    spec.tech.bandwidth().time_for_bytes(chunk),
-                    spec.tech.latency(),
-                )
-            };
-            let start = t.max(w.link_busy_until[idx]);
-            let end = start + serialize;
-            w.link_busy_until[idx] = end;
-            w.link_bytes[idx] += chunk;
-            w.link_busy_ns[idx] += serialize.nanos();
-            if let Some(tc) = &w.trace {
-                // Like devices, links are claimed FIFO via `link_busy_until`,
-                // so whole spans stay monotone per link lane.
-                tc.tracer.span_at(
-                    tc.link_lanes[idx],
-                    &format!("dma [{}]", w.pipes[p].spec.name),
-                    start,
-                    end,
-                    &[("bytes", chunk)],
-                );
-            }
-            t = end + latency;
+        let link_id = w.pipes[p].routes[s].links[hop];
+        let idx = link_id.0 as usize;
+        let (serialize, latency) = {
+            let spec = w.topo.link(link_id);
+            (
+                spec.tech.bandwidth().time_for_bytes(chunk),
+                spec.tech.latency(),
+            )
+        };
+        let start = sim.now().max(w.link_busy_until[idx]);
+        let end = start + serialize;
+        w.link_busy_until[idx] = end;
+        w.link_bytes[idx] += chunk;
+        w.link_busy_ns[idx] += serialize.nanos();
+        if let Some(tc) = &w.trace {
+            // Like devices, links are claimed FIFO via `link_busy_until`,
+            // so whole spans stay monotone per link lane.
+            tc.tracer.span_at(
+                tc.link_lanes[idx],
+                &format!("dma [{}]", w.pipes[p].spec.name),
+                start,
+                end,
+                &[("bytes", chunk)],
+            );
         }
-        arrival = t;
+        depart = end + latency;
+        last = hop + 1 == w.pipes[p].routes[s].links.len();
     }
     let wc = world.clone();
-    sim.schedule_at(arrival, move |sim| deliver(&wc, sim, p, s + 1, chunk));
+    if last {
+        sim.schedule_at(depart, move |sim| deliver(&wc, sim, p, s + 1, chunk));
+    } else {
+        sim.schedule_at(depart, move |sim| {
+            transfer_hop(&wc, sim, p, s, hop + 1, chunk)
+        });
+    }
 }
 
 /// A chunk arrives in stage `s`'s input queue.

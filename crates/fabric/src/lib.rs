@@ -32,4 +32,4 @@ pub mod topology;
 
 pub use device::{DeviceId, DeviceKind, DeviceProfile, OpClass};
 pub use link::{LinkId, LinkSpec, LinkTech};
-pub use topology::{Route, Topology};
+pub use topology::{ClusterConfig, Route, Topology};

@@ -2,6 +2,7 @@
 //! reference platforms used throughout the experiments.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::RwLock;
 
 use df_sim::{Bandwidth, SimDuration};
 
@@ -17,6 +18,10 @@ pub struct DeviceMeta {
     pub name: String,
     /// Performance profile (kind + rates).
     pub profile: DeviceProfile,
+    /// Which host this device belongs to in a multi-host topology
+    /// ([`Topology::cluster`]); `None` for shared infrastructure (the
+    /// switch) and for single-host platforms.
+    pub host: Option<u32>,
 }
 
 /// An ordered path between two devices.
@@ -43,6 +48,53 @@ impl Route {
     }
 }
 
+/// Memoized shortest routes. BFS runs once per `(from, to)` pair per
+/// topology shape; mutations clear the cache. The lock is uncontended in
+/// practice (compile-time lookups), and a poisoned lock simply falls back
+/// to the surviving map — cached routes are immutable facts.
+#[derive(Debug, Default)]
+struct RouteCache {
+    routes: RwLock<HashMap<(DeviceId, DeviceId), Option<Route>>>,
+}
+
+impl RouteCache {
+    fn get(&self, key: (DeviceId, DeviceId)) -> Option<Option<Route>> {
+        let guard = match self.routes.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.get(&key).cloned()
+    }
+
+    fn put(&self, key: (DeviceId, DeviceId), route: Option<Route>) {
+        let mut guard = match self.routes.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.insert(key, route);
+    }
+
+    fn clear(&self) {
+        let mut guard = match self.routes.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.clear();
+    }
+}
+
+impl Clone for RouteCache {
+    fn clone(&self) -> Self {
+        let guard = match self.routes.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RouteCache {
+            routes: RwLock::new(guard.clone()),
+        }
+    }
+}
+
 /// A graph of devices and links modelling one hardware platform.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
@@ -50,6 +102,7 @@ pub struct Topology {
     links: Vec<LinkSpec>,
     by_name: HashMap<String, DeviceId>,
     adjacency: HashMap<DeviceId, Vec<(LinkId, DeviceId)>>,
+    route_cache: RouteCache,
 }
 
 impl Topology {
@@ -76,8 +129,26 @@ impl Topology {
         );
         let id = DeviceId(self.devices.len() as u32);
         self.by_name.insert(name.clone(), id);
-        self.devices.push(DeviceMeta { id, name, profile });
+        self.devices.push(DeviceMeta {
+            id,
+            name,
+            profile,
+            host: None,
+        });
         self.adjacency.entry(id).or_default();
+        self.route_cache.clear();
+        id
+    }
+
+    /// Add a device that belongs to host `host` of a multi-host cluster.
+    pub fn add_host_device(
+        &mut self,
+        host: u32,
+        name: impl Into<String>,
+        kind: DeviceKind,
+    ) -> DeviceId {
+        let id = self.add_device(name, kind);
+        self.devices[id.0 as usize].host = Some(host);
         id
     }
 
@@ -90,6 +161,7 @@ impl Topology {
         self.links.push(LinkSpec { id, tech, a, b });
         self.adjacency.entry(a).or_default().push((id, b));
         self.adjacency.entry(b).or_default().push((id, a));
+        self.route_cache.clear();
         id
     }
 
@@ -126,7 +198,19 @@ impl Topology {
     }
 
     /// Shortest route (by hop count) between two devices, if connected.
+    /// Memoized: the BFS runs once per `(from, to)` pair, then the cached
+    /// route is returned until the topology is mutated.
     pub fn route(&self, from: DeviceId, to: DeviceId) -> Option<Route> {
+        if let Some(cached) = self.route_cache.get((from, to)) {
+            return cached;
+        }
+        let route = self.compute_route(from, to);
+        self.route_cache.put((from, to), route.clone());
+        route
+    }
+
+    /// The uncached BFS behind [`Topology::route`].
+    fn compute_route(&self, from: DeviceId, to: DeviceId) -> Option<Route> {
         if from == to {
             return Some(Route::local(from));
         }
@@ -184,6 +268,50 @@ impl Topology {
             .iter()
             .map(|&l| self.link(l).transfer_time(bytes))
             .fold(SimDuration::ZERO, |acc, t| acc + t)
+    }
+
+    // -------------------------------------------------------------- hosts
+
+    /// Which host a device belongs to (`None` for shared infrastructure).
+    pub fn host_of(&self, id: DeviceId) -> Option<u32> {
+        self.device(id).host
+    }
+
+    /// Number of hosts in the topology (max host tag + 1; 0 when untagged).
+    pub fn host_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter_map(|d| d.host)
+            .max()
+            .map_or(0, |h| h as usize + 1)
+    }
+
+    /// The devices belonging to host `host`, in id order.
+    pub fn host_devices(&self, host: u32) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|d| d.host == Some(host))
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// Route between two hosts' CPUs — the canonical inter-host path an
+    /// exchange edge follows (cpu → nic → switch → nic → cpu). Falls back
+    /// to the first tagged device of each host if a host has no CPU.
+    pub fn route_between_hosts(&self, a: u32, b: u32) -> Option<Route> {
+        let anchor = |host: u32| -> Option<DeviceId> {
+            let tagged: Vec<&DeviceMeta> = self
+                .devices
+                .iter()
+                .filter(|d| d.host == Some(host))
+                .collect();
+            tagged
+                .iter()
+                .find(|d| matches!(d.profile.kind, DeviceKind::Cpu { .. }))
+                .or(tagged.first())
+                .map(|d| d.id)
+        };
+        self.route(anchor(a)?, anchor(b)?)
     }
 
     // ------------------------------------------------------------ builders
@@ -270,6 +398,67 @@ impl Topology {
         t
     }
 
+    /// An N-host scale-out cluster: every host owns a full data path
+    /// (storage, NIC, CPU, memory) and all hosts meet at one switch —
+    /// the substrate for partitioned tables and Exchange shuffles (§4.4).
+    ///
+    /// Device names: `switch`, `host{i}.ssd`, `host{i}.nic`,
+    /// `host{i}.cpu`, `host{i}.mem`. Per-host links: `ssd —pcie— cpu`,
+    /// `cpu —ddr— mem`, `cpu —pcie— nic`, `nic —network— switch`; so an
+    /// exchange between hosts i and j travels
+    /// `cpu → nic → switch → nic → cpu`, with the NICs able to run
+    /// partition / pre-aggregate kernels in-path when `smart_nics` is set.
+    /// Every `host{i}.*` device carries [`DeviceMeta::host`]` == Some(i)`.
+    pub fn cluster(hosts: u32, config: &ClusterConfig) -> Topology {
+        assert!(hosts > 0, "a cluster needs at least one host");
+        let mut t = Topology::new();
+        let switch = t.add_device("switch", DeviceKind::Switch);
+        for i in 0..hosts {
+            let ssd = t.add_host_device(
+                i,
+                format!("host{i}.ssd"),
+                if config.smart_storage {
+                    DeviceKind::SmartStorage
+                } else {
+                    DeviceKind::PlainStorage
+                },
+            );
+            let nic = t.add_host_device(
+                i,
+                format!("host{i}.nic"),
+                if config.smart_nics {
+                    DeviceKind::SmartNic
+                } else {
+                    DeviceKind::PlainNic
+                },
+            );
+            let cpu = t.add_host_device(
+                i,
+                format!("host{i}.cpu"),
+                DeviceKind::Cpu {
+                    cores: config.cores_per_host,
+                },
+            );
+            let mem = t.add_host_device(
+                i,
+                format!("host{i}.mem"),
+                if config.near_memory_accel {
+                    DeviceKind::NearMemAccel
+                } else {
+                    DeviceKind::MemoryController
+                },
+            );
+            let pcie = LinkTech::Pcie {
+                generation: config.pcie_generation,
+            };
+            t.add_link(pcie, ssd, cpu);
+            t.add_link(LinkTech::Ddr { channels: 4 }, cpu, mem);
+            t.add_link(pcie, cpu, nic);
+            t.add_link(config.network, nic, switch);
+        }
+        t
+    }
+
     /// §6.4's rack-scale platform: compute sockets and disaggregated memory
     /// devices federated over a CXL fabric switch, every hop coherent.
     ///
@@ -317,6 +506,37 @@ impl Default for DisaggregatedConfig {
         DisaggregatedConfig {
             compute_nodes: 1,
             cores_per_node: 8,
+            smart_storage: true,
+            smart_nics: true,
+            near_memory_accel: true,
+            network: LinkTech::Rdma { gbits: 100 },
+            pcie_generation: 5,
+        }
+    }
+}
+
+/// Configuration for [`Topology::cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// CPU cores per host.
+    pub cores_per_host: u32,
+    /// Whether per-host storage controllers are computational.
+    pub smart_storage: bool,
+    /// Whether NICs are smart (DPU-class) — enables in-path partition /
+    /// pre-aggregation on exchange routes.
+    pub smart_nics: bool,
+    /// Whether host memory controllers carry a near-memory accelerator.
+    pub near_memory_accel: bool,
+    /// Network technology between host NICs and the switch.
+    pub network: LinkTech,
+    /// PCIe generation for intra-host links.
+    pub pcie_generation: u8,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            cores_per_host: 8,
             smart_storage: true,
             smart_nics: true,
             near_memory_accel: true,
@@ -432,5 +652,80 @@ mod tests {
         let mut t = Topology::new();
         t.add_device("x", DeviceKind::PlainNic);
         t.add_device("x", DeviceKind::PlainNic);
+    }
+
+    #[test]
+    fn route_cache_returns_identical_routes() {
+        let t = Topology::disaggregated(&DisaggregatedConfig {
+            compute_nodes: 2,
+            ..DisaggregatedConfig::default()
+        });
+        let ssd = t.expect_device("storage.ssd");
+        let mem = t.expect_device("compute1.mem");
+        let first = t.route(ssd, mem).unwrap();
+        let second = t.route(ssd, mem).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first.links.len(), 5);
+        // Local and disconnected results are cached correctly too.
+        assert!(t.route(ssd, ssd).unwrap().is_local());
+        assert!(t.route(ssd, ssd).unwrap().is_local());
+    }
+
+    #[test]
+    fn route_cache_invalidated_by_mutation() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", DeviceKind::PlainNic);
+        let b = t.add_device("b", DeviceKind::PlainNic);
+        assert!(t.route(a, b).is_none());
+        t.add_link(LinkTech::Rdma { gbits: 100 }, a, b);
+        let r = t.route(a, b).expect("link added, route must appear");
+        assert_eq!(r.links.len(), 1);
+    }
+
+    #[test]
+    fn cluster_shape_and_host_tags() {
+        let t = Topology::cluster(4, &ClusterConfig::default());
+        assert_eq!(t.host_count(), 4);
+        // 1 switch + 4 devices per host.
+        assert_eq!(t.devices().len(), 1 + 4 * 4);
+        assert_eq!(t.host_of(t.expect_device("switch")), None);
+        for i in 0..4u32 {
+            assert_eq!(t.host_devices(i).len(), 4);
+            for suffix in ["ssd", "nic", "cpu", "mem"] {
+                let dev = t.expect_device(&format!("host{i}.{suffix}"));
+                assert_eq!(t.host_of(dev), Some(i));
+            }
+        }
+        // Smart flags take effect per host.
+        let ssd = t.expect_device("host2.ssd");
+        assert!(t.device(ssd).profile.supports(OpClass::Filter));
+    }
+
+    #[test]
+    fn cluster_cross_host_route_goes_via_switch() {
+        let t = Topology::cluster(8, &ClusterConfig::default());
+        let route = t.route_between_hosts(1, 6).unwrap();
+        // cpu -> nic -> switch -> nic -> cpu.
+        assert_eq!(route.links.len(), 4);
+        let switch = t.expect_device("switch");
+        assert!(route.devices.contains(&switch));
+        // Same-host "route" is local.
+        assert!(t.route_between_hosts(3, 3).unwrap().is_local());
+        // The bottleneck is the configured network.
+        let bw = t.route_bandwidth(&route).unwrap();
+        assert!((bw.as_gbytes_per_sec() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_scan_path_stays_on_host() {
+        let t = Topology::cluster(2, &ClusterConfig::default());
+        let ssd = t.expect_device("host0.ssd");
+        let cpu = t.expect_device("host0.cpu");
+        let route = t.route(ssd, cpu).unwrap();
+        assert_eq!(route.links.len(), 1);
+        assert!(
+            route.devices.iter().all(|&d| t.host_of(d) == Some(0)),
+            "scan path left host 0"
+        );
     }
 }

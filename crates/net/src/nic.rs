@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use df_data::{Batch, Column, DataType, Field, Scalar, Schema};
+use df_data::{Batch, Column, DataType, Field, Schema};
 use df_sim::trace::{LaneId, LaneKind, Tracer};
 use df_storage::predicate::StoragePredicate;
 use df_storage::smart::{PartialAggregator, PreAggSpec};
@@ -77,33 +77,10 @@ impl NicStats {
 
 /// FNV-1a hash of the canonical bytes of the key scalars of one row.
 /// Deterministic across devices, so every NIC partitions identically.
+/// Delegates to the canonical [`df_data::partition`] function (seed 0) —
+/// the same routing the Exchange operator and partitioned storage use.
 pub fn hash_row(columns: &[&Column], row: usize) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x1000_0000_01b3);
-        }
-    };
-    for col in columns {
-        match col.scalar_at(row) {
-            Scalar::Null => eat(&[0]),
-            Scalar::Int(v) => {
-                eat(&[1]);
-                eat(&v.to_le_bytes());
-            }
-            Scalar::Float(v) => {
-                eat(&[2]);
-                eat(&v.to_bits().to_le_bytes());
-            }
-            Scalar::Str(s) => {
-                eat(&[3]);
-                eat(s.as_bytes());
-            }
-            Scalar::Bool(b) => eat(&[4, b as u8]),
-        }
-    }
-    hash
+    df_data::partition::hash_row(columns, row)
 }
 
 enum KernelState {

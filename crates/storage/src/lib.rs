@@ -21,6 +21,7 @@
 //! - [`table`] — multi-segment tables and their statistics
 
 pub mod object;
+pub mod partition;
 pub mod pattern;
 pub mod predicate;
 pub mod segment;

@@ -1,6 +1,7 @@
 //! Figure 4's scattering pipeline: a distributed, partitioned hash join
-//! whose exchange runs on the smart NICs — "without involvement of the
-//! CPU" — versus the conventional host-CPU exchange.
+//! compiled as a placed Exchange plan over the pipeline-graph IR, with the
+//! partitioning on the smart NICs — "without involvement of the CPU" —
+//! versus the conventional host-CPU exchange.
 //!
 //! ```text
 //! cargo run --release --example distributed_join
@@ -9,8 +10,8 @@
 use std::time::Instant;
 
 use rheo::bench::workload;
-use rheo::core::distributed::{distributed_hash_join, DistributedConfig};
 use rheo::core::logical::LogicalPlan;
+use rheo::core::scaleout::{exchange_hash_join, ScaleoutConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let orders = workload::orders(25_000, 11);
@@ -23,21 +24,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .schema();
 
     println!(
-        "joining orders ({} rows) with lineitem ({} rows) across worker nodes\n",
+        "joining orders ({} rows) with lineitem ({} rows) across cluster hosts\n",
         orders.rows(),
         lineitem.rows()
     );
 
     let mut reference = None;
-    for nodes in [2usize, 4, 8] {
+    for hosts in [2usize, 4, 8] {
         for smart in [true, false] {
-            let config = DistributedConfig {
-                nodes,
+            let config = ScaleoutConfig {
+                hosts,
                 smart_exchange: smart,
-                ..DistributedConfig::default()
+                ..ScaleoutConfig::default()
             };
             let t = Instant::now();
-            let (result, report) = distributed_hash_join(
+            let (result, report) = exchange_hash_join(
                 &orders,
                 &lineitem,
                 ("o_orderkey", "l_orderkey"),
@@ -51,20 +52,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Some(r) => assert_eq!(r, &rows, "join result diverged"),
             }
             println!(
-                "{nodes} nodes | exchange on {:9} | {} result rows | host \
-                 touched {:>12} bytes | NICs processed {:>12} bytes | {:?}",
+                "{hosts} hosts | exchange on {:9} | {} result rows | host CPUs \
+                 partitioned {:>12} bytes | NICs partitioned {:>12} bytes | \
+                 {:>12} bytes crossed the switch | {wall:?}",
                 if smart { "smart NIC" } else { "host CPU" },
                 report.result_rows,
                 report.host_bytes,
                 report.nic_bytes,
-                wall,
+                report.cross_host_bytes,
             );
         }
     }
 
+    // The per-host ledger breakdown of one configuration: every byte the
+    // run charged, attributed to the host whose device it left.
+    let config = ScaleoutConfig {
+        hosts: 4,
+        smart_exchange: true,
+        ..ScaleoutConfig::default()
+    };
+    let (_, report) = exchange_hash_join(
+        &orders,
+        &lineitem,
+        ("o_orderkey", "l_orderkey"),
+        join_schema,
+        &config,
+    )?;
+    println!("\nper-host ledger breakdown (4 hosts, smart exchange):");
+    for (h, (bytes, rows)) in report
+        .per_host_bytes
+        .iter()
+        .zip(&report.per_host_rows)
+        .enumerate()
+    {
+        println!("  host{h}: {bytes:>12} bytes shuffled out, {rows:>8} result rows joined");
+    }
     println!(
-        "\nthe smart exchange keeps host-touched bytes at zero at every \
-         node count — the Figure 4 claim — while producing bit-identical \
+        "  total {} bytes charged, {} of them across the switch",
+        report.total_bytes, report.cross_host_bytes
+    );
+
+    println!(
+        "\nthe smart exchange keeps host-partitioned bytes at zero at every \
+         host count — the Figure 4 claim — while producing bit-identical \
          join results"
     );
     Ok(())
