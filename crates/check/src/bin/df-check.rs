@@ -10,21 +10,25 @@
 //! - `--root PATH`    workspace root (default: the df-check crate's ../..)
 //! - `--bless`        rewrite the lint allowlists from current findings
 //! - `--demo-broken`  verify a deliberately broken plan and show findings
-//! - `--demo-cluster` verify + deadlock-analyze generated 2/4/8-host
+//! - `--demo-cluster` verify + deadlock-analyze generated 2/4/8/16-host
 //!   exchange graphs (hash-partitioned and broadcast)
 //!
 //! The graph-verification and deadlock passes always run, on built-in
 //! sample graphs covering a fabric-cut spine and a distributed hash
 //! join; `--workspace` adds the source lints and `--demo-cluster` adds
-//! the multi-host exchange graphs. Exit status is non-zero whenever any
-//! pass (other than `--demo-broken`) produced findings.
+//! the multi-host exchange graphs — every graph is model-checked with
+//! partial-order reduction, and a graph whose model check exceeds its
+//! budget surfaces as a `model-budget-exceeded` finding (so CI fails
+//! rather than silently accepting static-only coverage). Exit status is
+//! non-zero whenever any pass (other than `--demo-broken`) produced
+//! findings.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use df_check::deadlock;
 use df_check::lint;
-use df_check::report::{Section, SectionFinding};
+use df_check::report::{LintCount, ModelStat, Section, SectionFinding};
 use df_core::expr::{col, lit};
 use df_core::logical::JoinType;
 use df_core::physical::{PhysNode, PhysicalPlan};
@@ -198,13 +202,15 @@ fn cluster_graphs(hosts: usize) -> Vec<(String, PipelineGraph, Topology)> {
     out
 }
 
-/// Verify + deadlock-analyze one compiled graph, appending findings.
+/// Verify + deadlock-analyze one compiled graph, appending findings and
+/// model-checking stats.
 fn check_graph(
     name: &str,
     graph: &PipelineGraph,
     topo: &Topology,
     verify_out: &mut Vec<SectionFinding>,
     deadlock_out: &mut Vec<SectionFinding>,
+    models: &mut Vec<ModelStat>,
 ) {
     if let Err(errs) = graph.verify(Some(topo)) {
         for e in errs {
@@ -223,12 +229,45 @@ fn check_graph(
             message: format!("{name}: {f}"),
         });
     }
-    match r.model_states {
-        Some(states) => println!(
+    if r.budget_exceeded {
+        // Not a deadlock, but not verified either: fail the run instead
+        // of silently downgrading to static-only coverage.
+        deadlock_out.push(SectionFinding {
+            code: "model-budget-exceeded".to_string(),
+            location: None,
+            message: format!(
+                "{name}: model check exceeded its state/time budget; \
+                 interleaving coverage not verified"
+            ),
+        });
+    }
+    models.push(ModelStat {
+        graph: name.to_string(),
+        threads: r.threads,
+        channels: r.channels,
+        model_states: r.model_states,
+        budget_exceeded: r.budget_exceeded,
+        transitions: r.reduction.as_ref().map(|s| s.transitions),
+        reduction_ratio: r.reduction.as_ref().map(|s| s.reduction_ratio()),
+    });
+    match (r.model_states, &r.reduction) {
+        (Some(states), Some(stats)) => println!(
+            "  {name}: {} thread(s), {} channel(s); model checked {} state(s), \
+             reduction ratio {:.3}",
+            r.threads,
+            r.channels,
+            states,
+            stats.reduction_ratio()
+        ),
+        (Some(states), None) => println!(
             "  {name}: {} thread(s), {} channel(s); model checked {} state(s)",
             r.threads, r.channels, states
         ),
-        None => println!(
+        (None, _) if r.budget_exceeded => println!(
+            "  {name}: {} thread(s), {} channel(s); MODEL BUDGET EXCEEDED",
+            r.threads, r.channels
+        ),
+        (None, _) => println!(
             "  {name}: {} thread(s), {} channel(s); static checks only",
             r.threads, r.channels
         ),
@@ -333,6 +372,8 @@ fn main() -> ExitCode {
     }
 
     let mut sections = Vec::new();
+    let mut models = Vec::new();
+    let mut lint_counts: Vec<LintCount> = Vec::new();
 
     // Pass 1 + 2: graph verification and deadlock analysis on the
     // built-in sample graphs.
@@ -351,13 +392,16 @@ fn main() -> ExitCode {
             &topo,
             &mut verify_findings,
             &mut deadlock_findings,
+            &mut models,
         );
     }
     // `--demo-cluster`: the generated multi-host exchange graphs go
-    // through the same verify + deadlock pipeline as the samples.
+    // through the same verify + deadlock pipeline as the samples. The
+    // 16-host graphs are the E16 scale-out shapes; partial-order
+    // reduction keeps them in model-check scope.
     if args.demo_cluster {
         println!("df-check: generated cluster exchange graphs");
-        for hosts in [2usize, 4, 8] {
+        for hosts in [2usize, 4, 8, 16] {
             for (name, g, topo) in cluster_graphs(hosts) {
                 check_graph(
                     &name,
@@ -365,6 +409,7 @@ fn main() -> ExitCode {
                     &topo,
                     &mut verify_findings,
                     &mut deadlock_findings,
+                    &mut models,
                 );
             }
         }
@@ -407,6 +452,19 @@ fn main() -> ExitCode {
                 for f in &findings {
                     println!("  {f}");
                 }
+                // Per-rule counts: surfaced findings plus allowlisted
+                // debt (the difference against the unsuppressed run).
+                if let Ok(all) = lint::run_unsuppressed(&args.root) {
+                    for name in lint::lint_names() {
+                        let surfaced = findings.iter().filter(|f| f.lint == name).count();
+                        let total = all.iter().filter(|f| f.lint == name).count();
+                        lint_counts.push(LintCount {
+                            lint: name.to_string(),
+                            findings: surfaced,
+                            allowlisted: total.saturating_sub(surfaced),
+                        });
+                    }
+                }
                 sections.push(Section {
                     pass: "lints".into(),
                     findings: findings.iter().map(SectionFinding::from_lint).collect(),
@@ -421,7 +479,7 @@ fn main() -> ExitCode {
 
     let total: usize = sections.iter().map(|s| s.findings.len()).sum();
     if let Some(path) = &args.json {
-        let json = df_check::report::to_json(&sections);
+        let json = df_check::report::to_json_full(&sections, &models, &lint_counts);
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("df-check: cannot write {}: {e}", path.display());
             return ExitCode::from(2);

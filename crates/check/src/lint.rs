@@ -24,6 +24,19 @@
 //! - `no-unwrap-in-lib` — no `.unwrap()` / `.expect(` in non-test code of
 //!   `crates/{core,fabric,net,serve,storage}`; library code returns typed
 //!   errors.
+//! - `determinism-hash-iteration` — `std::collections::HashMap`/`HashSet`
+//!   iterate in randomized order, which breaks the repo's "same seed ⇒
+//!   byte-identical decisions/traces" invariant the moment iteration
+//!   feeds output, traces, or scheduling. Every use in non-test crate
+//!   code is taint: it must be a pure lookup table, drain through an
+//!   explicit sort, switch to `BTreeMap`, or use the in-tree
+//!   seed-stable `FxHash` types (which the word-boundary match exempts)
+//!   — and carry an allowlist entry saying which. New uses without a
+//!   justification fail CI.
+//! - `no-thread-id-in-decisions` — `ThreadId`/`thread::current` must not
+//!   appear in decision-making code (`crates/{core,serve,sim}`): thread
+//!   identity varies run to run, so branching on it is nondeterminism by
+//!   construction.
 //!
 //! Every lint consults an allowlist file under `crates/check/allowlists/`
 //! (one entry per line: `path-suffix` to allow a whole file, or
@@ -67,6 +80,9 @@ struct Lint {
     patterns: &'static [&'static str],
     /// Skip matches inside `#[cfg(test)]` blocks.
     skip_test_blocks: bool,
+    /// Require word boundaries around pattern matches (so `HashMap` does
+    /// not fire inside `FxHashMap`).
+    word: bool,
 }
 
 const LINTS: &[Lint] = &[
@@ -75,12 +91,14 @@ const LINTS: &[Lint] = &[
         scopes: &["crates/"],
         patterns: &[".charge("],
         skip_test_blocks: true,
+        word: false,
     },
     Lint {
         name: "raw-sync-channel",
         scopes: &["crates/"],
         patterns: &["sync_channel"],
         skip_test_blocks: true,
+        word: false,
     },
     Lint {
         name: "edge-codec-site",
@@ -92,12 +110,14 @@ const LINTS: &[Lint] = &[
             "edge_codec::decode(",
         ],
         skip_test_blocks: true,
+        word: false,
     },
     Lint {
         name: "wall-clock-in-sim",
         scopes: &["crates/sim/"],
         patterns: &["Instant::now", "SystemTime"],
         skip_test_blocks: true,
+        word: false,
     },
     Lint {
         name: "no-unwrap-in-lib",
@@ -110,6 +130,24 @@ const LINTS: &[Lint] = &[
         ],
         patterns: &[".unwrap()", ".expect("],
         skip_test_blocks: true,
+        word: false,
+    },
+    Lint {
+        // Word-boundary match: the in-tree seed-stable `FxHashMap` /
+        // `FxHashSet` / `FxBuildHasher` are the sanctioned alternative
+        // and must not fire.
+        name: "determinism-hash-iteration",
+        scopes: &["crates/"],
+        patterns: &["HashMap", "HashSet"],
+        skip_test_blocks: true,
+        word: true,
+    },
+    Lint {
+        name: "no-thread-id-in-decisions",
+        scopes: &["crates/core/src/", "crates/serve/src/", "crates/sim/src/"],
+        patterns: &["ThreadId", "thread::current"],
+        skip_test_blocks: true,
+        word: true,
     },
 ];
 
@@ -243,8 +281,17 @@ pub fn code_lines(source: &str) -> Vec<String> {
             }
             Mode::Str => {
                 if c == '\\' {
-                    line.push_str("  ");
-                    i += 2;
+                    // Escape: consume the backslash and the escaped
+                    // char — but never a newline. A line-continuation
+                    // (`"…\` at end of line) must leave the `\n` for the
+                    // main loop, or every later line number desyncs.
+                    if matches!(bytes.get(i + 1), None | Some(&b'\n')) {
+                        line.push(' ');
+                        i += 1;
+                    } else {
+                        line.push_str("  ");
+                        i += 2;
+                    }
                 } else if c == '"' {
                     mode = Mode::Code;
                     line.push('"');
@@ -482,7 +529,14 @@ fn run_inner(root: &Path, suppress: bool) -> io::Result<Vec<Finding>> {
                 if lint.skip_test_blocks && in_test.get(ln).copied().unwrap_or(false) {
                     continue;
                 }
-                if !lint.patterns.iter().any(|p| code_line.contains(p)) {
+                let hit = lint.patterns.iter().any(|p| {
+                    if lint.word {
+                        has_word(code_line, p)
+                    } else {
+                        code_line.contains(p)
+                    }
+                });
+                if !hit {
                     continue;
                 }
                 let raw_line = raw.get(ln).copied().unwrap_or("");
@@ -590,6 +644,53 @@ mod tests {
     }
 
     #[test]
+    fn lexer_preserves_lines_across_multiline_raw_strings() {
+        // A raw string spanning lines must blank its contents (no false
+        // positives inside) and keep the line structure intact so code
+        // *after* it is still scanned at the right line numbers.
+        let src = "let q = r##\"\nHashMap iteration \"# not the end\nsync_channel\n\"##;\nlet z = HashMap::new();\n";
+        let lines = code_lines(src);
+        assert_eq!(lines.len(), 5, "one entry per source line: {lines:?}");
+        assert!(!lines[1].contains("HashMap"));
+        assert!(!lines[2].contains("sync_channel"));
+        assert!(
+            lines[4].contains("HashMap::new"),
+            "code after the raw string must be seen: {:?}",
+            lines[4]
+        );
+    }
+
+    #[test]
+    fn lexer_preserves_lines_across_multiline_nested_block_comments() {
+        let src = "/* a /* b\nHashMap */ still\ncomment */ let y = HashSet::new();\nlet t = 2;\n";
+        let lines = code_lines(src);
+        assert_eq!(lines.len(), 4, "one entry per source line: {lines:?}");
+        assert!(!lines[0].contains("a /"));
+        assert!(!lines[1].contains("HashMap"));
+        assert!(
+            lines[2].contains("let y = HashSet::new();"),
+            "code after the comment must be seen: {:?}",
+            lines[2]
+        );
+        assert!(lines[3].contains("let t = 2;"));
+    }
+
+    #[test]
+    fn lexer_does_not_swallow_string_line_continuations() {
+        // A `\` at end of line continues the string literal onto the next
+        // line; the newline must still produce a line break or every
+        // later line number is off by one.
+        let src = "let s = \"abc\\\n def\";\nlet m = HashMap::new();\n";
+        let lines = code_lines(src);
+        assert_eq!(lines.len(), 3, "line structure preserved: {lines:?}");
+        assert!(
+            lines[2].contains("HashMap::new"),
+            "third line must carry the code: {:?}",
+            lines[2]
+        );
+    }
+
+    #[test]
     fn test_blocks_are_detected() {
         let src =
             "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
@@ -651,6 +752,96 @@ mod tests {
                 && f.file.ends_with("push.rs")
                 && f.snippet.contains("shadow_ledger")),
             "second charge site not rejected: {findings:?}"
+        );
+        fs::remove_dir_all(&tmp).ok();
+    }
+
+    /// Mutation test for `determinism-hash-iteration`: the real volcano
+    /// executor (whose blessed `HashMap` sites are pinned by substring
+    /// allowlist entries) lints clean, a spliced-in new `HashMap`
+    /// iteration is rejected, and the in-tree `FxHashMap` alternative is
+    /// not flagged (word-boundary match).
+    #[test]
+    fn spliced_hash_iteration_is_rejected_and_fxhash_is_not() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let real = fs::read_to_string(root.join("crates/core/src/exec/volcano.rs"))
+            .expect("read volcano.rs");
+        let tmp =
+            std::env::temp_dir().join(format!("df-check-hash-mutation-{}", std::process::id()));
+        let src_dir = tmp.join("crates/core/src/exec");
+        fs::create_dir_all(&src_dir).expect("mkdir sandbox src");
+        let allow_dst = tmp.join("crates/check/allowlists");
+        fs::create_dir_all(&allow_dst).expect("mkdir sandbox allowlists");
+        for entry in fs::read_dir(root.join("crates/check/allowlists")).expect("read allowlists") {
+            let entry = entry.expect("allowlist entry");
+            fs::copy(entry.path(), allow_dst.join(entry.file_name())).expect("copy allowlist");
+        }
+
+        fs::write(src_dir.join("volcano.rs"), &real).expect("write clean copy");
+        let clean = run(&tmp).expect("lint clean copy");
+        assert!(clean.is_empty(), "clean copy has findings: {clean:?}");
+
+        // A fresh HashMap iteration with no allowlist justification.
+        let probe = "\nfn lint_mutation_probe() -> usize {\n    \
+                     let m: std::collections::HashMap<u32, u32> = Default::default();\n    \
+                     m.iter().map(|(k, v)| (k + v) as usize).sum()\n}\n";
+        fs::write(src_dir.join("volcano.rs"), format!("{real}{probe}"))
+            .expect("write mutated copy");
+        let findings = run(&tmp).expect("lint mutated copy");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.lint == "determinism-hash-iteration"
+                    && f.file.ends_with("volcano.rs")
+                    && f.snippet.contains("HashMap<u32, u32>")),
+            "unjustified HashMap not rejected: {findings:?}"
+        );
+
+        // The seed-stable in-tree FxHashMap must NOT fire the lint.
+        let fx_probe = "\nfn lint_fx_probe() -> usize {\n    \
+                        let m: FxHashMap<u32, u32> = FxHashMap::default();\n    \
+                        m.len()\n}\n";
+        fs::write(src_dir.join("volcano.rs"), format!("{real}{fx_probe}")).expect("write fx copy");
+        let findings = run(&tmp).expect("lint fx copy");
+        assert!(
+            !findings
+                .iter()
+                .any(|f| f.lint == "determinism-hash-iteration"),
+            "FxHashMap wrongly flagged: {findings:?}"
+        );
+        fs::remove_dir_all(&tmp).ok();
+    }
+
+    /// Mutation test for `no-thread-id-in-decisions`: splicing a
+    /// `thread::current().id()` call into decision-making code is caught.
+    #[test]
+    fn spliced_thread_id_is_rejected() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let real = fs::read_to_string(root.join("crates/core/src/exec/volcano.rs"))
+            .expect("read volcano.rs");
+        let tmp =
+            std::env::temp_dir().join(format!("df-check-tid-mutation-{}", std::process::id()));
+        let src_dir = tmp.join("crates/core/src/exec");
+        fs::create_dir_all(&src_dir).expect("mkdir sandbox src");
+        let allow_dst = tmp.join("crates/check/allowlists");
+        fs::create_dir_all(&allow_dst).expect("mkdir sandbox allowlists");
+        for entry in fs::read_dir(root.join("crates/check/allowlists")).expect("read allowlists") {
+            let entry = entry.expect("allowlist entry");
+            fs::copy(entry.path(), allow_dst.join(entry.file_name())).expect("copy allowlist");
+        }
+        let probe = "\nfn lint_tid_probe() -> u64 {\n    \
+                     let id = std::thread::current().id();\n    \
+                     format!(\"{id:?}\").len() as u64\n}\n";
+        fs::write(src_dir.join("volcano.rs"), format!("{real}{probe}"))
+            .expect("write mutated copy");
+        let findings = run(&tmp).expect("lint mutated copy");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.lint == "no-thread-id-in-decisions"
+                    && f.file.ends_with("volcano.rs")
+                    && f.snippet.contains("thread::current")),
+            "thread-id use not rejected: {findings:?}"
         );
         fs::remove_dir_all(&tmp).ok();
     }

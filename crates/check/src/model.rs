@@ -1,19 +1,55 @@
-//! A small bounded model checker for bounded-channel thread systems.
+//! A model checker for bounded-channel thread systems, with dynamic
+//! partial-order reduction.
 //!
 //! The credit protocol (§7.1) is, abstractly, a set of threads exchanging
 //! chunks over bounded FIFO channels: `send` blocks when the channel holds
 //! `capacity` chunks (the producer is out of credits), `recv` blocks when
 //! it holds none. Chunk *contents* are irrelevant to blocking behavior, so
 //! a thread reduces to a script of [`ChanOp`]s and the global state to
-//! per-thread program counters plus per-channel queue lengths. That state
-//! space is finite and small for the graphs the executor builds, which
-//! makes exhaustive enumeration of every interleaving practical.
+//! per-thread program counters plus per-channel queue lengths.
 //!
-//! [`ChannelSystem::check`] explores all reachable states and reports
-//! either the number of states visited (no deadlock anywhere) or a
-//! deadlocked state with the schedule that reaches it.
+//! Two checkers share that abstraction:
+//!
+//! - [`ChannelSystem::check`] enumerates every interleaving (kept as the
+//!   oracle the reduced search is property-tested against);
+//! - [`ChannelSystem::check_reduced`] explores a provably sufficient
+//!   subset of interleavings using **persistent sets** (stubborn-set
+//!   closure at thread granularity), **sleep sets**, and state caching,
+//!   under a configurable [`Budget`]. Exceeding the budget reports
+//!   [`Verdict::BudgetExceeded`] instead of silently downgrading.
+//!
+//! # Why the reduction is sound
+//!
+//! Deadlock reachability only depends on the *order of conflicting*
+//! operations; independent operations commute. In this model:
+//!
+//! - ops on **distinct channels** always commute and can neither enable
+//!   nor disable each other;
+//! - a **send and a recv on the same channel** commute whenever both
+//!   orders are executable, and neither ever disables the other (a send
+//!   can only *enable* a blocked recv and vice versa — enabling is
+//!   handled by necessary-enabling sets, not by conflict sets);
+//! - two **sends on the same channel** (distinct threads) conflict only
+//!   if the channel can still reach capacity: if the current fill plus
+//!   every remaining send fits below capacity, no send on that channel
+//!   can ever block, so they commute and cannot disable each other. The
+//!   symmetric rule holds for two recvs when the queue already holds
+//!   enough chunks to serve every remaining recv.
+//!
+//! The persistent set at a state is a stubborn-set closure: start from
+//! one enabled thread; for an enabled member, pull in every thread whose
+//! *remaining script* has a conflicting (same-channel, same-direction,
+//! still-blockable) op; for a blocked member, pull in every thread whose
+//! remaining script can enable it (opposite-direction op on the blocked
+//! channel). Exchange fan-in (many producers into one shared per-part
+//! channel) is the only structural source of conflicts in compiled
+//! pipeline graphs, and with the default credit budgets those channels
+//! cannot fill in the model — which is what collapses the 16-host
+//! exchange graphs from an astronomically large interleaving space to a
+//! near-linear exploration.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::time::Instant;
 
 /// One blocking channel operation in a thread's script.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +58,18 @@ pub enum ChanOp {
     Send(usize),
     /// Dequeue a chunk; blocks while the channel is empty.
     Recv(usize),
+}
+
+impl ChanOp {
+    fn channel(self) -> usize {
+        match self {
+            ChanOp::Send(c) | ChanOp::Recv(c) => c,
+        }
+    }
+
+    fn is_send(self) -> bool {
+        matches!(self, ChanOp::Send(_))
+    }
 }
 
 /// A closed system of threads communicating over bounded channels.
@@ -33,7 +81,30 @@ pub struct ChannelSystem {
     pub scripts: Vec<Vec<ChanOp>>,
 }
 
-/// Result of exhaustively checking a [`ChannelSystem`].
+/// Exploration limits for the reduced search. The default state budget is
+/// far above what any compiled pipeline graph needs (the 16-host exchange
+/// graphs reduce to a few thousand states) while still bounding forged or
+/// adversarial systems. The optional wall-clock cap is off by default so
+/// verdicts stay deterministic.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Maximum distinct states expanded before giving up.
+    pub max_states: usize,
+    /// Optional wall-clock cap in milliseconds. `None` (the default)
+    /// keeps the verdict a pure function of the system.
+    pub max_millis: Option<u64>,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            max_states: 2_000_000,
+            max_millis: None,
+        }
+    }
+}
+
+/// Result of checking a [`ChannelSystem`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
     /// Every reachable state can make progress or is final.
@@ -49,6 +120,152 @@ pub enum Verdict {
         /// Program counter of each thread in the stuck state.
         stuck_pcs: Vec<usize>,
     },
+    /// The search hit its [`Budget`] before covering the state space; no
+    /// verdict. Callers must treat this as "not verified", never as
+    /// "deadlock-free".
+    BudgetExceeded {
+        /// Distinct states expanded before the budget ran out.
+        states: usize,
+    },
+}
+
+/// How much work the reduced search did, and how much the reduction
+/// saved relative to the enabled transitions it saw.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Distinct states expanded.
+    pub states: usize,
+    /// Transitions executed (tree edges explored, including re-entries
+    /// into cached states).
+    pub transitions: usize,
+    /// Sum over expanded states of the number of enabled threads.
+    pub enabled_total: u64,
+    /// Sum over expanded states of the number of transitions actually
+    /// explored (persistent set minus sleep set).
+    pub explored_total: u64,
+}
+
+impl ReductionStats {
+    /// Fraction of enabled transitions the search actually explored;
+    /// 1.0 means no reduction, small values mean strong reduction.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.enabled_total == 0 {
+            1.0
+        } else {
+            self.explored_total as f64 / self.enabled_total as f64
+        }
+    }
+}
+
+/// Final state of replaying a schedule, for validating reported deadlock
+/// schedules against the executable semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// Program counter of each thread after the schedule.
+    pub pcs: Vec<usize>,
+    /// Fill level of each channel after the schedule.
+    pub queues: Vec<usize>,
+    /// True when at least one thread is unfinished and none can step.
+    pub stuck: bool,
+}
+
+/// Dense set of thread ids (systems stay far below a few hundred
+/// threads; one or two words in practice).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ThreadSet {
+    words: Vec<u64>,
+}
+
+impl ThreadSet {
+    fn new(threads: usize) -> ThreadSet {
+        ThreadSet {
+            words: vec![0; threads.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, t: usize) {
+        self.words[t / 64] |= 1 << (t % 64);
+    }
+
+    fn contains(&self, t: usize) -> bool {
+        self.words[t / 64] & (1 << (t % 64)) != 0
+    }
+
+    fn is_subset_of(&self, other: &ThreadSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    fn intersect_with(&mut self, other: &ThreadSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+}
+
+/// Global state: one program counter per thread, one fill level per
+/// channel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    pcs: Vec<u32>,
+    queues: Vec<u32>,
+}
+
+/// Per-(thread, pc) suffix summaries: which channels the rest of the
+/// script still sends to / receives from, and how many sends each suffix
+/// contributes per channel (for the can-this-channel-still-fill test).
+struct Suffixes {
+    /// `sends[t][pc]` — channel bitset of sends in `scripts[t][pc..]`.
+    sends: Vec<Vec<Vec<u64>>>,
+    /// `recvs[t][pc]` — channel bitset of recvs in `scripts[t][pc..]`.
+    recvs: Vec<Vec<Vec<u64>>>,
+}
+
+impl Suffixes {
+    fn build(sys: &ChannelSystem) -> Suffixes {
+        let words = sys.capacities.len().div_ceil(64);
+        let mut sends = Vec::with_capacity(sys.scripts.len());
+        let mut recvs = Vec::with_capacity(sys.scripts.len());
+        for script in &sys.scripts {
+            let mut s = vec![vec![0u64; words]; script.len() + 1];
+            let mut r = vec![vec![0u64; words]; script.len() + 1];
+            for pc in (0..script.len()).rev() {
+                let mut sw = s[pc + 1].clone();
+                let mut rw = r[pc + 1].clone();
+                let c = script[pc].channel();
+                if script[pc].is_send() {
+                    sw[c / 64] |= 1 << (c % 64);
+                } else {
+                    rw[c / 64] |= 1 << (c % 64);
+                }
+                s[pc] = sw;
+                r[pc] = rw;
+            }
+            sends.push(s);
+            recvs.push(r);
+        }
+        Suffixes { sends, recvs }
+    }
+
+    /// Does thread `t` at `pc` still have a send (resp. recv) on `c`?
+    fn touches(&self, send: bool, t: usize, pc: usize, c: usize) -> bool {
+        let table = if send { &self.sends } else { &self.recvs };
+        table[t][pc][c / 64] & (1 << (c % 64)) != 0
+    }
+}
+
+/// One DFS node of the reduced search.
+struct Frame {
+    state: State,
+    /// Sleep set this node is explored under.
+    sleep: ThreadSet,
+    /// Persistent-set candidates still to explore (ascending thread id).
+    cands: Vec<usize>,
+    next_cand: usize,
+    /// The (thread, op) step that entered this frame; `None` at the root.
+    step_in: Option<(usize, ChanOp)>,
 }
 
 impl ChannelSystem {
@@ -56,9 +273,7 @@ impl ChannelSystem {
     fn validate(&self) {
         for (t, script) in self.scripts.iter().enumerate() {
             for op in script {
-                let ch = match op {
-                    ChanOp::Send(c) | ChanOp::Recv(c) => *c,
-                };
+                let ch = op.channel();
                 assert!(
                     ch < self.capacities.len(),
                     "thread {t} references channel {ch}, only {} exist",
@@ -68,27 +283,34 @@ impl ChannelSystem {
         }
     }
 
-    /// Whether thread `t` can take its next step in `(pcs, queues)`.
-    fn enabled(&self, t: usize, pcs: &[usize], queues: &[usize]) -> bool {
-        match self.scripts[t].get(pcs[t]) {
+    /// Whether thread `t` can take its next step.
+    fn enabled(&self, t: usize, pcs: &[u32], queues: &[u32]) -> bool {
+        match self.scripts[t].get(pcs[t] as usize) {
             None => false, // finished
-            Some(ChanOp::Send(c)) => queues[*c] < self.capacities[*c],
+            Some(ChanOp::Send(c)) => (queues[*c] as usize) < self.capacities[*c],
             Some(ChanOp::Recv(c)) => queues[*c] > 0,
         }
+    }
+
+    fn next_op(&self, t: usize, pcs: &[u32]) -> Option<ChanOp> {
+        self.scripts[t].get(pcs[t] as usize).copied()
     }
 
     /// Exhaustively enumerate every interleaving. States are memoized, so
     /// each distinct `(pcs, queues)` pair is expanded once; a state is a
     /// deadlock when at least one thread is unfinished and no thread is
-    /// enabled.
+    /// enabled. Kept as the oracle [`check_reduced`] is property-tested
+    /// against; use the reduced search for anything beyond toy systems.
+    ///
+    /// [`check_reduced`]: ChannelSystem::check_reduced
     pub fn check(&self) -> Verdict {
         self.validate();
         let nt = self.scripts.len();
-        let start: State = State {
+        let start = State {
             pcs: vec![0; nt],
             queues: vec![0; self.capacities.len()],
         };
-        let mut seen: HashSet<State> = HashSet::new();
+        let mut seen: std::collections::HashSet<State> = std::collections::HashSet::new();
         let mut pred: HashMap<State, (State, usize)> = HashMap::new();
         let mut work = vec![start.clone()];
         seen.insert(start);
@@ -96,14 +318,14 @@ impl ChannelSystem {
         while let Some(state) = work.pop() {
             states += 1;
             let mut any_enabled = false;
-            let all_done = (0..nt).all(|t| state.pcs[t] >= self.scripts[t].len());
+            let all_done = (0..nt).all(|t| state.pcs[t] as usize >= self.scripts[t].len());
             for t in 0..nt {
                 if !self.enabled(t, &state.pcs, &state.queues) {
                     continue;
                 }
                 any_enabled = true;
                 let mut next = state.clone();
-                match self.scripts[t][state.pcs[t]] {
+                match self.scripts[t][state.pcs[t] as usize] {
                     ChanOp::Send(c) => next.queues[c] += 1,
                     ChanOp::Recv(c) => next.queues[c] -= 1,
                 }
@@ -124,26 +346,366 @@ impl ChannelSystem {
                 schedule.reverse();
                 return Verdict::Deadlock {
                     schedule,
-                    stuck_pcs: state.pcs,
+                    stuck_pcs: state.pcs.iter().map(|&p| p as usize).collect(),
                 };
             }
         }
         Verdict::DeadlockFree { states }
     }
-}
 
-/// Global state: one program counter per thread, one fill level per
-/// channel.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct State {
-    pcs: Vec<usize>,
-    queues: Vec<usize>,
+    /// Replay a schedule from the initial state. Returns `None` if some
+    /// step names an out-of-range thread or a thread that is finished or
+    /// blocked at that point (i.e. the schedule is not executable).
+    pub fn replay(&self, schedule: &[usize]) -> Option<Replay> {
+        self.validate();
+        let nt = self.scripts.len();
+        let mut pcs = vec![0u32; nt];
+        let mut queues = vec![0u32; self.capacities.len()];
+        for &t in schedule {
+            if t >= nt || !self.enabled(t, &pcs, &queues) {
+                return None;
+            }
+            match self.scripts[t][pcs[t] as usize] {
+                ChanOp::Send(c) => queues[c] += 1,
+                ChanOp::Recv(c) => queues[c] -= 1,
+            }
+            pcs[t] += 1;
+        }
+        let any_enabled = (0..nt).any(|t| self.enabled(t, &pcs, &queues));
+        let all_done = (0..nt).all(|t| pcs[t] as usize >= self.scripts[t].len());
+        Some(Replay {
+            pcs: pcs.iter().map(|&p| p as usize).collect(),
+            queues: queues.iter().map(|&q| q as usize).collect(),
+            stuck: !any_enabled && !all_done,
+        })
+    }
+
+    /// Stubborn-set closure seeded at enabled thread `seed`. `rem_sends`
+    /// and `rem_recvs` count all remaining ops per channel in the current
+    /// state (across every thread).
+    fn closure(
+        &self,
+        seed: usize,
+        pcs: &[u32],
+        queues: &[u32],
+        rem_sends: &[u32],
+        rem_recvs: &[u32],
+        suffixes: &Suffixes,
+    ) -> ThreadSet {
+        let nt = self.scripts.len();
+        let mut in_set = ThreadSet::new(nt);
+        in_set.insert(seed);
+        let mut work = vec![seed];
+        while let Some(q) = work.pop() {
+            let Some(op) = self.next_op(q, pcs) else {
+                continue;
+            };
+            let c = op.channel();
+            let is_send = op.is_send();
+            let q_enabled = self.enabled(q, pcs, queues);
+            // Which direction of ops on `c` must be pulled in:
+            // - enabled op: same-direction conflicters, but only when the
+            //   channel can still block that direction (fill for sends,
+            //   run dry for recvs);
+            // - blocked op: opposite-direction enablers, unconditionally.
+            let (want_send_dir, needed) = if q_enabled {
+                let blockable = if is_send {
+                    queues[c] as usize + rem_sends[c] as usize > self.capacities[c]
+                } else {
+                    (queues[c] as usize) < rem_recvs[c] as usize
+                };
+                (is_send, blockable)
+            } else {
+                (!is_send, true)
+            };
+            if !needed {
+                continue;
+            }
+            for (r, &pc) in pcs.iter().enumerate().take(nt) {
+                if r == q || in_set.contains(r) {
+                    continue;
+                }
+                if suffixes.touches(want_send_dir, r, pc as usize, c) {
+                    in_set.insert(r);
+                    work.push(r);
+                }
+            }
+        }
+        in_set
+    }
+
+    /// Persistent set of enabled threads at a state: the cheapest
+    /// stubborn-set closure over all enabled seeds (ties broken by lowest
+    /// seed id, so exploration order is deterministic).
+    fn persistent_enabled(
+        &self,
+        enabled: &[usize],
+        pcs: &[u32],
+        queues: &[u32],
+        rem_sends: &[u32],
+        rem_recvs: &[u32],
+        suffixes: &Suffixes,
+    ) -> Vec<usize> {
+        let mut best: Option<Vec<usize>> = None;
+        for &seed in enabled {
+            let set = self.closure(seed, pcs, queues, rem_sends, rem_recvs, suffixes);
+            let chosen: Vec<usize> = enabled
+                .iter()
+                .copied()
+                .filter(|&t| set.contains(t))
+                .collect();
+            if chosen.len() == 1 {
+                return chosen; // cannot do better
+            }
+            if best.as_ref().is_none_or(|b| chosen.len() < b.len()) {
+                best = Some(chosen);
+            }
+        }
+        best.unwrap_or_default()
+    }
+
+    /// Explore a reduced but deadlock-complete subset of interleavings:
+    /// persistent sets prune commuting branches, sleep sets prune
+    /// re-orderings already covered by a sibling, and visited states are
+    /// cached together with the sleep set they were explored under (a
+    /// revisit with a subset-or-equal awake set is skipped; otherwise the
+    /// state is re-explored under the intersection, which shrinks
+    /// monotonically and so terminates).
+    ///
+    /// Returns the verdict plus [`ReductionStats`]. The verdict agrees
+    /// with [`check`](ChannelSystem::check) on deadlock-freedom for every
+    /// system (property-tested in `tests/model_properties.rs`), and any
+    /// reported deadlock schedule replays to a genuinely stuck state.
+    pub fn check_reduced(&self, budget: &Budget) -> (Verdict, ReductionStats) {
+        self.validate();
+        let nt = self.scripts.len();
+        let nc = self.capacities.len();
+        let suffixes = Suffixes::build(self);
+        let mut stats = ReductionStats::default();
+        let deadline = budget
+            .max_millis
+            .map(|ms| (Instant::now(), std::time::Duration::from_millis(ms)));
+
+        // Remaining op counts per channel, maintained along the DFS path.
+        let mut rem_sends = vec![0u32; nc];
+        let mut rem_recvs = vec![0u32; nc];
+        for script in &self.scripts {
+            for op in script {
+                match op {
+                    ChanOp::Send(c) => rem_sends[*c] += 1,
+                    ChanOp::Recv(c) => rem_recvs[*c] += 1,
+                }
+            }
+        }
+
+        // state -> sleep set it was (or is being) explored under.
+        let mut cache: HashMap<State, ThreadSet> = HashMap::new();
+
+        let root = State {
+            pcs: vec![0; nt],
+            queues: vec![0; nc],
+        };
+        let mut stack: Vec<Frame> = Vec::new();
+        // Push a node: cache lookup, deadlock test, candidate selection.
+        // Returns Err(verdict) to stop the whole search.
+        let mut push_node = |state: State,
+                             sleep: ThreadSet,
+                             step_in: Option<(usize, ChanOp)>,
+                             stack: &mut Vec<Frame>,
+                             stats: &mut ReductionStats,
+                             rem_sends: &[u32],
+                             rem_recvs: &[u32]|
+         -> Result<(), Verdict> {
+            let sleep = match cache.get_mut(&state) {
+                Some(stored) => {
+                    if stored.is_subset_of(&sleep) {
+                        // Already explored at least this much: leaf.
+                        stack.push(Frame {
+                            state,
+                            sleep,
+                            cands: Vec::new(),
+                            next_cand: 0,
+                            step_in,
+                        });
+                        return Ok(());
+                    }
+                    stored.intersect_with(&sleep);
+                    stored.clone()
+                }
+                None => {
+                    cache.insert(state.clone(), sleep.clone());
+                    sleep
+                }
+            };
+            if stats.states >= budget.max_states {
+                return Err(Verdict::BudgetExceeded {
+                    states: stats.states,
+                });
+            }
+            if let Some((start, limit)) = &deadline {
+                if stats.states.is_multiple_of(4096) && start.elapsed() > *limit {
+                    return Err(Verdict::BudgetExceeded {
+                        states: stats.states,
+                    });
+                }
+            }
+            stats.states += 1;
+            let enabled: Vec<usize> = (0..nt)
+                .filter(|&t| self.enabled(t, &state.pcs, &state.queues))
+                .collect();
+            if enabled.is_empty() {
+                let all_done = (0..nt).all(|t| state.pcs[t] as usize >= self.scripts[t].len());
+                if !all_done {
+                    // The DFS stack is the schedule.
+                    let mut schedule: Vec<usize> = stack
+                        .iter()
+                        .filter_map(|f| f.step_in.map(|(t, _)| t))
+                        .collect();
+                    if let Some((t, _)) = step_in {
+                        schedule.push(t);
+                    }
+                    return Err(Verdict::Deadlock {
+                        schedule,
+                        stuck_pcs: state.pcs.iter().map(|&p| p as usize).collect(),
+                    });
+                }
+                stack.push(Frame {
+                    state,
+                    sleep,
+                    cands: Vec::new(),
+                    next_cand: 0,
+                    step_in,
+                });
+                return Ok(());
+            }
+            let persistent = self.persistent_enabled(
+                &enabled,
+                &state.pcs,
+                &state.queues,
+                rem_sends,
+                rem_recvs,
+                &suffixes,
+            );
+            let cands: Vec<usize> = persistent
+                .into_iter()
+                .filter(|&t| !sleep.contains(t))
+                .collect();
+            stats.enabled_total += enabled.len() as u64;
+            stats.explored_total += cands.len() as u64;
+            stack.push(Frame {
+                state,
+                sleep,
+                cands,
+                next_cand: 0,
+                step_in,
+            });
+            Ok(())
+        };
+
+        if let Err(v) = push_node(
+            root,
+            ThreadSet::new(nt),
+            None,
+            &mut stack,
+            &mut stats,
+            &rem_sends,
+            &rem_recvs,
+        ) {
+            return (v, stats);
+        }
+
+        while let Some(top) = stack.last() {
+            if top.next_cand >= top.cands.len() {
+                // Exhausted: undo the entering step and pop.
+                if let Some((_, op)) = top.step_in {
+                    match op {
+                        ChanOp::Send(c) => rem_sends[c] += 1,
+                        ChanOp::Recv(c) => rem_recvs[c] += 1,
+                    }
+                }
+                stack.pop();
+                continue;
+            }
+            let idx = stack.len() - 1;
+            let t = stack[idx].cands[stack[idx].next_cand];
+            stack[idx].next_cand += 1;
+            let op = self
+                .next_op(t, &stack[idx].state.pcs)
+                .expect("candidate thread has a next op");
+            let mut child = stack[idx].state.clone();
+            match op {
+                ChanOp::Send(c) => child.queues[c] += 1,
+                ChanOp::Recv(c) => child.queues[c] -= 1,
+            }
+            child.pcs[t] += 1;
+            stats.transitions += 1;
+            // Child sleep set: previously slept threads plus the earlier
+            // siblings, minus anything woken by this step (conservative:
+            // any thread whose next op shares this step's channel wakes).
+            let mut child_sleep = ThreadSet::new(nt);
+            let parent = &stack[idx];
+            for s in 0..nt {
+                if s == t {
+                    continue;
+                }
+                let slept =
+                    parent.sleep.contains(s) || parent.cands[..parent.next_cand - 1].contains(&s);
+                if !slept {
+                    continue;
+                }
+                let independent = match self.next_op(s, &parent.state.pcs) {
+                    None => true,
+                    Some(other) => other.channel() != op.channel(),
+                };
+                if independent {
+                    child_sleep.insert(s);
+                }
+            }
+            match op {
+                ChanOp::Send(c) => rem_sends[c] -= 1,
+                ChanOp::Recv(c) => rem_recvs[c] -= 1,
+            }
+            if let Err(v) = push_node(
+                child,
+                child_sleep,
+                Some((t, op)),
+                &mut stack,
+                &mut stats,
+                &rem_sends,
+                &rem_recvs,
+            ) {
+                return (v, stats);
+            }
+        }
+        (
+            Verdict::DeadlockFree {
+                states: stats.states,
+            },
+            stats,
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ChanOp::{Recv, Send};
+
+    /// Run both checkers and assert they agree on deadlock-freedom;
+    /// returns the reduced verdict.
+    fn check_both(sys: &ChannelSystem) -> (Verdict, ReductionStats) {
+        let full = sys.check();
+        let (reduced, stats) = sys.check_reduced(&Budget::default());
+        match (&full, &reduced) {
+            (Verdict::DeadlockFree { .. }, Verdict::DeadlockFree { .. }) => {}
+            (Verdict::Deadlock { .. }, Verdict::Deadlock { schedule, .. }) => {
+                let replay = sys.replay(schedule).expect("deadlock schedule replays");
+                assert!(replay.stuck, "replayed schedule must be stuck");
+            }
+            other => panic!("checkers disagree: {other:?}"),
+        }
+        (reduced, stats)
+    }
 
     #[test]
     fn single_producer_consumer_is_deadlock_free() {
@@ -154,7 +716,7 @@ mod tests {
                 vec![Recv(0), Recv(0), Recv(0)],
             ],
         };
-        assert!(matches!(sys.check(), Verdict::DeadlockFree { .. }));
+        assert!(matches!(check_both(&sys).0, Verdict::DeadlockFree { .. }));
     }
 
     #[test]
@@ -174,6 +736,7 @@ mod tests {
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
+        assert!(matches!(check_both(&sys).0, Verdict::Deadlock { .. }));
     }
 
     #[test]
@@ -182,7 +745,7 @@ mod tests {
             capacities: vec![0],
             scripts: vec![vec![Send(0)], vec![Recv(0)]],
         };
-        assert!(matches!(sys.check(), Verdict::Deadlock { .. }));
+        assert!(matches!(check_both(&sys).0, Verdict::Deadlock { .. }));
     }
 
     #[test]
@@ -197,7 +760,7 @@ mod tests {
                 vec![Send(1), Send(1), Recv(0), Recv(0)],
             ],
         };
-        assert!(matches!(sys.check(), Verdict::Deadlock { .. }));
+        assert!(matches!(check_both(&sys).0, Verdict::Deadlock { .. }));
     }
 
     #[test]
@@ -210,7 +773,7 @@ mod tests {
                 vec![Send(1), Send(1), Recv(0), Recv(0)],
             ],
         };
-        assert!(matches!(sys.check(), Verdict::DeadlockFree { .. }));
+        assert!(matches!(check_both(&sys).0, Verdict::DeadlockFree { .. }));
     }
 
     #[test]
@@ -224,7 +787,7 @@ mod tests {
                 vec![Recv(1), Recv(1)],
             ],
         };
-        assert!(matches!(sys.check(), Verdict::DeadlockFree { .. }));
+        assert!(matches!(check_both(&sys).0, Verdict::DeadlockFree { .. }));
     }
 
     #[test]
@@ -234,7 +797,7 @@ mod tests {
             capacities: vec![1],
             scripts: vec![vec![], vec![Recv(0)]],
         };
-        assert!(matches!(sys.check(), Verdict::Deadlock { .. }));
+        assert!(matches!(check_both(&sys).0, Verdict::Deadlock { .. }));
     }
 
     #[test]
@@ -247,5 +810,130 @@ mod tests {
             Verdict::DeadlockFree { states } => assert!(states >= 3),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn schedule_dependent_deadlock_on_a_shared_channel_is_found() {
+        // A DAG-shaped system (no wait cycle, all capacities >= 1) whose
+        // deadlock exists only under some schedules: if p2 grabs the one
+        // slot of channel 0 first, p1 can never send the chunk q is
+        // waiting for on channel 1. This is exactly the class of bug the
+        // static wait-graph analysis cannot see and the model checker
+        // exists for — and DPOR must keep the "p2 first" branch.
+        let sys = ChannelSystem {
+            capacities: vec![1, 1],
+            scripts: vec![
+                vec![Send(0), Send(1)],          // p1
+                vec![Send(0)],                   // p2
+                vec![Recv(1), Recv(0), Recv(0)], // q
+            ],
+        };
+        let (verdict, _) = check_both(&sys);
+        match verdict {
+            Verdict::Deadlock { schedule, .. } => {
+                let replay = sys.replay(&schedule).expect("schedule replays");
+                assert!(replay.stuck);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduction_explores_fewer_states_than_exhaustive() {
+        // Two independent producer/consumer pairs: the exhaustive checker
+        // interleaves them, the reduced one does not.
+        let sys = ChannelSystem {
+            capacities: vec![1, 1],
+            scripts: vec![
+                vec![Send(0), Send(0), Send(0)],
+                vec![Recv(0), Recv(0), Recv(0)],
+                vec![Send(1), Send(1), Send(1)],
+                vec![Recv(1), Recv(1), Recv(1)],
+            ],
+        };
+        let full = match sys.check() {
+            Verdict::DeadlockFree { states } => states,
+            other => panic!("unexpected {other:?}"),
+        };
+        let (verdict, stats) = sys.check_reduced(&Budget::default());
+        assert!(matches!(verdict, Verdict::DeadlockFree { .. }));
+        assert!(
+            stats.states < full,
+            "reduced {} vs exhaustive {full}",
+            stats.states
+        );
+        assert!(stats.reduction_ratio() < 1.0);
+    }
+
+    #[test]
+    fn budget_exceeded_is_reported_not_downgraded() {
+        let sys = ChannelSystem {
+            capacities: vec![1, 1],
+            scripts: vec![
+                vec![Send(0), Send(0), Send(0)],
+                vec![Recv(0), Recv(0), Recv(0)],
+                vec![Send(1), Send(1), Send(1)],
+                vec![Recv(1), Recv(1), Recv(1)],
+            ],
+        };
+        let (verdict, stats) = sys.check_reduced(&Budget {
+            max_states: 3,
+            max_millis: None,
+        });
+        assert_eq!(verdict, Verdict::BudgetExceeded { states: 3 });
+        assert_eq!(stats.states, 3);
+    }
+
+    #[test]
+    fn replay_rejects_non_executable_schedules() {
+        let sys = ChannelSystem {
+            capacities: vec![1],
+            scripts: vec![vec![Send(0)], vec![Recv(0)]],
+        };
+        // Thread 1 cannot move first (channel empty).
+        assert!(sys.replay(&[1]).is_none());
+        // Out-of-range thread.
+        assert!(sys.replay(&[7]).is_none());
+        // A full valid run ends non-stuck.
+        let r = sys.replay(&[0, 1]).expect("valid schedule");
+        assert!(!r.stuck);
+        assert_eq!(r.pcs, vec![1, 1]);
+    }
+
+    #[test]
+    fn exchange_fan_in_with_ample_credits_reduces_to_near_linear() {
+        // 8 producers scatter 2 chunks each into 4 shared part channels
+        // (one consumer per part) whose capacity exceeds the total sends:
+        // the shape of a hash-exchange under the default credit budget.
+        // Every persistent set is a singleton, so the state count is
+        // close to the step count rather than exponential.
+        let producers = 8usize;
+        let parts = 4usize;
+        let chunks = 2usize;
+        let mut scripts: Vec<Vec<ChanOp>> = Vec::new();
+        for _ in 0..producers {
+            let mut s = Vec::new();
+            for _ in 0..chunks {
+                for p in 0..parts {
+                    s.push(Send(p));
+                }
+            }
+            scripts.push(s);
+        }
+        for p in 0..parts {
+            scripts.push(vec![Recv(p); producers * chunks]);
+        }
+        let sys = ChannelSystem {
+            capacities: vec![producers * chunks; parts],
+            scripts,
+        };
+        let steps: usize = sys.scripts.iter().map(Vec::len).sum();
+        let (verdict, stats) = sys.check_reduced(&Budget::default());
+        assert!(matches!(verdict, Verdict::DeadlockFree { .. }));
+        assert!(
+            stats.states <= 2 * steps + 2,
+            "expected near-linear exploration: {} states for {steps} steps",
+            stats.states
+        );
     }
 }

@@ -56,13 +56,98 @@ impl SectionFinding {
     }
 }
 
+/// Model-checking statistics for one analyzed graph, so state-space
+/// growth is trackable across PRs from the CI artifact.
+pub struct ModelStat {
+    /// Graph name (sample or generated cluster graph).
+    pub graph: String,
+    /// OS threads the executor would use.
+    pub threads: usize,
+    /// Credit-bounded channels.
+    pub channels: usize,
+    /// States covered to a verdict; `None` when the model check did not
+    /// complete (static findings or budget).
+    pub model_states: Option<usize>,
+    /// True when the model check ran out of budget.
+    pub budget_exceeded: bool,
+    /// Transitions the reduced search executed, when the model ran.
+    pub transitions: Option<usize>,
+    /// Explored/enabled transition ratio (1.0 = no reduction), when the
+    /// model ran.
+    pub reduction_ratio: Option<f64>,
+}
+
+/// Per-lint finding counts: surfaced violations plus allowlisted debt.
+pub struct LintCount {
+    /// Lint name.
+    pub lint: String,
+    /// Unsuppressed findings (these fail the run).
+    pub findings: usize,
+    /// Findings suppressed by allowlist entries (tracked debt).
+    pub allowlisted: usize,
+}
+
 /// Serialize the whole report. `ok` is true when no section has findings.
 pub fn to_json(sections: &[Section]) -> String {
+    to_json_full(sections, &[], &[])
+}
+
+/// [`to_json`] with model-checking stats and per-lint counts included.
+pub fn to_json_full(
+    sections: &[Section],
+    models: &[ModelStat],
+    lint_counts: &[LintCount],
+) -> String {
     let total: usize = sections.iter().map(|s| s.findings.len()).sum();
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"ok\": {},\n", total == 0));
     out.push_str(&format!("  \"total_findings\": {total},\n"));
+    out.push_str("  \"models\": [");
+    if models.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push('\n');
+        for (mi, m) in models.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"graph\": \"{}\", ", escape_json(&m.graph)));
+            out.push_str(&format!("\"threads\": {}, ", m.threads));
+            out.push_str(&format!("\"channels\": {}, ", m.channels));
+            match m.model_states {
+                Some(s) => out.push_str(&format!("\"model_states\": {s}, ")),
+                None => out.push_str("\"model_states\": null, "),
+            }
+            out.push_str(&format!("\"budget_exceeded\": {}, ", m.budget_exceeded));
+            match m.transitions {
+                Some(t) => out.push_str(&format!("\"transitions\": {t}, ")),
+                None => out.push_str("\"transitions\": null, "),
+            }
+            match m.reduction_ratio {
+                Some(r) => out.push_str(&format!("\"reduction_ratio\": {r:.6}}}")),
+                None => out.push_str("\"reduction_ratio\": null}"),
+            }
+            out.push_str(if mi + 1 < models.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+    }
+    out.push_str("  \"lint_counts\": [");
+    if lint_counts.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push('\n');
+        for (li, l) in lint_counts.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"lint\": \"{}\", ", escape_json(&l.lint)));
+            out.push_str(&format!("\"findings\": {}, ", l.findings));
+            out.push_str(&format!("\"allowlisted\": {}}}", l.allowlisted));
+            out.push_str(if li + 1 < lint_counts.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+    }
     out.push_str("  \"passes\": [\n");
     for (si, s) in sections.iter().enumerate() {
         out.push_str("    {\n");
@@ -118,6 +203,43 @@ mod tests {
         assert!(json.contains("\"ok\": true"));
         assert!(json.contains("\"total_findings\": 0"));
         assert!(json.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn model_stats_and_lint_counts_are_serialized() {
+        let json = to_json_full(
+            &[Section {
+                pass: "deadlock".into(),
+                findings: vec![],
+            }],
+            &[ModelStat {
+                graph: "cluster16-hash-nic".into(),
+                threads: 49,
+                channels: 528,
+                model_states: Some(2113),
+                budget_exceeded: false,
+                transitions: Some(2112),
+                reduction_ratio: Some(0.031_25),
+            }],
+            &[LintCount {
+                lint: "determinism-hash-iteration".into(),
+                findings: 0,
+                allowlisted: 47,
+            }],
+        );
+        assert!(json.contains("\"graph\": \"cluster16-hash-nic\""));
+        assert!(json.contains("\"model_states\": 2113"));
+        assert!(json.contains("\"budget_exceeded\": false"));
+        assert!(json.contains("\"reduction_ratio\": 0.031250"));
+        assert!(json.contains("\"lint\": \"determinism-hash-iteration\""));
+        assert!(json.contains("\"allowlisted\": 47"));
+    }
+
+    #[test]
+    fn empty_model_stats_serialize_as_empty_arrays() {
+        let json = to_json(&[]);
+        assert!(json.contains("\"models\": []"));
+        assert!(json.contains("\"lint_counts\": []"));
     }
 
     #[test]

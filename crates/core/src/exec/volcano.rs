@@ -601,7 +601,12 @@ impl TupleIterator for JoinIter {
                         self.drained = true;
                         let nright = self.schema.len() - self.build.schema().len();
                         let table = self.table.as_ref().unwrap();
-                        for (key, rows) in table {
+                        // Deterministic output order: drain unmatched
+                        // rows sorted by key, not in HashMap order.
+                        let mut keys_sorted: Vec<&String> = table.keys().collect();
+                        keys_sorted.sort();
+                        for key in keys_sorted {
+                            let rows = &table[key];
                             for (i, build_row) in rows.iter().enumerate() {
                                 if !self.matched.contains(&(key.clone(), i)) {
                                     let mut out = build_row.clone();

@@ -1,0 +1,100 @@
+//! Equivalence properties for the reduced model checker.
+//!
+//! The partial-order-reduced search (`ChannelSystem::check_reduced`) must
+//! agree with the exhaustive oracle (`ChannelSystem::check`) on randomized
+//! small systems:
+//!
+//! - **deadlock-freedom is equivalent** — the reduction may prune
+//!   interleavings, but never one that hides (or invents) a reachable
+//!   all-blocked state;
+//! - **reported deadlock schedules are real** — every schedule either
+//!   checker returns replays step-by-step under the executable semantics
+//!   to a state that is genuinely stuck.
+//!
+//! Systems are kept small (≤ 4 threads, ≤ 3 channels, scripts ≤ 6 ops,
+//! capacities ≤ 2 — including capacity 0, which blocks sends forever) so
+//! the exhaustive oracle stays tractable; failing seeds are recorded in
+//! `proptest-regressions/model-dpor-equivalence.txt` and replay first.
+
+use df_check::model::{Budget, ChanOp, ChannelSystem, Verdict};
+use rheo::check::{check, Gen};
+
+fn random_system(gen: &mut Gen) -> ChannelSystem {
+    let channels = gen.usize_in(1, 3);
+    let capacities = gen.vec_of(channels, |g| g.usize_in(0, 2));
+    let threads = gen.usize_in(2, 4);
+    let scripts = gen.vec_of(threads, |g| {
+        let len = g.usize_in(0, 6);
+        g.vec_of(len, |g| {
+            let c = g.usize_in(0, channels - 1);
+            if g.bool() {
+                ChanOp::Send(c)
+            } else {
+                ChanOp::Recv(c)
+            }
+        })
+    });
+    ChannelSystem {
+        capacities,
+        scripts,
+    }
+}
+
+#[test]
+fn dpor_verdict_matches_exhaustive_enumeration() {
+    check("model-dpor-equivalence", 200, |gen| {
+        let sys = random_system(gen);
+        let full = sys.check();
+        let (reduced, stats) = sys.check_reduced(&Budget::default());
+        match (&full, &reduced) {
+            (Verdict::DeadlockFree { states }, Verdict::DeadlockFree { states: red }) => {
+                assert!(
+                    red <= states,
+                    "reduction explored more states ({red}) than \
+                     exhaustive ({states}): {sys:?}"
+                );
+            }
+            (Verdict::Deadlock { schedule, .. }, Verdict::Deadlock { schedule: red, .. }) => {
+                let f = sys.replay(schedule).expect("exhaustive schedule replays");
+                assert!(f.stuck, "exhaustive schedule not stuck: {sys:?}");
+                let r = sys.replay(red).expect("reduced schedule replays");
+                assert!(r.stuck, "reduced schedule not stuck: {sys:?}");
+            }
+            other => panic!("verdicts disagree: {other:?} for {sys:?}"),
+        }
+        // Stats sanity: every expanded state explored at least one of its
+        // enabled transitions (or was a leaf).
+        assert!(stats.explored_total <= stats.enabled_total);
+    });
+}
+
+#[test]
+fn dpor_budget_never_misreports_a_verdict() {
+    // Under an artificially tiny budget the reduced checker must either
+    // finish with the oracle's verdict or say BudgetExceeded — it must
+    // never claim deadlock-freedom it did not prove.
+    check("model-dpor-budget", 60, |gen| {
+        let sys = random_system(gen);
+        let tiny = Budget {
+            max_states: gen.usize_in(1, 8),
+            max_millis: None,
+        };
+        let (verdict, _) = sys.check_reduced(&tiny);
+        match verdict {
+            Verdict::BudgetExceeded { states } => {
+                assert!(states <= tiny.max_states);
+            }
+            Verdict::Deadlock { schedule, .. } => {
+                let r = sys.replay(&schedule).expect("schedule replays");
+                assert!(r.stuck, "budgeted deadlock schedule not stuck: {sys:?}");
+            }
+            Verdict::DeadlockFree { .. } => {
+                assert!(
+                    matches!(sys.check(), Verdict::DeadlockFree { .. }),
+                    "budgeted run claimed deadlock-freedom the oracle \
+                     refutes: {sys:?}"
+                );
+            }
+        }
+    });
+}
