@@ -1,0 +1,317 @@
+//! E17 — streaming: sustained-rate windowed aggregation at the NIC vs the CPU.
+//!
+//! The paper's in-path device discipline applied to a *continuous* query:
+//! telemetry arrives at the storage-side SmartNIC (the remote ingest
+//! point, before the switch), and a tumbling windowed aggregate runs
+//! either in-path on that NIC as the rows pass (NIC-Rx windowing, only
+//! per-window partials cross the switch) or on the compute node's CPU
+//! after every raw row has crossed the fabric. The sweep varies the
+//! window extent and, per point:
+//!
+//! * executes the query for real (punctuated streaming runtime) and
+//!   measures the p99 frontier lag — how far past a window's bound the
+//!   input frontier was when the window actually closed;
+//! * prices the same graph at a sustained ingest horizon in the flow
+//!   simulator ([`PipelineGraph::to_flow_specs_sustained`]) for the
+//!   steady-state ingest rate and the bytes crossing the switch;
+//! * runs the query twice and checks the outputs are byte-identical
+//!   (seed-deterministic sources make continuous queries replayable).
+//!
+//! Every graph passes [`PipelineGraph::verify`] (streaming rules included)
+//! and df-check's deadlock analysis before it is executed or priced.
+
+use std::collections::BTreeSet;
+
+use df_check::deadlock;
+use df_core::exec::push::{execute, ExecEnv, ExecOutcome};
+use df_core::logical::{AggCall, AggFn};
+use df_core::physical::PhysicalPlan;
+use df_core::pipeline::{PipelineGraph, DEFAULT_QUEUE_CAPACITY};
+use df_core::streaming::{windowed_stream_plan, StreamSourceSpec, WindowSpec};
+use df_fabric::flow::FlowSim;
+use df_fabric::link::LinkId;
+use df_fabric::topology::{DisaggregatedConfig, Topology};
+
+use crate::report::{fmt_util, ExpReport};
+
+use super::Scale;
+
+/// Window extents (in stream-time ticks) the sweep visits.
+pub const WINDOW_SWEEP: [i64; 3] = [64, 512, 4096];
+
+/// Where the windowed aggregation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowTip {
+    /// Partial window aggregation on the ingest NIC as rows arrive; only
+    /// the per-window partials cross the switch to the CPU for the merge.
+    Nic,
+    /// Raw rows cross the switch; the whole window runs on the CPU.
+    Cpu,
+}
+
+impl WindowTip {
+    fn tag(self) -> &'static str {
+        match self {
+            WindowTip::Nic => "nic",
+            WindowTip::Cpu => "cpu",
+        }
+    }
+}
+
+/// One sweep point, after verification, execution, and pricing.
+#[derive(Debug, Clone)]
+pub struct StreamPoint {
+    /// Tumbling window extent in ticks.
+    pub window: i64,
+    /// `"nic"` or `"cpu"`.
+    pub tip: &'static str,
+    /// Source rows at the sustained pricing horizon.
+    pub priced_rows: u64,
+    /// Steady-state ingest rate the flow model sustains (rows/s).
+    pub sustained_rows_per_s: f64,
+    /// 99th-percentile frontier lag at window close (ticks), measured on
+    /// the real punctuated run.
+    pub p99_lag: i64,
+    /// Bytes that crossed any switch-attached link under sustained load.
+    pub switch_bytes: u64,
+    /// Final result rows of the real run.
+    pub out_rows: usize,
+    /// Both executions produced byte-identical results.
+    pub deterministic: bool,
+}
+
+/// The telemetry source every point ingests: seed-deterministic, bounded
+/// at roughly `scale.rows` rows for the real run.
+fn source_spec(scale: Scale) -> StreamSourceSpec {
+    let rows_per_batch = 512;
+    StreamSourceSpec {
+        seed: scale.seed,
+        rows_per_batch,
+        batches: Some((scale.rows / rows_per_batch).max(8) as u64),
+        sensors: 16,
+        start_ts: 0,
+        punct_every: 4,
+    }
+}
+
+fn stream_plan(
+    topo: &Topology,
+    spec: &StreamSourceSpec,
+    window: i64,
+    tip: WindowTip,
+) -> PhysicalPlan {
+    let nic = topo.expect_device("storage.nic");
+    let cpu = topo.expect_device("compute0.cpu");
+    let agg_dev = match tip {
+        WindowTip::Nic => nic,
+        WindowTip::Cpu => cpu,
+    };
+    windowed_stream_plan(
+        spec,
+        WindowSpec::tumbling(window),
+        vec!["sensor".to_string()],
+        vec![
+            AggCall::count_star("n"),
+            AggCall::new(AggFn::Sum, "value", "total"),
+        ],
+        1024,
+        Some(nic),
+        Some(agg_dev),
+        Some(cpu),
+    )
+    .expect("windowed stream plan")
+}
+
+/// Rows + frontier history + window-close lags of one run.
+type RunFingerprint = (Vec<String>, Vec<(usize, Vec<i64>)>, Vec<i64>);
+
+/// Row-order-sensitive fingerprint of a run: equality means a
+/// byte-identical replay.
+fn fingerprint(out: &ExecOutcome) -> RunFingerprint {
+    let rows = out
+        .batches
+        .iter()
+        .flat_map(|b| (0..b.rows()).map(|r| format!("{:?}", b.row(r))))
+        .collect();
+    (rows, out.frontiers.clone(), out.window_lags.clone())
+}
+
+fn p99(mut lags: Vec<i64>) -> i64 {
+    if lags.is_empty() {
+        return 0;
+    }
+    lags.sort_unstable();
+    lags[(lags.len() - 1).min(lags.len() * 99 / 100)]
+}
+
+/// Verify, deadlock-check, execute twice, and flow-price one point.
+fn measure(topo: &Topology, scale: Scale, window: i64, tip: WindowTip) -> StreamPoint {
+    let spec = source_spec(scale);
+    let plan = stream_plan(topo, &spec, window, tip);
+    let graph = PipelineGraph::compile(&plan, None, Some(topo), DEFAULT_QUEUE_CAPACITY);
+    if let Err(errors) = graph.verify(Some(topo)) {
+        panic!("window {window} {}: verify: {errors:?}", tip.tag());
+    }
+    let dl = deadlock::analyze(&graph);
+    assert!(
+        dl.is_deadlock_free(),
+        "window {window} {}: deadlock analysis: {:?}",
+        tip.tag(),
+        dl.findings
+    );
+
+    // Real punctuated run, twice: frontier lags + determinism.
+    let env = ExecEnv {
+        topology: Some(topo),
+        ..ExecEnv::in_memory()
+    };
+    let first = execute(&plan, &env).expect("streaming run");
+    let second = execute(&plan, &env).expect("streaming replay");
+    let deterministic = fingerprint(&first) == fingerprint(&second);
+
+    // Sustained-rate pricing: the same graph under a fixed ingest horizon.
+    let cpu = topo.expect_device("compute0.cpu");
+    let switch = topo.expect_device("switch");
+    let switch_links: BTreeSet<LinkId> = topo
+        .links()
+        .iter()
+        .filter(|l| l.a == switch || l.b == switch)
+        .map(|l| l.id)
+        .collect();
+    let horizon = spec.batches.expect("bounded source");
+    let priced_rows = horizon * spec.rows_per_batch as u64;
+    let specs = graph
+        .to_flow_specs_sustained(cpu, &format!("stream-w{window}-{}", tip.tag()), horizon)
+        .expect("verified graph prices");
+    let mut sim = FlowSim::new(topo.clone());
+    for s in specs {
+        sim.add_pipeline(s.with_chunk(64 << 10));
+    }
+    let outcome = sim.run();
+    let makespan_ns = outcome.makespan.nanos().max(1);
+    let switch_bytes = outcome
+        .link_bytes
+        .iter()
+        .filter(|(id, _)| switch_links.contains(id))
+        .map(|(_, b)| *b)
+        .sum();
+
+    StreamPoint {
+        window,
+        tip: tip.tag(),
+        priced_rows,
+        sustained_rows_per_s: priced_rows as f64 * 1e9 / makespan_ns as f64,
+        p99_lag: p99(first.window_lags.clone()),
+        switch_bytes,
+        out_rows: first.rows(),
+        deterministic,
+    }
+}
+
+/// Run the full sweep (also used by the `streaming` artifact binary).
+pub fn sweep(scale: Scale) -> Vec<StreamPoint> {
+    let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+    let mut points = Vec::new();
+    for window in WINDOW_SWEEP {
+        for tip in [WindowTip::Nic, WindowTip::Cpu] {
+            points.push(measure(&topo, scale, window, tip));
+        }
+    }
+    points
+}
+
+/// Run E17.
+pub fn run(scale: Scale) -> ExpReport {
+    let mut report = ExpReport::new(
+        "E17",
+        "Streaming — sustained-rate windowed aggregation, NIC-Rx vs CPU",
+        "A continuous windowed query can run where the data arrives: the \
+         ingest-side NIC aggregates each window as rows pass and only the \
+         per-window partials cross the switch, while the conventional \
+         placement ships every raw row to the compute CPU first.",
+    )
+    .headers(&[
+        "window",
+        "tip",
+        "sustained ingest",
+        "p99 frontier lag",
+        "switch bytes",
+        "out rows",
+        "replay",
+    ]);
+
+    let points = sweep(scale);
+    for p in &points {
+        report.row(vec![
+            format!("{} ticks", p.window),
+            p.tip.to_string(),
+            format!("{:.1} Mrows/s", p.sustained_rows_per_s / 1e6),
+            format!("{} ticks", p.p99_lag),
+            fmt_util::bytes(p.switch_bytes),
+            p.out_rows.to_string(),
+            if p.deterministic {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+            .to_string(),
+        ]);
+    }
+
+    for window in WINDOW_SWEEP {
+        let nic = points
+            .iter()
+            .find(|p| p.window == window && p.tip == "nic")
+            .expect("nic point");
+        let cpu = points
+            .iter()
+            .find(|p| p.window == window && p.tip == "cpu")
+            .expect("cpu point");
+        assert!(
+            nic.switch_bytes < cpu.switch_bytes,
+            "window {window}: NIC windowing moved {} switch bytes, CPU {}",
+            nic.switch_bytes,
+            cpu.switch_bytes
+        );
+        assert_eq!(
+            nic.out_rows, cpu.out_rows,
+            "window {window}: placements disagree on the result"
+        );
+        report.observe(format!(
+            "window {window}: NIC windowing crosses the switch with {} vs {} for \
+             raw rows ({} less traffic); p99 frontier lag {} vs {} ticks",
+            fmt_util::bytes(nic.switch_bytes),
+            fmt_util::bytes(cpu.switch_bytes),
+            fmt_util::factor(cpu.switch_bytes as f64 / nic.switch_bytes.max(1) as f64),
+            nic.p99_lag,
+            cpu.p99_lag,
+        ));
+    }
+    assert!(
+        points.iter().all(|p| p.deterministic),
+        "a streaming run diverged on replay"
+    );
+    report.observe(
+        "every point re-executed byte-identically (rows, frontier history, \
+         window-close lags) — continuous queries are replayable from the seed"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_points_are_complete_and_deterministic() {
+        let points = sweep(Scale::quick());
+        assert_eq!(points.len(), WINDOW_SWEEP.len() * 2);
+        for p in &points {
+            assert!(p.deterministic, "{} w{} diverged", p.tip, p.window);
+            assert!(p.out_rows > 0);
+            assert!(p.sustained_rows_per_s > 0.0);
+            assert!(p.p99_lag >= 0);
+        }
+    }
+}

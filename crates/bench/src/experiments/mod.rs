@@ -18,6 +18,7 @@ pub mod e13_scheduling;
 pub mod e14_bufferpool;
 pub mod e15_wire_compression;
 pub mod e16_scaleout;
+pub mod e17_streaming;
 
 use crate::report::ExpReport;
 
@@ -78,6 +79,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("E14", e14_bufferpool::run),
         ("E15", e15_wire_compression::run),
         ("E16", e16_scaleout::run),
+        ("E17", e17_streaming::run),
     ]
 }
 

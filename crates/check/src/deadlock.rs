@@ -280,7 +280,13 @@ fn find_wait_cycle(
 ///   part channel (the partition loop), and each (exchange, part) pair
 ///   is one shared channel — exactly the executor's `sync_channel` per
 ///   consumer part with `queue_capacity × producers` credits;
-/// - sources only send, the root only receives.
+/// - sources only send, the root only receives;
+/// - a thread sourcing an unbounded/bounded [`PipelineSource::Stream`]
+///   behaves like any other source, plus one extra send round for the
+///   punctuation markers that ride the same credit-bounded channels as
+///   data (`EdgeMsg::Punct` in the executor). Streams are modeled over
+///   finitely many chunks — deadlock here is a property of the blocking
+///   structure per round, not of stream length.
 fn to_channel_system(graph: &PipelineGraph, tg: &ThreadGraph<'_>) -> ChannelSystem {
     let mut capacities = Vec::with_capacity(tg.channels.len());
     // chan index per point-to-point fabric edge id (shuffle edges share
@@ -308,24 +314,27 @@ fn to_channel_system(graph: &PipelineGraph, tg: &ThreadGraph<'_>) -> ChannelSyst
     let mut scripts: Vec<Vec<ChanOp>> = vec![Vec::new(); tg.threads];
     #[allow(clippy::needless_range_loop)] // `t` also filters tg.channels
     for t in 0..tg.threads {
-        // Incoming point-to-point channels, split by role.
-        let builds: Vec<usize> = tg
+        // Incoming point-to-point channels, split by role. A punctuated
+        // (stream-fed) channel carries one trailing frontier marker on
+        // top of its data chunks — `EdgeMsg::Punct` shares the channel.
+        let chunks_of = |e: &PipelineEdge| MODEL_CHUNKS + usize::from(e.punctuated);
+        let builds: Vec<(usize, usize)> = tg
             .channels
             .iter()
             .filter(|(e, _, to)| *to == t && e.role == EdgeRole::JoinBuild)
-            .map(|(e, _, _)| chan_of_edge[e.id])
+            .map(|(e, _, _)| (chan_of_edge[e.id], chunks_of(e)))
             .collect();
-        let mut inputs: Vec<usize> = tg
+        let mut inputs: Vec<(usize, usize)> = tg
             .channels
             .iter()
             .filter(|(e, _, to)| *to == t && e.role == EdgeRole::Input)
-            .map(|(e, _, _)| chan_of_edge[e.id])
+            .map(|(e, _, _)| (chan_of_edge[e.id], chunks_of(e)))
             .collect();
         // A collapsed thread can own several fabric input channels (one
         // per merged pipeline); the graph driver drains nested producers
         // to completion before the outermost stream, so all but the last
         // behave like build channels here.
-        let input: Option<usize> = inputs.pop();
+        let input: Option<(usize, usize)> = inputs.pop();
         let early_inputs = inputs;
         // Exchange-fed pipelines on this thread: `(channel, recv count)`.
         // One feeding a same-thread join-build edge drains inline before
@@ -365,14 +374,19 @@ fn to_channel_system(graph: &PipelineGraph, tg: &ThreadGraph<'_>) -> ChannelSyst
 
         // Outgoing channels: the point-to-point fabric output (a tree has
         // at most one) plus every part channel of each exchange this
-        // thread produces into. One send round = one chunk to each.
-        let mut outs: Vec<usize> = tg
+        // thread produces into. One send round = one chunk to each. A
+        // punctuated output additionally carries the trailing frontier
+        // marker; exchange producers drop punctuation, so part channels
+        // never do.
+        let out_edge = tg
             .channels
             .iter()
             .find(|(e, from, _)| *from == t && e.role != EdgeRole::Shuffle)
-            .map(|(e, _, _)| chan_of_edge[e.id])
-            .into_iter()
-            .collect();
+            .map(|(e, _, _)| *e);
+        let punct_out: Option<usize> = out_edge
+            .filter(|e| e.punctuated)
+            .map(|e| chan_of_edge[e.id]);
+        let mut outs: Vec<usize> = out_edge.map(|e| chan_of_edge[e.id]).into_iter().collect();
         for (x, ex) in graph.exchanges.iter().enumerate() {
             for &ppid in &ex.producers {
                 if tg.thread_of[ppid] == t {
@@ -392,17 +406,12 @@ fn to_channel_system(graph: &PipelineGraph, tg: &ThreadGraph<'_>) -> ChannelSyst
         let script = &mut scripts[t];
         // Build channels (and nested extra inputs) drain fully first, in
         // edge order.
-        for (c, recvs) in builds
-            .into_iter()
-            .chain(early_inputs)
-            .map(|c| (c, MODEL_CHUNKS))
-            .chain(early_x)
-        {
+        for (c, recvs) in builds.into_iter().chain(early_inputs).chain(early_x) {
             for _ in 0..recvs {
                 script.push(ChanOp::Recv(c));
             }
         }
-        let stream: Option<(usize, usize)> = input.map(|i| (i, MODEL_CHUNKS)).or(stream_x);
+        let stream: Option<(usize, usize)> = input.or(stream_x);
         match (stream, outs.is_empty()) {
             (Some((i, recvs)), false) if breaker_tip => {
                 for _ in 0..recvs {
@@ -412,6 +421,9 @@ fn to_channel_system(graph: &PipelineGraph, tg: &ThreadGraph<'_>) -> ChannelSyst
                     for &o in &outs {
                         script.push(ChanOp::Send(o));
                     }
+                }
+                if let Some(c) = punct_out {
+                    script.push(ChanOp::Send(c));
                 }
             }
             (Some((i, recvs)), false) => {
@@ -427,6 +439,9 @@ fn to_channel_system(graph: &PipelineGraph, tg: &ThreadGraph<'_>) -> ChannelSyst
                         script.push(ChanOp::Send(o));
                     }
                 }
+                if let Some(c) = punct_out {
+                    script.push(ChanOp::Send(c));
+                }
             }
             (Some((i, recvs)), true) => {
                 for _ in 0..recvs {
@@ -438,6 +453,9 @@ fn to_channel_system(graph: &PipelineGraph, tg: &ThreadGraph<'_>) -> ChannelSyst
                     for &o in &outs {
                         script.push(ChanOp::Send(o));
                     }
+                }
+                if let Some(c) = punct_out {
+                    script.push(ChanOp::Send(c));
                 }
             }
             (None, true) => {}
@@ -803,6 +821,67 @@ mod tests {
             .iter()
             .find(|e| e.role == EdgeRole::Shuffle)
             .expect("shuffle edge")
+            .id;
+        g.edges[eid].queue_capacity = 0;
+        let r = analyze(&g);
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, DeadlockFinding::ZeroCapacity { edge } if *edge == eid)));
+    }
+
+    fn stream_window_graph(bounded: bool) -> PipelineGraph {
+        use df_core::logical::AggCall;
+        use df_core::streaming::{windowed_stream_plan, StreamSourceSpec, WindowSpec};
+        let topo = topo();
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let spec = StreamSourceSpec {
+            batches: if bounded { Some(8) } else { None },
+            ..StreamSourceSpec::default()
+        };
+        let plan = windowed_stream_plan(
+            &spec,
+            WindowSpec::tumbling(64),
+            vec!["sensor".into()],
+            vec![AggCall::count_star("n")],
+            1 << 20,
+            Some(nic),
+            Some(nic),
+            Some(cpu),
+        )
+        .expect("stream plan");
+        PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY)
+    }
+
+    #[test]
+    fn streaming_window_graph_is_model_checked_deadlock_free() {
+        // NIC-side partial windowing feeding a CPU merge over one fabric
+        // channel that carries data and punctuation: the exact §7.4
+        // placement E17 benchmarks.
+        for bounded in [true, false] {
+            let g = stream_window_graph(bounded);
+            let punctuated = g.edges.iter().filter(|e| e.punctuated).count();
+            assert!(punctuated >= 1, "stream-fed input edges are punctuated");
+            let r = analyze(&g);
+            assert!(r.is_deadlock_free(), "bounded={bounded}: {:?}", r.findings);
+            assert!(
+                r.is_verified_deadlock_free(),
+                "bounded={bounded}: streaming graphs must be model-checked"
+            );
+            assert_eq!(r.threads, 2, "nic thread + cpu thread");
+            assert_eq!(r.channels, 1, "one punctuated fabric channel");
+        }
+    }
+
+    #[test]
+    fn punctuated_zero_capacity_channel_is_still_rejected() {
+        let mut g = stream_window_graph(false);
+        let eid = g
+            .edges
+            .iter()
+            .find(|e| e.punctuated)
+            .expect("punctuated edge")
             .id;
         g.edges[eid].queue_capacity = 0;
         let r = analyze(&g);

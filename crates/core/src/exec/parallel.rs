@@ -204,6 +204,12 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
             scan_stats.push(stats);
             (batches, schema.clone())
         }
+        PipelineSource::Stream { spec, schema, .. } => {
+            // Bounded streams materialize deterministically; the morsel
+            // path has no punctuation, so stateless stages only (window
+            // aggregation never passes `extract_shape`).
+            (spec.materialize(None)?, schema.clone())
+        }
         PipelineSource::Edge { .. } | PipelineSource::Exchange { .. } => {
             unreachable!("spine leaves carry concrete sources")
         }
@@ -384,6 +390,8 @@ pub fn execute_parallel(plan: &PhysicalPlan, env: &ExecEnv, threads: usize) -> R
         ledger,
         scan_stats,
         codec_decisions: Vec::new(),
+        frontiers: Vec::new(),
+        window_lags: Vec::new(),
     })
 }
 

@@ -25,6 +25,12 @@
 //!   exactly once.
 //! - **local edges** — same-placement handoffs stay plain function calls
 //!   and execute inline, preserving the exact single-threaded behavior.
+//! - **punctuation** — a [`PipelineSource::Stream`] emits a frontier
+//!   marker every `punct_every` batches; markers flow through the same
+//!   sinks and channels as data (in band, so FIFO order is preserved
+//!   across Local and Fabric edges alike), advance every window
+//!   operator's frontier, and are never ledger-charged — they carry no
+//!   payload bytes.
 //!
 //! Positional partial-aggregate contract: a `Merge`-mode aggregate consumes
 //! batches laid out as group columns followed by one partial column per
@@ -50,6 +56,7 @@ use crate::pipeline::{
     EdgeKind, ExchangeKind, PipelineEdge, PipelineGraph, PipelineOp, PipelineSource, RuntimeOp,
     DEFAULT_QUEUE_CAPACITY,
 };
+use crate::streaming::StreamGen;
 
 /// Cooperative yield point for cross-query scheduling.
 ///
@@ -165,6 +172,15 @@ pub struct ExecOutcome {
     /// Per-edge codec decisions, in edge-id order (empty when no fabric
     /// edge went through codec handling).
     pub codec_decisions: Vec<CodecDecision>,
+    /// Punctuation sequences observed per pipeline, in pipeline order
+    /// (pipelines that saw no punctuation are omitted). Each sequence is
+    /// the frontiers the pipeline processed, in arrival order — the
+    /// frontier-safety property tests assert these are monotone.
+    pub frontiers: Vec<(usize, Vec<i64>)>,
+    /// Frontier lag at every window close: how far the input frontier had
+    /// advanced past the closing window's bound when it drained. Merged in
+    /// pipeline order; E17 reports the p99.
+    pub window_lags: Vec<i64>,
 }
 
 impl ExecOutcome {
@@ -200,8 +216,10 @@ pub fn execute_graph(graph: &PipelineGraph, env: &ExecEnv, variant: &str) -> Res
         let trace = runner.trace(runner.root_lane);
         let _query = open_span(trace, &format!("query [{variant}]"), &[]);
         std::thread::scope(|scope| {
-            runner.run_pipeline(scope, graph.root, trace, None, &mut |b| {
-                batches.push(b);
+            runner.run_pipeline(scope, graph.root, trace, None, &mut |flow| {
+                if let Flow::Data(b) = flow {
+                    batches.push(b);
+                }
                 Ok(())
             })
         })?;
@@ -209,13 +227,22 @@ pub fn execute_graph(graph: &PipelineGraph, env: &ExecEnv, variant: &str) -> Res
     Ok(runner.into_outcome(batches))
 }
 
-type Sink<'s> = dyn FnMut(Batch) -> Result<()> + 's;
+/// What moves through a pipeline sink: data, or an in-band frontier
+/// marker (punctuation). Keeping punctuation in the same stream as data
+/// preserves its ordering relative to the batches it follows.
+enum Flow {
+    Data(Batch),
+    Punct(i64),
+}
+
+type Sink<'s> = dyn FnMut(Flow) -> Result<()> + 's;
 
 /// What moves through a fabric-edge channel: raw batches on plain edges,
-/// encoded frames on codec edges.
+/// encoded frames on codec edges, frontier markers on punctuated edges.
 enum EdgeMsg {
     Plain(Batch),
     Frame(Vec<u8>),
+    Punct(i64),
 }
 
 /// A tracer plus the lane the current pipeline records on.
@@ -253,6 +280,10 @@ impl Drop for SpanStack<'_> {
 struct Account {
     ledger: MovementLedger,
     scan_stats: Vec<ScanStats>,
+    /// Frontier markers this pipeline processed, in arrival order.
+    frontiers: Vec<i64>,
+    /// Frontier minus window bound at every window close in this pipeline.
+    window_lags: Vec<i64>,
 }
 
 /// Channel state of one in-flight exchange, created by the first consumer
@@ -371,10 +402,16 @@ impl<'a, 'b> Runner<'a, 'b> {
     fn into_outcome(self, batches: Vec<Batch>) -> ExecOutcome {
         let mut ledger = MovementLedger::new();
         let mut scan_stats = Vec::new();
-        for account in self.accounts {
+        let mut frontiers = Vec::new();
+        let mut window_lags = Vec::new();
+        for (pid, account) in self.accounts.into_iter().enumerate() {
             let account = account.into_inner().expect("account lock poisoned");
             ledger.merge(&account.ledger);
             scan_stats.extend(account.scan_stats);
+            if !account.frontiers.is_empty() {
+                frontiers.push((pid, account.frontiers));
+            }
+            window_lags.extend(account.window_lags);
         }
         let codec_decisions = self
             .decisions
@@ -386,6 +423,8 @@ impl<'a, 'b> Runner<'a, 'b> {
             ledger,
             scan_stats,
             codec_decisions,
+            frontiers,
+            window_lags,
         }
     }
 
@@ -583,7 +622,12 @@ impl<'a, 'b> Runner<'a, 'b> {
                 {
                     let _build = open_span(trace, "join-build", &[]);
                     let op = &mut ops[i];
-                    self.drain_edge(scope, build_edge, trace, &mut |batch| op.build(batch))?;
+                    self.drain_edge(scope, build_edge, trace, &mut |flow| match flow {
+                        Flow::Data(batch) => op.build(batch),
+                        // A bounded stream feeding a join build has no
+                        // windows to gate: its markers end here.
+                        Flow::Punct(_) => Ok(()),
+                    })?;
                 }
                 spans.push(open_span(trace, "join-probe", &[]));
             }
@@ -638,10 +682,54 @@ impl<'a, 'b> Runner<'a, 'b> {
                     .scan_stats
                     .push(stats);
             }
+            PipelineSource::Stream { spec, device, .. } => {
+                if spec.is_unbounded() {
+                    return Err(EngineError::Plan(
+                        "unbounded stream reached the executor; bound it with \
+                         PipelineGraph::with_stream_horizon"
+                            .into(),
+                    ));
+                }
+                let _source = open_span(trace, "stream", &[("seed", spec.seed)]);
+                let mut gen = StreamGen::new(spec);
+                let punct_every = spec.punct_every.max(1);
+                let mut since_punct = 0u64;
+                while let Some(batch) = gen.next_batch() {
+                    if let Some(gate) = &self.env.gate {
+                        gate.acquire(pid)?;
+                    }
+                    self.charge_handoff(pid, *device, first_target, &batch, specs.is_empty());
+                    self.feed(pid, &mut ops, specs, parent_dev, trace, batch, sink)?;
+                    since_punct += 1;
+                    if since_punct >= punct_every {
+                        since_punct = 0;
+                        self.punctuate(
+                            pid,
+                            &mut ops,
+                            specs,
+                            parent_dev,
+                            trace,
+                            gen.frontier(),
+                            sink,
+                        )?;
+                    }
+                }
+                if since_punct > 0 {
+                    self.punctuate(
+                        pid,
+                        &mut ops,
+                        specs,
+                        parent_dev,
+                        trace,
+                        gen.frontier(),
+                        sink,
+                    )?;
+                }
+            }
             PipelineSource::Edge { edge } => {
                 let ops = &mut ops;
-                self.drain_edge(scope, *edge, trace, &mut |batch| {
-                    self.feed(
+                self.drain_edge(scope, *edge, trace, &mut |flow| match flow {
+                    Flow::Data(batch) => self.feed(
                         pid,
                         ops.as_mut_slice(),
                         specs,
@@ -649,15 +737,24 @@ impl<'a, 'b> Runner<'a, 'b> {
                         trace,
                         batch,
                         sink,
-                    )
+                    ),
+                    Flow::Punct(frontier) => self.punctuate(
+                        pid,
+                        ops.as_mut_slice(),
+                        specs,
+                        parent_dev,
+                        trace,
+                        frontier,
+                        sink,
+                    ),
                 })?;
             }
             PipelineSource::Exchange {
                 exchange, index, ..
             } => {
                 let ops = &mut ops;
-                self.drain_exchange(scope, *exchange, *index, &mut |batch| {
-                    self.feed(
+                self.drain_exchange(scope, *exchange, *index, &mut |flow| match flow {
+                    Flow::Data(batch) => self.feed(
                         pid,
                         ops.as_mut_slice(),
                         specs,
@@ -665,7 +762,10 @@ impl<'a, 'b> Runner<'a, 'b> {
                         trace,
                         batch,
                         sink,
-                    )
+                    ),
+                    // Exchange producers drop punctuation (the verifier
+                    // keeps unbounded streams out of exchanges).
+                    Flow::Punct(_) => Ok(()),
                 })?;
             }
         }
@@ -701,7 +801,7 @@ impl<'a, 'b> Runner<'a, 'b> {
         sink: &mut Sink,
     ) -> Result<()> {
         let Some((op, rest)) = ops.split_first_mut() else {
-            return sink(batch);
+            return sink(Flow::Data(batch));
         };
         let (spec, rest_specs) = specs.split_first().expect("specs parallel to ops");
         // Unary operators get a morsel span; join probes stream inside
@@ -729,6 +829,51 @@ impl<'a, 'b> Runner<'a, 'b> {
             span.annotate("out_rows", out_rows);
         }
         Ok(())
+    }
+
+    /// Advance every operator's frontier to `frontier`, feed any windows
+    /// that closed through the rest of the chain, and forward the marker
+    /// downstream. Mirrors the finish cascade: window output produced at
+    /// op `i` flows through ops `i+1..` with the usual handoff charges.
+    #[allow(clippy::too_many_arguments)]
+    fn punctuate(
+        &self,
+        pid: usize,
+        ops: &mut [RuntimeOp],
+        specs: &[PipelineOp],
+        parent_dev: Option<DeviceId>,
+        trace: Trace<'_>,
+        frontier: i64,
+        sink: &mut Sink,
+    ) -> Result<()> {
+        if let Some((t, lane)) = trace {
+            t.instant(lane, &format!("frontier-advance f={frontier}"));
+        }
+        self.accounts[pid]
+            .lock()
+            .expect("account lock poisoned")
+            .frontiers
+            .push(frontier);
+        for i in 0..specs.len() {
+            let (head, rest) = ops.split_at_mut(i + 1);
+            let closed = head[i].advance(frontier)?;
+            if closed.is_empty() {
+                continue;
+            }
+            let target = specs.get(i + 1).map_or(parent_dev, |s| s.device);
+            let mut lags = Vec::with_capacity(closed.len());
+            for (wend, out) in closed {
+                lags.push(frontier.saturating_sub(wend));
+                self.charge_handoff(pid, specs[i].device, target, &out, i + 1 == specs.len());
+                self.feed(pid, rest, &specs[i + 1..], parent_dev, trace, out, sink)?;
+            }
+            self.accounts[pid]
+                .lock()
+                .expect("account lock poisoned")
+                .window_lags
+                .extend(lags);
+        }
+        sink(Flow::Punct(frontier))
     }
 
     /// Drain one inter-pipeline edge into `sink` — the single site where
@@ -760,13 +905,20 @@ impl<'a, 'b> Runner<'a, 'b> {
                     let mut hung_up = false;
                     let mut edge_span =
                         open_span(trace, "fabric-edge", &[("credits", credits as u64)]);
-                    let result = self.run_pipeline(scope, from, trace, to_device, &mut |batch| {
+                    let result = self.run_pipeline(scope, from, trace, to_device, &mut |flow| {
                         // On codec edges the tip charge was suppressed in
                         // the chain; encode and charge here instead.
-                        let msg = if handled {
-                            self.edge_message(eid, batch)
-                        } else {
-                            EdgeMsg::Plain(batch)
+                        // Punctuation rides the same channel so frontier
+                        // markers keep FIFO order with the data they trail.
+                        let msg = match flow {
+                            Flow::Data(batch) => {
+                                if handled {
+                                    self.edge_message(eid, batch)
+                                } else {
+                                    EdgeMsg::Plain(batch)
+                                }
+                            }
+                            Flow::Punct(frontier) => EdgeMsg::Punct(frontier),
                         };
                         match tx.try_send(msg) {
                             Ok(()) => {}
@@ -803,17 +955,18 @@ impl<'a, 'b> Runner<'a, 'b> {
                 });
                 let mut consumer_err: Option<EngineError> = None;
                 for msg in rx.iter() {
-                    let batch = match msg {
-                        EdgeMsg::Plain(batch) => batch,
+                    let flow = match msg {
+                        EdgeMsg::Plain(batch) => Flow::Data(batch),
                         EdgeMsg::Frame(frame) => match edge_codec::decode(&frame) {
-                            Ok(batch) => batch,
+                            Ok(batch) => Flow::Data(batch),
                             Err(e) => {
                                 consumer_err = Some(EngineError::Codec(e));
                                 break;
                             }
                         },
+                        EdgeMsg::Punct(frontier) => Flow::Punct(frontier),
                     };
-                    if let Err(e) = sink(batch) {
+                    if let Err(e) = sink(flow) {
                         consumer_err = Some(e);
                         break;
                     }
@@ -890,8 +1043,11 @@ impl<'a, 'b> Runner<'a, 'b> {
                         break;
                     }
                 },
+                // Exchanges interleave producers, so a per-producer
+                // frontier is meaningless downstream; drop it.
+                EdgeMsg::Punct(_) => continue,
             };
-            if let Err(e) = sink(batch) {
+            if let Err(e) = sink(Flow::Data(batch)) {
                 consumer_err = Some(e);
                 break;
             }
@@ -952,7 +1108,13 @@ impl<'a, 'b> Runner<'a, 'b> {
             "exchange-producer",
             &[("exchange", xid as u64), ("parts", ex.parts as u64)],
         );
-        let result = self.run_pipeline(scope, ppid, trace, None, &mut |batch| {
+        let result = self.run_pipeline(scope, ppid, trace, None, &mut |flow| {
+            let batch = match flow {
+                Flow::Data(batch) => batch,
+                // The verifier keeps unbounded streams out of exchanges;
+                // markers from bounded ones carry no window to gate.
+                Flow::Punct(_) => return Ok(()),
+            };
             let parts: Vec<(usize, Batch)> = match &splitter {
                 Splitter::Hash(partitioner) => partitioner
                     .partition(&batch)?

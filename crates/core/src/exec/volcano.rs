@@ -107,6 +107,11 @@ pub fn compile(node: &PhysNode, storage: Option<&SmartStorage>) -> Result<Box<dy
                 "volcano baseline does not execute exchange fragments".into(),
             ));
         }
+        PhysNode::StreamScan { .. } | PhysNode::WindowAggregate { .. } => {
+            return Err(EngineError::Plan(
+                "volcano baseline does not execute streaming plans".into(),
+            ));
+        }
     })
 }
 
@@ -139,6 +144,8 @@ pub fn execute_traced(
                 PhysNode::TopK { .. } => "op:topk",
                 PhysNode::HashJoin { .. } => "op:hash-join",
                 PhysNode::Exchange { .. } => "op:exchange",
+                PhysNode::StreamScan { .. } => "op:stream-scan",
+                PhysNode::WindowAggregate { .. } => "op:window-aggregate",
             };
             t.instant(lane, label);
             for child in node.children() {

@@ -30,6 +30,10 @@
 //!   data-path alternatives per query)
 //! - [`scaleout`] — N-host distributed execution as placed Exchange plans
 //!   over the pipeline-graph IR (Figure 4)
+//! - [`streaming`] — unbounded seed-deterministic sources, event-time
+//!   windows, and frontier-gated windowed aggregation (§7.4–7.5); the
+//!   pipeline graph carries punctuation on its edges and the verifier
+//!   enforces the streaming legality rules
 //! - [`scheduler`] — interference-aware admission: plan-variant selection
 //!   and DMA rate limiting (§7.3)
 //! - [`sql`] — a SQL frontend for the examples
@@ -49,6 +53,7 @@ pub mod scaleout;
 pub mod scheduler;
 pub mod session;
 pub mod sql;
+pub mod streaming;
 
 pub use error::{EngineError, Result};
 pub use expr::Expr;

@@ -106,6 +106,7 @@ fn scan_profile<'a>(node: &PhysNode, profiles: &'a Profiles) -> Option<&'a Table
         PhysNode::Filter { input, .. }
         | PhysNode::Project { input, .. }
         | PhysNode::Aggregate { input, .. }
+        | PhysNode::WindowAggregate { input, .. }
         | PhysNode::Sort { input, .. }
         | PhysNode::TopK { input, .. }
         | PhysNode::Limit { input, .. } => scan_profile(input, profiles),
@@ -140,6 +141,12 @@ pub fn estimate_node(node: &PhysNode, profiles: &Profiles) -> (f64, f64) {
             let rows: usize = batches.iter().map(df_data::Batch::rows).sum();
             (rows as f64, rows as f64 * avg_row_width(schema) as f64)
         }
+        PhysNode::StreamScan { spec, schema, .. } => {
+            // Unbounded sources are priced at the spec's horizon (or the
+            // default pricing horizon): sustained-rate demand, not totals.
+            let rows = (spec.priced_batches() * spec.rows_per_batch.max(1) as u64) as f64;
+            (rows, rows * avg_row_width(schema) as f64)
+        }
         PhysNode::Filter {
             input, predicate, ..
         } => {
@@ -166,6 +173,28 @@ pub fn estimate_node(node: &PhysNode, profiles: &Profiles) -> (f64, f64) {
             };
             let rows = match mode {
                 // Partial stages may flush several copies of a group.
+                AggMode::Partial { .. } => (groups * 1.5).min(in_rows.max(1.0)),
+                _ => groups,
+            };
+            (rows, rows * avg_row_width(final_schema) as f64)
+        }
+        PhysNode::WindowAggregate {
+            input,
+            group_by,
+            mode,
+            final_schema,
+            ..
+        } => {
+            // Same group-cardinality heuristic as Aggregate; the wstart
+            // column multiplies groups by the open-window count, which the
+            // sqrt heuristic already absorbs at estimate precision.
+            let (in_rows, _) = estimate_node(input, profiles);
+            let groups = if group_by.is_empty() {
+                1.0
+            } else {
+                in_rows.sqrt().max(1.0).min(in_rows)
+            };
+            let rows = match mode {
                 AggMode::Partial { .. } => (groups * 1.5).min(in_rows.max(1.0)),
                 _ => groups,
             };
@@ -238,6 +267,10 @@ pub fn op_class_of(node: &PhysNode) -> OpClass {
             }
         }
         PhysNode::Values { .. } => OpClass::Scan,
+        // A stream source is the *ingest point* of a continuous query —
+        // the rows arrive at the device (NIC-Rx, storage feed) rather than
+        // being read from it, so it prices and places as `Ingest`.
+        PhysNode::StreamScan { .. } => OpClass::Ingest,
         PhysNode::Filter { predicate, .. } => {
             if expr_has_like(predicate) {
                 OpClass::Regex
@@ -267,6 +300,10 @@ pub fn op_class_of(node: &PhysNode) -> OpClass {
                 }
             }
         }
+        PhysNode::WindowAggregate { mode, .. } => match mode {
+            AggMode::Partial { .. } => OpClass::AggregatePartial,
+            _ => OpClass::AggregateFinal,
+        },
         PhysNode::HashJoin { .. } => OpClass::JoinProbe,
         PhysNode::Sort { .. } | PhysNode::TopK { .. } => OpClass::Sort,
         PhysNode::Limit { .. } => OpClass::Project,
@@ -338,10 +375,13 @@ pub fn cost_plan(
 
 fn children_of(node: &PhysNode) -> Vec<&PhysNode> {
     match node {
-        PhysNode::StorageScan { .. } | PhysNode::Values { .. } => vec![],
+        PhysNode::StorageScan { .. } | PhysNode::Values { .. } | PhysNode::StreamScan { .. } => {
+            vec![]
+        }
         PhysNode::Filter { input, .. }
         | PhysNode::Project { input, .. }
         | PhysNode::Aggregate { input, .. }
+        | PhysNode::WindowAggregate { input, .. }
         | PhysNode::Sort { input, .. }
         | PhysNode::TopK { input, .. }
         | PhysNode::Limit { input, .. } => vec![input],

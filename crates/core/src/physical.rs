@@ -13,6 +13,7 @@ use crate::expr::Expr;
 use crate::logical::AggCall;
 use crate::ops::AggMode;
 use crate::pipeline::ExchangeKind;
+use crate::streaming::{StreamSourceSpec, WindowSpec};
 
 /// A physical operator tree.
 #[derive(Debug, Clone)]
@@ -36,6 +37,16 @@ pub enum PhysNode {
         /// Shared schema.
         schema: SchemaRef,
         /// Placement.
+        device: Option<DeviceId>,
+    },
+    /// A seed-deterministic streaming source (unbounded when the spec's
+    /// `batches` is `None`); emits punctuation the graph's edges carry.
+    StreamScan {
+        /// Generator parameters (seed, rate, horizon, punctuation cadence).
+        spec: StreamSourceSpec,
+        /// Output schema ([`StreamSourceSpec::schema`]).
+        schema: SchemaRef,
+        /// Placement (the device ingesting the stream, e.g. the NIC Rx).
         device: Option<DeviceId>,
     },
     /// Row filter.
@@ -72,6 +83,30 @@ pub enum PhysNode {
         /// Mode.
         mode: AggMode,
         /// The *final* output schema of the logical aggregate.
+        final_schema: SchemaRef,
+        /// Placement.
+        device: Option<DeviceId>,
+    },
+    /// Event-time windowed hash aggregation: rows are routed to
+    /// tumbling/sliding windows over `ts_col`, each window aggregates
+    /// independently, and a window only emits once the input frontier
+    /// passes its end bound (punctuation-gated in streaming execution,
+    /// end-of-input in batch execution — same output either way).
+    WindowAggregate {
+        /// Input (raw timestamped rows for Partial/Final; `wstart`-tagged
+        /// partials for Merge).
+        input: Box<PhysNode>,
+        /// Timestamp column (`Int64`) windows are assigned over.
+        ts_col: String,
+        /// Window size/slide.
+        window: WindowSpec,
+        /// Group-by columns within each window.
+        group_by: Vec<String>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+        /// Mode.
+        mode: AggMode,
+        /// Final output schema of the inner aggregate (sans `wstart`).
         final_schema: SchemaRef,
         /// Placement.
         device: Option<DeviceId>,
@@ -149,9 +184,25 @@ impl PhysNode {
         match self {
             PhysNode::StorageScan { schema, .. }
             | PhysNode::Values { schema, .. }
+            | PhysNode::StreamScan { schema, .. }
             | PhysNode::Project { schema, .. }
             | PhysNode::HashJoin { schema, .. }
             | PhysNode::Exchange { schema, .. } => schema.clone(),
+            PhysNode::WindowAggregate {
+                input,
+                group_by,
+                aggs,
+                mode,
+                final_schema,
+                ..
+            } => crate::streaming::window_output_schema(
+                group_by,
+                aggs,
+                *mode,
+                &input.schema(),
+                final_schema,
+            )
+            .expect("validated at plan build"),
             PhysNode::Filter { input, .. }
             | PhysNode::Sort { input, .. }
             | PhysNode::TopK { input, .. }
@@ -177,10 +228,13 @@ impl PhysNode {
     /// The node's direct children (empty for leaves).
     pub fn children(&self) -> Vec<&PhysNode> {
         match self {
-            PhysNode::StorageScan { .. } | PhysNode::Values { .. } => Vec::new(),
+            PhysNode::StorageScan { .. }
+            | PhysNode::Values { .. }
+            | PhysNode::StreamScan { .. } => Vec::new(),
             PhysNode::Filter { input, .. }
             | PhysNode::Project { input, .. }
             | PhysNode::Aggregate { input, .. }
+            | PhysNode::WindowAggregate { input, .. }
             | PhysNode::Sort { input, .. }
             | PhysNode::TopK { input, .. }
             | PhysNode::Limit { input, .. } => vec![input],
@@ -194,9 +248,11 @@ impl PhysNode {
         match self {
             PhysNode::StorageScan { device, .. }
             | PhysNode::Values { device, .. }
+            | PhysNode::StreamScan { device, .. }
             | PhysNode::Filter { device, .. }
             | PhysNode::Project { device, .. }
             | PhysNode::Aggregate { device, .. }
+            | PhysNode::WindowAggregate { device, .. }
             | PhysNode::HashJoin { device, .. }
             | PhysNode::TopK { device, .. }
             | PhysNode::Sort { device, .. }
@@ -253,6 +309,43 @@ impl PhysNode {
                     "{pad}Values: {rows} rows{}\n",
                     Self::dev_str(device)
                 ));
+            }
+            PhysNode::StreamScan { spec, device, .. } => {
+                let horizon = match spec.batches {
+                    Some(n) => format!("{n} batches"),
+                    None => "unbounded".into(),
+                };
+                out.push_str(&format!(
+                    "{pad}StreamScan: seed={} {}x{} rows {horizon} punct-every={}{}\n",
+                    spec.seed,
+                    spec.rows_per_batch,
+                    spec.sensors,
+                    spec.punct_every,
+                    Self::dev_str(device)
+                ));
+            }
+            PhysNode::WindowAggregate {
+                input,
+                ts_col,
+                window,
+                group_by,
+                mode,
+                device,
+                ..
+            } => {
+                let mode_str = match mode {
+                    AggMode::Partial { max_groups } => format!("partial(max={max_groups})"),
+                    AggMode::Final => "final".to_string(),
+                    AggMode::Merge => "merge".to_string(),
+                };
+                out.push_str(&format!(
+                    "{pad}WindowAggregate[{mode_str}]: ts={ts_col} size={} slide={} group=[{}]{}\n",
+                    window.size,
+                    window.slide,
+                    group_by.join(","),
+                    Self::dev_str(device)
+                ));
+                input.explain_into(out, depth + 1);
             }
             PhysNode::Filter {
                 input,

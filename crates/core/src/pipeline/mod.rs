@@ -37,6 +37,7 @@ use crate::ops::{
 use crate::optimizer::cost::{estimate_node, node_input_bytes, op_class_of, reduction_of};
 use crate::optimizer::Profiles;
 use crate::physical::{PhysNode, PhysicalPlan};
+use crate::streaming::{StreamSourceSpec, WindowAggOp, WindowSpec};
 
 /// Default credit budget of a pipeline edge, in chunks (§7.1). Matches the
 /// flow simulator's default stage queue.
@@ -99,6 +100,28 @@ pub enum OperatorSpec {
         /// Input schema.
         input_schema: SchemaRef,
     },
+    /// Event-time windowed hash aggregation: rows land in tumbling or
+    /// sliding windows keyed by an `Int64` timestamp column; a window only
+    /// drains when the input frontier passes its bound (punctuation-gated,
+    /// so it is *not* a pipeline breaker — it streams closed windows).
+    WindowAggregate {
+        /// Timestamp column the windows are keyed on (ignored in
+        /// [`AggMode::Merge`], where the input leads with `wstart`).
+        ts_col: String,
+        /// Tumbling or sliding window extent.
+        window: WindowSpec,
+        /// Group-by columns (within each window).
+        group_by: Vec<String>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+        /// Partial, final, or merge.
+        mode: AggMode,
+        /// Input schema.
+        input_schema: SchemaRef,
+        /// Final per-window output schema of the logical aggregate,
+        /// *without* the `wstart` column the operator prepends.
+        final_schema: SchemaRef,
+    },
     /// The probe side of a hash join; the build side arrives over the
     /// node's `build_edge`.
     JoinProbe {
@@ -123,6 +146,7 @@ impl OperatorSpec {
             OperatorSpec::Sort { .. } => "sort",
             OperatorSpec::TopK { .. } => "topk",
             OperatorSpec::Limit { .. } => "limit",
+            OperatorSpec::WindowAggregate { .. } => "window-agg",
             OperatorSpec::JoinProbe { .. } => "hash-join",
         }
     }
@@ -167,6 +191,21 @@ impl OperatorSpec {
                 }
                 _ => final_schema.clone(),
             },
+            OperatorSpec::WindowAggregate {
+                group_by,
+                aggs,
+                mode,
+                input_schema,
+                final_schema,
+                ..
+            } => crate::streaming::window_output_schema(
+                group_by,
+                aggs,
+                *mode,
+                input_schema,
+                final_schema,
+            )
+            .expect("validated at plan build"),
         }
     }
 
@@ -216,6 +255,23 @@ impl OperatorSpec {
             OperatorSpec::Limit { n, input_schema } => {
                 RuntimeOp::Std(Box::new(LimitOp::new(*n, input_schema.clone())))
             }
+            OperatorSpec::WindowAggregate {
+                ts_col,
+                window,
+                group_by,
+                aggs,
+                mode,
+                input_schema,
+                final_schema,
+            } => RuntimeOp::Window(WindowAggOp::new(
+                ts_col,
+                *window,
+                group_by.clone(),
+                aggs.clone(),
+                *mode,
+                input_schema,
+                final_schema.clone(),
+            )?),
             OperatorSpec::JoinProbe {
                 on,
                 join_type,
@@ -235,6 +291,7 @@ impl OperatorSpec {
     pub fn instantiate_streaming(&self) -> Result<Box<dyn Operator>> {
         match self.instantiate()? {
             RuntimeOp::Std(op) => Ok(op),
+            RuntimeOp::Window(op) => Ok(Box::new(op)),
             RuntimeOp::Join(_) => Err(EngineError::Internal(
                 "join probe needs a build edge; use instantiate()".into(),
             )),
@@ -246,6 +303,9 @@ impl OperatorSpec {
 pub enum RuntimeOp {
     /// Any unary streaming operator.
     Std(Box<dyn Operator>),
+    /// A frontier-gated window aggregate: executors call
+    /// [`RuntimeOp::advance`] at punctuation to drain closed windows.
+    Window(WindowAggOp),
     /// A hash join (probe streaming; build fed via [`RuntimeOp::build`]).
     Join(HashJoinOp),
 }
@@ -255,6 +315,7 @@ impl RuntimeOp {
     pub fn push(&mut self, batch: Batch) -> Result<Vec<Batch>> {
         match self {
             RuntimeOp::Std(op) => op.push(batch),
+            RuntimeOp::Window(op) => op.push(batch),
             RuntimeOp::Join(op) => op.push(batch),
         }
     }
@@ -263,6 +324,7 @@ impl RuntimeOp {
     pub fn finish(&mut self) -> Result<Vec<Batch>> {
         match self {
             RuntimeOp::Std(op) => op.finish(),
+            RuntimeOp::Window(op) => op.finish(),
             RuntimeOp::Join(op) => op.finish(),
         }
     }
@@ -270,10 +332,20 @@ impl RuntimeOp {
     /// Feed one batch to the join build side.
     pub fn build(&mut self, batch: Batch) -> Result<()> {
         match self {
-            RuntimeOp::Std(_) => Err(EngineError::Internal(
+            RuntimeOp::Std(_) | RuntimeOp::Window(_) => Err(EngineError::Internal(
                 "build() on a non-join operator".into(),
             )),
             RuntimeOp::Join(op) => op.build(batch),
+        }
+    }
+
+    /// Advance the operator's input frontier to `frontier`, draining every
+    /// window whose bound it passed. No-op (empty) for non-window
+    /// operators: they are either stateless or bounded-input.
+    pub fn advance(&mut self, frontier: i64) -> Result<Vec<(i64, Batch)>> {
+        match self {
+            RuntimeOp::Window(op) => op.advance(frontier),
+            _ => Ok(Vec::new()),
         }
     }
 }
@@ -299,6 +371,19 @@ pub enum PipelineSource {
         /// Shared schema.
         schema: SchemaRef,
         /// Placement.
+        device: Option<DeviceId>,
+    },
+    /// A seed-deterministic (possibly unbounded) streaming source. The
+    /// generator emits timestamp-ascending log batches and punctuates its
+    /// frontier every [`StreamSourceSpec::punct_every`] batches; executors
+    /// refuse specs left unbounded — bound them first with
+    /// [`PipelineGraph::with_stream_horizon`].
+    Stream {
+        /// Generator parameters (seed, rate, horizon).
+        spec: StreamSourceSpec,
+        /// Output schema ([`StreamSourceSpec::schema`]).
+        schema: SchemaRef,
+        /// Placement of the generator (the ingest point, e.g. NIC-Rx).
         device: Option<DeviceId>,
     },
     /// Output of an upstream pipeline, arriving over an edge.
@@ -328,6 +413,7 @@ impl PipelineSource {
         match self {
             PipelineSource::Scan { device, .. }
             | PipelineSource::Values { device, .. }
+            | PipelineSource::Stream { device, .. }
             | PipelineSource::Exchange { device, .. } => *device,
             PipelineSource::Edge { .. } => None,
         }
@@ -504,6 +590,13 @@ pub struct PipelineEdge {
     pub from_device: Option<DeviceId>,
     /// Consumer placement (the op the edge feeds).
     pub to_device: Option<DeviceId>,
+    /// True when the edge carries punctuation: the producer spine is fed
+    /// by a [`PipelineSource::Stream`], so frontier markers are forwarded
+    /// inline with the data and the consumer may gate windows on them.
+    /// Set by the compiler on every stream-fed [`EdgeRole::Input`] edge
+    /// (Local and Fabric alike); [`PipelineGraph::verify`] rejects a
+    /// stream-fed input edge that drops its punctuation.
+    pub punctuated: bool,
     /// How batches are encoded on the wire. `Plain` (the compile default)
     /// charges raw batch bytes and needs no codec stages.
     pub encoding: EdgeEncoding,
@@ -626,7 +719,28 @@ fn spec_of(node: &PhysNode) -> OperatorSpec {
             build_schema: build.schema(),
             schema: schema.clone(),
         },
-        PhysNode::StorageScan { .. } | PhysNode::Values { .. } | PhysNode::Exchange { .. } => {
+        PhysNode::WindowAggregate {
+            input,
+            ts_col,
+            window,
+            group_by,
+            aggs,
+            mode,
+            final_schema,
+            ..
+        } => OperatorSpec::WindowAggregate {
+            ts_col: ts_col.clone(),
+            window: *window,
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+            mode: *mode,
+            input_schema: input.schema(),
+            final_schema: final_schema.clone(),
+        },
+        PhysNode::StorageScan { .. }
+        | PhysNode::Values { .. }
+        | PhysNode::StreamScan { .. }
+        | PhysNode::Exchange { .. } => {
             unreachable!("leaves become pipeline sources, not ops")
         }
     }
@@ -680,6 +794,9 @@ impl Compiler<'_> {
             queue_capacity: self.graph.queue_capacity,
             from_device,
             to_device,
+            // Fixed up after compilation by `mark_punctuated`, once every
+            // pipeline's source is known.
+            punctuated: false,
             encoding: EdgeEncoding::Plain,
             compress: None,
             decompress: None,
@@ -736,6 +853,19 @@ impl Compiler<'_> {
             } => {
                 let pid = self.new_pipeline(PipelineSource::Values {
                     batches: batches.clone(),
+                    schema: schema.clone(),
+                    device: *device,
+                });
+                self.annotate_source(pid, node);
+                pid
+            }
+            PhysNode::StreamScan {
+                spec,
+                schema,
+                device,
+            } => {
+                let pid = self.new_pipeline(PipelineSource::Stream {
+                    spec: spec.clone(),
                     schema: schema.clone(),
                     device: *device,
                 });
@@ -812,6 +942,7 @@ impl Compiler<'_> {
             PhysNode::Filter { input, .. }
             | PhysNode::Project { input, .. }
             | PhysNode::Aggregate { input, .. }
+            | PhysNode::WindowAggregate { input, .. }
             | PhysNode::Sort { input, .. }
             | PhysNode::TopK { input, .. }
             | PhysNode::Limit { input, .. } => {
@@ -831,12 +962,13 @@ impl Compiler<'_> {
         // In-memory Values leaves have no scan input; their "source size"
         // is the materialized batch bytes flowing out (mirrors
         // `cost::reduction_of`, which pins Values selectivity at 1).
-        let (source_bytes, selectivity) = if matches!(leaf, PhysNode::Values { .. }) {
-            (out_bytes.max(1.0) as u64, 1.0)
-        } else {
-            let input = node_input_bytes(leaf, self.profiles).max(1.0);
-            (input as u64, (out_bytes / input).clamp(0.0, 1.0))
-        };
+        let (source_bytes, selectivity) =
+            if matches!(leaf, PhysNode::Values { .. } | PhysNode::StreamScan { .. }) {
+                (out_bytes.max(1.0) as u64, 1.0)
+            } else {
+                let input = node_input_bytes(leaf, self.profiles).max(1.0);
+                (input as u64, (out_bytes / input).clamp(0.0, 1.0))
+            };
         let p = &mut self.graph.pipelines[pid];
         p.source_bytes = source_bytes;
         p.source_class = op_class_of(leaf);
@@ -876,6 +1008,7 @@ impl PipelineGraph {
         };
         let root = c.compile_node(&plan.root);
         c.graph.root = root;
+        c.graph.mark_punctuated();
         #[cfg(debug_assertions)]
         if let Err(errs) = c.graph.verify(topology) {
             let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
@@ -885,6 +1018,95 @@ impl PipelineGraph {
             );
         }
         c.graph
+    }
+
+    /// Which pipelines are stream-fed: their spine leaf is a
+    /// [`PipelineSource::Stream`] (directly, or transitively through
+    /// `Input` edges). Computed to a fixpoint so hand-built test graphs
+    /// with arbitrary id ordering resolve too; edge indices that do not
+    /// resolve (malformed graphs) are treated as not stream-fed and left
+    /// for [`PipelineGraph::verify`] to reject.
+    pub fn stream_fed(&self) -> Vec<bool> {
+        let mut fed = vec![false; self.pipelines.len()];
+        loop {
+            let mut changed = false;
+            for (pid, p) in self.pipelines.iter().enumerate() {
+                let f = match &p.source {
+                    PipelineSource::Stream { .. } => true,
+                    PipelineSource::Edge { edge } => self
+                        .edges
+                        .get(*edge)
+                        .is_some_and(|e| fed.get(e.from).copied().unwrap_or(false)),
+                    _ => false,
+                };
+                if f && !fed[pid] {
+                    fed[pid] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        fed
+    }
+
+    /// Mark every stream-fed [`EdgeRole::Input`] edge as punctuation-
+    /// carrying. Runs at the end of compilation; call it again after
+    /// hand-editing sources or edges so the flags stay consistent with
+    /// what [`PipelineGraph::verify`] checks.
+    pub fn mark_punctuated(&mut self) {
+        let fed = self.stream_fed();
+        for e in &mut self.edges {
+            e.punctuated = e.role == EdgeRole::Input && fed.get(e.from).copied().unwrap_or(false);
+        }
+    }
+
+    /// True when any pipeline is fed by a stream source with no horizon
+    /// (`batches: None`) — such a graph can be verified and priced, but
+    /// executors refuse it until bounded.
+    pub fn has_unbounded_stream(&self) -> bool {
+        self.pipelines.iter().any(
+            |p| matches!(&p.source, PipelineSource::Stream { spec, .. } if spec.is_unbounded()),
+        )
+    }
+
+    /// A copy of the graph with every *unbounded* stream source bounded
+    /// to `batches` generator batches (sources with an explicit horizon
+    /// keep it). Verification runs against the unbounded graph; execution
+    /// runs the bounded clone — bounding only removes behavior, so a
+    /// verified unbounded graph stays verified.
+    pub fn with_stream_horizon(&self, batches: u64) -> PipelineGraph {
+        let mut g = self.clone();
+        for p in &mut g.pipelines {
+            if let PipelineSource::Stream { spec, .. } = &mut p.source {
+                if spec.is_unbounded() {
+                    spec.batches = Some(batches);
+                }
+            }
+        }
+        g
+    }
+
+    /// [`PipelineGraph::to_flow_specs`] with every stream source priced at
+    /// a sustained-rate horizon of `horizon_batches` generator batches
+    /// (instead of the spec's own pricing horizon) — the flow simulator
+    /// then models the continuous query under that sustained ingest load.
+    pub fn to_flow_specs_sustained(
+        &self,
+        default_device: DeviceId,
+        name: &str,
+        horizon_batches: u64,
+    ) -> Result<Vec<PipelineSpec>> {
+        let mut g = self.clone();
+        for p in &mut g.pipelines {
+            if let PipelineSource::Stream { spec, schema, .. } = &p.source {
+                let rows = horizon_batches.saturating_mul(spec.rows_per_batch.max(1) as u64);
+                let width = crate::optimizer::stats::avg_row_width(schema);
+                p.source_bytes = rows.saturating_mul(width).max(1);
+            }
+        }
+        g.to_flow_specs(default_device, name)
     }
 
     /// Install `encoding` on edge `edge`, creating (or clearing, for

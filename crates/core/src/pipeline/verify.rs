@@ -25,7 +25,13 @@
 //!   consuming op's placements, so each crossing is attributed once;
 //! - **credit sanity** — no edge carries a zero credit budget (a
 //!   zero-capacity channel can never make progress under the §7.1
-//!   protocol; `df-check`'s deadlock pass model-checks the rest).
+//!   protocol; `df-check`'s deadlock pass model-checks the rest);
+//! - **streaming legality** — every stream-fed input edge carries
+//!   punctuation (dropping it would freeze every downstream frontier),
+//!   no unbounded stream flows into an operator that buffers its whole
+//!   input (sort, top-k, un-windowed aggregation) or into a join build /
+//!   exchange, and every windowed aggregate is keyed on an `Int64`
+//!   timestamp column its input actually supplies.
 //!
 //! The compiler debug-asserts `verify` on every graph it builds; the push
 //! and morsel-parallel executors and the flow-spec derivation call it
@@ -42,6 +48,8 @@ use super::{
     PipelineSource,
 };
 use crate::expr::Expr;
+use crate::ops::AggMode;
+use crate::streaming::WSTART_COL;
 
 /// One verification failure. Variants are typed so tests (and the mutation
 /// property suite) can assert *which* invariant a bad graph violates.
@@ -172,6 +180,43 @@ pub enum VerifyError {
         /// The unsupported class.
         class: OpClass,
     },
+    /// A windowed aggregate is keyed on a timestamp column its input does
+    /// not supply as `Int64` (or, in merge mode, on an input that does not
+    /// lead with the `Int64` `wstart` column).
+    WindowWithoutTimestamp {
+        /// Pipeline of the window op.
+        pipeline: usize,
+        /// Op index of the window op.
+        op: usize,
+        /// The missing or mis-typed column.
+        column: String,
+    },
+    /// A stream-fed input edge does not carry punctuation: the consumer's
+    /// frontier could never advance, so no window downstream of the edge
+    /// would ever close.
+    PunctuationDropped {
+        /// The edge.
+        edge: usize,
+    },
+    /// An operator that buffers its whole input sits on an unbounded
+    /// stream spine — it would accumulate state forever and never emit.
+    UnboundedBreaker {
+        /// Pipeline containing the op.
+        pipeline: usize,
+        /// Op index.
+        op: usize,
+        /// Operator label.
+        label: &'static str,
+    },
+    /// An unbounded stream flows somewhere the streaming runtime cannot
+    /// drive (a join build side or an exchange producer); bound the
+    /// source first with `with_stream_horizon`.
+    StreamingUnsupported {
+        /// The offending pipeline.
+        pipeline: usize,
+        /// What is unsupported.
+        detail: String,
+    },
     /// An exchange's bookkeeping is inconsistent: incomplete shuffle-edge
     /// matrix, mis-wired consumer fragments, producer schemas that do not
     /// match the redistributed stream, or hash keys absent from a producer
@@ -203,6 +248,10 @@ impl VerifyError {
             VerifyError::ZeroCapacity { .. } => "zero-capacity",
             VerifyError::CodecPairingBroken { .. } => "codec-pairing-broken",
             VerifyError::IllegalCodecPlacement { .. } => "illegal-codec-placement",
+            VerifyError::WindowWithoutTimestamp { .. } => "window-without-timestamp",
+            VerifyError::PunctuationDropped { .. } => "punctuation-dropped",
+            VerifyError::UnboundedBreaker { .. } => "unbounded-breaker",
+            VerifyError::StreamingUnsupported { .. } => "streaming-unsupported",
             VerifyError::ExchangeMalformed { .. } => "exchange-malformed",
         }
     }
@@ -281,6 +330,32 @@ impl fmt::Display for VerifyError {
                 f,
                 "edge {edge}: device {device} ('{device_name}') cannot host codec stage {class}"
             ),
+            VerifyError::WindowWithoutTimestamp {
+                pipeline,
+                op,
+                column,
+            } => write!(
+                f,
+                "pipeline {pipeline}, op {op}: window keyed on '{column}', which the input does \
+                 not supply as Int64"
+            ),
+            VerifyError::PunctuationDropped { edge } => write!(
+                f,
+                "edge {edge}: stream-fed input edge drops punctuation (downstream frontiers \
+                 could never advance)"
+            ),
+            VerifyError::UnboundedBreaker {
+                pipeline,
+                op,
+                label,
+            } => write!(
+                f,
+                "pipeline {pipeline}: '{label}' at op {op} buffers an unbounded stream and \
+                 would never emit"
+            ),
+            VerifyError::StreamingUnsupported { pipeline, detail } => {
+                write!(f, "pipeline {pipeline}: {detail}")
+            }
             VerifyError::ExchangeMalformed { exchange, detail } => {
                 write!(f, "exchange {exchange}: {detail}")
             }
@@ -397,7 +472,9 @@ impl Verifier<'_> {
                         sound = false;
                     }
                 }
-                PipelineSource::Scan { .. } | PipelineSource::Values { .. } => {}
+                PipelineSource::Scan { .. }
+                | PipelineSource::Values { .. }
+                | PipelineSource::Stream { .. } => {}
             }
         }
         for (e, edge) in g.edges.iter().enumerate() {
@@ -599,6 +676,7 @@ impl Verifier<'_> {
         match &p.source {
             PipelineSource::Scan { schema, .. }
             | PipelineSource::Values { schema, .. }
+            | PipelineSource::Stream { schema, .. }
             | PipelineSource::Exchange { schema, .. } => Some(schema.clone()),
             PipelineSource::Edge { edge } => {
                 // Depth-bounded: structure pass already rejected cycles,
@@ -617,6 +695,7 @@ impl Verifier<'_> {
             let mut current = match &p.source {
                 PipelineSource::Scan { schema, .. }
                 | PipelineSource::Values { schema, .. }
+                | PipelineSource::Stream { schema, .. }
                 | PipelineSource::Exchange { schema, .. } => Some(schema.clone()),
                 PipelineSource::Edge { edge } => self.pipeline_output(g.edges[*edge].from, 0),
             };
@@ -629,7 +708,8 @@ impl Verifier<'_> {
                     | OperatorSpec::Sort { input_schema, .. }
                     | OperatorSpec::TopK { input_schema, .. }
                     | OperatorSpec::Limit { input_schema, .. }
-                    | OperatorSpec::Aggregate { input_schema, .. } => {
+                    | OperatorSpec::Aggregate { input_schema, .. }
+                    | OperatorSpec::WindowAggregate { input_schema, .. } => {
                         if !types_match(input_schema, &upstream) {
                             self.push(VerifyError::SchemaMismatch {
                                 pipeline: pid,
@@ -698,6 +778,124 @@ impl Verifier<'_> {
         }
     }
 
+    // ----------------------------------------------------------- streaming
+
+    /// Streaming legality: punctuation is preserved on every stream-fed
+    /// input edge (and claimed nowhere else), unbounded spines never reach
+    /// whole-input buffering, join builds, or exchanges, and windowed
+    /// aggregates are keyed on a real `Int64` timestamp column.
+    ///
+    /// A windowed aggregate over a *bounded* source (`Values`, a
+    /// horizon-bounded stream) is deliberately legal with or without
+    /// punctuation — that is exactly the batch-oracle configuration the
+    /// streaming tests pin results against.
+    fn check_streaming(&mut self) {
+        let g = self.graph;
+        let fed = g.stream_fed();
+        // Unbounded-fed pipelines: like `stream_fed`, restricted to stream
+        // sources with no horizon.
+        let mut unbounded = vec![false; g.pipelines.len()];
+        loop {
+            let mut changed = false;
+            for (pid, p) in g.pipelines.iter().enumerate() {
+                let f = match &p.source {
+                    PipelineSource::Stream { spec, .. } => spec.is_unbounded(),
+                    PipelineSource::Edge { edge } => g
+                        .edges
+                        .get(*edge)
+                        .is_some_and(|e| unbounded.get(e.from).copied().unwrap_or(false)),
+                    _ => false,
+                };
+                if f && !unbounded[pid] {
+                    unbounded[pid] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (eid, edge) in g.edges.iter().enumerate() {
+            if edge.role == EdgeRole::Input {
+                if fed[edge.from] && !edge.punctuated {
+                    self.push(VerifyError::PunctuationDropped { edge: eid });
+                }
+                if edge.punctuated && !fed[edge.from] {
+                    self.push(VerifyError::Malformed {
+                        detail: format!(
+                            "edge {eid} claims punctuation but its producer spine has no \
+                             stream source"
+                        ),
+                    });
+                }
+            } else if edge.punctuated {
+                self.push(VerifyError::Malformed {
+                    detail: format!("{:?} edge {eid} cannot carry punctuation", edge.role),
+                });
+            }
+            if unbounded[edge.from] && edge.role != EdgeRole::Input {
+                self.push(VerifyError::StreamingUnsupported {
+                    pipeline: edge.from,
+                    detail: format!(
+                        "unbounded stream feeds a {:?} edge {eid}; bound the source with \
+                         with_stream_horizon first",
+                        edge.role
+                    ),
+                });
+            }
+        }
+        for (pid, p) in g.pipelines.iter().enumerate() {
+            for (oi, op) in p.ops.iter().enumerate() {
+                if unbounded[pid]
+                    && matches!(
+                        &op.spec,
+                        OperatorSpec::Sort { .. }
+                            | OperatorSpec::TopK { .. }
+                            | OperatorSpec::Aggregate { .. }
+                    )
+                {
+                    self.push(VerifyError::UnboundedBreaker {
+                        pipeline: pid,
+                        op: oi,
+                        label: op.spec.label(),
+                    });
+                }
+                if let OperatorSpec::WindowAggregate {
+                    ts_col,
+                    mode,
+                    input_schema,
+                    ..
+                } = &op.spec
+                {
+                    let (column, ok) = match mode {
+                        // Merge inputs lead with the partial stage's wstart.
+                        AggMode::Merge => (
+                            WSTART_COL.to_string(),
+                            input_schema
+                                .fields()
+                                .first()
+                                .is_some_and(|f| f.dtype == DataType::Int64),
+                        ),
+                        _ => (
+                            ts_col.clone(),
+                            input_schema
+                                .index_of(ts_col)
+                                .ok()
+                                .is_some_and(|i| input_schema.fields()[i].dtype == DataType::Int64),
+                        ),
+                    };
+                    if !ok {
+                        self.push(VerifyError::WindowWithoutTimestamp {
+                            pipeline: pid,
+                            op: oi,
+                            column,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     // ----------------------------------------------------------- placement
 
     fn check_placement(&mut self) {
@@ -734,11 +932,16 @@ impl Verifier<'_> {
             // Storage scans execute *at* the storage device, so the source
             // class must be supported there. Values sources are
             // memory-resident handoffs and carry no device-side work.
-            if let PipelineSource::Scan {
-                device: Some(d), ..
-            } = &p.source
-            {
-                check(&mut self.errors, pid, usize::MAX, *d, p.source_class);
+            match &p.source {
+                PipelineSource::Scan {
+                    device: Some(d), ..
+                } => check(&mut self.errors, pid, usize::MAX, *d, p.source_class),
+                // Stream sources ingest *at* their device (NIC-Rx), so the
+                // placement must support `Ingest`.
+                PipelineSource::Stream {
+                    device: Some(d), ..
+                } => check(&mut self.errors, pid, usize::MAX, *d, p.source_class),
+                _ => {}
             }
             for (oi, op) in p.ops.iter().enumerate() {
                 if let Some(d) = op.device {
@@ -1186,6 +1389,7 @@ impl PipelineGraph {
         if v.check_structure() {
             v.check_breakers_and_joins();
             v.check_schemas();
+            v.check_streaming();
             v.check_placement();
             v.check_exchanges();
             v.check_edges();
@@ -1630,6 +1834,7 @@ mod tests {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             from_device: None,
             to_device: None,
+            punctuated: false,
             encoding: df_codec::edge::EdgeEncoding::Plain,
             compress: None,
             decompress: None,

@@ -160,10 +160,13 @@ fn collect_links(
         }
     }
     let children: Vec<&PhysNode> = match node {
-        PhysNode::StorageScan { .. } | PhysNode::Values { .. } => vec![],
+        PhysNode::StorageScan { .. } | PhysNode::Values { .. } | PhysNode::StreamScan { .. } => {
+            vec![]
+        }
         PhysNode::Filter { input, .. }
         | PhysNode::Project { input, .. }
         | PhysNode::Aggregate { input, .. }
+        | PhysNode::WindowAggregate { input, .. }
         | PhysNode::Sort { input, .. }
         | PhysNode::TopK { input, .. }
         | PhysNode::Limit { input, .. } => vec![input],
@@ -464,10 +467,13 @@ mod tests {
             loop {
                 chain.push(node);
                 node = match node {
-                    PhysNode::StorageScan { .. } | PhysNode::Values { .. } => break,
+                    PhysNode::StorageScan { .. }
+                    | PhysNode::Values { .. }
+                    | PhysNode::StreamScan { .. } => break,
                     PhysNode::Filter { input, .. }
                     | PhysNode::Project { input, .. }
                     | PhysNode::Aggregate { input, .. }
+                    | PhysNode::WindowAggregate { input, .. }
                     | PhysNode::Sort { input, .. }
                     | PhysNode::TopK { input, .. }
                     | PhysNode::Limit { input, .. } => input,

@@ -29,6 +29,9 @@ impl fmt::Display for DeviceId {
 pub enum OpClass {
     /// Sequential read of stored/DRAM-resident data.
     Scan,
+    /// Accepting an arriving stream at the device (NIC-Rx, storage feed,
+    /// memory-side capture): the ingest point of a continuous query.
+    Ingest,
     /// Predicate evaluation + selection.
     Filter,
     /// Column pruning / tuple re-assembly.
@@ -65,8 +68,9 @@ pub enum OpClass {
 
 impl OpClass {
     /// All classes, for exhaustive profile tables and tests.
-    pub const ALL: [OpClass; 17] = [
+    pub const ALL: [OpClass; 18] = [
         OpClass::Scan,
+        OpClass::Ingest,
         OpClass::Filter,
         OpClass::Project,
         OpClass::Hash,
@@ -89,6 +93,7 @@ impl OpClass {
     pub fn name(self) -> &'static str {
         match self {
             OpClass::Scan => "scan",
+            OpClass::Ingest => "ingest",
             OpClass::Filter => "filter",
             OpClass::Project => "project",
             OpClass::Hash => "hash",
@@ -194,6 +199,7 @@ impl DeviceProfile {
                 // ops run far below that.
                 let c = cores as f64;
                 rates.insert(Scan, gb(6.0 * c));
+                rates.insert(Ingest, gb(6.0 * c));
                 rates.insert(Filter, gb(3.0 * c));
                 rates.insert(Project, gb(5.0 * c));
                 rates.insert(Hash, gb(2.5 * c));
@@ -219,6 +225,7 @@ impl DeviceProfile {
                 // computing near storage (§3.2).
                 let internal = 16.0;
                 rates.insert(Scan, gb(internal));
+                rates.insert(Ingest, gb(internal));
                 rates.insert(Filter, gb(internal));
                 rates.insert(Project, gb(internal));
                 rates.insert(Regex, gb(8.0)); // accelerated pattern matcher
@@ -239,6 +246,7 @@ impl DeviceProfile {
             DeviceKind::SmartNic => {
                 // Bump-in-the-wire: processes at line rate (100 GbE).
                 let line = 12.5;
+                rates.insert(Ingest, gb(line));
                 rates.insert(Filter, gb(line));
                 rates.insert(Project, gb(line));
                 rates.insert(Hash, gb(line));
@@ -261,6 +269,7 @@ impl DeviceProfile {
                 // full DDR rate no core can sustain alone.
                 let ddr = 25.0;
                 rates.insert(Scan, gb(ddr));
+                rates.insert(Ingest, gb(ddr));
                 rates.insert(Filter, gb(ddr));
                 rates.insert(Project, gb(ddr));
                 rates.insert(Decompress, gb(20.0));

@@ -344,3 +344,226 @@ fn wire_tamper_detected_between_nodes() {
     net.send(0, 1, FrameKind::Data, frame).unwrap();
     assert!(net.recv_batch(1).is_err(), "tampered frame decoded");
 }
+
+// -------------------------------------------------------------- streaming
+// Faults against continuous queries: a stalled source, a fabric-edge
+// consumer that disconnects mid-window, and a client cancel while windows
+// are still open. Every exit must be a typed error (or a bit-identical
+// completion), the executor's scoped threads must join — `execute`
+// returning at all proves the shutdown — and the credit ledger must end
+// balanced with nothing outstanding.
+
+mod streaming_faults {
+    use rheo::core::error::Result as CoreResult;
+    use rheo::core::exec::push::{execute, ExecEnv, ExecGate, ExecOutcome};
+    use rheo::core::logical::{AggCall, AggFn};
+    use rheo::core::physical::PhysicalPlan;
+    use rheo::core::streaming::{windowed_stream_plan, StreamSourceSpec, WindowSpec};
+    use rheo::fabric::topology::DisaggregatedConfig;
+    use rheo::fabric::Topology;
+    use rheo::serve::dispatch::{CancelToken, QueryGate, SchedulerHandle};
+    use rheo::serve::sched::FairScheduler;
+    use rheo::serve::tenant::TenantSpec;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    /// An 8-batch windowed continuous query; `fabric` places source and
+    /// partial aggregation on the NIC so the partial->merge hop crosses a
+    /// real fabric edge.
+    fn stream_plan(topo: &Topology, fabric: bool) -> PhysicalPlan {
+        let devices = if fabric {
+            let nic = topo.expect_device("compute0.nic");
+            let cpu = topo.expect_device("compute0.cpu");
+            (Some(nic), Some(nic), Some(cpu))
+        } else {
+            (None, None, None)
+        };
+        windowed_stream_plan(
+            &StreamSourceSpec {
+                batches: Some(8),
+                ..StreamSourceSpec::default()
+            },
+            WindowSpec::tumbling(256),
+            vec!["sensor".into()],
+            vec![
+                AggCall::count_star("n"),
+                AggCall::new(AggFn::Sum, "value", "total"),
+            ],
+            64,
+            devices.0,
+            devices.1,
+            devices.2,
+        )
+        .expect("stream plan")
+    }
+
+    /// Rows + frontier history + window-close lags of one run.
+    type RunFingerprint = (Vec<String>, Vec<(usize, Vec<i64>)>, Vec<i64>);
+
+    fn fingerprint(out: &ExecOutcome) -> RunFingerprint {
+        let rows = out
+            .batches
+            .iter()
+            .flat_map(|b| (0..b.rows()).map(|r| format!("{:?}", b.row(r))))
+            .collect();
+        (rows, out.frontiers.clone(), out.window_lags.clone())
+    }
+
+    /// A scheduler + registered tenant + per-query gate, mirroring what
+    /// `QueryService::run_sql` builds for SQL plans (streaming plans have
+    /// no SQL surface, so the tests assemble the gate directly).
+    fn gated(
+        cancel: CancelToken,
+    ) -> (Arc<SchedulerHandle>, rheo::serve::sched::QueryId, QueryGate) {
+        let sched = SchedulerHandle::new(FairScheduler::new(8, 2));
+        let tenant = sched.with(|s| s.register_tenant(TenantSpec::new("stream", 1)));
+        let query = sched.with(|s| s.begin_query(tenant));
+        let gate = QueryGate::new(sched.clone(), query, cancel);
+        (sched, query, gate)
+    }
+
+    fn assert_sched_balanced(sched: &SchedulerHandle) {
+        sched.with(|s| {
+            if let Err(unbalanced) = s.ledger().check_balanced() {
+                panic!("credit ledger unbalanced after fault: {unbalanced:?}");
+            }
+            assert_eq!(
+                s.ledger().total_outstanding(),
+                0,
+                "credits still outstanding after shutdown"
+            );
+        });
+    }
+
+    /// Trips the query's cancel token once `after` batch boundaries have
+    /// passed, then delegates to the real [`QueryGate`] — which observes
+    /// the cancellation at the *next* boundary, exactly like a client
+    /// disconnect landing mid-stream.
+    struct CancelAfter {
+        inner: QueryGate,
+        cancel: CancelToken,
+        seen: AtomicUsize,
+        after: usize,
+    }
+
+    impl ExecGate for CancelAfter {
+        fn acquire(&self, pipeline: usize) -> CoreResult<()> {
+            if self.seen.fetch_add(1, Ordering::SeqCst) >= self.after {
+                self.cancel.cancel();
+            }
+            self.inner.acquire(pipeline)
+        }
+    }
+
+    /// Lets every batch through but stalls the source for a while on two
+    /// of the boundaries — a slow upstream feed, not a failure.
+    struct StallGate {
+        seen: AtomicUsize,
+    }
+
+    impl ExecGate for StallGate {
+        fn acquire(&self, _pipeline: usize) -> CoreResult<()> {
+            let n = self.seen.fetch_add(1, Ordering::SeqCst);
+            if n == 2 || n == 5 {
+                thread::sleep(Duration::from_millis(25));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stalled_source_completes_bit_identical_to_unstalled_run() {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let plan = stream_plan(&topo, false);
+        let baseline = execute(&plan, &ExecEnv::in_memory()).expect("baseline run");
+
+        let env = ExecEnv {
+            gate: Some(Arc::new(StallGate {
+                seen: AtomicUsize::new(0),
+            })),
+            ..ExecEnv::in_memory()
+        };
+        let stalled = execute(&plan, &env).expect("stalled run must still finish");
+        // A stall delays punctuation, it must never change it: same rows,
+        // same frontier history, same window-close lags.
+        assert_eq!(fingerprint(&stalled), fingerprint(&baseline));
+    }
+
+    #[test]
+    fn cancel_during_open_window_is_a_typed_error_and_balances_ledger() {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let plan = stream_plan(&topo, false);
+
+        // The tumbling window (size 256) spans the whole 8-batch stream,
+        // so after 3 of 8 batch boundaries every window is still open.
+        let cancel = CancelToken::new();
+        let (sched, query, gate) = gated(cancel.clone());
+        let env = ExecEnv {
+            gate: Some(Arc::new(CancelAfter {
+                inner: gate,
+                cancel,
+                seen: AtomicUsize::new(0),
+                after: 3,
+            })),
+            ..ExecEnv::in_memory()
+        };
+        let err = execute(&plan, &env).expect_err("cancelled query must not complete");
+        assert!(
+            format!("{err}").contains("cancelled"),
+            "cancel must surface as the typed cancellation error: {err}"
+        );
+
+        // Unconditional cleanup, as run_sql does it — then conservation.
+        sched.with(|s| s.finish_query(query));
+        assert_sched_balanced(&sched);
+
+        // Clean shutdown leaves no residue: the same plan re-runs and is
+        // bit-identical to a fresh ungated run.
+        let rerun = execute(&plan, &ExecEnv::in_memory()).expect("rerun after cancel");
+        let fresh = execute(&plan, &ExecEnv::in_memory()).expect("fresh run");
+        assert_eq!(fingerprint(&rerun), fingerprint(&fresh));
+    }
+
+    #[test]
+    fn mid_window_disconnect_on_fabric_edge_shuts_down_cleanly() {
+        // NIC-placed source and partial window aggregation: the abort has
+        // to propagate across a live fabric edge (in-flight batches and
+        // punctuation markers) and both endpoint threads must still join.
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let plan = stream_plan(&topo, true);
+        let env_for = |gate| ExecEnv {
+            topology: Some(&topo),
+            gate,
+            ..ExecEnv::in_memory()
+        };
+
+        let cancel = CancelToken::new();
+        let (sched, query, gate) = gated(cancel.clone());
+        let err = execute(
+            &plan,
+            &env_for(Some(Arc::new(CancelAfter {
+                inner: gate,
+                cancel,
+                seen: AtomicUsize::new(0),
+                after: 2,
+            }) as Arc<dyn ExecGate>)),
+        )
+        .expect_err("disconnected stream must abort");
+        assert!(format!("{err}").contains("cancelled"), "{err}");
+        sched.with(|s| s.finish_query(query));
+        assert_sched_balanced(&sched);
+
+        // The fabric is reusable afterwards: a healthy gated run over the
+        // same edge completes and matches the ungated baseline.
+        let cancel = CancelToken::new();
+        let (sched, query, gate) = gated(cancel);
+        let gated_run = execute(&plan, &env_for(Some(Arc::new(gate) as Arc<dyn ExecGate>)))
+            .expect("healthy gated run");
+        sched.with(|s| s.finish_query(query));
+        assert_sched_balanced(&sched);
+        let baseline = execute(&plan, &env_for(None)).expect("ungated baseline");
+        assert_eq!(fingerprint(&gated_run), fingerprint(&baseline));
+    }
+}

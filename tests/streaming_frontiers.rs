@@ -1,0 +1,205 @@
+//! Frontier-safety properties for streaming execution.
+//!
+//! Three invariants of the timely-style progress model, each randomized
+//! over plans, windows, and punctuation cadences (`rheo::check`; failing
+//! seeds are pinned under `proptest-regressions/`):
+//!
+//! 1. **Monotone frontiers** — the punctuation sequence every pipeline
+//!    processes never regresses ([`ExecOutcome::frontiers`]).
+//! 2. **No early emission** — a window only drains once the input
+//!    frontier passes its end bound, so every recorded close lag is
+//!    non-negative and op-level advances below the bound emit nothing.
+//! 3. **No retraction** — each (window, group) emits exactly once; a row
+//!    arriving after its window closed is a hard error, never a silent
+//!    re-open.
+//!
+//! [`ExecOutcome::frontiers`]: rheo::core::exec::push::ExecOutcome
+
+use std::collections::BTreeSet;
+
+use rheo::check::{check, Gen};
+use rheo::core::exec::push::{execute, ExecEnv};
+use rheo::core::logical::{AggCall, AggFn};
+use rheo::core::ops::{AggMode, Operator};
+use rheo::core::streaming::{windowed_stream_plan, StreamSourceSpec, WindowAggOp, WindowSpec};
+use rheo::data::batch::batch_of;
+use rheo::data::{Column, DataType, Field, Schema};
+
+fn random_spec(gen: &mut Gen) -> StreamSourceSpec {
+    StreamSourceSpec {
+        seed: gen.u64(),
+        rows_per_batch: gen.usize_in(8, 64),
+        batches: Some(gen.usize_in(2, 10) as u64),
+        sensors: gen.usize_in(1, 6) as u64,
+        start_ts: gen.i64_in(-32, 32),
+        punct_every: gen.usize_in(1, 5) as u64,
+    }
+}
+
+fn random_window(gen: &mut Gen) -> WindowSpec {
+    let size = gen.i64_in(4, 80);
+    if gen.bool() {
+        WindowSpec::tumbling(size)
+    } else {
+        WindowSpec::sliding(size, gen.i64_in(1, size))
+    }
+}
+
+/// Returns the run outcome plus the number of group-by columns (the
+/// merge output is `wstart, group..., aggs...`).
+fn run_random_plan(gen: &mut Gen) -> (rheo::core::exec::push::ExecOutcome, usize) {
+    let group_by: Vec<String> = if gen.bool() {
+        vec!["sensor".into()]
+    } else {
+        vec![]
+    };
+    let n_groups = group_by.len();
+    let plan = windowed_stream_plan(
+        &random_spec(gen),
+        random_window(gen),
+        group_by,
+        vec![
+            AggCall::count_star("n"),
+            AggCall::new(AggFn::Sum, "value", "total"),
+        ],
+        gen.usize_in(1, 32),
+        None,
+        None,
+        None,
+    )
+    .expect("plan");
+    let out = execute(&plan, &ExecEnv::in_memory()).expect("streaming run");
+    (out, n_groups)
+}
+
+#[test]
+fn frontiers_are_monotone_per_pipeline() {
+    check("streaming-frontier-monotone", 48, |gen| {
+        let (out, _) = run_random_plan(gen);
+        assert!(
+            !out.frontiers.is_empty(),
+            "streaming run must observe punctuation"
+        );
+        for (pid, seq) in &out.frontiers {
+            for pair in seq.windows(2) {
+                assert!(
+                    pair[0] <= pair[1],
+                    "pipeline {pid}: frontier regressed {} -> {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn window_close_lags_are_never_negative() {
+    // A negative lag would mean a window drained *before* the frontier
+    // passed its end bound — early emission.
+    check("streaming-no-early-emission", 48, |gen| {
+        let (out, _) = run_random_plan(gen);
+        for lag in &out.window_lags {
+            assert!(*lag >= 0, "window closed {lag} ticks before its bound");
+        }
+    });
+}
+
+#[test]
+fn each_window_group_emits_exactly_once() {
+    // No retraction: merge output carries one final row per
+    // (wstart, group key); a duplicate would mean a closed window
+    // re-opened and re-emitted.
+    check("streaming-no-retraction", 48, |gen| {
+        let (out, n_groups) = run_random_plan(gen);
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for b in &out.batches {
+            for r in 0..b.rows() {
+                let row = b.row(r);
+                // Key = wstart plus every group column; the aggregates
+                // are excluded so re-emission with different values is
+                // still caught.
+                let key = format!("{:?}", &row[..=n_groups]);
+                assert!(seen.insert(key), "window/group drained twice: {row:?}");
+            }
+        }
+    });
+}
+
+// ------------------------------------------------------- op-level safety
+
+fn telemetry_batch(ts: Vec<i64>) -> rheo::data::Batch {
+    let n = ts.len();
+    batch_of(vec![
+        ("ts", Column::from_i64(ts)),
+        ("sensor", Column::from_i64(vec![0; n])),
+        ("value", Column::from_f64(vec![1.0; n])),
+        ("level", Column::from_strs(&vec!["info"; n])),
+    ])
+}
+
+#[test]
+fn advance_below_bound_emits_nothing_and_late_rows_error() {
+    check("streaming-op-frontier-safety", 64, |gen| {
+        let size = gen.i64_in(4, 40);
+        let window = if gen.bool() {
+            WindowSpec::tumbling(size)
+        } else {
+            WindowSpec::sliding(size, gen.i64_in(1, size))
+        };
+        let final_schema = Schema::new(vec![Field::nullable("n", DataType::Int64)]).into_ref();
+        let mut op = WindowAggOp::new(
+            "ts",
+            window,
+            vec![],
+            vec![AggCall::count_star("n")],
+            AggMode::Final,
+            &StreamSourceSpec::schema(),
+            final_schema,
+        )
+        .expect("op");
+
+        // Random ascending stream, interleaving pushes with advances.
+        let mut ts = gen.i64_in(-50, 50);
+        let mut frontier = i64::MIN;
+        let mut emitted_wends: Vec<i64> = Vec::new();
+        for _ in 0..gen.usize_in(3, 10) {
+            let rows: Vec<i64> = (0..gen.usize_in(1, 12))
+                .map(|_| {
+                    let t = ts;
+                    ts += gen.i64_in(0, 6);
+                    t
+                })
+                .collect();
+            op.push(telemetry_batch(rows)).expect("ascending push");
+            if gen.bool() {
+                // The source frontier: one past everything emitted.
+                frontier = ts;
+                for (wend, batch) in op.advance(frontier).expect("advance") {
+                    assert!(
+                        wend <= frontier,
+                        "window [.., {wend}) closed early at frontier {frontier}"
+                    );
+                    assert!(!batch.is_empty());
+                    emitted_wends.push(wend);
+                }
+            }
+        }
+        // Closed windows drain in ascending end order.
+        let mut sorted = emitted_wends.clone();
+        sorted.sort_unstable();
+        assert_eq!(emitted_wends, sorted, "windows must close ascending");
+
+        // Frontier regression is rejected.
+        if frontier > i64::MIN {
+            assert!(op.advance(frontier - 1).is_err(), "regression accepted");
+        }
+
+        // A row inside an already-closed window is a retraction attempt:
+        // hard error, not a re-open.
+        if let Some(&wend) = emitted_wends.last() {
+            let late = op.push(telemetry_batch(vec![wend - 1]));
+            assert!(late.is_err(), "late row for closed window was accepted");
+        }
+    });
+}

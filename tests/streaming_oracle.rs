@@ -1,0 +1,282 @@
+//! Streaming-vs-batch oracle equivalence.
+//!
+//! A punctuated streaming run over a finite prefix must be **bit-identical**
+//! to the batch run over the materialized prefix: [`WindowAggOp`] closes
+//! windows ascending whether the frontier arrives via punctuation or at
+//! end-of-input, and [`HashAggOp`] drains each window in deterministic key
+//! order, so the output rows, their drain order, and the movement-ledger
+//! accounting must all agree. Plans, windows, and seeds are randomized
+//! (`rheo::check`); failing seeds land in `proptest-regressions/`.
+//!
+//! [`WindowAggOp`]: rheo::core::streaming::WindowAggOp
+//! [`HashAggOp`]: rheo::core::ops::HashAggOp
+
+use std::collections::BTreeMap;
+
+use rheo::check::{check, Gen};
+use rheo::core::exec::push::{execute, execute_graph, ExecEnv, ExecOutcome};
+use rheo::core::logical::{AggCall, AggFn};
+use rheo::core::physical::{PhysNode, PhysicalPlan};
+use rheo::core::pipeline::{PipelineGraph, DEFAULT_QUEUE_CAPACITY};
+use rheo::core::streaming::{windowed_stream_plan, StreamSourceSpec, WindowSpec};
+use rheo::fabric::topology::DisaggregatedConfig;
+use rheo::fabric::{DeviceId, Topology};
+
+fn topo() -> Topology {
+    Topology::disaggregated(&DisaggregatedConfig::default())
+}
+
+/// Swap every `StreamScan` leaf for `Values` over its materialized finite
+/// prefix — the batch oracle. Everything else in the plan is unchanged,
+/// so the two runs differ only in how the frontier advances.
+fn batch_oracle(node: &PhysNode) -> PhysNode {
+    match node {
+        PhysNode::StreamScan {
+            spec,
+            schema,
+            device,
+        } => PhysNode::Values {
+            schema: schema.clone(),
+            batches: spec
+                .materialize(None)
+                .expect("oracle needs a bounded stream"),
+            device: *device,
+        },
+        PhysNode::WindowAggregate {
+            input,
+            ts_col,
+            window,
+            group_by,
+            aggs,
+            mode,
+            final_schema,
+            device,
+        } => PhysNode::WindowAggregate {
+            input: Box::new(batch_oracle(input)),
+            ts_col: ts_col.clone(),
+            window: *window,
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+            mode: *mode,
+            final_schema: final_schema.clone(),
+            device: *device,
+        },
+        PhysNode::Filter {
+            input,
+            predicate,
+            device,
+            use_kernel,
+        } => PhysNode::Filter {
+            input: Box::new(batch_oracle(input)),
+            predicate: predicate.clone(),
+            device: *device,
+            use_kernel: *use_kernel,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Flatten an outcome's output into one comparable row-order-sensitive
+/// fingerprint.
+fn drained_rows(out: &ExecOutcome) -> Vec<String> {
+    out.batches
+        .iter()
+        .flat_map(|b| (0..b.rows()).map(|r| format!("{:?}", b.row(r))))
+        .collect()
+}
+
+/// The ledger's full (from, to) -> (bytes, rows) account.
+fn ledger_edges(out: &ExecOutcome) -> BTreeMap<String, (u64, u64)> {
+    out.ledger
+        .edges()
+        .map(|((from, to), stats)| (format!("{from:?}->{to:?}"), (stats.bytes, stats.rows)))
+        .collect()
+}
+
+struct Case {
+    spec: StreamSourceSpec,
+    window: WindowSpec,
+    group_by: Vec<String>,
+    aggs: Vec<AggCall>,
+    max_groups: usize,
+    devices: (Option<DeviceId>, Option<DeviceId>, Option<DeviceId>),
+}
+
+fn random_case(gen: &mut Gen, topo: &Topology) -> Case {
+    let spec = StreamSourceSpec {
+        seed: gen.u64(),
+        rows_per_batch: gen.usize_in(16, 96),
+        batches: Some(gen.usize_in(2, 8) as u64),
+        sensors: gen.usize_in(1, 8) as u64,
+        start_ts: gen.i64_in(-64, 64),
+        punct_every: gen.usize_in(1, 4) as u64,
+    };
+    let size = gen.i64_in(8, 96);
+    let window = if gen.bool() {
+        WindowSpec::tumbling(size)
+    } else {
+        WindowSpec::sliding(size, gen.i64_in(1, size))
+    };
+    let group_by: Vec<String> = match gen.usize_in(0, 2) {
+        0 => vec![],
+        1 => vec!["sensor".into()],
+        _ => vec!["sensor".into(), "level".into()],
+    };
+    let mut aggs = vec![AggCall::count_star("n")];
+    if gen.bool() {
+        aggs.push(AggCall::new(AggFn::Sum, "value", "total"));
+    }
+    if gen.bool() {
+        aggs.push(AggCall::new(AggFn::Min, "value", "lo"));
+    }
+    if gen.bool() {
+        aggs.push(AggCall::new(AggFn::Max, "ts", "hi_ts"));
+    }
+    // Small bounds force mid-window partial flushes on some cases.
+    let max_groups = gen.usize_in(1, 64);
+    let devices = if gen.bool() {
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        (Some(nic), Some(nic), Some(cpu))
+    } else {
+        (None, None, None)
+    };
+    Case {
+        spec,
+        window,
+        group_by,
+        aggs,
+        max_groups,
+        devices,
+    }
+}
+
+fn build_plan(case: &Case) -> PhysicalPlan {
+    windowed_stream_plan(
+        &case.spec,
+        case.window,
+        case.group_by.clone(),
+        case.aggs.clone(),
+        case.max_groups,
+        case.devices.0,
+        case.devices.1,
+        case.devices.2,
+    )
+    .expect("windowed stream plan")
+}
+
+#[test]
+fn streaming_prefix_is_bit_identical_to_batch_oracle() {
+    let topo = topo();
+    check("streaming_oracle_equivalence", 48, |gen| {
+        let case = random_case(gen, &topo);
+        let plan = build_plan(&case);
+        let oracle_plan = PhysicalPlan::new(batch_oracle(&plan.root), "batch-oracle");
+
+        let env = ExecEnv {
+            topology: Some(&topo),
+            ..ExecEnv::in_memory()
+        };
+        let streamed = execute(&plan, &env).expect("streaming run");
+        let oracle = execute(&oracle_plan, &env).expect("oracle run");
+
+        assert!(
+            streamed.rows() > 0,
+            "vacuous case: no windows closed (spec {:?})",
+            case.spec
+        );
+        assert_eq!(
+            drained_rows(&streamed),
+            drained_rows(&oracle),
+            "row content or drain order diverged from the batch oracle"
+        );
+        assert_eq!(
+            ledger_edges(&streamed),
+            ledger_edges(&oracle),
+            "ledger accounting diverged from the batch oracle"
+        );
+        // The streaming run saw punctuation; the oracle must not have.
+        assert!(
+            !streamed.frontiers.is_empty(),
+            "streaming run processed no punctuation"
+        );
+        assert!(oracle.frontiers.is_empty(), "oracle run saw punctuation");
+    });
+}
+
+#[test]
+fn bounded_horizon_run_matches_bounded_spec_run() {
+    // Bounding an *unbounded* graph with `with_stream_horizon(n)` must be
+    // byte-identical to compiling the same spec with `batches: Some(n)`.
+    let topo = topo();
+    check("streaming_horizon_equivalence", 24, |gen| {
+        let mut case = random_case(gen, &topo);
+        let horizon = case.spec.batches.expect("random case is bounded");
+        let bounded = execute(&build_plan(&case), &ExecEnv::in_memory()).expect("bounded run");
+
+        case.spec.batches = None;
+        let unbounded_plan = build_plan(&case);
+        let graph = PipelineGraph::compile(&unbounded_plan, None, None, DEFAULT_QUEUE_CAPACITY);
+        assert!(graph.has_unbounded_stream());
+        let horizon_graph = graph.with_stream_horizon(horizon);
+        let env = ExecEnv::in_memory();
+        let horizoned =
+            execute_graph(&horizon_graph, &env, "horizon").expect("horizon-bounded run");
+
+        assert_eq!(drained_rows(&bounded), drained_rows(&horizoned));
+        assert_eq!(ledger_edges(&bounded), ledger_edges(&horizoned));
+    });
+}
+
+#[test]
+fn unbounded_stream_is_refused_by_the_executor() {
+    let mut case = Case {
+        spec: StreamSourceSpec::default(),
+        window: WindowSpec::tumbling(64),
+        group_by: vec!["sensor".into()],
+        aggs: vec![AggCall::count_star("n")],
+        max_groups: 1 << 20,
+        devices: (None, None, None),
+    };
+    case.spec.batches = None;
+    let plan = build_plan(&case);
+    let graph = PipelineGraph::compile(&plan, None, None, DEFAULT_QUEUE_CAPACITY);
+    let env = ExecEnv::in_memory();
+    let err = execute_graph(&graph, &env, "unbounded").expect_err("unbounded must not run");
+    assert!(
+        format!("{err}").contains("with_stream_horizon"),
+        "error should point at the horizon API: {err}"
+    );
+}
+
+#[test]
+fn same_seed_streaming_runs_are_byte_identical() {
+    let topo = topo();
+    let nic = topo.expect_device("compute0.nic");
+    let cpu = topo.expect_device("compute0.cpu");
+    let case = Case {
+        spec: StreamSourceSpec {
+            batches: Some(6),
+            ..StreamSourceSpec::default()
+        },
+        window: WindowSpec::tumbling(48),
+        group_by: vec!["sensor".into()],
+        aggs: vec![
+            AggCall::count_star("n"),
+            AggCall::new(AggFn::Sum, "value", "total"),
+        ],
+        max_groups: 8,
+        devices: (Some(nic), Some(nic), Some(cpu)),
+    };
+    let plan = build_plan(&case);
+    let env = ExecEnv {
+        topology: Some(&topo),
+        ..ExecEnv::in_memory()
+    };
+    let a = execute(&plan, &env).expect("first run");
+    let b = execute(&plan, &env).expect("second run");
+    assert_eq!(drained_rows(&a), drained_rows(&b));
+    assert_eq!(ledger_edges(&a), ledger_edges(&b));
+    assert_eq!(a.frontiers, b.frontiers);
+    assert_eq!(a.window_lags, b.window_lags);
+}

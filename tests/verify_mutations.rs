@@ -417,3 +417,256 @@ fn mutation_schema_break_at_cut_is_rejected() {
         );
     });
 }
+
+// --------------------------------------------------- streaming mutations
+// Sensitivity of the streaming verify rules: each single mutation of a
+// clean windowed-stream graph — dropped punctuation, forged punctuation,
+// a window keyed on a missing or non-timestamp column, an unbounded
+// source under a blocking breaker or a join build — is rejected with the
+// expected typed variant.
+
+mod streaming {
+    use super::*;
+    use rheo::core::ops::AggMode;
+    use rheo::core::pipeline::{EdgeRole, OperatorSpec, PipelineSource};
+    use rheo::core::streaming::{windowed_stream_plan, StreamSourceSpec, WindowSpec};
+
+    /// A random bounded windowed-stream plan with the NIC-Rx placement
+    /// (source + partial window on the NIC, merge on the CPU) so the
+    /// partial->merge cut is a punctuated fabric Input edge.
+    fn stream_graph(gen: &mut Gen, topo: &Topology) -> PipelineGraph {
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        let spec = StreamSourceSpec {
+            seed: gen.u64(),
+            rows_per_batch: gen.usize_in(8, 64),
+            batches: Some(gen.usize_in(2, 8) as u64),
+            sensors: gen.usize_in(1, 6) as u64,
+            start_ts: gen.i64_in(-32, 32),
+            punct_every: gen.usize_in(1, 4) as u64,
+        };
+        let size = gen.i64_in(8, 64);
+        let window = if gen.bool() {
+            WindowSpec::tumbling(size)
+        } else {
+            WindowSpec::sliding(size, gen.i64_in(1, size))
+        };
+        let plan = windowed_stream_plan(
+            &spec,
+            window,
+            vec!["sensor".into()],
+            vec![AggCall::count_star("n")],
+            gen.usize_in(1, 64),
+            Some(nic),
+            Some(nic),
+            Some(cpu),
+        )
+        .expect("windowed stream plan");
+        PipelineGraph::compile(&plan, None, Some(topo), DEFAULT_QUEUE_CAPACITY)
+    }
+
+    #[test]
+    fn random_stream_graphs_verify_clean() {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        check("verify-stream-clean", 32, |gen: &mut Gen| {
+            let g = stream_graph(gen, &topo);
+            g.verify(Some(&topo)).expect("clean streaming graph");
+            let r = deadlock::analyze(&g);
+            assert!(r.is_deadlock_free(), "{:?}", r.findings);
+        });
+    }
+
+    #[test]
+    fn mutation_dropped_punctuation_is_rejected() {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        check("verify-mut-dropped-punctuation", 32, |gen: &mut Gen| {
+            let mut g = stream_graph(gen, &topo);
+            let punctuated: Vec<usize> = g
+                .edges
+                .iter()
+                .filter(|e| e.role == EdgeRole::Input && e.punctuated)
+                .map(|e| e.id)
+                .collect();
+            let victim = *gen.pick(&punctuated);
+            g.edges[victim].punctuated = false;
+            let errs = g
+                .verify(Some(&topo))
+                .expect_err("dropped punctuation must fail");
+            assert!(
+                has(
+                    &errs,
+                    |e| matches!(e, VerifyError::PunctuationDropped { edge } if *edge == victim)
+                ),
+                "expected PunctuationDropped for edge {victim}, got {errs:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn mutation_forged_punctuation_is_rejected() {
+        // Punctuation on an edge whose producer spine has no stream
+        // source, or on a non-Input edge, is bookkeeping corruption.
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let gens = MutGen::new(&topo);
+        check("verify-mut-forged-punctuation", 32, |gen: &mut Gen| {
+            let mut g = gens.compile(gen, &topo, Some(true));
+            let victim = *gen.pick(&g.edges.iter().map(|e| e.id).collect::<Vec<_>>());
+            g.edges[victim].punctuated = true;
+            let errs = g
+                .verify(Some(&topo))
+                .expect_err("forged punctuation must fail");
+            assert!(
+                has(&errs, |e| matches!(e, VerifyError::Malformed { .. })),
+                "expected Malformed, got {errs:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn mutation_window_on_non_timestamp_column_is_rejected() {
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        check(
+            "verify-mut-window-without-timestamp",
+            32,
+            |gen: &mut Gen| {
+                let mut g = stream_graph(gen, &topo);
+                // "level" exists but is Utf8; "ghost" does not exist at all.
+                let column = if gen.bool() { "level" } else { "ghost" };
+                let mut mutated = false;
+                for p in &mut g.pipelines {
+                    for op in &mut p.ops {
+                        if let OperatorSpec::WindowAggregate { ts_col, mode, .. } = &mut op.spec {
+                            if !matches!(mode, AggMode::Merge) && !mutated {
+                                *ts_col = column.to_string();
+                                mutated = true;
+                            }
+                        }
+                    }
+                }
+                assert!(mutated, "plan carries a partial window op");
+                let errs = g
+                    .verify(Some(&topo))
+                    .expect_err("non-timestamp window key must fail");
+                assert!(
+                    has(&errs, |e| matches!(
+                        e,
+                        VerifyError::WindowWithoutTimestamp { column: c, .. } if c == column
+                    )),
+                    "expected WindowWithoutTimestamp({column}), got {errs:?}"
+                );
+            },
+        );
+    }
+
+    #[test]
+    fn mutation_unhorizoned_source_under_breaker_is_rejected() {
+        // A blocking aggregate over a *bounded* stream is legal; removing
+        // the horizon (the single mutation) makes it an UnboundedBreaker.
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        check("verify-mut-unbounded-breaker", 32, |gen: &mut Gen| {
+            let spec = StreamSourceSpec {
+                seed: gen.u64(),
+                batches: Some(gen.usize_in(1, 6) as u64),
+                ..StreamSourceSpec::default()
+            };
+            let scan = PhysNode::StreamScan {
+                spec,
+                schema: StreamSourceSpec::schema(),
+                device: Some(nic),
+            };
+            let plan = PhysicalPlan::new(
+                PhysNode::Aggregate {
+                    input: Box::new(scan),
+                    group_by: vec!["sensor".into()],
+                    aggs: vec![AggCall::count_star("n")],
+                    mode: AggMode::Final,
+                    final_schema: Schema::new(vec![
+                        Field::new("sensor", DataType::Int64),
+                        Field::nullable("n", DataType::Int64),
+                    ])
+                    .into_ref(),
+                    device: Some(cpu),
+                },
+                "stream-breaker",
+            );
+            let mut g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+            g.verify(Some(&topo))
+                .expect("bounded stream under a breaker is legal");
+
+            for p in &mut g.pipelines {
+                if let PipelineSource::Stream { spec, .. } = &mut p.source {
+                    spec.batches = None;
+                }
+            }
+            let errs = g
+                .verify(Some(&topo))
+                .expect_err("unbounded breaker must fail");
+            assert!(
+                has(&errs, |e| matches!(e, VerifyError::UnboundedBreaker { .. })),
+                "expected UnboundedBreaker, got {errs:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn mutation_unhorizoned_join_build_is_rejected() {
+        // An unbounded stream on a hash-join build side can never finish
+        // building: StreamingUnsupported.
+        let topo = Topology::disaggregated(&DisaggregatedConfig::default());
+        let nic = topo.expect_device("compute0.nic");
+        let cpu = topo.expect_device("compute0.cpu");
+        check("verify-mut-unbounded-join-build", 32, |gen: &mut Gen| {
+            let build = PhysNode::StreamScan {
+                spec: StreamSourceSpec {
+                    seed: gen.u64(),
+                    batches: Some(gen.usize_in(1, 4) as u64),
+                    ..StreamSourceSpec::default()
+                },
+                schema: StreamSourceSpec::schema(),
+                device: Some(nic),
+            };
+            let probe = PhysNode::Values {
+                batches: vec![batch_of(vec![(
+                    "sensor_id",
+                    Column::from_i64((0..gen.i64_in(1, 8)).collect()),
+                )])],
+                schema: Schema::new(vec![Field::new("sensor_id", DataType::Int64)]).into_ref(),
+                device: Some(cpu),
+            };
+            let mut fields: Vec<Field> = build.schema().fields().to_vec();
+            fields.extend(probe.schema().fields().to_vec());
+            let plan = PhysicalPlan::new(
+                PhysNode::HashJoin {
+                    build: Box::new(build),
+                    probe: Box::new(probe),
+                    on: vec![("sensor".into(), "sensor_id".into())],
+                    join_type: JoinType::Inner,
+                    schema: Schema::new(fields).into_ref(),
+                    device: Some(cpu),
+                },
+                "stream-build",
+            );
+            let mut g = PipelineGraph::compile(&plan, None, Some(&topo), DEFAULT_QUEUE_CAPACITY);
+            g.verify(Some(&topo))
+                .expect("bounded stream build is legal");
+
+            for p in &mut g.pipelines {
+                if let PipelineSource::Stream { spec, .. } = &mut p.source {
+                    spec.batches = None;
+                }
+            }
+            let errs = g
+                .verify(Some(&topo))
+                .expect_err("unbounded join build must fail");
+            assert!(
+                has(&errs, |e| matches!(
+                    e,
+                    VerifyError::StreamingUnsupported { .. }
+                )),
+                "expected StreamingUnsupported, got {errs:?}"
+            );
+        });
+    }
+}
